@@ -1,0 +1,117 @@
+// Ablation: what queue charging buys (DESIGN.md ABL-QUEUE).
+//
+// The same program is costed under four contention policies — QSM
+// (kappa), s-QSM (g*kappa), QSM with unit-time concurrent reads, and a
+// CRCW-like accounting that ignores contention — separating how much of
+// each algorithm's cost is bandwidth (g * m_rw) versus queuing. This is
+// the model spectrum of Section 2.1 made quantitative, and explains why
+// the paper's three tables differ only in their contention terms.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace pb = parbounds;
+using parbounds::TextTable;
+using namespace parbounds::bench;
+
+namespace {
+
+constexpr pb::CostModel kModels[] = {
+    pb::CostModel::Qsm, pb::CostModel::SQsm, pb::CostModel::QsmCrFree,
+    pb::CostModel::CrcwLike};
+
+double replay_cost(const pb::ExecutionTrace& t, pb::CostModel model,
+                   std::uint64_t g) {
+  // Same phases, different charging — exactly comparable.
+  double total = 0;
+  for (const auto& ph : t.phases)
+    total += static_cast<double>(pb::phase_cost(model, g, ph.stats));
+  return total;
+}
+
+void table_for(const char* title, const pb::ExecutionTrace& trace,
+               std::uint64_t g) {
+  std::printf("%s", pb::banner(title).c_str());
+  TextTable t({"cost model", "total cost", "vs QSM"});
+  const double base = replay_cost(trace, pb::CostModel::Qsm, g);
+  for (const auto model : kModels) {
+    const double c = replay_cost(trace, model, g);
+    t.add_row({pb::cost_model_name(model), TextTable::num(c, 0),
+               TextTable::num(c / std::max(base, 1e-9), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("%s", pb::banner("ABLATION — contention charging across the "
+                               "model spectrum (same program, four costs)")
+                        .c_str());
+  const std::uint64_t n = 1 << 14, g = 16;
+
+  {
+    pb::QsmMachine m({.g = g});
+    pb::Rng rng(kSeed);
+    const auto input = pb::boolean_array(n, 3, rng);
+    const pb::Addr in = m.alloc(n);
+    m.preload(in, input);
+    pb::or_fanin_qsm(m, in, n);
+    table_for("OR, contention fan-in g (queues are the whole point: "
+              "s-QSM pays g*kappa for every funnel level)",
+              m.trace(), g);
+  }
+  {
+    pb::QsmMachine m({.g = g});
+    pb::Rng rng(kSeed);
+    const auto input = pb::bernoulli_array(n, 0.5, rng);
+    const pb::Addr in = m.alloc(n);
+    m.preload(in, input);
+    pb::parity_circuit(m, in, n);
+    table_for("Parity, circuit emulation (read contention 2^(k-1): free "
+              "concurrent reads would let k grow to g)",
+              m.trace(), g);
+  }
+  {
+    pb::QsmMachine m(
+        {.g = g, .writes = pb::WriteResolution::Random, .seed = kSeed});
+    pb::Rng rng(kSeed);
+    const auto input = pb::lac_instance(n, n / 8, rng);
+    const pb::Addr in = m.alloc(n);
+    m.preload(in, input);
+    pb::Rng darts(kSeed + 1);
+    pb::lac_dart(m, in, n, n / 8, darts);
+    table_for("LAC, dart throwing (low-contention by design: all four "
+              "policies nearly coincide)",
+              m.trace(), g);
+  }
+  {
+    pb::QsmMachine m({.g = g});
+    const pb::Addr src = m.alloc(1);
+    m.preload(src, pb::Word{1});
+    const pb::Addr dst = m.alloc(n);
+    pb::qsm_broadcast(m, src, dst, n);
+    table_for("Broadcast, fan-out g (read queues of width g per level)",
+              m.trace(), g);
+  }
+
+  benchmark::RegisterBenchmark("sim/contention_replay_probe",
+                               [](benchmark::State& st) {
+                                 pb::QsmMachine m({.g = 16});
+                                 const pb::Addr in = m.alloc(1 << 12);
+                                 pb::Rng rng(kSeed);
+                                 const auto v =
+                                     pb::boolean_array(1 << 12, 3, rng);
+                                 m.preload(in, v);
+                                 pb::or_fanin_qsm(m, in, 1 << 12);
+                                 for (auto _ : st)
+                                   benchmark::DoNotOptimize(replay_cost(
+                                       m.trace(), pb::CostModel::SQsm, 16));
+                               });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// The Random Adversary machinery, measured (DESIGN.md exp ADV).
+//
+// (a) Section 5 adversary against real GSM algorithms on exact (small)
+//     instances: inputs fixed per REFINE step, forced big-steps, and the
+//     t-goodness invariants — all checked exactly, never violated.
+// (b) Section 7 OR distribution: the d_i ladder, the success-probability
+//     vs phase-budget trade-off of Theorem 7.1, and the log* horizon.
+// (c) Envelope growth: the paper's d_t/k_t sequences evaluated so their
+//     shapes (geometric vs tower) are visible.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "adversary/adversary.hpp"
+#include "adversary/goodness.hpp"
+#include "adversary/or_adversary.hpp"
+#include "harness.hpp"
+
+namespace pb = parbounds;
+using parbounds::TextTable;
+using namespace parbounds::bench;
+
+namespace {
+
+pb::GsmAlgorithm or_tree_algo(unsigned fanin) {
+  return [fanin](pb::GsmMachine& m, std::span<const pb::Word> input) {
+    pb::gsm_or_tree(m, input, fanin);
+  };
+}
+
+void adversary_vs_or_tree() {
+  std::printf("%s", pb::banner("Section 5 adversary vs GSM OR trees: "
+                               "forced work per phase, inputs fixed, "
+                               "goodness verdict (exact, n <= 10)")
+                        .c_str());
+  TextTable t({"n", "fanin", "steps", "big-steps forced", "inputs fixed",
+               "t-good all steps?"});
+  for (const unsigned n : {6u, 8u, 10u}) {
+    for (const unsigned fanin : {2u, 3u}) {
+      pb::RandomAdversary adv(or_tree_algo(fanin), pb::GsmConfig{}, n,
+                              pb::BitDistribution::uniform(n), kSeed + n);
+      pb::PartialInputMap f = pb::PartialInputMap::all_unset(n);
+      std::uint64_t forced = 0, fixed = 0;
+      bool good = true;
+      unsigned steps = 0;
+      for (unsigned phase = 1; phase <= 6; ++phase) {
+        const auto step = adv.refine(phase, f);
+        if (step.forced_rw == 0 && step.forced_contention == 0) break;
+        f = step.f;
+        forced += step.x;
+        fixed += step.inputs_fixed;
+        ++steps;
+        const auto ta = adv.analyze(f);
+        const auto rep = pb::check_t_good_s5(
+            ta, std::min(phase, ta.phases()), 1.0, 1.0, n, fixed);
+        good = good && rep.ok;
+      }
+      t.add_row({std::to_string(n), std::to_string(fanin),
+                 std::to_string(steps), TextTable::num(forced, 0),
+                 TextTable::num(fixed, 0), good ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void or_distribution_ladder() {
+  std::printf("%s", pb::banner("Section 7: the d_i ladder and log* "
+                               "horizon of the OR distribution D")
+                        .c_str());
+  TextTable t({"n", "stages T=(1/4)log*", "d_0", "d_1", "d_2 (capped 1e18)"});
+  for (const double n : {1e4, 1e8, 1e18}) {
+    const auto d = pb::s7_d_sequence(n, 1, 1);
+    t.add_row({TextTable::num(n, 0),
+               std::to_string(pb::s7_T(n, 1, 1)),
+               TextTable::num(d[0], 2), TextTable::num(d[1], 1),
+               TextTable::num(d.size() > 2 ? d[2] : 0.0, 0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void or_tradeoff() {
+  std::printf("%s",
+              pb::banner("Theorem 7.1 empirically: success probability of "
+                         "a truncated OR tree against D (n = 256)")
+                  .c_str());
+  const pb::OrDistribution dist(256, 1, 1);
+  TextTable t({"phase budget", "success probability (1000 trials)"});
+  pb::Rng rng(kSeed);
+  for (const unsigned budget : {1u, 2u, 4u, 8u, 12u, 16u, 0u}) {
+    const double s =
+        pb::or_success_experiment(dist, 2, budget, 1000, rng, {});
+    t.add_row({budget == 0 ? "unbounded" : std::to_string(budget),
+               TextTable::num(s, 3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void envelope_shapes() {
+  std::printf("%s", pb::banner("Envelope growth: Section 5 d_t (geometric "
+                               "in t) vs k_t (double exponential), nu = 2, "
+                               "mu = 2")
+                        .c_str());
+  TextTable t({"t", "d_t", "k_t (capped 1e18)", "r_t (n = 2^20)"});
+  for (unsigned tt = 0; tt <= 5; ++tt)
+    t.add_row({std::to_string(tt), TextTable::num(pb::s5_d(tt, 2, 2), 0),
+               TextTable::num(pb::s5_k(tt, 2, 2), 0),
+               TextTable::num(pb::s5_r(tt, 1 << 20), 0)});
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("%s", pb::banner("RANDOM ADVERSARY MACHINERY — Sections 4, "
+                               "5 and 7 executed and measured")
+                        .c_str());
+  adversary_vs_or_tree();
+  or_distribution_ladder();
+  or_tradeoff();
+  envelope_shapes();
+
+  benchmark::RegisterBenchmark("adversary/refine_n8", [](benchmark::State&
+                                                             st) {
+    for (auto _ : st) {
+      pb::RandomAdversary adv(or_tree_algo(2), pb::GsmConfig{}, 8,
+                              pb::BitDistribution::uniform(8), kSeed);
+      benchmark::DoNotOptimize(
+          adv.refine(1, pb::PartialInputMap::all_unset(8)));
+    }
+  });
+  benchmark::RegisterBenchmark("adversary/trace_analysis_n10",
+                               [](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   pb::TraceAnalysis ta(
+                                       or_tree_algo(2), pb::GsmConfig{}, 10,
+                                       pb::PartialInputMap::all_unset(10));
+                                   benchmark::DoNotOptimize(ta.phases());
+                                 }
+                               });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// The root of the lower-bound tree: the GSM theorems themselves, plus the
+// QSM(g, d) column derived through Claim 2.2.
+//
+// (a) GSM: fan-in trees on GSM(alpha, beta, gamma) instances vs the
+//     Theorem 3.1 / 7.2 (deterministic) and 3.2 / 7.1 (randomized)
+//     curves; the gamma sweep shows the n/gamma scaling.
+// (b) Degree ledger: the Theorem 3.1 recurrence evaluated exactly on a
+//     small run — the envelope b_i, the realized degrees, and the phase
+//     count the recurrence forces.
+// (c) QSM(g, d): parity/OR on the generalized machine vs the Claim 2.2
+//     instantiations of the GSM bounds, across the g/d grid including
+//     both endpoints (d = 1: QSM column; d = g: s-QSM column).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "adversary/degree_argument.hpp"
+#include "algos/gsm_algos.hpp"
+#include "bounds/qsm_gd_bounds.hpp"
+#include "harness.hpp"
+
+namespace pb = parbounds;
+namespace bb = parbounds::bounds;
+using parbounds::TextTable;
+using namespace parbounds::bench;
+
+namespace {
+
+double gsm_tree_cost(std::uint64_t n, std::uint64_t alpha,
+                     std::uint64_t beta, std::uint64_t gamma, unsigned fanin,
+                     bool parity) {
+  pb::GsmMachine m({.alpha = alpha, .beta = beta, .gamma = gamma});
+  pb::Rng rng(kSeed);
+  const auto input = pb::bernoulli_array(n, 0.5, rng);
+  if (parity)
+    pb::gsm_parity_tree(m, input, fanin);
+  else
+    pb::gsm_or_tree(m, input, fanin);
+  return static_cast<double>(m.time());
+}
+
+void print_gsm() {
+  std::printf("%s", pb::banner("GSM time bounds (the theorems everything "
+                               "else is a corollary of)")
+                        .c_str());
+  TextTable t({"n,alpha,beta,gamma", "measured (tree)", "parity det LB "
+               "(Thm 3.1)", "OR det LB (Thm 7.2)", "parity rand LB "
+               "(Thm 3.2)", "OR rand LB (Thm 7.1)"});
+  struct P {
+    std::uint64_t a, b, c;
+  };
+  for (const std::uint64_t n : {1u << 10, 1u << 14})
+    for (const P prm : {P{1, 1, 1}, P{1, 4, 1}, P{4, 1, 1}, P{1, 1, 8}}) {
+      const bb::GsmParams gp{static_cast<double>(prm.a),
+                             static_cast<double>(prm.b),
+                             static_cast<double>(prm.c)};
+      const double meas = gsm_tree_cost(n, prm.a, prm.b, prm.c, 2, true);
+      t.add_row(
+          {"n=" + std::to_string(n) + ",a=" + std::to_string(prm.a) +
+               ",b=" + std::to_string(prm.b) + ",c=" + std::to_string(prm.c),
+           TextTable::num(meas, 0),
+           TextTable::num(bb::gsm_parity_det_time(n, gp), 1),
+           TextTable::num(bb::gsm_or_det_time(n, gp), 1),
+           TextTable::num(bb::gsm_parity_rand_time(n, gp), 1),
+           TextTable::num(bb::gsm_or_rand_time(n, gp), 1)});
+    }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void print_degree_ledger() {
+  std::printf("%s", pb::banner("Theorem 3.1 degree recurrence, exact "
+                               "(parity fan-in-2 tree, n = 10, gamma = 1)")
+                        .c_str());
+  pb::TraceAnalysis ta(
+      [](pb::GsmMachine& m, std::span<const pb::Word> input) {
+        pb::gsm_parity_tree(m, input, 2);
+      },
+      pb::GsmConfig{}, 10, pb::PartialInputMap::all_unset(10));
+  const auto ledger = pb::verify_degree_recurrence(ta);
+  TextTable t({"phase i", "tau_i", "tau'_i", "envelope b_i",
+               "max deg(States)", "deg <= b_i"});
+  for (std::size_t i = 0; i < ledger.phases.size(); ++i) {
+    const auto& rec = ledger.phases[i];
+    t.add_row({std::to_string(i + 1), TextTable::num(rec.tau, 0),
+               TextTable::num(rec.tau_prime, 0),
+               TextTable::num(rec.envelope, 0),
+               TextTable::num(rec.max_deg, 0), rec.ok ? "yes" : "NO"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("final max cell degree: %u (= r = n/gamma, so the machine "
+              "could only now hold Parity_r); recurrence forces >= %u "
+              "phases, actual %u\n\n",
+              ledger.final_max_degree,
+              pb::phases_required_by_recurrence(ledger, 10.0), ta.phases());
+}
+
+void print_qsm_gd() {
+  std::printf("%s", pb::banner("QSM(g,d) via Claim 2.2 — parity across "
+                               "the g/d grid (d=1 is the QSM column, d=g "
+                               "the s-QSM column)")
+                        .c_str());
+  TextTable t({"n,g,d", "measured", "parity LB (Clm 2.2)", "meas/LB",
+               "OR det LB", "LAC rand LB"});
+  const std::uint64_t n = 1 << 12;
+  struct GD {
+    std::uint64_t g, d;
+  };
+  for (const GD gd : {GD{8, 1}, GD{8, 2}, GD{8, 8}, GD{2, 8}, GD{1, 8}}) {
+    pb::QsmMachine m({.g = gd.g, .d = gd.d, .model = pb::CostModel::QsmGd});
+    pb::Rng rng(kSeed);
+    const auto input = pb::bernoulli_array(n, 0.5, rng);
+    const pb::Addr in = m.alloc(n);
+    m.preload(in, input);
+    pb::parity_tree(m, in, n, 2);
+    const double lb = bb::qsm_gd_parity_det_time(n, gd.g, gd.d);
+    t.add_row({"n=" + std::to_string(n) + ",g=" + std::to_string(gd.g) +
+                   ",d=" + std::to_string(gd.d),
+               TextTable::num(m.time(), 0), TextTable::num(lb, 1),
+               TextTable::num(static_cast<double>(m.time()) / lb, 2),
+               TextTable::num(bb::qsm_gd_or_det_time(n, gd.g, gd.d), 1),
+               TextTable::num(bb::qsm_gd_lac_rand_time(n, gd.g, gd.d), 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void print_gsm_rounds() {
+  std::printf("%s", pb::banner("GSM rounds (Section 2.3 budget mu*n/"
+                               "(lambda*p)) and the GSM(h) relaxation of "
+                               "Section 6.3")
+                        .c_str());
+  TextTable t({"p (n=2^12, a=2,b=1,c=2)", "rounds", "all-rounds?",
+               "OR rounds LB (Thm 7.3)"});
+  const std::uint64_t n = 1 << 12;
+  for (const std::uint64_t p : {8ull, 64ull, 512ull}) {
+    pb::GsmMachine m({.alpha = 2, .beta = 1, .gamma = 2});
+    pb::Rng rng(kSeed);
+    const auto input = pb::bernoulli_array(n, 0.5, rng);
+    pb::gsm_reduce_rounds(m, input, p, /*parity=*/false);
+    const auto audit =
+        pb::audit_rounds_gsm(m.trace(), n, p, m.alpha(), m.beta(), 6);
+    const bb::GsmParams gp{2, 1, 2};
+    t.add_row({std::to_string(p), TextTable::num(audit.rounds, 0),
+               audit.all_rounds() ? "yes" : "NO",
+               TextTable::num(bb::gsm_or_rand_rounds(n, p, gp), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("%s", pb::banner("GSM + QSM(g,d) REPRODUCTION — the "
+                               "lower-bound model itself, and Claim 2.2")
+                        .c_str());
+  print_gsm();
+  print_degree_ledger();
+  print_qsm_gd();
+  print_gsm_rounds();
+
+  benchmark::RegisterBenchmark("sim/gsm_parity_tree/n=16k",
+                               [](benchmark::State& st) {
+                                 for (auto _ : st)
+                                   benchmark::DoNotOptimize(gsm_tree_cost(
+                                       1 << 14, 1, 4, 2, 2, true));
+                               });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

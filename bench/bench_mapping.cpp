@@ -1,0 +1,134 @@
+// Claim 2.1 mapping overhead (DESIGN.md exp MAP).
+//
+// Real executions on the QSM / s-QSM / BSP are replayed phase-by-phase on
+// the corresponding GSM instance; the claim says the GSM never pays more
+// (up to big-step rounding: factor <= 2 for QSM/BSP, exactly <= 1 for
+// s-QSM). The printed ratio is factor * T_GSM / T_original — always <= 2
+// across algorithms, sizes and gaps, which is the executable content of
+// "lower bounds proved on the GSM transfer to all three models".
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace pb = parbounds;
+using parbounds::TextTable;
+using namespace parbounds::bench;
+
+namespace {
+
+void report(TextTable& t, const std::string& name,
+            const pb::ExecutionTrace& trace) {
+  const auto rep = pb::check_claim21(trace);
+  t.add_row({name, TextTable::num(rep.original_cost, 0),
+             TextTable::num(rep.gsm_cost, 0),
+             TextTable::num(static_cast<double>(rep.factor), 0),
+             TextTable::num(rep.ratio, 3),
+             rep.holds(2.01) ? "holds" : "VIOLATED"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("%s", pb::banner("CLAIM 2.1 — replaying real executions on "
+                               "the GSM (factor * T_GSM / T_model <= 2)")
+                        .c_str());
+  TextTable t({"execution", "T_model", "T_GSM", "factor", "ratio",
+               "verdict"});
+
+  for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
+    const std::uint64_t n = 1 << 12;
+    pb::Rng rng(kSeed);
+    const auto bits = pb::bernoulli_array(n, 0.5, rng);
+    {
+      pb::QsmMachine m({.g = g});
+      const pb::Addr in = m.alloc(n);
+      m.preload(in, bits);
+      pb::parity_circuit(m, in, n);
+      report(t, "QSM parity circuit g=" + std::to_string(g), m.trace());
+    }
+    {
+      pb::QsmMachine m({.g = g});
+      const pb::Addr in = m.alloc(n);
+      m.preload(in, bits);
+      pb::or_fanin_qsm(m, in, n);
+      report(t, "QSM OR fan-in g=" + std::to_string(g), m.trace());
+    }
+    {
+      pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
+      const pb::Addr in = m.alloc(n);
+      m.preload(in, bits);
+      pb::parity_tree(m, in, n);
+      report(t, "s-QSM parity tree g=" + std::to_string(g), m.trace());
+    }
+    {
+      pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
+      const pb::Addr in = m.alloc(n);
+      m.preload(in, bits);
+      pb::lac_prefix(m, in, n, 2);
+      report(t, "s-QSM LAC prefix g=" + std::to_string(g), m.trace());
+    }
+    {
+      pb::BspMachine m({.p = 256, .g = g, .L = 8 * g});
+      pb::parity_bsp(m, bits);
+      report(t, "BSP parity g=" + std::to_string(g) +
+                    ",L=" + std::to_string(8 * g),
+             m.trace());
+    }
+    {
+      pb::BspMachine m({.p = 256, .g = g, .L = 8 * g});
+      pb::lac_bsp(m, bits);
+      report(t, "BSP LAC g=" + std::to_string(g) +
+                    ",L=" + std::to_string(8 * g),
+             m.trace());
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("%s", pb::banner("Round mapping (Claim 2.1 items 5-7): "
+                               "round-structured runs stay rounds on the "
+                               "target GSM instance")
+                        .c_str());
+  TextTable r({"execution", "rounds", "all-rounds on source",
+               "all-rounds on GSM(1,1)"});
+  {
+    const std::uint64_t n = 1 << 14, p = 256;
+    pb::Rng rng(kSeed);
+    const auto bits = pb::bernoulli_array(n, 0.5, rng);
+    pb::QsmMachine m({.g = 4, .model = pb::CostModel::SQsm});
+    const pb::Addr in = m.alloc(n);
+    m.preload(in, bits);
+    pb::parity_rounds(m, in, n, p);
+    const auto src = pb::audit_rounds_qsm(m.trace(), n, p, 6);
+    // On the GSM(1,1): every phase's big-step cost must fit the GSM round
+    // budget mu*n/(lambda*p) = n/p.
+    bool gsm_rounds_ok = true;
+    for (const auto& ph : m.trace().phases)
+      if (pb::gsm_phase_cost(ph.stats, 1, 1) > 6 * (n / p))
+        gsm_rounds_ok = false;
+    r.add_row({"s-QSM parity rounds p=256",
+               TextTable::num(src.rounds, 0),
+               src.all_rounds() ? "yes" : "NO",
+               gsm_rounds_ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", r.render().c_str());
+
+  benchmark::RegisterBenchmark("mapping/replay_probe",
+                               [](benchmark::State& st) {
+                                 pb::QsmMachine m({.g = 8});
+                                 const pb::Addr in = m.alloc(1 << 12);
+                                 pb::Rng rng(kSeed);
+                                 const auto v =
+                                     pb::bernoulli_array(1 << 12, 0.5, rng);
+                                 m.preload(in, v);
+                                 pb::parity_circuit(m, in, 1 << 12);
+                                 for (auto _ : st)
+                                   benchmark::DoNotOptimize(
+                                       pb::check_claim21(m.trace()));
+                               });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// PRAM vs general-purpose models — the paper's motivating gap.
+//
+// Section 1: the QRQW rule is "intermediate between the EREW and CRCW
+// rules", and the whole point of the QSM/s-QSM/BSP bounds is that the
+// classic CRCW costs (OR in O(1), parity in O(log n/loglog n)
+// [Beame-Hastad-tight]) stop being achievable once contention and
+// bandwidth are charged. This bench runs the SAME problems on the CRCW
+// PRAM and on the Table 1 models and prints the separations:
+//
+//   OR      : Theta(1) CRCW  vs  Theta((g/log g) log n) QSM
+//   Parity  : Theta(log n/loglog n) CRCW  vs  Theta(g log n) s-QSM
+//   Max     : Theta(1) CRCW (n^2 procs)  vs  tree costs elsewhere
+//
+// plus the EREW end of the spectrum, where the engine itself rejects
+// every queue-exploiting program.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "algos/crcw_algos.hpp"
+#include "harness.hpp"
+
+namespace pb = parbounds;
+using parbounds::TextTable;
+using namespace parbounds::bench;
+
+namespace {
+
+void print_or_separation() {
+  std::printf("%s", pb::banner("OR: CRCW Theta(1) vs queued models "
+                               "(dense input, the adversarial case)")
+                        .c_str());
+  TextTable t({"n", "CRCW steps", "QRQW (g=1)", "QSM g=8", "s-QSM g=8"});
+  for (const std::uint64_t n : {1u << 8, 1u << 12, 1u << 16}) {
+    pb::Rng rng(kSeed);
+    const auto input = pb::boolean_array(n, n, rng);
+
+    pb::CrcwMachine pram;
+    pb::Addr in = pram.alloc(n);
+    pram.preload(in, input);
+    pb::crcw_or(pram, in, n);
+
+    auto queued = [&](std::uint64_t g) {
+      pb::QsmMachine m({.g = g});
+      const pb::Addr a = m.alloc(n);
+      m.preload(a, input);
+      pb::or_fanin_qsm(m, a, n);
+      return m.time();
+    };
+    auto squeued = [&](std::uint64_t g) {
+      pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
+      const pb::Addr a = m.alloc(n);
+      m.preload(a, input);
+      pb::or_tree(m, a, n, 2);
+      return m.time();
+    };
+    t.add_row({std::to_string(n), TextTable::num(pram.time(), 0),
+               TextTable::num(queued(1), 0), TextTable::num(queued(8), 0),
+               TextTable::num(squeued(8), 0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void print_parity_separation() {
+  std::printf("%s", pb::banner("Parity: CRCW O(log n/loglog n) steps "
+                               "[Beame-Hastad-tight] vs the queued models")
+                        .c_str());
+  TextTable t({"n", "CRCW steps", "log n/loglog n", "QSM g=8 time",
+               "s-QSM g=8 time"});
+  for (const std::uint64_t n : {1u << 8, 1u << 10, 1u << 12}) {
+    pb::Rng rng(kSeed);
+    const auto input = pb::bernoulli_array(n, 0.5, rng);
+
+    pb::CrcwMachine pram;
+    pb::Addr in = pram.alloc(n);
+    pram.preload(in, input);
+    pb::crcw_parity(pram, in, n, 8);
+
+    const double dn = static_cast<double>(n);
+    t.add_row({std::to_string(n), TextTable::num(pram.steps(), 0),
+               TextTable::num(pb::safe_log2(dn) / pb::safe_loglog2(dn), 1),
+               TextTable::num(
+                   parity_circuit_cost(pb::CostModel::Qsm, n, 8, kSeed), 0),
+               TextTable::num(
+                   parity_tree_cost(pb::CostModel::SQsm, n, 8, 2, kSeed),
+                   0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void print_max_and_erew() {
+  std::printf("%s", pb::banner("Max: CRCW Theta(1) with n^2 processors; "
+                               "EREW rejects every funnel outright")
+                        .c_str());
+  TextTable t({"n", "CRCW max steps", "EREW verdict on fan-in-8 funnel"});
+  for (const std::uint64_t n : {32ull, 64ull, 128ull}) {
+    pb::Rng rng(kSeed + n);
+    std::vector<pb::Word> keys(n);
+    for (auto& v : keys) v = static_cast<pb::Word>(rng.next_below(1000));
+    pb::CrcwMachine pram;
+    const pb::Addr in = pram.alloc(n);
+    pram.preload(in, keys);
+    pb::crcw_max(pram, in, n);
+
+    std::string verdict = "accepted (?)";
+    try {
+      pb::QsmMachine erew({.g = 1, .model = pb::CostModel::Erew});
+      const pb::Addr a = erew.alloc(n);
+      const auto bits = pb::boolean_array(n, n, rng);
+      erew.preload(a, bits);
+      pb::or_contention(erew, a, n, 8);
+    } catch (const pb::ModelViolation& e) {
+      verdict = std::string("rejected: ") + e.what();
+    }
+    t.add_row({std::to_string(n), TextTable::num(pram.steps(), 0),
+               verdict});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("%s", pb::banner("PRAM COMPARISON — the EREW / QRQW / CRCW "
+                               "spectrum around the paper's models")
+                        .c_str());
+  print_or_separation();
+  print_parity_separation();
+  print_max_and_erew();
+
+  benchmark::RegisterBenchmark("sim/crcw_parity/n=4k",
+                               [](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   pb::CrcwMachine m;
+                                   pb::Rng rng(kSeed);
+                                   const auto in =
+                                       pb::bernoulli_array(1 << 12, 0.5, rng);
+                                   const pb::Addr a = m.alloc(1 << 12);
+                                   m.preload(a, in);
+                                   pb::crcw_parity(m, a, 1 << 12, 8);
+                                   benchmark::DoNotOptimize(m.time());
+                                 }
+                               });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Reproduction of Table 1, subtable 2: "Time Lower Bounds for s-QSM".
+//
+// On the s-QSM contention is charged g * kappa, so contention funnels buy
+// nothing and the simple read trees are the right upper bounds:
+//   * Parity: binary tree, O(g log n) — a THETA entry (LB = Cor 3.1);
+//   * OR: binary tree O(g log n) vs LB g log n / loglog n (gap loglog n,
+//     exactly as the paper notes in Section 8);
+//   * LAC: prefix sums (det) and dart throwing (rand) vs Cor 6.4 / 6.1.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace pb = parbounds;
+namespace bb = parbounds::bounds;
+using parbounds::TextTable;
+using namespace parbounds::bench;
+
+namespace {
+
+void print_parity() {
+  std::printf("%s", pb::banner("s-QSM / Parity, deterministic binary tree "
+                               "(THETA entry: LB = Cor 3.1 = UB = g log n)")
+                        .c_str());
+  TextTable t(std_header("n,g"));
+  for (const std::uint64_t n : {1u << 10, 1u << 13, 1u << 16})
+    for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
+      const double meas =
+          parity_tree_cost(pb::CostModel::SQsm, n, g, 2, kSeed);
+      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
+                    meas, bb::sqsm_parity_det_time(n, g),
+                    bb::ub_parity_sqsm(n, g)));
+    }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void print_or() {
+  std::printf("%s",
+              pb::banner("s-QSM / OR, deterministic tree (LB = Cor 7.2 = "
+                         "g log n / loglog n; gap = loglog n, Sec 8)")
+                  .c_str());
+  TextTable t(std_header("n,g"));
+  for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 18})
+    for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
+      const double meas =
+          or_fanin_cost(pb::CostModel::SQsm, n, g, /*ones=*/1, kSeed);
+      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
+                    meas, bb::sqsm_or_det_time(n, g), bb::ub_or_sqsm(n, g)));
+    }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("%s", pb::banner("s-QSM / OR randomized LB = Cor 7.1 "
+                               "(g log* n) against the same algorithm")
+                        .c_str());
+  TextTable r(std_header("n,g"));
+  for (const std::uint64_t n : {1u << 12, 1u << 16})
+    for (const std::uint64_t g : {2ull, 8ull}) {
+      const double meas =
+          or_fanin_cost(pb::CostModel::SQsm, n, g, /*ones=*/1, kSeed);
+      r.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
+                    meas, bb::sqsm_or_rand_time(n, g),
+                    bb::ub_or_sqsm(n, g)));
+    }
+  std::printf("%s\n", r.render().c_str());
+}
+
+void print_lac() {
+  std::printf("%s", pb::banner("s-QSM / LAC, deterministic prefix sums "
+                               "(LB = Cor 6.4 = g sqrt(log n / loglog n))")
+                        .c_str());
+  TextTable t(std_header("n,g"));
+  for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 16})
+    for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
+      const double meas =
+          lac_prefix_cost(pb::CostModel::SQsm, n, g, n / 8, kSeed, 2);
+      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
+                    meas, bb::sqsm_lac_det_time(n, g),
+                    g * pb::safe_log2(static_cast<double>(n))));
+    }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("%s",
+              pb::banner("s-QSM / LAC, randomized dart throwing (LB = Cor "
+                         "6.1 = g loglog n; UB claim = g sqrt(log n))")
+                  .c_str());
+  TextTable r(std_header("n,g"));
+  for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 16})
+    for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
+      const double meas = avg_cost([&](std::uint64_t s) {
+        return lac_dart_cost(pb::CostModel::SQsm, n, g, n / 8, s);
+      });
+      r.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
+                    meas, bb::sqsm_lac_rand_time(n, g),
+                    bb::ub_lac_sqsm(n, g)));
+    }
+  std::printf("%s\n", r.render().c_str());
+}
+
+void print_broadcast() {
+  std::printf("%s",
+              pb::banner("context: Broadcasting [AGMR97], the tight bound "
+                         "the paper cites — s-QSM fan-out-2 tree = g log n")
+                  .c_str());
+  TextTable t({"n,g", "measured", "g*log n", "ratio"});
+  for (const std::uint64_t n : {1u << 10, 1u << 14})
+    for (const std::uint64_t g : {2ull, 8ull}) {
+      const double meas = broadcast_cost(pb::CostModel::SQsm, n, g, 2);
+      const double bound = g * pb::safe_log2(static_cast<double>(n));
+      t.add_row({"n=" + std::to_string(n) + ",g=" + std::to_string(g),
+                 TextTable::num(meas, 0), TextTable::num(bound, 1),
+                 TextTable::num(meas / bound, 2)});
+    }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("%s",
+              pb::banner("TABLE 1 (subtable 2) REPRODUCTION — Time lower "
+                         "bounds for s-QSM [MacKenzie-Ramachandran SPAA'98]")
+                  .c_str());
+  print_parity();
+  print_or();
+  print_lac();
+  print_broadcast();
+
+  benchmark::RegisterBenchmark("sim/parity_tree_sqsm/n=64k/g=8",
+                               [](benchmark::State& st) {
+                                 double cost = 0;
+                                 for (auto _ : st)
+                                   cost = parity_tree_cost(
+                                       pb::CostModel::SQsm, 1 << 16, 8, 2,
+                                       kSeed);
+                                 st.counters["model_cost"] = cost;
+                               });
+  benchmark::RegisterBenchmark(
+      "sim/lac_prefix_sqsm/n=16k/g=8", [](benchmark::State& st) {
+        double cost = 0;
+        for (auto _ : st)
+          cost = lac_prefix_cost(pb::CostModel::SQsm, 1 << 14, 8, 1 << 11,
+                                 kSeed, 2);
+        st.counters["model_cost"] = cost;
+      });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

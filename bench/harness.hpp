@@ -1,0 +1,201 @@
+#pragma once
+// Shared measurement harness for the Table 1 reproduction benches.
+//
+// Every helper builds a fresh machine, stages a workload, runs one
+// algorithm, and returns the MODEL cost (the paper's notion of time), not
+// wall-clock. Randomized algorithms are averaged over `reps` seeds.
+// Each bench binary prints a paper-style table next to the corresponding
+// lower-bound curve and also registers a few google-benchmark timers so
+// the simulator's own throughput is tracked.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algos/broadcast.hpp"
+#include "algos/bsp_prefix.hpp"
+#include "algos/lac.hpp"
+#include "algos/or_func.hpp"
+#include "algos/padded_sort.hpp"
+#include "algos/parity.hpp"
+#include "algos/prefix.hpp"
+#include "algos/reduce.hpp"
+#include "bounds/gsm_bounds.hpp"
+#include "bounds/model_bounds.hpp"
+#include "bounds/upper_bounds.hpp"
+#include "core/mapping.hpp"
+#include "core/rounds.hpp"
+#include "util/mathx.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds::bench {
+
+inline constexpr std::uint64_t kSeed = 0xb0a710adULL;
+
+/// Average a cost function over `reps` seeds.
+inline double avg_cost(const std::function<double(std::uint64_t)>& run,
+                       unsigned reps = 3) {
+  double total = 0.0;
+  for (unsigned r = 0; r < reps; ++r) total += run(kSeed + r);
+  return total / reps;
+}
+
+// ----- shared-memory measurements (cost model selectable) --------------------
+
+inline double parity_tree_cost(CostModel model, std::uint64_t n,
+                               std::uint64_t g, unsigned fanin,
+                               std::uint64_t seed) {
+  QsmMachine m({.g = g, .model = model});
+  Rng rng(seed);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  parity_tree(m, in, n, fanin);
+  return static_cast<double>(m.time());
+}
+
+inline double parity_circuit_cost(CostModel model, std::uint64_t n,
+                                  std::uint64_t g, std::uint64_t seed) {
+  QsmMachine m({.g = g, .model = model});
+  Rng rng(seed);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  parity_circuit(m, in, n);
+  return static_cast<double>(m.time());
+}
+
+inline double or_fanin_cost(CostModel model, std::uint64_t n,
+                            std::uint64_t g, std::uint64_t ones,
+                            std::uint64_t seed) {
+  QsmMachine m({.g = g, .model = model});
+  Rng rng(seed);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  if (model == CostModel::SQsm)
+    or_tree(m, in, n, 2);  // contention funnels don't pay off on s-QSM
+  else
+    or_fanin_qsm(m, in, n);
+  return static_cast<double>(m.time());
+}
+
+inline double or_rand_cr_cost(std::uint64_t n, std::uint64_t g,
+                              std::uint64_t ones, std::uint64_t seed) {
+  QsmMachine m({.g = g, .model = CostModel::QsmCrFree});
+  Rng rng(seed);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  Rng coin(seed + 1);
+  or_rand_cr(m, in, n, coin);
+  return static_cast<double>(m.time());
+}
+
+inline double lac_prefix_cost(CostModel model, std::uint64_t n,
+                              std::uint64_t g, std::uint64_t h,
+                              std::uint64_t seed, unsigned fanin = 4) {
+  QsmMachine m({.g = g, .model = model});
+  Rng rng(seed);
+  const auto input = lac_instance(n, h, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  lac_prefix(m, in, n, fanin);
+  return static_cast<double>(m.time());
+}
+
+inline double lac_dart_cost(CostModel model, std::uint64_t n,
+                            std::uint64_t g, std::uint64_t h,
+                            std::uint64_t seed) {
+  QsmMachine m({.g = g,
+                .model = model,
+                .writes = WriteResolution::Random,
+                .seed = seed});
+  Rng rng(seed + 1);
+  const auto input = lac_instance(n, h, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  Rng darts(seed + 2);
+  lac_dart(m, in, n, h, darts);
+  return static_cast<double>(m.time());
+}
+
+inline double padded_sort_cost(CostModel model, std::uint64_t n,
+                               std::uint64_t g, std::uint64_t seed) {
+  QsmMachine m({.g = g,
+                .model = model,
+                .writes = WriteResolution::Random,
+                .seed = seed});
+  Rng rng(seed + 1);
+  const auto input = padded_sort_instance(n, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  Rng darts(seed + 2);
+  padded_sort(m, in, n, darts);
+  return static_cast<double>(m.time());
+}
+
+inline double broadcast_cost(CostModel model, std::uint64_t n,
+                             std::uint64_t g, std::uint64_t fanin = 0) {
+  QsmMachine m({.g = g, .model = model});
+  const Addr src = m.alloc(1);
+  m.preload(src, Word{1});
+  const Addr dst = m.alloc(n);
+  qsm_broadcast(m, src, dst, n, fanin);
+  return static_cast<double>(m.time());
+}
+
+// ----- BSP measurements --------------------------------------------------------
+
+inline double parity_bsp_cost(std::uint64_t n, std::uint64_t p,
+                              std::uint64_t g, std::uint64_t L,
+                              std::uint64_t seed) {
+  BspMachine m({.p = p, .g = g, .L = L});
+  Rng rng(seed);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  parity_bsp(m, input);
+  return static_cast<double>(m.time());
+}
+
+inline double or_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                          std::uint64_t L, std::uint64_t ones,
+                          std::uint64_t seed) {
+  BspMachine m({.p = p, .g = g, .L = L});
+  Rng rng(seed);
+  const auto input = boolean_array(n, ones, rng);
+  or_bsp(m, input);
+  return static_cast<double>(m.time());
+}
+
+inline double lac_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                           std::uint64_t L, std::uint64_t h,
+                           std::uint64_t seed, std::uint64_t fanin = 0) {
+  BspMachine m({.p = p, .g = g, .L = L});
+  Rng rng(seed);
+  const auto input = lac_instance(n, h, rng);
+  lac_bsp(m, input, fanin);
+  return static_cast<double>(m.time());
+}
+
+// ----- formatting ----------------------------------------------------------------
+
+/// Standard columns: sweep key, measured, lower bound, measured/LB ratio,
+/// upper-bound formula, measured/UB ratio.
+inline std::vector<std::string> row(const std::string& key, double measured,
+                                    double lb, double ub) {
+  return {key,
+          TextTable::num(measured, 0),
+          TextTable::num(lb, 1),
+          TextTable::num(measured / std::max(lb, 1e-9), 2),
+          TextTable::num(ub, 1),
+          TextTable::num(measured / std::max(ub, 1e-9), 2)};
+}
+
+inline std::vector<std::string> std_header(const std::string& key) {
+  return {key,       "measured", "lower-bd", "meas/LB",
+          "UB-claim", "meas/UB"};
+}
+
+}  // namespace parbounds::bench

@@ -1,0 +1,83 @@
+// Communication-efficient sorting on the BSP — the workload behind the
+// paper's interest in rounds (Goodrich [11] is the cited baseline for
+// communication-efficient sorting; the round lower bounds of Table 1
+// subtable 4 say how few supersteps such algorithms can hope for).
+//
+//   $ ./examples/bsp_sample_sort [n] [p]
+//
+// Runs sample sort on a p-component BSP, prints the superstep/cost
+// breakdown, and audits the run against the Section 2.3 round definition.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algos/sorting.hpp"
+#include "core/rounds.hpp"
+#include "util/rng.hpp"
+
+namespace pb = parbounds;
+
+int main(int argc, char** argv) {
+  const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 1 << 16;
+  const std::uint64_t p = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                   : 64;
+  const std::uint64_t g = 2, L = 32;
+
+  pb::Rng rng(7);
+  std::vector<pb::Word> input(n);
+  for (auto& v : input) v = static_cast<pb::Word>(rng.next_below(1 << 30));
+
+  pb::BspMachine m({.p = p, .g = g, .L = L});
+  const auto res = pb::sample_sort_bsp(m, input);
+  if (!res.ok) {
+    std::printf("sample sort failed\n");
+    return 1;
+  }
+
+  std::printf("sample sort: n=%llu keys over p=%llu components "
+              "(g=%llu, L=%llu)\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(p),
+              static_cast<unsigned long long>(g),
+              static_cast<unsigned long long>(L));
+  std::printf("supersteps: %llu, total model time: %llu, max bucket: %llu "
+              "(ideal n/p = %llu)\n",
+              static_cast<unsigned long long>(res.supersteps),
+              static_cast<unsigned long long>(m.time()),
+              static_cast<unsigned long long>(res.max_bucket),
+              static_cast<unsigned long long>(n / p));
+
+  std::printf("\nsuperstep breakdown (cost = max(w, g*h, L)):\n");
+  std::size_t i = 0;
+  for (const auto& ph : m.trace().phases)
+    std::printf("  superstep %zu: h=%llu  w=%llu  cost=%llu\n", ++i,
+                static_cast<unsigned long long>(ph.h),
+                static_cast<unsigned long long>(ph.stats.m_op),
+                static_cast<unsigned long long>(ph.cost));
+
+  // The splitter election concentrates p*p samples at component 0, so the
+  // sampling superstep routes a p-relation — fine for rounds only while
+  // p^2 <= c * n. The audit makes that visible.
+  const auto audit = pb::audit_rounds_bsp(m.trace(), n, p, 4);
+  std::printf("\nround audit (budget: h <= 4n/p, w <= 4(gn/p + L)): %s "
+              "(%llu supersteps, worst ratio %.2f)\n",
+              audit.all_rounds() ? "ALL ROUNDS" : "NOT all rounds",
+              static_cast<unsigned long long>(audit.rounds),
+              audit.worst_ratio);
+
+  // Verify global order across components.
+  pb::Word prev = -1;
+  bool sorted = true;
+  std::uint64_t total = 0;
+  for (const auto& run : res.per_proc)
+    for (const pb::Word v : run) {
+      if (v < prev) sorted = false;
+      prev = v;
+      ++total;
+    }
+  std::printf("output: %llu keys, globally sorted: %s\n",
+              static_cast<unsigned long long>(total),
+              sorted && total == n ? "yes" : "NO");
+  return sorted && total == n ? 0 : 1;
+}

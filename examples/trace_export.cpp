@@ -1,0 +1,62 @@
+// Export execution traces as CSV for plotting.
+//
+//   $ ./examples/trace_export > traces.csv
+//
+// Runs one representative algorithm per model and streams each trace
+// (with a summary line prefixed by '#') — per-phase cost, contention and
+// h-relation columns ready for any plotting tool. This is the
+// machine-readable counterpart to the bench tables.
+
+#include <iostream>
+
+#include "algos/gsm_algos.hpp"
+#include "algos/or_func.hpp"
+#include "algos/parity.hpp"
+#include "core/trace_io.hpp"
+#include "workloads/generators.hpp"
+
+namespace pb = parbounds;
+
+int main() {
+  const std::uint64_t n = 4096;
+  pb::Rng rng(21);
+  const auto input = pb::bernoulli_array(n, 0.5, rng);
+
+  {  // QSM circuit parity.
+    pb::QsmMachine m({.g = 8});
+    const pb::Addr in = m.alloc(n);
+    m.preload(in, input);
+    pb::parity_circuit(m, in, n);
+    std::cout << "# " << pb::trace_summary(m.trace()) << "\n";
+    pb::write_trace_csv(std::cout, m.trace());
+  }
+  {  // s-QSM tree parity.
+    pb::QsmMachine m({.g = 8, .model = pb::CostModel::SQsm});
+    const pb::Addr in = m.alloc(n);
+    m.preload(in, input);
+    pb::parity_tree(m, in, n);
+    std::cout << "# " << pb::trace_summary(m.trace()) << "\n";
+    pb::write_trace_csv(std::cout, m.trace());
+  }
+  {  // QSM OR funnel.
+    pb::QsmMachine m({.g = 8});
+    const pb::Addr in = m.alloc(n);
+    m.preload(in, input);
+    pb::or_fanin_qsm(m, in, n);
+    std::cout << "# " << pb::trace_summary(m.trace()) << "\n";
+    pb::write_trace_csv(std::cout, m.trace());
+  }
+  {  // BSP parity.
+    pb::BspMachine m({.p = 256, .g = 2, .L = 32});
+    pb::parity_bsp(m, input);
+    std::cout << "# " << pb::trace_summary(m.trace()) << "\n";
+    pb::write_trace_csv(std::cout, m.trace());
+  }
+  {  // GSM tree.
+    pb::GsmMachine m({.alpha = 1, .beta = 4, .gamma = 2});
+    pb::gsm_parity_tree(m, input, 2);
+    std::cout << "# " << pb::trace_summary(m.trace()) << "\n";
+    pb::write_trace_csv(std::cout, m.trace());
+  }
+  return 0;
+}

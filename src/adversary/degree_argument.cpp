@@ -1,0 +1,58 @@
+#include "adversary/degree_argument.hpp"
+
+#include <algorithm>
+
+namespace parbounds {
+
+DegreeLedger verify_degree_recurrence(const TraceAnalysis& ta) {
+  DegreeLedger ledger;
+
+  // b_0: largest state degree at time 0 (cells holding their gamma-or-
+  // fewer inputs; processors know nothing).
+  unsigned d0 = 1;
+  for (std::size_t v = 0; v < ta.entities().size(); ++v)
+    d0 = std::max(d0, ta.deg_states(v, 0));
+  ledger.b0 = d0;
+
+  double b = ledger.b0;
+  for (unsigned t = 1; t <= ta.phases(); ++t) {
+    DegreePhaseRecord rec;
+    for (std::size_t v = 0; v < ta.entities().size(); ++v) {
+      if (ta.entities()[v].is_cell)
+        rec.tau_prime = std::max(rec.tau_prime, ta.max_contention(v, t));
+      else
+        rec.tau = std::max(rec.tau, ta.max_rw(v, t));
+      rec.max_deg = std::max(rec.max_deg, ta.deg_states(v, t));
+    }
+    b *= static_cast<double>(3 + rec.tau + 2 * rec.tau_prime);
+    rec.envelope = b;
+    rec.ok = static_cast<double>(rec.max_deg) <= rec.envelope;
+    ledger.ok = ledger.ok && rec.ok;
+    ledger.phases.push_back(rec);
+  }
+
+  for (std::size_t v = 0; v < ta.entities().size(); ++v)
+    if (ta.entities()[v].is_cell)
+      ledger.final_max_degree =
+          std::max(ledger.final_max_degree, ta.deg_states(v, ta.phases()));
+  return ledger;
+}
+
+unsigned output_degree(const TraceAnalysis& ta, Addr cell) {
+  const auto v = ta.entity_index({true, cell});
+  return ta.deg_states(v, ta.phases());
+}
+
+unsigned phases_required_by_recurrence(const DegreeLedger& ledger,
+                                       double r) {
+  double b = ledger.b0;
+  unsigned l = 0;
+  for (const auto& rec : ledger.phases) {
+    if (b >= r) return l;
+    b *= static_cast<double>(3 + rec.tau + 2 * rec.tau_prime);
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace parbounds

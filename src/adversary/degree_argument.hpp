@@ -1,0 +1,53 @@
+#pragma once
+// The algebraic degree argument of Theorems 3.1 and 7.2, executable.
+//
+// Those proofs bound, phase by phase, the degree of the Boolean functions
+// describing every processor state and cell content: if phase i has
+// maximum per-processor access count tau_i and maximum contention tau'_i
+// (over the inputs still in play), then
+//
+//     b_i = (3 + tau_i + 2 * tau'_i) * b_{i-1}
+//
+// dominates every such degree, while the output cell cannot hold Parity
+// (or OR) of r bits until its degree reaches r = n/gamma. The checker
+// below evaluates both halves EXACTLY against a TraceAnalysis: the
+// per-phase degree envelope, and the final output degree, from which the
+// T = Omega(mu log r / log mu) conclusion follows by taking logs.
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/trace_analysis.hpp"
+
+namespace parbounds {
+
+struct DegreePhaseRecord {
+  std::uint64_t tau = 0;       ///< max reads+writes by any processor
+  std::uint64_t tau_prime = 0; ///< max contention at any cell
+  double envelope = 1.0;       ///< b_i
+  unsigned max_deg = 0;        ///< max deg(States(v, i)) over entities
+  bool ok = true;              ///< max_deg <= envelope
+};
+
+struct DegreeLedger {
+  std::vector<DegreePhaseRecord> phases;
+  double b0 = 1.0;               ///< initial degree (<= gamma = inputs/cell)
+  unsigned final_max_degree = 0; ///< max deg over cells at the last phase
+  bool ok = true;
+};
+
+/// Run the recurrence against an exact analysis. b_0 is the largest
+/// initial (t = 0) state degree, which the Section 2.2 input placement
+/// caps at gamma.
+DegreeLedger verify_degree_recurrence(const TraceAnalysis& ta);
+
+/// Degree of the States of one cell at the final phase — the quantity
+/// that must reach r before the machine can output Parity/OR of r bits.
+unsigned output_degree(const TraceAnalysis& ta, Addr cell);
+
+/// The phase count the recurrence implies: the smallest l with
+/// prod(3 + tau_j + 2 tau'_j) >= r, evaluated on the ledger. Compare with
+/// the actual phase count of the run.
+unsigned phases_required_by_recurrence(const DegreeLedger& ledger, double r);
+
+}  // namespace parbounds

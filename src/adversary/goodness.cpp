@@ -1,0 +1,124 @@
+#include "adversary/goodness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+double s5_d(unsigned t, double nu, double mu) {
+  return nu * dpow(mu + 1.0, 2 * t);
+}
+
+double s5_k(unsigned t, double nu, double mu, double cap) {
+  const double expo = nu * dpow(mu + 1.0, 4 * (t + 1));
+  if (expo >= std::log2(cap)) return cap;
+  return std::pow(2.0, expo);
+}
+
+double s5_r(unsigned t, double n) {
+  return static_cast<double>(t) * std::pow(n, 2.0 / 3.0);
+}
+
+double s5_T(double n, double nu, double mu) {
+  const double num = 0.125 * safe_loglog2(n) - std::log2(std::max(nu, 1.0));
+  return std::max(0.0, num) / (2.0 * std::log2(mu + 1.0));
+}
+
+std::vector<double> s7_d_sequence(double n, double gamma, double mu,
+                                  double cap) {
+  const double r = std::max(2.0, n / std::max(1.0, gamma));
+  const double base = mu + 1.0;
+  const double lstar = log_star_base(r, base);
+  // d_0: iterated log applied (3/4)*log* times.
+  double d0 = r;
+  const auto reps = static_cast<unsigned>(std::floor(0.75 * lstar));
+  for (unsigned i = 0; i < reps && d0 > 1.0; ++i)
+    d0 = std::log2(d0) / std::log2(base);
+  d0 = std::max(d0, 2.0);
+
+  std::vector<double> d{d0};
+  const unsigned stages = s7_T(n, gamma, mu) + 2;
+  for (unsigned i = 0; i < stages; ++i) {
+    const double prev = d.back();
+    // d_{i+1} = base^(base^prev), capped.
+    double inner = (prev >= std::log2(cap) / std::log2(base))
+                       ? cap
+                       : std::pow(base, prev);
+    double next = (inner >= std::log2(cap) / std::log2(base))
+                      ? cap
+                      : std::pow(base, inner);
+    d.push_back(std::min(next, cap));
+  }
+  return d;
+}
+
+unsigned s7_T(double n, double gamma, double mu) {
+  const double r = std::max(2.0, n / std::max(1.0, gamma));
+  return static_cast<unsigned>(
+      std::floor(0.25 * log_star_base(r, mu + 1.0)));
+}
+
+namespace {
+
+void note(GoodnessReport& rep, bool cond, const std::string& what) {
+  if (!cond) {
+    rep.ok = false;
+    rep.violations.push_back(what);
+  }
+}
+
+}  // namespace
+
+GoodnessReport check_t_good_s5(const TraceAnalysis& ta, unsigned t,
+                               double nu, double mu, double n,
+                               std::uint64_t inputs_fixed) {
+  GoodnessReport rep;
+  const double dt = s5_d(t, nu, mu);
+  const double kt = s5_k(t, nu, mu);
+  for (std::size_t v = 0; v < ta.entities().size(); ++v) {
+    const double dg = ta.deg_states(v, t);
+    const double st = ta.states_count(v, t);
+    const double kn = static_cast<double>(ta.know(v, t).size());
+    rep.max_deg_states = std::max(rep.max_deg_states, dg);
+    rep.max_states = std::max(rep.max_states, st);
+    rep.max_know = std::max(rep.max_know, kn);
+    note(rep, dg <= dt, "deg(States) exceeds d_t");
+    note(rep, st <= kt, "|States| exceeds k_t");
+    note(rep, kn <= kt, "|Know| exceeds k_t");
+  }
+  for (unsigned j = 0; j < ta.free_count(); ++j) {
+    const double ap = ta.aff_proc_count(j, t);
+    const double ac = ta.aff_cell_count(j, t);
+    rep.max_aff = std::max({rep.max_aff, ap, ac});
+    note(rep, ap <= kt, "|AffProc| exceeds k_t");
+    note(rep, ac <= kt, "|AffCell| exceeds k_t");
+  }
+  rep.inputs_fixed = inputs_fixed;
+  note(rep, static_cast<double>(inputs_fixed) <=
+                std::max(s5_r(t, n), 1.0) ||
+                t == 0,
+       "inputs fixed exceed r_t");
+  return rep;
+}
+
+GoodnessReport check_t_good_s7(const TraceAnalysis& ta, unsigned t,
+                               double d_t) {
+  GoodnessReport rep;
+  for (std::size_t v = 0; v < ta.entities().size(); ++v) {
+    const double kn = static_cast<double>(ta.know(v, t).size());
+    rep.max_know = std::max(rep.max_know, kn);
+    note(rep, kn <= d_t, "|Know| exceeds d_t");
+  }
+  for (unsigned j = 0; j < ta.free_count(); ++j) {
+    const double ap = ta.aff_proc_count(j, t);
+    const double ac = ta.aff_cell_count(j, t);
+    rep.max_aff = std::max({rep.max_aff, ap, ac});
+    note(rep, ap <= d_t, "|AffProc| exceeds d_t");
+    note(rep, ac <= d_t, "|AffCell| exceeds d_t");
+  }
+  return rep;
+}
+
+}  // namespace parbounds

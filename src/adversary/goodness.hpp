@@ -1,0 +1,68 @@
+#pragma once
+// t-goodness envelopes and checkers.
+//
+// Section 5.2 defines, for nu = gamma * rho initial inputs per cell and
+// mu = max(alpha, beta):
+//   d_t = nu * (mu+1)^(2t)          (degree envelope)
+//   k_t = 2^(nu * (mu+1)^(4(t+1)))  (states / Know / Aff envelope)
+//   r_t = t * n^(2/3)               (inputs fixed envelope)
+// and calls a partial input map t-good when deg(States) <= d_t,
+// |States| <= k_t, |Know| <= k_t, |AffProc|,|AffCell| <= k_t, and at most
+// r_t inputs are fixed.
+//
+// Section 7.3 defines the OR adversary's envelope d_0 =
+// log_(mu+1)^((3/4)log*_(mu+1)(n/gamma))(n/gamma) (iterated log applied
+// (3/4)log* times) and d_(i+1) = (mu+1)^((mu+1)^(d_i)); a set of input
+// maps is t-good when |Know| <= d_t and |AffProc|,|AffCell| <= d_t.
+//
+// check_t_good_s5 evaluates the five Section 5 conditions EXACTLY against
+// a TraceAnalysis. On the tiny instances the analyzer can afford, the
+// envelopes are far from tight — the point of the checker is that the
+// invariant machinery runs and never reports a violation while the
+// adversary executes, which is what Assertion 4.1 asserts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adversary/trace_analysis.hpp"
+
+namespace parbounds {
+
+// ----- Section 5 envelopes ---------------------------------------------------
+double s5_d(unsigned t, double nu, double mu);
+double s5_k(unsigned t, double nu, double mu, double cap = 1e18);
+double s5_r(unsigned t, double n);
+/// The Section 5 horizon T <= ((1/8)loglog n - log nu) / (2 log(mu+1)).
+double s5_T(double n, double nu, double mu);
+
+// ----- Section 7 envelopes ---------------------------------------------------
+/// The d_i sequence of Section 7.3, capped at `cap` (d grows as a tower).
+std::vector<double> s7_d_sequence(double n, double gamma, double mu,
+                                  double cap = 1e18);
+/// The Section 7 horizon T = (1/4) log*_(mu+1)(n/gamma).
+unsigned s7_T(double n, double gamma, double mu);
+
+// ----- exact checking against a TraceAnalysis --------------------------------
+struct GoodnessReport {
+  bool ok = true;
+  double max_deg_states = 0;
+  double max_states = 0;
+  double max_know = 0;
+  double max_aff = 0;
+  std::uint64_t inputs_fixed = 0;
+  std::vector<std::string> violations;
+};
+
+/// Check the five Section 5 t-goodness conditions for the analysis's base
+/// map at phase t. `inputs_fixed` is how many inputs the adversary has set
+/// so far (condition 5).
+GoodnessReport check_t_good_s5(const TraceAnalysis& ta, unsigned t,
+                               double nu, double mu, double n,
+                               std::uint64_t inputs_fixed);
+
+/// Check the two Section 7 t-goodness conditions (Know / Aff <= d_t).
+GoodnessReport check_t_good_s7(const TraceAnalysis& ta, unsigned t,
+                               double d_t);
+
+}  // namespace parbounds

@@ -1,0 +1,87 @@
+#include "adversary/input_map.hpp"
+
+#include <stdexcept>
+
+namespace parbounds {
+
+PartialInputMap::PartialInputMap(unsigned n) : v_(n, -1) {}
+
+void PartialInputMap::set(unsigned i, int val) {
+  if (val != 0 && val != 1)
+    throw std::invalid_argument("input values are Boolean");
+  v_[i] = static_cast<std::int8_t>(val);
+}
+
+unsigned PartialInputMap::set_count() const {
+  unsigned c = 0;
+  for (const auto x : v_)
+    if (x >= 0) ++c;
+  return c;
+}
+
+std::vector<unsigned> PartialInputMap::unset_indices() const {
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < size(); ++i)
+    if (!is_set(i)) out.push_back(i);
+  return out;
+}
+
+bool PartialInputMap::refines(const PartialInputMap& f) const {
+  if (f.size() != size()) return false;
+  for (unsigned i = 0; i < size(); ++i)
+    if (f.is_set(i) && value(i) != f.value(i)) return false;
+  return true;
+}
+
+std::uint32_t PartialInputMap::as_mask() const {
+  if (size() > 32) throw std::logic_error("as_mask needs n <= 32");
+  if (!complete()) throw std::logic_error("as_mask needs a complete map");
+  std::uint32_t m = 0;
+  for (unsigned i = 0; i < size(); ++i)
+    if (value(i) == 1) m |= (std::uint32_t{1} << i);
+  return m;
+}
+
+PartialInputMap PartialInputMap::from_mask(unsigned n, std::uint32_t mask) {
+  PartialInputMap f(n);
+  for (unsigned i = 0; i < n; ++i) f.set(i, (mask >> i) & 1u);
+  return f;
+}
+
+BitDistribution BitDistribution::uniform(unsigned n) {
+  return bernoulli(n, 0.5);
+}
+
+BitDistribution BitDistribution::bernoulli(unsigned n, double p1) {
+  BitDistribution d;
+  d.p1_.assign(n, p1);
+  return d;
+}
+
+double BitDistribution::prob_of(const PartialInputMap& f) const {
+  double p = 1.0;
+  for (unsigned i = 0; i < size(); ++i) {
+    if (!f.is_set(i)) continue;
+    p *= f.value(i) == 1 ? p1_[i] : 1.0 - p1_[i];
+  }
+  return p;
+}
+
+PartialInputMap random_set(const PartialInputMap& f,
+                           std::span<const unsigned> S,
+                           const BitDistribution& D, Rng& rng) {
+  PartialInputMap out = f;
+  for (const unsigned i : S) {
+    if (out.is_set(i)) continue;  // already fixed: conditioning is a no-op
+    out.set(i, rng.next_bool(D.prob_one(i)) ? 1 : 0);
+  }
+  return out;
+}
+
+PartialInputMap random_complete(const PartialInputMap& f,
+                                const BitDistribution& D, Rng& rng) {
+  const auto rest = f.unset_indices();
+  return random_set(f, rest, D, rng);
+}
+
+}  // namespace parbounds

@@ -1,0 +1,83 @@
+#pragma once
+// Partial input maps and the RANDOMSET primitive (Section 4).
+//
+// A partial input map assigns each of n Boolean inputs a value in
+// {0, 1, *}; '*' is "unset". The Random Adversary only ever fixes inputs
+// through RANDOMSET, which draws each value from the chosen input
+// distribution conditioned on what is already fixed — that is exactly why
+// Fact 4.1 holds (the completed map is distributed according to D), and
+// the property is unit-tested statistically.
+//
+// Distributions here are products of per-input Bernoullis, which covers
+// everything the paper uses: the uniform distribution (Theorem 3.2), the
+// H_i families for OR (Section 7.3), and the per-group colour draws of
+// Section 6 (colours are encoded in binary over gamma-sized input blocks
+// by the CLB harness).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parbounds {
+
+class PartialInputMap {
+ public:
+  explicit PartialInputMap(unsigned n);
+
+  unsigned size() const { return static_cast<unsigned>(v_.size()); }
+  bool is_set(unsigned i) const { return v_[i] >= 0; }
+  int value(unsigned i) const { return v_[i]; }  ///< -1 when unset
+  void set(unsigned i, int val);
+  void clear(unsigned i) { v_[i] = -1; }
+
+  unsigned set_count() const;
+  unsigned unset_count() const { return size() - set_count(); }
+  std::vector<unsigned> unset_indices() const;
+
+  /// f' refines f when f' agrees with f on every input f fixes.
+  bool refines(const PartialInputMap& f) const;
+  bool complete() const { return unset_count() == 0; }
+
+  /// Complete maps as bitmasks (n <= 32).
+  std::uint32_t as_mask() const;
+  static PartialInputMap from_mask(unsigned n, std::uint32_t mask);
+
+  /// All-star map f_*.
+  static PartialInputMap all_unset(unsigned n) { return PartialInputMap(n); }
+
+  bool operator==(const PartialInputMap&) const = default;
+
+ private:
+  std::vector<std::int8_t> v_;
+};
+
+/// Product-of-Bernoullis input distribution.
+class BitDistribution {
+ public:
+  static BitDistribution uniform(unsigned n);
+  static BitDistribution bernoulli(unsigned n, double p1);
+
+  unsigned size() const { return static_cast<unsigned>(p1_.size()); }
+  double prob_one(unsigned i) const { return p1_[i]; }
+
+  /// Probability of a complete map under the product measure.
+  double prob_of(const PartialInputMap& f) const;
+
+ private:
+  std::vector<double> p1_;
+};
+
+/// Function RANDOMSET(f, S) of Section 4.2: sets the inputs of S (must be
+/// unset in f) one by one per the conditional distribution; returns the
+/// refined map.
+PartialInputMap random_set(const PartialInputMap& f,
+                           std::span<const unsigned> S,
+                           const BitDistribution& D, Rng& rng);
+
+/// RANDOMSET over every remaining unset input (the tail of GENERATE).
+PartialInputMap random_complete(const PartialInputMap& f,
+                                const BitDistribution& D, Rng& rng);
+
+}  // namespace parbounds

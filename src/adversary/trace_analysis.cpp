@@ -1,0 +1,323 @@
+#include "adversary/trace_analysis.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "boolfn/boolfn.hpp"
+
+namespace parbounds {
+
+std::uint32_t TraceAnalysis::intern(const std::vector<std::int64_t>& key) {
+  auto [it, inserted] =
+      interner_.emplace(key, static_cast<std::uint32_t>(interner_.size()));
+  return it->second;
+}
+
+TraceAnalysis::TraceAnalysis(GsmAlgorithm algo, GsmConfig cfg,
+                             unsigned n_inputs, const PartialInputMap& base)
+    : n_inputs_(n_inputs), base_(base), free_vars_(base.unset_indices()) {
+  if (free_count() > 14)
+    throw std::invalid_argument("TraceAnalysis limited to 14 free inputs");
+  cfg.record_detail = true;
+
+  // ----- run every refinement ------------------------------------------------
+  captures_.resize(refinements());
+  for (std::uint32_t r = 0; r < refinements(); ++r)
+    run_refinement(r, algo, cfg);
+
+  for (const auto& cap : captures_)
+    phases_ = std::max<unsigned>(phases_,
+                                 static_cast<unsigned>(cap.phases.size()));
+
+  // ----- entity discovery ------------------------------------------------------
+  std::map<Entity, std::size_t> seen;
+  auto note = [&](Entity e) {
+    if (seen.emplace(e, 0).second) entities_.push_back(e);
+  };
+  for (const auto& cap : captures_) {
+    for (const auto& [addr, words] : cap.initial) note({true, addr});
+    for (const auto& ph : cap.phases)
+      for (const auto& ev : ph.events) {
+        note({false, ev.proc});
+        note({true, ev.addr});
+      }
+  }
+  std::sort(entities_.begin(), entities_.end());
+  for (std::size_t i = 0; i < entities_.size(); ++i)
+    entity_index_[entities_[i]] = i;
+  for (const auto& e : entities_)
+    if (!e.is_cell) ++proc_count_;
+
+  const std::size_t V = entities_.size();
+  const std::uint32_t R = refinements();
+  trace_.assign(V, std::vector<std::vector<std::uint32_t>>(
+                       phases_ + 1, std::vector<std::uint32_t>(R, 0)));
+  rw_.assign(V, std::vector<std::vector<std::uint32_t>>(
+                    phases_ + 1, std::vector<std::uint32_t>(R, 0)));
+  contention_.assign(V, std::vector<std::vector<std::uint32_t>>(
+                            phases_ + 1, std::vector<std::uint32_t>(R, 0)));
+  big_steps_.assign(phases_ + 1, std::vector<std::uint64_t>(R, 0));
+
+  // ----- replay every run to intern trace ids ----------------------------------
+  const std::uint64_t mu = std::max(cfg.alpha, cfg.beta);
+  for (std::uint32_t r = 0; r < R; ++r) {
+    const auto& cap = captures_[r];
+
+    // t = 0 traces.
+    std::map<std::uint64_t, std::uint32_t> cell_id;   // addr -> trace id
+    std::map<std::uint64_t, std::uint32_t> proc_id;   // proc -> trace id
+    for (std::size_t v = 0; v < V; ++v) {
+      const Entity& e = entities_[v];
+      if (e.is_cell) {
+        std::vector<std::int64_t> key{1, static_cast<std::int64_t>(e.id)};
+        auto it = cap.initial.find(e.id);
+        if (it != cap.initial.end())
+          key.insert(key.end(), it->second.begin(), it->second.end());
+        cell_id[e.id] = intern(key);
+      } else {
+        proc_id[e.id] =
+            intern({0, static_cast<std::int64_t>(e.id)});
+      }
+      trace_[v][0][r] = e.is_cell ? cell_id[e.id] : proc_id[e.id];
+    }
+
+    for (unsigned t = 1; t <= phases_; ++t) {
+      if (t <= cap.phases.size()) {
+        const auto& ph = cap.phases[t - 1];
+        big_steps_[t][r] = ph.cost / std::max<std::uint64_t>(1, mu);
+
+        // Group events.
+        std::map<std::uint64_t, std::vector<std::pair<std::int64_t,
+                                                      std::int64_t>>>
+            proc_reads;  // proc -> (addr, cell trace id at phase start)
+        std::map<std::uint64_t, std::vector<std::int64_t>> cell_writes;
+        std::map<std::uint64_t, std::uint32_t> proc_rw;
+        std::map<std::uint64_t, std::uint32_t> cell_r, cell_w;
+        for (const auto& ev : ph.events) {
+          ++proc_rw[ev.proc];
+          if (ev.is_write) {
+            cell_writes[ev.addr].push_back(ev.value);
+            ++cell_w[ev.addr];
+          } else {
+            proc_reads[ev.proc].push_back(
+                {static_cast<std::int64_t>(ev.addr),
+                 static_cast<std::int64_t>(cell_id.count(ev.addr)
+                                               ? cell_id[ev.addr]
+                                               : 0)});
+            ++cell_r[ev.addr];
+          }
+        }
+
+        // Extend processor traces.
+        for (const auto& [p, reads] : proc_reads) {
+          std::vector<std::int64_t> key{
+              static_cast<std::int64_t>(proc_id[p])};
+          for (const auto& [a, cid] : reads) {
+            key.push_back(a);
+            key.push_back(cid);
+          }
+          proc_id[p] = intern(key);
+        }
+        // Extend cell traces (strong queuing: all written information is
+        // merged; order within a phase is immaterial, so sort).
+        for (auto& [a, vals] : cell_writes) {
+          std::sort(vals.begin(), vals.end());
+          std::vector<std::int64_t> key{
+              static_cast<std::int64_t>(cell_id.count(a) ? cell_id[a] : 0)};
+          if (cell_id.count(a) == 0) {
+            // Cell first touched by a write: seed with its empty trace.
+            cell_id[a] = intern({1, static_cast<std::int64_t>(a)});
+            key[0] = cell_id[a];
+          }
+          key.insert(key.end(), vals.begin(), vals.end());
+          cell_id[a] = intern(key);
+        }
+
+        for (std::size_t v = 0; v < V; ++v) {
+          const Entity& e = entities_[v];
+          if (e.is_cell) {
+            trace_[v][t][r] =
+                cell_id.count(e.id) ? cell_id[e.id] : trace_[v][t - 1][r];
+            contention_[v][t][r] = std::max(
+                cell_r.count(e.id) ? cell_r[e.id] : 0u,
+                cell_w.count(e.id) ? cell_w[e.id] : 0u);
+          } else {
+            trace_[v][t][r] =
+                proc_id.count(e.id) ? proc_id[e.id] : trace_[v][t - 1][r];
+            rw_[v][t][r] = proc_rw.count(e.id) ? proc_rw[e.id] : 0u;
+          }
+        }
+      } else {
+        for (std::size_t v = 0; v < V; ++v)
+          trace_[v][t][r] = trace_[v][t - 1][r];
+      }
+    }
+    final_mem_.push_back(cap.final_mem);
+  }
+}
+
+void TraceAnalysis::run_refinement(std::uint32_t r, const GsmAlgorithm& algo,
+                                   const GsmConfig& cfg) {
+  std::vector<Word> input(n_inputs_, 0);
+  for (unsigned i = 0; i < n_inputs_; ++i)
+    if (base_.is_set(i)) input[i] = base_.value(i);
+  for (unsigned j = 0; j < free_count(); ++j)
+    input[free_vars_[j]] = (r >> j) & 1u;
+
+  GsmMachine m(cfg);
+  algo(m, input);
+
+  RunCapture cap;
+  cap.phases = m.trace().phases;
+  for (const auto& [a, words] : m.initial_memory()) cap.initial[a] = words;
+  for (const auto& [a, words] : m.memory()) cap.final_mem[a] = words;
+  captures_[r] = std::move(cap);
+}
+
+std::size_t TraceAnalysis::entity_index(const Entity& e) const {
+  auto it = entity_index_.find(e);
+  if (it == entity_index_.end())
+    throw std::out_of_range("unknown entity");
+  return it->second;
+}
+
+std::uint32_t TraceAnalysis::trace_id(std::size_t v, unsigned t,
+                                      std::uint32_t r) const {
+  return trace_[v][t][r];
+}
+
+std::uint32_t TraceAnalysis::states_count(std::size_t v, unsigned t) const {
+  std::vector<std::uint32_t> ids(trace_[v][t]);
+  std::sort(ids.begin(), ids.end());
+  return static_cast<std::uint32_t>(
+      std::unique(ids.begin(), ids.end()) - ids.begin());
+}
+
+std::vector<unsigned> TraceAnalysis::know(std::size_t v, unsigned t) const {
+  std::vector<unsigned> out;
+  const auto& row = trace_[v][t];
+  for (unsigned j = 0; j < free_count(); ++j) {
+    const std::uint32_t bit = std::uint32_t{1} << j;
+    for (std::uint32_t r = 0; r < refinements(); ++r) {
+      if ((r & bit) != 0) continue;
+      if (row[r] != row[r | bit]) {
+        out.push_back(j);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+unsigned TraceAnalysis::deg_states(std::size_t v, unsigned t) const {
+  const auto& row = trace_[v][t];
+  std::vector<std::uint32_t> ids(row);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  unsigned best = 0;
+  for (const std::uint32_t id : ids) {
+    const BoolFn chi = BoolFn::from(
+        free_count(), [&](std::uint32_t x) { return row[x] == id; });
+    best = std::max(best, degree(chi));
+  }
+  return best;
+}
+
+unsigned TraceAnalysis::cert_at(std::size_t v, unsigned t,
+                                std::uint32_t r) const {
+  const auto& row = trace_[v][t];
+  return subcube_certificate(
+      free_count(), [&](std::uint32_t x) { return row[x]; }, r);
+}
+
+unsigned TraceAnalysis::cert_max(std::size_t v, unsigned t) const {
+  unsigned best = 0;
+  for (std::uint32_t r = 0; r < refinements(); ++r)
+    best = std::max(best, cert_at(v, t, r));
+  return best;
+}
+
+unsigned TraceAnalysis::aff_proc_count(unsigned j, unsigned t) const {
+  unsigned c = 0;
+  for (std::size_t v = 0; v < entities_.size(); ++v) {
+    if (entities_[v].is_cell) continue;
+    const auto k = know(v, t);
+    if (std::find(k.begin(), k.end(), j) != k.end()) ++c;
+  }
+  return c;
+}
+
+unsigned TraceAnalysis::aff_cell_count(unsigned j, unsigned t) const {
+  unsigned c = 0;
+  for (std::size_t v = 0; v < entities_.size(); ++v) {
+    if (!entities_[v].is_cell) continue;
+    const auto k = know(v, t);
+    if (std::find(k.begin(), k.end(), j) != k.end()) ++c;
+  }
+  return c;
+}
+
+std::uint64_t TraceAnalysis::rw_count(std::size_t v, unsigned t,
+                                      std::uint32_t r) const {
+  return rw_[v][t][r];
+}
+
+std::uint64_t TraceAnalysis::max_rw(std::size_t v, unsigned t) const {
+  std::uint64_t best = 0;
+  for (std::uint32_t r = 0; r < refinements(); ++r)
+    best = std::max<std::uint64_t>(best, rw_[v][t][r]);
+  return best;
+}
+
+std::uint64_t TraceAnalysis::contention(std::size_t v, unsigned t,
+                                        std::uint32_t r) const {
+  return contention_[v][t][r];
+}
+
+std::uint64_t TraceAnalysis::max_contention(std::size_t v, unsigned t) const {
+  std::uint64_t best = 0;
+  for (std::uint32_t r = 0; r < refinements(); ++r)
+    best = std::max<std::uint64_t>(best, contention_[v][t][r]);
+  return best;
+}
+
+std::uint64_t TraceAnalysis::big_steps(unsigned t, std::uint32_t r) const {
+  return big_steps_[t][r];
+}
+
+std::vector<Word> TraceAnalysis::final_cell(Addr addr,
+                                            std::uint32_t r) const {
+  auto it = final_mem_[r].find(addr);
+  return it == final_mem_[r].end() ? std::vector<Word>{} : it->second;
+}
+
+std::uint32_t subcube_certificate_set(
+    unsigned u, const std::function<std::uint32_t(std::uint32_t)>& colour,
+    std::uint32_t r) {
+  if (u > 13) throw std::invalid_argument("subcube_certificate: u <= 13");
+  const std::uint32_t full = (u == 0) ? 0 : ((std::uint32_t{1} << u) - 1);
+  const std::uint32_t target = colour(r);
+  // Try fixing sets S in increasing size; the subcube is {x : x&S == r&S}.
+  for (unsigned k = 0; k <= u; ++k) {
+    for (std::uint32_t S = 0; S <= full; ++S) {
+      if (static_cast<unsigned>(std::popcount(S)) != k) continue;
+      bool constant = true;
+      for (std::uint32_t x = 0; x <= full && constant; ++x)
+        if ((x & S) == (r & S) && colour(x) != target) constant = false;
+      if (constant) return S;
+      if (S == full) break;  // guard the S <= full wrap at u == 32
+    }
+  }
+  return full;
+}
+
+unsigned subcube_certificate(
+    unsigned u,
+    const std::function<std::uint32_t(std::uint32_t)>& colour,
+    std::uint32_t r) {
+  return static_cast<unsigned>(
+      std::popcount(subcube_certificate_set(u, colour, r)));
+}
+
+}  // namespace parbounds

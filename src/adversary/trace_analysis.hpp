@@ -1,0 +1,148 @@
+#pragma once
+// Exact trace analysis of a deterministic GSM algorithm over all
+// refinements of a partial input map (Section 5.1 made executable).
+//
+// For small input counts (u = number of unset inputs <= ~14) the analyzer
+// runs the algorithm once per refinement, interns canonical trace ids for
+// every processor and cell after every phase, and computes exactly the
+// quantities the lower-bound proofs reason about:
+//
+//   States(v, t, e)   — number of distinct traces (states_count)
+//   deg(States(...))  — max degree of a trace class's characteristic
+//                       function over the unset inputs (deg_states)
+//   Know(v, t, e)     — the minimal determining input set (know)
+//   AffProc / AffCell — how many processors/cells an input affects
+//   Cert(v, t, f)     — certificate size of a trace at a full refinement
+//
+// Trace definitions follow the paper: a processor's trace is its id plus,
+// per phase, the (cell, contents) pairs it read; a cell's trace is its
+// contents (initial contents plus everything merged in by strong-queuing
+// writes). Canonicalisation is structural, so two refinements get equal
+// ids iff their traces are equal.
+//
+// Restriction: analyzed algorithms must use single-word GSM writes (the
+// event log records one Word per write), which all in-repo algorithms do.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "adversary/input_map.hpp"
+#include "core/gsm.hpp"
+
+namespace parbounds {
+
+/// A deterministic algorithm under analysis: stages its input into the
+/// machine (preload/load_inputs) and runs to completion.
+using GsmAlgorithm =
+    std::function<void(GsmMachine&, std::span<const Word> input)>;
+
+class TraceAnalysis {
+ public:
+  struct Entity {
+    bool is_cell = false;
+    std::uint64_t id = 0;  ///< processor id or cell address
+    bool operator<(const Entity& o) const {
+      return std::tie(is_cell, id) < std::tie(o.is_cell, o.id);
+    }
+    bool operator==(const Entity& o) const = default;
+  };
+
+  TraceAnalysis(GsmAlgorithm algo, GsmConfig cfg, unsigned n_inputs,
+                const PartialInputMap& base);
+
+  unsigned free_count() const {
+    return static_cast<unsigned>(free_vars_.size());
+  }
+  /// Original input indices of the free (unset) variables, in the order
+  /// refinement-mask bits refer to them.
+  const std::vector<unsigned>& free_vars() const { return free_vars_; }
+  std::uint32_t refinements() const { return std::uint32_t{1} << free_count(); }
+
+  unsigned phases() const { return phases_; }
+  const std::vector<Entity>& entities() const { return entities_; }
+  std::size_t entity_index(const Entity& e) const;
+  std::size_t proc_count() const { return proc_count_; }
+
+  /// Trace class id of entity `v` after phase t (t = 0 is the initial
+  /// state) under refinement mask r.
+  std::uint32_t trace_id(std::size_t v, unsigned t, std::uint32_t r) const;
+
+  std::uint32_t states_count(std::size_t v, unsigned t) const;
+  std::vector<unsigned> know(std::size_t v, unsigned t) const;
+  unsigned deg_states(std::size_t v, unsigned t) const;
+  unsigned cert_at(std::size_t v, unsigned t, std::uint32_t r) const;
+  unsigned cert_max(std::size_t v, unsigned t) const;
+
+  /// How many processor (resp. cell) entities have free var j in their
+  /// Know set after phase t.
+  unsigned aff_proc_count(unsigned j, unsigned t) const;
+  unsigned aff_cell_count(unsigned j, unsigned t) const;
+
+  /// Reads+writes issued by processor entity v in phase t (1-based) under
+  /// refinement r; 0 for cells.
+  std::uint64_t rw_count(std::size_t v, unsigned t, std::uint32_t r) const;
+  std::uint64_t max_rw(std::size_t v, unsigned t) const;
+  /// Contention (max of readers, writers) at cell entity v in phase t.
+  std::uint64_t contention(std::size_t v, unsigned t, std::uint32_t r) const;
+  std::uint64_t max_contention(std::size_t v, unsigned t) const;
+
+  /// Big-steps consumed by phase t under refinement r (0 if that run had
+  /// fewer phases).
+  std::uint64_t big_steps(unsigned t, std::uint32_t r) const;
+
+  /// Output-cell contents at the end of run r (peek of `addr`).
+  std::vector<Word> final_cell(Addr addr, std::uint32_t r) const;
+
+ private:
+  void run_refinement(std::uint32_t r, const GsmAlgorithm& algo,
+                      const GsmConfig& cfg);
+
+  unsigned n_inputs_;
+  PartialInputMap base_;
+  std::vector<unsigned> free_vars_;
+  unsigned phases_ = 0;
+  std::size_t proc_count_ = 0;
+
+  std::vector<Entity> entities_;
+  std::map<Entity, std::size_t> entity_index_;
+
+  // trace_[v][t][r] — interned ids; dimensions fixed after construction.
+  std::vector<std::vector<std::vector<std::uint32_t>>> trace_;
+  // rw_[v][t][r] for processors, contention_[v][t][r] for cells.
+  std::vector<std::vector<std::vector<std::uint32_t>>> rw_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> contention_;
+  std::vector<std::vector<std::uint64_t>> big_steps_;  // [t][r]
+  std::vector<std::map<Addr, std::vector<Word>>> final_mem_;  // [r]
+
+  // Structural interning of trace values.
+  std::map<std::vector<std::int64_t>, std::uint32_t> interner_;
+  std::uint32_t intern(const std::vector<std::int64_t>& key);
+
+  // Raw per-run capture before padding, keyed during construction.
+  struct RunCapture {
+    std::vector<PhaseTrace> phases;
+    std::map<Addr, std::vector<Word>> initial;
+    std::map<Addr, std::vector<Word>> final_mem;
+  };
+  std::vector<RunCapture> captures_;
+};
+
+/// Generalised certificate machinery: minimal number of coordinates that
+/// must be fixed (to their values in r) so that `colour` is constant on
+/// the subcube. colour : {0,1}^u -> uint32. Exact; u <= 13.
+unsigned subcube_certificate(unsigned u,
+                             const std::function<std::uint32_t(std::uint32_t)>&
+                                 colour,
+                             std::uint32_t r);
+
+/// Same search, but returns the (first smallest, lexicographically least)
+/// certificate SET as a bitmask over the u coordinates — what the
+/// Section 5 REFINE procedure calls Cert(v, t, h).
+std::uint32_t subcube_certificate_set(
+    unsigned u, const std::function<std::uint32_t(std::uint32_t)>& colour,
+    std::uint32_t r);
+
+}  // namespace parbounds

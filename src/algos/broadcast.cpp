@@ -1,0 +1,71 @@
+#include "algos/broadcast.hpp"
+
+#include <algorithm>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+std::uint64_t qsm_broadcast(QsmMachine& m, Addr src, Addr dst,
+                            std::uint64_t n, std::uint64_t fanin) {
+  if (n == 0) return 0;
+  if (fanin == 0)
+    fanin = std::clamp<std::uint64_t>(m.config().g, 2, 1u << 20);
+  const std::uint64_t before = m.phases();
+
+  // Seed copy: one processor moves src into dst[0].
+  m.begin_phase();
+  m.read(0, src);
+  m.commit_phase();
+  m.begin_phase();
+  m.write(0, dst + 0, m.inbox(0)[0]);
+  m.commit_phase();
+
+  std::uint64_t count = 1;
+  while (count < n) {
+    const std::uint64_t fresh =
+        std::min<std::uint64_t>(n - count, count * (fanin - 1));
+    // Read phase: new consumer t taps holder cell t % count; at most
+    // fanin - 1 consumers share one holder.
+    m.begin_phase();
+    for (std::uint64_t t = 0; t < fresh; ++t)
+      m.read(count + t, dst + (t % count));
+    m.commit_phase();
+    // Write phase: each consumer materialises its own copy.
+    m.begin_phase();
+    for (std::uint64_t t = 0; t < fresh; ++t)
+      m.write(count + t, dst + count + t, m.inbox(count + t)[0]);
+    m.commit_phase();
+    count += fresh;
+  }
+  return m.phases() - before;
+}
+
+std::vector<Word> bsp_broadcast(BspMachine& m, Word value,
+                                std::uint64_t fanout) {
+  const std::uint64_t p = m.p();
+  if (fanout == 0)
+    fanout = std::clamp<std::uint64_t>(m.L() / m.g(), 2, 1u << 20);
+  std::vector<Word> copy(p, 0);
+  copy[0] = value;
+
+  std::uint64_t count = 1;
+  while (count < p) {
+    const std::uint64_t fresh =
+        std::min<std::uint64_t>(p - count, count * (fanout - 1));
+    m.begin_superstep();
+    // Holder i (i < count) feeds consumers count + i, count + i + count,
+    // ... — at most fanout - 1 sends each, one receive per consumer.
+    for (std::uint64_t t = 0; t < fresh; ++t)
+      m.send(t % count, count + t, copy[t % count]);
+    m.commit_superstep();
+    for (std::uint64_t t = 0; t < fresh; ++t) {
+      const auto box = m.inbox(count + t);
+      copy[count + t] = box.empty() ? 0 : box[0].value;
+    }
+    count += fresh;
+  }
+  return copy;
+}
+
+}  // namespace parbounds

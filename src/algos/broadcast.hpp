@@ -1,0 +1,28 @@
+#pragma once
+// Broadcasting one value to n consumers. The paper cites [1] for the tight
+// Theta(g log n / log g) QSM broadcast bound; the matching algorithm is the
+// fan-out k = g tree below (k readers share one copy per level: read
+// contention k costs max(g, k) = g, so each doubling...k-fold level is
+// O(g) and there are log n / log g levels). On the BSP the fan-out L/g
+// message tree costs L per superstep and L log p / log(L/g) total.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bsp.hpp"
+#include "core/qsm.hpp"
+
+namespace parbounds {
+
+/// Copy the value in cell `src` into all of dst[0..n). fanin = 0
+/// auto-selects clamp(g, 2, 2^20). Returns the number of phases used.
+std::uint64_t qsm_broadcast(QsmMachine& m, Addr src, Addr dst,
+                            std::uint64_t n, std::uint64_t fanin = 0);
+
+/// Broadcast `value` from component 0 to every component; returns the
+/// per-component copy (driver state). fanout = 0 auto-selects
+/// max(2, L/g).
+std::vector<Word> bsp_broadcast(BspMachine& m, Word value,
+                                std::uint64_t fanout = 0);
+
+}  // namespace parbounds

@@ -1,0 +1,167 @@
+#include "algos/bsp_prefix.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+std::vector<Word> bsp_prefix(BspMachine& m, const std::vector<Word>& value,
+                             std::uint64_t fanin) {
+  const std::uint64_t p = m.p();
+  if (value.size() != p)
+    throw std::invalid_argument("bsp_prefix: one value per component");
+  if (fanin == 0)
+    fanin = std::clamp<std::uint64_t>(m.L() / m.g(), 2, 1u << 20);
+
+  // ----- up-sweep -------------------------------------------------------------
+  // Level l has cnt_l active components (0..cnt_l-1); component i ships
+  // its level value to leader i/fanin. Leaders remember their group's
+  // member values (by member offset) for the down-sweep.
+  struct LevelInfo {
+    std::uint64_t cnt = 0;
+    // group_values[j][t] = value of member j*fanin + t at this level.
+    std::vector<std::map<std::uint64_t, Word>> group_values;
+  };
+  std::vector<LevelInfo> levels;
+
+  std::vector<Word> cur = value;
+  std::uint64_t cnt = p;
+  while (cnt > 1) {
+    LevelInfo info;
+    info.cnt = cnt;
+    const std::uint64_t groups = ceil_div(cnt, fanin);
+    info.group_values.resize(groups);
+    m.begin_superstep();
+    for (std::uint64_t i = 0; i < cnt; ++i)
+      if (i / fanin != i) m.send(i, i / fanin, cur[i], /*tag=*/
+                                 static_cast<Word>(i % fanin));
+    m.commit_superstep();
+
+    std::vector<Word> next(groups, 0);
+    // Harvest and fold; the fold is charged as local work of one
+    // follow-up superstep (messages are usable only after their
+    // superstep ends).
+    for (std::uint64_t j = 0; j < groups; ++j) {
+      if (j == 0) info.group_values[0][0] = cur[0];
+      for (const Message& msg : m.inbox(j))
+        info.group_values[j][static_cast<std::uint64_t>(msg.tag)] =
+            msg.value;
+      Word sum = 0;
+      for (const auto& [t, v] : info.group_values[j]) sum += v;
+      next[j] = sum;
+    }
+    m.begin_superstep();
+    for (std::uint64_t j = 0; j < groups; ++j)
+      m.local(j, std::max<std::size_t>(std::size_t{1},
+                                       info.group_values[j].size()));
+    m.commit_superstep();
+    levels.push_back(std::move(info));
+    cur = std::move(next);
+    cnt = groups;
+  }
+
+  // ----- down-sweep -----------------------------------------------------------
+  std::vector<Word> offset{0};  // offsets of the active components
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const auto& info = *it;
+    const std::uint64_t groups = info.group_values.size();
+    std::vector<Word> next(info.cnt, 0);
+    m.begin_superstep();
+    for (std::uint64_t j = 0; j < groups; ++j) {
+      Word acc = offset[j];
+      for (const auto& [t, v] : info.group_values[j]) {
+        const std::uint64_t member = j * fanin + t;
+        if (member == j)
+          next[member] = acc;  // leader keeps its own offset
+        else
+          m.send(j, member, acc, 0);
+        acc += v;
+      }
+      m.local(j, std::max<std::size_t>(std::size_t{1},
+                                       info.group_values[j].size()));
+    }
+    m.commit_superstep();
+    for (std::uint64_t i = 0; i < info.cnt; ++i) {
+      const auto box = m.inbox(i);
+      if (!box.empty()) next[i] = box[0].value;
+    }
+    offset = std::move(next);
+  }
+  return offset;
+}
+
+BspLacResult lac_bsp(BspMachine& m, std::span<const Word> input,
+                     std::uint64_t fanin) {
+  BspLacResult res;
+  const std::uint64_t p = m.p();
+  const std::uint64_t n = input.size();
+
+  // Superstep 1: local scans — each component gathers its block's items.
+  std::vector<std::vector<Word>> items(p);
+  std::vector<Word> counts(p, 0);
+  m.begin_superstep();
+  for (std::uint64_t i = 0; i < p; ++i) {
+    const auto [lo, hi] = BspMachine::block_range(n, p, i);
+    for (std::uint64_t j = lo; j < hi; ++j)
+      if (input[j] != 0) items[i].push_back(input[j]);
+    counts[i] = static_cast<Word>(items[i].size());
+    m.local(i, std::max<std::uint64_t>(1, hi - lo));
+  }
+  m.commit_superstep();
+
+  const auto offsets = bsp_prefix(m, counts, fanin);
+  std::uint64_t h = 0;
+  for (const Word c : counts) h += static_cast<std::uint64_t>(c);
+  res.items = h;
+  res.out_blocks.assign(p, {});
+  if (h == 0) {
+    res.ok = true;
+    return res;
+  }
+
+  // Exchange superstep: item with global rank r lives in output block
+  // r / ceil(h/p). Sends per component <= its item count; receives per
+  // component <= ceil(h/p).
+  const std::uint64_t per = ceil_div(h, p);
+  m.begin_superstep();
+  for (std::uint64_t i = 0; i < p; ++i) {
+    auto rank = static_cast<std::uint64_t>(offsets[i]);
+    m.local(i, std::max<std::size_t>(std::size_t{1}, items[i].size()));
+    for (const Word v : items[i]) {
+      m.send(i, std::min<std::uint64_t>(rank / per, p - 1), v,
+             static_cast<Word>(rank % per));
+      ++rank;
+    }
+  }
+  m.commit_superstep();
+
+  m.begin_superstep();
+  for (std::uint64_t i = 0; i < p; ++i) {
+    auto& block = res.out_blocks[i];
+    block.assign(per, 0);
+    const auto box = m.inbox(i);
+    for (const Message& msg : box)
+      block[static_cast<std::uint64_t>(msg.tag)] = msg.value;
+    m.local(i, std::max<std::size_t>(std::size_t{1}, box.size()));
+  }
+  m.commit_superstep();
+  res.ok = true;
+  return res;
+}
+
+bool lac_bsp_valid(std::span<const Word> input, const BspLacResult& r) {
+  if (!r.ok) return false;
+  std::vector<Word> want, got;
+  for (const Word v : input)
+    if (v != 0) want.push_back(v);
+  for (const auto& block : r.out_blocks)
+    for (const Word v : block)
+      if (v != 0) got.push_back(v);
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  return want == got && got.size() == r.items;
+}
+
+}  // namespace parbounds

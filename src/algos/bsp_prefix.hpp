@@ -1,0 +1,46 @@
+#pragma once
+// BSP prefix sums and BSP linear compaction.
+//
+//  * bsp_prefix — exclusive prefix over one value per component: a fan-in
+//    k tree routed up (members ship values to group leaders) and back
+//    down (leaders ship each member its offset). Every superstep routes
+//    an h <= k relation, so with k = L/g each costs exactly L and the
+//    total is O(L log p / log(L/g)).
+//  * lac_bsp — Linear Approximate Compaction of a block-distributed
+//    array: components count their nonzero items, bsp_prefix assigns
+//    global ranks, and items are shipped to the components owning their
+//    output slots (block distribution of an h-slot output). Both the
+//    sends and the receives per component are bounded by max-items-per-
+//    block resp. ceil(h/p), so the exchange superstep routes an
+//    O(n/p)-relation — this is also the round-structured BSP LAC used by
+//    Table 1 subtable 4.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bsp.hpp"
+
+namespace parbounds {
+
+/// Exclusive prefix of value[i] over components; returns offsets
+/// (driver-side copies of what each component received).
+std::vector<Word> bsp_prefix(BspMachine& m, const std::vector<Word>& value,
+                             std::uint64_t fanin = 0);
+
+struct BspLacResult {
+  std::vector<std::vector<Word>> out_blocks;  ///< per-component output
+  std::uint64_t items = 0;
+  bool ok = false;
+};
+
+/// Compact the nonzero items of a block-distributed n-array into an
+/// items-sized output, block-distributed over the p components.
+BspLacResult lac_bsp(BspMachine& m, std::span<const Word> input,
+                     std::uint64_t fanin = 0);
+
+/// Validate: the concatenated output blocks hold exactly the nonzero
+/// input items (as multisets).
+bool lac_bsp_valid(std::span<const Word> input, const BspLacResult& r);
+
+}  // namespace parbounds

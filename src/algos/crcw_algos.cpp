@@ -1,0 +1,151 @@
+#include "algos/crcw_algos.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+Word crcw_or(CrcwMachine& m, Addr in, std::uint64_t n) {
+  const Addr flag = m.alloc(1);
+  // Step 1: everyone reads their bit.
+  m.begin_step();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, in + i);
+  m.commit_step();
+  // Step 2: 1-holders write 1 concurrently (all write rules agree).
+  m.begin_step();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.local(i, 1);
+    if (!m.inbox(i).empty() && m.inbox(i)[0] != 0) m.write(i, flag, 1);
+  }
+  m.commit_step();
+  return m.peek(flag);
+}
+
+Word crcw_parity(CrcwMachine& m, Addr in, std::uint64_t n, unsigned block) {
+  if (n == 0) return 0;
+  if (block == 0)
+    block = static_cast<unsigned>(std::clamp<std::uint64_t>(
+        ilog2(std::max<std::uint64_t>(n, 2)), 2, 16));
+
+  Addr cur = in;
+  std::uint64_t len = n;
+  while (len > 1) {
+    const std::uint64_t k = std::min<std::uint64_t>(block, len);
+    const std::uint64_t blocks = ceil_div(len, k);
+    const std::uint64_t asg = std::uint64_t{1} << k;
+    const Addr mism = m.alloc(blocks * asg);
+    const Addr out = m.alloc(blocks);
+    auto pid = [&](std::uint64_t b, std::uint64_t a, std::uint64_t j) {
+      return (b * asg + a) * (k + 1) + j + 1;
+    };
+    auto leader = [&](std::uint64_t b, std::uint64_t a) {
+      return (b * asg + a) * (k + 1);
+    };
+    auto block_size = [&](std::uint64_t b) {
+      const std::uint64_t lo = b * k;
+      return std::min<std::uint64_t>(len, lo + k) - lo;
+    };
+    auto odd = [](std::uint64_t a) { return (std::popcount(a) & 1) != 0; };
+
+    // Step 1: all assignment processors read their bit — concurrent
+    // reads are free, so block size can be large.
+    m.begin_step();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t kb = block_size(b);
+      for (std::uint64_t a = 0; a < (std::uint64_t{1} << kb); ++a) {
+        if (!odd(a)) continue;
+        for (std::uint64_t j = 0; j < kb; ++j)
+          m.read(pid(b, a, j), cur + b * k + j);
+      }
+    }
+    m.commit_step();
+
+    // Step 2: mismatch flags (concurrent writes of the same value 1).
+    m.begin_step();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t kb = block_size(b);
+      for (std::uint64_t a = 0; a < (std::uint64_t{1} << kb); ++a) {
+        if (!odd(a)) continue;
+        for (std::uint64_t j = 0; j < kb; ++j) {
+          const Word bit = m.inbox(pid(b, a, j))[0];
+          m.local(pid(b, a, j), 1);
+          if ((bit != 0) != (((a >> j) & 1) != 0))
+            m.write(pid(b, a, j), mism + b * asg + a, 1);
+        }
+      }
+    }
+    m.commit_step();
+
+    // Step 3: leaders read their flag; step 4: the matching (unique)
+    // odd assignment claims the block output.
+    m.begin_step();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t kb = block_size(b);
+      for (std::uint64_t a = 0; a < (std::uint64_t{1} << kb); ++a)
+        if (odd(a)) m.read(leader(b, a), mism + b * asg + a);
+    }
+    m.commit_step();
+    m.begin_step();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t kb = block_size(b);
+      for (std::uint64_t a = 0; a < (std::uint64_t{1} << kb); ++a) {
+        if (!odd(a)) continue;
+        m.local(leader(b, a), 1);
+        if (m.inbox(leader(b, a))[0] == 0) m.write(leader(b, a), out + b, 1);
+      }
+    }
+    m.commit_step();
+
+    cur = out;
+    len = blocks;
+  }
+  return m.peek(cur);
+}
+
+Word crcw_max(CrcwMachine& m, Addr in, std::uint64_t n) {
+  if (n == 0) return 0;
+  // Tournament with n^2 processors: loser[i] = 1 iff some j beats i.
+  const Addr loser = m.alloc(n);
+  const Addr result = m.alloc(1);
+  auto pid = [&](std::uint64_t i, std::uint64_t j) { return i * n + j; };
+
+  m.begin_step();
+  for (std::uint64_t i = 0; i < n; ++i)
+    for (std::uint64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      m.read(pid(i, j), in + i);
+      m.read(pid(i, j), in + j);
+    }
+  m.commit_step();
+
+  m.begin_step();
+  for (std::uint64_t i = 0; i < n; ++i)
+    for (std::uint64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto box = m.inbox(pid(i, j));
+      const Word vi = box[0], vj = box[1];
+      m.local(pid(i, j), 1);
+      // Ties break by index so exactly the first maximum survives.
+      if (vj > vi || (vj == vi && j < i)) m.write(pid(i, j), loser + i, 1);
+    }
+  m.commit_step();
+
+  // Winner announces itself (exactly one non-loser by the tie-break).
+  m.begin_step();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.read(i, loser + i);
+    m.read(i, in + i);
+  }
+  m.commit_step();
+  m.begin_step();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.local(i, 1);
+    if (m.inbox(i)[0] == 0) m.write(i, result, m.inbox(i)[1]);
+  }
+  m.commit_step();
+  return m.peek(result);
+}
+
+}  // namespace parbounds

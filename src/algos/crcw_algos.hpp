@@ -1,0 +1,30 @@
+#pragma once
+// Classic CRCW PRAM algorithms, the baselines the paper's bounds are
+// measured against:
+//
+//  * crcw_or     — OR in O(1) steps: every 1-holder writes the flag
+//                  concurrently. THE example of what queue charging
+//                  forbids (on the QSM this exact program costs kappa =
+//                  #ones).
+//  * crcw_parity — parity in O(log n / loglog n) steps, matching the
+//                  Beame-Hastad CRCW lower bound the paper adapts for
+//                  Theorem 3.3: the depth-2 circuit emulation with block
+//                  size ~ log n, all contention free.
+//  * crcw_max    — max in O(1) steps with n^2 processors (the classic
+//                  tournament) — a further contrast point.
+
+#include <cstdint>
+
+#include "core/crcw.hpp"
+
+namespace parbounds {
+
+Word crcw_or(CrcwMachine& m, Addr in, std::uint64_t n);
+
+/// block = 0 auto-selects min(16, max(2, floor(log2 n))). Returns parity.
+Word crcw_parity(CrcwMachine& m, Addr in, std::uint64_t n,
+                 unsigned block = 0);
+
+Word crcw_max(CrcwMachine& m, Addr in, std::uint64_t n);
+
+}  // namespace parbounds

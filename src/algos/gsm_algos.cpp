@@ -1,0 +1,231 @@
+#include "algos/gsm_algos.hpp"
+
+#include <algorithm>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+namespace {
+
+enum class GsmCombine { Or, Xor };
+
+Word fold_cell(GsmCombine op, std::span<const Word> cell) {
+  Word acc = 0;
+  for (const Word w : cell) {
+    const Word b = (w != 0) ? 1 : 0;
+    acc = (op == GsmCombine::Or) ? (acc | b) : (acc ^ b);
+  }
+  return acc;
+}
+
+Addr gsm_tree(GsmMachine& m, std::span<const Word> input, unsigned fanin,
+              unsigned max_phases, GsmCombine op) {
+  if (fanin < 2) fanin = 2;
+  const Addr in = m.alloc(ceil_div(input.size(), m.gamma()));
+  const std::uint64_t cells = m.load_inputs(in, input);
+
+  Addr cur = in;
+  std::uint64_t len = cells;
+  unsigned phases = 0;
+  while (len > 1) {
+    if (max_phases != 0 && phases + 2 > max_phases) break;
+    const std::uint64_t blocks = ceil_div(len, fanin);
+    const Addr next = m.alloc(blocks);
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t lo = b * fanin;
+      const std::uint64_t hi = std::min<std::uint64_t>(len, lo + fanin);
+      for (std::uint64_t i = lo; i < hi; ++i) m.read(b, cur + i);
+    }
+    m.commit_phase();
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      Word acc = 0;
+      for (const auto& cell : m.inbox(b)) {
+        const Word v = fold_cell(op, cell);
+        acc = (op == GsmCombine::Or) ? (acc | v) : (acc ^ v);
+      }
+      m.write(b, next + b, acc);
+    }
+    m.commit_phase();
+    phases += 2;
+    cur = next;
+    len = blocks;
+  }
+  return cur;
+}
+
+}  // namespace
+
+Addr gsm_or_tree(GsmMachine& m, std::span<const Word> input, unsigned fanin,
+                 unsigned max_phases) {
+  return gsm_tree(m, input, fanin, max_phases, GsmCombine::Or);
+}
+
+Addr gsm_parity_tree(GsmMachine& m, std::span<const Word> input,
+                     unsigned fanin, unsigned max_phases) {
+  return gsm_tree(m, input, fanin, max_phases, GsmCombine::Xor);
+}
+
+Addr gsm_reduce_rounds(GsmMachine& m, std::span<const Word> input,
+                       std::uint64_t p, bool parity) {
+  const GsmCombine op = parity ? GsmCombine::Xor : GsmCombine::Or;
+  const Addr in = m.alloc(ceil_div(input.size(), m.gamma()));
+  const std::uint64_t cells = m.load_inputs(in, input);
+  if (p == 0) throw std::invalid_argument("gsm_reduce_rounds: p >= 1");
+
+  // Each processor scans its block of cells; a single phase with
+  // m_rw = ceil(cells/p) — exactly ceil(cells/(p*alpha)) big-steps, i.e.
+  // within the GSM round budget mu*n/(lambda*p).
+  const std::uint64_t per = ceil_div(std::max<std::uint64_t>(cells, 1), p);
+  const Addr partial = m.alloc(p);
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const std::uint64_t lo = q * per;
+    const std::uint64_t hi = std::min<std::uint64_t>(cells, lo + per);
+    for (std::uint64_t i = lo; i < hi; ++i) m.read(q, in + i);
+  }
+  m.commit_phase();
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    Word acc = 0;
+    for (const auto& cell : m.inbox(q)) {
+      const Word v = fold_cell(op, cell);
+      acc = (op == GsmCombine::Or) ? (acc | v) : (acc ^ v);
+    }
+    m.write(q, partial + q, acc);
+  }
+  m.commit_phase();
+
+  // Fan-in per tree over the p partials, every level one round.
+  const auto fanin = static_cast<unsigned>(
+      std::clamp<std::uint64_t>(per * m.lambda(), 2, 1u << 20));
+  Addr cur = partial;
+  std::uint64_t len = p;
+  while (len > 1) {
+    const std::uint64_t blocks = ceil_div(len, fanin);
+    const Addr next = m.alloc(blocks);
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t lo = b * fanin;
+      const std::uint64_t hi = std::min<std::uint64_t>(len, lo + fanin);
+      for (std::uint64_t i = lo; i < hi; ++i) m.read(b, cur + i);
+    }
+    m.commit_phase();
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      Word acc = 0;
+      for (const auto& cell : m.inbox(b)) {
+        const Word v = fold_cell(op, cell);
+        acc = (op == GsmCombine::Or) ? (acc | v) : (acc ^ v);
+      }
+      m.write(b, next + b, acc);
+    }
+    m.commit_phase();
+    cur = next;
+    len = blocks;
+  }
+  return cur;
+}
+
+GsmLacResult gsm_lac_rounds(GsmMachine& m, std::span<const Word> input,
+                            std::uint64_t h) {
+  GsmLacResult res;
+  const Addr in = m.alloc(ceil_div(input.size(), m.gamma()));
+  const std::uint64_t cells = m.load_inputs(in, input);
+  if (h < m.gamma())
+    throw std::invalid_argument("gsm_lac_rounds: needs h >= gamma");
+
+  // Phase A: one processor per input cell learns its contents.
+  m.begin_phase();
+  for (std::uint64_t c = 0; c < cells; ++c) m.read(c, in + c);
+  m.commit_phase();
+  std::vector<std::vector<Word>> items(cells);
+  const Addr counts = m.alloc(cells);
+  m.begin_phase();
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    for (const Word w : m.inbox(c)[0])
+      if (w != 0) items[c].push_back(w);
+    m.write(c, counts + c, static_cast<Word>(items[c].size()));
+  }
+  m.commit_phase();
+
+  // Prefix sums over the per-cell counts with the GSM(h)-sized fan-in.
+  const auto fanin = static_cast<std::uint64_t>(std::clamp<std::uint64_t>(
+      ceil_div(h * m.lambda(), m.mu()), 2, 1u << 20));
+
+  struct Level {
+    Addr sums;
+    std::uint64_t len;
+  };
+  std::vector<Level> levels{{counts, cells}};
+  auto cell_value = [&](std::span<const Word> cell) {
+    return cell.empty() ? Word{0} : cell[0];
+  };
+  while (levels.back().len > 1) {
+    const auto [cur, len] = levels.back();
+    const std::uint64_t blocks = ceil_div(len, fanin);
+    const Addr next = m.alloc(blocks);
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t lo = b * fanin;
+      const std::uint64_t hi = std::min<std::uint64_t>(len, lo + fanin);
+      for (std::uint64_t i = lo; i < hi; ++i) m.read(b, cur + i);
+    }
+    m.commit_phase();
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      Word acc = 0;
+      for (const auto& cell : m.inbox(b)) acc += cell_value(cell);
+      m.write(b, next + b, acc);
+    }
+    m.commit_phase();
+    levels.push_back({next, blocks});
+  }
+
+  std::vector<Addr> offsets(levels.size());
+  offsets.back() = m.alloc(1);
+  for (std::size_t l = levels.size() - 1; l-- > 0;) {
+    const auto [sums, len] = levels[l];
+    const Addr off = m.alloc(len);
+    m.begin_phase();
+    for (std::uint64_t j = 0; j < len; ++j) {
+      m.read(j, offsets[l + 1] + j / fanin);
+      const std::uint64_t lo = (j / fanin) * fanin;
+      for (std::uint64_t i = lo; i < j; ++i) m.read(j, sums + i);
+    }
+    m.commit_phase();
+    m.begin_phase();
+    for (std::uint64_t j = 0; j < len; ++j) {
+      Word acc = 0;
+      for (const auto& cell : m.inbox(j)) acc += cell_value(cell);
+      m.write(j, off + j, acc);
+    }
+    m.commit_phase();
+    offsets[l] = off;
+  }
+
+  // Placement: each input-cell processor fetches its offset and writes
+  // its (<= gamma <= h) items contiguously — contention 1 by exactness.
+  std::uint64_t total = 0;
+  for (const auto& v : items) total += v.size();
+  res.items = total;
+  res.out = m.alloc(std::max<std::uint64_t>(1, total));
+  m.begin_phase();
+  for (std::uint64_t c = 0; c < cells; ++c)
+    if (!items[c].empty()) m.read(c, offsets[0] + c);
+  m.commit_phase();
+  m.begin_phase();
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    if (items[c].empty()) continue;
+    const Word base = cell_value(m.inbox(c)[0]);
+    for (std::size_t t = 0; t < items[c].size(); ++t)
+      m.write(c, res.out + static_cast<std::uint64_t>(base) + t,
+              items[c][t]);
+  }
+  m.commit_phase();
+  return res;
+}
+
+}  // namespace parbounds

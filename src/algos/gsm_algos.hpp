@@ -1,0 +1,45 @@
+#pragma once
+// Reference algorithms ON the GSM itself. The GSM is the paper's
+// lower-bound model, but running real algorithms on it serves three
+// purposes: the Random Adversary needs concrete deterministic GSM
+// algorithms to attack; the degree-argument checker (Theorems 3.1/7.2)
+// needs executions whose state functions it can bound; and the GSM(h)
+// round definition of Section 6.3 needs round-structured GSM programs.
+
+#include <cstdint>
+#include <span>
+
+#include "core/gsm.hpp"
+
+namespace parbounds {
+
+/// Fan-in k OR tree. Inputs are loaded gamma-per-cell (Section 2.2);
+/// level-0 values are whole-cell ORs. Runs at most max_phases phases when
+/// nonzero. Returns the output cell.
+Addr gsm_or_tree(GsmMachine& m, std::span<const Word> input, unsigned fanin,
+                 unsigned max_phases = 0);
+
+/// Fan-in k PARITY tree (same staging; combiner is XOR over the cell's
+/// words). Returns the output cell; its first word is the parity.
+Addr gsm_parity_tree(GsmMachine& m, std::span<const Word> input,
+                     unsigned fanin, unsigned max_phases = 0);
+
+/// p-processor round-structured GSM reduction: every processor scans
+/// ceil(cells/p) input cells per phase, then a fan-in n/(p*lambda)-scaled
+/// tree — every phase fits the Section 2.3 GSM round budget
+/// O(mu*n/(lambda*p)). Combines with XOR when `parity` else OR.
+Addr gsm_reduce_rounds(GsmMachine& m, std::span<const Word> input,
+                       std::uint64_t p, bool parity);
+
+/// Linear compaction on the GSM(h) of Section 6.3: prefix counts over the
+/// input cells with fan-in h*lambda/mu-scaled trees, then direct
+/// placement — every phase within the GSM(h) round budget O(mu*h/lambda).
+/// Returns the output region and item count; output size == items.
+struct GsmLacResult {
+  Addr out = 0;
+  std::uint64_t items = 0;
+};
+GsmLacResult gsm_lac_rounds(GsmMachine& m, std::span<const Word> input,
+                            std::uint64_t h);
+
+}  // namespace parbounds

@@ -1,0 +1,244 @@
+#include "algos/lac.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "algos/prefix.hpp"
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+namespace {
+// Confirmed dart slots carry the item value offset by this flag so that
+// raw tags (which share the board) can never be mistaken for output.
+constexpr Word kConfirm = Word{1} << 42;
+}  // namespace
+
+LacResult lac_prefix(QsmMachine& m, Addr in, std::uint64_t n,
+                     unsigned fanin) {
+  LacResult res;
+  if (n == 0) {
+    res.ok = true;
+    return res;
+  }
+
+  // Every cell owner learns its value and posts a 0/1 mark.
+  const Addr marks = m.alloc(n);
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, in + i);
+  m.commit_phase();
+  std::vector<Word> val(n);
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    val[i] = m.inbox(i)[0];
+    m.local(i, 1);
+    m.write(i, marks + i, val[i] != 0 ? 1 : 0);
+  }
+  m.commit_phase();
+
+  // Exclusive prefix of the marks gives each item its output offset.
+  const Addr off = qsm_prefix(m, marks, n, fanin);
+
+  std::uint64_t count = 0;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (val[i] != 0) ++count;
+  const Addr out = m.alloc(std::max<std::uint64_t>(1, count));
+
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (val[i] != 0) m.read(i, off + i);
+  m.commit_phase();
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (val[i] != 0) {
+      m.local(i, 1);
+      m.write(i, out + static_cast<std::uint64_t>(m.inbox(i)[0]), val[i]);
+    }
+  m.commit_phase();
+
+  res.out = out;
+  res.out_size = std::max<std::uint64_t>(1, count);
+  res.items = count;
+  res.ok = true;
+  return res;
+}
+
+LacResult lac_rounds(QsmMachine& m, Addr in, std::uint64_t n,
+                     std::uint64_t p) {
+  LacResult res;
+  if (p == 0 || p > n)
+    throw std::invalid_argument("lac_rounds needs 1 <= p <= n");
+  const std::uint64_t np = ceil_div(n, p);
+  const Addr marks = m.alloc(n);
+
+  // Round: block scan, then post marks (both phases within g*n/p).
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const std::uint64_t lo = q * np;
+    const std::uint64_t hi = std::min<std::uint64_t>(n, lo + np);
+    for (std::uint64_t i = lo; i < hi; ++i) m.read(q, in + i);
+  }
+  m.commit_phase();
+  std::vector<std::vector<Word>> val(p);
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const auto box = m.inbox(q);
+    val[q].assign(box.begin(), box.end());
+    m.local(q, std::max<std::size_t>(std::size_t{1}, box.size()));
+    for (std::size_t t = 0; t < val[q].size(); ++t)
+      m.write(q, marks + q * np + t, val[q][t] != 0 ? 1 : 0);
+  }
+  m.commit_phase();
+
+  const Addr off = qsm_prefix_rounds(m, marks, n, p);
+
+  std::uint64_t count = 0;
+  for (const auto& block : val)
+    for (Word v : block)
+      if (v != 0) ++count;
+  const Addr out = m.alloc(std::max<std::uint64_t>(1, count));
+
+  // Round: fetch offsets for the block, then place the block's items.
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q)
+    for (std::size_t t = 0; t < val[q].size(); ++t)
+      if (val[q][t] != 0) m.read(q, off + q * np + t);
+  m.commit_phase();
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const auto box = m.inbox(q);
+    std::size_t k = 0;
+    m.local(q, std::max<std::size_t>(std::size_t{1}, box.size()));
+    for (std::size_t t = 0; t < val[q].size(); ++t)
+      if (val[q][t] != 0)
+        m.write(q, out + static_cast<std::uint64_t>(box[k++]), val[q][t]);
+  }
+  m.commit_phase();
+
+  res.out = out;
+  res.out_size = std::max<std::uint64_t>(1, count);
+  res.items = count;
+  res.ok = true;
+  return res;
+}
+
+LacResult lac_dart(QsmMachine& m, Addr in, std::uint64_t n, std::uint64_t h,
+                   Rng& rng, unsigned tau) {
+  LacResult res;
+  if (tau == 0) tau = 1;
+  if (n == 0) {
+    res.ok = true;
+    return res;
+  }
+
+  // Phase 0: cell owners learn their values.
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, in + i);
+  m.commit_phase();
+  struct Item {
+    std::uint64_t idx;
+    Word value;
+  };
+  std::vector<Item> live;
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Word v = m.inbox(i)[0];
+    m.local(i, 1);
+    if (v != 0) live.push_back({i, v});
+  }
+  m.commit_phase();
+  res.items = live.size();
+
+  Addr first_board = 0;
+  Addr board_end = 0;
+  std::uint64_t bound = std::max<std::uint64_t>(h, live.size());
+  bool first = true;
+
+  while (!live.empty() && res.dart_phases < 64) {
+    const std::uint64_t s =
+        std::max<std::uint64_t>(16, 4 * std::max<std::uint64_t>(1, bound));
+    const Addr board = m.alloc(s);
+    if (first) {
+      first_board = board;
+      first = false;
+    }
+    board_end = board + s;
+
+    // Throw: tau darts per live item (tag = original index + 1).
+    std::vector<std::vector<std::uint64_t>> slots(live.size());
+    m.begin_phase();
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      for (unsigned d = 0; d < tau; ++d) {
+        const std::uint64_t slot = rng.next_below(s);
+        slots[k].push_back(slot);
+        m.write(live[k].idx, board + slot,
+                static_cast<Word>(live[k].idx + 1));
+      }
+    }
+    m.commit_phase();
+
+    // Read back.
+    m.begin_phase();
+    for (std::size_t k = 0; k < live.size(); ++k)
+      for (const std::uint64_t slot : slots[k])
+        m.read(live[k].idx, board + slot);
+    m.commit_phase();
+
+    // Confirm the first won slot; survivors carry over.
+    std::vector<Item> next;
+    m.begin_phase();
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const auto box = m.inbox(live[k].idx);
+      m.local(live[k].idx, box.size());
+      bool won = false;
+      for (std::size_t d = 0; d < box.size(); ++d) {
+        if (box[d] == static_cast<Word>(live[k].idx + 1)) {
+          m.write(live[k].idx, board + slots[k][d],
+                  kConfirm + live[k].value);
+          won = true;
+          break;
+        }
+      }
+      if (!won) next.push_back(live[k]);
+    }
+    m.commit_phase();
+
+    live = std::move(next);
+    bound = std::max<std::uint64_t>(1, bound / 2);
+    ++res.dart_phases;
+  }
+
+  res.out = first_board;
+  res.out_size = board_end - first_board;
+  res.ok = live.empty();
+  return res;
+}
+
+bool lac_output_valid(const QsmMachine& m, Addr in, std::uint64_t n,
+                      const LacResult& r) {
+  if (!r.ok) return false;
+  std::unordered_map<Word, std::uint64_t> want;
+  std::uint64_t items = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Word v = m.peek(in + i);
+    if (v != 0) {
+      ++want[v];
+      ++items;
+    }
+  }
+  std::uint64_t found = 0;
+  for (std::uint64_t j = 0; j < r.out_size; ++j) {
+    Word v = m.peek(r.out + j);
+    if (v == 0) continue;
+    if (v >= kConfirm) v -= kConfirm;      // confirmed dart slot
+    else if (r.dart_phases > 0) continue;  // stale tag on a dart board
+    auto it = want.find(v);
+    if (it == want.end() || it->second == 0) continue;
+    --it->second;
+    ++found;
+  }
+  return found == items;
+}
+
+}  // namespace parbounds

@@ -1,0 +1,57 @@
+#pragma once
+// Linear Approximate Compaction (Section 6.2): given an array of n cells
+// with at most h holding one item each (nonzero Words) and the rest empty
+// (0), insert the items into an array of size O(h).
+//
+//  * lac_prefix   — deterministic, via fan-in k prefix sums; exact
+//                   compaction (output size = #items), O(g k log n/log k).
+//                   This is the paper's "simple algorithm based on
+//                   computing prefix sums".
+//  * lac_rounds   — p-processor round-structured deterministic variant,
+//                   Theta(log n / log(n/p)) rounds.
+//  * lac_dart     — randomized dart throwing adapted from the QRQW
+//                   algorithm of [9]: every live item repeatedly claims a
+//                   random slot of a fresh 4h-slot board (throw tau darts,
+//                   read them back, confirm the first win); survivors move
+//                   to the next, half-sized board. Output is the
+//                   concatenation of the boards (total size <= 8h + O(1)
+//                   slots = O(h)). With tau = ceil(sqrt(log n)) the phase
+//                   count is O(log h / tau) = O(sqrt(log n)) and every
+//                   phase costs about max(g*tau, kappa), giving measured
+//                   time near the claimed O(sqrt(g log n) + g loglog n)
+//                   shape for moderate g (EXPERIMENTS.md quantifies the
+//                   deviation).
+//
+// Results report where each item landed so tests can check validity.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/qsm.hpp"
+#include "util/rng.hpp"
+
+namespace parbounds {
+
+struct LacResult {
+  Addr out = 0;                 ///< base of the destination array
+  std::uint64_t out_size = 0;   ///< its size (must be O(h))
+  std::uint64_t items = 0;      ///< number of items placed
+  std::uint64_t dart_phases = 0;  ///< randomized variant: throw rounds used
+  bool ok = false;              ///< all items placed, no slot clash
+};
+
+LacResult lac_prefix(QsmMachine& m, Addr in, std::uint64_t n,
+                     unsigned fanin = 2);
+
+LacResult lac_rounds(QsmMachine& m, Addr in, std::uint64_t n,
+                     std::uint64_t p);
+
+LacResult lac_dart(QsmMachine& m, Addr in, std::uint64_t n, std::uint64_t h,
+                   Rng& rng, unsigned tau = 0);
+
+/// Validate a LAC output region against the original input: every nonzero
+/// input item appears exactly once in [r.out, r.out + r.out_size).
+bool lac_output_valid(const QsmMachine& m, Addr in, std::uint64_t n,
+                      const LacResult& r);
+
+}  // namespace parbounds

@@ -1,0 +1,111 @@
+#include "algos/list_ranking.hpp"
+
+#include <stdexcept>
+
+#include "algos/broadcast.hpp"
+
+namespace parbounds {
+
+ListRankingResult list_ranking(QsmMachine& m,
+                               const std::vector<std::uint32_t>& succ,
+                               const std::vector<Word>& weight,
+                               std::uint32_t tail) {
+  ListRankingResult res;
+  const std::uint64_t n = succ.size();
+  if (weight.size() != n) throw std::invalid_argument("weight size != n");
+  if (n == 0) return res;
+  for (const Word w : weight)
+    if (w < 0 || w >= (Word{1} << 31))
+      throw std::invalid_argument("weights must fit 31 bits (packing)");
+
+  // Input staging: successor and weight arrays resident in shared memory.
+  const Addr S0 = m.alloc(n);
+  const Addr A0 = m.alloc(n);
+  {
+    std::vector<Word> sw(n);
+    for (std::uint64_t i = 0; i < n; ++i) sw[i] = succ[i];
+    m.preload(S0, sw);
+    m.preload(A0, weight);
+  }
+
+  // Every node fetches its own successor and weight.
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.read(i, S0 + i);
+    m.read(i, A0 + i);
+  }
+  m.commit_phase();
+  std::vector<std::uint32_t> s(n);
+  std::vector<Word> a(n);
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s[i] = static_cast<std::uint32_t>(m.inbox(i)[0]);
+    a[i] = m.inbox(i)[1];
+    m.local(i, 1);
+  }
+  m.commit_phase();
+
+  // Broadcast (tail id, tail weight) packed into one word so every node
+  // can short-circuit on reaching the tail without queuing at its cells.
+  const Addr tcell = m.alloc(1);
+  const Word packed = (static_cast<Word>(tail) << 31) | weight[tail];
+  m.preload(tcell, packed);
+  const Addr tcopies = m.alloc(n);
+  qsm_broadcast(m, tcell, tcopies, n);
+  const Word w_tail = weight[tail];
+
+  // Pointer jumping with double-buffered (succ, agg) arrays. Each round:
+  // publish state, then unfinished nodes read their successor's state.
+  const Addr SB[2] = {m.alloc(n), m.alloc(n)};
+  const Addr AB[2] = {m.alloc(n), m.alloc(n)};
+  std::vector<std::uint8_t> done(n, 0);
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (s[i] == tail || static_cast<std::uint32_t>(i) == tail) done[i] = 1;
+
+  unsigned buf = 0;
+  bool all_done = false;
+  while (!all_done) {
+    m.begin_phase();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      m.write(i, SB[buf] + i, s[i]);
+      m.write(i, AB[buf] + i, a[i]);
+    }
+    m.commit_phase();
+
+    m.begin_phase();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      m.read(i, SB[buf] + s[i]);
+      m.read(i, AB[buf] + s[i]);
+    }
+    m.commit_phase();
+
+    all_done = true;
+    m.begin_phase();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      const auto box = m.inbox(i);
+      const auto s2 = static_cast<std::uint32_t>(box[0]);
+      a[i] += box[1];
+      s[i] = s2;
+      m.local(i, 1);
+      if (s[i] == tail)
+        done[i] = 1;
+      else
+        all_done = false;
+    }
+    m.commit_phase();
+    buf ^= 1;
+    ++res.jump_rounds;
+    if (res.jump_rounds > 2 * n + 64)
+      throw std::logic_error("list_ranking failed to converge (bad list?)");
+  }
+
+  res.rank.assign(n, 0);
+  for (std::uint64_t i = 0; i < n; ++i)
+    res.rank[i] =
+        (static_cast<std::uint32_t>(i) == tail) ? w_tail : a[i] + w_tail;
+  return res;
+}
+
+}  // namespace parbounds

@@ -1,0 +1,37 @@
+#pragma once
+// List ranking via pointer jumping (Wyllie), used here as a target of the
+// size-preserving reduction from Parity (Section 3 notes that the Parity
+// lower bounds imply bounds for list ranking and sorting).
+//
+// Contention discipline: active nodes always have pairwise-distinct
+// successors (jumping preserves injectivity on the un-finished prefix),
+// and a node whose successor IS the tail finishes without reading —
+// tail's rank is 0 by definition and its id is known (broadcast first).
+// That keeps per-phase contention O(1); without the tail short-circuit the
+// final phases would queue Theta(n) readers on the tail's cells. Double
+// buffering (read level t, write level t+1) respects the QSM rule that a
+// cell is never read and written in one phase.
+//
+// Cost: O(g log n) after an O(g log n / log g) broadcast of the tail id.
+//
+// With per-node weights this computes suffix sums: rank[i] = sum of
+// weights from i (inclusive) to the tail (inclusive).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/qsm.hpp"
+
+namespace parbounds {
+
+struct ListRankingResult {
+  std::vector<Word> rank;  ///< weighted rank per node (driver-extracted)
+  std::uint64_t jump_rounds = 0;
+};
+
+ListRankingResult list_ranking(QsmMachine& m,
+                               const std::vector<std::uint32_t>& succ,
+                               const std::vector<Word>& weight,
+                               std::uint32_t tail);
+
+}  // namespace parbounds

@@ -1,0 +1,180 @@
+#include "algos/load_balance.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "algos/prefix.hpp"
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+LoadBalanceResult load_balance(QsmMachine& m,
+                               const std::vector<std::uint64_t>& loads,
+                               unsigned fanin) {
+  LoadBalanceResult res;
+  const std::uint64_t n = loads.size();
+  if (n == 0) {
+    res.ok = true;
+    return res;
+  }
+
+  // Input staging: load counts live in shared memory at time 0.
+  const Addr cnt = m.alloc(n);
+  {
+    std::vector<Word> w(loads.begin(), loads.end());
+    m.preload(cnt, w);
+  }
+
+  // Every processor reads its own count (the objects themselves are
+  // private state — the model charges for shipping them below).
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, cnt + i);
+  m.commit_phase();
+  std::vector<std::uint64_t> my(n);
+  std::uint64_t h = 0;
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    my[i] = static_cast<std::uint64_t>(m.inbox(i)[0]);
+    h += my[i];
+    m.local(i, 1);
+  }
+  m.commit_phase();
+
+  const Addr off = qsm_prefix(m, cnt, n, fanin);
+  const Addr pool = m.alloc(std::max<std::uint64_t>(1, h));
+
+  // Fetch offsets, then ship the objects (m_rw = per-processor load).
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (my[i] > 0) m.read(i, off + i);
+  m.commit_phase();
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (my[i] == 0) continue;
+    const auto base = static_cast<std::uint64_t>(m.inbox(i)[0]);
+    m.local(i, my[i]);
+    for (std::uint64_t r = 0; r < my[i]; ++r)
+      m.write(i, pool + base + r,
+              static_cast<Word>((i << 32) + r + 1));
+  }
+  m.commit_phase();
+
+  res.pool = pool;
+  res.h = h;
+  res.per_proc = ceil_div(std::max<std::uint64_t>(1, h), n);
+  res.ok = true;
+  return res;
+}
+
+LoadBalanceResult load_balance_rounds(QsmMachine& m,
+                                      const std::vector<std::uint64_t>& loads,
+                                      std::uint64_t p) {
+  LoadBalanceResult res;
+  const std::uint64_t n = loads.size();
+  if (p == 0 || p > std::max<std::uint64_t>(n, 1))
+    throw std::invalid_argument("load_balance_rounds needs 1 <= p <= n");
+  if (n == 0) {
+    res.ok = true;
+    return res;
+  }
+  const std::uint64_t np = ceil_div(n, p);
+
+  const Addr cnt = m.alloc(n);
+  {
+    std::vector<Word> w(loads.begin(), loads.end());
+    m.preload(cnt, w);
+  }
+
+  // Round: worker q scans the counts of its source block.
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const std::uint64_t lo = q * np;
+    const std::uint64_t hi = std::min<std::uint64_t>(n, lo + np);
+    for (std::uint64_t i = lo; i < hi; ++i) m.read(q, cnt + i);
+  }
+  m.commit_phase();
+  std::vector<std::vector<std::uint64_t>> my(p);
+  std::uint64_t h = 0;
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const auto box = m.inbox(q);
+    for (const Word v : box) {
+      my[q].push_back(static_cast<std::uint64_t>(v));
+      h += static_cast<std::uint64_t>(v);
+    }
+    m.local(q, std::max<std::size_t>(std::size_t{1}, box.size()));
+  }
+  m.commit_phase();
+
+  // Round-structured prefix over the counts gives per-source offsets.
+  const Addr off = qsm_prefix_rounds(m, cnt, n, p);
+  const Addr pool = m.alloc(std::max<std::uint64_t>(1, h));
+
+  // Round: fetch my block's offsets.
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const std::uint64_t lo = q * np;
+    const std::uint64_t hi = std::min<std::uint64_t>(n, lo + np);
+    for (std::uint64_t i = lo; i < hi; ++i) m.read(q, off + i);
+  }
+  m.commit_phase();
+  std::vector<std::vector<std::uint64_t>> base(p);
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const auto box = m.inbox(q);
+    base[q].assign(box.begin(), box.end());
+  }
+
+  // Shipping rounds: flatten each worker's objects, then emit at most
+  // n/p per phase so every phase stays within the round budget.
+  std::vector<std::vector<std::pair<Addr, Word>>> outbox(p);
+  for (std::uint64_t q = 0; q < p; ++q)
+    for (std::size_t s = 0; s < my[q].size(); ++s) {
+      const std::uint64_t source = q * np + s;
+      for (std::uint64_t r = 0; r < my[q][s]; ++r)
+        outbox[q].emplace_back(pool + base[q][s] + r,
+                               static_cast<Word>((source << 32) + r + 1));
+    }
+  std::vector<std::size_t> cursor(p, 0);
+  bool more = true;
+  while (more) {
+    more = false;
+    m.begin_phase();
+    for (std::uint64_t q = 0; q < p; ++q) {
+      const std::size_t hi =
+          std::min(outbox[q].size(), cursor[q] + np);
+      if (cursor[q] < hi) m.local(q, hi - cursor[q]);
+      for (; cursor[q] < hi; ++cursor[q])
+        m.write(q, outbox[q][cursor[q]].first,
+                outbox[q][cursor[q]].second);
+      if (cursor[q] < outbox[q].size()) more = true;
+    }
+    m.commit_phase();
+  }
+
+  res.pool = pool;
+  res.h = h;
+  res.per_proc = ceil_div(std::max<std::uint64_t>(1, h), n);
+  res.ok = true;
+  return res;
+}
+
+bool load_balance_valid(const QsmMachine& m,
+                        const std::vector<std::uint64_t>& loads,
+                        const LoadBalanceResult& r) {
+  if (!r.ok) return false;
+  std::unordered_set<Word> seen;
+  std::uint64_t h = 0;
+  for (const auto l : loads) h += l;
+  if (h != r.h) return false;
+  for (std::uint64_t j = 0; j < h; ++j) {
+    const Word v = m.peek(r.pool + j);
+    if (v == 0) return false;
+    const auto i = static_cast<std::uint64_t>(v) >> 32;
+    const auto rank = (static_cast<std::uint64_t>(v) & 0xffffffffULL) - 1;
+    if (i >= loads.size() || rank >= loads[i]) return false;
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+}  // namespace parbounds

@@ -1,0 +1,48 @@
+#pragma once
+// Load Balancing (Section 6.2): h objects distributed among n processors;
+// redistribute so every processor ends with O(1 + h/n) objects.
+//
+// The implementation is the prefix-sums algorithm: processors post their
+// load counts, an exclusive prefix gives every processor the global offset
+// of its objects, the objects are written into a dense h-slot pool, and
+// processor i then owns pool slots {j : j mod n == i} — at most
+// ceil(h/n) each. Time O(g(k log n / log k + maxload)); the maxload term
+// is the unavoidable shipping of the heaviest processor's objects.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/qsm.hpp"
+
+namespace parbounds {
+
+struct LoadBalanceResult {
+  Addr pool = 0;               ///< dense pool of all objects
+  std::uint64_t h = 0;         ///< total objects
+  std::uint64_t per_proc = 0;  ///< resulting max objects per processor
+  bool ok = false;             ///< per_proc <= ceil(h/n) + 1
+};
+
+/// `loads[i]` objects start at processor i; object identities are
+/// synthesised as (i << 32) + rank so the result can be validated.
+/// The loads themselves are staged into shared memory first (the model
+/// assumes inputs resident in memory, processors must read them).
+LoadBalanceResult load_balance(QsmMachine& m,
+                               const std::vector<std::uint64_t>& loads,
+                               unsigned fanin = 2);
+
+/// Validate: pool holds exactly the synthesised objects, each once.
+bool load_balance_valid(const QsmMachine& m,
+                        const std::vector<std::uint64_t>& loads,
+                        const LoadBalanceResult& r);
+
+/// Round-structured variant for p << n worker processors: worker q owns
+/// source processors [q*n/p, (q+1)*n/p); the prefix runs through
+/// qsm_prefix_rounds and object shipping is chunked so no phase moves
+/// more than ~n/p + maxload words — Theta(log n / log(n/p)) rounds plus
+/// ceil(h / (n/p)) shipping rounds.
+LoadBalanceResult load_balance_rounds(QsmMachine& m,
+                                      const std::vector<std::uint64_t>& loads,
+                                      std::uint64_t p);
+
+}  // namespace parbounds

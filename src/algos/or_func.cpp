@@ -1,0 +1,89 @@
+#include "algos/or_func.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algos/reduce.hpp"
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+Word or_tree(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin) {
+  return reduce_tree(m, in, n, fanin, Combine::Or);
+}
+
+Word or_fanin_qsm(QsmMachine& m, Addr in, std::uint64_t n,
+                  std::uint64_t cap) {
+  const auto fanin = static_cast<unsigned>(
+      std::clamp<std::uint64_t>(m.config().g, 2, cap));
+  return or_contention(m, in, n, fanin);
+}
+
+Word or_rand_cr(QsmMachine& m, Addr in, std::uint64_t n, Rng& rng) {
+  if (n == 0) return 0;
+  // Stage s uses write-probability c / tau_s with tau_s = n / 2^(2^s):
+  // the first stage whose threshold undershoots the true number of ones
+  // sets the `done` flag with Theta(1) expected writers. Doubly
+  // exponential thresholds make only O(loglog n) stages necessary, and the
+  // one-stage lag before everybody observes `done` keeps the write queue
+  // at the flag short w.h.p. A deterministic contention tree guards the
+  // tail (all-zeros inputs, or an unlucky run) so the result is exact.
+  const double c = 4.0;
+  const auto stages =
+      static_cast<unsigned>(std::ceil(safe_loglog2(static_cast<double>(n)))) +
+      1;
+
+  // Phase 0: every input holder learns its own bit.
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, in + i);
+  m.commit_phase();
+  std::vector<std::uint8_t> bit(n);
+  for (std::uint64_t i = 0; i < n; ++i) bit[i] = m.inbox(i)[0] != 0;
+
+  const Addr done = m.alloc(1);
+  std::vector<std::uint8_t> saw_done(n, 0);
+  std::uint64_t holders = 0;
+  for (std::uint64_t i = 0; i < n; ++i) holders += bit[i];
+  std::uint64_t aware = 0;
+  for (unsigned s = 0; s < stages && holders > 0; ++s) {
+    // Read phase: holders poll the flag (free under QsmCrFree; still
+    // correct, just slower, under queued reads).
+    m.begin_phase();
+    for (std::uint64_t i = 0; i < n; ++i)
+      if (bit[i] != 0 && saw_done[i] == 0) m.read(i, done);
+    m.commit_phase();
+    for (std::uint64_t i = 0; i < n; ++i)
+      if (bit[i] != 0 && saw_done[i] == 0 && !m.inbox(i).empty() &&
+          m.inbox(i)[0] != 0) {
+        saw_done[i] = 1;
+        ++aware;
+      }
+    // Bulk-synchronous termination: once EVERY holder has observed the
+    // flag, all processors are idle and the machine halts — no further
+    // (charged) stages run.
+    if (aware == holders) break;
+
+    // Write phase: holders that still believe the flag is clear toss a
+    // coin with this stage's probability.
+    const double tau =
+        static_cast<double>(n) / dpow(2.0, std::min(60u, 1u << s));
+    const double prob = std::min(1.0, c / std::max(tau, 1.0));
+    m.begin_phase();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (bit[i] == 0 || saw_done[i] != 0) continue;
+      m.local(i, 1);
+      if (rng.next_bool(prob)) m.write(i, done, 1);
+    }
+    m.commit_phase();
+  }
+
+  if (m.peek(done) != 0) return 1;
+  // Las Vegas tail: deterministic contention OR (exact on any input).
+  return or_fanin_qsm(m, in, n);
+}
+
+Word or_bsp(BspMachine& m, std::span<const Word> input) {
+  return bsp_reduce(m, input, Combine::Or);
+}
+
+}  // namespace parbounds

@@ -1,0 +1,41 @@
+#pragma once
+// OR algorithms (Section 7 problem; Section 8 upper bounds).
+//
+//  * or_tree           — read-based fan-in k tree (s-QSM: k = 2 gives
+//                        O(g log n)).
+//  * or_fanin_qsm      — contention fan-in g (write-based), the
+//                        O((g / log g) log n) deterministic QSM algorithm.
+//  * or_rand_cr        — randomized OR under unit-time concurrent reads:
+//                        processors sample random positions and a positive
+//                        sample short-circuits through a single flag cell;
+//                        a deterministic fan-in tree guards the all-zeros
+//                        tail. Adapted from the QRQW algorithm of [9];
+//                        O(g log n / loglog n) phases w.h.p. on dense
+//                        inputs, never worse than the deterministic tree.
+//  * or_bsp            — BSP fan-in L/g message tree.
+//
+// or_rounds (the Corollary 7.3 Theta matcher) lives in reduce.hpp.
+
+#include <cstdint>
+#include <span>
+
+#include "core/bsp.hpp"
+#include "core/qsm.hpp"
+#include "util/rng.hpp"
+
+namespace parbounds {
+
+Word or_tree(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin = 2);
+
+/// Write-based contention OR with fanin = clamp(g, 2, cap).
+Word or_fanin_qsm(QsmMachine& m, Addr in, std::uint64_t n,
+                  std::uint64_t cap = 1u << 20);
+
+/// Randomized OR for machines with free concurrent reads
+/// (CostModel::QsmCrFree). `ones_hint` only sizes the sampling schedule
+/// in tests; the result is always exact.
+Word or_rand_cr(QsmMachine& m, Addr in, std::uint64_t n, Rng& rng);
+
+Word or_bsp(BspMachine& m, std::span<const Word> input);
+
+}  // namespace parbounds

@@ -1,0 +1,181 @@
+#include "algos/padded_sort.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+
+namespace {
+
+struct Placement {
+  bool placed_all = false;
+  std::vector<std::vector<std::uint32_t>> bucket_tags;  // tag = index + 1
+};
+
+/// One Las Vegas attempt: probe-write-readback darts into bucket regions.
+/// Returns which tags settled where; the board holds tags.
+Placement place_into_buckets(QsmMachine& m, const std::vector<Word>& val,
+                             Addr board, std::uint64_t nb, std::uint64_t R,
+                             Rng& rng) {
+  const std::uint64_t n = val.size();
+  auto bucket_of = [&](Word v) {
+    return std::min<std::uint64_t>(
+        nb - 1, static_cast<std::uint64_t>(v) * nb / kPaddedSortScale);
+  };
+
+  struct Live {
+    std::uint64_t idx;
+    std::uint64_t slot = 0;
+  };
+  std::vector<Live> live;
+  live.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) live.push_back({i, 0});
+
+  Placement out;
+  out.bucket_tags.assign(nb, {});
+  for (unsigned round = 0; round < 40 && !live.empty(); ++round) {
+    // Probe: pick a random slot in the home bucket and peek at it.
+    m.begin_phase();
+    for (auto& item : live) {
+      const std::uint64_t b = bucket_of(val[item.idx]);
+      item.slot = board + b * R + rng.next_below(R);
+      m.read(item.idx, item.slot);
+    }
+    m.commit_phase();
+
+    // Claim: write the tag into slots observed empty.
+    std::vector<std::uint8_t> attempted(live.size(), 0);
+    m.begin_phase();
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      m.local(live[k].idx, 1);
+      if (m.inbox(live[k].idx)[0] == 0) {
+        attempted[k] = 1;
+        m.write(live[k].idx, live[k].slot,
+                static_cast<Word>(live[k].idx + 1));
+      }
+    }
+    m.commit_phase();
+
+    // Read back: the resident tag decides the winner. Settled slots are
+    // never written again — every later dart probes first and only
+    // targets slots it saw empty.
+    m.begin_phase();
+    for (std::size_t k = 0; k < live.size(); ++k)
+      if (attempted[k]) m.read(live[k].idx, live[k].slot);
+    m.commit_phase();
+
+    std::vector<Live> next;
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const bool won =
+          attempted[k] && !m.inbox(live[k].idx).empty() &&
+          m.inbox(live[k].idx)[0] == static_cast<Word>(live[k].idx + 1);
+      if (won)
+        out.bucket_tags[bucket_of(val[live[k].idx])].push_back(
+            static_cast<std::uint32_t>(live[k].idx + 1));
+      else
+        next.push_back(live[k]);
+    }
+    live = std::move(next);
+  }
+  out.placed_all = live.empty();
+  return out;
+}
+
+}  // namespace
+
+PaddedSortResult padded_sort(QsmMachine& m, Addr in, std::uint64_t n,
+                             Rng& rng) {
+  PaddedSortResult res;
+  if (n == 0) {
+    res.ok = true;
+    return res;
+  }
+
+  // Phase 0: owners learn their values.
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, in + i);
+  m.commit_phase();
+  std::vector<Word> val(n);
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    val[i] = m.inbox(i)[0];
+    m.local(i, 1);
+  }
+  m.commit_phase();
+
+  const std::uint64_t nb = std::max<std::uint64_t>(1, ceil_div(n, 4));
+  const double dn = static_cast<double>(std::max<std::uint64_t>(n, 16));
+  std::uint64_t R = std::max<std::uint64_t>(
+      16, static_cast<std::uint64_t>(
+              std::ceil(3.0 * std::log2(dn) / safe_loglog2(dn))));
+
+  for (; res.retries < 8; ++res.retries, R *= 2) {
+    const Addr board = m.alloc(nb * R);
+    const Placement pl = place_into_buckets(m, val, board, nb, R, rng);
+    if (!pl.placed_all) continue;  // bucket overflow: double R, retry
+
+    // Bucket leaders: read region, resolve tags to values, sort, write
+    // back left-justified (+1 so the padding 0 means NULL).
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < nb; ++b)
+      for (std::uint64_t s = 0; s < R; ++s) m.read(n + b, board + b * R + s);
+    m.commit_phase();
+
+    std::vector<std::vector<std::uint32_t>> tags(nb);
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < nb; ++b) {
+      const auto box = m.inbox(n + b);
+      m.local(n + b, box.size());
+      for (const Word w : box)
+        if (w != 0) tags[b].push_back(static_cast<std::uint32_t>(w));
+      for (const auto tag : tags[b]) m.read(n + b, in + tag - 1);
+    }
+    m.commit_phase();
+
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < nb; ++b) {
+      auto vs = std::vector<Word>(m.inbox(n + b).begin(),
+                                  m.inbox(n + b).end());
+      std::sort(vs.begin(), vs.end());
+      m.local(n + b, std::max<std::size_t>(
+                         std::size_t{1},
+                         vs.size() * (ilog2(vs.size() + 1) + 1)));
+      // Rewrite the whole region: sorted values left-justified, then NULLs
+      // (this also clears claimed tag slots scattered across the region).
+      for (std::uint64_t t = 0; t < R; ++t)
+        m.write(n + b, board + b * R + t,
+                t < vs.size() ? vs[t] + 1 : 0);
+    }
+    m.commit_phase();
+
+    res.out = board;
+    res.out_size = nb * R;
+    res.items = n;
+    res.ok = true;
+    return res;
+  }
+  return res;  // ok = false after too many retries (practically unreachable)
+}
+
+bool padded_sort_valid(const QsmMachine& m, Addr in, std::uint64_t n,
+                       const PaddedSortResult& r) {
+  if (!r.ok) return false;
+  std::vector<Word> want, got;
+  for (std::uint64_t i = 0; i < n; ++i) want.push_back(m.peek(in + i));
+  std::sort(want.begin(), want.end());
+  Word prev = -1;
+  for (std::uint64_t j = 0; j < r.out_size; ++j) {
+    const Word w = m.peek(r.out + j);
+    if (w == 0) continue;  // NULL padding
+    const Word v = w - 1;
+    if (v < prev) return false;  // not sorted
+    prev = v;
+    got.push_back(v);
+  }
+  return got == want;
+}
+
+}  // namespace parbounds

@@ -1,0 +1,45 @@
+#pragma once
+// Padded Sort (Section 6.2): n values drawn uniformly from [0,1) (scaled
+// to integers in [0, kPaddedSortScale)), arranged in sorted order in an
+// array of size O(n) with 0 standing for the paper's NULL padding.
+//
+// Algorithm (bucket + local sort, a Las Vegas scheme):
+//   1. value v targets bucket floor(v * nb / scale), nb ≈ n/8 buckets;
+//   2. items dart-throw into their bucket's region of
+//      R = Theta(log n / loglog n) slots (retrying collisions);
+//   3. one processor per bucket reads its region, sorts locally, writes
+//      the values back left-justified (offset by +1 so 0 = NULL);
+//   4. if any bucket overflowed, everything retries with doubled R
+//      (vanishingly rare at the default R).
+//
+// Output: concatenated bucket regions — globally sorted since bucket
+// ranges are ordered and each is sorted internally. Size nb * R = O(n).
+// Measured time is Theta(g * R) = Theta(g log n / loglog n), between the
+// paper's Omega(g loglog n) lower bound (Corollary 6.1) and the trivial
+// O(g log n).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/qsm.hpp"
+#include "util/rng.hpp"
+
+namespace parbounds {
+
+struct PaddedSortResult {
+  Addr out = 0;
+  std::uint64_t out_size = 0;
+  std::uint64_t items = 0;
+  std::uint64_t retries = 0;  ///< whole-instance Las Vegas retries
+  bool ok = false;
+};
+
+PaddedSortResult padded_sort(QsmMachine& m, Addr in, std::uint64_t n,
+                             Rng& rng);
+
+/// Validate: nonzero entries of the output are (value+1)s of the input
+/// multiset in nondecreasing order.
+bool padded_sort_valid(const QsmMachine& m, Addr in, std::uint64_t n,
+                       const PaddedSortResult& r);
+
+}  // namespace parbounds

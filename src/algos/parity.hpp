@@ -1,0 +1,48 @@
+#pragma once
+// Parity algorithms (Section 3 problem; Section 8 upper bounds).
+//
+//  * parity_tree        — read-based fan-in k tree; k = 2 gives the
+//                         Theta(g log n) s-QSM algorithm.
+//  * parity_circuit     — emulation of the depth-2 unbounded fan-in parity
+//                         circuit, block by block: a block of k bits is
+//                         resolved in O(1) phases by dedicating one
+//                         processor group to each odd-weight assignment of
+//                         the block. Read contention per input bit is
+//                         2^(k-1), so on the QSM k = log g + 1 keeps every
+//                         phase at cost O(g) and the total is
+//                         O(g log n / loglog g); with unit-time concurrent
+//                         reads (CostModel::QsmCrFree) k can grow to g and
+//                         the total becomes O(g log n / log g), matching
+//                         the Theorem 3.1 lower bound.
+//  * parity_rounds      — p-processor round-structured tree (local block
+//                         scan + fan-in n/p), Theta(log n/log(n/p)) rounds.
+//  * parity_bsp         — BSP: local scan then fan-in max(2, L/g) message
+//                         tree; O(n/p + L log p / log(L/g)) time.
+
+#include <cstdint>
+#include <span>
+
+#include "core/bsp.hpp"
+#include "core/qsm.hpp"
+
+namespace parbounds {
+
+/// Fan-in k read tree (k >= 2). Wrapper over reduce_tree(Combine::Xor).
+Word parity_tree(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin = 2);
+
+/// Depth-2 circuit emulation with blocks of `block` bits (2 <= block <= 16).
+/// Pass block = 0 to auto-select: log2(g)+1 under queued reads, and
+/// min(g, cap) under CostModel::QsmCrFree.
+Word parity_circuit(QsmMachine& m, Addr in, std::uint64_t n,
+                    unsigned block = 0);
+
+/// Auto block-size rule used by parity_circuit (exposed for tests/benches).
+unsigned parity_circuit_block(const QsmMachine& m, unsigned cap = 10);
+
+/// Round-structured p-processor parity (p <= n).
+Word parity_rounds(QsmMachine& m, Addr in, std::uint64_t n, std::uint64_t p);
+
+/// BSP parity of `input` block-distributed over the machine's p components.
+Word parity_bsp(BspMachine& m, std::span<const Word> input);
+
+}  // namespace parbounds

@@ -1,0 +1,136 @@
+#include "algos/prefix.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+Addr qsm_prefix(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin) {
+  if (fanin < 2) throw std::invalid_argument("qsm_prefix: fanin >= 2");
+  if (n == 0) return m.alloc(0);
+
+  // ----- up-sweep: per-level block sums ------------------------------------
+  struct Level {
+    Addr sums;
+    std::uint64_t len;
+  };
+  std::vector<Level> levels;
+  levels.push_back({in, n});
+  while (levels.back().len > 1) {
+    const auto [cur, len] = levels.back();
+    const std::uint64_t blocks = ceil_div(len, fanin);
+    const Addr next = m.alloc(blocks);
+
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t lo = b * fanin;
+      const std::uint64_t hi = std::min<std::uint64_t>(len, lo + fanin);
+      for (std::uint64_t i = lo; i < hi; ++i) m.read(b, cur + i);
+    }
+    m.commit_phase();
+
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      Word acc = 0;
+      const auto box = m.inbox(b);
+      for (Word v : box) acc += v;
+      m.local(b, box.size());
+      m.write(b, next + b, acc);
+    }
+    m.commit_phase();
+    levels.push_back({next, blocks});
+  }
+
+  // ----- down-sweep: exclusive offsets -------------------------------------
+  // offsets[top] is a single fresh cell holding 0 already.
+  std::vector<Addr> offsets(levels.size());
+  offsets.back() = m.alloc(1);
+  for (std::size_t l = levels.size() - 1; l-- > 0;) {
+    const auto [sums, len] = levels[l];
+    const Addr off = m.alloc(len);
+    const Addr parent_off = offsets[l + 1];
+
+    // Cell j needs its parent's offset plus the sums of its earlier
+    // siblings; both fan-ins are <= fanin readers per cell.
+    m.begin_phase();
+    for (std::uint64_t j = 0; j < len; ++j) {
+      m.read(j, parent_off + j / fanin);
+      const std::uint64_t lo = (j / fanin) * fanin;
+      for (std::uint64_t i = lo; i < j; ++i) m.read(j, sums + i);
+    }
+    m.commit_phase();
+
+    m.begin_phase();
+    for (std::uint64_t j = 0; j < len; ++j) {
+      Word acc = 0;
+      const auto box = m.inbox(j);
+      for (Word v : box) acc += v;
+      m.local(j, std::max<std::size_t>(std::size_t{1}, box.size()));
+      m.write(j, off + j, acc);
+    }
+    m.commit_phase();
+    offsets[l] = off;
+  }
+  return offsets[0];
+}
+
+Addr qsm_prefix_rounds(QsmMachine& m, Addr in, std::uint64_t n,
+                       std::uint64_t p) {
+  if (p == 0 || p > n)
+    throw std::invalid_argument("qsm_prefix_rounds needs 1 <= p <= n");
+  const std::uint64_t np = ceil_div(n, p);
+  const Addr block_sum = m.alloc(p);
+  const Addr out = m.alloc(n);
+
+  // Round 1: block scans. Local (exclusive) prefixes stay in processor
+  // private memory; only the block totals are posted.
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const std::uint64_t lo = q * np;
+    const std::uint64_t hi = std::min<std::uint64_t>(n, lo + np);
+    for (std::uint64_t i = lo; i < hi; ++i) m.read(q, in + i);
+  }
+  m.commit_phase();
+
+  std::vector<std::vector<Word>> local_prefix(p);
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const auto box = m.inbox(q);
+    Word acc = 0;
+    auto& lp = local_prefix[q];
+    lp.reserve(box.size());
+    for (Word v : box) {
+      lp.push_back(acc);
+      acc += v;
+    }
+    m.local(q, std::max<std::size_t>(std::size_t{1}, box.size()));
+    m.write(q, block_sum + q, acc);
+  }
+  m.commit_phase();
+
+  // Fan-in n/p prefix tree over the p block sums; every phase inside
+  // costs at most ~g * n/p, so each is a round.
+  const auto fanin =
+      static_cast<unsigned>(std::clamp<std::uint64_t>(np, 2, 1u << 20));
+  const Addr block_off = qsm_prefix(m, block_sum, p, fanin);
+
+  // Final round: fetch the block offset, then emit the block's prefixes.
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) m.read(q, block_off + q);
+  m.commit_phase();
+
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const Word base = m.inbox(q)[0];
+    const auto& lp = local_prefix[q];
+    m.local(q, std::max<std::size_t>(std::size_t{1}, lp.size()));
+    for (std::size_t t = 0; t < lp.size(); ++t)
+      m.write(q, out + q * np + t, base + lp[t]);
+  }
+  m.commit_phase();
+  return out;
+}
+
+}  // namespace parbounds

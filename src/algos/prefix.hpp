@@ -1,0 +1,28 @@
+#pragma once
+// Parallel prefix sums — the substrate for deterministic compaction, load
+// balancing and all the round-structured algorithms (Section 8 notes that
+// "the best algorithm ... that computes in rounds is the simple algorithm
+// based on computing prefix sums").
+//
+//  * qsm_prefix        — unbounded processors, fan-in k up-sweep /
+//                        down-sweep; O(g k log n / log k) time.
+//  * qsm_prefix_rounds — p-processor version: one O(g n/p) round to scan
+//                        blocks locally, a fan-in n/p tree over the p
+//                        block sums, and one round to write results;
+//                        Theta(log n / log(n/p)) rounds total.
+//
+// Both produce the EXCLUSIVE prefix sums of in[0..n) in a fresh region and
+// return its base address.
+
+#include <cstdint>
+
+#include "core/qsm.hpp"
+
+namespace parbounds {
+
+Addr qsm_prefix(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin = 2);
+
+Addr qsm_prefix_rounds(QsmMachine& m, Addr in, std::uint64_t n,
+                       std::uint64_t p);
+
+}  // namespace parbounds

@@ -1,0 +1,165 @@
+#include "algos/reduce.hpp"
+
+#include <algorithm>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+Word apply_combine(Combine op, Word a, Word b) {
+  switch (op) {
+    case Combine::Sum:
+      return a + b;
+    case Combine::Xor:
+      return a ^ b;
+    case Combine::Or:
+      return (a != 0 || b != 0) ? 1 : 0;
+    case Combine::Max:
+      return std::max(a, b);
+  }
+  return 0;
+}
+
+Word combine_identity(Combine op) {
+  switch (op) {
+    case Combine::Sum:
+    case Combine::Xor:
+    case Combine::Or:
+      return 0;
+    case Combine::Max:
+      return std::numeric_limits<Word>::min();
+  }
+  return 0;
+}
+
+Word reduce_tree(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin,
+                 Combine op) {
+  if (fanin < 2) throw std::invalid_argument("reduce_tree: fanin >= 2");
+  if (n == 0) return combine_identity(op);
+  Addr cur = in;
+  std::uint64_t len = n;
+  while (len > 1) {
+    const std::uint64_t blocks = ceil_div(len, fanin);
+    const Addr next = m.alloc(blocks);
+
+    // Read phase: one processor per block fetches its <= fanin cells.
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t lo = b * fanin;
+      const std::uint64_t hi = std::min<std::uint64_t>(len, lo + fanin);
+      for (std::uint64_t i = lo; i < hi; ++i) m.read(b, cur + i);
+    }
+    m.commit_phase();
+
+    // Combine-and-write phase: values read above are usable only now.
+    m.begin_phase();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      Word acc = combine_identity(op);
+      const auto box = m.inbox(b);
+      for (Word v : box) acc = apply_combine(op, acc, v);
+      m.local(b, box.size());
+      m.write(b, next + b, acc);
+    }
+    m.commit_phase();
+
+    cur = next;
+    len = blocks;
+  }
+  return m.peek(cur);
+}
+
+Word or_contention(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin) {
+  if (fanin < 2) throw std::invalid_argument("or_contention: fanin >= 2");
+  if (n == 0) return 0;
+  Addr cur = in;
+  std::uint64_t len = n;
+  while (len > 1) {
+    const std::uint64_t blocks = ceil_div(len, fanin);
+    const Addr next = m.alloc(blocks);
+
+    // Every level cell is read by its (unique) owner processor...
+    m.begin_phase();
+    for (std::uint64_t i = 0; i < len; ++i) m.read(i, cur + i);
+    m.commit_phase();
+
+    // ...and the 1-holders funnel into the block cell: the arbitrary-write
+    // rule is harmless because everybody writes the same value 1.
+    m.begin_phase();
+    for (std::uint64_t i = 0; i < len; ++i) {
+      m.local(i, 1);
+      if (!m.inbox(i).empty() && m.inbox(i)[0] != 0)
+        m.write(i, next + i / fanin, 1);
+    }
+    m.commit_phase();
+
+    cur = next;
+    len = blocks;
+  }
+  return m.peek(cur);
+}
+
+Word reduce_rounds(QsmMachine& m, Addr in, std::uint64_t n, std::uint64_t p,
+                   Combine op) {
+  if (p == 0 || p > n)
+    throw std::invalid_argument("reduce_rounds needs 1 <= p <= n");
+  const std::uint64_t np = ceil_div(n, p);
+  const Addr partial = m.alloc(p);
+
+  // Round 1 (two phases, each within the g*n/p budget): every processor
+  // scans its block and posts the block aggregate.
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const std::uint64_t lo = q * np;
+    const std::uint64_t hi = std::min<std::uint64_t>(n, lo + np);
+    for (std::uint64_t i = lo; i < hi; ++i) m.read(q, in + i);
+  }
+  m.commit_phase();
+
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    Word acc = combine_identity(op);
+    const auto box = m.inbox(q);
+    for (Word v : box) acc = apply_combine(op, acc, v);
+    m.local(q, std::max<std::uint64_t>(1, box.size()));
+    m.write(q, partial + q, acc);
+  }
+  m.commit_phase();
+
+  // Fan-in n/p tree over the p partials: each level is a round.
+  const auto fanin = static_cast<unsigned>(
+      std::clamp<std::uint64_t>(np, 2, 1u << 20));
+  return reduce_tree(m, partial, p, fanin, op);
+}
+
+Word or_rounds(QsmMachine& m, Addr in, std::uint64_t n, std::uint64_t p) {
+  if (p == 0 || p > n)
+    throw std::invalid_argument("or_rounds needs 1 <= p <= n");
+  const std::uint64_t np = ceil_div(n, p);
+  const Addr partial = m.alloc(p);
+
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    const std::uint64_t lo = q * np;
+    const std::uint64_t hi = std::min<std::uint64_t>(n, lo + np);
+    for (std::uint64_t i = lo; i < hi; ++i) m.read(q, in + i);
+  }
+  m.commit_phase();
+
+  m.begin_phase();
+  for (std::uint64_t q = 0; q < p; ++q) {
+    Word acc = 0;
+    const auto box = m.inbox(q);
+    for (Word v : box) acc |= (v != 0) ? 1 : 0;
+    m.local(q, std::max<std::uint64_t>(1, box.size()));
+    m.write(q, partial + q, acc);
+  }
+  m.commit_phase();
+
+  // Contention fan-in g*n/p (the round budget absorbs contention up to
+  // g*n/p on the QSM since kappa is charged without the g factor).
+  const auto fanin = static_cast<unsigned>(
+      std::clamp<std::uint64_t>(m.config().g * np, 2, 1u << 20));
+  return or_contention(m, partial, p, fanin);
+}
+
+}  // namespace parbounds

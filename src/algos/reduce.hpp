@@ -1,0 +1,68 @@
+#pragma once
+// Generic bulk-synchronous reduction skeletons on the shared-memory
+// machines. These are the workhorses behind the Section 8 upper bounds:
+//
+//  * reduce_tree     — read-based k-ary tree. Each level costs
+//                      O(g*k + g); with k = 2 on the s-QSM this is the
+//                      "straightforward algorithm" giving Theta(g log n)
+//                      parity. Works for any associative combiner.
+//  * or_contention   — write-based fan-in: k bits funnel into one cell by
+//                      letting every 1-holder write. Costs max(g, kappa)
+//                      per level on the QSM, so fan-in k = g gives the
+//                      O((g/log g) log n) deterministic OR of Section 8.
+//                      (Only valid for OR/MAX-style idempotent merges where
+//                      an arbitrary winner is correct.)
+//  * reduce_rounds   — p-processor, round-structured variant: every
+//                      processor first scans its n/p block locally (one
+//                      O(g n/p)-cost phase = one round), then a fan-in
+//                      n/p tree finishes in ceil(log p / log(n/p)) more
+//                      rounds. This matches the Theta round bounds in
+//                      Table 1, subtable 4.
+//
+// All functions leave the result in a machine cell and also return it
+// (via peek, no cost charged).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+
+#include "core/bsp.hpp"
+#include "core/qsm.hpp"
+
+namespace parbounds {
+
+/// Associative combiners over Words.
+enum class Combine : std::uint8_t { Sum, Xor, Or, Max };
+
+Word apply_combine(Combine op, Word a, Word b);
+Word combine_identity(Combine op);
+
+/// Read-based k-ary reduction of in[0..n) (fanin >= 2). Returns the result;
+/// two phases per level (read, then combine+write).
+Word reduce_tree(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin,
+                 Combine op);
+
+/// Write-based contention reduction for OR: per level, each 1-holder
+/// writes 1 to its block's output cell. fanin >= 2.
+Word or_contention(QsmMachine& m, Addr in, std::uint64_t n, unsigned fanin);
+
+/// Round-structured p-processor reduction (see header comment). p <= n.
+/// Every phase is a round (cost <= ~2 g n/p); phase count is
+/// 2 * (1 + ceil(log p / log max(2, n/p))).
+Word reduce_rounds(QsmMachine& m, Addr in, std::uint64_t n, std::uint64_t p,
+                   Combine op);
+
+/// Round-structured p-processor OR on the QSM using contention fan-in
+/// min(g * n/p, ...) per level — the algorithm matching Corollary 7.3's
+/// Theta(log n / log(g n / p)) round bound.
+Word or_rounds(QsmMachine& m, Addr in, std::uint64_t n, std::uint64_t p);
+
+/// BSP reduction of a block-distributed input: local scan superstep, then
+/// a fan-in tree of message supersteps (fanin = 0 auto-selects
+/// max(2, L/g), the choice that makes each superstep cost exactly L and
+/// the total O(n/p + L log p / log(L/g)) — Section 8's BSP parity/OR).
+Word bsp_reduce(BspMachine& m, std::span<const Word> input, Combine op,
+                std::uint64_t fanin = 0);
+
+}  // namespace parbounds

@@ -1,0 +1,155 @@
+#include "algos/reductions.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algos/lac.hpp"
+#include "algos/list_ranking.hpp"
+#include "algos/sorting.hpp"
+
+namespace parbounds {
+
+Word parity_via_sorting(QsmMachine& m, Addr in, std::uint64_t n) {
+  if (n == 0) return 0;
+  // Sort ascending: zeros first, ones last; the number of ones is n minus
+  // the boundary position.
+  bitonic_sort_qsm(m, in, n);
+
+  // Binary search for the first 1 with a single processor: one read per
+  // phase (log n phases of cost g).
+  std::uint64_t lo = 0, hi = n;  // invariant: cells < lo are 0, >= hi are 1
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    m.begin_phase();
+    m.read(0, in + mid);
+    m.commit_phase();
+    const Word v = m.inbox(0)[0];
+    m.begin_phase();
+    m.local(0, 1);  // the decision step
+    m.commit_phase();
+    if (v != 0)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  const std::uint64_t ones = n - lo;
+  return static_cast<Word>(ones & 1);
+}
+
+Word parity_via_list_ranking(QsmMachine& m, Addr in, std::uint64_t n) {
+  if (n == 0) return 0;
+  // The reduction artifact: the canonical chain with bit weights.
+  std::vector<std::uint32_t> succ(n);
+  std::iota(succ.begin(), succ.end(), 1u);
+  succ[n - 1] = static_cast<std::uint32_t>(n - 1);
+
+  // Nodes fetch their weights from the parity input (size-preserving: one
+  // node per bit).
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, in + i);
+  m.commit_phase();
+  std::vector<Word> weight(n);
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    weight[i] = m.inbox(i)[0];
+    m.local(i, 1);
+  }
+  m.commit_phase();
+
+  const auto lr =
+      list_ranking(m, succ, weight, static_cast<std::uint32_t>(n - 1));
+  return lr.rank[0] & 1;
+}
+
+ClbSolution clb_via_lac(QsmMachine& m, const ClbInstance& inst,
+                        std::uint32_t colour, Rng& rng) {
+  ClbSolution sol;
+  sol.colour = colour;
+  const std::uint64_t n = inst.n;
+  if (n == 0) {
+    sol.ok = true;
+    return sol;
+  }
+
+  // Items = groups wearing the chosen colour (Theorem 6.1 uses
+  // h = n / (4m); with 8m colours the expected count is n / (8m), and the
+  // construction fails only when more than n/(4m) groups share a colour —
+  // vanishingly rare).
+  const Addr in = m.alloc(n);
+  {
+    std::vector<Word> w(n, 0);
+    for (std::uint64_t i = 0; i < n; ++i)
+      if (inst.group_colour[i] == colour) w[i] = static_cast<Word>(i + 1);
+    m.preload(in, w);
+  }
+  const std::uint64_t h = std::max<std::uint64_t>(1, n / (4 * inst.m));
+
+  const LacResult lac = lac_dart(m, in, n, h, rng);
+  if (!lac.ok || !lac_output_valid(m, in, n, lac)) return sol;
+
+  // Group compacted to output slot j is spread over destination rows
+  // 4j .. 4j+3, m objects each (4m objects per group).
+  constexpr Word kConfirm = Word{1} << 42;
+  sol.rows_used.assign(n, 0);
+  std::uint64_t slot_index = 0;
+  for (std::uint64_t j = 0; j < lac.out_size; ++j) {
+    Word v = m.peek(lac.out + j);
+    if (v < kConfirm) continue;
+    const auto group = static_cast<std::uint64_t>(v - kConfirm) - 1;
+    sol.rows_used[group] = 4 * slot_index;
+    ++slot_index;
+    ++sol.groups_of_colour;
+  }
+  // Valid when the rows fit the n x m output array: 4 * count rows <= n.
+  sol.ok = 4 * sol.groups_of_colour <= n;
+  return sol;
+}
+
+EclbResult eclb_annotate(QsmMachine& m, const ClbInstance& inst,
+                         const ClbSolution& sol) {
+  EclbResult res;
+  if (!sol.ok) return res;
+  const std::uint64_t om = inst.m;             // objects per row
+  const std::uint64_t per_group = 4 * om;      // objects per group
+  res.annotations = m.alloc(inst.n * per_group);
+  const std::uint64_t before = m.phases();
+
+  // One processor per destination row; row base + q of group g's block
+  // owns object ranks [q*m, (q+1)*m). Claim 6.1: m steps, one write each.
+  for (std::uint64_t step = 0; step < om; ++step) {
+    m.begin_phase();
+    for (std::uint64_t grp = 0; grp < inst.n; ++grp) {
+      if (inst.group_colour[grp] != sol.colour) continue;
+      const std::uint64_t base = sol.rows_used[grp];
+      for (std::uint64_t q = 0; q < 4; ++q) {
+        const std::uint64_t rank = q * om + step;
+        m.write(/*proc=*/base + q,
+                res.annotations + grp * per_group + rank,
+                static_cast<Word>(base + q + 1));
+      }
+    }
+    m.commit_phase();
+  }
+  res.phases = m.phases() - before;
+  res.ok = true;
+  return res;
+}
+
+bool eclb_valid(const QsmMachine& m, const ClbInstance& inst,
+                const ClbSolution& sol, const EclbResult& r) {
+  if (!r.ok) return false;
+  const std::uint64_t om = inst.m;
+  const std::uint64_t per_group = 4 * om;
+  for (std::uint64_t grp = 0; grp < inst.n; ++grp) {
+    if (inst.group_colour[grp] != sol.colour) continue;
+    for (std::uint64_t rank = 0; rank < per_group; ++rank) {
+      const Word want =
+          static_cast<Word>(sol.rows_used[grp] + rank / om + 1);
+      if (m.peek(r.annotations + grp * per_group + rank) != want)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parbounds

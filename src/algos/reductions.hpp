@@ -1,0 +1,63 @@
+#pragma once
+// Executable reductions from the paper.
+//
+// Section 3 (end): "the lower bounds we have obtained for the Parity
+// problem imply corresponding lower bounds for other problems such as list
+// ranking and sorting, since there are simple size-preserving reductions
+// from parity to these other problems." Both reductions are implemented
+// and tested here: they run the target problem's algorithm on the
+// transformed input and recover parity with O(g log n) post-processing.
+//
+// Section 6.2 (Theorem 6.1): Chromatic Load Balancing reduces to LAC —
+// pick a colour, treat its groups as items, compact them, and spread each
+// compacted group over 4 destination rows of m objects each. clb_via_lac
+// executes that construction.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/qsm.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+
+/// Parity of in[0..n) by sorting the bits descending and binary-searching
+/// the 1/0 boundary (count of ones mod 2). Size-preserving: the sort works
+/// on exactly n keys.
+Word parity_via_sorting(QsmMachine& m, Addr in, std::uint64_t n);
+
+/// Parity of in[0..n) by list ranking the canonical chain 0 -> 1 -> ... ->
+/// n-1 with the bits as node weights; the head's weighted rank is the
+/// total number of ones.
+Word parity_via_list_ranking(QsmMachine& m, Addr in, std::uint64_t n);
+
+/// Chromatic Load Balancing solved through LAC (Theorem 6.1 construction).
+struct ClbSolution {
+  std::uint32_t colour = 0;
+  std::uint64_t groups_of_colour = 0;
+  std::vector<std::uint64_t> rows_used;  ///< destination row per group
+  bool ok = false;  ///< every destination row holds <= m objects
+};
+ClbSolution clb_via_lac(QsmMachine& m, const ClbInstance& inst,
+                        std::uint32_t colour, Rng& rng);
+
+/// Claim 6.1: a CLB solution upgrades to an ENHANCED CLB solution in m
+/// additional steps — one processor per destination-row block steps
+/// through its m objects and writes each object's destination row into
+/// the input array at (group, rank). Returns the annotation region
+/// (n x 4m cells, row-major by group) and the phases spent.
+struct EclbResult {
+  Addr annotations = 0;
+  std::uint64_t phases = 0;
+  bool ok = false;
+};
+EclbResult eclb_annotate(QsmMachine& m, const ClbInstance& inst,
+                         const ClbSolution& sol);
+
+/// Validate Claim 6.1's output: every object of the solved colour carries
+/// the destination row its group was assigned (its rank's quarter).
+bool eclb_valid(const QsmMachine& m, const ClbInstance& inst,
+                const ClbSolution& sol, const EclbResult& r);
+
+}  // namespace parbounds

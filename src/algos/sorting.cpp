@@ -1,0 +1,143 @@
+#include "algos/sorting.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+std::uint64_t bitonic_sort_qsm(QsmMachine& m, Addr in, std::uint64_t n) {
+  if (n <= 1) return 0;
+  const std::uint64_t N = next_pow2(n);
+  constexpr Word kInf = std::numeric_limits<Word>::max();
+
+  // Pad to a power of two in a working buffer (sentinels never move below
+  // real keys, so the first n slots of the final buffer are the answer).
+  Addr buf[2] = {m.alloc(N), m.alloc(N)};
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, in + i);
+  m.commit_phase();
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < N; ++i)
+    m.write(i, buf[0] + i, i < n ? m.inbox(i)[0] : kInf);
+  m.commit_phase();
+
+  std::uint64_t stages = 0;
+  unsigned cur = 0;
+  // Batcher bitonic network: block size 2k, inner strides j = k, k/2, ...
+  for (std::uint64_t k = 2; k <= N; k <<= 1) {
+    for (std::uint64_t j = k >> 1; j >= 1; j >>= 1) {
+      // One processor per pair (i, i|j) with (i & j) == 0.
+      m.begin_phase();
+      for (std::uint64_t i = 0; i < N; ++i) {
+        if ((i & j) != 0) continue;
+        m.read(i, buf[cur] + i);
+        m.read(i, buf[cur] + (i | j));
+      }
+      m.commit_phase();
+
+      m.begin_phase();
+      for (std::uint64_t i = 0; i < N; ++i) {
+        if ((i & j) != 0) continue;
+        const Word a = m.inbox(i)[0];
+        const Word b = m.inbox(i)[1];
+        const bool asc = (i & k) == 0;
+        const Word lo = asc ? std::min(a, b) : std::max(a, b);
+        const Word hi = asc ? std::max(a, b) : std::min(a, b);
+        m.local(i, 1);
+        m.write(i, buf[cur ^ 1] + i, lo);
+        m.write(i, buf[cur ^ 1] + (i | j), hi);
+      }
+      m.commit_phase();
+      cur ^= 1;
+      ++stages;
+    }
+  }
+
+  // Copy the sorted prefix back over the input region.
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(i, buf[cur] + i);
+  m.commit_phase();
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.write(i, in + i, m.inbox(i)[0]);
+  m.commit_phase();
+  return stages;
+}
+
+SampleSortResult sample_sort_bsp(BspMachine& m, std::vector<Word> input) {
+  SampleSortResult res;
+  const std::uint64_t p = m.p();
+  const std::uint64_t n = input.size();
+  const std::uint64_t before = m.supersteps();
+
+  // Superstep 1: local sort; every component sends p regular samples of
+  // its block to component 0.
+  std::vector<std::vector<Word>> block(p);
+  m.begin_superstep();
+  for (std::uint64_t i = 0; i < p; ++i) {
+    const auto [lo, hi] = BspMachine::block_range(n, p, i);
+    block[i].assign(input.begin() + static_cast<std::ptrdiff_t>(lo),
+                    input.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::sort(block[i].begin(), block[i].end());
+    const std::uint64_t len = block[i].size();
+    m.local(i, std::max<std::uint64_t>(1, len * (ilog2(len + 1) + 1)));
+    for (std::uint64_t s = 0; s < p && len > 0; ++s)
+      m.send(i, 0, block[i][(s * len) / p]);
+  }
+  m.commit_superstep();
+
+  // Superstep 2: component 0 elects p-1 splitters and ships them to all.
+  std::vector<Word> splitters;
+  m.begin_superstep();
+  {
+    std::vector<Word> samples;
+    for (const Message& msg : m.inbox(0)) samples.push_back(msg.value);
+    std::sort(samples.begin(), samples.end());
+    m.local(0, std::max<std::uint64_t>(
+                   1, samples.size() * (ilog2(samples.size() + 1) + 1)));
+    for (std::uint64_t s = 1; s < p; ++s)
+      splitters.push_back(samples.empty()
+                              ? 0
+                              : samples[(s * samples.size()) / p]);
+    for (std::uint64_t dst = 0; dst < p; ++dst)
+      for (std::size_t s = 0; s < splitters.size(); ++s)
+        m.send(0, dst, splitters[s]);
+  }
+  m.commit_superstep();
+
+  // Superstep 3: bucket exchange — every element goes to the component
+  // owning its splitter interval.
+  m.begin_superstep();
+  for (std::uint64_t i = 0; i < p; ++i) {
+    std::vector<Word> sp;
+    for (const Message& msg : m.inbox(i)) sp.push_back(msg.value);
+    std::sort(sp.begin(), sp.end());
+    m.local(i, std::max<std::uint64_t>(1, block[i].size()));
+    for (const Word v : block[i]) {
+      const auto it = std::upper_bound(sp.begin(), sp.end(), v);
+      const auto dst = static_cast<std::uint64_t>(it - sp.begin());
+      m.send(i, std::min<std::uint64_t>(dst, p - 1), v);
+    }
+  }
+  m.commit_superstep();
+
+  // Superstep 4: local sort of the received bucket.
+  res.per_proc.assign(p, {});
+  m.begin_superstep();
+  for (std::uint64_t i = 0; i < p; ++i) {
+    auto& bucket = res.per_proc[i];
+    for (const Message& msg : m.inbox(i)) bucket.push_back(msg.value);
+    std::sort(bucket.begin(), bucket.end());
+    res.max_bucket = std::max<std::uint64_t>(res.max_bucket, bucket.size());
+    m.local(i, std::max<std::uint64_t>(
+                   1, bucket.size() * (ilog2(bucket.size() + 1) + 1)));
+  }
+  m.commit_superstep();
+
+  res.supersteps = m.supersteps() - before;
+  res.ok = true;
+  return res;
+}
+
+}  // namespace parbounds

@@ -1,0 +1,36 @@
+#pragma once
+// Sorting algorithms.
+//
+//  * bitonic_sort_qsm — Batcher's bitonic network, one processor per
+//                       compare-exchange pair, double-buffered stages
+//                       (O(g log^2 n), contention 1 everywhere). Target of
+//                       the Parity -> Sorting reduction and the sorting
+//                       substrate for shared-memory tests.
+//  * sample_sort_bsp  — classic BSP sample sort with regular sampling
+//                       (local sort, splitter election at component 0,
+//                       broadcast, bucket exchange, local merge). The
+//                       communication-efficient sorting setting of [11]
+//                       that motivates the paper's rounds results.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bsp.hpp"
+#include "core/qsm.hpp"
+
+namespace parbounds {
+
+/// Sort in[0..n) ascending in place (n padded internally to a power of
+/// two with +infinity sentinels). Returns the number of stages.
+std::uint64_t bitonic_sort_qsm(QsmMachine& m, Addr in, std::uint64_t n);
+
+struct SampleSortResult {
+  std::vector<std::vector<Word>> per_proc;  ///< sorted runs, globally ordered
+  std::uint64_t supersteps = 0;
+  std::uint64_t max_bucket = 0;  ///< balance diagnostic
+  bool ok = false;
+};
+
+SampleSortResult sample_sort_bsp(BspMachine& m, std::vector<Word> input);
+
+}  // namespace parbounds

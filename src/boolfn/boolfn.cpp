@@ -1,0 +1,149 @@
+#include "boolfn/boolfn.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace parbounds {
+
+BoolFn::BoolFn(unsigned n) : n_(n) {
+  if (n > 24) throw std::invalid_argument("BoolFn arity limited to 24");
+  tt_.assign(std::size_t{1} << n, 0);
+}
+
+BoolFn BoolFn::constant(unsigned n, bool v) {
+  BoolFn f(n);
+  if (v) std::fill(f.tt_.begin(), f.tt_.end(), std::uint8_t{1});
+  return f;
+}
+
+BoolFn BoolFn::variable(unsigned n, unsigned i) {
+  return from(n, [i](std::uint32_t x) { return ((x >> i) & 1u) != 0; });
+}
+
+BoolFn BoolFn::parity(unsigned n) {
+  return from(n, [](std::uint32_t x) { return (std::popcount(x) & 1) != 0; });
+}
+
+BoolFn BoolFn::or_fn(unsigned n) {
+  return from(n, [](std::uint32_t x) { return x != 0; });
+}
+
+BoolFn BoolFn::and_fn(unsigned n) {
+  const std::uint32_t all = (n == 32) ? ~0u : ((std::uint32_t{1} << n) - 1);
+  return from(n, [all](std::uint32_t x) { return x == all; });
+}
+
+BoolFn BoolFn::threshold(unsigned n, unsigned k) {
+  return from(n, [k](std::uint32_t x) {
+    return static_cast<unsigned>(std::popcount(x)) >= k;
+  });
+}
+
+BoolFn BoolFn::address(unsigned k) {
+  const unsigned n = k + (1u << k);
+  const std::uint32_t sel_mask = (std::uint32_t{1} << k) - 1;
+  return from(n, [k, sel_mask](std::uint32_t x) {
+    const std::uint32_t sel = x & sel_mask;
+    return ((x >> (k + sel)) & 1u) != 0;
+  });
+}
+
+BoolFn BoolFn::from(unsigned n,
+                    const std::function<bool(std::uint32_t)>& f) {
+  BoolFn g(n);
+  for (std::uint32_t x = 0; x < g.table_size(); ++x) g.tt_[x] = f(x) ? 1 : 0;
+  return g;
+}
+
+BoolFn BoolFn::random(unsigned n, Rng& rng) {
+  BoolFn g(n);
+  for (auto& b : g.tt_) b = rng.next_bool() ? 1 : 0;
+  return g;
+}
+
+BoolFn BoolFn::operator~() const {
+  BoolFn g(n_);
+  for (std::uint32_t x = 0; x < table_size(); ++x) g.tt_[x] = tt_[x] ^ 1u;
+  return g;
+}
+
+namespace {
+void check_same_arity(const BoolFn& a, const BoolFn& b) {
+  if (a.arity() != b.arity())
+    throw std::invalid_argument("BoolFn arity mismatch");
+}
+}  // namespace
+
+BoolFn BoolFn::operator&(const BoolFn& o) const {
+  check_same_arity(*this, o);
+  BoolFn g(n_);
+  for (std::uint32_t x = 0; x < table_size(); ++x)
+    g.tt_[x] = tt_[x] & o.tt_[x];
+  return g;
+}
+
+BoolFn BoolFn::operator|(const BoolFn& o) const {
+  check_same_arity(*this, o);
+  BoolFn g(n_);
+  for (std::uint32_t x = 0; x < table_size(); ++x)
+    g.tt_[x] = tt_[x] | o.tt_[x];
+  return g;
+}
+
+BoolFn BoolFn::operator^(const BoolFn& o) const {
+  check_same_arity(*this, o);
+  BoolFn g(n_);
+  for (std::uint32_t x = 0; x < table_size(); ++x)
+    g.tt_[x] = tt_[x] ^ o.tt_[x];
+  return g;
+}
+
+BoolFn BoolFn::fix(unsigned i, bool v) const {
+  BoolFn g(n_);
+  const std::uint32_t bit = std::uint32_t{1} << i;
+  for (std::uint32_t x = 0; x < table_size(); ++x) {
+    const std::uint32_t y = v ? (x | bit) : (x & ~bit);
+    g.tt_[x] = tt_[y];
+  }
+  return g;
+}
+
+bool BoolFn::depends_on(unsigned i) const {
+  const std::uint32_t bit = std::uint32_t{1} << i;
+  for (std::uint32_t x = 0; x < table_size(); ++x)
+    if ((x & bit) == 0 && tt_[x] != tt_[x | bit]) return true;
+  return false;
+}
+
+std::vector<std::int64_t> multilinear_coeffs(const BoolFn& f) {
+  const std::uint32_t size = f.table_size();
+  std::vector<std::int64_t> c(size);
+  for (std::uint32_t x = 0; x < size; ++x) c[x] = f(x) ? 1 : 0;
+  // In-place subset Moebius transform: alpha_S = sum_{T subseteq S}
+  // (-1)^{|S\T|} f(1_T). Uniqueness of the representation is Fact 2.1.
+  for (unsigned i = 0; i < f.arity(); ++i) {
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    for (std::uint32_t mask = 0; mask < size; ++mask)
+      if (mask & bit) c[mask] -= c[mask ^ bit];
+  }
+  return c;
+}
+
+unsigned degree(const BoolFn& f) {
+  const auto c = multilinear_coeffs(f);
+  unsigned deg = 0;
+  for (std::uint32_t mask = 0; mask < c.size(); ++mask)
+    if (c[mask] != 0)
+      deg = std::max(deg, static_cast<unsigned>(std::popcount(mask)));
+  return deg;
+}
+
+std::int64_t eval_multilinear(const std::vector<std::int64_t>& coeffs,
+                              std::uint32_t x) {
+  std::int64_t v = 0;
+  for (std::uint32_t mask = 0; mask < coeffs.size(); ++mask)
+    if (coeffs[mask] != 0 && (mask & x) == mask) v += coeffs[mask];
+  return v;
+}
+
+}  // namespace parbounds

@@ -1,0 +1,82 @@
+#pragma once
+// Boolean functions as dense truth tables (Section 2.5).
+//
+// The paper's degree arguments (Theorems 3.1, 7.2, and the round bounds of
+// Section 6.3) rest on three facts about the unique integer multilinear
+// representation f = sum_S alpha_S(f) * m_S (Fact 2.1 [Smolensky]):
+// composition bounds on deg (Fact 2.2 [Dietzfelbinger et al.]), and the
+// certificate-complexity bound C(f) <= deg(f)^4 (Fact 2.3, via Nisan).
+// This module makes all of that executable for n up to ~20 variables so
+// the facts — and the degree-growth invariants the lower-bound proofs
+// rely on — can be checked exactly on real functions.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parbounds {
+
+/// A Boolean function on n variables stored as a 2^n truth table.
+/// Input assignments are bitmasks: bit i of x is the value of variable x_i.
+class BoolFn {
+ public:
+  /// Constant-false function on n variables.
+  explicit BoolFn(unsigned n);
+
+  unsigned arity() const { return n_; }
+  std::uint32_t table_size() const { return std::uint32_t{1} << n_; }
+
+  bool operator()(std::uint32_t x) const { return tt_[x] != 0; }
+  void set(std::uint32_t x, bool v) { tt_[x] = v ? 1 : 0; }
+
+  bool operator==(const BoolFn& o) const = default;
+
+  // ----- families ---------------------------------------------------------
+  static BoolFn constant(unsigned n, bool v);
+  static BoolFn variable(unsigned n, unsigned i);
+  static BoolFn parity(unsigned n);   ///< XOR of all n inputs; deg = n
+  static BoolFn or_fn(unsigned n);    ///< OR of all n inputs; deg = n
+  static BoolFn and_fn(unsigned n);   ///< AND of all n inputs; deg = n
+  static BoolFn threshold(unsigned n, unsigned k);  ///< >= k ones
+  /// Address function on k + 2^k variables: the first k bits select one of
+  /// the remaining 2^k bits. A classic function with low certificate
+  /// complexity relative to arity.
+  static BoolFn address(unsigned k);
+  static BoolFn from(unsigned n, const std::function<bool(std::uint32_t)>& f);
+  static BoolFn random(unsigned n, Rng& rng);
+
+  // ----- connectives (Fact 2.2 subjects) -----------------------------------
+  BoolFn operator~() const;
+  BoolFn operator&(const BoolFn& o) const;
+  BoolFn operator|(const BoolFn& o) const;
+  BoolFn operator^(const BoolFn& o) const;
+
+  /// Fix variable i to value v; the result keeps arity n with the variable
+  /// made irrelevant (matches Fact 2.2 (4): g results from f by fixing
+  /// inputs, and deg(g) <= deg(f)).
+  BoolFn fix(unsigned i, bool v) const;
+
+  /// True when variable i is relevant (some input pair differing only in i
+  /// changes the value).
+  bool depends_on(unsigned i) const;
+
+ private:
+  unsigned n_;
+  std::vector<std::uint8_t> tt_;
+};
+
+/// Integer multilinear coefficients alpha_S(f), indexed by subset bitmask
+/// (Fact 2.1). Computed by the subset Moebius transform of the truth table.
+std::vector<std::int64_t> multilinear_coeffs(const BoolFn& f);
+
+/// deg(f) = max{|S| : alpha_S(f) != 0}; deg(constant) == 0.
+unsigned degree(const BoolFn& f);
+
+/// Evaluate the multilinear polynomial sum_S alpha_S * m_S(x); must agree
+/// with the truth table on every 0/1 input (uniqueness, Fact 2.1).
+std::int64_t eval_multilinear(const std::vector<std::int64_t>& coeffs,
+                              std::uint32_t x);
+
+}  // namespace parbounds

@@ -1,0 +1,99 @@
+#include "boolfn/certificate.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace parbounds {
+
+namespace {
+
+// Subcube patterns are base-3 numbers: digit i in {0, 1, 2} where 2 = '*'.
+// Colour codes: 0 = constant-false cube, 1 = constant-true, 2 = mixed.
+
+std::uint64_t pow3(unsigned n) {
+  std::uint64_t p = 1;
+  while (n-- > 0) p *= 3;
+  return p;
+}
+
+std::vector<std::uint8_t> monochrome_table(const BoolFn& f) {
+  const unsigned n = f.arity();
+  if (n > 13)
+    throw std::invalid_argument("certificate analysis limited to n <= 13");
+  const std::uint64_t total = pow3(n);
+  std::vector<std::uint8_t> colour(total);
+
+  // Digit place values for the ternary encoding.
+  std::vector<std::uint64_t> place(n);
+  for (unsigned i = 0; i < n; ++i) place[i] = pow3(i);
+
+  // Fully-fixed patterns (no '*') are single points; process patterns in
+  // increasing number of stars so children are always ready. A pattern's
+  // ternary value is processed after its star-free reductions because
+  // replacing a '*' (digit 2) by 0 or 1 strictly decreases the encoding;
+  // plain ascending order therefore works.
+  for (std::uint64_t pat = 0; pat < total; ++pat) {
+    // Decode: find the lowest '*' digit if any.
+    std::uint64_t rest = pat;
+    int star = -1;
+    std::uint32_t point = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const auto d = static_cast<unsigned>(rest % 3);
+      rest /= 3;
+      if (d == 2 && star < 0) star = static_cast<int>(i);
+      if (d == 1) point |= (std::uint32_t{1} << i);
+    }
+    if (star < 0) {
+      colour[pat] = f(point) ? 1 : 0;
+      continue;
+    }
+    const std::uint64_t child0 = pat - 2 * place[static_cast<unsigned>(star)];
+    const std::uint64_t child1 = pat - 1 * place[static_cast<unsigned>(star)];
+    const std::uint8_t c0 = colour[child0];
+    const std::uint8_t c1 = colour[child1];
+    colour[pat] = (c0 == c1) ? c0 : 2;
+  }
+  return colour;
+}
+
+}  // namespace
+
+CertificateAnalysis::CertificateAnalysis(const BoolFn& f) : n_(f.arity()) {
+  const auto colour = monochrome_table(f);
+  std::vector<std::uint64_t> place(n_);
+  for (unsigned i = 0; i < n_; ++i) place[i] = pow3(i);
+
+  cert_at_.assign(f.table_size(), n_);
+  for (std::uint32_t a = 0; a < f.table_size(); ++a) {
+    // Enumerate subsets S of fixed positions; the remaining positions are
+    // stars. The smallest |S| whose subcube (a restricted to S) is
+    // monochromatic is the certificate at a.
+    unsigned best = n_;
+    const std::uint32_t full = f.table_size() - 1;
+    for (std::uint32_t s = 0; s <= full; ++s) {
+      const auto k = static_cast<unsigned>(std::popcount(s));
+      if (k >= best) continue;
+      std::uint64_t pat = 0;
+      for (unsigned i = 0; i < n_; ++i) {
+        const std::uint32_t bit = std::uint32_t{1} << i;
+        if (s & bit)
+          pat += place[i] * ((a & bit) ? 1 : 0);
+        else
+          pat += place[i] * 2;
+      }
+      if (colour[pat] != 2) best = k;
+    }
+    cert_at_[a] = best;
+    cmax_ = std::max(cmax_, best);
+  }
+}
+
+unsigned certificate_at(const BoolFn& f, std::uint32_t a) {
+  return CertificateAnalysis(f).at(a);
+}
+
+unsigned certificate_complexity(const BoolFn& f) {
+  return CertificateAnalysis(f).max();
+}
+
+}  // namespace parbounds

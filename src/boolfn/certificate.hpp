@@ -1,0 +1,44 @@
+#pragma once
+// Certificate complexity C(f), Section 2.5 (after Nisan [20]).
+//
+// For an input a, the certificate size at a is the least k such that some
+// set S of k variables has: every input b agreeing with a on S satisfies
+// f(b) = f(a). C(f) is the maximum certificate size over all inputs.
+// Fact 2.3 ([Dietzfelbinger et al.]): C(f) <= deg(f)^4 — the inequality
+// the Random Adversary's Claim 5.2 leans on (|Cert| <= deg(States)^4).
+//
+// Implementation: a subcube of {0,1}^n is a pattern in {0,1,*}^n. We mark
+// every monochromatic subcube bottom-up over the 3^n patterns (a cube with
+// a * at position i is monochromatic iff both of its i-children are, with
+// equal colour), then read off, per input, the smallest number of fixed
+// positions among monochromatic subcubes containing it. Exact for
+// n <= ~13 (3^13 ~ 1.6M patterns).
+
+#include <cstdint>
+#include <vector>
+
+#include "boolfn/boolfn.hpp"
+
+namespace parbounds {
+
+/// Certificate size at input a (exact; n <= 13).
+unsigned certificate_at(const BoolFn& f, std::uint32_t a);
+
+/// C(f) = max_a certificate_at(f, a) (exact; n <= 13).
+unsigned certificate_complexity(const BoolFn& f);
+
+/// Precomputed analysis when many queries are made against one function.
+class CertificateAnalysis {
+ public:
+  explicit CertificateAnalysis(const BoolFn& f);
+
+  unsigned at(std::uint32_t a) const { return cert_at_[a]; }
+  unsigned max() const { return cmax_; }
+
+ private:
+  unsigned n_;
+  std::vector<unsigned> cert_at_;
+  unsigned cmax_ = 0;
+};
+
+}  // namespace parbounds

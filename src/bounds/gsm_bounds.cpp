@@ -1,0 +1,67 @@
+#include "bounds/gsm_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace parbounds::bounds {
+
+namespace {
+double r_of(double n, const GsmParams& P) {
+  return std::max(2.0, n / std::max(1.0, P.gamma));
+}
+}  // namespace
+
+double gsm_parity_det_time(double n, const GsmParams& P) {
+  const double r = r_of(n, P);
+  return P.mu() * safe_log2(r) / safe_log2(P.mu());
+}
+
+double gsm_parity_rand_time(double n, const GsmParams& P) {
+  const double r = r_of(n, P);
+  return P.mu() *
+         std::sqrt(safe_log2(r) / (safe_loglog2(r) + add_log2(P.mu())));
+}
+
+double gsm_lac_rand_time(double n, const GsmParams& P) {
+  const double num =
+      0.125 * safe_loglog2(n) - std::log2(std::max(1.0, P.gamma));
+  return P.mu() * std::max(0.0, num) / (2.0 * safe_log2(P.mu()));
+}
+
+double gsm_lac_det_time(double n, const GsmParams& P) {
+  return gsm_parity_rand_time(n, P);  // identical formula (Lemma 6.3)
+}
+
+double gsm_lac_det_rounds(double n, double d, double h, const GsmParams& P) {
+  const double denom_arg = P.mu() * h / P.lambda();
+  const double num = safe_log2(std::max(2.0, n / std::max(1.0, d * P.gamma)));
+  return std::sqrt(num / safe_log2(denom_arg));
+}
+
+double gsm_lac_rand_rounds(double n, double p, const GsmParams& P) {
+  const double num =
+      0.125 * safe_loglog2(n) - std::log2(std::max(1.0, P.gamma));
+  const double denom = 2.0 * safe_log2(P.mu() * n / (P.lambda() * p));
+  return std::max(0.0, num) / denom;
+}
+
+double gsm_or_rand_time(double n, const GsmParams& P) {
+  const double r = r_of(n, P);
+  const double stars = static_cast<double>(log_star(r)) -
+                       static_cast<double>(log_star(P.mu()));
+  return P.mu() * std::max(0.0, stars);
+}
+
+double gsm_or_det_time(double n, const GsmParams& P) {
+  const double r = r_of(n, P);
+  return P.mu() * safe_log2(r) / (safe_loglog2(r) + add_log2(P.mu()));
+}
+
+double gsm_or_rand_rounds(double n, double p, const GsmParams& P) {
+  const double r = r_of(n, P);
+  return safe_log2(r) / safe_log2(P.mu() * n / (P.lambda() * p));
+}
+
+}  // namespace parbounds::bounds

@@ -1,0 +1,64 @@
+#pragma once
+// Lower-bound evaluators on the GSM (the paper's lower-bound model).
+//
+// Every function returns the *growth term* of the corresponding Omega()
+// statement with all hidden constants set to 1. Logs are clamped
+// (util/mathx.hpp) so the formulas stay finite for degenerate parameters;
+// callers compare *shapes* (ratios across sweeps), never absolute values.
+//
+// Parameter names follow Section 2.2: alpha/beta are the per-big-step
+// read-write and contention capacities, gamma the number of inputs per
+// initial cell, mu = max(alpha, beta), lambda = min(alpha, beta).
+
+#include <cstdint>
+
+namespace parbounds::bounds {
+
+struct GsmParams {
+  double alpha = 1;
+  double beta = 1;
+  double gamma = 1;
+  double mu() const { return alpha > beta ? alpha : beta; }
+  double lambda() const { return alpha < beta ? alpha : beta; }
+};
+
+/// Theorem 3.1 — deterministic Parity (concurrent reads allowed):
+/// Omega(mu * log(n/gamma) / log(mu)).
+double gsm_parity_det_time(double n, const GsmParams& P);
+
+/// Theorem 3.2 — randomized Parity:
+/// Omega(mu * sqrt(log(n/gamma) / (loglog(n/gamma) + log mu))).
+double gsm_parity_rand_time(double n, const GsmParams& P);
+
+/// Theorem 6.1 — randomized Load Balancing / LAC / Padded Sort:
+/// mu * ((1/8) loglog n - log gamma) / (2 log mu); the additive O(m) slack
+/// (m = log log log log n in the proof) is dropped, as the paper's tables do.
+double gsm_lac_rand_time(double n, const GsmParams& P);
+
+/// Lemma 6.3 — deterministic LAC:
+/// Omega(mu * sqrt(log(n/gamma) / (loglog(n/gamma) + log mu))).
+double gsm_lac_det_time(double n, const GsmParams& P);
+
+/// Theorem 6.3 — deterministic rounds for ((mu*h/lambda)+1)-LAC with a
+/// destination array of size d on a GSM(h):
+/// Omega(sqrt(log(n/(d*gamma)) / log(mu*h/lambda))).
+double gsm_lac_det_rounds(double n, double d, double h, const GsmParams& P);
+
+/// Corollary 6.2 — randomized rounds for LB / LAC / Padded Sort with p
+/// processors (n/p >= lambda):
+/// ((1/8) loglog n - log gamma) / (2 log(mu*n/(lambda*p))).
+double gsm_lac_rand_rounds(double n, double p, const GsmParams& P);
+
+/// Theorem 7.1 — randomized OR:
+/// Omega(mu * (log*(n/gamma) - log* mu)) expected time.
+double gsm_or_rand_time(double n, const GsmParams& P);
+
+/// Theorem 7.2 — deterministic OR:
+/// Omega(mu * log(n/gamma) / (loglog(n/gamma) + log mu)).
+double gsm_or_det_time(double n, const GsmParams& P);
+
+/// Theorem 7.3 — randomized rounds for OR with p processors:
+/// Omega(log(n/gamma) / log(mu*n/(lambda*p))).
+double gsm_or_rand_rounds(double n, double p, const GsmParams& P);
+
+}  // namespace parbounds::bounds

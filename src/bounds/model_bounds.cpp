@@ -1,0 +1,134 @@
+#include "bounds/model_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace parbounds::bounds {
+
+namespace {
+double lg(double x) { return safe_log2(x); }
+double llg(double x) { return safe_loglog2(x); }
+double q_of(double n, double p) { return std::max(2.0, std::min(n, p)); }
+double lstar(double x) { return static_cast<double>(log_star(x)); }
+}  // namespace
+
+// ----- QSM time ------------------------------------------------------------
+
+double qsm_lac_det_time(double n, double g) {
+  return g * std::sqrt(lg(n) / (llg(n) + add_log2(g)));
+}
+
+double qsm_lac_rand_time(double n, double g) { return g * llg(n) / lg(g); }
+
+double qsm_lac_rand_time_nproc(double n, double g) { return g * lstar(n); }
+
+double qsm_or_det_time(double n, double g) {
+  return g * lg(n) / (llg(n) + add_log2(g));
+}
+
+double qsm_or_rand_time(double n, double g) {
+  return g * std::max(0.0, lstar(n) - lstar(g));
+}
+
+double qsm_parity_det_time(double n, double g) { return g * lg(n) / lg(g); }
+
+double qsm_parity_rand_time(double n, double g, double p) {
+  return g * lg(n) / (llg(n) + std::min(llg(p), llg(g)));
+}
+
+// ----- s-QSM time ------------------------------------------------------------
+
+double sqsm_lac_det_time(double n, double g) {
+  return g * std::sqrt(lg(n) / llg(n));
+}
+
+double sqsm_lac_rand_time(double n, double g) { return g * llg(n); }
+
+double sqsm_or_det_time(double n, double g) { return g * lg(n) / llg(n); }
+
+double sqsm_or_rand_time(double n, double g) { return g * lstar(n); }
+
+double sqsm_parity_det_time(double n, double g) { return g * lg(n); }
+
+double sqsm_parity_rand_time(double n, double g) {
+  return g * lg(n) / llg(n);
+}
+
+// ----- BSP time --------------------------------------------------------------
+
+double bsp_lac_det_time(double n, double g, double L, double p) {
+  const double q = q_of(n, p);
+  return L * std::sqrt(lg(q) / (llg(q) + add_log2(L / g)));
+}
+
+double bsp_lac_rand_time(double n, double g, double L, double /*p*/) {
+  return L * llg(n) / lg(L / g);
+}
+
+double bsp_or_det_time(double n, double g, double L, double p) {
+  const double q = q_of(n, p);
+  return L * lg(q) / (llg(q) + add_log2(L / g));
+}
+
+double bsp_or_rand_time(double n, double g, double L, double p) {
+  const double q = q_of(n, p);
+  return L * std::max(0.0, lstar(q) - lstar(L / g));
+}
+
+double bsp_parity_det_time(double n, double g, double L, double p) {
+  const double q = q_of(n, p);
+  return L * lg(q) / lg(L / g);
+}
+
+double bsp_parity_rand_time(double n, double g, double L, double p) {
+  const double q = q_of(n, p);
+  return L * std::sqrt(lg(q) / (llg(q) + add_log2(L / g)));
+}
+
+// ----- rounds ---------------------------------------------------------------
+
+double rounds_lac_qsm(double n, double g, double p) {
+  const double np = std::max(2.0, n / p);
+  return std::max(0.0, lstar(n) - lstar(np)) +
+         std::sqrt(lg(n) / lg(g * np));
+}
+
+double rounds_lac_sqsm(double n, double p) {
+  const double np = std::max(2.0, n / p);
+  return std::sqrt(lg(n) / lg(np));
+}
+
+double rounds_lac_bsp(double n, double p) { return rounds_lac_sqsm(n, p); }
+
+double rounds_or_qsm(double n, double g, double p) {
+  const double np = std::max(2.0, n / p);
+  return lg(n) / lg(g * np);
+}
+
+double rounds_or_sqsm(double n, double p) {
+  const double np = std::max(2.0, n / p);
+  return lg(n) / lg(np);
+}
+
+double rounds_or_bsp(double n, double p) { return rounds_or_sqsm(n, p); }
+
+double rounds_parity_qsm(double n, double g, double p) {
+  const double np = std::max(2.0, n / p);
+  return lg(n) / (lg(np) + std::min(lg(g), llg(p)));
+}
+
+double rounds_parity_sqsm(double n, double p) { return rounds_or_sqsm(n, p); }
+
+double rounds_parity_bsp(double n, double p) { return rounds_or_sqsm(n, p); }
+
+double qsm_broadcast_time(double n, double g) { return g * lg(n) / lg(g); }
+
+double sqsm_broadcast_time(double n, double g) { return g * lg(n); }
+
+double bsp_broadcast_time(double p, double g, double L) {
+  return L * lg(p) / lg(L / g);
+}
+
+}  // namespace parbounds::bounds

@@ -1,0 +1,139 @@
+#pragma once
+// Lower-bound evaluators for the QSM, s-QSM and BSP — every cell of the
+// paper's Table 1 (all four subtables), each function citing its theorem
+// or corollary. Constant-free growth terms; see gsm_bounds.hpp for the
+// conventions (clamped logs, shape-only comparisons).
+
+#include <cstdint>
+
+namespace parbounds::bounds {
+
+// ===========================================================================
+// Subtable 1: time lower bounds on the QSM (unlimited processors unless
+// a p is stated).
+// ===========================================================================
+
+/// Corollary 6.4 — deterministic LAC:
+/// Omega(g * sqrt(log n / (loglog n + log g))).
+double qsm_lac_det_time(double n, double g);
+
+/// Corollary 6.1 — randomized LAC: Omega(g * loglog n / log g).
+double qsm_lac_rand_time(double n, double g);
+
+/// Theorem 6.2 (first part, from [15]) — randomized LAC with n processors:
+/// Omega(g * log* n).
+double qsm_lac_rand_time_nproc(double n, double g);
+
+/// Corollary 7.2 — deterministic OR: Omega(g log n / (loglog n + log g)).
+double qsm_or_det_time(double n, double g);
+
+/// Corollary 7.1 — randomized OR: Omega(g * (log* n - log* g)).
+double qsm_or_rand_time(double n, double g);
+
+/// Corollary 3.1 — deterministic Parity: Omega((g / log g) * log n).
+double qsm_parity_det_time(double n, double g);
+
+/// Theorem 3.3 — randomized Parity with p processors:
+/// Omega(g log n / (loglog n + min(loglog p, loglog g))).
+double qsm_parity_rand_time(double n, double g, double p);
+
+// ===========================================================================
+// Subtable 2: time lower bounds on the s-QSM.
+// ===========================================================================
+
+/// Corollary 6.4 — deterministic LAC: Omega(g * sqrt(log n / loglog n)).
+double sqsm_lac_det_time(double n, double g);
+
+/// Corollary 6.1 — randomized LAC: Omega(g * loglog n).
+double sqsm_lac_rand_time(double n, double g);
+
+/// Corollary 7.2 — deterministic OR: Omega(g log n / loglog n).
+double sqsm_or_det_time(double n, double g);
+
+/// Corollary 7.1 — randomized OR: Omega(g * log* n).
+double sqsm_or_rand_time(double n, double g);
+
+/// Corollary 3.1 — deterministic Parity: Omega(g log n). (Theta: the
+/// straightforward algorithm matches, Section 8.)
+double sqsm_parity_det_time(double n, double g);
+
+/// Corollary 3.3 — randomized Parity: Omega(g log n / loglog n).
+double sqsm_parity_rand_time(double n, double g);
+
+// ===========================================================================
+// Subtable 3: time lower bounds on the BSP with p processors;
+// q = min(n, p).
+// ===========================================================================
+
+/// Corollary 6.4 — deterministic LAC:
+/// Omega(L * sqrt(log q / (loglog q + log(L/g)))).
+double bsp_lac_det_time(double n, double g, double L, double p);
+
+/// Corollary 6.1 — randomized LAC (p = Omega(n / (log n)^{1/8 - eps})):
+/// Omega(L * loglog n / log(L/g)).
+double bsp_lac_rand_time(double n, double g, double L, double p);
+
+/// Corollary 7.2 — deterministic OR:
+/// Omega(L log q / (loglog q + log(L/g))).
+double bsp_or_det_time(double n, double g, double L, double p);
+
+/// Corollary 7.1 — randomized OR: Omega(L * (log* q - log*(L/g))).
+double bsp_or_rand_time(double n, double g, double L, double p);
+
+/// Corollary 3.1 — deterministic Parity: Omega(L log q / log(L/g)).
+/// (Theta: matched by the fan-in-(L/g) tree, Section 8.)
+double bsp_parity_det_time(double n, double g, double L, double p);
+
+/// Corollary 3.2 — randomized Parity:
+/// Omega(L * sqrt(log q / (loglog q + log(L/g)))).
+double bsp_parity_rand_time(double n, double g, double L, double p);
+
+// ===========================================================================
+// Subtable 4: number of rounds for p-processor algorithms (p <= n).
+// ===========================================================================
+
+/// Theorem 6.2 — LAC rounds on the QSM:
+/// Omega((log* n - log*(n/p)) + sqrt(log n / log(g n / p))).
+double rounds_lac_qsm(double n, double g, double p);
+
+/// Theorem 6.2 / Corollary 6.6 — LAC rounds on the s-QSM:
+/// Omega(sqrt(log n / log(n/p))).
+double rounds_lac_sqsm(double n, double p);
+
+/// Theorem 6.2 / Corollary 6.6 — LAC rounds on the BSP:
+/// Omega(sqrt(log n / log(n/p))) (Table 1 form; Corollary 6.3's
+/// sqrt(log p / log(n/p)) coincides for p polynomial in n).
+double rounds_lac_bsp(double n, double p);
+
+/// Corollary 7.3 — OR rounds on the QSM: Theta(log n / log(g n / p)).
+double rounds_or_qsm(double n, double g, double p);
+
+/// Corollary 7.3 — OR rounds on the s-QSM: Theta(log n / log(n/p)).
+double rounds_or_sqsm(double n, double p);
+
+/// Corollary 7.3 — OR rounds on the BSP: Theta(log n / log(n/p)) (Table 1
+/// form; the corollary states log p / log(n/p)).
+double rounds_or_bsp(double n, double p);
+
+/// Theorem 3.4 / Corollary 3.4 — Parity rounds on the QSM:
+/// Omega(log n / (log(n/p) + min(log g, loglog p))).
+double rounds_parity_qsm(double n, double g, double p);
+
+/// Parity rounds on the s-QSM / BSP: Theta(log n / log(n/p)).
+double rounds_parity_sqsm(double n, double p);
+double rounds_parity_bsp(double n, double p);
+
+// ===========================================================================
+// Cited context: Broadcasting. The paper's Section 1 cites the tight
+// bound of [Adler-Gibbons-Matias-Ramachandran 97] for broadcasting on
+// the QSM and BSP; the fan-out ablation bench checks the shapes.
+// ===========================================================================
+
+/// Theta(g log n / log g) on the QSM [AGMR97].
+double qsm_broadcast_time(double n, double g);
+/// Theta(g log n) on the s-QSM (fan-out buys nothing when kappa pays g).
+double sqsm_broadcast_time(double n, double g);
+/// Theta(L log p / log(L/g)) on the BSP.
+double bsp_broadcast_time(double p, double g, double L);
+
+}  // namespace parbounds::bounds

@@ -1,0 +1,43 @@
+#include "bounds/qsm_gd_bounds.hpp"
+
+namespace parbounds::bounds {
+
+double qsm_gd_parity_det_time(double n, double g, double d) {
+  return qsm_gd_apply(
+      [](double nn, const GsmParams& P) { return gsm_parity_det_time(nn, P); },
+      n, g, d);
+}
+
+double qsm_gd_parity_rand_time(double n, double g, double d) {
+  return qsm_gd_apply(
+      [](double nn, const GsmParams& P) {
+        return gsm_parity_rand_time(nn, P);
+      },
+      n, g, d);
+}
+
+double qsm_gd_or_det_time(double n, double g, double d) {
+  return qsm_gd_apply(
+      [](double nn, const GsmParams& P) { return gsm_or_det_time(nn, P); },
+      n, g, d);
+}
+
+double qsm_gd_or_rand_time(double n, double g, double d) {
+  return qsm_gd_apply(
+      [](double nn, const GsmParams& P) { return gsm_or_rand_time(nn, P); },
+      n, g, d);
+}
+
+double qsm_gd_lac_det_time(double n, double g, double d) {
+  return qsm_gd_apply(
+      [](double nn, const GsmParams& P) { return gsm_lac_det_time(nn, P); },
+      n, g, d);
+}
+
+double qsm_gd_lac_rand_time(double n, double g, double d) {
+  return qsm_gd_apply(
+      [](double nn, const GsmParams& P) { return gsm_lac_rand_time(nn, P); },
+      n, g, d);
+}
+
+}  // namespace parbounds::bounds

@@ -1,0 +1,29 @@
+#pragma once
+// Lower bounds for the QSM(g, d) model via Claim 2.2: instantiate the GSM
+// theorems at (alpha, beta) = (1, g/d) scaled by d when g > d, or at
+// (d/g, 1) scaled by g when d > g. At g = d these coincide with the s-QSM
+// column of Table 1.
+
+#include "bounds/gsm_bounds.hpp"
+
+namespace parbounds::bounds {
+
+/// Apply Claim 2.2's parameter substitution to any GSM time bound.
+template <typename GsmBound>
+double qsm_gd_apply(GsmBound&& bound, double n, double g, double d) {
+  if (g >= d) {
+    const GsmParams P{1.0, g / d, 1.0};
+    return d * bound(n, P);
+  }
+  const GsmParams P{d / g, 1.0, 1.0};
+  return g * bound(n, P);
+}
+
+double qsm_gd_parity_det_time(double n, double g, double d);
+double qsm_gd_parity_rand_time(double n, double g, double d);
+double qsm_gd_or_det_time(double n, double g, double d);
+double qsm_gd_or_rand_time(double n, double g, double d);
+double qsm_gd_lac_det_time(double n, double g, double d);
+double qsm_gd_lac_rand_time(double n, double g, double d);
+
+}  // namespace parbounds::bounds

@@ -1,0 +1,55 @@
+#include "bounds/upper_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace parbounds::bounds {
+
+namespace {
+double lg(double x) { return safe_log2(x); }
+double llg(double x) { return safe_loglog2(x); }
+}  // namespace
+
+double ub_parity_qsm(double n, double g) { return g * lg(n) / llg(g); }
+
+double ub_parity_qsm_cr(double n, double g) { return g * lg(n) / lg(g); }
+
+double ub_parity_sqsm(double n, double g) { return g * lg(n); }
+
+double ub_parity_bsp(double n, double g, double L) {
+  return L * lg(n) / lg(L / g);
+}
+
+double ub_lac_qsm(double n, double g) {
+  return std::sqrt(g * lg(n)) + g * llg(n);
+}
+
+double ub_lac_sqsm(double n, double g) { return g * std::sqrt(lg(n)); }
+
+double ub_lac_bsp(double n, double g, double L) {
+  return std::sqrt(L * g * lg(n)) / lg(L / g) + L * llg(n) / lg(L / g);
+}
+
+double ub_or_qsm(double n, double g) { return g * lg(n) / lg(g); }
+
+double ub_or_sqsm(double n, double g) { return g * lg(n); }
+
+double ub_or_cr_rand(double n, double g) { return g * lg(n) / llg(n); }
+
+double ub_or_bsp(double n, double g, double L) {
+  return L * lg(n) / lg(L / g);
+}
+
+double ub_rounds_tree(double n, double p) {
+  const double np = std::max(2.0, n / p);
+  return std::ceil(lg(n) / lg(np));
+}
+
+double ub_rounds_or_qsm(double n, double g, double p) {
+  const double np = std::max(2.0, n / p);
+  return std::ceil(lg(n) / lg(g * np));
+}
+
+}  // namespace parbounds::bounds

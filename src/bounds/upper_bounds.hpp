@@ -1,0 +1,47 @@
+#pragma once
+// The claimed costs of the Section 8 upper-bound algorithms, as formulas.
+// The benchmark harness divides the *measured* simulator cost of each
+// implemented algorithm by these terms; a flat ratio across the sweep
+// verifies the implementation achieves the claimed growth.
+
+namespace parbounds::bounds {
+
+// ----- Parity (Section 8) -------------------------------------------------
+/// QSM: O(g log n / loglog g) via depth-2 circuit emulation.
+double ub_parity_qsm(double n, double g);
+/// QSM with unit-time concurrent reads: O(g log n / log g) (matches the
+/// Theorem 3.1 lower bound — a Theta entry).
+double ub_parity_qsm_cr(double n, double g);
+/// s-QSM: O(g log n) by the straightforward binary tree (Theta).
+double ub_parity_sqsm(double n, double g);
+/// BSP (p <= n): O(L log n / log(L/g)) (Theta in q = min(n,p) form).
+double ub_parity_bsp(double n, double g, double L);
+
+// ----- Linear approximate compaction (Section 8) ---------------------------
+/// QSM: O(sqrt(g log n) + g loglog n) w.h.p.
+double ub_lac_qsm(double n, double g);
+/// s-QSM: O(g sqrt(log n)).
+double ub_lac_sqsm(double n, double g);
+/// BSP: O(sqrt(L g log n)/log(L/g) + L loglog n / log(L/g)) w.h.p.
+double ub_lac_bsp(double n, double g, double L);
+
+// ----- OR (Section 8) -------------------------------------------------------
+/// QSM: O((g / log g) log n) deterministically.
+double ub_or_qsm(double n, double g);
+/// s-QSM: O(g log n).
+double ub_or_sqsm(double n, double g);
+/// QSM/s-QSM with unit-time concurrent reads, randomized:
+/// O(g log n / loglog n) w.h.p.
+double ub_or_cr_rand(double n, double g);
+/// BSP: O(L log n / log(L/g)) [Juurlink-Wijshoff].
+double ub_or_bsp(double n, double g, double L);
+
+// ----- Rounds (Section 8: simple deterministic algorithms match the
+// randomized round lower bounds) ------------------------------------------
+/// Fan-in n/p tree: ceil(log n / log(n/p)) rounds (s-QSM, BSP; and QSM when
+/// g = O((n/p)^{1-eps})).
+double ub_rounds_tree(double n, double p);
+/// QSM round-optimal OR: fan-in max(g, n/p): log n / log(g n/p).
+double ub_rounds_or_qsm(double n, double g, double p);
+
+}  // namespace parbounds::bounds

@@ -1,0 +1,103 @@
+#include "core/bsp.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace parbounds {
+
+BspMachine::BspMachine(BspConfig cfg) : cfg_(cfg) {
+  if (cfg_.p == 0) throw std::invalid_argument("BSP needs p >= 1");
+  if (cfg_.g == 0) throw std::invalid_argument("BSP needs g >= 1");
+  if (cfg_.L < cfg_.g)
+    throw std::invalid_argument("paper assumes L >= g throughout");
+  trace_.kind = ExecutionTrace::Kind::Bsp;
+  trace_.g = cfg_.g;
+  trace_.L = cfg_.L;
+  inboxes_.resize(cfg_.p);
+}
+
+void BspMachine::begin_superstep() {
+  if (in_step_) throw ModelViolation("begin_superstep inside open superstep");
+  in_step_ = true;
+  sends_.clear();
+  locals_.clear();
+}
+
+void BspMachine::send(ProcId src, ProcId dst, Word value, Word tag) {
+  if (!in_step_) throw ModelViolation("send outside a superstep");
+  if (src >= cfg_.p || dst >= cfg_.p)
+    throw ModelViolation("send endpoint out of range");
+  sends_.push_back({src, dst, Message{src, value, tag}});
+}
+
+void BspMachine::local(ProcId proc, std::uint64_t ops) {
+  if (!in_step_) throw ModelViolation("local outside a superstep");
+  if (proc >= cfg_.p) throw ModelViolation("processor id out of range");
+  locals_.push_back({proc, ops});
+}
+
+const PhaseTrace& BspMachine::commit_superstep() {
+  if (!in_step_) throw ModelViolation("commit without begin_superstep");
+  in_step_ = false;
+
+  PhaseTrace ph;
+  PhaseStats& st = ph.stats;
+
+  std::unordered_map<ProcId, std::uint64_t> s_count, r_count, w_count;
+  s_count.reserve(sends_.size());
+  r_count.reserve(sends_.size());
+  for (const auto& s : sends_) {
+    ++s_count[s.src];
+    ++r_count[s.dst];
+  }
+  for (const auto& [proc, ops] : locals_) w_count[proc] += ops;
+
+  std::uint64_t h = 0;
+  for (const auto& [p, c] : s_count) h = std::max(h, c);
+  for (const auto& [p, c] : r_count) h = std::max(h, c);
+  for (const auto& [p, c] : w_count) {
+    st.m_op = std::max(st.m_op, c);
+    st.ops += c;
+  }
+  ph.h = h;
+
+  // Record the h-relation in the shared PhaseStats fields so the Claim 2.1
+  // replayer can treat a superstep like a phase: sends look like writes,
+  // receives like reads, and per-destination fan-in is the contention.
+  st.m_rw = std::max<std::uint64_t>(1, h);
+  st.reads = sends_.size();
+  st.writes = sends_.size();
+  std::uint64_t fan_in = 0;
+  for (const auto& [p, c] : r_count) fan_in = std::max(fan_in, c);
+  st.kappa_r = std::max<std::uint64_t>(1, fan_in);
+  st.kappa_w = st.kappa_r;
+
+  ph.cost = std::max({st.m_op, cfg_.g * h, cfg_.L});
+  time_ += ph.cost;
+
+  for (auto& box : inboxes_) box.clear();
+  for (const auto& s : sends_) {
+    inboxes_[s.dst].push_back(s.msg);
+    if (cfg_.record_detail)
+      ph.events.push_back({s.src, s.dst, s.msg.value, true});
+  }
+
+  trace_.phases.push_back(std::move(ph));
+  return trace_.phases.back();
+}
+
+std::span<const Message> BspMachine::inbox(ProcId proc) const {
+  return inboxes_.at(proc);
+}
+
+std::pair<std::uint64_t, std::uint64_t> BspMachine::block_range(
+    std::uint64_t n, std::uint64_t p, std::uint64_t i) {
+  // First (n mod p) components receive ceil(n/p), the rest floor(n/p).
+  const std::uint64_t q = n / p;
+  const std::uint64_t r = n % p;
+  const std::uint64_t lo = i * q + std::min(i, r);
+  const std::uint64_t hi = lo + q + (i < r ? 1 : 0);
+  return {lo, hi};
+}
+
+}  // namespace parbounds

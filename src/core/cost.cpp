@@ -1,0 +1,45 @@
+#include "core/cost.hpp"
+
+namespace parbounds {
+
+const char* cost_model_name(CostModel m) {
+  switch (m) {
+    case CostModel::Qsm:
+      return "QSM";
+    case CostModel::SQsm:
+      return "s-QSM";
+    case CostModel::QsmCrFree:
+      return "QSM+cr";
+    case CostModel::CrcwLike:
+      return "CRCW-like";
+    case CostModel::QsmGd:
+      return "QSM(g,d)";
+    case CostModel::Erew:
+      return "EREW";
+  }
+  return "?";
+}
+
+std::uint64_t phase_cost(CostModel model, std::uint64_t g,
+                         const PhaseStats& s, std::uint64_t d) {
+  const std::uint64_t comm = g * s.m_rw;
+  switch (model) {
+    case CostModel::Qsm:
+      return std::max({s.m_op, comm, s.kappa()});
+    case CostModel::SQsm:
+      return std::max({s.m_op, comm, g * s.kappa()});
+    case CostModel::QsmCrFree:
+      // Concurrent reads are unit time: only write contention queues.
+      return std::max({s.m_op, comm, s.kappa_w});
+    case CostModel::CrcwLike:
+      return std::max(s.m_op, comm);
+    case CostModel::QsmGd:
+      return std::max({s.m_op, comm, d * s.kappa()});
+    case CostModel::Erew:
+      // Exclusive access enforced at commit; kappa is always 1 here.
+      return std::max(s.m_op, comm);
+  }
+  return 0;
+}
+
+}  // namespace parbounds

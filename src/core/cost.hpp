@@ -1,0 +1,69 @@
+#pragma once
+// Cost policies for the shared-memory models of Section 2.1.
+//
+// A QSM phase with maximum local computation m_op, maximum per-processor
+// read/write count m_rw (>= 1 by definition) and maximum contention kappa
+// (>= 1 by definition) costs:
+//
+//   QSM    : max(m_op, g * m_rw, kappa)            [Section 2.1 (1)]
+//   s-QSM  : max(m_op, g * m_rw, g * kappa)        [Section 2.1 (2)]
+//   QRQW   : QSM with g = 1                        [Section 2.1 (1)]
+//
+// Two auxiliary policies support the paper's side remarks and our
+// ablations:
+//
+//   QsmCrFree : QSM, but concurrent *reads* are unit time ("even if
+//               unit-time concurrent reads are allowed", Theorem 3.1 and
+//               the Theta entry for Parity in Table 1). Write contention is
+//               still charged.
+//   CrcwLike  : contention entirely free (both directions); used only by
+//               the contention ablation bench to show what queue charging
+//               buys relative to a CRCW-style accounting.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace parbounds {
+
+// A further instance from the paper (Claim 2.2): the QSM(g, d) of
+// [Ramachandran 21], with a gap g at processors and a separate gap d per
+// access at memory:
+//
+//   QSM(g,d) : max(m_op, g * m_rw, d * kappa)
+//
+// QSM = QSM(g, 1); s-QSM = QSM(g, g); QRQW PRAM = QSM(1, 1).
+// CostModel::Erew completes the spectrum the paper situates the QRQW in
+// ("intermediate between the EREW and CRCW rules", Section 1): under
+// Erew any contention above 1 is a ModelViolation, so EREW-legal
+// algorithms (bitonic sort, fan-in-2 trees) run and queue-exploiting
+// ones (funnels, broadcasts) are rejected by the engine.
+enum class CostModel : std::uint8_t {
+  Qsm,
+  SQsm,
+  QsmCrFree,
+  CrcwLike,
+  QsmGd,
+  Erew,
+};
+
+const char* cost_model_name(CostModel m);
+
+/// Raw per-phase quantities measured by the engine.
+struct PhaseStats {
+  std::uint64_t m_op = 0;      ///< max_i c_i (local RAM operations)
+  std::uint64_t m_rw = 1;      ///< max(1, max_i max(r_i, w_i))
+  std::uint64_t kappa_r = 1;   ///< max over cells of #readers (>= 1)
+  std::uint64_t kappa_w = 1;   ///< max over cells of #writers (>= 1)
+  std::uint64_t reads = 0;     ///< total read requests in the phase
+  std::uint64_t writes = 0;    ///< total write requests in the phase
+  std::uint64_t ops = 0;       ///< total local operations in the phase
+
+  std::uint64_t kappa() const { return std::max(kappa_r, kappa_w); }
+};
+
+/// Charge a phase under the given policy with gap parameter g (and memory
+/// gap d, used only by CostModel::QsmGd).
+std::uint64_t phase_cost(CostModel model, std::uint64_t g,
+                         const PhaseStats& s, std::uint64_t d = 1);
+
+}  // namespace parbounds

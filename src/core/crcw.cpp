@@ -1,0 +1,124 @@
+#include "core/crcw.hpp"
+
+#include <algorithm>
+
+namespace parbounds {
+
+const std::vector<Word> CrcwMachine::kEmptyInbox = {};
+
+CrcwMachine::CrcwMachine(CrcwConfig cfg) : cfg_(cfg) {
+  trace_.kind = ExecutionTrace::Kind::Qsm;  // unit-gap shared memory
+  trace_.g = 1;
+}
+
+Addr CrcwMachine::alloc(std::uint64_t n) {
+  const Addr base = next_base_;
+  next_base_ += n;
+  return base;
+}
+
+void CrcwMachine::preload(Addr base, std::span<const Word> values) {
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] != 0) mem_[base + i] = values[i];
+}
+
+void CrcwMachine::preload(Addr addr, Word value) { mem_[addr] = value; }
+
+void CrcwMachine::begin_step() {
+  if (in_step_) throw ModelViolation("begin_step inside an open step");
+  in_step_ = true;
+  reads_.clear();
+  writes_.clear();
+  locals_.clear();
+}
+
+void CrcwMachine::read(ProcId p, Addr a) {
+  if (!in_step_) throw ModelViolation("read outside a step");
+  reads_.push_back({p, a});
+}
+
+void CrcwMachine::write(ProcId p, Addr a, Word v) {
+  if (!in_step_) throw ModelViolation("write outside a step");
+  writes_.push_back({p, a, v});
+}
+
+void CrcwMachine::local(ProcId p, std::uint64_t ops) {
+  if (!in_step_) throw ModelViolation("local outside a step");
+  locals_.push_back({p, ops});
+}
+
+const PhaseTrace& CrcwMachine::commit_step() {
+  if (!in_step_) throw ModelViolation("commit_step without begin_step");
+  in_step_ = false;
+
+  PhaseTrace ph;
+  PhaseStats& st = ph.stats;
+  st.reads = reads_.size();
+  st.writes = writes_.size();
+
+  std::unordered_map<ProcId, std::uint64_t> rw_count, c_count;
+  for (const auto& r : reads_) ++rw_count[r.proc];
+  for (const auto& w : writes_) ++rw_count[w.proc];
+  for (const auto& [p, c] : rw_count) st.m_rw = std::max(st.m_rw, c);
+  for (const auto& [p, ops] : locals_) {
+    c_count[p] += ops;
+    st.ops += ops;
+  }
+  for (const auto& [p, c] : c_count) st.m_op = std::max(st.m_op, c);
+
+  // Contention is recorded (for comparisons) but NOT charged.
+  std::unordered_map<Addr, std::uint64_t> cell_r, cell_w;
+  for (const auto& r : reads_) ++cell_r[r.addr];
+  for (const auto& w : writes_) ++cell_w[w.addr];
+  for (const auto& [a, c] : cell_r) st.kappa_r = std::max(st.kappa_r, c);
+  for (const auto& [a, c] : cell_w) st.kappa_w = std::max(st.kappa_w, c);
+
+  // A PRAM step: every processor does O(1) work; charging max(1, m_op)
+  // keeps heavy local computation visible.
+  ph.cost = std::max<std::uint64_t>(1, st.m_op);
+  time_ += ph.cost;
+
+  // Reads see the pre-step memory.
+  inboxes_.clear();
+  for (const auto& r : reads_) {
+    auto it = mem_.find(r.addr);
+    inboxes_[r.proc].push_back(it == mem_.end() ? 0 : it->second);
+  }
+
+  // Resolve writes per rule.
+  std::unordered_map<Addr, const WriteReq*> winner;
+  for (const auto& w : writes_) {
+    auto [it, fresh] = winner.emplace(w.addr, &w);
+    if (fresh) continue;
+    switch (cfg_.rule) {
+      case CrcwWriteRule::Common:
+        if (it->second->value != w.value)
+          throw ModelViolation("CRCW-Common: conflicting writes to cell " +
+                               std::to_string(w.addr));
+        break;
+      case CrcwWriteRule::Arbitrary:
+        it->second = &w;  // last queued
+        break;
+      case CrcwWriteRule::Priority:
+        if (w.proc < it->second->proc) it->second = &w;
+        break;
+    }
+  }
+  for (const auto& [a, w] : winner) mem_[a] = w->value;
+
+  trace_.phases.push_back(std::move(ph));
+  return trace_.phases.back();
+}
+
+std::span<const Word> CrcwMachine::inbox(ProcId p) const {
+  auto it = inboxes_.find(p);
+  return it == inboxes_.end() ? std::span<const Word>(kEmptyInbox)
+                              : std::span<const Word>(it->second);
+}
+
+Word CrcwMachine::peek(Addr a) const {
+  auto it = mem_.find(a);
+  return it == mem_.end() ? 0 : it->second;
+}
+
+}  // namespace parbounds

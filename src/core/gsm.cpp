@@ -1,0 +1,131 @@
+#include "core/gsm.hpp"
+
+#include <algorithm>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+const std::vector<std::vector<Word>> GsmMachine::kEmpty = {};
+const std::vector<Word> GsmMachine::kEmptyCell = {};
+
+GsmMachine::GsmMachine(GsmConfig cfg) : cfg_(cfg) {
+  if (cfg_.alpha == 0 || cfg_.beta == 0 || cfg_.gamma == 0)
+    throw std::invalid_argument("GSM parameters must be >= 1");
+  trace_.kind = ExecutionTrace::Kind::Gsm;
+}
+
+Addr GsmMachine::alloc(std::uint64_t n) {
+  const Addr base = next_base_;
+  next_base_ += n;
+  return base;
+}
+
+std::uint64_t GsmMachine::load_inputs(Addr base, std::span<const Word> inputs) {
+  std::uint64_t cells = 0;
+  for (std::size_t i = 0; i < inputs.size(); i += cfg_.gamma) {
+    auto& cell = mem_[base + cells];
+    const std::size_t hi = std::min(inputs.size(), i + cfg_.gamma);
+    cell.assign(inputs.begin() + static_cast<std::ptrdiff_t>(i),
+                inputs.begin() + static_cast<std::ptrdiff_t>(hi));
+    ++cells;
+  }
+  return cells;
+}
+
+void GsmMachine::preload(Addr a, std::span<const Word> contents) {
+  mem_[a].assign(contents.begin(), contents.end());
+}
+
+void GsmMachine::begin_phase() {
+  if (in_phase_) throw ModelViolation("begin_phase inside an open phase");
+  if (!started_) {
+    initial_mem_ = mem_;
+    started_ = true;
+  }
+  in_phase_ = true;
+  reads_.clear();
+  writes_.clear();
+}
+
+void GsmMachine::read(ProcId p, Addr a) {
+  if (!in_phase_) throw ModelViolation("read outside a phase");
+  reads_.push_back({p, a});
+}
+
+void GsmMachine::write(ProcId p, Addr a, Word v) {
+  if (!in_phase_) throw ModelViolation("write outside a phase");
+  writes_.push_back({p, a, {v}});
+}
+
+void GsmMachine::write_block(ProcId p, Addr a, std::span<const Word> vs) {
+  if (!in_phase_) throw ModelViolation("write outside a phase");
+  writes_.push_back({p, a, std::vector<Word>(vs.begin(), vs.end())});
+}
+
+const PhaseTrace& GsmMachine::commit_phase() {
+  if (!in_phase_) throw ModelViolation("commit_phase without begin_phase");
+  in_phase_ = false;
+
+  PhaseTrace ph;
+  PhaseStats& st = ph.stats;
+  st.reads = reads_.size();
+  st.writes = writes_.size();
+
+  std::unordered_map<ProcId, std::uint64_t> rw_count;
+  rw_count.reserve(reads_.size() + writes_.size());
+  for (const auto& r : reads_) ++rw_count[r.proc];
+  for (const auto& w : writes_) ++rw_count[w.proc];
+  for (const auto& [p, c] : rw_count) st.m_rw = std::max(st.m_rw, c);
+
+  std::unordered_map<Addr, std::uint64_t> cell_r, cell_w;
+  for (const auto& r : reads_) ++cell_r[r.addr];
+  for (const auto& w : writes_) ++cell_w[w.addr];
+  for (const auto& [a, c] : cell_r) {
+    if (cell_w.count(a) != 0)
+      throw ModelViolation("GSM cell both read and written in one phase");
+    st.kappa_r = std::max(st.kappa_r, c);
+  }
+  for (const auto& [a, c] : cell_w) st.kappa_w = std::max(st.kappa_w, c);
+
+  // Big-step accounting (Section 2.2): a phase with b big-steps costs
+  // mu * b; b = max(ceil(m_rw/alpha), ceil(kappa/beta)), at least 1.
+  const std::uint64_t b =
+      std::max<std::uint64_t>({1, ceil_div(st.m_rw, cfg_.alpha),
+                               ceil_div(st.kappa(), cfg_.beta)});
+  ph.cost = mu() * b;
+  big_steps_ += b;
+  time_ += ph.cost;
+
+  inboxes_.clear();
+  for (const auto& r : reads_) {
+    auto it = mem_.find(r.addr);
+    inboxes_[r.proc].push_back(it == mem_.end() ? kEmptyCell : it->second);
+    if (cfg_.record_detail) ph.events.push_back({r.proc, r.addr, 0, false});
+  }
+
+  // Strong queuing: every write appends its information to the cell.
+  for (const auto& w : writes_) {
+    auto& cell = mem_[w.addr];
+    cell.insert(cell.end(), w.values.begin(), w.values.end());
+    if (cfg_.record_detail)
+      ph.events.push_back(
+          {w.proc, w.addr, w.values.empty() ? 0 : w.values.front(), true});
+  }
+
+  trace_.phases.push_back(std::move(ph));
+  return trace_.phases.back();
+}
+
+std::span<const std::vector<Word>> GsmMachine::inbox(ProcId p) const {
+  auto it = inboxes_.find(p);
+  if (it == inboxes_.end()) return kEmpty;
+  return it->second;
+}
+
+std::span<const Word> GsmMachine::peek(Addr a) const {
+  auto it = mem_.find(a);
+  return (it == mem_.end()) ? kEmptyCell : std::span<const Word>(it->second);
+}
+
+}  // namespace parbounds

@@ -1,0 +1,78 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+std::uint64_t gsm_phase_cost(const PhaseStats& st, std::uint64_t alpha,
+                             std::uint64_t beta) {
+  const std::uint64_t mu = std::max(alpha, beta);
+  const std::uint64_t b = std::max<std::uint64_t>(
+      {1, ceil_div(st.m_rw, alpha), ceil_div(st.kappa(), beta)});
+  return mu * b;
+}
+
+std::uint64_t gsm_replay_cost(const ExecutionTrace& t, std::uint64_t alpha,
+                              std::uint64_t beta) {
+  std::uint64_t total = 0;
+  for (const auto& ph : t.phases) total += gsm_phase_cost(ph.stats, alpha, beta);
+  return total;
+}
+
+MappingReport check_claim21(const ExecutionTrace& t) {
+  MappingReport r;
+  r.original_cost = t.total_cost();
+  switch (t.kind) {
+    case ExecutionTrace::Kind::Qsm:
+      r.gsm_cost = gsm_replay_cost(t, 1, t.g);
+      r.factor = 1;
+      break;
+    case ExecutionTrace::Kind::SQsm:
+      r.gsm_cost = gsm_replay_cost(t, 1, 1);
+      r.factor = t.g;
+      break;
+    case ExecutionTrace::Kind::Bsp: {
+      const std::uint64_t lg = std::max<std::uint64_t>(1, t.L / t.g);
+      r.gsm_cost = gsm_replay_cost(t, lg, lg);
+      r.factor = t.g;
+      break;
+    }
+    case ExecutionTrace::Kind::QsmGd:
+      return check_claim22(t);
+    case ExecutionTrace::Kind::Gsm:
+      throw std::invalid_argument("check_claim21: trace is already GSM");
+  }
+  r.ratio = r.original_cost == 0
+                ? 0.0
+                : static_cast<double>(r.factor) *
+                      static_cast<double>(r.gsm_cost) /
+                      static_cast<double>(r.original_cost);
+  return r;
+}
+
+MappingReport check_claim22(const ExecutionTrace& t) {
+  if (t.kind != ExecutionTrace::Kind::QsmGd)
+    throw std::invalid_argument("check_claim22 needs a QSM(g,d) trace");
+  MappingReport r;
+  r.original_cost = t.total_cost();
+  if (t.g >= t.d) {
+    // Item 1: T_{g>d-QSM} = Omega(d * T_GSM(n, 1, g/d, 1)).
+    r.gsm_cost = gsm_replay_cost(t, 1, std::max<std::uint64_t>(1, t.g / t.d));
+    r.factor = t.d;
+  } else {
+    // Item 2: T_{d>g-QSM} = Omega(g * T_GSM(n, d/g, 1, 1)).
+    r.gsm_cost = gsm_replay_cost(t, std::max<std::uint64_t>(1, t.d / t.g), 1);
+    r.factor = t.g;
+  }
+  r.ratio = r.original_cost == 0
+                ? 0.0
+                : static_cast<double>(r.factor) *
+                      static_cast<double>(r.gsm_cost) /
+                      static_cast<double>(r.original_cost);
+  return r;
+}
+
+}  // namespace parbounds

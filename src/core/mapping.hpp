@@ -1,0 +1,55 @@
+#pragma once
+// Claim 2.1 mapping executors: replay a recorded QSM / s-QSM / BSP
+// execution on a GSM and verify the cost relations the paper proves.
+//
+// The claim rests on per-phase observations:
+//  * a QSM phase with cost max(m_op, g*m_rw, kappa) executes on a
+//    GSM(alpha=1, beta=g) in at most the same time (up to the big-step
+//    rounding, i.e. a factor <= 2);
+//  * an s-QSM phase with cost tau = max(m_op, g*m_rw, g*kappa) executes on
+//    a GSM(1, 1) in time at most tau / g;
+//  * a BSP superstep with cost tau = max(w, g*h, L) executes on a
+//    GSM(L/g, L/g) in time at most tau / g (again up to rounding).
+//
+// check_claim21 replays each phase of a trace through the GSM big-step
+// cost formula and reports the worst ratio (gsm_replay_cost * factor) /
+// original_cost — the claim holds when worst_ratio <= slack.
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+
+namespace parbounds {
+
+/// Cost of one phase under GSM(alpha, beta) big-step accounting
+/// (Section 2.2): mu * max(1, ceil(m_rw/alpha), ceil(kappa/beta)).
+std::uint64_t gsm_phase_cost(const PhaseStats& st, std::uint64_t alpha,
+                             std::uint64_t beta);
+
+/// Total cost of replaying every phase of `t` on GSM(alpha, beta).
+/// Local computation is free on the GSM (it only has reads and writes),
+/// matching "lower bounds that do not consider local computations".
+std::uint64_t gsm_replay_cost(const ExecutionTrace& t, std::uint64_t alpha,
+                              std::uint64_t beta);
+
+struct MappingReport {
+  std::uint64_t original_cost = 0;  ///< time on the source machine
+  std::uint64_t gsm_cost = 0;       ///< replay cost on the target GSM
+  std::uint64_t factor = 1;         ///< multiplier from Claim 2.1 (1 or g)
+  double ratio = 0.0;               ///< factor * gsm_cost / original_cost
+  bool holds(double slack = 2.0) const { return ratio <= slack; }
+};
+
+/// Apply the Claim 2.1 item matching t.kind:
+///   Qsm  -> item 1: T_QSM   >= T_GSM(1, g)       (factor 1)
+///   SQsm -> item 2: T_sQSM  >= g * T_GSM(1, 1)   (factor g)
+///   Bsp  -> item 3: T_BSP   >= g * T_GSM(L/g, L/g) (factor g)
+MappingReport check_claim21(const ExecutionTrace& t);
+
+/// Claim 2.2, for QSM(g, d) traces (kind == QsmGd):
+///   g > d : T >= d * T_GSM(1, g/d)    (factor d)
+///   d > g : T >= g * T_GSM(d/g, 1)    (factor g)
+///   g == d: the s-QSM case, T >= g * T_GSM(1, 1).
+MappingReport check_claim22(const ExecutionTrace& t);
+
+}  // namespace parbounds

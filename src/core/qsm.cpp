@@ -1,0 +1,153 @@
+#include "core/qsm.hpp"
+
+#include <algorithm>
+
+namespace parbounds {
+
+const std::vector<Word> QsmMachine::kEmptyInbox = {};
+
+QsmMachine::QsmMachine(QsmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.g == 0) throw std::invalid_argument("QSM gap g must be >= 1");
+  if (cfg_.d == 0) throw std::invalid_argument("QSM memory gap d must be >= 1");
+  switch (cfg_.model) {
+    case CostModel::SQsm:
+      trace_.kind = ExecutionTrace::Kind::SQsm;
+      break;
+    case CostModel::QsmGd:
+      trace_.kind = ExecutionTrace::Kind::QsmGd;
+      break;
+    default:
+      trace_.kind = ExecutionTrace::Kind::Qsm;
+  }
+  trace_.g = cfg_.g;
+  trace_.d = cfg_.d;
+}
+
+Addr QsmMachine::alloc(std::uint64_t n) {
+  const Addr base = next_base_;
+  next_base_ += n;
+  return base;
+}
+
+void QsmMachine::preload(Addr base, std::span<const Word> values) {
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] != 0) mem_[base + i] = values[i];
+}
+
+void QsmMachine::preload(Addr addr, Word value) { mem_[addr] = value; }
+
+void QsmMachine::begin_phase() {
+  if (in_phase_) throw ModelViolation("begin_phase inside an open phase");
+  in_phase_ = true;
+  reads_.clear();
+  writes_.clear();
+  locals_.clear();
+}
+
+void QsmMachine::read(ProcId p, Addr a) {
+  if (!in_phase_) throw ModelViolation("read outside a phase");
+  reads_.push_back({p, a});
+}
+
+void QsmMachine::write(ProcId p, Addr a, Word v) {
+  if (!in_phase_) throw ModelViolation("write outside a phase");
+  writes_.push_back({p, a, v});
+}
+
+void QsmMachine::local(ProcId p, std::uint64_t ops) {
+  if (!in_phase_) throw ModelViolation("local outside a phase");
+  locals_.push_back({p, ops});
+}
+
+const PhaseTrace& QsmMachine::commit_phase() {
+  if (!in_phase_) throw ModelViolation("commit_phase without begin_phase");
+  in_phase_ = false;
+
+  PhaseTrace ph;
+  PhaseStats& st = ph.stats;
+  st.reads = reads_.size();
+  st.writes = writes_.size();
+
+  // Per-processor r_i, w_i, c_i.
+  std::unordered_map<ProcId, std::uint64_t> r_count, w_count, c_count;
+  r_count.reserve(reads_.size());
+  w_count.reserve(writes_.size());
+  for (const auto& r : reads_) ++r_count[r.proc];
+  for (const auto& w : writes_) ++w_count[w.proc];
+  for (const auto& l : locals_) c_count[l.proc] += l.ops;
+  for (const auto& [p, c] : r_count) st.m_rw = std::max(st.m_rw, c);
+  for (const auto& [p, c] : w_count) st.m_rw = std::max(st.m_rw, c);
+  for (const auto& [p, c] : c_count) {
+    st.m_op = std::max(st.m_op, c);
+    st.ops += c;
+  }
+
+  // Per-cell contention and the queue rule (reads XOR writes per cell).
+  std::unordered_map<Addr, std::uint64_t> cell_r, cell_w;
+  cell_r.reserve(reads_.size());
+  cell_w.reserve(writes_.size());
+  for (const auto& r : reads_) ++cell_r[r.addr];
+  for (const auto& w : writes_) ++cell_w[w.addr];
+  for (const auto& [a, c] : cell_r) {
+    if (cell_w.count(a) != 0)
+      throw ModelViolation("cell " + std::to_string(a) +
+                           " both read and written in one phase");
+    st.kappa_r = std::max(st.kappa_r, c);
+  }
+  for (const auto& [a, c] : cell_w) st.kappa_w = std::max(st.kappa_w, c);
+
+  if (cfg_.model == CostModel::Erew && st.kappa() > 1)
+    throw ModelViolation("EREW: concurrent access (contention " +
+                         std::to_string(st.kappa()) + ")");
+
+  ph.cost = phase_cost(cfg_.model, cfg_.g, st, cfg_.d);
+  time_ += ph.cost;
+
+  // Deliver reads: values are the cell contents at the start of the phase
+  // (writes below have not been applied yet), in issue order per processor.
+  inboxes_.clear();
+  for (const auto& r : reads_) {
+    auto it = mem_.find(r.addr);
+    const Word v = (it == mem_.end()) ? 0 : it->second;
+    inboxes_[r.proc].push_back(v);
+    if (cfg_.record_detail) ph.events.push_back({r.proc, r.addr, v, false});
+  }
+
+  // Apply writes. With multiple writers to one cell, an arbitrary write
+  // succeeds: LastQueued keeps the final requests order; Random shuffles
+  // winners with the machine's seeded generator.
+  if (cfg_.writes == WriteResolution::LastQueued) {
+    for (const auto& w : writes_) {
+      mem_[w.addr] = w.value;
+      if (cfg_.record_detail)
+        ph.events.push_back({w.proc, w.addr, w.value, true});
+    }
+  } else {
+    // Group writers per cell, pick a uniform winner.
+    std::unordered_map<Addr, std::vector<const WriteReq*>> by_cell;
+    for (const auto& w : writes_) by_cell[w.addr].push_back(&w);
+    for (auto& [a, ws] : by_cell) {
+      const auto k = static_cast<std::size_t>(rng_.next_below(ws.size()));
+      mem_[a] = ws[k]->value;
+      if (cfg_.record_detail)
+        for (const auto* w : ws)
+          ph.events.push_back({w->proc, w->addr, w->value, true});
+    }
+  }
+
+  trace_.phases.push_back(std::move(ph));
+  return trace_.phases.back();
+}
+
+std::span<const Word> QsmMachine::inbox(ProcId p) const {
+  auto it = inboxes_.find(p);
+  if (it == inboxes_.end()) return kEmptyInbox;
+  return it->second;
+}
+
+Word QsmMachine::peek(Addr a) const {
+  auto it = mem_.find(a);
+  return (it == mem_.end()) ? 0 : it->second;
+}
+
+}  // namespace parbounds

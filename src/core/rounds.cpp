@@ -1,0 +1,79 @@
+#include "core/rounds.hpp"
+
+#include <algorithm>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+namespace {
+
+RoundAudit audit_cost_budget(const ExecutionTrace& t, std::uint64_t budget,
+                             std::uint64_t p) {
+  RoundAudit a;
+  a.budget = budget;
+  a.rounds = t.phases.size();
+  for (const auto& ph : t.phases) {
+    a.max_phase_cost = std::max(a.max_phase_cost, ph.cost);
+    if (ph.cost > budget) ++a.violations;
+    a.total_work += ph.cost * p;
+  }
+  a.worst_ratio = budget == 0 ? 0.0
+                              : static_cast<double>(a.max_phase_cost) /
+                                    static_cast<double>(budget);
+  return a;
+}
+
+}  // namespace
+
+RoundAudit audit_rounds_qsm(const ExecutionTrace& t, std::uint64_t n,
+                            std::uint64_t p, std::uint64_t slack) {
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(1, slack * t.g * ceil_div(n, p));
+  return audit_cost_budget(t, budget, p);
+}
+
+RoundAudit audit_rounds_bsp(const ExecutionTrace& t, std::uint64_t n,
+                            std::uint64_t p, std::uint64_t slack) {
+  RoundAudit a;
+  const std::uint64_t h_budget =
+      std::max<std::uint64_t>(1, slack * ceil_div(n, p));
+  const std::uint64_t w_budget = slack * (t.g * ceil_div(n, p) + t.L);
+  a.budget = std::max(t.g * h_budget, std::max(w_budget, t.L));
+  a.rounds = t.phases.size();
+  for (const auto& ph : t.phases) {
+    a.max_phase_cost = std::max(a.max_phase_cost, ph.cost);
+    if (ph.h > h_budget || ph.stats.m_op > w_budget) ++a.violations;
+    a.total_work += ph.cost * p;
+  }
+  a.worst_ratio = static_cast<double>(a.max_phase_cost) /
+                  static_cast<double>(std::max<std::uint64_t>(1, a.budget));
+  return a;
+}
+
+RoundAudit audit_rounds_gsm(const ExecutionTrace& t, std::uint64_t n,
+                            std::uint64_t p, std::uint64_t alpha,
+                            std::uint64_t beta, std::uint64_t slack) {
+  const std::uint64_t mu = std::max(alpha, beta);
+  const std::uint64_t lambda = std::min(alpha, beta);
+  const std::uint64_t budget = std::max<std::uint64_t>(
+      1, slack * mu * ceil_div(n, lambda * p));
+  return audit_cost_budget(t, budget, p);
+}
+
+RoundAudit audit_rounds_gsm_h(const ExecutionTrace& t, std::uint64_t h,
+                              std::uint64_t alpha, std::uint64_t beta,
+                              std::uint64_t slack) {
+  const std::uint64_t mu = std::max(alpha, beta);
+  const std::uint64_t lambda = std::min(alpha, beta);
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(1, slack * mu * ceil_div(h, lambda));
+  return audit_cost_budget(t, budget, 1);
+}
+
+bool is_linear_work_qsm(const ExecutionTrace& t, std::uint64_t n,
+                        std::uint64_t p, std::uint64_t slack) {
+  return t.total_work(p) <= slack * t.g * n;
+}
+
+}  // namespace parbounds

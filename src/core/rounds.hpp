@@ -1,0 +1,63 @@
+#pragma once
+// Round accounting, Section 2.3.
+//
+// A *round* in a computation with p processors on an n-element input is:
+//   * QSM / s-QSM : a phase taking O(g*n/p) time;
+//   * BSP         : a superstep routing an O(n/p)-relation and performing
+//                   O(g*n/p + L) local computation;
+//   * GSM         : a phase taking O(mu*n/(lambda*p)) time (p <= n,
+//                   gamma <= n/p).
+//
+// A p-processor QSM/s-QSM algorithm performs *linear work* when its
+// processor-time product is O(g*n); on a GSM, O(mu*n/lambda). Any
+// linear-work algorithm must compute in rounds, and an r-round computation
+// performs at most O(r*g*n) work (O(r*(g*n + L*p)) on BSP).
+//
+// The auditor walks an ExecutionTrace and checks every phase against the
+// applicable budget with an explicit slack constant (the constant hidden
+// in the O(): we default to 4 and report the worst observed ratio so
+// benches can print how tight each algorithm actually is).
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+
+namespace parbounds {
+
+struct RoundAudit {
+  std::uint64_t rounds = 0;          ///< number of phases / supersteps
+  std::uint64_t violations = 0;      ///< phases exceeding the round budget
+  std::uint64_t budget = 0;          ///< per-phase cost budget used
+  std::uint64_t max_phase_cost = 0;  ///< worst phase observed
+  double worst_ratio = 0.0;          ///< max phase cost / (budget/slack)
+  std::uint64_t total_work = 0;      ///< p * total cost
+
+  bool all_rounds() const { return violations == 0; }
+};
+
+/// QSM / s-QSM: every phase must cost <= slack * g * n / p.
+RoundAudit audit_rounds_qsm(const ExecutionTrace& t, std::uint64_t n,
+                            std::uint64_t p, std::uint64_t slack = 4);
+
+/// BSP: every superstep must route h <= slack * n/p and do local work
+/// <= slack * (g*n/p + L).
+RoundAudit audit_rounds_bsp(const ExecutionTrace& t, std::uint64_t n,
+                            std::uint64_t p, std::uint64_t slack = 4);
+
+/// GSM: every phase must cost <= slack * mu * n / (lambda * p).
+RoundAudit audit_rounds_gsm(const ExecutionTrace& t, std::uint64_t n,
+                            std::uint64_t p, std::uint64_t alpha,
+                            std::uint64_t beta, std::uint64_t slack = 4);
+
+/// GSM(h), Section 6.3's relaxed round: a phase taking O(mu*h/lambda)
+/// time regardless of the processor count. Used by the Theorem 6.3 LAC
+/// round bound.
+RoundAudit audit_rounds_gsm_h(const ExecutionTrace& t, std::uint64_t h,
+                              std::uint64_t alpha, std::uint64_t beta,
+                              std::uint64_t slack = 4);
+
+/// Linear-work check: processor-time product <= slack * g * n (QSM/s-QSM).
+bool is_linear_work_qsm(const ExecutionTrace& t, std::uint64_t n,
+                        std::uint64_t p, std::uint64_t slack = 4);
+
+}  // namespace parbounds

@@ -1,0 +1,208 @@
+#include "core/spmd.hpp"
+
+#include <algorithm>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+std::uint64_t run_spmd(QsmMachine& m,
+                       std::vector<std::unique_ptr<SpmdProcessor>>& procs,
+                       unsigned max_phases) {
+  std::vector<std::uint8_t> halted(procs.size(), 0);
+  std::uint64_t committed = 0;
+  unsigned phase = 0;
+
+  while (committed < max_phases) {
+    struct Pending {
+      std::size_t p;
+      SpmdAction a;
+    };
+    std::vector<Pending> pending;
+    bool any_action = false;
+    for (std::size_t p = 0; p < procs.size(); ++p) {
+      if (halted[p]) continue;
+      SpmdAction a = procs[p]->step(phase, m.inbox(p));
+      if (!a.reads.empty() || !a.writes.empty() || a.local_ops > 0)
+        any_action = true;
+      pending.push_back({p, std::move(a)});
+    }
+    if (pending.empty()) return committed;  // everyone halted earlier
+    if (!any_action) {
+      // A silent round: processors may halt without a final phase.
+      bool all_halt = true;
+      for (const auto& pd : pending) {
+        if (pd.a.halt)
+          halted[pd.p] = 1;
+        else
+          all_halt = false;
+      }
+      if (all_halt) return committed;
+      throw ModelViolation("SPMD: live processors issued no actions");
+    }
+
+    m.begin_phase();
+    for (const auto& pd : pending) {
+      for (const Addr a : pd.a.reads) m.read(pd.p, a);
+      for (const auto& [a, v] : pd.a.writes) m.write(pd.p, a, v);
+      if (pd.a.local_ops > 0) m.local(pd.p, pd.a.local_ops);
+      if (pd.a.halt) halted[pd.p] = 1;
+    }
+    m.commit_phase();
+    ++committed;
+    ++phase;
+  }
+  throw ModelViolation("SPMD program did not halt within the phase limit");
+}
+
+namespace {
+
+// ----- parity tree processor --------------------------------------------------
+
+struct TreeLayout {
+  std::vector<Addr> level_base;
+  std::vector<std::uint64_t> level_len;
+  unsigned fanin;
+};
+
+class TreeNodeProc : public SpmdProcessor {
+ public:
+  TreeNodeProc(std::shared_ptr<const TreeLayout> layout, std::uint64_t b)
+      : layout_(std::move(layout)), b_(b) {}
+
+  SpmdAction step(unsigned /*phase*/, std::span<const Word> inbox) override {
+    SpmdAction act;
+    const auto& L = *layout_;
+    if (level_ + 1 >= L.level_base.size() ||
+        b_ >= L.level_len[level_ + 1]) {
+      act.halt = true;
+      return act;
+    }
+    if (!reading_done_) {
+      // Read phase for this level: fetch my block.
+      const std::uint64_t len = L.level_len[level_];
+      const std::uint64_t lo = b_ * L.fanin;
+      const std::uint64_t hi =
+          std::min<std::uint64_t>(len, lo + L.fanin);
+      for (std::uint64_t i = lo; i < hi; ++i)
+        act.reads.push_back(L.level_base[level_] + i);
+      reading_done_ = true;
+      return act;
+    }
+    // Combine-and-write phase: XOR exactly what arrived.
+    Word acc = 0;
+    for (const Word v : inbox) acc ^= (v != 0) ? 1 : 0;
+    act.writes.emplace_back(L.level_base[level_ + 1] + b_, acc);
+    act.local_ops = std::max<std::size_t>(std::size_t{1}, inbox.size());
+    reading_done_ = false;
+    ++level_;
+    // Halt right away if I have no block at the next level.
+    if (level_ + 1 >= L.level_base.size() || b_ >= L.level_len[level_ + 1])
+      act.halt = true;
+    return act;
+  }
+
+ private:
+  std::shared_ptr<const TreeLayout> layout_;
+  std::uint64_t b_;
+  unsigned level_ = 0;
+  bool reading_done_ = false;
+};
+
+// ----- broadcast processor -----------------------------------------------------
+
+struct CastLayout {
+  Addr src = 0;
+  Addr dst = 0;
+  std::uint64_t n = 0;
+  std::uint64_t fanout = 2;
+  // counts[w] = number of copies that exist entering wave w.
+  std::vector<std::uint64_t> counts;
+};
+
+class CastProc : public SpmdProcessor {
+ public:
+  CastProc(std::shared_ptr<const CastLayout> layout, std::uint64_t idx)
+      : layout_(std::move(layout)), idx_(idx) {}
+
+  SpmdAction step(unsigned phase, std::span<const Word> inbox) override {
+    SpmdAction act;
+    const auto& L = *layout_;
+    if (idx_ == 0) {
+      // Seed: read src at phase 0, write dst[0] at phase 1, halt.
+      if (phase == 0) {
+        act.reads.push_back(L.src);
+      } else {
+        act.writes.emplace_back(L.dst + 0, inbox.empty() ? 0 : inbox[0]);
+        act.halt = true;
+      }
+      return act;
+    }
+    // Wave membership: copies enter at wave w when counts[w-1] <= idx <
+    // counts[w]; my read phase is 2w, write phase 2w + 1.
+    std::size_t w = 1;
+    while (w < L.counts.size() && L.counts[w] <= idx_) ++w;
+    const unsigned read_phase = static_cast<unsigned>(2 * w);
+    if (phase < read_phase) return act;  // idle, not yet my wave
+    if (phase == read_phase) {
+      const std::uint64_t holders = L.counts[w - 1];
+      const std::uint64_t t = idx_ - holders;  // my index within the wave
+      act.reads.push_back(L.dst + (t % holders));
+      return act;
+    }
+    act.writes.emplace_back(L.dst + idx_, inbox.empty() ? 0 : inbox[0]);
+    act.halt = true;
+    return act;
+  }
+
+ private:
+  std::shared_ptr<const CastLayout> layout_;
+  std::uint64_t idx_;
+};
+
+}  // namespace
+
+Addr spmd_parity_tree(QsmMachine& m, Addr in, std::uint64_t n,
+                      unsigned fanin) {
+  if (fanin < 2) throw std::invalid_argument("spmd_parity_tree: fanin >= 2");
+  if (n <= 1) return in;
+  auto layout = std::make_shared<TreeLayout>();
+  layout->fanin = fanin;
+  layout->level_base.push_back(in);
+  layout->level_len.push_back(n);
+  std::uint64_t len = n;
+  while (len > 1) {
+    len = ceil_div(len, fanin);
+    layout->level_base.push_back(m.alloc(len));
+    layout->level_len.push_back(len);
+  }
+  std::vector<std::unique_ptr<SpmdProcessor>> procs;
+  const std::uint64_t blocks0 = layout->level_len[1];
+  for (std::uint64_t b = 0; b < blocks0; ++b)
+    procs.push_back(std::make_unique<TreeNodeProc>(layout, b));
+  run_spmd(m, procs);
+  return layout->level_base.back();
+}
+
+void spmd_broadcast(QsmMachine& m, Addr src, Addr dst, std::uint64_t n,
+                    std::uint64_t fanout) {
+  if (n == 0) return;
+  if (fanout < 2) throw std::invalid_argument("spmd_broadcast: fanout >= 2");
+  auto layout = std::make_shared<CastLayout>();
+  layout->src = src;
+  layout->dst = dst;
+  layout->n = n;
+  layout->fanout = fanout;
+  std::uint64_t count = 1;
+  layout->counts.push_back(1);
+  while (count < n) {
+    count = std::min<std::uint64_t>(n, count + count * (fanout - 1));
+    layout->counts.push_back(count);
+  }
+  std::vector<std::unique_ptr<SpmdProcessor>> procs;
+  for (std::uint64_t i = 0; i < n; ++i)
+    procs.push_back(std::make_unique<CastProc>(layout, i));
+  run_spmd(m, procs);
+}
+
+}  // namespace parbounds

@@ -1,0 +1,59 @@
+#pragma once
+// SPMD processor programs: information locality by construction.
+//
+// The algorithm drivers elsewhere in this repository are ordinary C++
+// with global visibility; the engines enforce the *timing* of
+// information (reads deliver at commit) but locality — "a processor's
+// actions depend only on what it has read" — is a code-review property.
+// This layer closes that gap for the algorithms that use it: a
+// processor is an object whose step() receives ONLY its own inbox and
+// returns the actions for the next phase. The runner moves requests to
+// the machine and inboxes back; a processor has no other channel, so
+// locality holds by the type system rather than by discipline.
+//
+// Tests cross-check SPMD executions against the driver versions of the
+// same algorithms: identical results and identical per-phase costs.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/qsm.hpp"
+
+namespace parbounds {
+
+struct SpmdAction {
+  std::vector<Addr> reads;
+  std::vector<std::pair<Addr, Word>> writes;
+  std::uint64_t local_ops = 0;
+  bool halt = false;
+};
+
+class SpmdProcessor {
+ public:
+  virtual ~SpmdProcessor() = default;
+  /// Called once per phase with the values delivered by last phase's
+  /// reads (in request order). Return this phase's requests.
+  virtual SpmdAction step(unsigned phase, std::span<const Word> inbox) = 0;
+};
+
+/// Run the processors on `m` until every one has halted (or max_phases).
+/// Returns the number of phases committed. Throws if the program fails
+/// to halt within the limit.
+std::uint64_t run_spmd(QsmMachine& m,
+                       std::vector<std::unique_ptr<SpmdProcessor>>& procs,
+                       unsigned max_phases = 1u << 16);
+
+// ----- SPMD formulations of two Section 8 algorithms ------------------------
+
+/// Fan-in `fanin` parity tree over in[0..n): processor b serves block b
+/// at every level. Returns the output cell address.
+Addr spmd_parity_tree(QsmMachine& m, Addr in, std::uint64_t n,
+                      unsigned fanin);
+
+/// Fan-out `fanout` broadcast of cell src into dst[0..n).
+void spmd_broadcast(QsmMachine& m, Addr src, Addr dst, std::uint64_t n,
+                    std::uint64_t fanout);
+
+}  // namespace parbounds

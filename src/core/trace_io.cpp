@@ -1,0 +1,128 @@
+#include "core/trace_io.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace parbounds {
+
+namespace {
+
+const char* kind_name(ExecutionTrace::Kind k) {
+  switch (k) {
+    case ExecutionTrace::Kind::Qsm:
+      return "QSM";
+    case ExecutionTrace::Kind::SQsm:
+      return "s-QSM";
+    case ExecutionTrace::Kind::Bsp:
+      return "BSP";
+    case ExecutionTrace::Kind::Gsm:
+      return "GSM";
+    case ExecutionTrace::Kind::QsmGd:
+      return "QSM(g,d)";
+  }
+  return "?";
+}
+
+ExecutionTrace::Kind kind_from(const std::string& s) {
+  if (s == "QSM") return ExecutionTrace::Kind::Qsm;
+  if (s == "s-QSM") return ExecutionTrace::Kind::SQsm;
+  if (s == "BSP") return ExecutionTrace::Kind::Bsp;
+  if (s == "GSM") return ExecutionTrace::Kind::Gsm;
+  if (s == "QSM(g,d)") return ExecutionTrace::Kind::QsmGd;
+  throw std::invalid_argument("unknown trace kind: " + s);
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : line) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  return std::stoull(s);
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const ExecutionTrace& t) {
+  os << "kind,g,d,L,phases,total_cost\n";
+  os << kind_name(t.kind) << ',' << t.g << ',' << t.d << ',' << t.L << ','
+     << t.phases.size() << ',' << t.total_cost() << '\n';
+  os << "phase,cost,m_op,m_rw,kappa_r,kappa_w,h,reads,writes,ops\n";
+  for (std::size_t i = 0; i < t.phases.size(); ++i) {
+    const auto& ph = t.phases[i];
+    os << i + 1 << ',' << ph.cost << ',' << ph.stats.m_op << ','
+       << ph.stats.m_rw << ',' << ph.stats.kappa_r << ','
+       << ph.stats.kappa_w << ',' << ph.h << ',' << ph.stats.reads << ','
+       << ph.stats.writes << ',' << ph.stats.ops << '\n';
+  }
+}
+
+std::string trace_to_csv(const ExecutionTrace& t) {
+  std::ostringstream os;
+  write_trace_csv(os, t);
+  return os.str();
+}
+
+std::string trace_summary(const ExecutionTrace& t) {
+  std::uint64_t worst = 0;
+  for (const auto& ph : t.phases) worst = std::max(worst, ph.cost);
+  std::ostringstream os;
+  os << kind_name(t.kind) << " g=" << t.g;
+  if (t.kind == ExecutionTrace::Kind::QsmGd) os << " d=" << t.d;
+  if (t.kind == ExecutionTrace::Kind::Bsp) os << " L=" << t.L;
+  os << ": " << t.phases.size() << " phases, cost " << t.total_cost()
+     << " (max phase " << worst << ")";
+  return os.str();
+}
+
+ExecutionTrace trace_from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  auto next_line = [&]() {
+    if (!std::getline(is, line))
+      throw std::invalid_argument("trace csv truncated");
+    return line;
+  };
+  if (next_line() != "kind,g,d,L,phases,total_cost")
+    throw std::invalid_argument("trace csv: bad header");
+  const auto meta = split(next_line(), ',');
+  if (meta.size() != 6) throw std::invalid_argument("trace csv: bad meta");
+  ExecutionTrace t;
+  t.kind = kind_from(meta[0]);
+  t.g = to_u64(meta[1]);
+  t.d = to_u64(meta[2]);
+  t.L = to_u64(meta[3]);
+  const std::uint64_t phases = to_u64(meta[4]);
+  if (next_line() != "phase,cost,m_op,m_rw,kappa_r,kappa_w,h,reads,writes,ops")
+    throw std::invalid_argument("trace csv: bad phase header");
+  for (std::uint64_t i = 0; i < phases; ++i) {
+    const auto f = split(next_line(), ',');
+    if (f.size() != 10) throw std::invalid_argument("trace csv: bad row");
+    PhaseTrace ph;
+    ph.cost = to_u64(f[1]);
+    ph.stats.m_op = to_u64(f[2]);
+    ph.stats.m_rw = to_u64(f[3]);
+    ph.stats.kappa_r = to_u64(f[4]);
+    ph.stats.kappa_w = to_u64(f[5]);
+    ph.h = to_u64(f[6]);
+    ph.stats.reads = to_u64(f[7]);
+    ph.stats.writes = to_u64(f[8]);
+    ph.stats.ops = to_u64(f[9]);
+    t.phases.push_back(ph);
+  }
+  return t;
+}
+
+}  // namespace parbounds

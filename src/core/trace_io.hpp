@@ -1,0 +1,27 @@
+#pragma once
+// Execution-trace serialization: CSV for plotting and a compact textual
+// summary for logs. Bench binaries print tables; downstream users who
+// want to plot cost-vs-phase curves can dump any ExecutionTrace with
+// these helpers and load the CSV into anything.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace parbounds {
+
+/// Header: kind,g,d,L,phases,total_cost
+/// Rows:   phase,cost,m_op,m_rw,kappa_r,kappa_w,h,reads,writes,ops
+std::string trace_to_csv(const ExecutionTrace& t);
+void write_trace_csv(std::ostream& os, const ExecutionTrace& t);
+
+/// One-line human summary: "QSM g=8: 24 phases, cost 192 (max phase 16)".
+std::string trace_summary(const ExecutionTrace& t);
+
+/// Parse a CSV produced by trace_to_csv (summary fields + per-phase
+/// stats; events are not serialized). Throws std::invalid_argument on
+/// malformed input.
+ExecutionTrace trace_from_csv(const std::string& csv);
+
+}  // namespace parbounds

@@ -1,0 +1,44 @@
+#include "util/mathx.hpp"
+
+#include <algorithm>
+
+namespace parbounds {
+
+double safe_log2(double x) { return std::log2(std::max(x, 2.0)); }
+
+double safe_loglog2(double x) {
+  return std::max(1.0, std::log2(std::log2(std::max(x, 4.0))));
+}
+
+double add_log2(double x) { return std::max(0.0, std::log2(std::max(x, 1.0))); }
+
+unsigned log_star(double x) { return log_star_base(x, 2.0); }
+
+unsigned log_star_base(double x, double b) {
+  unsigned k = 0;
+  // log_b applied repeatedly; 64 iterations is far beyond any tower that a
+  // double can represent, so the loop always terminates.
+  while (x > 1.0 && k < 64) {
+    x = std::log2(x) / std::log2(b);
+    ++k;
+  }
+  return k;
+}
+
+double dpow(double x, unsigned k) {
+  double r = 1.0;
+  while (k-- > 0) r *= x;
+  return r;
+}
+
+double tower_base(double b, unsigned k, double cap) {
+  double r = 1.0;
+  while (k-- > 0) {
+    if (r > std::log2(cap) / std::log2(std::max(b, 2.0))) return cap;
+    r = std::pow(b, r);
+    if (r >= cap) return cap;
+  }
+  return r;
+}
+
+}  // namespace parbounds

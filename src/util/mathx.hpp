@@ -1,0 +1,77 @@
+#pragma once
+// Small math helpers shared across the parbounds library.
+//
+// Everything here is deliberately simple scalar math: integer logs, the
+// iterated logarithm log* that appears in the paper's OR bounds
+// (Theorem 7.1, Corollary 7.1), and "safe" logarithms that clamp their
+// argument so bound formulas such as g*log(n)/log(g) stay finite when a
+// parameter degenerates to 1 (the paper's asymptotic statements assume
+// parameters are large; the clamps encode the usual max(2, .) convention).
+
+#include <cstdint>
+#include <cmath>
+
+namespace parbounds {
+
+/// Ceiling division for non-negative integers: ceil(a / b), b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1; ilog2(1) == 0.
+constexpr unsigned ilog2(std::uint64_t x) {
+  unsigned r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; clog2(1) == 0.
+constexpr unsigned clog2(std::uint64_t x) {
+  unsigned r = ilog2(x);
+  return (std::uint64_t{1} << r) == x ? r : r + 1;
+}
+
+/// True iff x is a power of two (x >= 1).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  std::uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// log2(max(x, 2)): never returns a value below 1. Used in denominators of
+/// bound formulas like Corollary 3.1's g*log(n)/log(g).
+double safe_log2(double x);
+
+/// log2(log2(max(x, 4))): never below 1. Used for log log denominators.
+double safe_loglog2(double x);
+
+/// max(0, log2(x)): an ADDITIVE log term (e.g. the "+ log mu" inside the
+/// denominators of Theorems 3.2/7.2) must vanish when its argument is 1,
+/// unlike safe_log2 which guards stand-alone denominators.
+double add_log2(double x);
+
+/// The iterated logarithm log*(x): the number of times log2 must be applied
+/// to x before the result is <= 1. log_star(1) == 0, log_star(2) == 1,
+/// log_star(4) == 2, log_star(16) == 3, log_star(65536) == 4.
+unsigned log_star(double x);
+
+/// Base-b iterated logarithm log*_b(x) (paper Section 7 uses log*_{mu+1}):
+/// number of times log_b must be applied before the result is <= 1.
+/// Requires b > 1.
+unsigned log_star_base(double x, double b);
+
+/// x^k for small non-negative integer k (integer exponentiation, saturating
+/// is the caller's concern; used for small adversary envelope formulas).
+double dpow(double x, unsigned k);
+
+/// Tower function: tower_base(b, k) = b^^k (b to itself k times), capped at
+/// `cap` to avoid overflow. tower_base(b, 0) == 1.
+double tower_base(double b, unsigned k, double cap);
+
+}  // namespace parbounds

@@ -1,0 +1,45 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// All randomized algorithms and workload generators in parbounds take an
+// explicit Rng so that every experiment is reproducible from a seed printed
+// in its output. The generator is xoshiro256**, seeded via splitmix64 —
+// fast, high quality, and trivially portable (no <random> engine state
+// differences across standard libraries).
+
+#include <cstdint>
+#include <vector>
+
+namespace parbounds {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound) via Lemire's multiply-shift (bound > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p) draw.
+  bool next_bool(double p = 0.5);
+
+  /// Derive an independent child generator (for per-processor streams).
+  Rng split();
+
+  /// Fisher–Yates shuffle of an index vector [0, n).
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace parbounds

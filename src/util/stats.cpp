@@ -1,0 +1,87 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parbounds {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(),
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid - 1),
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (xs[mid - 1] + hi);
+}
+
+double min_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  const double mx = mean(x.subspan(0, n));
+  const double my = mean(y.subspan(0, n));
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy <= 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double chi_square(std::span<const double> observed,
+                  std::span<const double> expected) {
+  double s = 0.0;
+  const std::size_t n = std::min(observed.size(), expected.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (expected[i] < 1e-9) continue;
+    const double d = observed[i] - expected[i];
+    s += d * d / expected[i];
+  }
+  return s;
+}
+
+double binomial_z(std::size_t k, std::size_t n, double p0) {
+  if (n == 0) return 0.0;
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(k) / nn;
+  const double se = std::sqrt(std::max(p0 * (1.0 - p0) / nn, 1e-300));
+  return (phat - p0) / se;
+}
+
+}  // namespace parbounds

@@ -1,0 +1,37 @@
+#pragma once
+// Basic statistics used by the benchmark harness and the statistical tests
+// around randomized algorithms (success probabilities, cost distributions)
+// and the Random Adversary (Fact 4.1 distribution checks).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace parbounds {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);  // by copy; xs is partially sorted
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Least-squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Pearson chi-square statistic for observed counts vs expected counts.
+/// Bins with expected < 1e-9 are skipped. Used to check that RANDOMSET
+/// produces inputs with the target distribution (Fact 4.1).
+double chi_square(std::span<const double> observed,
+                  std::span<const double> expected);
+
+/// Two-sided binomial proportion z-test statistic for k successes out of n
+/// trials against probability p0. |z| < 3 is "consistent" at ~99.7%.
+double binomial_z(std::size_t k, std::size_t n, double p0);
+
+}  // namespace parbounds

@@ -1,0 +1,40 @@
+#pragma once
+// Plain-text table rendering for the benchmark harness. Every bench binary
+// regenerates one of the paper's Table 1 subtables as an aligned console
+// table: problem x model x (measured cost, lower-bound value, ratio).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parbounds {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision. Rendering pads each column to its widest
+/// cell and draws a header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; it is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::uint64_t v);
+
+  /// Render with 2-space column separation.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner used between benchmark table reproductions.
+std::string banner(const std::string& title);
+
+}  // namespace parbounds

@@ -1,0 +1,95 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+
+std::vector<Word> boolean_array(std::uint64_t n, std::uint64_t ones,
+                                Rng& rng) {
+  if (ones > n) throw std::invalid_argument("ones > n");
+  std::vector<Word> v(n, 0);
+  // Floyd's algorithm would also do; with n small relative to memory a
+  // partial shuffle is simplest and exactly uniform.
+  auto perm = rng.permutation(static_cast<std::uint32_t>(n));
+  for (std::uint64_t i = 0; i < ones; ++i) v[perm[i]] = 1;
+  return v;
+}
+
+std::vector<Word> bernoulli_array(std::uint64_t n, double p, Rng& rng) {
+  std::vector<Word> v(n);
+  for (auto& x : v) x = rng.next_bool(p) ? 1 : 0;
+  return v;
+}
+
+std::vector<Word> lac_instance(std::uint64_t n, std::uint64_t h, Rng& rng) {
+  if (h > n) throw std::invalid_argument("LAC: h > n");
+  std::vector<Word> v(n, 0);
+  auto perm = rng.permutation(static_cast<std::uint32_t>(n));
+  for (std::uint64_t i = 0; i < h; ++i)
+    v[perm[i]] = static_cast<Word>(i + 1);  // items carry distinct ids
+  return v;
+}
+
+std::vector<std::uint64_t> load_balance_instance(std::uint64_t n,
+                                                 std::uint64_t h,
+                                                 std::uint64_t skew,
+                                                 Rng& rng) {
+  std::vector<std::uint64_t> load(n, 0);
+  const std::uint64_t hot = std::max<std::uint64_t>(1, n / std::max<std::uint64_t>(1, skew));
+  for (std::uint64_t i = 0; i < h; ++i)
+    ++load[rng.next_below(hot)];
+  // Scatter the hot prefix across processor ids so position carries no
+  // information.
+  auto perm = rng.permutation(static_cast<std::uint32_t>(n));
+  std::vector<std::uint64_t> out(n, 0);
+  for (std::uint64_t i = 0; i < n; ++i) out[perm[i]] = load[i];
+  return out;
+}
+
+std::vector<Word> padded_sort_instance(std::uint64_t n, Rng& rng) {
+  std::vector<Word> v(n);
+  for (auto& x : v)
+    x = static_cast<Word>(rng.next_below(kPaddedSortScale));
+  return v;
+}
+
+ListInstance list_instance(std::uint32_t n, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("list needs n >= 1");
+  ListInstance li;
+  li.succ.assign(n, 0);
+  const auto order = rng.permutation(n);  // order[k] = k-th node on the list
+  for (std::uint32_t k = 0; k + 1 < n; ++k) li.succ[order[k]] = order[k + 1];
+  li.head = order[0];
+  li.tail = order[n - 1];
+  li.succ[li.tail] = li.tail;
+  return li;
+}
+
+std::uint64_t ClbInstance::count_colour(std::uint32_t c) const {
+  return static_cast<std::uint64_t>(
+      std::count(group_colour.begin(), group_colour.end(), c));
+}
+
+ClbInstance clb_instance(std::uint64_t n, std::uint64_t m, Rng& rng) {
+  ClbInstance inst;
+  inst.n = n;
+  inst.m = std::max<std::uint64_t>(1, m);
+  inst.colours = 8 * inst.m;
+  inst.group_colour.resize(n);
+  for (auto& c : inst.group_colour)
+    c = static_cast<std::uint32_t>(rng.next_below(inst.colours));
+  return inst;
+}
+
+std::uint64_t clb_m_for(std::uint64_t n) {
+  double x = static_cast<double>(std::max<std::uint64_t>(n, 16));
+  for (int i = 0; i < 4; ++i) x = std::log2(std::max(x, 2.0));
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(x));
+}
+
+}  // namespace parbounds

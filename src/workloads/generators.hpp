@@ -1,0 +1,66 @@
+#pragma once
+// Workload generators for the problems of Sections 3 and 6.
+//
+// Each generator is deterministic given an Rng, so every experiment is
+// reproducible from the seed printed by the harness.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"  // Word
+#include "util/rng.hpp"
+
+namespace parbounds {
+
+/// A Boolean n-array for Parity / OR. `ones` of the positions are 1.
+std::vector<Word> boolean_array(std::uint64_t n, std::uint64_t ones,
+                                Rng& rng);
+
+/// Bernoulli(p) Boolean array.
+std::vector<Word> bernoulli_array(std::uint64_t n, double p, Rng& rng);
+
+/// LAC instance (Section 6.2): an array of n cells, at most h of them
+/// holding one item each (items are the values 1..h in random cells),
+/// all other cells empty (0).
+std::vector<Word> lac_instance(std::uint64_t n, std::uint64_t h, Rng& rng);
+
+/// Load-balancing instance: h objects distributed over n processors;
+/// entry i is the number of objects initially at processor i. The skew
+/// parameter concentrates the objects on a 1/skew fraction of processors
+/// (skew = 1 is uniform).
+std::vector<std::uint64_t> load_balance_instance(std::uint64_t n,
+                                                 std::uint64_t h,
+                                                 std::uint64_t skew, Rng& rng);
+
+/// Padded-sort instance (Section 6.2): n values uniform over [0, 1),
+/// scaled to integers in [0, 2^30) so they fit machine Words exactly.
+std::vector<Word> padded_sort_instance(std::uint64_t n, Rng& rng);
+constexpr std::uint64_t kPaddedSortScale = std::uint64_t{1} << 30;
+
+/// Random singly-linked list on n nodes for list ranking: succ[i] is the
+/// successor of node i, the tail points to itself; returns the head too.
+struct ListInstance {
+  std::vector<std::uint32_t> succ;
+  std::uint32_t head = 0;
+  std::uint32_t tail = 0;
+};
+ListInstance list_instance(std::uint32_t n, Rng& rng);
+
+/// Chromatic Load Balancing instance (Section 6): n groups of 4m objects;
+/// every group gets one colour drawn uniformly from 8m colours.
+struct ClbInstance {
+  std::uint64_t n = 0;       ///< number of groups
+  std::uint64_t m = 1;       ///< load parameter (output rows hold m objects)
+  std::uint64_t colours = 8; ///< = 8m
+  std::vector<std::uint32_t> group_colour;  ///< size n
+
+  std::uint64_t objects_per_group() const { return 4 * m; }
+  /// Number of groups wearing colour c.
+  std::uint64_t count_colour(std::uint32_t c) const;
+};
+ClbInstance clb_instance(std::uint64_t n, std::uint64_t m, Rng& rng);
+
+/// The paper's choice m = log log log log n (Theorem 6.1), clamped >= 1.
+std::uint64_t clb_m_for(std::uint64_t n);
+
+}  // namespace parbounds

@@ -1,0 +1,129 @@
+#include "boolfn/boolfn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parbounds {
+namespace {
+
+TEST(BoolFn, FamiliesEvaluateCorrectly) {
+  const auto par = BoolFn::parity(3);
+  EXPECT_FALSE(par(0b000));
+  EXPECT_TRUE(par(0b001));
+  EXPECT_FALSE(par(0b011));
+  EXPECT_TRUE(par(0b111));
+
+  const auto orf = BoolFn::or_fn(3);
+  EXPECT_FALSE(orf(0));
+  EXPECT_TRUE(orf(0b100));
+
+  const auto andf = BoolFn::and_fn(3);
+  EXPECT_FALSE(andf(0b110));
+  EXPECT_TRUE(andf(0b111));
+
+  const auto th = BoolFn::threshold(4, 2);
+  EXPECT_FALSE(th(0b0001));
+  EXPECT_TRUE(th(0b0011));
+  EXPECT_TRUE(th(0b1111));
+}
+
+TEST(BoolFn, AddressFunction) {
+  // k = 1: variables x0 (selector), x1, x2 (data). f = x_{1 + x0}.
+  const auto ad = BoolFn::address(1);
+  EXPECT_EQ(ad.arity(), 3u);
+  EXPECT_TRUE(ad(0b010));   // sel=0 -> data bit x1 = 1
+  EXPECT_FALSE(ad(0b100));  // sel=0 -> x1 = 0 (x2 irrelevant)
+  EXPECT_TRUE(ad(0b101));   // sel=1 -> x2 = 1
+  EXPECT_FALSE(ad(0b011));  // sel=1 -> x2 = 0
+}
+
+// ----- Fact 2.1: unique integer multilinear representation --------------------
+
+class MoebiusRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MoebiusRoundTrip, PolynomialAgreesOnEveryInput) {
+  Rng rng(GetParam());
+  const auto f = BoolFn::random(8, rng);
+  const auto coeffs = multilinear_coeffs(f);
+  for (std::uint32_t x = 0; x < f.table_size(); ++x)
+    ASSERT_EQ(eval_multilinear(coeffs, x), f(x) ? 1 : 0) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoebiusRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BoolFn, KnownDegrees) {
+  // deg(PARITY_n) = n and deg(OR_n) = n — the facts at the heart of
+  // Theorems 3.1 and 7.2.
+  for (unsigned n = 1; n <= 10; ++n) {
+    EXPECT_EQ(degree(BoolFn::parity(n)), n);
+    EXPECT_EQ(degree(BoolFn::or_fn(n)), n);
+    EXPECT_EQ(degree(BoolFn::and_fn(n)), n);
+  }
+  EXPECT_EQ(degree(BoolFn::constant(5, false)), 0u);
+  EXPECT_EQ(degree(BoolFn::constant(5, true)), 0u);
+  EXPECT_EQ(degree(BoolFn::variable(5, 3)), 1u);
+}
+
+TEST(BoolFn, ParityCoefficients) {
+  // PARITY = sum_S (-2)^{|S|-1} m_S for |S| >= 1.
+  const auto c = multilinear_coeffs(BoolFn::parity(4));
+  EXPECT_EQ(c[0], 0);
+  EXPECT_EQ(c[0b0001], 1);
+  EXPECT_EQ(c[0b0011], -2);
+  EXPECT_EQ(c[0b0111], 4);
+  EXPECT_EQ(c[0b1111], -8);
+}
+
+// ----- Fact 2.2: degree composition -------------------------------------------
+
+class Fact22 : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Fact22, CompositionBoundsHold) {
+  Rng rng(100 + GetParam());
+  const unsigned n = 7;
+  const auto f = BoolFn::random(n, rng);
+  const auto g = BoolFn::random(n, rng);
+  const auto df = degree(f);
+  const auto dg = degree(g);
+
+  EXPECT_LE(degree(f & g), df + dg);          // (1)
+  EXPECT_EQ(degree(~f), df);                  // (2)
+  EXPECT_LE(degree(f | g), df + dg);          // (3)
+  for (unsigned i = 0; i < n; ++i) {          // (4)
+    EXPECT_LE(degree(f.fix(i, false)), df);
+    EXPECT_LE(degree(f.fix(i, true)), df);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fact22,
+                         ::testing::Range(0u, 12u));
+
+TEST(BoolFn, FixMakesVariableIrrelevant) {
+  const auto f = BoolFn::parity(5);
+  const auto g = f.fix(2, true);
+  EXPECT_FALSE(g.depends_on(2));
+  EXPECT_TRUE(g.depends_on(0));
+  EXPECT_EQ(degree(g), 4u);
+}
+
+TEST(BoolFn, ConnectiveTruthTables) {
+  const auto a = BoolFn::variable(2, 0);
+  const auto b = BoolFn::variable(2, 1);
+  const auto x = a ^ b;
+  EXPECT_EQ(x, BoolFn::parity(2));
+  const auto o = a | b;
+  EXPECT_EQ(o, BoolFn::or_fn(2));
+  const auto n = ~(a & b);
+  EXPECT_TRUE(n(0b00));
+  EXPECT_FALSE(n(0b11));
+}
+
+TEST(BoolFn, ArityMismatchThrows) {
+  const auto a = BoolFn::parity(3);
+  const auto b = BoolFn::parity(4);
+  EXPECT_THROW((void)(a & b), std::invalid_argument);
+  EXPECT_THROW(BoolFn(30), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parbounds

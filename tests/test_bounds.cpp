@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/gsm_bounds.hpp"
+#include "bounds/model_bounds.hpp"
+#include "bounds/upper_bounds.hpp"
+
+namespace parbounds::bounds {
+namespace {
+
+TEST(Bounds, SqsmParityIsExactlyGLogN) {
+  EXPECT_DOUBLE_EQ(sqsm_parity_det_time(1 << 20, 3), 3.0 * 20.0);
+  EXPECT_DOUBLE_EQ(sqsm_parity_det_time(1 << 10, 7), 7.0 * 10.0);
+}
+
+TEST(Bounds, AllTimeBoundsScaleLinearlyInG) {
+  const double n = 1 << 16;
+  for (double g : {2.0, 4.0, 8.0}) {
+    EXPECT_DOUBLE_EQ(sqsm_or_rand_time(n, 2 * g),
+                     2.0 * sqsm_or_rand_time(n, g));
+    EXPECT_DOUBLE_EQ(sqsm_lac_rand_time(n, 2 * g),
+                     2.0 * sqsm_lac_rand_time(n, g));
+    EXPECT_DOUBLE_EQ(sqsm_parity_rand_time(n, 2 * g),
+                     2.0 * sqsm_parity_rand_time(n, g));
+  }
+}
+
+TEST(Bounds, MonotoneInN) {
+  for (double n = 1 << 10; n < (1ull << 40); n *= 16) {
+    EXPECT_LE(qsm_or_det_time(n, 4), qsm_or_det_time(n * 16, 4));
+    EXPECT_LE(qsm_parity_det_time(n, 4), qsm_parity_det_time(n * 16, 4));
+    EXPECT_LE(qsm_lac_det_time(n, 4), qsm_lac_det_time(n * 16, 4));
+    EXPECT_LE(sqsm_lac_rand_time(n, 4), sqsm_lac_rand_time(n * 16, 4));
+    EXPECT_LE(bsp_parity_det_time(n, 2, 16, n),
+              bsp_parity_det_time(n * 16, 2, 16, n * 16));
+  }
+}
+
+TEST(Bounds, HierarchyAcrossProblems) {
+  // On the s-QSM (deterministic): parity >= OR >= LAC — parity is the
+  // hardest of the three in Table 1.
+  for (double n = 1 << 12; n < (1ull << 36); n *= 8) {
+    EXPECT_GE(sqsm_parity_det_time(n, 4), sqsm_or_det_time(n, 4));
+    EXPECT_GE(sqsm_or_det_time(n, 4), sqsm_lac_det_time(n, 4));
+  }
+}
+
+TEST(Bounds, RandomizedBoundsGrowStrictlySlower) {
+  // The randomized lower bounds are asymptotically weaker than the
+  // deterministic ones (log* vs log/loglog, loglog vs sqrt(log/loglog)):
+  // their ratio to the deterministic bound shrinks as n grows. (At
+  // moderate n with all constants 1 the raw values can still cross, so a
+  // pointwise <= comparison would be meaningless.)
+  const double lo = 1 << 16;
+  const double hi = std::pow(2.0, 48);
+  EXPECT_LT(sqsm_or_rand_time(hi, 4) / sqsm_or_det_time(hi, 4),
+            sqsm_or_rand_time(lo, 4) / sqsm_or_det_time(lo, 4));
+  EXPECT_LT(sqsm_parity_rand_time(hi, 4) / sqsm_parity_det_time(hi, 4),
+            sqsm_parity_rand_time(lo, 4) / sqsm_parity_det_time(lo, 4));
+  EXPECT_LT(sqsm_lac_rand_time(hi, 4) / sqsm_lac_det_time(hi, 4),
+            sqsm_lac_rand_time(lo, 4) / sqsm_lac_det_time(lo, 4));
+}
+
+TEST(Bounds, BspReducesTowardSqsmWhenLEqualsG) {
+  // With L = g the additive log(L/g) term vanishes and the BSP formulas
+  // coincide with the s-QSM shapes in q = min(n, p).
+  const double n = 1 << 20, g = 4, L = 4;
+  EXPECT_NEAR(bsp_or_det_time(n, g, L, n) / sqsm_or_det_time(n, g), 1.0,
+              1e-9);
+  EXPECT_NEAR(
+      bsp_lac_det_time(n, g, L, n) / sqsm_lac_det_time(n, g), 1.0, 1e-9);
+}
+
+TEST(Bounds, RoundsCollapseAtLargeBlocks) {
+  // log n / log(n/p): p = sqrt(n) gives 2 rounds; p = n^(3/4) gives 4.
+  const double n = 1 << 20;
+  EXPECT_NEAR(rounds_or_sqsm(n, std::pow(n, 0.5)), 2.0, 1e-6);
+  EXPECT_NEAR(rounds_or_sqsm(n, std::pow(n, 0.75)), 4.0, 1e-6);
+  EXPECT_GE(rounds_or_sqsm(n, n / 2), 10.0);
+}
+
+TEST(Bounds, QsmRoundsBenefitFromG) {
+  const double n = 1 << 20, p = n / 4;
+  EXPECT_LT(rounds_or_qsm(n, 64, p), rounds_or_sqsm(n, p));
+  EXPECT_LE(rounds_lac_sqsm(n, p), rounds_or_sqsm(n, p));
+}
+
+TEST(Bounds, LacQsmRoundsIncludesLogStarTerm) {
+  // For p near n the QSM LAC round bound carries the additive
+  // (log* n - log*(n/p)) term and overtakes the s-QSM sqrt form.
+  const double n = 1 << 22;
+  EXPECT_GT(rounds_lac_qsm(n, 2, n / 2), rounds_lac_sqsm(n, n / 2));
+}
+
+TEST(Bounds, GsmSpecialisationsMatchModelBounds) {
+  // Corollary instantiations: QSM = GSM(1, g, 1); s-QSM = g * GSM(1,1,1).
+  const double n = 1 << 18;
+  const double g = 8;
+  GsmParams qsm{1, g, 1};
+  GsmParams unit{1, 1, 1};
+  EXPECT_NEAR(gsm_or_det_time(n, qsm) / qsm_or_det_time(n, g), 1.0, 1e-9);
+  EXPECT_NEAR(g * gsm_or_det_time(n, unit) / sqsm_or_det_time(n, g), 1.0,
+              1e-9);
+  EXPECT_NEAR(gsm_parity_rand_time(n, qsm),
+              g * std::sqrt(std::log2(n) /
+                            (std::log2(std::log2(n)) + std::log2(g))),
+              1e-9);
+}
+
+TEST(UpperBounds, SitAboveLowerBounds) {
+  // Every Section 8 claim dominates its Table 1 lower bound (shape-wise,
+  // constants 1): checked across a wide n sweep.
+  for (double n = 1 << 10; n < (1ull << 40); n *= 8) {
+    for (double g : {2.0, 8.0, 32.0}) {
+      EXPECT_GE(ub_parity_sqsm(n, g), sqsm_parity_det_time(n, g) - 1e-9);
+      EXPECT_GE(ub_or_qsm(n, g) * (1 + std::log2(std::log2(n))),
+                qsm_or_det_time(n, g));
+      EXPECT_GE(ub_lac_sqsm(n, g), sqsm_lac_rand_time(n, g) * 0.5);
+      const double L = 8 * g;
+      EXPECT_GE(ub_parity_bsp(n, g, L),
+                bsp_parity_det_time(n, g, L, n) - 1e-9);
+    }
+  }
+}
+
+TEST(UpperBounds, TightEntriesMatchExactly) {
+  // The Theta rows: s-QSM parity and BSP parity upper bounds equal the
+  // lower-bound formulas (constants 1).
+  const double n = 1 << 24, g = 4, L = 64;
+  EXPECT_DOUBLE_EQ(ub_parity_sqsm(n, g), sqsm_parity_det_time(n, g));
+  EXPECT_DOUBLE_EQ(ub_parity_bsp(n, g, L),
+                   bsp_parity_det_time(n, g, L, n));
+  EXPECT_DOUBLE_EQ(ub_parity_qsm_cr(n, g), qsm_parity_det_time(n, g));
+}
+
+TEST(UpperBounds, RoundFormulas) {
+  EXPECT_DOUBLE_EQ(ub_rounds_tree(1 << 20, 1 << 10), 2.0);
+  EXPECT_LE(ub_rounds_or_qsm(1 << 20, 16, 1 << 15),
+            ub_rounds_tree(1 << 20, 1 << 15));
+}
+
+}  // namespace
+}  // namespace parbounds::bounds

@@ -1,0 +1,102 @@
+#include "core/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace parbounds {
+namespace {
+
+TEST(Bsp, MessageDeliveryNextSuperstep) {
+  BspMachine m({.p = 4, .g = 1, .L = 1});
+  m.begin_superstep();
+  m.send(0, 3, 42, 7);
+  m.commit_superstep();
+  const auto box = m.inbox(3);
+  ASSERT_EQ(box.size(), 1u);
+  EXPECT_EQ(box[0].source, 0u);
+  EXPECT_EQ(box[0].value, 42);
+  EXPECT_EQ(box[0].tag, 7);
+  EXPECT_TRUE(m.inbox(0).empty());
+
+  // Inboxes are cleared by the following superstep.
+  m.begin_superstep();
+  m.commit_superstep();
+  EXPECT_TRUE(m.inbox(3).empty());
+}
+
+TEST(Bsp, SuperstepCostIsMaxOfWorkCommLatency) {
+  BspMachine m({.p = 4, .g = 3, .L = 5});
+  // Empty superstep costs L.
+  m.begin_superstep();
+  m.commit_superstep();
+  EXPECT_EQ(m.trace().phases.back().cost, 5u);
+
+  // h = 2 (proc 0 sends two): cost max(0, 3*2, 5) = 6.
+  m.begin_superstep();
+  m.send(0, 1, 1);
+  m.send(0, 2, 1);
+  m.commit_superstep();
+  EXPECT_EQ(m.trace().phases.back().h, 2u);
+  EXPECT_EQ(m.trace().phases.back().cost, 6u);
+
+  // Heavy local work dominates.
+  m.begin_superstep();
+  m.local(2, 100);
+  m.commit_superstep();
+  EXPECT_EQ(m.trace().phases.back().cost, 100u);
+}
+
+TEST(Bsp, HRelationCountsReceivesToo) {
+  BspMachine m({.p = 8, .g = 1, .L = 1});
+  m.begin_superstep();
+  for (ProcId s = 0; s < 5; ++s) m.send(s, 7, 1);  // 7 receives 5
+  m.commit_superstep();
+  EXPECT_EQ(m.trace().phases.back().h, 5u);
+}
+
+TEST(Bsp, LAtLeastGEnforced) {
+  EXPECT_THROW(BspMachine({.p = 2, .g = 4, .L = 2}), std::invalid_argument);
+  EXPECT_NO_THROW(BspMachine({.p = 2, .g = 4, .L = 4}));
+}
+
+TEST(Bsp, EndpointValidation) {
+  BspMachine m({.p = 2, .g = 1, .L = 1});
+  m.begin_superstep();
+  EXPECT_THROW(m.send(0, 2, 1), ModelViolation);
+  EXPECT_THROW(m.send(2, 0, 1), ModelViolation);
+  EXPECT_THROW(m.local(5, 1), ModelViolation);
+}
+
+class BspBlockRange
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(BspBlockRange, PartitionIsUniform) {
+  const auto [n, p] = GetParam();
+  std::uint64_t total = 0;
+  std::uint64_t prev_hi = 0;
+  const std::uint64_t lo_size = n / p;
+  for (std::uint64_t i = 0; i < p; ++i) {
+    const auto [lo, hi] = BspMachine::block_range(n, p, i);
+    EXPECT_EQ(lo, prev_hi);  // contiguous
+    const std::uint64_t sz = hi - lo;
+    EXPECT_TRUE(sz == lo_size || sz == lo_size + 1)
+        << "n=" << n << " p=" << p << " i=" << i;
+    total += sz;
+    prev_hi = hi;
+  }
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, BspBlockRange,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{10, 3},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{7, 7},
+                      std::pair<std::uint64_t, std::uint64_t>{5, 8},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 13},
+                      std::pair<std::uint64_t, std::uint64_t>{1 << 20, 64}));
+
+}  // namespace
+}  // namespace parbounds

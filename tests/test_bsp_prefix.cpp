@@ -1,0 +1,82 @@
+#include "algos/bsp_prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rounds.hpp"
+#include "util/mathx.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+class BspPrefixSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BspPrefixSweep, MatchesExclusiveScan) {
+  const std::uint64_t p = GetParam();
+  BspMachine m({.p = p, .g = 2, .L = 8});
+  Rng rng(p);
+  std::vector<Word> value(p);
+  for (auto& v : value) v = static_cast<Word>(rng.next_below(10));
+
+  const auto off = bsp_prefix(m, value);
+  Word acc = 0;
+  for (std::uint64_t i = 0; i < p; ++i) {
+    ASSERT_EQ(off[i], acc) << "i=" << i << " p=" << p;
+    acc += value[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, BspPrefixSweep,
+                         ::testing::Values(1, 2, 3, 4, 16, 37, 64, 256));
+
+TEST(BspPrefix, SuperstepsBoundedByHRelation) {
+  BspMachine m({.p = 64, .g = 2, .L = 16});
+  std::vector<Word> value(64, 1);
+  bsp_prefix(m, value);  // fanin = L/g = 8
+  for (const auto& ph : m.trace().phases)
+    EXPECT_LE(ph.h, 8u);  // never routes more than a fanin-relation
+}
+
+struct BspLacCase {
+  std::uint64_t n, h, p;
+};
+
+class BspLacSweep : public ::testing::TestWithParam<BspLacCase> {};
+
+TEST_P(BspLacSweep, CompactsAndBalances) {
+  const auto [n, h, p] = GetParam();
+  BspMachine m({.p = p, .g = 2, .L = 8});
+  Rng rng(n + h + p);
+  const auto input = lac_instance(n, h, rng);
+
+  const auto res = lac_bsp(m, input);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.items, h);
+  EXPECT_TRUE(lac_bsp_valid(input, res));
+  // Output is block-balanced: every component holds <= ceil(h/p) slots.
+  for (const auto& block : res.out_blocks)
+    EXPECT_LE(block.size(), ceil_div(std::max<std::uint64_t>(h, 1), p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BspLacSweep,
+    ::testing::Values(BspLacCase{64, 0, 4}, BspLacCase{64, 64, 4},
+                      BspLacCase{256, 19, 16}, BspLacCase{1024, 100, 32},
+                      BspLacCase{1000, 999, 8}, BspLacCase{4096, 7, 64}));
+
+TEST(BspLac, RoundStructured) {
+  // With fanin = n/p every superstep routes an O(n/p)-relation — the
+  // Table 1 subtable 4 BSP LAC algorithm.
+  const std::uint64_t n = 4096, p = 64;
+  BspMachine m({.p = p, .g = 1, .L = 4});
+  Rng rng(3);
+  const auto input = lac_instance(n, 500, rng);
+  const auto res = lac_bsp(m, input, /*fanin=*/n / p);
+  EXPECT_TRUE(res.ok);
+  const auto audit = audit_rounds_bsp(m.trace(), n, p, 4);
+  EXPECT_TRUE(audit.all_rounds()) << audit.worst_ratio;
+  EXPECT_LE(audit.rounds, 16u);
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,85 @@
+#include "boolfn/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "boolfn/boolfn.hpp"
+
+namespace parbounds {
+namespace {
+
+TEST(Certificate, ParityNeedsEverything) {
+  // Flipping any unfixed bit flips parity, so every certificate is full.
+  for (unsigned n = 1; n <= 8; ++n)
+    EXPECT_EQ(certificate_complexity(BoolFn::parity(n)), n);
+}
+
+TEST(Certificate, OrIsFullOnlyAtZero) {
+  const auto f = BoolFn::or_fn(6);
+  EXPECT_EQ(certificate_at(f, 0), 6u);  // must pin all zeros
+  EXPECT_EQ(certificate_at(f, 0b000100), 1u);  // one 1 certifies
+  EXPECT_EQ(certificate_at(f, 0b111111), 1u);
+  EXPECT_EQ(certificate_complexity(f), 6u);
+}
+
+TEST(Certificate, ConstantIsZero) {
+  EXPECT_EQ(certificate_complexity(BoolFn::constant(5, true)), 0u);
+  EXPECT_EQ(certificate_complexity(BoolFn::constant(5, false)), 0u);
+}
+
+TEST(Certificate, SingleVariable) {
+  const auto f = BoolFn::variable(4, 2);
+  EXPECT_EQ(certificate_complexity(f), 1u);
+}
+
+TEST(Certificate, AddressFunctionIsCheap) {
+  // Address with k = 2 has arity 6 but certificates of size k + 1 = 3:
+  // fix the selector and the selected bit.
+  const auto f = BoolFn::address(2);
+  EXPECT_EQ(f.arity(), 6u);
+  EXPECT_EQ(certificate_complexity(f), 3u);
+}
+
+TEST(Certificate, ThresholdCertificates) {
+  // Majority on 5 bits: certifying needs 3 fixed bits either way.
+  const auto f = BoolFn::threshold(5, 3);
+  EXPECT_EQ(certificate_complexity(f), 3u);
+}
+
+// ----- Fact 2.3: C(f) <= deg(f)^4 ---------------------------------------------
+
+class Fact23 : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Fact23, CertificateBoundedByDegreeFourth) {
+  Rng rng(500 + GetParam());
+  const auto f = BoolFn::random(8, rng);
+  const auto d = static_cast<std::uint64_t>(degree(f));
+  const auto c = static_cast<std::uint64_t>(certificate_complexity(f));
+  EXPECT_LE(c, d * d * d * d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fact23, ::testing::Range(0u, 16u));
+
+TEST(Fact23, HoldsForNamedFamilies) {
+  for (unsigned n = 2; n <= 9; ++n) {
+    for (const auto& f :
+         {BoolFn::parity(n), BoolFn::or_fn(n), BoolFn::threshold(n, n / 2)}) {
+      const std::uint64_t d = degree(f);
+      EXPECT_LE(certificate_complexity(f), d * d * d * d);
+    }
+  }
+}
+
+TEST(Certificate, AnalysisMatchesPointQueries) {
+  Rng rng(42);
+  const auto f = BoolFn::random(6, rng);
+  const CertificateAnalysis ca(f);
+  unsigned cmax = 0;
+  for (std::uint32_t a = 0; a < f.table_size(); ++a) {
+    EXPECT_EQ(ca.at(a), certificate_at(f, a));
+    cmax = std::max(cmax, ca.at(a));
+  }
+  EXPECT_EQ(ca.max(), cmax);
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,80 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parbounds {
+namespace {
+
+PhaseStats stats(std::uint64_t m_op, std::uint64_t m_rw, std::uint64_t kr,
+                 std::uint64_t kw) {
+  PhaseStats s;
+  s.m_op = m_op;
+  s.m_rw = m_rw;
+  s.kappa_r = kr;
+  s.kappa_w = kw;
+  return s;
+}
+
+TEST(Cost, QsmTakesMaxOfThreeTerms) {
+  EXPECT_EQ(phase_cost(CostModel::Qsm, 4, stats(2, 3, 1, 1)), 12u);
+  EXPECT_EQ(phase_cost(CostModel::Qsm, 4, stats(50, 3, 1, 1)), 50u);
+  EXPECT_EQ(phase_cost(CostModel::Qsm, 4, stats(2, 3, 99, 1)), 99u);
+  EXPECT_EQ(phase_cost(CostModel::Qsm, 4, stats(2, 3, 1, 99)), 99u);
+}
+
+TEST(Cost, SQsmMultipliesContentionByG) {
+  EXPECT_EQ(phase_cost(CostModel::SQsm, 4, stats(2, 3, 5, 1)), 20u);
+  EXPECT_EQ(phase_cost(CostModel::SQsm, 4, stats(2, 6, 5, 1)), 24u);
+}
+
+TEST(Cost, QrqwIsQsmWithUnitGap) {
+  // The QRQW PRAM is the QSM instance with g = 1 (Section 2.1).
+  EXPECT_EQ(phase_cost(CostModel::Qsm, 1, stats(2, 3, 5, 1)), 5u);
+  EXPECT_EQ(phase_cost(CostModel::Qsm, 1, stats(7, 3, 5, 1)), 7u);
+}
+
+TEST(Cost, CrFreeChargesOnlyWriteContention) {
+  EXPECT_EQ(phase_cost(CostModel::QsmCrFree, 2, stats(0, 1, 1000, 1)), 2u);
+  EXPECT_EQ(phase_cost(CostModel::QsmCrFree, 2, stats(0, 1, 1, 1000)),
+            1000u);
+}
+
+TEST(Cost, CrcwLikeIgnoresContentionEntirely) {
+  EXPECT_EQ(phase_cost(CostModel::CrcwLike, 2, stats(0, 3, 500, 500)), 6u);
+}
+
+TEST(Cost, Names) {
+  EXPECT_STREQ(cost_model_name(CostModel::Qsm), "QSM");
+  EXPECT_STREQ(cost_model_name(CostModel::SQsm), "s-QSM");
+  EXPECT_STREQ(cost_model_name(CostModel::QsmCrFree), "QSM+cr");
+  EXPECT_STREQ(cost_model_name(CostModel::CrcwLike), "CRCW-like");
+}
+
+struct DominanceCase {
+  std::uint64_t g, m_op, m_rw, kr, kw;
+};
+
+class CostDominance : public ::testing::TestWithParam<DominanceCase> {};
+
+TEST_P(CostDominance, SQsmDominatesQsmDominatesCrFree) {
+  // For any phase, cost_sQSM >= cost_QSM >= cost_QSM+cr — the model
+  // ordering the paper's per-model bounds rely on.
+  const auto c = GetParam();
+  const auto s = stats(c.m_op, c.m_rw, c.kr, c.kw);
+  const auto sqsm = phase_cost(CostModel::SQsm, c.g, s);
+  const auto qsm = phase_cost(CostModel::Qsm, c.g, s);
+  const auto cr = phase_cost(CostModel::QsmCrFree, c.g, s);
+  EXPECT_GE(sqsm, qsm);
+  EXPECT_GE(qsm, cr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CostDominance,
+    ::testing::Values(DominanceCase{1, 0, 1, 1, 1},
+                      DominanceCase{4, 10, 3, 7, 2},
+                      DominanceCase{16, 0, 1, 100, 1},
+                      DominanceCase{2, 1000, 50, 3, 90},
+                      DominanceCase{8, 5, 5, 5, 5}));
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,123 @@
+// The Theorem 3.1 / 7.2 degree recurrence, checked exactly on real runs.
+
+#include "adversary/degree_argument.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algos/gsm_algos.hpp"
+#include "core/rounds.hpp"
+
+namespace parbounds {
+namespace {
+
+GsmAlgorithm parity_algo(unsigned fanin) {
+  return [fanin](GsmMachine& m, std::span<const Word> input) {
+    gsm_parity_tree(m, input, fanin);
+  };
+}
+
+GsmAlgorithm or_algo(unsigned fanin) {
+  return [fanin](GsmMachine& m, std::span<const Word> input) {
+    gsm_or_tree(m, input, fanin);
+  };
+}
+
+TEST(DegreeArgument, EnvelopeHoldsForParityTree) {
+  for (const unsigned fanin : {2u, 3u}) {
+    TraceAnalysis ta(parity_algo(fanin), GsmConfig{}, 8,
+                     PartialInputMap::all_unset(8));
+    const auto ledger = verify_degree_recurrence(ta);
+    EXPECT_TRUE(ledger.ok) << "fanin " << fanin;
+    // Parity of all 8 free inputs must reach full degree at the end:
+    // deg(PARITY_r) = r is exactly why the proof terminates.
+    EXPECT_EQ(ledger.final_max_degree, 8u);
+  }
+}
+
+TEST(DegreeArgument, EnvelopeHoldsForOrTree) {
+  TraceAnalysis ta(or_algo(2), GsmConfig{}, 8,
+                   PartialInputMap::all_unset(8));
+  const auto ledger = verify_degree_recurrence(ta);
+  EXPECT_TRUE(ledger.ok);
+  EXPECT_EQ(ledger.final_max_degree, 8u);  // deg(OR_r) = r (Thm 7.2)
+}
+
+TEST(DegreeArgument, InitialDegreeBoundedByGamma) {
+  // With gamma = 4, time-0 cells hold 4 inputs: b_0 <= 4.
+  TraceAnalysis ta(parity_algo(2), GsmConfig{.alpha = 1, .beta = 1,
+                                             .gamma = 4},
+                   8, PartialInputMap::all_unset(8));
+  const auto ledger = verify_degree_recurrence(ta);
+  EXPECT_LE(ledger.b0, 4.0);
+  EXPECT_TRUE(ledger.ok);
+}
+
+TEST(DegreeArgument, RecurrencePredictsAtMostActualPhases) {
+  // The recurrence's phase requirement is a LOWER bound on the actual
+  // phase count: prod(3 + tau + 2tau') reaches r no later than the real
+  // machine computes the function.
+  TraceAnalysis ta(parity_algo(2), GsmConfig{}, 10,
+                   PartialInputMap::all_unset(10));
+  const auto ledger = verify_degree_recurrence(ta);
+  const unsigned need = phases_required_by_recurrence(ledger, 10.0);
+  EXPECT_LE(need, ta.phases());
+  EXPECT_GE(need, 1u);
+}
+
+TEST(DegreeArgument, OutputDegreeQueryable) {
+  GsmMachine probe{GsmConfig{}};
+  std::vector<Word> zeros(8, 0);
+  const Addr out = gsm_parity_tree(probe, zeros, 2);
+
+  TraceAnalysis ta(parity_algo(2), GsmConfig{}, 8,
+                   PartialInputMap::all_unset(8));
+  EXPECT_EQ(output_degree(ta, out), 8u);
+}
+
+// ----- GSM algorithms underpinning the checker -------------------------------
+
+TEST(GsmAlgos, ParityTreeCorrect) {
+  for (const std::uint64_t gamma : {1ull, 3ull}) {
+    for (const unsigned fanin : {2u, 4u}) {
+      GsmMachine m({.alpha = 1, .beta = 2, .gamma = gamma});
+      std::vector<Word> input{1, 0, 1, 1, 0, 0, 1, 0, 1};  // 5 ones
+      const Addr out = gsm_parity_tree(m, input, fanin);
+      Word acc = 0;
+      for (const Word w : m.peek(out)) acc ^= (w != 0) ? 1 : 0;
+      EXPECT_EQ(acc, 1) << "gamma=" << gamma << " fanin=" << fanin;
+    }
+  }
+}
+
+TEST(GsmAlgos, ReduceRoundsIsRoundStructured) {
+  GsmMachine m({.alpha = 2, .beta = 1, .gamma = 2});
+  Rng rng(4);
+  std::vector<Word> input(512);
+  for (auto& v : input) v = rng.next_bool() ? 1 : 0;
+  Word want = 0;
+  for (const Word v : input) want ^= v;
+
+  const std::uint64_t p = 16;
+  const Addr out = gsm_reduce_rounds(m, input, p, /*parity=*/true);
+  Word acc = 0;
+  for (const Word w : m.peek(out)) acc ^= (w != 0) ? 1 : 0;
+  EXPECT_EQ(acc, want);
+
+  const auto audit =
+      audit_rounds_gsm(m.trace(), 512, p, m.alpha(), m.beta(), 6);
+  EXPECT_TRUE(audit.all_rounds()) << audit.worst_ratio;
+}
+
+TEST(GsmAlgos, GsmHRoundAudit) {
+  // Section 6.3's relaxed round: budget mu*h/lambda independent of p.
+  GsmMachine m({.alpha = 1, .beta = 1, .gamma = 1});
+  std::vector<Word> input(64, 1);
+  gsm_parity_tree(m, input, 4);  // phases cost <= ~4 each
+  const auto ok = audit_rounds_gsm_h(m.trace(), /*h=*/4, 1, 1, 2);
+  EXPECT_TRUE(ok.all_rounds()) << ok.worst_ratio;
+  const auto tight = audit_rounds_gsm_h(m.trace(), /*h=*/1, 1, 1, 1);
+  EXPECT_FALSE(tight.all_rounds());  // fan-in 4 phases exceed an h=1 round
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,100 @@
+// The EREW end of the access-rule spectrum the paper situates the QRQW
+// in: exclusive reads/writes enforced by the engine, so EREW-legal
+// algorithms run unchanged and queue-exploiting ones are rejected.
+
+#include <gtest/gtest.h>
+
+#include "algos/broadcast.hpp"
+#include "algos/parity.hpp"
+#include "algos/reduce.hpp"
+#include "algos/sorting.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+TEST(Erew, ExclusiveAccessRuns) {
+  QsmMachine m({.g = 2, .model = CostModel::Erew});
+  const Addr a = m.alloc(4);
+  m.begin_phase();
+  m.read(0, a);
+  m.read(1, a + 1);
+  m.write(2, a + 2, 5);
+  EXPECT_NO_THROW(m.commit_phase());
+}
+
+TEST(Erew, ConcurrentReadRejected) {
+  QsmMachine m({.g = 2, .model = CostModel::Erew});
+  const Addr a = m.alloc(1);
+  m.begin_phase();
+  m.read(0, a);
+  m.read(1, a);
+  EXPECT_THROW(m.commit_phase(), ModelViolation);
+}
+
+TEST(Erew, ConcurrentWriteRejected) {
+  QsmMachine m({.g = 2, .model = CostModel::Erew});
+  const Addr a = m.alloc(1);
+  m.begin_phase();
+  m.write(0, a, 1);
+  m.write(1, a, 2);
+  EXPECT_THROW(m.commit_phase(), ModelViolation);
+}
+
+TEST(Erew, BinaryTreeAlgorithmsAreErewLegal) {
+  // The fan-in-2 reductions and the bitonic network never queue — they
+  // run verbatim on the EREW machine (contention-1 by construction).
+  QsmMachine m({.g = 4, .model = CostModel::Erew});
+  Rng rng(1);
+  const auto input = bernoulli_array(256, 0.5, rng);
+  const Addr in = m.alloc(256);
+  m.preload(in, input);
+  Word want = 0;
+  for (const Word v : input) want ^= v;
+  EXPECT_EQ(parity_tree(m, in, 256, 2), want);
+
+  QsmMachine s({.g = 1, .model = CostModel::Erew});
+  std::vector<Word> keys{5, 3, 9, 1, 7, 2, 8, 4};
+  const Addr k = s.alloc(keys.size());
+  s.preload(k, keys);
+  EXPECT_NO_THROW(bitonic_sort_qsm(s, k, keys.size()));
+  EXPECT_EQ(s.peek(k), 1);
+}
+
+TEST(Erew, QueueExploitingAlgorithmsAreRejected) {
+  // The contention funnel and the fan-out broadcast NEED the queue —
+  // the engine proves it by rejecting them under EREW.
+  {
+    QsmMachine m({.g = 8, .model = CostModel::Erew});
+    Rng rng(2);
+    const auto input = boolean_array(64, 64, rng);
+    const Addr in = m.alloc(64);
+    m.preload(in, input);
+    EXPECT_THROW(or_contention(m, in, 64, 8), ModelViolation);
+  }
+  {
+    QsmMachine m({.g = 8, .model = CostModel::Erew});
+    const Addr src = m.alloc(1);
+    m.preload(src, Word{1});
+    const Addr dst = m.alloc(64);
+    EXPECT_THROW(qsm_broadcast(m, src, dst, 64, 8), ModelViolation);
+  }
+}
+
+TEST(Erew, SpectrumOrdering) {
+  // The model hierarchy the paper describes: an EREW-legal phase costs
+  // the same under EREW, QRQW (g = 1) and CRCW-like accounting.
+  PhaseStats st;
+  st.m_op = 3;
+  st.m_rw = 2;  // kappa stays 1
+  for (const std::uint64_t g : {1ull, 4ull}) {
+    const auto erew = phase_cost(CostModel::Erew, g, st);
+    const auto qsm = phase_cost(CostModel::Qsm, g, st);
+    const auto crcw = phase_cost(CostModel::CrcwLike, g, st);
+    EXPECT_EQ(erew, qsm);
+    EXPECT_EQ(qsm, crcw);
+  }
+}
+
+}  // namespace
+}  // namespace parbounds

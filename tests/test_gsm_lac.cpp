@@ -1,0 +1,77 @@
+// GSM(h) round-structured compaction (the Theorem 6.3 setting).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/gsm_algos.hpp"
+#include "core/rounds.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+struct GsmLacCase {
+  std::uint64_t n, h, alpha, beta, gamma;
+};
+
+class GsmLacSweep : public ::testing::TestWithParam<GsmLacCase> {};
+
+TEST_P(GsmLacSweep, CompactsExactlyWithinGsmHRounds) {
+  const auto [n, h, alpha, beta, gamma] = GetParam();
+  GsmMachine m({.alpha = alpha, .beta = beta, .gamma = gamma});
+  Rng rng(n + h);
+  const auto input = lac_instance(n, h, rng);
+
+  const auto res = gsm_lac_rounds(m, input, std::max(h, gamma));
+  EXPECT_EQ(res.items, h);
+
+  // Output holds exactly the items.
+  std::vector<Word> got;
+  for (std::uint64_t j = 0; j < res.items; ++j) {
+    const auto cell = m.peek(res.out + j);
+    ASSERT_FALSE(cell.empty()) << "hole at " << j;
+    got.push_back(cell[0]);
+  }
+  std::vector<Word> want;
+  for (const Word w : input)
+    if (w != 0) want.push_back(w);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+
+  // Every phase within the Section 6.3 GSM(h) round budget.
+  const auto audit =
+      audit_rounds_gsm_h(m.trace(), std::max(h, gamma), alpha, beta, 6);
+  EXPECT_TRUE(audit.all_rounds()) << "worst ratio " << audit.worst_ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GsmLacSweep,
+    ::testing::Values(GsmLacCase{64, 8, 1, 1, 1},
+                      GsmLacCase{256, 32, 2, 1, 2},
+                      GsmLacCase{256, 16, 1, 3, 4},
+                      GsmLacCase{1024, 100, 2, 2, 2},
+                      GsmLacCase{100, 0, 1, 1, 1},
+                      GsmLacCase{512, 512, 1, 1, 1}));
+
+TEST(GsmLac, RequiresHAtLeastGamma) {
+  GsmMachine m({.alpha = 1, .beta = 1, .gamma = 8});
+  std::vector<Word> input(32, 1);
+  EXPECT_THROW(gsm_lac_rounds(m, input, 4), std::invalid_argument);
+}
+
+TEST(GsmLac, SmallerHMeansMoreRounds) {
+  // Theorem 6.3's trade-off direction: shrinking the round size h forces
+  // more rounds (smaller fan-in trees).
+  Rng rng(7);
+  const auto input = lac_instance(1024, 64, rng);
+  GsmMachine wide({.alpha = 1, .beta = 1, .gamma = 1});
+  gsm_lac_rounds(wide, input, 64);
+  GsmMachine narrow({.alpha = 1, .beta = 1, .gamma = 1});
+  gsm_lac_rounds(narrow, input, 2);
+  EXPECT_LT(wide.phases(), narrow.phases());
+}
+
+}  // namespace
+}  // namespace parbounds

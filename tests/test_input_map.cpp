@@ -1,0 +1,101 @@
+#include "adversary/input_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/stats.hpp"
+
+namespace parbounds {
+namespace {
+
+TEST(InputMap, BasicSetAndRefine) {
+  PartialInputMap f(4);
+  EXPECT_EQ(f.unset_count(), 4u);
+  f.set(1, 1);
+  f.set(3, 0);
+  EXPECT_EQ(f.set_count(), 2u);
+  EXPECT_EQ(f.value(1), 1);
+  EXPECT_EQ(f.value(0), -1);
+  EXPECT_EQ(f.unset_indices(), (std::vector<unsigned>{0, 2}));
+
+  PartialInputMap g = f;
+  g.set(0, 1);
+  EXPECT_TRUE(g.refines(f));
+  EXPECT_FALSE(f.refines(g));
+
+  PartialInputMap h(4);
+  h.set(1, 0);  // contradicts f
+  EXPECT_FALSE(h.refines(f) && f.refines(h));
+
+  // Everything refines f_* (Section 4.1).
+  EXPECT_TRUE(f.refines(PartialInputMap::all_unset(4)));
+}
+
+TEST(InputMap, MaskRoundTrip) {
+  const auto f = PartialInputMap::from_mask(6, 0b101101);
+  EXPECT_TRUE(f.complete());
+  EXPECT_EQ(f.as_mask(), 0b101101u);
+  PartialInputMap g(3);
+  EXPECT_THROW(g.as_mask(), std::logic_error);
+  EXPECT_THROW(g.set(0, 7), std::invalid_argument);
+}
+
+TEST(InputMap, DistributionProbabilities) {
+  const auto D = BitDistribution::bernoulli(4, 0.25);
+  PartialInputMap f(4);
+  f.set(0, 1);
+  f.set(1, 0);
+  EXPECT_NEAR(D.prob_of(f), 0.25 * 0.75, 1e-12);
+}
+
+TEST(RandomSet, OnlyTouchesRequestedInputs) {
+  Rng rng(1);
+  const auto D = BitDistribution::uniform(8);
+  PartialInputMap f(8);
+  f.set(2, 1);
+  const std::vector<unsigned> S{0, 5};
+  const auto g = random_set(f, S, D, rng);
+  EXPECT_TRUE(g.refines(f));
+  EXPECT_TRUE(g.is_set(0));
+  EXPECT_TRUE(g.is_set(5));
+  EXPECT_FALSE(g.is_set(1));
+  EXPECT_EQ(g.set_count(), 3u);
+}
+
+TEST(RandomSet, Fact41CompletedMapsFollowD) {
+  // Fact 4.1: maps generated solely through RANDOMSET are distributed per
+  // D — chi-square over all 2^3 outcomes of a biased product.
+  Rng rng(17);
+  const auto D = BitDistribution::bernoulli(3, 0.3);
+  std::map<std::uint32_t, double> counts;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    // Fix inputs in two separate RANDOMSET calls, as an adversary would.
+    PartialInputMap f(3);
+    f = random_set(f, std::vector<unsigned>{1}, D, rng);
+    f = random_complete(f, D, rng);
+    counts[f.as_mask()] += 1.0;
+  }
+  std::vector<double> observed, expected;
+  for (std::uint32_t mask = 0; mask < 8; ++mask) {
+    observed.push_back(counts[mask]);
+    const auto f = PartialInputMap::from_mask(3, mask);
+    expected.push_back(trials * D.prob_of(f));
+  }
+  // 7 degrees of freedom: chi2 < 24 covers the 99.9th percentile.
+  EXPECT_LT(chi_square(observed, expected), 24.0);
+}
+
+TEST(RandomSet, ConditioningIsNoOpOnFixedInputs) {
+  Rng rng(3);
+  const auto D = BitDistribution::uniform(4);
+  PartialInputMap f(4);
+  f.set(1, 1);
+  const std::vector<unsigned> S{1, 2};
+  const auto g = random_set(f, S, D, rng);
+  EXPECT_EQ(g.value(1), 1);  // already-set value untouched
+}
+
+}  // namespace
+}  // namespace parbounds

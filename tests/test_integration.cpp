@@ -1,0 +1,181 @@
+// Cross-module integration: the reproduction's central soundness property
+// — NO implemented algorithm ever runs faster than the paper's lower
+// bound for its problem and model (constants set to 1) — plus flatness
+// checks for the Theta entries, executed as a small version of the bench
+// sweeps so regressions are caught by ctest rather than by eyeballing
+// bench output.
+
+#include <gtest/gtest.h>
+
+#include "algos/lac.hpp"
+#include "algos/or_func.hpp"
+#include "algos/reduce.hpp"
+#include "algos/parity.hpp"
+#include "bounds/model_bounds.hpp"
+#include "core/rounds.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+struct SweepPoint {
+  std::uint64_t n;
+  std::uint64_t g;
+};
+
+class LowerBoundDominance : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(LowerBoundDominance, ParityNeverBeatsItsBounds) {
+  const auto [n, g] = GetParam();
+  Rng rng(n + g);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const double dn = static_cast<double>(n);
+  const double dg = static_cast<double>(g);
+
+  {
+    QsmMachine m({.g = g});
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    parity_circuit(m, in, n);
+    EXPECT_GE(static_cast<double>(m.time()),
+              bounds::qsm_parity_det_time(dn, dg));
+  }
+  {
+    QsmMachine m({.g = g, .model = CostModel::SQsm});
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    parity_tree(m, in, n);
+    EXPECT_GE(static_cast<double>(m.time()),
+              bounds::sqsm_parity_det_time(dn, dg));
+  }
+  {
+    BspMachine m({.p = 64, .g = g, .L = 8 * g});
+    parity_bsp(m, input);
+    EXPECT_GE(static_cast<double>(m.time()),
+              bounds::bsp_parity_det_time(dn, dg, 8.0 * dg, 64.0));
+  }
+}
+
+TEST_P(LowerBoundDominance, OrNeverBeatsItsBounds) {
+  const auto [n, g] = GetParam();
+  Rng rng(n + g + 1);
+  const auto input = boolean_array(n, 1, rng);
+  const double dn = static_cast<double>(n);
+  const double dg = static_cast<double>(g);
+
+  {
+    QsmMachine m({.g = g});
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    or_fanin_qsm(m, in, n);
+    EXPECT_GE(static_cast<double>(m.time()), bounds::qsm_or_det_time(dn, dg));
+    EXPECT_GE(static_cast<double>(m.time()),
+              bounds::qsm_or_rand_time(dn, dg));
+  }
+  {
+    QsmMachine m({.g = g, .model = CostModel::QsmCrFree});
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    Rng coin(7);
+    or_rand_cr(m, in, n, coin);
+    // The randomized lower bound applies to randomized algorithms too.
+    EXPECT_GE(static_cast<double>(m.time()),
+              bounds::qsm_or_rand_time(dn, dg));
+  }
+}
+
+TEST_P(LowerBoundDominance, LacNeverBeatsItsBounds) {
+  const auto [n, g] = GetParam();
+  Rng rng(n + g + 2);
+  const auto input = lac_instance(n, n / 8, rng);
+  const double dn = static_cast<double>(n);
+  const double dg = static_cast<double>(g);
+
+  {
+    QsmMachine m({.g = g});
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    lac_prefix(m, in, n, 4);
+    EXPECT_GE(static_cast<double>(m.time()),
+              bounds::qsm_lac_det_time(dn, dg));
+  }
+  {
+    QsmMachine m({.g = g, .writes = WriteResolution::Random, .seed = n});
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    Rng darts(n);
+    lac_dart(m, in, n, n / 8, darts);
+    EXPECT_GE(static_cast<double>(m.time()),
+              bounds::qsm_lac_rand_time(dn, dg));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LowerBoundDominance,
+    ::testing::Values(SweepPoint{256, 2}, SweepPoint{256, 16},
+                      SweepPoint{1024, 4}, SweepPoint{1024, 32},
+                      SweepPoint{4096, 8}, SweepPoint{4096, 64}));
+
+// ----- Theta flatness ---------------------------------------------------------
+
+TEST(ThetaEntries, SqsmParityRatioIsFlat) {
+  // measured / (g log n) must stay within a narrow band across the sweep.
+  double lo = 1e9, hi = 0;
+  for (const std::uint64_t n : {1u << 8, 1u << 11, 1u << 14}) {
+    QsmMachine m({.g = 4, .model = CostModel::SQsm});
+    Rng rng(n);
+    const auto input = bernoulli_array(n, 0.5, rng);
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    parity_tree(m, in, n);
+    const double ratio =
+        static_cast<double>(m.time()) /
+        bounds::sqsm_parity_det_time(static_cast<double>(n), 4.0);
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  EXPECT_LT(hi / lo, 1.5);
+}
+
+TEST(ThetaEntries, BspParityRatioIsFlat) {
+  double lo = 1e9, hi = 0;
+  for (const std::uint64_t p : {64ull, 256ull, 1024ull}) {
+    BspMachine m({.p = p, .g = 2, .L = 32});
+    Rng rng(p);
+    const auto input = bernoulli_array(1 << 12, 0.5, rng);
+    parity_bsp(m, input);
+    const double ratio =
+        static_cast<double>(m.time()) /
+        bounds::bsp_parity_det_time(1 << 12, 2.0, 32.0,
+                                    static_cast<double>(p));
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  EXPECT_LT(hi / lo, 3.0);
+}
+
+TEST(ThetaEntries, OrRoundsRatioIsFlat) {
+  // Corollary 7.3's Theta: rounds / (log n / log(gn/p)) bounded both ways.
+  const std::uint64_t n = 1 << 14;
+  double lo = 1e9, hi = 0;
+  for (const std::uint64_t p : {16ull, 128ull, 1024ull}) {
+    QsmMachine m({.g = 4});
+    Rng rng(p);
+    const auto input = boolean_array(n, 3, rng);
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    or_rounds(m, in, n, p);
+    const auto audit = audit_rounds_qsm(m.trace(), n, p, 6);
+    ASSERT_TRUE(audit.all_rounds());
+    const double ratio =
+        static_cast<double>(audit.rounds) /
+        bounds::rounds_or_qsm(static_cast<double>(n), 4.0,
+                              static_cast<double>(p));
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  EXPECT_LT(hi / lo, 3.0);
+}
+
+}  // namespace
+}  // namespace parbounds

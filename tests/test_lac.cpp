@@ -1,0 +1,130 @@
+#include "algos/lac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rounds.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+struct LacCase {
+  std::uint64_t n;
+  std::uint64_t h;
+  std::uint64_t seed;
+};
+
+class LacSweep : public ::testing::TestWithParam<LacCase> {};
+
+TEST_P(LacSweep, PrefixVariantExactCompaction) {
+  const auto [n, h, seed] = GetParam();
+  QsmMachine m({.g = 2});
+  Rng rng(seed);
+  const auto input = lac_instance(n, h, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+
+  const auto res = lac_prefix(m, in, n, 4);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.items, h);
+  EXPECT_LE(res.out_size, std::max<std::uint64_t>(1, h));
+  EXPECT_TRUE(lac_output_valid(m, in, n, res));
+}
+
+TEST_P(LacSweep, DartVariantLinearOutput) {
+  const auto [n, h, seed] = GetParam();
+  QsmMachine m(
+      {.g = 2, .writes = WriteResolution::Random, .seed = seed + 1});
+  Rng rng(seed + 2);
+  const auto input = lac_instance(n, h, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+
+  Rng darts(seed + 3);
+  const auto res = lac_dart(m, in, n, h, darts);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.items, h);
+  // Geometric boards: total size <= 8h + O(log) * minimum board.
+  EXPECT_LE(res.out_size, 8 * std::max<std::uint64_t>(h, 1) +
+                              16 * (res.dart_phases + 1));
+  EXPECT_TRUE(lac_output_valid(m, in, n, res));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LacSweep,
+    ::testing::Values(LacCase{64, 0, 1}, LacCase{64, 1, 2},
+                      LacCase{64, 64, 3}, LacCase{256, 16, 4},
+                      LacCase{1024, 100, 5}, LacCase{1024, 1024, 6},
+                      LacCase{4096, 64, 7}, LacCase{100, 31, 8}));
+
+TEST(LacRounds, CorrectAndRoundStructured) {
+  const std::uint64_t n = 2048, p = 32, h = 200;
+  QsmMachine m({.g = 2});
+  Rng rng(13);
+  const auto input = lac_instance(n, h, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+
+  const auto res = lac_rounds(m, in, n, p);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.items, h);
+  EXPECT_TRUE(lac_output_valid(m, in, n, res));
+  const auto audit = audit_rounds_qsm(m.trace(), n, p, 6);
+  EXPECT_TRUE(audit.all_rounds()) << audit.worst_ratio;
+}
+
+TEST(LacDart, MultiDartTauReducesRounds) {
+  const std::uint64_t n = 4096, h = 512;
+  Rng gen(21);
+  const auto input = lac_instance(n, h, gen);
+
+  QsmMachine single({.g = 2, .writes = WriteResolution::Random, .seed = 1});
+  Addr in = single.alloc(n);
+  single.preload(in, input);
+  Rng d1(31);
+  const auto r1 = lac_dart(single, in, n, h, d1, 1);
+
+  QsmMachine multi({.g = 2, .writes = WriteResolution::Random, .seed = 2});
+  in = multi.alloc(n);
+  multi.preload(in, input);
+  Rng d2(32);
+  const auto r2 = lac_dart(multi, in, n, h, d2, 4);
+
+  EXPECT_TRUE(r1.ok);
+  EXPECT_TRUE(r2.ok);
+  EXPECT_LE(r2.dart_phases, r1.dart_phases);
+}
+
+TEST(LacDart, DeterministicWriteResolutionAlsoWorks) {
+  QsmMachine m({.g = 1});  // LastQueued resolution
+  Rng rng(41);
+  const auto input = lac_instance(512, 50, rng);
+  const Addr in = m.alloc(512);
+  m.preload(in, input);
+  Rng darts(42);
+  const auto res = lac_dart(m, in, 512, 50, darts);
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(lac_output_valid(m, in, 512, res));
+}
+
+TEST(Lac, EmptyInput) {
+  QsmMachine m({.g = 1});
+  const auto res = lac_prefix(m, 0, 0);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.items, 0u);
+}
+
+TEST(Lac, GeneralValuesNotJustSequentialIds) {
+  // Items with arbitrary (repeated) nonzero values compact correctly too.
+  QsmMachine m({.g = 1});
+  std::vector<Word> input{0, 7, 0, 7, 3, 0, 0, 9};
+  const Addr in = m.alloc(input.size());
+  m.preload(in, input);
+  const auto res = lac_prefix(m, in, input.size(), 2);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.items, 4u);
+  EXPECT_TRUE(lac_output_valid(m, in, input.size(), res));
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "algos/load_balance.hpp"
+#include "algos/padded_sort.hpp"
+#include "core/rounds.hpp"
+#include "util/mathx.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+// ----- load balancing ----------------------------------------------------------
+
+struct LbCase {
+  std::uint64_t n;
+  std::uint64_t h;
+  std::uint64_t skew;
+};
+
+class LoadBalanceSweep : public ::testing::TestWithParam<LbCase> {};
+
+TEST_P(LoadBalanceSweep, RedistributesEvenly) {
+  const auto [n, h, skew] = GetParam();
+  Rng rng(n + h + skew);
+  const auto loads = load_balance_instance(n, h, skew, rng);
+  QsmMachine m({.g = 2});
+  const auto res = load_balance(m, loads, 4);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.h, h);
+  // Each processor owns pool slots j with j mod n == i: at most
+  // ceil(h/n) objects — the O(1 + h/n) requirement.
+  EXPECT_LE(res.per_proc, ceil_div(std::max<std::uint64_t>(h, 1), n) + 1);
+  EXPECT_TRUE(load_balance_valid(m, loads, res));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoadBalanceSweep,
+    ::testing::Values(LbCase{16, 0, 1}, LbCase{16, 16, 1},
+                      LbCase{64, 1000, 1}, LbCase{64, 1000, 16},
+                      LbCase{256, 100, 64},  // all load on few procs
+                      LbCase{100, 5000, 100}));
+
+TEST(LoadBalance, RoundsVariantBalancesWithinBudget) {
+  const std::uint64_t n = 1024, p = 32, h = 3000;
+  Rng rng(77);
+  const auto loads = load_balance_instance(n, h, 8, rng);
+  QsmMachine m({.g = 2, .model = CostModel::SQsm});
+  const auto res = load_balance_rounds(m, loads, p);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.h, h);
+  EXPECT_TRUE(load_balance_valid(m, loads, res));
+  // Every phase fits the p-processor round budget (with slack for the
+  // heaviest shipping phase).
+  const auto audit = audit_rounds_qsm(m.trace(), n, p, 8);
+  EXPECT_TRUE(audit.all_rounds()) << audit.worst_ratio;
+}
+
+TEST(LoadBalance, RoundsVariantHandlesZeroAndDense) {
+  QsmMachine m({.g = 1});
+  std::vector<std::uint64_t> loads(64, 0);
+  const auto empty = load_balance_rounds(m, loads, 8);
+  EXPECT_TRUE(empty.ok);
+  EXPECT_EQ(empty.h, 0u);
+
+  std::vector<std::uint64_t> dense(64, 3);
+  QsmMachine m2({.g = 1});
+  const auto full = load_balance_rounds(m2, dense, 8);
+  EXPECT_TRUE(full.ok);
+  EXPECT_TRUE(load_balance_valid(m2, dense, full));
+}
+
+TEST(LoadBalance, WorstCaseSingleHotProcessor) {
+  // Everything starts on one processor; it pays m_rw = h once, and the
+  // result is still balanced.
+  std::vector<std::uint64_t> loads(32, 0);
+  loads[7] = 320;
+  QsmMachine m({.g = 1});
+  const auto res = load_balance(m, loads, 2);
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(load_balance_valid(m, loads, res));
+  EXPECT_EQ(res.per_proc, 10u);
+}
+
+// ----- padded sort ---------------------------------------------------------------
+
+class PaddedSortSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaddedSortSweep, SortedWithNullPadding) {
+  const std::uint64_t n = GetParam();
+  Rng rng(n * 13 + 5);
+  const auto input = padded_sort_instance(n, rng);
+  QsmMachine m({.g = 2, .writes = WriteResolution::Random, .seed = n});
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  Rng darts(n + 1);
+  const auto res = padded_sort(m, in, n, darts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_LE(res.retries, 2u);
+  // Output is linear in n.
+  EXPECT_LE(res.out_size, 64 * n + 64);
+  EXPECT_TRUE(padded_sort_valid(m, in, n, res));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PaddedSortSweep,
+                         ::testing::Values(1, 2, 16, 100, 1000, 4096));
+
+TEST(PaddedSort, HandlesDuplicateValues) {
+  QsmMachine m({.g = 1});
+  std::vector<Word> input{5, 5, 5, 5, 1, 1, 9, 9};
+  const Addr in = m.alloc(input.size());
+  m.preload(in, input);
+  Rng darts(3);
+  const auto res = padded_sort(m, in, input.size(), darts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(padded_sort_valid(m, in, input.size(), res));
+}
+
+TEST(PaddedSort, ZeroValueDistinguishedFromNull) {
+  QsmMachine m({.g = 1});
+  std::vector<Word> input{0, 0, 3};  // value 0 is a real key
+  const Addr in = m.alloc(input.size());
+  m.preload(in, input);
+  Rng darts(4);
+  const auto res = padded_sort(m, in, input.size(), darts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(padded_sort_valid(m, in, input.size(), res));
+}
+
+}  // namespace
+}  // namespace parbounds

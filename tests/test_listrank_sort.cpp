@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/list_ranking.hpp"
+#include "algos/sorting.hpp"
+#include "util/mathx.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+// Reference: walk the list and accumulate suffix sums.
+std::vector<Word> ref_ranks(const ListInstance& li,
+                            const std::vector<Word>& w) {
+  const std::uint32_t n = static_cast<std::uint32_t>(li.succ.size());
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t v = li.head;; v = li.succ[v]) {
+    order.push_back(v);
+    if (v == li.tail) break;
+  }
+  std::vector<Word> rank(n, 0);
+  Word acc = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    acc += w[*it];
+    rank[*it] = acc;
+  }
+  return rank;
+}
+
+class ListRankingSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ListRankingSweep, MatchesReference) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 17 + 1);
+  const auto li = list_instance(n, rng);
+  std::vector<Word> w(n);
+  for (auto& x : w) x = static_cast<Word>(rng.next_below(5));
+
+  QsmMachine m({.g = 2});
+  const auto res = list_ranking(m, li.succ, w, li.tail);
+  const auto want = ref_ranks(li, w);
+  for (std::uint32_t i = 0; i < n; ++i)
+    ASSERT_EQ(res.rank[i], want[i]) << "node " << i;
+  // Pointer jumping halves distances: O(log n) rounds.
+  EXPECT_LE(res.jump_rounds, ilog2(std::max(n, 2u)) + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ListRankingSweep,
+                         ::testing::Values(1, 2, 3, 10, 64, 100, 257, 1000));
+
+TEST(ListRanking, ContentionStaysConstant) {
+  // The tail short-circuit is the point: no phase should see contention
+  // grow with n (naive jumping queues Theta(n) readers on the tail).
+  Rng rng(9);
+  const auto li = list_instance(2048, rng);
+  std::vector<Word> w(2048, 1);
+  QsmMachine m({.g = 1});
+  list_ranking(m, li.succ, w, li.tail);
+  for (const auto& ph : m.trace().phases)
+    EXPECT_LE(ph.stats.kappa(), 4u);
+}
+
+TEST(ListRanking, UnitWeightsGiveDistances) {
+  Rng rng(10);
+  const auto li = list_instance(50, rng);
+  std::vector<Word> w(50, 1);
+  QsmMachine m({.g = 1});
+  const auto res = list_ranking(m, li.succ, w, li.tail);
+  EXPECT_EQ(res.rank[li.head], 50);
+  EXPECT_EQ(res.rank[li.tail], 1);
+}
+
+// ----- sorting ----------------------------------------------------------------
+
+class BitonicSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitonicSweep, SortsRandomArrays) {
+  const std::uint64_t n = GetParam();
+  QsmMachine m({.g = 1});
+  Rng rng(n + 3);
+  std::vector<Word> input(n);
+  for (auto& v : input) v = static_cast<Word>(rng.next_below(1000));
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+
+  bitonic_sort_qsm(m, in, n);
+  std::sort(input.begin(), input.end());
+  for (std::uint64_t i = 0; i < n; ++i)
+    ASSERT_EQ(m.peek(in + i), input[i]) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSweep,
+                         ::testing::Values(1, 2, 3, 8, 100, 128, 1000));
+
+TEST(Bitonic, StageCountIsLogSquared) {
+  QsmMachine m({.g = 1});
+  std::vector<Word> input(256, 1);
+  const Addr in = m.alloc(256);
+  m.preload(in, input);
+  const auto stages = bitonic_sort_qsm(m, in, 256);
+  EXPECT_EQ(stages, 8u * 9u / 2u);  // log N (log N + 1) / 2
+}
+
+TEST(Bitonic, ContentionFreeNetwork) {
+  QsmMachine m({.g = 4});
+  Rng rng(2);
+  std::vector<Word> input(128);
+  for (auto& v : input) v = static_cast<Word>(rng.next_below(50));
+  const Addr in = m.alloc(128);
+  m.preload(in, input);
+  bitonic_sort_qsm(m, in, 128);
+  for (const auto& ph : m.trace().phases) {
+    EXPECT_LE(ph.stats.kappa(), 1u);
+    EXPECT_LE(ph.cost, 2 * m.config().g);
+  }
+}
+
+class SampleSortSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(SampleSortSweep, GloballySorted) {
+  const auto [n, p] = GetParam();
+  BspMachine m({.p = p, .g = 2, .L = 8});
+  Rng rng(n + p);
+  std::vector<Word> input(n);
+  for (auto& v : input) v = static_cast<Word>(rng.next_below(100000));
+
+  const auto res = sample_sort_bsp(m, input);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.supersteps, 4u);
+
+  std::vector<Word> flat;
+  for (const auto& run : res.per_proc) {
+    EXPECT_TRUE(std::is_sorted(run.begin(), run.end()));
+    if (!flat.empty() && !run.empty()) {
+      EXPECT_LE(flat.back(), run.front());
+    }
+    flat.insert(flat.end(), run.begin(), run.end());
+  }
+  std::sort(input.begin(), input.end());
+  EXPECT_EQ(flat, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleSortSweep,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{100, 4},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 8},
+                      std::pair<std::uint64_t, std::uint64_t>{10000, 16},
+                      std::pair<std::uint64_t, std::uint64_t>{64, 64},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 2}));
+
+TEST(SampleSort, BucketsReasonablyBalanced) {
+  BspMachine m({.p = 16, .g = 1, .L = 4});
+  Rng rng(55);
+  std::vector<Word> input(16000);
+  for (auto& v : input) v = static_cast<Word>(rng.next_below(1 << 30));
+  const auto res = sample_sort_bsp(m, input);
+  ASSERT_TRUE(res.ok);
+  // Regular sampling keeps buckets within a small factor of n/p.
+  EXPECT_LE(res.max_bucket, 4 * (16000 / 16));
+}
+
+}  // namespace
+}  // namespace parbounds

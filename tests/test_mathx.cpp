@@ -1,0 +1,88 @@
+#include "util/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace parbounds {
+namespace {
+
+TEST(MathX, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+  EXPECT_EQ(ceil_div(9, 1), 9u);
+}
+
+TEST(MathX, ILog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(1023), 9u);
+  EXPECT_EQ(ilog2(1024), 10u);
+}
+
+TEST(MathX, CLog2) {
+  EXPECT_EQ(clog2(1), 0u);
+  EXPECT_EQ(clog2(2), 1u);
+  EXPECT_EQ(clog2(3), 2u);
+  EXPECT_EQ(clog2(4), 2u);
+  EXPECT_EQ(clog2(5), 3u);
+}
+
+TEST(MathX, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(MathX, SafeLogsAreClamped) {
+  EXPECT_DOUBLE_EQ(safe_log2(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(safe_log2(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(safe_log2(8.0), 3.0);
+  EXPECT_GE(safe_loglog2(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(safe_loglog2(65536.0), 4.0);
+}
+
+TEST(MathX, LogStarKnownValues) {
+  EXPECT_EQ(log_star(1.0), 0u);
+  EXPECT_EQ(log_star(2.0), 1u);
+  EXPECT_EQ(log_star(4.0), 2u);
+  EXPECT_EQ(log_star(16.0), 3u);
+  EXPECT_EQ(log_star(65536.0), 4u);
+  // 1e10: 1e10 -> 33.2 -> 5.05 -> 2.34 -> 1.22 -> 0.29 (five steps).
+  EXPECT_EQ(log_star(1e10), 5u);
+}
+
+TEST(MathX, LogStarBase) {
+  // log*_4(256): 256 -> 4 -> 1: two applications.
+  EXPECT_EQ(log_star_base(256.0, 4.0), 2u);
+  // Bigger base shrinks the count.
+  EXPECT_LE(log_star_base(1e30, 16.0), log_star(1e30));
+}
+
+TEST(MathX, DPow) {
+  EXPECT_DOUBLE_EQ(dpow(3.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dpow(3.0, 3), 27.0);
+  EXPECT_DOUBLE_EQ(dpow(1.5, 2), 2.25);
+}
+
+TEST(MathX, TowerCaps) {
+  EXPECT_DOUBLE_EQ(tower_base(2.0, 0, 1e18), 1.0);
+  EXPECT_DOUBLE_EQ(tower_base(2.0, 1, 1e18), 2.0);
+  EXPECT_DOUBLE_EQ(tower_base(2.0, 2, 1e18), 4.0);
+  EXPECT_DOUBLE_EQ(tower_base(2.0, 3, 1e18), 16.0);
+  EXPECT_DOUBLE_EQ(tower_base(2.0, 4, 1e18), 65536.0);
+  EXPECT_DOUBLE_EQ(tower_base(2.0, 6, 1e18), 1e18);  // capped
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,130 @@
+#include "algos/or_func.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algos/reduce.hpp"
+#include "core/rounds.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+Word ref_or(const std::vector<Word>& v) {
+  for (const Word b : v)
+    if (b != 0) return 1;
+  return 0;
+}
+
+struct OrCase {
+  std::uint64_t n;
+  std::uint64_t ones;
+  std::uint64_t g;
+};
+
+class OrAlgos : public ::testing::TestWithParam<OrCase> {};
+
+TEST_P(OrAlgos, TreeCorrect) {
+  const auto [n, ones, g] = GetParam();
+  QsmMachine m({.g = g, .model = CostModel::SQsm});
+  Rng rng(n + ones);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  EXPECT_EQ(or_tree(m, in, n), ref_or(input));
+}
+
+TEST_P(OrAlgos, FaninQsmCorrect) {
+  const auto [n, ones, g] = GetParam();
+  QsmMachine m({.g = g});
+  Rng rng(n + ones + 1);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  EXPECT_EQ(or_fanin_qsm(m, in, n), ref_or(input));
+}
+
+TEST_P(OrAlgos, RandCrCorrect) {
+  const auto [n, ones, g] = GetParam();
+  QsmMachine m({.g = g, .model = CostModel::QsmCrFree});
+  Rng rng(n + ones + 2);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  Rng coin(n * 7 + 3);
+  EXPECT_EQ(or_rand_cr(m, in, n, coin), ref_or(input));
+}
+
+TEST_P(OrAlgos, BspCorrect) {
+  const auto [n, ones, g] = GetParam();
+  BspMachine m({.p = 8, .g = g, .L = 4 * g});
+  Rng rng(n + ones + 3);
+  const auto input = boolean_array(n, ones, rng);
+  EXPECT_EQ(or_bsp(m, input), ref_or(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrAlgos,
+    ::testing::Values(OrCase{64, 0, 1}, OrCase{64, 1, 4},
+                      OrCase{100, 50, 2}, OrCase{511, 1, 8},
+                      OrCase{512, 512, 16}, OrCase{1000, 3, 4},
+                      OrCase{8, 0, 32}));
+
+TEST(OrFanin, GFaninBeatsBinaryForLargeG) {
+  // The contention ablation behind the O((g/log g) log n) entry: for
+  // g >> 2, funnel fan-in g wins over the binary read tree.
+  const std::uint64_t n = 4096, g = 32;
+  Rng rng(4);
+  const auto input = boolean_array(n, 1, rng);
+
+  QsmMachine fan({.g = g});
+  const Addr a = fan.alloc(n);
+  fan.preload(a, input);
+  or_fanin_qsm(fan, a, n);
+
+  QsmMachine tree({.g = g});
+  const Addr b = tree.alloc(n);
+  tree.preload(b, input);
+  or_tree(tree, b, n, 2);
+
+  EXPECT_LT(fan.time(), tree.time());
+}
+
+TEST(OrRandCr, ShortCircuitsDenseInputs) {
+  // On a dense input the sampler should set the flag long before the
+  // deterministic fallback would finish.
+  const std::uint64_t n = 4096, g = 8;
+  Rng rng(6);
+  const auto input = boolean_array(n, n / 2, rng);
+
+  QsmMachine fast({.g = g, .model = CostModel::QsmCrFree});
+  const Addr a = fast.alloc(n);
+  fast.preload(a, input);
+  Rng coin(7);
+  or_rand_cr(fast, a, n, coin);
+
+  QsmMachine det({.g = g, .model = CostModel::QsmCrFree});
+  const Addr b = det.alloc(n);
+  det.preload(b, input);
+  or_fanin_qsm(det, b, n);
+
+  EXPECT_LT(fast.time(), det.time());
+}
+
+TEST(OrRounds, MatchesTheetaRoundBound) {
+  // Corollary 7.3 Theta(log n / log(g n/p)) on the QSM; the contention
+  // fan-in g n/p algorithm achieves it.
+  const std::uint64_t n = 1 << 14;
+  for (const std::uint64_t p : {64ull, 256ull, 1024ull}) {
+    QsmMachine m({.g = 4});
+    Rng rng(p);
+    const auto input = boolean_array(n, 5, rng);
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    EXPECT_EQ(or_rounds(m, in, n, p), 1);
+    const auto audit = audit_rounds_qsm(m.trace(), n, p, 4);
+    EXPECT_TRUE(audit.all_rounds()) << "p=" << p << " " << audit.worst_ratio;
+  }
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,132 @@
+#include "adversary/or_adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/goodness.hpp"
+
+namespace parbounds {
+namespace {
+
+TEST(OrDistribution, ShapeAndSampling) {
+  const OrDistribution dist(64, 1, 1);
+  EXPECT_GE(dist.stages(), 1u);
+  EXPECT_GE(dist.d()[0], 2.0);
+
+  Rng rng(3);
+  int zeros = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const auto input = dist.sample(rng);
+    ASSERT_EQ(input.size(), 64u);
+    bool any = false;
+    for (const Word w : input) any |= (w != 0);
+    zeros += any ? 0 : 1;
+  }
+  // At least the explicit 1/2 mass is all-zeros; H_i can add more.
+  const double frac = static_cast<double>(zeros) / trials;
+  EXPECT_GT(frac, 0.45);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(OrDistribution, GammaGroupsSetTogether) {
+  const OrDistribution dist(12, 4, 1);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const auto input = dist.sample_stage(0, rng);
+    for (std::size_t lo = 0; lo < input.size(); lo += 4) {
+      // Whole gamma-group is uniform: all zero or all one.
+      for (std::size_t j = lo + 1; j < lo + 4 && j < input.size(); ++j)
+        ASSERT_EQ(input[j], input[lo]);
+    }
+  }
+}
+
+TEST(GsmOrTree, CorrectWithGammaPacking) {
+  for (const std::uint64_t gamma : {1ull, 2ull, 4ull}) {
+    GsmMachine m({.alpha = 1, .beta = 1, .gamma = gamma});
+    std::vector<Word> input(17, 0);
+    input[13] = 1;
+    const Addr out = gsm_or_tree(m, input, 3);
+    const auto cell = m.peek(out);
+    Word got = 0;
+    for (const Word w : cell) got |= (w != 0);
+    EXPECT_EQ(got, 1) << "gamma " << gamma;
+  }
+}
+
+TEST(GsmOrTree, TruncationStopsEarly) {
+  GsmMachine full{GsmConfig{}};
+  std::vector<Word> input(64, 0);
+  input[63] = 1;
+  gsm_or_tree(full, input, 2);
+  GsmMachine cut{GsmConfig{}};
+  gsm_or_tree(cut, input, 2, /*max_phases=*/2);
+  EXPECT_LT(cut.phases(), full.phases());
+  EXPECT_EQ(cut.phases(), 2u);
+}
+
+TEST(OrAdversary, RefineRestrictsOrFixes) {
+  const OrDistribution dist(8, 1, 1);
+  OrAdversary adv([](GsmMachine& m, std::span<const Word> in) {
+    gsm_or_tree(m, in, 2);
+  },
+                  GsmConfig{}, dist, /*seed=*/11);
+  OrFamily F = adv.initial();
+  const std::size_t before = F.stages.size();
+  unsigned fixed_at = 0;
+  for (unsigned t = 0; t < dist.stages() && !F.defined(); ++t) {
+    const auto step = adv.refine(t, F);
+    EXPECT_GE(step.x, 1u);
+    if (step.done) {
+      EXPECT_TRUE(step.F.defined());
+      fixed_at = t + 1;
+    } else {
+      // H_t was removed from the family.
+      EXPECT_LT(step.F.stages.size(), F.stages.size() + 1);
+    }
+    F = step.F;
+  }
+  if (!F.defined()) {
+    EXPECT_LE(F.stages.size(), before);
+  }
+  (void)fixed_at;
+}
+
+TEST(OrAdversary, Section7EnvelopeHoldsForTree) {
+  // Lemma 7.2's conclusion on a real (oblivious) OR tree: Know and Aff
+  // sets stay below the d_t envelope at every stage the horizon allows.
+  const OrDistribution dist(8, 1, 1);
+  TraceAnalysis ta([](GsmMachine& m, std::span<const Word> in) {
+    gsm_or_tree(m, in, 2);
+  },
+                   GsmConfig{}, 8, PartialInputMap::all_unset(8));
+  const auto d = dist.d();
+  for (unsigned t = 0; t <= std::min<unsigned>(dist.stages(), ta.phases());
+       ++t) {
+    const double dt = d[std::min<std::size_t>(t + 1, d.size() - 1)];
+    const auto rep = check_t_good_s7(ta, t, std::max(dt, 8.0));
+    EXPECT_TRUE(rep.ok) << "t=" << t;
+  }
+}
+
+TEST(OrSuccessExperiment, FullBudgetAlwaysCorrect) {
+  const OrDistribution dist(64, 1, 1);
+  Rng rng(5);
+  const double p =
+      or_success_experiment(dist, 2, /*phase_budget=*/0, 200, rng, {});
+  EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(OrSuccessExperiment, TruncationCostsAccuracy) {
+  // Theorem 7.1's trade-off, visible empirically: an algorithm cut to one
+  // phase answers from a single cell and pays in success probability.
+  const OrDistribution dist(64, 1, 1);
+  Rng rng(6);
+  const double p =
+      or_success_experiment(dist, 2, /*phase_budget=*/1, 600, rng, {});
+  EXPECT_LT(p, 0.97);
+  EXPECT_GT(p, 0.5);
+}
+
+}  // namespace
+}  // namespace parbounds

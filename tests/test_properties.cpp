@@ -1,0 +1,183 @@
+// Cross-cutting properties over the whole algorithm/model matrix.
+
+#include <gtest/gtest.h>
+
+#include "algos/crcw_algos.hpp"
+#include "algos/gsm_algos.hpp"
+#include "algos/lac.hpp"
+#include "algos/or_func.hpp"
+#include "algos/parity.hpp"
+#include "algos/reduce.hpp"
+#include "core/mapping.hpp"
+#include "core/spmd.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+// ----- every parity implementation agrees on every input ----------------------
+
+class ParityMatrix : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParityMatrix, AllNineImplementationsAgree) {
+  const std::uint64_t seed = GetParam();
+  const std::uint64_t n = 200 + seed * 37;
+  Rng rng(seed);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  Word want = 0;
+  for (const Word v : input) want ^= v;
+
+  auto on_qsm = [&](QsmConfig cfg, auto&& algo) {
+    QsmMachine m(cfg);
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    return algo(m, in);
+  };
+  // 1-5: shared-memory variants.
+  EXPECT_EQ(on_qsm({.g = 4},
+                   [&](QsmMachine& m, Addr in) {
+                     return parity_circuit(m, in, n);
+                   }),
+            want);
+  EXPECT_EQ(on_qsm({.g = 4, .model = CostModel::QsmCrFree},
+                   [&](QsmMachine& m, Addr in) {
+                     return parity_circuit(m, in, n);
+                   }),
+            want);
+  EXPECT_EQ(on_qsm({.g = 4, .model = CostModel::SQsm},
+                   [&](QsmMachine& m, Addr in) {
+                     return parity_tree(m, in, n);
+                   }),
+            want);
+  EXPECT_EQ(on_qsm({.g = 4, .d = 2, .model = CostModel::QsmGd},
+                   [&](QsmMachine& m, Addr in) {
+                     return parity_tree(m, in, n, 3);
+                   }),
+            want);
+  EXPECT_EQ(on_qsm({.g = 4, .model = CostModel::Erew},
+                   [&](QsmMachine& m, Addr in) {
+                     return parity_tree(m, in, n, 2);
+                   }),
+            want);
+  // 6: SPMD.
+  EXPECT_EQ(on_qsm({.g = 4},
+                   [&](QsmMachine& m, Addr in) {
+                     return m.peek(spmd_parity_tree(m, in, n, 2));
+                   }),
+            want);
+  // 7: BSP.
+  {
+    BspMachine m({.p = 16, .g = 2, .L = 8});
+    EXPECT_EQ(parity_bsp(m, input), want);
+  }
+  // 8: GSM.
+  {
+    GsmMachine m({.alpha = 1, .beta = 2, .gamma = 3});
+    const Addr out = gsm_parity_tree(m, input, 2);
+    Word acc = 0;
+    for (const Word w : m.peek(out)) acc ^= (w != 0) ? 1 : 0;
+    EXPECT_EQ(acc, want);
+  }
+  // 9: CRCW PRAM.
+  {
+    CrcwMachine m;
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    EXPECT_EQ(crcw_parity(m, in, n), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParityMatrix, ::testing::Range<std::uint64_t>(0, 6));
+
+// ----- cost monotonicity in the gap -------------------------------------------
+
+class GapMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GapMonotone, TimeNondecreasingInG) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::uint64_t n = 512;
+  const auto input = bernoulli_array(n, 0.5, rng);
+
+  auto cost = [&](std::uint64_t g, CostModel model) {
+    QsmMachine m({.g = g, .model = model});
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    parity_tree(m, in, n, 4);
+    return m.time();
+  };
+  for (const auto model : {CostModel::Qsm, CostModel::SQsm}) {
+    std::uint64_t prev = 0;
+    for (const std::uint64_t g : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+      const auto c = cost(g, model);
+      EXPECT_GE(c, prev) << "g=" << g;
+      prev = c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GapMonotone, ::testing::Values(1, 2, 3));
+
+// ----- LAC variants agree on the item multiset --------------------------------
+
+TEST(LacMatrix, AllVariantsPlaceTheSameItems) {
+  const std::uint64_t n = 512, h = 60;
+  Rng rng(9);
+  const auto input = lac_instance(n, h, rng);
+
+  QsmMachine a({.g = 2});
+  Addr in = a.alloc(n);
+  a.preload(in, input);
+  const auto r1 = lac_prefix(a, in, n, 4);
+  EXPECT_EQ(r1.items, h);
+
+  QsmMachine b({.g = 2});
+  in = b.alloc(n);
+  b.preload(in, input);
+  const auto r2 = lac_rounds(b, in, n, 16);
+  EXPECT_EQ(r2.items, h);
+
+  QsmMachine c({.g = 2, .writes = WriteResolution::Random, .seed = 5});
+  in = c.alloc(n);
+  c.preload(in, input);
+  Rng darts(6);
+  const auto r3 = lac_dart(c, in, n, h, darts);
+  EXPECT_EQ(r3.items, h);
+  EXPECT_TRUE(lac_output_valid(c, in, n, r3));
+}
+
+// ----- replay cost is a per-phase sum ------------------------------------------
+
+TEST(ReplayProperties, GsmReplayDecomposesOverPhases) {
+  QsmMachine m({.g = 8});
+  Rng rng(4);
+  const auto input = bernoulli_array(256, 0.5, rng);
+  const Addr in = m.alloc(256);
+  m.preload(in, input);
+  or_fanin_qsm(m, in, 256);
+
+  std::uint64_t sum = 0;
+  for (const auto& ph : m.trace().phases)
+    sum += gsm_phase_cost(ph.stats, 1, 8);
+  EXPECT_EQ(gsm_replay_cost(m.trace(), 1, 8), sum);
+}
+
+// ----- determinism: identical seeds, identical everything -----------------------
+
+TEST(Determinism, WholePipelinesAreReproducible) {
+  auto run = [] {
+    QsmMachine m({.g = 4, .writes = WriteResolution::Random, .seed = 77});
+    Rng rng(8);
+    const auto input = lac_instance(256, 32, rng);
+    const Addr in = m.alloc(256);
+    m.preload(in, input);
+    Rng darts(9);
+    const auto res = lac_dart(m, in, 256, 32, darts);
+    return std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>(
+        m.time(), res.out_size, res.dart_phases);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,213 @@
+#include "core/qsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace parbounds {
+namespace {
+
+TEST(Qsm, ReadsDeliverStartOfPhaseValues) {
+  QsmMachine m({.g = 1});
+  const Addr a = m.alloc(1);
+  m.preload(a, Word{7});
+
+  // A phase that only reads sees 7; a write in a LATER phase must not leak
+  // back in time.
+  m.begin_phase();
+  m.read(0, a);
+  m.commit_phase();
+  EXPECT_EQ(m.inbox(0)[0], 7);
+
+  m.begin_phase();
+  m.write(1, a, 9);
+  m.commit_phase();
+  m.begin_phase();
+  m.read(0, a);
+  m.commit_phase();
+  EXPECT_EQ(m.inbox(0)[0], 9);
+}
+
+TEST(Qsm, QueueRuleReadWriteSameCellThrows) {
+  QsmMachine m({.g = 1});
+  const Addr a = m.alloc(1);
+  m.begin_phase();
+  m.read(0, a);
+  m.write(1, a, 5);
+  EXPECT_THROW(m.commit_phase(), ModelViolation);
+}
+
+TEST(Qsm, ConcurrentReadsAndConcurrentWritesAllowed) {
+  QsmMachine m({.g = 1});
+  const Addr a = m.alloc(2);
+  m.preload(a, Word{3});
+  m.begin_phase();
+  m.read(0, a);
+  m.read(1, a);
+  m.write(2, a + 1, 1);
+  m.write(3, a + 1, 2);
+  EXPECT_NO_THROW(m.commit_phase());
+  EXPECT_EQ(m.inbox(0)[0], 3);
+  EXPECT_EQ(m.inbox(1)[0], 3);
+}
+
+TEST(Qsm, ContentionMeasured) {
+  QsmMachine m({.g = 1});
+  const Addr a = m.alloc(4);
+  m.begin_phase();
+  for (ProcId p = 0; p < 5; ++p) m.read(p, a);
+  m.read(9, a + 1);
+  const auto& ph = m.commit_phase();
+  EXPECT_EQ(ph.stats.kappa_r, 5u);
+  EXPECT_EQ(ph.stats.kappa_w, 1u);
+  EXPECT_EQ(ph.cost, 5u);  // max(m_op=0, g*m_rw=1, kappa=5)
+}
+
+TEST(Qsm, CostFormulaQsm) {
+  QsmMachine m({.g = 4});
+  const Addr a = m.alloc(10);
+  m.begin_phase();
+  // One processor reads 3 cells: m_rw = 3; contention 1; no local ops.
+  m.read(0, a);
+  m.read(0, a + 1);
+  m.read(0, a + 2);
+  const auto& ph = m.commit_phase();
+  EXPECT_EQ(ph.stats.m_rw, 3u);
+  EXPECT_EQ(ph.cost, 12u);  // g * m_rw
+}
+
+TEST(Qsm, CostFormulaSQsmChargesGTimesContention) {
+  QsmMachine m({.g = 4, .model = CostModel::SQsm});
+  const Addr a = m.alloc(1);
+  m.begin_phase();
+  for (ProcId p = 0; p < 6; ++p) m.write(p, a, 1);
+  const auto& ph = m.commit_phase();
+  EXPECT_EQ(ph.cost, 24u);  // g * kappa = 4 * 6 > g * m_rw = 4
+}
+
+TEST(Qsm, CostFormulaCrFreeIgnoresReadContention) {
+  QsmMachine m({.g = 2, .model = CostModel::QsmCrFree});
+  const Addr a = m.alloc(1);
+  m.begin_phase();
+  for (ProcId p = 0; p < 100; ++p) m.read(p, a);
+  const auto& ph = m.commit_phase();
+  EXPECT_EQ(ph.cost, 2u);  // reads free; g * m_rw = 2
+
+  // Write contention is still charged under QsmCrFree.
+  m.begin_phase();
+  for (ProcId p = 0; p < 100; ++p) m.write(p, a, 1);
+  const auto& ph2 = m.commit_phase();
+  EXPECT_EQ(ph2.cost, 100u);
+}
+
+TEST(Qsm, EmptyPhaseCostsG) {
+  QsmMachine m({.g = 3});
+  m.begin_phase();
+  const auto& ph = m.commit_phase();
+  EXPECT_EQ(ph.stats.m_rw, 1u);
+  EXPECT_EQ(ph.stats.kappa(), 1u);
+  EXPECT_EQ(ph.cost, 3u);  // max(0, g*1, 1)
+}
+
+TEST(Qsm, LocalOpsCharged) {
+  QsmMachine m({.g = 2});
+  m.begin_phase();
+  m.local(0, 50);
+  m.local(0, 25);
+  m.local(1, 10);
+  const auto& ph = m.commit_phase();
+  EXPECT_EQ(ph.stats.m_op, 75u);
+  EXPECT_EQ(ph.cost, 75u);
+}
+
+TEST(Qsm, ArbitraryWriteLastQueuedWins) {
+  QsmMachine m({.g = 1, .writes = WriteResolution::LastQueued});
+  const Addr a = m.alloc(1);
+  m.begin_phase();
+  m.write(0, a, 10);
+  m.write(1, a, 20);
+  m.write(2, a, 30);
+  m.commit_phase();
+  EXPECT_EQ(m.peek(a), 30);
+}
+
+TEST(Qsm, ArbitraryWriteRandomPicksSomeWriter) {
+  QsmMachine m(
+      {.g = 1, .writes = WriteResolution::Random, .seed = 77});
+  const Addr a = m.alloc(1);
+  m.begin_phase();
+  m.write(0, a, 10);
+  m.write(1, a, 20);
+  m.commit_phase();
+  const Word v = m.peek(a);
+  EXPECT_TRUE(v == 10 || v == 20);
+}
+
+TEST(Qsm, InboxOrderFollowsIssueOrder) {
+  QsmMachine m({.g = 1});
+  const Addr a = m.alloc(3);
+  const std::vector<Word> vals{5, 6, 7};
+  m.preload(a, vals);
+  m.begin_phase();
+  m.read(0, a + 2);
+  m.read(0, a + 0);
+  m.read(0, a + 1);
+  m.commit_phase();
+  const auto box = m.inbox(0);
+  ASSERT_EQ(box.size(), 3u);
+  EXPECT_EQ(box[0], 7);
+  EXPECT_EQ(box[1], 5);
+  EXPECT_EQ(box[2], 6);
+}
+
+TEST(Qsm, AllocRegionsDisjoint) {
+  QsmMachine m({.g = 1});
+  const Addr a = m.alloc(10);
+  const Addr b = m.alloc(5);
+  const Addr c = m.alloc(1);
+  EXPECT_GE(b, a + 10);
+  EXPECT_GE(c, b + 5);
+}
+
+TEST(Qsm, PhaseProtocolViolations) {
+  QsmMachine m({.g = 1});
+  EXPECT_THROW(m.read(0, 0), ModelViolation);
+  EXPECT_THROW(m.write(0, 0, 1), ModelViolation);
+  EXPECT_THROW(m.commit_phase(), ModelViolation);
+  m.begin_phase();
+  EXPECT_THROW(m.begin_phase(), ModelViolation);
+}
+
+TEST(Qsm, TimeAccumulates) {
+  QsmMachine m({.g = 2});
+  m.begin_phase();
+  m.read(0, 0);
+  m.commit_phase();
+  m.begin_phase();
+  m.local(0, 11);
+  m.commit_phase();
+  EXPECT_EQ(m.time(), 2u + 11u);
+  EXPECT_EQ(m.phases(), 2u);
+}
+
+TEST(Qsm, DetailRecordingCapturesEvents) {
+  QsmMachine m({.g = 1, .record_detail = true});
+  const Addr a = m.alloc(2);
+  m.preload(a, Word{4});
+  m.begin_phase();
+  m.read(0, a);
+  m.write(1, a + 1, 5);
+  const auto& ph = m.commit_phase();
+  ASSERT_EQ(ph.events.size(), 2u);
+  EXPECT_FALSE(ph.events[0].is_write);
+  EXPECT_EQ(ph.events[0].value, 4);
+  EXPECT_TRUE(ph.events[1].is_write);
+  EXPECT_EQ(ph.events[1].value, 5);
+}
+
+TEST(Qsm, GapMustBePositive) {
+  EXPECT_THROW(QsmMachine({.g = 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parbounds

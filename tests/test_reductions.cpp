@@ -1,0 +1,107 @@
+#include "algos/reductions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+Word ref_parity(const std::vector<Word>& v) {
+  Word x = 0;
+  for (const Word b : v) x ^= (b != 0) ? 1 : 0;
+  return x;
+}
+
+struct RedCase {
+  std::uint64_t n;
+  std::uint64_t ones;
+};
+
+class ParityReductions : public ::testing::TestWithParam<RedCase> {};
+
+TEST_P(ParityReductions, ViaSorting) {
+  const auto [n, ones] = GetParam();
+  QsmMachine m({.g = 2});
+  Rng rng(n + ones + 1);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  EXPECT_EQ(parity_via_sorting(m, in, n), ref_parity(input));
+}
+
+TEST_P(ParityReductions, ViaListRanking) {
+  const auto [n, ones] = GetParam();
+  QsmMachine m({.g = 2});
+  Rng rng(n + ones + 2);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  EXPECT_EQ(parity_via_list_ranking(m, in, n), ref_parity(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParityReductions,
+    ::testing::Values(RedCase{8, 0}, RedCase{8, 3}, RedCase{64, 64},
+                      RedCase{100, 51}, RedCase{128, 1}, RedCase{33, 32}));
+
+TEST(ClbReduction, LacSolvesChromaticLoadBalancing) {
+  Rng rng(7);
+  const std::uint64_t n = 1024;
+  const auto m_param = clb_m_for(n);
+  const auto inst = clb_instance(n, m_param, rng);
+
+  QsmMachine machine(
+      {.g = 2, .writes = WriteResolution::Random, .seed = 3});
+  Rng darts(8);
+  const auto sol = clb_via_lac(machine, inst, /*colour=*/0, darts);
+  ASSERT_TRUE(sol.ok);
+  EXPECT_EQ(sol.groups_of_colour, inst.count_colour(0));
+
+  // Destination rows are distinct blocks of 4 rows per group: with m
+  // objects per row and 4m objects per group, every row holds exactly m.
+  std::vector<std::uint8_t> used(n, 0);
+  for (std::uint64_t g = 0; g < n; ++g) {
+    if (inst.group_colour[g] != 0) continue;
+    const auto row = sol.rows_used[g];
+    ASSERT_LE(row + 3, n);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_FALSE(used[row + k]) << "row reused";
+      used[row + k] = 1;
+    }
+  }
+}
+
+TEST(ClbReduction, Claim61EclbAnnotationInMSteps) {
+  Rng rng(17);
+  const std::uint64_t n = 256;
+  const auto inst = clb_instance(n, /*m=*/3, rng);
+  QsmMachine machine(
+      {.g = 2, .writes = WriteResolution::Random, .seed = 4});
+  Rng darts(18);
+  const auto sol = clb_via_lac(machine, inst, /*colour=*/2, darts);
+  ASSERT_TRUE(sol.ok);
+
+  const auto ecl = eclb_annotate(machine, inst, sol);
+  ASSERT_TRUE(ecl.ok);
+  EXPECT_EQ(ecl.phases, 3u);  // exactly m additional steps (Claim 6.1)
+  EXPECT_TRUE(eclb_valid(machine, inst, sol, ecl));
+  // Contention stayed at 1: each row processor writes its own cells.
+  for (std::size_t i = machine.phases() - ecl.phases;
+       i < machine.phases(); ++i)
+    EXPECT_EQ(machine.trace().phases[i].stats.kappa(), 1u);
+}
+
+TEST(ClbInstance, ColourCountsConcentrate) {
+  // With 8m colours over n groups the expected count per colour is
+  // n/(8m); the LAC reduction needs <= n/(4m) w.h.p. (Theorem 6.1).
+  Rng rng(9);
+  const std::uint64_t n = 4096;
+  const auto m_param = clb_m_for(n);
+  const auto inst = clb_instance(n, m_param, rng);
+  for (std::uint32_t c = 0; c < inst.colours; ++c)
+    EXPECT_LE(inst.count_colour(c), n / (4 * m_param));
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,94 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace parbounds {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i)
+    if (a2.next() != c.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(13);
+  int ones = 0;
+  for (int i = 0; i < 20000; ++i) ones += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(ones / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(3);
+  for (const std::uint32_t n : {1u, 2u, 17u, 256u}) {
+    auto p = rng.permutation(n);
+    std::sort(p.begin(), p.end());
+    for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(p[i], i);
+  }
+}
+
+TEST(Rng, PermutationLooksShuffled) {
+  Rng rng(9);
+  const auto p = rng.permutation(1000);
+  std::uint32_t fixed = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    if (p[i] == i) ++fixed;
+  EXPECT_LT(fixed, 20u);  // expected ~1 fixed point
+}
+
+TEST(Rng, SplitDiverges) {
+  Rng a(100);
+  Rng b = a.split();
+  bool differs = false;
+  for (int i = 0; i < 50; ++i)
+    if (a.next() != b.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, Splitmix64KnownBehaviour) {
+  std::uint64_t s1 = 0, s2 = 0;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_EQ(a, b);               // same state, same output
+  EXPECT_NE(splitmix64(s1), a);  // state advanced
+}
+
+}  // namespace
+}  // namespace parbounds

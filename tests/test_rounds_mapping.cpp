@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "algos/parity.hpp"
+#include "algos/prefix.hpp"
+#include "algos/reduce.hpp"
+#include "core/mapping.hpp"
+#include "core/rounds.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+// ----- round audits on synthetic traces --------------------------------------
+
+ExecutionTrace synthetic(std::uint64_t g,
+                         std::initializer_list<std::uint64_t> costs) {
+  ExecutionTrace t;
+  t.kind = ExecutionTrace::Kind::Qsm;
+  t.g = g;
+  for (const auto c : costs) {
+    PhaseTrace ph;
+    ph.cost = c;
+    t.phases.push_back(ph);
+  }
+  return t;
+}
+
+TEST(Rounds, QsmAuditCountsViolations) {
+  const auto t = synthetic(2, {10, 64, 10});
+  // budget = slack * g * n/p = 4 * 2 * 8 = 64 for n=64, p=8.
+  const auto audit = audit_rounds_qsm(t, 64, 8, 4);
+  EXPECT_EQ(audit.rounds, 3u);
+  EXPECT_EQ(audit.violations, 0u);
+  EXPECT_EQ(audit.max_phase_cost, 64u);
+
+  const auto strict = audit_rounds_qsm(t, 64, 8, 1);  // budget 16
+  EXPECT_EQ(strict.violations, 1u);
+  EXPECT_FALSE(strict.all_rounds());
+}
+
+TEST(Rounds, GsmAuditUsesMuOverLambda) {
+  ExecutionTrace t;
+  t.kind = ExecutionTrace::Kind::Gsm;
+  PhaseTrace ph;
+  ph.cost = 100;
+  t.phases.push_back(ph);
+  // mu = 4, lambda = 2, n = 100, p = 10: budget = slack*4*ceil(100/20) = 20*slack
+  const auto a = audit_rounds_gsm(t, 100, 10, 4, 2, 4);
+  EXPECT_EQ(a.budget, 80u);
+  EXPECT_EQ(a.violations, 1u);
+}
+
+TEST(Rounds, LinearWorkCheck) {
+  const auto t = synthetic(2, {8, 8});
+  EXPECT_TRUE(is_linear_work_qsm(t, 64, 8, 4));   // work 128 <= 4*2*64
+  EXPECT_FALSE(is_linear_work_qsm(t, 8, 64, 1));  // work 1024 > 2*8
+}
+
+// ----- round structure of the real round algorithms ---------------------------
+
+struct RoundsCase {
+  std::uint64_t n, p, g;
+};
+
+class RoundAlgos : public ::testing::TestWithParam<RoundsCase> {};
+
+TEST_P(RoundAlgos, ReduceRoundsIsAllRounds) {
+  const auto [n, p, g] = GetParam();
+  QsmMachine m({.g = g});
+  Rng rng(5);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  const Word result = reduce_rounds(m, in, n, p, Combine::Xor);
+
+  Word expect = 0;
+  for (const Word v : input) expect ^= v;
+  EXPECT_EQ(result, expect);
+
+  const auto audit = audit_rounds_qsm(m.trace(), n, p, 4);
+  EXPECT_TRUE(audit.all_rounds())
+      << "worst ratio " << audit.worst_ratio << " n=" << n << " p=" << p;
+}
+
+TEST_P(RoundAlgos, PrefixRoundsIsAllRounds) {
+  const auto [n, p, g] = GetParam();
+  QsmMachine m({.g = g});
+  Rng rng(6);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  const Addr out = qsm_prefix_rounds(m, in, n, p);
+
+  Word acc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(m.peek(out + i), acc) << "at " << i;
+    acc += input[i];
+  }
+  const auto audit = audit_rounds_qsm(m.trace(), n, p, 6);
+  EXPECT_TRUE(audit.all_rounds()) << "worst ratio " << audit.worst_ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundAlgos,
+    ::testing::Values(RoundsCase{256, 16, 1}, RoundsCase{256, 16, 4},
+                      RoundsCase{1024, 32, 2}, RoundsCase{4096, 64, 1},
+                      RoundsCase{100, 10, 3}, RoundsCase{512, 2, 2}));
+
+// ----- Claim 2.1 mapping ------------------------------------------------------
+
+TEST(Mapping, GsmPhaseCostFormula) {
+  PhaseStats st;
+  st.m_rw = 5;
+  st.kappa_r = 7;
+  // alpha=2, beta=3: b = max(1, ceil(5/2), ceil(7/3)) = 3; mu = 3.
+  EXPECT_EQ(gsm_phase_cost(st, 2, 3), 9u);
+}
+
+class MappingClaim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MappingClaim, QsmTraceReplaysCheaperOnGsm) {
+  const std::uint64_t g = GetParam();
+  QsmMachine m({.g = g});
+  Rng rng(8);
+  const auto input = bernoulli_array(512, 0.5, rng);
+  const Addr in = m.alloc(512);
+  m.preload(in, input);
+  parity_tree(m, in, 512, 4);
+  const auto rep = check_claim21(m.trace());
+  EXPECT_TRUE(rep.holds(2.01)) << "ratio " << rep.ratio;
+}
+
+TEST_P(MappingClaim, SQsmTraceReplaysCheaperOnGsm) {
+  const std::uint64_t g = GetParam();
+  QsmMachine m({.g = g, .model = CostModel::SQsm});
+  Rng rng(9);
+  const auto input = bernoulli_array(512, 0.5, rng);
+  const Addr in = m.alloc(512);
+  m.preload(in, input);
+  parity_tree(m, in, 512, 2);
+  const auto rep = check_claim21(m.trace());
+  EXPECT_TRUE(rep.holds(1.01)) << "ratio " << rep.ratio;
+}
+
+TEST_P(MappingClaim, BspTraceReplaysCheaperOnGsm) {
+  const std::uint64_t g = GetParam();
+  BspMachine m({.p = 32, .g = g, .L = 8 * g});
+  Rng rng(10);
+  const auto input = bernoulli_array(2048, 0.5, rng);
+  parity_bsp(m, input);
+  const auto rep = check_claim21(m.trace());
+  EXPECT_TRUE(rep.holds(2.01)) << "ratio " << rep.ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, MappingClaim,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Mapping, GsmTraceRejected) {
+  ExecutionTrace t;
+  t.kind = ExecutionTrace::Kind::Gsm;
+  EXPECT_THROW(check_claim21(t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parbounds

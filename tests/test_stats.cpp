@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace parbounds {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 9.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, LinearFitExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, LinearFitDegenerate) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{2.0};
+  const auto fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(Stats, ChiSquareZeroWhenEqual) {
+  const std::vector<double> o{10, 20, 30};
+  EXPECT_DOUBLE_EQ(chi_square(o, o), 0.0);
+}
+
+TEST(Stats, ChiSquarePositiveWhenDifferent) {
+  const std::vector<double> o{15, 15, 30};
+  const std::vector<double> e{10, 20, 30};
+  EXPECT_NEAR(chi_square(o, e), 25.0 / 10 + 25.0 / 20, 1e-9);
+}
+
+TEST(Stats, BinomialZ) {
+  // 5000 of 10000 at p = 0.5 is dead centre.
+  EXPECT_NEAR(binomial_z(5000, 10000, 0.5), 0.0, 1e-9);
+  // 6000 of 10000 at p = 0.5 is a 20-sigma deviation.
+  EXPECT_NEAR(binomial_z(6000, 10000, 0.5), 20.0, 1e-6);
+  EXPECT_DOUBLE_EQ(binomial_z(0, 0, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace parbounds

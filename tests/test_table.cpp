@@ -1,0 +1,39 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parbounds {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"problem", "n", "cost"});
+  t.add_row({"parity", "1024", "40"});
+  t.add_row({"or", "2", "8"});
+  const auto s = t.render();
+  // Header, rule, two rows.
+  EXPECT_NE(s.find("problem  n     cost"), std::string::npos);
+  EXPECT_NE(s.find("parity   1024  40"), std::string::npos);
+  EXPECT_NE(s.find("or       2     8"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::integer(123456), "123456");
+}
+
+TEST(Banner, ContainsTitle) {
+  const auto b = banner("Table 1 (QSM)");
+  EXPECT_NE(b.find("Table 1 (QSM)"), std::string::npos);
+  EXPECT_NE(b.find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,133 @@
+#include "adversary/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "adversary/or_adversary.hpp"
+
+namespace parbounds {
+namespace {
+
+// A two-phase toy: processor 0 reads input cell 0 and copies it to an
+// output cell; processor 1 reads input cell 1 and does nothing with it.
+void copy_algo(GsmMachine& m, std::span<const Word> input) {
+  const Addr in = m.alloc(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    m.preload(in + i, std::vector<Word>{input[i]});
+  const Addr out = m.alloc(1);
+  m.begin_phase();
+  m.read(0, in + 0);
+  m.read(1, in + 1);
+  m.commit_phase();
+  m.begin_phase();
+  const Word v = m.inbox(0)[0].empty() ? 0 : m.inbox(0)[0][0];
+  m.write(0, out, v);
+  m.commit_phase();
+}
+
+TEST(TraceAnalysis, KnowSetsAreMinimal) {
+  TraceAnalysis ta([](GsmMachine& m, std::span<const Word> in) {
+    copy_algo(m, in);
+  },
+                   GsmConfig{}, 3, PartialInputMap::all_unset(3));
+  EXPECT_EQ(ta.free_count(), 3u);
+  EXPECT_EQ(ta.phases(), 2u);
+
+  // Processor 0 knows input 0 only; processor 1 knows input 1 only;
+  // nobody ever learns input 2.
+  const auto p0 = ta.entity_index({false, 0});
+  const auto p1 = ta.entity_index({false, 1});
+  EXPECT_EQ(ta.know(p0, 1), (std::vector<unsigned>{0}));
+  EXPECT_EQ(ta.know(p1, 1), (std::vector<unsigned>{1}));
+  EXPECT_EQ(ta.know(p0, 0), (std::vector<unsigned>{}));  // before any read
+
+  EXPECT_EQ(ta.aff_proc_count(0, 1), 1u);
+  EXPECT_EQ(ta.aff_proc_count(2, 2), 0u);
+}
+
+TEST(TraceAnalysis, StatesAndDegrees) {
+  TraceAnalysis ta([](GsmMachine& m, std::span<const Word> in) {
+    copy_algo(m, in);
+  },
+                   GsmConfig{}, 2, PartialInputMap::all_unset(2));
+  const auto p0 = ta.entity_index({false, 0});
+  EXPECT_EQ(ta.states_count(p0, 0), 1u);
+  EXPECT_EQ(ta.states_count(p0, 1), 2u);  // saw 0 or saw 1
+  EXPECT_EQ(ta.deg_states(p0, 1), 1u);    // chi is a single variable
+}
+
+TEST(TraceAnalysis, OutputCellOfOrTreeDependsOnEverything) {
+  const unsigned n = 4;
+  TraceAnalysis ta(
+      [](GsmMachine& m, std::span<const Word> in) {
+        gsm_or_tree(m, in, 2);
+      },
+      GsmConfig{}, n, PartialInputMap::all_unset(n));
+  const unsigned T = ta.phases();
+
+  // Find the cell whose Know set is all n inputs at the end — the output.
+  bool found = false;
+  for (std::size_t v = 0; v < ta.entities().size(); ++v) {
+    if (!ta.entities()[v].is_cell) continue;
+    if (ta.know(v, T).size() == n) {
+      found = true;
+      // OR's 0-certificate is everything, a 1-certificate is one bit.
+      EXPECT_EQ(ta.cert_at(v, T, 0), n);
+      EXPECT_EQ(ta.cert_at(v, T, 0b0001), 1u);
+      EXPECT_EQ(ta.deg_states(v, T), n);  // deg(OR_n) = n
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceAnalysis, RwAndContentionCounts) {
+  TraceAnalysis ta([](GsmMachine& m, std::span<const Word> in) {
+    copy_algo(m, in);
+  },
+                   GsmConfig{}, 2, PartialInputMap::all_unset(2));
+  const auto p0 = ta.entity_index({false, 0});
+  EXPECT_EQ(ta.rw_count(p0, 1, 0), 1u);
+  EXPECT_EQ(ta.max_rw(p0, 1), 1u);
+  EXPECT_EQ(ta.max_rw(p0, 2), 1u);  // the write
+  EXPECT_EQ(ta.big_steps(1, 0), 1u);
+}
+
+TEST(TraceAnalysis, PartialBaseRestrictsRefinements) {
+  PartialInputMap base(3);
+  base.set(0, 1);
+  TraceAnalysis ta([](GsmMachine& m, std::span<const Word> in) {
+    copy_algo(m, in);
+  },
+                   GsmConfig{}, 3, base);
+  EXPECT_EQ(ta.free_count(), 2u);
+  EXPECT_EQ(ta.refinements(), 4u);
+  // Processor 0 reads the FIXED input: a single state, Know empty.
+  const auto p0 = ta.entity_index({false, 0});
+  EXPECT_EQ(ta.states_count(p0, 1), 1u);
+  EXPECT_TRUE(ta.know(p0, 1).empty());
+}
+
+// ----- subcube certificates ----------------------------------------------------
+
+TEST(SubcubeCertificate, KnownColourings) {
+  // Parity colouring: every point needs all coordinates fixed.
+  const auto parity = [](std::uint32_t x) {
+    return static_cast<std::uint32_t>(std::popcount(x) & 1);
+  };
+  for (std::uint32_t r = 0; r < 16; ++r)
+    EXPECT_EQ(subcube_certificate(4, parity, r), 4u);
+
+  // First-bit colouring: one coordinate suffices.
+  const auto bit0 = [](std::uint32_t x) { return x & 1u; };
+  EXPECT_EQ(subcube_certificate(4, bit0, 0), 1u);
+  EXPECT_EQ(subcube_certificate_set(4, bit0, 0), 1u);  // set = {0}
+
+  // Constant colouring: empty certificate.
+  const auto c = [](std::uint32_t) { return 7u; };
+  EXPECT_EQ(subcube_certificate(4, c, 9), 0u);
+  EXPECT_EQ(subcube_certificate_set(4, c, 9), 0u);
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,78 @@
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algos/parity.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+ExecutionTrace sample_trace() {
+  QsmMachine m({.g = 4, .model = CostModel::SQsm});
+  Rng rng(1);
+  const auto input = bernoulli_array(64, 0.5, rng);
+  const Addr in = m.alloc(64);
+  m.preload(in, input);
+  parity_tree(m, in, 64);
+  return m.trace();
+}
+
+TEST(TraceIo, RoundTripPreservesEverySerializedField) {
+  const auto t = sample_trace();
+  const auto csv = trace_to_csv(t);
+  const auto back = trace_from_csv(csv);
+
+  EXPECT_EQ(back.kind, t.kind);
+  EXPECT_EQ(back.g, t.g);
+  EXPECT_EQ(back.L, t.L);
+  ASSERT_EQ(back.phases.size(), t.phases.size());
+  EXPECT_EQ(back.total_cost(), t.total_cost());
+  for (std::size_t i = 0; i < t.phases.size(); ++i) {
+    EXPECT_EQ(back.phases[i].cost, t.phases[i].cost);
+    EXPECT_EQ(back.phases[i].stats.m_rw, t.phases[i].stats.m_rw);
+    EXPECT_EQ(back.phases[i].stats.kappa_r, t.phases[i].stats.kappa_r);
+    EXPECT_EQ(back.phases[i].h, t.phases[i].h);
+  }
+}
+
+TEST(TraceIo, CsvShapeIsStable) {
+  const auto csv = trace_to_csv(sample_trace());
+  EXPECT_EQ(csv.find("kind,g,d,L,phases,total_cost"), 0u);
+  EXPECT_NE(csv.find("s-QSM,4,"), std::string::npos);
+  EXPECT_NE(csv.find("phase,cost,m_op,m_rw"), std::string::npos);
+}
+
+TEST(TraceIo, SummaryReadsWell) {
+  const auto s = trace_summary(sample_trace());
+  EXPECT_NE(s.find("s-QSM g=4"), std::string::npos);
+  EXPECT_NE(s.find("phases"), std::string::npos);
+}
+
+TEST(TraceIo, MalformedInputRejected) {
+  EXPECT_THROW(trace_from_csv(""), std::invalid_argument);
+  EXPECT_THROW(trace_from_csv("hello\nworld\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_csv("kind,g,d,L,phases,total_cost\nZZZ,1,1,0,0,0\n"
+                              "phase,cost,m_op,m_rw,kappa_r,kappa_w,h,reads,"
+                              "writes,ops\n"),
+               std::invalid_argument);
+  // Truncated phase rows.
+  EXPECT_THROW(trace_from_csv("kind,g,d,L,phases,total_cost\nQSM,1,1,0,2,8\n"
+                              "phase,cost,m_op,m_rw,kappa_r,kappa_w,h,reads,"
+                              "writes,ops\n1,4,0,1,1,1,0,2,0,0\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, BspTraceCarriesL) {
+  BspMachine m({.p = 4, .g = 2, .L = 16});
+  m.begin_superstep();
+  m.send(0, 1, 5);
+  m.commit_superstep();
+  const auto back = trace_from_csv(trace_to_csv(m.trace()));
+  EXPECT_EQ(back.kind, ExecutionTrace::Kind::Bsp);
+  EXPECT_EQ(back.L, 16u);
+  EXPECT_EQ(back.phases[0].h, 1u);
+}
+
+}  // namespace
+}  // namespace parbounds

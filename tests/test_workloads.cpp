@@ -1,0 +1,93 @@
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace parbounds {
+namespace {
+
+TEST(Workloads, BooleanArrayOnesCount) {
+  Rng rng(1);
+  for (const std::uint64_t ones : {0ull, 1ull, 32ull, 64ull}) {
+    const auto v = boolean_array(64, ones, rng);
+    std::uint64_t c = 0;
+    for (const Word x : v) c += (x != 0);
+    EXPECT_EQ(c, ones);
+  }
+  EXPECT_THROW(boolean_array(4, 5, rng), std::invalid_argument);
+}
+
+TEST(Workloads, BernoulliRateApproximate) {
+  Rng rng(2);
+  const auto v = bernoulli_array(20000, 0.3, rng);
+  std::uint64_t c = 0;
+  for (const Word x : v) c += (x != 0);
+  EXPECT_NEAR(static_cast<double>(c) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Workloads, LacInstanceDistinctItems) {
+  Rng rng(3);
+  const auto v = lac_instance(256, 40, rng);
+  std::set<Word> items;
+  for (const Word x : v)
+    if (x != 0) items.insert(x);
+  EXPECT_EQ(items.size(), 40u);
+  EXPECT_EQ(*items.begin(), 1);
+  EXPECT_EQ(*items.rbegin(), 40);
+}
+
+TEST(Workloads, LoadBalanceInstanceTotals) {
+  Rng rng(4);
+  const auto loads = load_balance_instance(64, 500, 8, rng);
+  std::uint64_t total = 0;
+  std::uint64_t nonzero = 0;
+  for (const auto l : loads) {
+    total += l;
+    nonzero += (l > 0);
+  }
+  EXPECT_EQ(total, 500u);
+  // skew 8: objects land on ~ n/8 = 8 processors.
+  EXPECT_LE(nonzero, 8u);
+}
+
+TEST(Workloads, PaddedSortInstanceRange) {
+  Rng rng(5);
+  const auto v = padded_sort_instance(1000, rng);
+  for (const Word x : v) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(static_cast<std::uint64_t>(x), kPaddedSortScale);
+  }
+}
+
+TEST(Workloads, ListInstanceIsASingleChain) {
+  Rng rng(6);
+  const auto li = list_instance(100, rng);
+  std::set<std::uint32_t> visited;
+  std::uint32_t v = li.head;
+  while (visited.insert(v).second) {
+    if (v == li.tail) break;
+    v = li.succ[v];
+  }
+  EXPECT_EQ(visited.size(), 100u);
+  EXPECT_EQ(li.succ[li.tail], li.tail);
+}
+
+TEST(Workloads, ClbInstanceShape) {
+  Rng rng(7);
+  const auto inst = clb_instance(256, 3, rng);
+  EXPECT_EQ(inst.colours, 24u);
+  EXPECT_EQ(inst.objects_per_group(), 12u);
+  EXPECT_EQ(inst.group_colour.size(), 256u);
+  for (const auto c : inst.group_colour) EXPECT_LT(c, inst.colours);
+}
+
+TEST(Workloads, ClbMForIsQuadrupleLog) {
+  // m = log log log log n, clamped to >= 1.
+  EXPECT_EQ(clb_m_for(16), 1u);
+  EXPECT_GE(clb_m_for(std::uint64_t{1} << 40), 1u);
+  EXPECT_LE(clb_m_for(std::uint64_t{1} << 63), 2u);
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,101 @@
+// Theorem 2.1 (the Yao-style bridge), executed exactly on a toy class of
+// algorithms. The theorem: for a T-step randomized algorithm, its success
+// probability S1 (over its coins, minimized over inputs) is at most S2,
+// the best success probability any T-step DETERMINISTIC algorithm attains
+// against a chosen input distribution.
+//
+// The toy class: "probe k of the n positions and answer the OR of what
+// you saw". A deterministic member is a fixed k-subset; a randomized
+// member draws its subset. We compute S1 and S2 EXACTLY (no sampling) for
+// the distribution D = uniform over the n inputs with exactly one 1 —
+// and watch the inequality hold with the exact values the theory
+// predicts (S1 <= k/n = S2), including the equality case for the
+// uniformly-random-subset algorithm.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "util/mathx.hpp"
+
+namespace parbounds {
+namespace {
+
+// Success of the deterministic probe-set S against input x (one-hot):
+// correct iff the probed OR equals the true OR (true OR = 1 always here),
+// i.e. iff S covers the hot position.
+double det_success_on_D(std::uint32_t S, unsigned n) {
+  unsigned hit = 0;
+  for (unsigned i = 0; i < n; ++i)
+    if (S & (1u << i)) ++hit;
+  return static_cast<double>(hit) / n;
+}
+
+// Randomized algorithm R = distribution over probe sets (uniform over all
+// k-subsets). Its success on a FIXED one-hot input x_i is the fraction of
+// k-subsets containing i, which is k/n by symmetry. S1 = min over inputs.
+double rand_success_worst_input(unsigned n, unsigned k) {
+  // Exact: count k-subsets containing position 0 over all k-subsets.
+  const std::uint32_t full = (1u << n) - 1;
+  std::uint64_t total = 0, covering = 0;
+  for (std::uint32_t S = 0; S <= full; ++S) {
+    if (static_cast<unsigned>(std::popcount(S)) != k) continue;
+    ++total;
+    if (S & 1u) ++covering;
+  }
+  return static_cast<double>(covering) / static_cast<double>(total);
+}
+
+TEST(YaoTheorem, S1AtMostS2Exactly) {
+  const unsigned n = 10;
+  for (unsigned k = 1; k <= n; ++k) {
+    // S2: best deterministic k-probe algorithm against D.
+    double s2 = 0.0;
+    const std::uint32_t full = (1u << n) - 1;
+    for (std::uint32_t S = 0; S <= full; ++S) {
+      if (static_cast<unsigned>(std::popcount(S)) != k) continue;
+      s2 = std::max(s2, det_success_on_D(S, n));
+    }
+    // S1: the uniform-subset randomized algorithm, worst input.
+    const double s1 = rand_success_worst_input(n, k);
+
+    EXPECT_LE(s1, s2 + 1e-12) << "k=" << k;
+    // And the exact values the theory predicts for this class:
+    EXPECT_NEAR(s1, static_cast<double>(k) / n, 1e-12);
+    EXPECT_NEAR(s2, static_cast<double>(k) / n, 1e-12);
+  }
+}
+
+TEST(YaoTheorem, BiasedRandomizedAlgorithmsAreStrictlyWorse) {
+  // A randomized algorithm that over-weights some positions has a WORSE
+  // worst-case input (the adversary picks an under-covered hot spot), so
+  // its S1 drops strictly below S2 — the inequality is not vacuous.
+  const unsigned n = 6, k = 2;
+  // Distribution: probe {0,1} with prob 3/4, {2,3} with prob 1/4.
+  // Success on one-hot input i: P(probe set covers i).
+  const double cover[6] = {0.75, 0.75, 0.25, 0.25, 0.0, 0.0};
+  double s1 = 1.0;
+  for (const double c : cover) s1 = std::min(s1, c);
+  const double s2 = static_cast<double>(k) / n;  // best deterministic
+  EXPECT_LT(s1, s2);
+}
+
+TEST(YaoTheorem, PointMassDistributionIsUseless) {
+  // Section 2.6's caveat: a distribution concentrated on one input lets a
+  // deterministic algorithm hard-code the answer, so S2 = 1 and the
+  // bridge yields nothing. Under a point mass on hot position 3, the
+  // success of probe-set S is 1 iff S covers position 3 — and the best
+  // deterministic single-probe algorithm probes exactly {3}.
+  auto success_under_point_mass = [](std::uint32_t S) {
+    return (S & (1u << 3)) ? 1.0 : 0.0;
+  };
+  double s2 = 0.0;
+  for (std::uint32_t S = 0; S < (1u << 8); ++S)
+    if (std::popcount(S) == 1)
+      s2 = std::max(s2, success_under_point_mass(S));
+  EXPECT_DOUBLE_EQ(s2, 1.0);  // vs k/n = 1/8 under the sensible D
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,0 +1,182 @@
+// bounds_cli — evaluate any of the paper's bound formulas from the shell.
+//
+//   $ bounds_cli list
+//   $ bounds_cli qsm-or-det 1048576 8
+//   $ bounds_cli bsp-parity-det 1048576 2 32 1024
+//   $ bounds_cli rounds-or-qsm 1048576 8 4096
+//
+// Arguments after the bound name are the formula's parameters in the
+// order documented by `list`. Values are the constant-free growth terms
+// (see bounds/*.hpp); useful for sizing experiments or sanity-checking a
+// machine configuration before a long simulation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bounds/gsm_bounds.hpp"
+#include "bounds/model_bounds.hpp"
+#include "bounds/qsm_gd_bounds.hpp"
+#include "bounds/upper_bounds.hpp"
+
+namespace bb = parbounds::bounds;
+
+namespace {
+
+struct Entry {
+  const char* args;   // human-readable parameter list
+  const char* cite;   // theorem / corollary
+  std::function<double(const std::vector<double>&)> eval;
+};
+
+const std::map<std::string, Entry>& registry() {
+  static const std::map<std::string, Entry> reg = {
+      // ----- QSM time ------------------------------------------------------
+      {"qsm-parity-det", {"n g", "Cor 3.1",
+        [](const auto& a) { return bb::qsm_parity_det_time(a[0], a[1]); }}},
+      {"qsm-parity-rand", {"n g p", "Thm 3.3",
+        [](const auto& a) {
+          return bb::qsm_parity_rand_time(a[0], a[1], a[2]);
+        }}},
+      {"qsm-or-det", {"n g", "Cor 7.2",
+        [](const auto& a) { return bb::qsm_or_det_time(a[0], a[1]); }}},
+      {"qsm-or-rand", {"n g", "Cor 7.1",
+        [](const auto& a) { return bb::qsm_or_rand_time(a[0], a[1]); }}},
+      {"qsm-lac-det", {"n g", "Cor 6.4",
+        [](const auto& a) { return bb::qsm_lac_det_time(a[0], a[1]); }}},
+      {"qsm-lac-rand", {"n g", "Cor 6.1",
+        [](const auto& a) { return bb::qsm_lac_rand_time(a[0], a[1]); }}},
+      {"qsm-broadcast", {"n g", "[AGMR97], cited Sec 1",
+        [](const auto& a) { return bb::qsm_broadcast_time(a[0], a[1]); }}},
+      // ----- s-QSM time ----------------------------------------------------
+      {"sqsm-parity-det", {"n g", "Cor 3.1 (Theta)",
+        [](const auto& a) { return bb::sqsm_parity_det_time(a[0], a[1]); }}},
+      {"sqsm-parity-rand", {"n g", "Cor 3.3",
+        [](const auto& a) { return bb::sqsm_parity_rand_time(a[0], a[1]); }}},
+      {"sqsm-or-det", {"n g", "Cor 7.2",
+        [](const auto& a) { return bb::sqsm_or_det_time(a[0], a[1]); }}},
+      {"sqsm-or-rand", {"n g", "Cor 7.1",
+        [](const auto& a) { return bb::sqsm_or_rand_time(a[0], a[1]); }}},
+      {"sqsm-lac-det", {"n g", "Cor 6.4",
+        [](const auto& a) { return bb::sqsm_lac_det_time(a[0], a[1]); }}},
+      {"sqsm-lac-rand", {"n g", "Cor 6.1",
+        [](const auto& a) { return bb::sqsm_lac_rand_time(a[0], a[1]); }}},
+      // ----- BSP time ------------------------------------------------------
+      {"bsp-parity-det", {"n g L p", "Cor 3.1 (Theta)",
+        [](const auto& a) {
+          return bb::bsp_parity_det_time(a[0], a[1], a[2], a[3]);
+        }}},
+      {"bsp-parity-rand", {"n g L p", "Cor 3.2",
+        [](const auto& a) {
+          return bb::bsp_parity_rand_time(a[0], a[1], a[2], a[3]);
+        }}},
+      {"bsp-or-det", {"n g L p", "Cor 7.2",
+        [](const auto& a) {
+          return bb::bsp_or_det_time(a[0], a[1], a[2], a[3]);
+        }}},
+      {"bsp-or-rand", {"n g L p", "Cor 7.1",
+        [](const auto& a) {
+          return bb::bsp_or_rand_time(a[0], a[1], a[2], a[3]);
+        }}},
+      {"bsp-lac-det", {"n g L p", "Cor 6.4",
+        [](const auto& a) {
+          return bb::bsp_lac_det_time(a[0], a[1], a[2], a[3]);
+        }}},
+      {"bsp-lac-rand", {"n g L p", "Cor 6.1",
+        [](const auto& a) {
+          return bb::bsp_lac_rand_time(a[0], a[1], a[2], a[3]);
+        }}},
+      // ----- rounds --------------------------------------------------------
+      {"rounds-or-qsm", {"n g p", "Cor 7.3 (Theta)",
+        [](const auto& a) { return bb::rounds_or_qsm(a[0], a[1], a[2]); }}},
+      {"rounds-or-sqsm", {"n p", "Cor 7.3 (Theta)",
+        [](const auto& a) { return bb::rounds_or_sqsm(a[0], a[1]); }}},
+      {"rounds-parity-qsm", {"n g p", "Thm 3.4",
+        [](const auto& a) {
+          return bb::rounds_parity_qsm(a[0], a[1], a[2]);
+        }}},
+      {"rounds-lac-qsm", {"n g p", "Thm 6.2",
+        [](const auto& a) { return bb::rounds_lac_qsm(a[0], a[1], a[2]); }}},
+      {"rounds-lac-sqsm", {"n p", "Cor 6.6",
+        [](const auto& a) { return bb::rounds_lac_sqsm(a[0], a[1]); }}},
+      // ----- GSM -----------------------------------------------------------
+      {"gsm-parity-det", {"n alpha beta gamma", "Thm 3.1",
+        [](const auto& a) {
+          return bb::gsm_parity_det_time(a[0], {a[1], a[2], a[3]});
+        }}},
+      {"gsm-or-det", {"n alpha beta gamma", "Thm 7.2",
+        [](const auto& a) {
+          return bb::gsm_or_det_time(a[0], {a[1], a[2], a[3]});
+        }}},
+      {"gsm-or-rand", {"n alpha beta gamma", "Thm 7.1",
+        [](const auto& a) {
+          return bb::gsm_or_rand_time(a[0], {a[1], a[2], a[3]});
+        }}},
+      {"gsm-lac-rand", {"n alpha beta gamma", "Thm 6.1",
+        [](const auto& a) {
+          return bb::gsm_lac_rand_time(a[0], {a[1], a[2], a[3]});
+        }}},
+      // ----- QSM(g,d), Claim 2.2 -------------------------------------------
+      {"qsmgd-parity-det", {"n g d", "Claim 2.2 + Thm 3.1",
+        [](const auto& a) {
+          return bb::qsm_gd_parity_det_time(a[0], a[1], a[2]);
+        }}},
+      {"qsmgd-or-det", {"n g d", "Claim 2.2 + Thm 7.2",
+        [](const auto& a) {
+          return bb::qsm_gd_or_det_time(a[0], a[1], a[2]);
+        }}},
+      // ----- Section 8 upper bounds ------------------------------------------
+      {"ub-parity-qsm", {"n g", "Sec 8",
+        [](const auto& a) { return bb::ub_parity_qsm(a[0], a[1]); }}},
+      {"ub-parity-sqsm", {"n g", "Sec 8 (Theta)",
+        [](const auto& a) { return bb::ub_parity_sqsm(a[0], a[1]); }}},
+      {"ub-lac-qsm", {"n g", "Sec 8",
+        [](const auto& a) { return bb::ub_lac_qsm(a[0], a[1]); }}},
+      {"ub-or-qsm", {"n g", "Sec 8",
+        [](const auto& a) { return bb::ub_or_qsm(a[0], a[1]); }}},
+  };
+  return reg;
+}
+
+unsigned count_args(const char* spec) {
+  unsigned c = spec[0] ? 1 : 0;
+  for (const char* p = spec; *p; ++p)
+    if (*p == ' ') ++c;
+  return c;
+}
+
+int list_all() {
+  std::printf("%-20s %-20s %s\n", "bound", "args", "paper source");
+  std::printf("%s\n", std::string(64, '-').c_str());
+  for (const auto& [name, e] : registry())
+    std::printf("%-20s %-20s %s\n", name.c_str(), e.args, e.cite);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "list") == 0 ||
+      std::strcmp(argv[1], "--help") == 0)
+    return list_all();
+
+  const auto it = registry().find(argv[1]);
+  if (it == registry().end()) {
+    std::fprintf(stderr, "unknown bound '%s'; try 'list'\n", argv[1]);
+    return 2;
+  }
+  const unsigned need = count_args(it->second.args);
+  if (static_cast<unsigned>(argc - 2) != need) {
+    std::fprintf(stderr, "%s expects %u args: %s\n", argv[1], need,
+                 it->second.args);
+    return 2;
+  }
+  std::vector<double> args;
+  for (int i = 2; i < argc; ++i) args.push_back(std::strtod(argv[i], nullptr));
+  std::printf("%.6g\n", it->second.eval(args));
+  return 0;
+}
