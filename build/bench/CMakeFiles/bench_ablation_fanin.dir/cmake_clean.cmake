@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fanin.dir/bench_ablation_fanin.cpp.o"
+  "CMakeFiles/bench_ablation_fanin.dir/bench_ablation_fanin.cpp.o.d"
+  "bench_ablation_fanin"
+  "bench_ablation_fanin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fanin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

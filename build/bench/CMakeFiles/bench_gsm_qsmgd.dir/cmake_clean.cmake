@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gsm_qsmgd.dir/bench_gsm_qsmgd.cpp.o"
+  "CMakeFiles/bench_gsm_qsmgd.dir/bench_gsm_qsmgd.cpp.o.d"
+  "bench_gsm_qsmgd"
+  "bench_gsm_qsmgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gsm_qsmgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_mapping.cpp" "bench/CMakeFiles/bench_mapping.dir/bench_mapping.cpp.o" "gcc" "bench/CMakeFiles/bench_mapping.dir/bench_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/parbounds_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/parbounds_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/parbounds_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parbounds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/parbounds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parbounds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/parbounds_boolfn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

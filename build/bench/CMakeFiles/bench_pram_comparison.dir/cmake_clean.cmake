@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pram_comparison.dir/bench_pram_comparison.cpp.o"
+  "CMakeFiles/bench_pram_comparison.dir/bench_pram_comparison.cpp.o.d"
+  "bench_pram_comparison"
+  "bench_pram_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pram_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

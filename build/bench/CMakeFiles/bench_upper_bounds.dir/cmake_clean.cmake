@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_upper_bounds.dir/bench_upper_bounds.cpp.o"
+  "CMakeFiles/bench_upper_bounds.dir/bench_upper_bounds.cpp.o.d"
+  "bench_upper_bounds"
+  "bench_upper_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upper_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_sample_sort.dir/bsp_sample_sort.cpp.o"
+  "CMakeFiles/bsp_sample_sort.dir/bsp_sample_sort.cpp.o.d"
+  "bsp_sample_sort"
+  "bsp_sample_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_sample_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

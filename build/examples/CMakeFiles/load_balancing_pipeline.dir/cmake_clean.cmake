@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancing_pipeline.dir/load_balancing_pipeline.cpp.o"
+  "CMakeFiles/load_balancing_pipeline.dir/load_balancing_pipeline.cpp.o.d"
+  "load_balancing_pipeline"
+  "load_balancing_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancing_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/adversary.cpp" "src/adversary/CMakeFiles/parbounds_adversary.dir/adversary.cpp.o" "gcc" "src/adversary/CMakeFiles/parbounds_adversary.dir/adversary.cpp.o.d"
+  "/root/repo/src/adversary/degree_argument.cpp" "src/adversary/CMakeFiles/parbounds_adversary.dir/degree_argument.cpp.o" "gcc" "src/adversary/CMakeFiles/parbounds_adversary.dir/degree_argument.cpp.o.d"
+  "/root/repo/src/adversary/goodness.cpp" "src/adversary/CMakeFiles/parbounds_adversary.dir/goodness.cpp.o" "gcc" "src/adversary/CMakeFiles/parbounds_adversary.dir/goodness.cpp.o.d"
+  "/root/repo/src/adversary/input_map.cpp" "src/adversary/CMakeFiles/parbounds_adversary.dir/input_map.cpp.o" "gcc" "src/adversary/CMakeFiles/parbounds_adversary.dir/input_map.cpp.o.d"
+  "/root/repo/src/adversary/or_adversary.cpp" "src/adversary/CMakeFiles/parbounds_adversary.dir/or_adversary.cpp.o" "gcc" "src/adversary/CMakeFiles/parbounds_adversary.dir/or_adversary.cpp.o.d"
+  "/root/repo/src/adversary/parity_adversary.cpp" "src/adversary/CMakeFiles/parbounds_adversary.dir/parity_adversary.cpp.o" "gcc" "src/adversary/CMakeFiles/parbounds_adversary.dir/parity_adversary.cpp.o.d"
+  "/root/repo/src/adversary/trace_analysis.cpp" "src/adversary/CMakeFiles/parbounds_adversary.dir/trace_analysis.cpp.o" "gcc" "src/adversary/CMakeFiles/parbounds_adversary.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/parbounds_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parbounds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/parbounds_boolfn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parbounds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/parbounds_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

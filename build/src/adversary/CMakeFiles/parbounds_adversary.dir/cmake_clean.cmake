@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbounds_adversary.dir/adversary.cpp.o"
+  "CMakeFiles/parbounds_adversary.dir/adversary.cpp.o.d"
+  "CMakeFiles/parbounds_adversary.dir/degree_argument.cpp.o"
+  "CMakeFiles/parbounds_adversary.dir/degree_argument.cpp.o.d"
+  "CMakeFiles/parbounds_adversary.dir/goodness.cpp.o"
+  "CMakeFiles/parbounds_adversary.dir/goodness.cpp.o.d"
+  "CMakeFiles/parbounds_adversary.dir/input_map.cpp.o"
+  "CMakeFiles/parbounds_adversary.dir/input_map.cpp.o.d"
+  "CMakeFiles/parbounds_adversary.dir/or_adversary.cpp.o"
+  "CMakeFiles/parbounds_adversary.dir/or_adversary.cpp.o.d"
+  "CMakeFiles/parbounds_adversary.dir/parity_adversary.cpp.o"
+  "CMakeFiles/parbounds_adversary.dir/parity_adversary.cpp.o.d"
+  "CMakeFiles/parbounds_adversary.dir/trace_analysis.cpp.o"
+  "CMakeFiles/parbounds_adversary.dir/trace_analysis.cpp.o.d"
+  "libparbounds_adversary.a"
+  "libparbounds_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbounds_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/broadcast.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/broadcast.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/broadcast.cpp.o.d"
+  "/root/repo/src/algos/bsp_prefix.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/bsp_prefix.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/bsp_prefix.cpp.o.d"
+  "/root/repo/src/algos/crcw_algos.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/crcw_algos.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/crcw_algos.cpp.o.d"
+  "/root/repo/src/algos/gsm_algos.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/gsm_algos.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/gsm_algos.cpp.o.d"
+  "/root/repo/src/algos/lac.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/lac.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/lac.cpp.o.d"
+  "/root/repo/src/algos/list_ranking.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/list_ranking.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/list_ranking.cpp.o.d"
+  "/root/repo/src/algos/load_balance.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/load_balance.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/load_balance.cpp.o.d"
+  "/root/repo/src/algos/or_func.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/or_func.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/or_func.cpp.o.d"
+  "/root/repo/src/algos/padded_sort.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/padded_sort.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/padded_sort.cpp.o.d"
+  "/root/repo/src/algos/parity.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/parity.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/parity.cpp.o.d"
+  "/root/repo/src/algos/prefix.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/prefix.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/prefix.cpp.o.d"
+  "/root/repo/src/algos/reduce.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/reduce.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/reduce.cpp.o.d"
+  "/root/repo/src/algos/reductions.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/reductions.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/reductions.cpp.o.d"
+  "/root/repo/src/algos/sorting.cpp" "src/algos/CMakeFiles/parbounds_algos.dir/sorting.cpp.o" "gcc" "src/algos/CMakeFiles/parbounds_algos.dir/sorting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/parbounds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parbounds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/parbounds_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

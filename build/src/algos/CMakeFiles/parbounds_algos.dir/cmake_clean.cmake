@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbounds_algos.dir/broadcast.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/broadcast.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/bsp_prefix.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/bsp_prefix.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/crcw_algos.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/crcw_algos.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/gsm_algos.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/gsm_algos.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/lac.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/lac.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/list_ranking.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/list_ranking.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/load_balance.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/load_balance.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/or_func.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/or_func.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/padded_sort.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/padded_sort.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/parity.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/parity.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/prefix.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/prefix.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/reduce.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/reduce.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/reductions.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/reductions.cpp.o.d"
+  "CMakeFiles/parbounds_algos.dir/sorting.cpp.o"
+  "CMakeFiles/parbounds_algos.dir/sorting.cpp.o.d"
+  "libparbounds_algos.a"
+  "libparbounds_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbounds_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolfn/boolfn.cpp" "src/boolfn/CMakeFiles/parbounds_boolfn.dir/boolfn.cpp.o" "gcc" "src/boolfn/CMakeFiles/parbounds_boolfn.dir/boolfn.cpp.o.d"
+  "/root/repo/src/boolfn/certificate.cpp" "src/boolfn/CMakeFiles/parbounds_boolfn.dir/certificate.cpp.o" "gcc" "src/boolfn/CMakeFiles/parbounds_boolfn.dir/certificate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parbounds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbounds_boolfn.dir/boolfn.cpp.o"
+  "CMakeFiles/parbounds_boolfn.dir/boolfn.cpp.o.d"
+  "CMakeFiles/parbounds_boolfn.dir/certificate.cpp.o"
+  "CMakeFiles/parbounds_boolfn.dir/certificate.cpp.o.d"
+  "libparbounds_boolfn.a"
+  "libparbounds_boolfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbounds_boolfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/gsm_bounds.cpp" "src/bounds/CMakeFiles/parbounds_bounds.dir/gsm_bounds.cpp.o" "gcc" "src/bounds/CMakeFiles/parbounds_bounds.dir/gsm_bounds.cpp.o.d"
+  "/root/repo/src/bounds/model_bounds.cpp" "src/bounds/CMakeFiles/parbounds_bounds.dir/model_bounds.cpp.o" "gcc" "src/bounds/CMakeFiles/parbounds_bounds.dir/model_bounds.cpp.o.d"
+  "/root/repo/src/bounds/qsm_gd_bounds.cpp" "src/bounds/CMakeFiles/parbounds_bounds.dir/qsm_gd_bounds.cpp.o" "gcc" "src/bounds/CMakeFiles/parbounds_bounds.dir/qsm_gd_bounds.cpp.o.d"
+  "/root/repo/src/bounds/upper_bounds.cpp" "src/bounds/CMakeFiles/parbounds_bounds.dir/upper_bounds.cpp.o" "gcc" "src/bounds/CMakeFiles/parbounds_bounds.dir/upper_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parbounds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

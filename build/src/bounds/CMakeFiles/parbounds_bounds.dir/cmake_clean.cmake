@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbounds_bounds.dir/gsm_bounds.cpp.o"
+  "CMakeFiles/parbounds_bounds.dir/gsm_bounds.cpp.o.d"
+  "CMakeFiles/parbounds_bounds.dir/model_bounds.cpp.o"
+  "CMakeFiles/parbounds_bounds.dir/model_bounds.cpp.o.d"
+  "CMakeFiles/parbounds_bounds.dir/qsm_gd_bounds.cpp.o"
+  "CMakeFiles/parbounds_bounds.dir/qsm_gd_bounds.cpp.o.d"
+  "CMakeFiles/parbounds_bounds.dir/upper_bounds.cpp.o"
+  "CMakeFiles/parbounds_bounds.dir/upper_bounds.cpp.o.d"
+  "libparbounds_bounds.a"
+  "libparbounds_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbounds_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

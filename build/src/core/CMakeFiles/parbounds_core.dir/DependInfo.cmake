@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bsp.cpp" "src/core/CMakeFiles/parbounds_core.dir/bsp.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/bsp.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/parbounds_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/crcw.cpp" "src/core/CMakeFiles/parbounds_core.dir/crcw.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/crcw.cpp.o.d"
+  "/root/repo/src/core/gsm.cpp" "src/core/CMakeFiles/parbounds_core.dir/gsm.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/gsm.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/parbounds_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/qsm.cpp" "src/core/CMakeFiles/parbounds_core.dir/qsm.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/qsm.cpp.o.d"
+  "/root/repo/src/core/rounds.cpp" "src/core/CMakeFiles/parbounds_core.dir/rounds.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/rounds.cpp.o.d"
+  "/root/repo/src/core/spmd.cpp" "src/core/CMakeFiles/parbounds_core.dir/spmd.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/spmd.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/parbounds_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/parbounds_core.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parbounds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbounds_core.dir/bsp.cpp.o"
+  "CMakeFiles/parbounds_core.dir/bsp.cpp.o.d"
+  "CMakeFiles/parbounds_core.dir/cost.cpp.o"
+  "CMakeFiles/parbounds_core.dir/cost.cpp.o.d"
+  "CMakeFiles/parbounds_core.dir/crcw.cpp.o"
+  "CMakeFiles/parbounds_core.dir/crcw.cpp.o.d"
+  "CMakeFiles/parbounds_core.dir/gsm.cpp.o"
+  "CMakeFiles/parbounds_core.dir/gsm.cpp.o.d"
+  "CMakeFiles/parbounds_core.dir/mapping.cpp.o"
+  "CMakeFiles/parbounds_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/parbounds_core.dir/qsm.cpp.o"
+  "CMakeFiles/parbounds_core.dir/qsm.cpp.o.d"
+  "CMakeFiles/parbounds_core.dir/rounds.cpp.o"
+  "CMakeFiles/parbounds_core.dir/rounds.cpp.o.d"
+  "CMakeFiles/parbounds_core.dir/spmd.cpp.o"
+  "CMakeFiles/parbounds_core.dir/spmd.cpp.o.d"
+  "CMakeFiles/parbounds_core.dir/trace_io.cpp.o"
+  "CMakeFiles/parbounds_core.dir/trace_io.cpp.o.d"
+  "libparbounds_core.a"
+  "libparbounds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbounds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparbounds_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbounds_util.dir/mathx.cpp.o"
+  "CMakeFiles/parbounds_util.dir/mathx.cpp.o.d"
+  "CMakeFiles/parbounds_util.dir/rng.cpp.o"
+  "CMakeFiles/parbounds_util.dir/rng.cpp.o.d"
+  "CMakeFiles/parbounds_util.dir/stats.cpp.o"
+  "CMakeFiles/parbounds_util.dir/stats.cpp.o.d"
+  "CMakeFiles/parbounds_util.dir/table.cpp.o"
+  "CMakeFiles/parbounds_util.dir/table.cpp.o.d"
+  "libparbounds_util.a"
+  "libparbounds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbounds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

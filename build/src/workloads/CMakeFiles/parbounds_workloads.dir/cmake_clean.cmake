@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbounds_workloads.dir/generators.cpp.o"
+  "CMakeFiles/parbounds_workloads.dir/generators.cpp.o.d"
+  "libparbounds_workloads.a"
+  "libparbounds_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbounds_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adversary.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_adversary.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_adversary.cpp.o.d"
+  "/root/repo/tests/test_boolfn.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_boolfn.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_boolfn.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_broadcast_prefix.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_broadcast_prefix.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_broadcast_prefix.cpp.o.d"
+  "/root/repo/tests/test_bsp.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_bsp.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_bsp.cpp.o.d"
+  "/root/repo/tests/test_bsp_prefix.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_bsp_prefix.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_bsp_prefix.cpp.o.d"
+  "/root/repo/tests/test_certificate.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_certificate.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_certificate.cpp.o.d"
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_cost.cpp.o.d"
+  "/root/repo/tests/test_crcw.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_crcw.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_crcw.cpp.o.d"
+  "/root/repo/tests/test_degree_argument.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_degree_argument.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_degree_argument.cpp.o.d"
+  "/root/repo/tests/test_erew.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_erew.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_erew.cpp.o.d"
+  "/root/repo/tests/test_fuzz_engine.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_fuzz_engine.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_fuzz_engine.cpp.o.d"
+  "/root/repo/tests/test_gsm.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_gsm.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_gsm.cpp.o.d"
+  "/root/repo/tests/test_gsm_lac.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_gsm_lac.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_gsm_lac.cpp.o.d"
+  "/root/repo/tests/test_input_map.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_input_map.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_input_map.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lac.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_lac.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_lac.cpp.o.d"
+  "/root/repo/tests/test_lb_ps.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_lb_ps.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_lb_ps.cpp.o.d"
+  "/root/repo/tests/test_listrank_sort.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_listrank_sort.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_listrank_sort.cpp.o.d"
+  "/root/repo/tests/test_mathx.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_mathx.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_mathx.cpp.o.d"
+  "/root/repo/tests/test_or.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_or.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_or.cpp.o.d"
+  "/root/repo/tests/test_or_adversary.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_or_adversary.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_or_adversary.cpp.o.d"
+  "/root/repo/tests/test_parity.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_parity.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_parity.cpp.o.d"
+  "/root/repo/tests/test_parity_adversary.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_parity_adversary.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_parity_adversary.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_qsm.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_qsm.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_qsm.cpp.o.d"
+  "/root/repo/tests/test_qsm_gd.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_qsm_gd.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_qsm_gd.cpp.o.d"
+  "/root/repo/tests/test_reduce.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_reduce.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_reduce.cpp.o.d"
+  "/root/repo/tests/test_reductions.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_reductions.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_reductions.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_round_mapping.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_round_mapping.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_round_mapping.cpp.o.d"
+  "/root/repo/tests/test_rounds_mapping.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_rounds_mapping.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_rounds_mapping.cpp.o.d"
+  "/root/repo/tests/test_spmd.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_spmd.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_spmd.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace_analysis.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_trace_analysis.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_trace_analysis.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_violations.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_violations.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_violations.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_workloads.cpp.o.d"
+  "/root/repo/tests/test_yao.cpp" "tests/CMakeFiles/parbounds_tests.dir/test_yao.cpp.o" "gcc" "tests/CMakeFiles/parbounds_tests.dir/test_yao.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/parbounds_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/parbounds_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/parbounds_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolfn/CMakeFiles/parbounds_boolfn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parbounds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/parbounds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parbounds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

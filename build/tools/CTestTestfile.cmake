@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bounds_cli_list "/root/repo/build/tools/bounds_cli" "list")
+set_tests_properties(bounds_cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bounds_cli_eval "/root/repo/build/tools/bounds_cli" "qsm-or-det" "1048576" "8")
+set_tests_properties(bounds_cli_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bounds_cli_bad "/root/repo/build/tools/bounds_cli" "nonsense")
+set_tests_properties(bounds_cli_bad PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
