@@ -1,0 +1,98 @@
+#include "analysis/finding.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace parbounds::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+// Rule ids and messages are ASCII identifiers / prose from this
+// repository; escape the JSON-significant characters anyway so the
+// output is always well-formed.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Finding::to_json() const {
+  std::string out = "{\"rule\":";
+  append_json_string(out, rule);
+  out += ",\"severity\":";
+  append_json_string(out, severity_name(severity));
+  out += ",\"phase\":";
+  out += (phase == kNoPhase) ? "null" : std::to_string(phase);
+  out += ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(cells[i]);
+  }
+  out += "],\"message\":";
+  append_json_string(out, message);
+  out += '}';
+  return out;
+}
+
+std::size_t Report::errors() const {
+  std::size_t n = 0;
+  for (const auto& f : findings)
+    if (f.severity == Severity::Error) ++n;
+  return n;
+}
+
+std::size_t Report::count(const std::string& rule) const {
+  std::size_t n = 0;
+  for (const auto& f : findings)
+    if (f.rule == rule) ++n;
+  return n;
+}
+
+void Report::merge(Report other) {
+  findings.insert(findings.end(),
+                  std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+}
+
+void Report::write_jsonl(std::ostream& os) const {
+  for (const auto& f : findings) os << f.to_json() << '\n';
+}
+
+std::string Report::to_jsonl() const {
+  std::ostringstream os;
+  write_jsonl(os);
+  return os.str();
+}
+
+}  // namespace parbounds::analysis

@@ -1,0 +1,52 @@
+#pragma once
+// parlint findings: the unit of output of every analysis rule.
+//
+// A Finding names the rule that fired, the phase it fired on, the cells
+// (or BSP destination components) involved, and a human-readable
+// message. Reports serialize to JSON lines — one object per finding —
+// so downstream tooling can consume `parlint_cli` output without a
+// JSON-library dependency on either side.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace parbounds::analysis {
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+const char* severity_name(Severity s);
+
+struct Finding {
+  std::string rule;          ///< stable rule id, e.g. "race.rw-mix"
+  Severity severity = Severity::Error;
+  std::uint64_t phase = 0;   ///< 0-based phase index; kNoPhase if trace-level
+  std::vector<Addr> cells;   ///< cells (or BSP components) involved
+  std::string message;
+
+  static constexpr std::uint64_t kNoPhase = ~std::uint64_t{0};
+
+  /// One JSON object: {"rule":...,"severity":...,"phase":...,
+  /// "cells":[...],"message":...}. Trace-level findings emit phase:null.
+  std::string to_json() const;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+
+  bool clean() const { return findings.empty(); }
+  std::size_t errors() const;
+  std::size_t count(const std::string& rule) const;
+
+  void add(Finding f) { findings.push_back(std::move(f)); }
+  void merge(Report other);
+
+  /// One finding per line; deterministic order (as recorded).
+  void write_jsonl(std::ostream& os) const;
+  std::string to_jsonl() const;
+};
+
+}  // namespace parbounds::analysis

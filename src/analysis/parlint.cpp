@@ -1,0 +1,47 @@
+#include "analysis/parlint.hpp"
+
+#include <stdexcept>
+
+namespace parbounds::analysis {
+
+Linter::Linter(LintConfig cfg) : cfg_(cfg), rules_(default_rules()) {}
+
+Linter::Linter(Empty, LintConfig cfg) : cfg_(cfg) {}
+
+void Linter::add_rule(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+Report Linter::run(const ExecutionTrace& t) const {
+  Report out;
+  for (std::size_t i = 0; i < t.phases.size(); ++i) run_phase(t, i, out);
+  run_trace_checks(t, out);
+  return out;
+}
+
+void Linter::run_phase(const ExecutionTrace& t, std::size_t index,
+                       Report& out) const {
+  for (const auto& rule : rules_) rule->check_phase(t, index, cfg_, out);
+}
+
+void Linter::run_trace_checks(const ExecutionTrace& t, Report& out) const {
+  for (const auto& rule : rules_) rule->check_trace(t, cfg_, out);
+}
+
+InlineLinter::InlineLinter(LintConfig cfg, bool throw_on_error)
+    : linter_(cfg), throw_on_error_(throw_on_error) {}
+
+void InlineLinter::on_phase_committed(const ExecutionTrace& t,
+                                      std::size_t index) {
+  const std::size_t before = report_.findings.size();
+  linter_.run_phase(t, index, report_);
+  if (!throw_on_error_) return;
+  for (std::size_t i = before; i < report_.findings.size(); ++i) {
+    const Finding& f = report_.findings[i];
+    if (f.severity == Severity::Error)
+      throw std::runtime_error("parlint[" + f.rule + "] phase " +
+                               std::to_string(f.phase) + ": " + f.message);
+  }
+}
+
+}  // namespace parbounds::analysis

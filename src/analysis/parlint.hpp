@@ -1,0 +1,72 @@
+#pragma once
+// parlint: run a rule set over an execution trace, post-mortem or
+// inline.
+//
+//   Linter lint(cfg);                    // default rule set
+//   Report r = lint.run(machine.trace());
+//   if (!r.clean()) std::cout << r.to_jsonl();
+//
+// or hook the checks into a live machine so every commit is audited as
+// it happens:
+//
+//   InlineLinter watch(cfg);
+//   machine.set_observer(&watch);
+//   ... drive the machine ...
+//   watch.report();                      // findings so far
+
+#include <memory>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "core/observer.hpp"
+
+namespace parbounds::analysis {
+
+class Linter {
+ public:
+  /// A linter with the default rule set.
+  explicit Linter(LintConfig cfg = {});
+  /// A linter with no rules; add them with add_rule.
+  struct Empty {};
+  Linter(Empty, LintConfig cfg);
+
+  void add_rule(std::unique_ptr<Rule> rule);
+  const LintConfig& config() const { return cfg_; }
+
+  /// Run every rule over every phase, then the trace-level checks.
+  Report run(const ExecutionTrace& t) const;
+
+  /// Run the per-phase rules on one phase (inline mode building block).
+  void run_phase(const ExecutionTrace& t, std::size_t index,
+                 Report& out) const;
+
+  /// Run only the trace-level checks.
+  void run_trace_checks(const ExecutionTrace& t, Report& out) const;
+
+ private:
+  LintConfig cfg_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// AnalysisObserver adapter: audits every phase as the engine commits
+/// it. With throw_on_error, the first Error finding raises
+/// ModelViolation-style feedback at the exact phase that produced it
+/// (the exception type is std::runtime_error to keep analysis/
+/// independent of engine headers' throw conventions).
+class InlineLinter final : public AnalysisObserver {
+ public:
+  explicit InlineLinter(LintConfig cfg = {}, bool throw_on_error = false);
+
+  void on_phase_committed(const ExecutionTrace& t,
+                          std::size_t index) override;
+
+  const Report& report() const { return report_; }
+  Report take_report() { return std::move(report_); }
+
+ private:
+  Linter linter_;
+  bool throw_on_error_;
+  Report report_;
+};
+
+}  // namespace parbounds::analysis

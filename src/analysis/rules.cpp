@@ -1,0 +1,311 @@
+#include "analysis/rules.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/mathx.hpp"
+
+namespace parbounds::analysis {
+
+void Rule::check_trace(const ExecutionTrace&, const LintConfig&,
+                       Report&) const {}
+
+std::optional<CostModel> effective_model(const ExecutionTrace& t,
+                                         const LintConfig& cfg) {
+  if (cfg.model.has_value()) return cfg.model;
+  switch (t.kind) {
+    case ExecutionTrace::Kind::Qsm:
+      return CostModel::Qsm;
+    case ExecutionTrace::Kind::SQsm:
+      return CostModel::SQsm;
+    case ExecutionTrace::Kind::QsmGd:
+      return CostModel::QsmGd;
+    case ExecutionTrace::Kind::Bsp:
+    case ExecutionTrace::Kind::Gsm:
+      return std::nullopt;  // audited with their own formulas
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool is_shared_memory(const ExecutionTrace& t) {
+  return t.kind != ExecutionTrace::Kind::Bsp;
+}
+
+struct CellCounts {
+  std::unordered_map<Addr, std::uint64_t> readers;
+  std::unordered_map<Addr, std::uint64_t> writers;
+};
+
+CellCounts count_cells(const PhaseTrace& ph) {
+  CellCounts c;
+  for (const auto& e : ph.events)
+    ++(e.is_write ? c.writers : c.readers)[e.addr];
+  return c;
+}
+
+std::vector<Addr> sorted_keys(
+    const std::vector<Addr>& cells) {
+  std::vector<Addr> out = cells;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+// ----- race ------------------------------------------------------------------
+
+void RaceRule::check_phase(const ExecutionTrace& t, std::size_t index,
+                           const LintConfig& cfg, Report& out) const {
+  if (!is_shared_memory(t)) return;  // BSP sends are not cell accesses
+  const PhaseTrace& ph = t.phases[index];
+
+  if (ph.events.empty()) {
+    // No detail events: exclusivity is still checkable from the summary.
+    if (cfg.erew && ph.stats.kappa() > 1) {
+      out.add({"race.exclusive",
+               Severity::Error,
+               index,
+               {},
+               "EREW run has contention " +
+                   std::to_string(ph.stats.kappa()) +
+                   " (recorded kappa; no events to localize)"});
+    }
+    return;
+  }
+
+  const CellCounts c = count_cells(ph);
+
+  // Queue rule (Section 2.1 / 2.2): reads XOR writes per cell per phase.
+  std::vector<Addr> mixed;
+  for (const auto& [a, cnt] : c.readers) {
+    (void)cnt;
+    if (c.writers.count(a) != 0) mixed.push_back(a);
+  }
+  if (!mixed.empty()) {
+    out.add({"race.rw-mix", Severity::Error, index, sorted_keys(mixed),
+             std::to_string(mixed.size()) +
+                 " cell(s) both read and written in one phase"});
+  }
+
+  // EREW discipline: no concurrent access at all.
+  if (cfg.erew) {
+    std::vector<Addr> contended;
+    for (const auto& [a, cnt] : c.readers)
+      if (cnt > 1) contended.push_back(a);
+    for (const auto& [a, cnt] : c.writers)
+      if (cnt > 1) contended.push_back(a);
+    if (!contended.empty()) {
+      out.add({"race.exclusive", Severity::Error, index,
+               sorted_keys(contended),
+               std::to_string(contended.size()) +
+                   " cell(s) accessed concurrently on an EREW run"});
+    }
+  }
+}
+
+// ----- audit.kappa ------------------------------------------------------------
+
+void KappaAuditRule::check_phase(const ExecutionTrace& t, std::size_t index,
+                                 const LintConfig&, Report& out) const {
+  const PhaseTrace& ph = t.phases[index];
+  if (ph.events.empty()) return;
+  const PhaseStats& st = ph.stats;
+
+  std::string drift;
+  auto expect = [&drift](const char* what, std::uint64_t recorded,
+                         std::uint64_t derived) {
+    if (recorded == derived) return;
+    if (!drift.empty()) drift += "; ";
+    drift += std::string(what) + " recorded " + std::to_string(recorded) +
+             " but events give " + std::to_string(derived);
+  };
+
+  std::uint64_t n_reads = 0, n_writes = 0;
+  for (const auto& e : ph.events) (e.is_write ? n_writes : n_reads) += 1;
+
+  if (t.kind == ExecutionTrace::Kind::Bsp) {
+    // A superstep's events are its sends: proc = source, addr =
+    // destination component. Re-derive the h-relation and fan-in.
+    std::unordered_map<ProcId, std::uint64_t> sent;
+    std::unordered_map<Addr, std::uint64_t> recv;
+    for (const auto& e : ph.events) {
+      ++sent[e.proc];
+      ++recv[e.addr];
+    }
+    std::uint64_t h = 0, fan_in = 0;
+    for (const auto& [p, c] : sent) {
+      (void)p;
+      h = std::max(h, c);
+    }
+    for (const auto& [p, c] : recv) {
+      (void)p;
+      fan_in = std::max(fan_in, c);
+      h = std::max(h, c);
+    }
+    expect("h", ph.h, h);
+    expect("m_rw", st.m_rw, std::max<std::uint64_t>(1, h));
+    expect("kappa_r", st.kappa_r, std::max<std::uint64_t>(1, fan_in));
+    expect("kappa_w", st.kappa_w, std::max<std::uint64_t>(1, fan_in));
+    expect("reads", st.reads, n_writes);
+    expect("writes", st.writes, n_writes);
+  } else {
+    std::unordered_map<ProcId, std::uint64_t> proc_r, proc_w;
+    const CellCounts c = count_cells(ph);
+    for (const auto& e : ph.events) ++(e.is_write ? proc_w : proc_r)[e.proc];
+
+    std::uint64_t m_rw = 1;
+    if (t.kind == ExecutionTrace::Kind::Gsm) {
+      // GSM counts reads and writes together per processor.
+      std::unordered_map<ProcId, std::uint64_t> combined = proc_r;
+      for (const auto& [p, n] : proc_w) combined[p] += n;
+      for (const auto& [p, n] : combined) {
+        (void)p;
+        m_rw = std::max(m_rw, n);
+      }
+    } else {
+      for (const auto& [p, n] : proc_r) {
+        (void)p;
+        m_rw = std::max(m_rw, n);
+      }
+      for (const auto& [p, n] : proc_w) {
+        (void)p;
+        m_rw = std::max(m_rw, n);
+      }
+    }
+    std::uint64_t kr = 1, kw = 1;
+    for (const auto& [a, n] : c.readers) {
+      (void)a;
+      kr = std::max(kr, n);
+    }
+    for (const auto& [a, n] : c.writers) {
+      (void)a;
+      kw = std::max(kw, n);
+    }
+    expect("m_rw", st.m_rw, m_rw);
+    expect("kappa_r", st.kappa_r, kr);
+    expect("kappa_w", st.kappa_w, kw);
+    expect("reads", st.reads, n_reads);
+    expect("writes", st.writes, n_writes);
+  }
+
+  if (!drift.empty())
+    out.add({"audit.kappa", Severity::Error, index, {}, drift});
+}
+
+// ----- audit.cost -------------------------------------------------------------
+
+void CostAuditRule::check_phase(const ExecutionTrace& t, std::size_t index,
+                                const LintConfig& cfg, Report& out) const {
+  const PhaseTrace& ph = t.phases[index];
+  const PhaseStats& st = ph.stats;
+
+  std::uint64_t expected = 0;
+  if (t.kind == ExecutionTrace::Kind::Bsp) {
+    expected = std::max({st.m_op, t.g * ph.h, t.L});
+  } else if (t.kind == ExecutionTrace::Kind::Gsm) {
+    const std::uint64_t b =
+        std::max<std::uint64_t>({1, ceil_div(st.m_rw, cfg.alpha),
+                                 ceil_div(st.kappa(), cfg.beta)});
+    expected = std::max(cfg.alpha, cfg.beta) * b;
+  } else {
+    const auto model = effective_model(t, cfg);
+    if (!model.has_value()) return;
+    expected = phase_cost(*model, t.g, st, t.d);
+  }
+
+  if (ph.cost != expected) {
+    out.add({"audit.cost",
+             Severity::Error,
+             index,
+             {},
+             "charged cost " + std::to_string(ph.cost) +
+                 " but stats recompute to " + std::to_string(expected)});
+  }
+}
+
+// ----- rounds.budget ----------------------------------------------------------
+
+void RoundBudgetRule::check_phase(const ExecutionTrace& t, std::size_t index,
+                                  const LintConfig& cfg, Report& out) const {
+  if (cfg.n == 0 || cfg.p == 0) return;
+  const PhaseTrace& ph = t.phases[index];
+
+  if (t.kind == ExecutionTrace::Kind::Bsp) {
+    // Section 2.3: route an O(n/p)-relation, do O(g*n/p + L) local work.
+    const std::uint64_t h_budget =
+        std::max<std::uint64_t>(1, cfg.slack * ceil_div(cfg.n, cfg.p));
+    const std::uint64_t w_budget =
+        cfg.slack * (t.g * ceil_div(cfg.n, cfg.p) + t.L);
+    if (ph.h > h_budget || ph.stats.m_op > w_budget) {
+      out.add({"rounds.budget",
+               Severity::Warning,
+               index,
+               {},
+               "superstep routes h=" + std::to_string(ph.h) + " (budget " +
+                   std::to_string(h_budget) + ") with w=" +
+                   std::to_string(ph.stats.m_op) + " (budget " +
+                   std::to_string(w_budget) + ")"});
+    }
+    return;
+  }
+
+  std::uint64_t budget = 0;
+  if (t.kind == ExecutionTrace::Kind::Gsm) {
+    const std::uint64_t mu = std::max(cfg.alpha, cfg.beta);
+    const std::uint64_t lambda = std::min(cfg.alpha, cfg.beta);
+    budget = std::max<std::uint64_t>(
+        1, cfg.slack * mu * ceil_div(cfg.n, lambda * cfg.p));
+  } else {
+    budget = std::max<std::uint64_t>(
+        1, cfg.slack * t.g * ceil_div(cfg.n, cfg.p));
+  }
+  if (ph.cost > budget) {
+    out.add({"rounds.budget",
+             Severity::Warning,
+             index,
+             {},
+             "phase cost " + std::to_string(ph.cost) +
+                 " exceeds the round budget " + std::to_string(budget) +
+                 " for n=" + std::to_string(cfg.n) +
+                 ", p=" + std::to_string(cfg.p)});
+  }
+}
+
+// ----- mapping.precondition ---------------------------------------------------
+
+void MappingPreconditionRule::check_phase(const ExecutionTrace&, std::size_t,
+                                          const LintConfig&, Report&) const {}
+
+void MappingPreconditionRule::check_trace(const ExecutionTrace& t,
+                                          const LintConfig&,
+                                          Report& out) const {
+  if (t.g == 0) {
+    out.add({"mapping.precondition", Severity::Error, Finding::kNoPhase, {},
+             "gap parameter g must be >= 1 for the Claim 2.1 mapping"});
+  }
+  if (t.kind == ExecutionTrace::Kind::QsmGd && t.d == 0) {
+    out.add({"mapping.precondition", Severity::Error, Finding::kNoPhase, {},
+             "memory gap d must be >= 1 for the Claim 2.2 mapping"});
+  }
+  if (t.kind == ExecutionTrace::Kind::Bsp && t.L < t.g) {
+    out.add({"mapping.precondition", Severity::Error, Finding::kNoPhase, {},
+             "BSP trace has L=" + std::to_string(t.L) + " < g=" +
+                 std::to_string(t.g) + "; the paper assumes L >= g"});
+  }
+}
+
+std::vector<std::unique_ptr<Rule>> default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<RaceRule>());
+  rules.push_back(std::make_unique<KappaAuditRule>());
+  rules.push_back(std::make_unique<CostAuditRule>());
+  rules.push_back(std::make_unique<RoundBudgetRule>());
+  rules.push_back(std::make_unique<MappingPreconditionRule>());
+  return rules;
+}
+
+}  // namespace parbounds::analysis

@@ -1,0 +1,130 @@
+#pragma once
+// parlint rule set: model-contract checks over ExecutionTraces.
+//
+// The paper's lower bounds (and the Claim 2.1 cost mappings) are only
+// meaningful for executions that obey the Section 2 model contracts.
+// The engines enforce those contracts at commit time with
+// ModelViolation throws, but a trace that arrives from anywhere else —
+// a CSV file, another simulator, a hand-built golden test — carries no
+// such guarantee. Each Rule re-derives one contract from the recorded
+// trace and reports violations as Findings, so the trace itself can be
+// certified or rejected independently of the engine that produced it.
+//
+// Built-in rules (ids are stable; see docs/ANALYSIS.md):
+//   race.rw-mix      cell both read and written in one phase (QSM/GSM
+//                    queue rule; needs detail-mode events)
+//   race.exclusive   contention above 1 on a run claiming EREW
+//                    discipline (cfg.erew)
+//   audit.kappa      recorded kappa / m_rw / read+write totals disagree
+//                    with a re-derivation from the event multiset
+//   audit.cost       charged PhaseTrace::cost differs from the cost
+//                    recomputed from PhaseStats under the model policy
+//                    (max(m_op, g*m_rw, kappa) family, BSP w+g*h+L
+//                    accounting, GSM big-steps)
+//   rounds.budget    phase exceeds the Section 2.3 round budget for
+//                    (n, p) — only when cfg.n and cfg.p are set
+//   mapping.precondition  trace-level Claim 2.1/2.2 preconditions
+//                    (g >= 1, d >= 1, BSP L >= g)
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "core/cost.hpp"
+#include "core/trace.hpp"
+
+namespace parbounds::analysis {
+
+struct LintConfig {
+  /// Cost policy to audit against. Unset = derive from the trace kind
+  /// (Qsm -> CostModel::Qsm and so on). Traces recorded under the
+  /// auxiliary policies (QsmCrFree, CrcwLike, Erew) share Kind::Qsm, so
+  /// they must set this explicitly for a faithful cost audit.
+  std::optional<CostModel> model;
+
+  /// Enforce exclusive access (EREW discipline): any per-cell
+  /// contention above 1 becomes a race.exclusive error. On plain
+  /// QSM-family runs queued concurrent access is legal and unflagged.
+  bool erew = false;
+
+  /// Input size / processor count for the Section 2.3 round-structure
+  /// audit. Both must be nonzero for rounds.budget to run.
+  std::uint64_t n = 0;
+  std::uint64_t p = 0;
+  std::uint64_t slack = 4;  ///< the hidden O() constant for budgets
+
+  /// GSM big-step parameters for cost/round audits of Kind::Gsm traces
+  /// (the trace itself does not carry them).
+  std::uint64_t alpha = 1;
+  std::uint64_t beta = 1;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* id() const = 0;
+
+  /// Examine t.phases[index]. Called once per phase, in order — either
+  /// post-mortem by Linter::run or inline by InlineLinter.
+  virtual void check_phase(const ExecutionTrace& t, std::size_t index,
+                           const LintConfig& cfg, Report& out) const = 0;
+
+  /// Whole-trace checks (preconditions, cross-phase structure).
+  virtual void check_trace(const ExecutionTrace& t, const LintConfig& cfg,
+                           Report& out) const;
+};
+
+/// Queue rule + EREW exclusivity, from the detail-mode event multiset.
+class RaceRule final : public Rule {
+ public:
+  const char* id() const override { return "race"; }
+  void check_phase(const ExecutionTrace& t, std::size_t index,
+                   const LintConfig& cfg, Report& out) const override;
+};
+
+/// kappa / m_rw / totals re-derivation from the event multiset.
+class KappaAuditRule final : public Rule {
+ public:
+  const char* id() const override { return "audit.kappa"; }
+  void check_phase(const ExecutionTrace& t, std::size_t index,
+                   const LintConfig& cfg, Report& out) const override;
+};
+
+/// Charged cost vs. recomputed cost.
+class CostAuditRule final : public Rule {
+ public:
+  const char* id() const override { return "audit.cost"; }
+  void check_phase(const ExecutionTrace& t, std::size_t index,
+                   const LintConfig& cfg, Report& out) const override;
+};
+
+/// Section 2.3 round budgets (generalizes core/rounds.*).
+class RoundBudgetRule final : public Rule {
+ public:
+  const char* id() const override { return "rounds.budget"; }
+  void check_phase(const ExecutionTrace& t, std::size_t index,
+                   const LintConfig& cfg, Report& out) const override;
+};
+
+/// Claim 2.1 / 2.2 mapping preconditions (trace-level).
+class MappingPreconditionRule final : public Rule {
+ public:
+  const char* id() const override { return "mapping.precondition"; }
+  void check_phase(const ExecutionTrace& t, std::size_t index,
+                   const LintConfig& cfg, Report& out) const override;
+  void check_trace(const ExecutionTrace& t, const LintConfig& cfg,
+                   Report& out) const override;
+};
+
+/// The full built-in rule set, in deterministic order.
+std::vector<std::unique_ptr<Rule>> default_rules();
+
+/// The cost model the audits assume for `t` under `cfg` (explicit
+/// override, else derived from the trace kind; Bsp/Gsm return nullopt —
+/// they are audited with their own formulas, not a CostModel).
+std::optional<CostModel> effective_model(const ExecutionTrace& t,
+                                         const LintConfig& cfg);
+
+}  // namespace parbounds::analysis

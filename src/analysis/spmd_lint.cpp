@@ -1,0 +1,81 @@
+#include "analysis/spmd_lint.hpp"
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace parbounds::analysis {
+
+namespace {
+
+// Actions are compared as (proc, addr, kind, written value). A read's
+// *delivered* value is excluded on purpose: it is an input to the
+// processor, not an action, and reads of perturbed unrelated cells are
+// only a violation once they change what the processor does next.
+bool same_action(const MemEvent& a, const MemEvent& b) {
+  if (a.proc != b.proc || a.addr != b.addr || a.is_write != b.is_write)
+    return false;
+  return !a.is_write || a.value == b.value;
+}
+
+}  // namespace
+
+Report lint_spmd_locality(const SpmdProgram& program, QsmConfig cfg,
+                          std::uint64_t perturb_seed,
+                          std::uint64_t perturb_cells) {
+  cfg.record_detail = true;
+
+  QsmMachine clean(cfg);
+  program(clean);
+
+  QsmMachine perturbed(cfg);
+  Rng rng(perturb_seed == 0 ? 1 : perturb_seed);
+  for (std::uint64_t i = 0; i < perturb_cells; ++i)
+    perturbed.preload(kUnrelatedBase + i,
+                      static_cast<Word>(rng.next_below(1u << 30)) + 1);
+  program(perturbed);
+
+  Report out;
+  const auto& a = clean.trace().phases;
+  const auto& b = perturbed.trace().phases;
+
+  if (a.size() != b.size()) {
+    out.add({"spmd.phase-count",
+             Severity::Error,
+             Finding::kNoPhase,
+             {},
+             "program committed " + std::to_string(a.size()) +
+                 " phases on clean memory but " + std::to_string(b.size()) +
+                 " with unrelated memory perturbed"});
+  }
+
+  const std::size_t phases = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < phases; ++i) {
+    const auto& ea = a[i].events;
+    const auto& eb = b[i].events;
+    std::vector<Addr> cells;
+    std::string why;
+    if (ea.size() != eb.size()) {
+      why = "event counts differ (" + std::to_string(ea.size()) + " vs " +
+            std::to_string(eb.size()) + ")";
+    } else {
+      for (std::size_t k = 0; k < ea.size(); ++k) {
+        if (same_action(ea[k], eb[k])) continue;
+        cells.push_back(ea[k].addr);
+        if (eb[k].addr != ea[k].addr) cells.push_back(eb[k].addr);
+        why = "processor " + std::to_string(ea[k].proc) +
+              " issued a different action at event " + std::to_string(k);
+        break;
+      }
+    }
+    if (!why.empty()) {
+      out.add({"spmd.locality", Severity::Error, i, cells,
+               why + "; actions depended on memory outside the inbox "
+                     "history"});
+      break;  // later phases diverge as a consequence; report the first
+    }
+  }
+  return out;
+}
+
+}  // namespace parbounds::analysis

@@ -1,0 +1,42 @@
+#pragma once
+// SPMD locality lint.
+//
+// core/spmd.hpp argues that locality — "a processor's actions are a
+// function of its inbox history" — holds for SpmdProcessor programs by
+// the type system. That is true only while nobody smuggles a side
+// channel into a processor (a captured QsmMachine&, a shared global, a
+// peek at memory the program never read). This lint checks the property
+// *behaviorally*: it runs the same program twice, on machines that are
+// identical except for the contents of unrelated memory (cells the
+// program never allocated, perturbed with seeded garbage), and diffs
+// the recorded phases. A local program issues identical actions in both
+// runs; any divergence — different phase count, different stats, or a
+// differing (proc, addr, write-value) event — means some action
+// depended on information outside the inbox history.
+//
+// Rule ids: spmd.phase-count (run lengths differ),
+//           spmd.locality    (first divergent phase).
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/finding.hpp"
+#include "core/qsm.hpp"
+
+namespace parbounds::analysis {
+
+/// The program under lint: allocate, preload and drive `m` to
+/// completion (e.g. call spmd_parity_tree). It is invoked once per run
+/// and must behave as a function of the machine handed to it.
+using SpmdProgram = std::function<void(QsmMachine&)>;
+
+/// Cells at and above this address are considered unrelated scratch;
+/// the perturbed run preloads seeded garbage there. Programs allocate
+/// from 0 via QsmMachine::alloc, so the range is never handed out.
+inline constexpr Addr kUnrelatedBase = Addr{1} << 40;
+
+Report lint_spmd_locality(const SpmdProgram& program, QsmConfig cfg,
+                          std::uint64_t perturb_seed = 1,
+                          std::uint64_t perturb_cells = 64);
+
+}  // namespace parbounds::analysis

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/cost.hpp"
+#include "core/observer.hpp"
 #include "core/qsm.hpp"  // for ModelViolation
 #include "core/trace.hpp"
 
@@ -67,6 +68,9 @@ class BspMachine {
   std::uint64_t supersteps() const { return trace_.phases.size(); }
   const ExecutionTrace& trace() const { return trace_; }
 
+  /// Optional analysis hook, invoked after every commit_superstep.
+  void set_observer(AnalysisObserver* obs) { observer_ = obs; }
+
   // ----- input partitioning (Section 2.1 (3)) -----------------------------
   /// Block distribution: inputs [lo, hi) assigned to component i when an
   /// n-element input is split over p components, |piece| in
@@ -85,6 +89,7 @@ class BspMachine {
   bool in_step_ = false;
   std::uint64_t time_ = 0;
   ExecutionTrace trace_;
+  AnalysisObserver* observer_ = nullptr;
 
   std::vector<SendReq> sends_;
   std::vector<std::pair<ProcId, std::uint64_t>> locals_;

@@ -107,6 +107,8 @@ const PhaseTrace& CrcwMachine::commit_step() {
   for (const auto& [a, w] : winner) mem_[a] = w->value;
 
   trace_.phases.push_back(std::move(ph));
+  if (observer_ != nullptr)
+    observer_->on_phase_committed(trace_, trace_.phases.size() - 1);
   return trace_.phases.back();
 }
 

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/observer.hpp"
 #include "core/qsm.hpp"  // ModelViolation
 #include "core/trace.hpp"
 
@@ -57,6 +58,9 @@ class CrcwMachine {
   const ExecutionTrace& trace() const { return trace_; }
   Word peek(Addr a) const;
 
+  /// Optional analysis hook, invoked after every commit_step.
+  void set_observer(AnalysisObserver* obs) { observer_ = obs; }
+
  private:
   struct ReadReq {
     ProcId proc;
@@ -74,6 +78,7 @@ class CrcwMachine {
   bool in_step_ = false;
   std::uint64_t time_ = 0;
   ExecutionTrace trace_;
+  AnalysisObserver* observer_ = nullptr;
 
   std::vector<ReadReq> reads_;
   std::vector<WriteReq> writes_;

@@ -114,6 +114,8 @@ const PhaseTrace& GsmMachine::commit_phase() {
   }
 
   trace_.phases.push_back(std::move(ph));
+  if (observer_ != nullptr)
+    observer_->on_phase_committed(trace_, trace_.phases.size() - 1);
   return trace_.phases.back();
 }
 

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/observer.hpp"
 #include "core/qsm.hpp"  // ModelViolation
 #include "core/trace.hpp"
 
@@ -77,6 +78,9 @@ class GsmMachine {
 
   std::span<const Word> peek(Addr a) const;
 
+  /// Optional analysis hook, invoked after every commit_phase.
+  void set_observer(AnalysisObserver* obs) { observer_ = obs; }
+
   /// Snapshot of shared memory taken at the first begin_phase — the
   /// "time 0" state the lower-bound trace analysis needs for initial cell
   /// traces (Section 5.1's Trace(c, 0, f)).
@@ -109,6 +113,7 @@ class GsmMachine {
   std::uint64_t time_ = 0;
   std::uint64_t big_steps_ = 0;
   ExecutionTrace trace_;
+  AnalysisObserver* observer_ = nullptr;
 
   std::vector<ReadReq> reads_;
   std::vector<WriteReq> writes_;

@@ -1,0 +1,30 @@
+#pragma once
+// Engine-side analysis hook.
+//
+// Every machine (QSM, BSP, GSM, CRCW) accepts an optional observer that
+// is invoked once per committed phase / superstep, after the phase has
+// been appended to the machine's ExecutionTrace. The observer sees the
+// whole trace so far plus the index of the phase that just committed,
+// which is exactly what the parlint per-phase rules consume — this is
+// how the analysis layer (src/analysis) runs inline during a simulation
+// instead of post-mortem over a recorded trace.
+//
+// core/ defines only the interface; it must not depend on analysis/.
+
+#include <cstddef>
+
+#include "core/trace.hpp"
+
+namespace parbounds {
+
+class AnalysisObserver {
+ public:
+  virtual ~AnalysisObserver() = default;
+
+  /// Called right after t.phases[index] was committed. Throwing here
+  /// aborts the driver (the phase itself is already applied).
+  virtual void on_phase_committed(const ExecutionTrace& t,
+                                  std::size_t index) = 0;
+};
+
+}  // namespace parbounds

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/cost.hpp"
+#include "core/observer.hpp"
 #include "core/trace.hpp"
 #include "util/rng.hpp"
 
@@ -89,6 +90,10 @@ class QsmMachine {
   /// Out-of-band inspection for tests and result extraction (not charged).
   Word peek(Addr a) const;
 
+  /// Optional analysis hook, invoked after every commit_phase. Pass
+  /// nullptr to detach. The observer must outlive the machine's use.
+  void set_observer(AnalysisObserver* obs) { observer_ = obs; }
+
  private:
   struct ReadReq {
     ProcId proc;
@@ -111,6 +116,7 @@ class QsmMachine {
   bool in_phase_ = false;
   std::uint64_t time_ = 0;
   ExecutionTrace trace_;
+  AnalysisObserver* observer_ = nullptr;
 
   std::vector<ReadReq> reads_;
   std::vector<WriteReq> writes_;

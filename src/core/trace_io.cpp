@@ -53,6 +53,10 @@ std::uint64_t to_u64(const std::string& s) {
   return std::stoull(s);
 }
 
+Word to_word(const std::string& s) { return std::stoll(s); }
+
+constexpr const char* kEventHeader = "event_phase,proc,addr,value,is_write";
+
 }  // namespace
 
 void write_trace_csv(std::ostream& os, const ExecutionTrace& t) {
@@ -67,6 +71,14 @@ void write_trace_csv(std::ostream& os, const ExecutionTrace& t) {
        << ph.stats.kappa_w << ',' << ph.h << ',' << ph.stats.reads << ','
        << ph.stats.writes << ',' << ph.stats.ops << '\n';
   }
+  bool any_events = false;
+  for (const auto& ph : t.phases) any_events |= !ph.events.empty();
+  if (!any_events) return;
+  os << kEventHeader << '\n';
+  for (std::size_t i = 0; i < t.phases.size(); ++i)
+    for (const auto& e : t.phases[i].events)
+      os << i + 1 << ',' << e.proc << ',' << e.addr << ',' << e.value << ','
+         << (e.is_write ? 1 : 0) << '\n';
 }
 
 std::string trace_to_csv(const ExecutionTrace& t) {
@@ -121,6 +133,24 @@ ExecutionTrace trace_from_csv(const std::string& csv) {
     ph.stats.writes = to_u64(f[8]);
     ph.stats.ops = to_u64(f[9]);
     t.phases.push_back(ph);
+  }
+  // Optional events section.
+  if (!std::getline(is, line)) return t;
+  if (line != kEventHeader)
+    throw std::invalid_argument("trace csv: bad events header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line, ',');
+    if (f.size() != 5) throw std::invalid_argument("trace csv: bad event row");
+    const std::uint64_t phase = to_u64(f[0]);
+    if (phase == 0 || phase > t.phases.size())
+      throw std::invalid_argument("trace csv: event phase out of range");
+    MemEvent e;
+    e.proc = to_u64(f[1]);
+    e.addr = to_u64(f[2]);
+    e.value = to_word(f[3]);
+    e.is_write = to_u64(f[4]) != 0;
+    t.phases[phase - 1].events.push_back(e);
   }
   return t;
 }

@@ -13,15 +13,18 @@ namespace parbounds {
 
 /// Header: kind,g,d,L,phases,total_cost
 /// Rows:   phase,cost,m_op,m_rw,kappa_r,kappa_w,h,reads,writes,ops
+/// When the trace carries detail-mode MemEvents, an events section
+/// follows (one row per event, phase indices 1-based as above):
+///   event_phase,proc,addr,value,is_write
 std::string trace_to_csv(const ExecutionTrace& t);
 void write_trace_csv(std::ostream& os, const ExecutionTrace& t);
 
 /// One-line human summary: "QSM g=8: 24 phases, cost 192 (max phase 16)".
 std::string trace_summary(const ExecutionTrace& t);
 
-/// Parse a CSV produced by trace_to_csv (summary fields + per-phase
-/// stats; events are not serialized). Throws std::invalid_argument on
-/// malformed input.
+/// Parse a CSV produced by trace_to_csv (summary fields, per-phase
+/// stats, and the events section when present). Throws
+/// std::invalid_argument on malformed input.
 ExecutionTrace trace_from_csv(const std::string& csv);
 
 }  // namespace parbounds

@@ -1,0 +1,354 @@
+// parlint: golden traces with seeded violations (each rule fires
+// exactly once), clean-trace no-finding runs over the Section 8
+// algorithms, the inline observer hook, and the SPMD locality lint.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algos/gsm_algos.hpp"
+#include "algos/parity.hpp"
+#include "algos/reduce.hpp"
+#include "analysis/parlint.hpp"
+#include "analysis/spmd_lint.hpp"
+#include "core/bsp.hpp"
+#include "core/gsm.hpp"
+#include "core/spmd.hpp"
+#include "core/trace_io.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds {
+namespace {
+
+using analysis::Finding;
+using analysis::InlineLinter;
+using analysis::LintConfig;
+using analysis::Linter;
+using analysis::Report;
+using analysis::Severity;
+
+// ----- golden traces: each seeded violation fires its rule exactly once ------
+
+// A write/write race is legal queued access on the QSM but an
+// exclusivity violation on an EREW-style run.
+ExecutionTrace ww_race_trace() {
+  ExecutionTrace t;
+  t.kind = ExecutionTrace::Kind::Qsm;
+  t.g = 1;
+  PhaseTrace ph;
+  ph.events.push_back({/*proc=*/0, /*addr=*/5, /*value=*/1, /*write=*/true});
+  ph.events.push_back({/*proc=*/1, /*addr=*/5, /*value=*/2, /*write=*/true});
+  ph.stats.writes = 2;
+  ph.stats.kappa_w = 2;  // m_rw = 1: one request per processor
+  ph.cost = 2;           // max(m_op, g*m_rw, kappa) = kappa = 2
+  t.phases.push_back(ph);
+  return t;
+}
+
+TEST(ParlintGolden, WriteWriteRaceLegalOnQsmIllegalOnErew) {
+  const auto t = ww_race_trace();
+  EXPECT_TRUE(Linter().run(t).clean());  // queued access: no finding
+
+  LintConfig erew;
+  erew.erew = true;
+  const Report r = Linter(erew).run(t);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.count("race.exclusive"), 1u);
+  EXPECT_EQ(r.findings[0].phase, 0u);
+  EXPECT_EQ(r.findings[0].cells, std::vector<Addr>{5});
+}
+
+TEST(ParlintGolden, ReadWriteMixFiresExactlyOnce) {
+  ExecutionTrace t;
+  t.kind = ExecutionTrace::Kind::Qsm;
+  t.g = 1;
+  PhaseTrace ph;
+  ph.events.push_back({0, 9, 0, false});  // proc 0 reads cell 9
+  ph.events.push_back({1, 9, 3, true});   // proc 1 writes cell 9
+  ph.stats.reads = 1;
+  ph.stats.writes = 1;
+  ph.cost = 1;  // max(0, g*1, 1)
+  t.phases.push_back(ph);
+
+  const Report r = Linter().run(t);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.count("race.rw-mix"), 1u);
+  EXPECT_EQ(r.findings[0].phase, 0u);
+  EXPECT_EQ(r.findings[0].cells, std::vector<Addr>{9});
+}
+
+TEST(ParlintGolden, MischargedCostFiresExactlyOnce) {
+  QsmMachine m({.g = 4, .record_detail = true});
+  Rng rng(11);
+  const std::uint64_t n = 1024, p = 16;
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  reduce_rounds(m, in, n, p, Combine::Xor);
+
+  ExecutionTrace t = m.trace();
+  ASSERT_GE(t.phases.size(), 2u);
+  t.phases[1].cost += 3;  // silent accounting drift
+
+  const Report r = Linter().run(t);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.count("audit.cost"), 1u);
+  EXPECT_EQ(r.findings[0].phase, 1u);
+}
+
+TEST(ParlintGolden, MischargedKappaFiresExactlyOnce) {
+  QsmMachine m({.g = 4, .record_detail = true});
+  Rng rng(12);
+  const std::uint64_t n = 1024, p = 16;
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  parity_rounds(m, in, n, p);
+
+  // Tamper a read phase's recorded contention. g*m_rw still dominates
+  // the cost there, so only the kappa re-derivation can notice.
+  ExecutionTrace t = m.trace();
+  ASSERT_GE(t.phases[0].stats.m_rw * t.g, 3u);
+  t.phases[0].stats.kappa_r = 3;
+
+  const Report r = Linter().run(t);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.count("audit.kappa"), 1u);
+  EXPECT_EQ(r.findings[0].phase, 0u);
+}
+
+TEST(ParlintGolden, BrokenRoundStructureFiresExactlyOnce) {
+  // One processor scanning the whole input is the canonical non-round
+  // phase (compare test_rounds_mapping's NonRoundExecution case).
+  const std::uint64_t n = 1 << 12, p = 64;
+  QsmMachine m({.g = 2});
+  const Addr in = m.alloc(n);
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(0, in + i);
+  m.commit_phase();
+
+  LintConfig cfg;
+  cfg.n = n;
+  cfg.p = p;
+  const Report r = Linter(cfg).run(m.trace());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.count("rounds.budget"), 1u);
+  EXPECT_EQ(r.findings[0].severity, Severity::Warning);
+  EXPECT_EQ(r.findings[0].phase, 0u);
+}
+
+TEST(ParlintGolden, BspLatencyPreconditionFiresExactlyOnce) {
+  ExecutionTrace t;  // BspMachine itself refuses L < g; hand-build
+  t.kind = ExecutionTrace::Kind::Bsp;
+  t.g = 8;
+  t.L = 2;
+  const Report r = Linter().run(t);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.count("mapping.precondition"), 1u);
+  EXPECT_EQ(r.findings[0].phase, Finding::kNoPhase);
+}
+
+// ----- clean traces: the Section 8 algorithms produce zero findings ----------
+
+TEST(ParlintClean, QsmParityRounds) {
+  QsmMachine m({.g = 4, .record_detail = true});
+  Rng rng(21);
+  const std::uint64_t n = 1 << 13, p = 64;
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  parity_rounds(m, in, n, p);
+
+  LintConfig cfg;
+  cfg.n = n;
+  cfg.p = p;
+  cfg.slack = 6;
+  const Report r = Linter(cfg).run(m.trace());
+  EXPECT_TRUE(r.clean()) << r.to_jsonl();
+}
+
+TEST(ParlintClean, SqsmReduceRounds) {
+  QsmMachine m({.g = 4, .model = CostModel::SQsm, .record_detail = true});
+  Rng rng(22);
+  const std::uint64_t n = 1 << 12, p = 32;
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  reduce_rounds(m, in, n, p, Combine::Or);
+
+  LintConfig cfg;
+  cfg.n = n;
+  cfg.p = p;
+  cfg.slack = 6;
+  const Report r = Linter(cfg).run(m.trace());
+  EXPECT_TRUE(r.clean()) << r.to_jsonl();
+}
+
+TEST(ParlintClean, BspParity) {
+  BspMachine m({.p = 32, .g = 2, .L = 16, .record_detail = true});
+  Rng rng(23);
+  const auto input = bernoulli_array(1 << 12, 0.5, rng);
+  parity_bsp(m, input);
+
+  LintConfig cfg;
+  cfg.n = input.size();
+  cfg.p = 32;
+  cfg.slack = 8;
+  const Report r = Linter(cfg).run(m.trace());
+  EXPECT_TRUE(r.clean()) << r.to_jsonl();
+}
+
+TEST(ParlintClean, GsmReduceRounds) {
+  GsmMachine m({.alpha = 2, .beta = 4, .gamma = 4, .record_detail = true});
+  Rng rng(24);
+  const auto input = bernoulli_array(1 << 10, 0.5, rng);
+  gsm_reduce_rounds(m, input, /*p=*/16, /*parity=*/true);
+
+  LintConfig cfg;
+  cfg.alpha = 2;
+  cfg.beta = 4;
+  const Report r = Linter(cfg).run(m.trace());
+  EXPECT_TRUE(r.clean()) << r.to_jsonl();
+}
+
+TEST(ParlintClean, DetailTraceSurvivesCsvRoundTripAndStaysClean) {
+  QsmMachine m({.g = 2, .record_detail = true});
+  Rng rng(25);
+  const std::uint64_t n = 512;
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  spmd_parity_tree(m, in, n, /*fanin=*/4);
+
+  const ExecutionTrace reloaded = trace_from_csv(trace_to_csv(m.trace()));
+  ASSERT_EQ(reloaded.phases.size(), m.trace().phases.size());
+  ASSERT_FALSE(reloaded.phases[0].events.empty());
+  EXPECT_EQ(reloaded.phases[0].events.size(),
+            m.trace().phases[0].events.size());
+  EXPECT_TRUE(Linter().run(reloaded).clean());
+}
+
+// ----- inline observer hook --------------------------------------------------
+
+TEST(ParlintInline, ObserverSeesEveryPhaseAndStaysClean) {
+  InlineLinter watch;
+  QsmMachine m({.g = 2, .record_detail = true});
+  m.set_observer(&watch);
+  Rng rng(31);
+  const std::uint64_t n = 1024, p = 16;
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  parity_rounds(m, in, n, p);
+  EXPECT_GT(m.phases(), 0u);
+  EXPECT_TRUE(watch.report().clean()) << watch.report().to_jsonl();
+}
+
+TEST(ParlintInline, ErewDisciplineCaughtAtTheCommitThatBreaksIt) {
+  LintConfig cfg;
+  cfg.erew = true;
+  InlineLinter watch(cfg, /*throw_on_error=*/true);
+  QsmMachine m({.g = 1, .record_detail = true});
+  m.set_observer(&watch);
+  const Addr a = m.alloc(4);
+
+  m.begin_phase();
+  m.write(0, a + 0, 1);
+  m.write(1, a + 1, 1);
+  EXPECT_NO_THROW(m.commit_phase());  // exclusive so far
+
+  m.begin_phase();
+  m.read(0, a + 0);
+  m.read(1, a + 0);  // concurrent read: QSM-legal, EREW-illegal
+  EXPECT_THROW(m.commit_phase(), std::runtime_error);
+  ASSERT_EQ(watch.report().count("race.exclusive"), 1u);
+  EXPECT_EQ(watch.report().findings[0].phase, 1u);
+}
+
+TEST(ParlintInline, BspObserverRunsInline) {
+  InlineLinter watch;
+  BspMachine m({.p = 4, .g = 2, .L = 4, .record_detail = true});
+  m.set_observer(&watch);
+  m.begin_superstep();
+  m.send(0, 1, 42);
+  m.local(2, 3);
+  m.commit_superstep();
+  EXPECT_TRUE(watch.report().clean()) << watch.report().to_jsonl();
+}
+
+// ----- SPMD locality lint ----------------------------------------------------
+
+TEST(SpmdLint, ParityTreeIsLocal) {
+  Rng rng(41);
+  const std::uint64_t n = 512;
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const auto program = [&](QsmMachine& m) {
+    const Addr in = m.alloc(n);
+    m.preload(in, input);
+    spmd_parity_tree(m, in, n, /*fanin=*/4);
+  };
+  const Report r = analysis::lint_spmd_locality(program, {.g = 2});
+  EXPECT_TRUE(r.clean()) << r.to_jsonl();
+}
+
+// A processor that snoops memory its program never allocated: its write
+// in phase 1 forwards whatever the snooped cell contained.
+class SnoopingProc final : public SpmdProcessor {
+ public:
+  explicit SnoopingProc(Addr out) : out_(out) {}
+  SpmdAction step(unsigned phase, std::span<const Word> inbox) override {
+    SpmdAction act;
+    if (phase == 0) {
+      act.reads.push_back(analysis::kUnrelatedBase);
+    } else {
+      act.writes.emplace_back(out_, inbox.empty() ? 0 : inbox[0]);
+      act.halt = true;
+    }
+    return act;
+  }
+
+ private:
+  Addr out_;
+};
+
+TEST(SpmdLint, SnoopingProcessorIsCaught) {
+  const auto program = [](QsmMachine& m) {
+    const Addr out = m.alloc(1);
+    std::vector<std::unique_ptr<SpmdProcessor>> procs;
+    procs.push_back(std::make_unique<SnoopingProc>(out));
+    run_spmd(m, procs);
+  };
+  const Report r = analysis::lint_spmd_locality(program, {.g = 1});
+  ASSERT_EQ(r.count("spmd.locality"), 1u);
+  EXPECT_EQ(r.findings[0].phase, 1u);  // the forwarding write diverges
+}
+
+// ----- report format ---------------------------------------------------------
+
+TEST(ParlintReport, JsonLinesShape) {
+  Finding f;
+  f.rule = "race.rw-mix";
+  f.severity = Severity::Error;
+  f.phase = 3;
+  f.cells = {5, 7};
+  f.message = "cell \"x\" mixed";
+  EXPECT_EQ(f.to_json(),
+            "{\"rule\":\"race.rw-mix\",\"severity\":\"error\",\"phase\":3,"
+            "\"cells\":[5,7],\"message\":\"cell \\\"x\\\" mixed\"}");
+
+  Finding trace_level;
+  trace_level.rule = "mapping.precondition";
+  trace_level.phase = Finding::kNoPhase;
+  trace_level.message = "g must be >= 1";
+  Report r;
+  r.add(f);
+  r.add(trace_level);
+  EXPECT_EQ(r.errors(), 2u);
+  const std::string jsonl = r.to_jsonl();
+  EXPECT_NE(jsonl.find("\"phase\":null"), std::string::npos);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace parbounds

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "algos/bsp_prefix.hpp"
 #include "algos/parity.hpp"
 #include "algos/prefix.hpp"
 #include "algos/reduce.hpp"
 #include "core/mapping.hpp"
 #include "core/rounds.hpp"
+#include "util/mathx.hpp"
 #include "workloads/generators.hpp"
 
 namespace parbounds {
@@ -159,6 +161,72 @@ TEST(Mapping, GsmTraceRejected) {
   ExecutionTrace t;
   t.kind = ExecutionTrace::Kind::Gsm;
   EXPECT_THROW(check_claim21(t), std::invalid_argument);
+}
+
+// ----- Claim 2.1, items 5-7: rounds stay rounds under the mapping -------------
+
+// GSM round budget for p processors: slack * mu * n / (lambda * p).
+bool gsm_round_compliant(const ExecutionTrace& t, std::uint64_t n,
+                         std::uint64_t p, std::uint64_t alpha,
+                         std::uint64_t beta, std::uint64_t slack) {
+  const std::uint64_t mu = std::max(alpha, beta);
+  const std::uint64_t lambda = std::min(alpha, beta);
+  const std::uint64_t budget = slack * mu * ceil_div(n, lambda * p);
+  for (const auto& ph : t.phases)
+    if (gsm_phase_cost(ph.stats, alpha, beta) > budget) return false;
+  return true;
+}
+
+TEST(RoundMapping, Item5QsmRoundsStayRoundsOnGsm1g) {
+  const std::uint64_t n = 1 << 13, p = 64, g = 4;
+  QsmMachine m({.g = g});
+  Rng rng(1);
+  const auto input = boolean_array(n, 7, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  or_rounds(m, in, n, p);
+  ASSERT_TRUE(audit_rounds_qsm(m.trace(), n, p, 6).all_rounds());
+  // Item 5: R_QSM >= R_GSM(1, g, 1, p) — the same phases fit the
+  // GSM(1, g) round budget (its budget is g*n/p, matching the QSM's).
+  EXPECT_TRUE(gsm_round_compliant(m.trace(), n * g, p, 1, g, 6));
+}
+
+TEST(RoundMapping, Item6SqsmRoundsStayRoundsOnGsm11) {
+  const std::uint64_t n = 1 << 13, p = 64;
+  QsmMachine m({.g = 4, .model = CostModel::SQsm});
+  Rng rng(2);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  parity_rounds(m, in, n, p);
+  ASSERT_TRUE(audit_rounds_qsm(m.trace(), n, p, 6).all_rounds());
+  // Item 6: one s-QSM round = one GSM(1,1,1) round (budget n/p).
+  EXPECT_TRUE(gsm_round_compliant(m.trace(), n, p, 1, 1, 6));
+}
+
+TEST(RoundMapping, Item7BspRoundsStayRoundsOnGsmWithGammaNp) {
+  const std::uint64_t n = 1 << 13, p = 64;
+  BspMachine m({.p = p, .g = 1, .L = 4});
+  Rng rng(3);
+  const auto input = lac_instance(n, n / 8, rng);
+  lac_bsp(m, input, /*fanin=*/n / p);
+  ASSERT_TRUE(audit_rounds_bsp(m.trace(), n, p, 6).all_rounds());
+  // Item 7: a BSP round maps to (two) GSM(1, 1, n/p) rounds; the routed
+  // h <= c*n/p relation is exactly a budget-compliant GSM phase.
+  EXPECT_TRUE(gsm_round_compliant(m.trace(), n, p, 1, 1, 8));
+}
+
+TEST(RoundMapping, NonRoundExecutionFailsTheGsmBudgetToo) {
+  // Sanity that the check is not vacuous: a one-processor full scan
+  // violates the GSM round budget exactly as it violates the QSM one.
+  const std::uint64_t n = 1 << 12, p = 64;
+  QsmMachine m({.g = 2});
+  const Addr in = m.alloc(n);
+  m.begin_phase();
+  for (std::uint64_t i = 0; i < n; ++i) m.read(0, in + i);
+  m.commit_phase();
+  EXPECT_FALSE(audit_rounds_qsm(m.trace(), n, p, 4).all_rounds());
+  EXPECT_FALSE(gsm_round_compliant(m.trace(), n, p, 1, 2, 4));
 }
 
 }  // namespace

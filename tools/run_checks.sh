@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# The repository's static-analysis gate, runnable locally or in CI:
+#
+#   1. clang-tidy over src/ (skipped with a notice when clang-tidy is
+#      not installed — the config is .clang-tidy at the repo root);
+#   2. an ASan+UBSan+Werror build flavor (PARBOUNDS_ASAN/UBSAN/WERROR);
+#   3. the full ctest suite under the sanitizers;
+#   4. the `analysis`-labelled subset (parlint rules + parlint_cli
+#      smoke) repeated on its own so a parlint regression is named in
+#      the output even when something else also broke.
+#
+# Usage: tools/run_checks.sh [build-dir]     (default: build-checks)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-checks}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> configure (ASan + UBSan + Werror) into ${BUILD_DIR}"
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DPARBOUNDS_ASAN=ON \
+  -DPARBOUNDS_UBSAN=ON \
+  -DPARBOUNDS_WERROR=ON
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> clang-tidy over src/"
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p "${BUILD_DIR}" --quiet
+else
+  echo "==> clang-tidy not found; skipping the tidy pass"
+fi
+
+echo "==> build"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "==> full test suite under ASan+UBSan"
+ctest --test-dir "${BUILD_DIR}" -j "${JOBS}" --output-on-failure
+
+echo "==> analysis-labelled subset"
+ctest --test-dir "${BUILD_DIR}" -L analysis --output-on-failure
+
+echo "==> all checks passed"
