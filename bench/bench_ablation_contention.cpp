@@ -6,9 +6,15 @@
 // each algorithm's cost is bandwidth (g * m_rw) versus queuing. This is
 // the model spectrum of Section 2.1 made quantitative, and explains why
 // the paper's three tables differ only in their contention terms.
+//
+// Each program runs once in its own runner trial and is replayed under
+// all four policies from the recorded trace, so the comparison stays
+// "same phases, different charging" while the programs themselves fan
+// out across workers (see harness.hpp for --jobs / --json).
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
 
 #include "harness.hpp"
@@ -32,71 +38,87 @@ double replay_cost(const pb::ExecutionTrace& t, pb::CostModel model,
   return total;
 }
 
-void table_for(const char* title, const pb::ExecutionTrace& trace,
-               std::uint64_t g) {
+using PolicyCosts = std::array<double, std::size(kModels)>;
+
+PolicyCosts replay_all(const pb::ExecutionTrace& trace, std::uint64_t g) {
+  PolicyCosts costs{};
+  for (std::size_t i = 0; i < std::size(kModels); ++i)
+    costs[i] = replay_cost(trace, kModels[i], g);
+  return costs;
+}
+
+void print_table(const char* title, const PolicyCosts& costs) {
   std::printf("%s", pb::banner(title).c_str());
   TextTable t({"cost model", "total cost", "vs QSM"});
-  const double base = replay_cost(trace, pb::CostModel::Qsm, g);
-  for (const auto model : kModels) {
-    const double c = replay_cost(trace, model, g);
-    t.add_row({pb::cost_model_name(model), TextTable::num(c, 0),
-               TextTable::num(c / std::max(base, 1e-9), 2)});
-  }
+  const double base = costs[0];  // kModels[0] is the QSM
+  for (std::size_t i = 0; i < std::size(kModels); ++i)
+    t.add_row({pb::cost_model_name(kModels[i]), TextTable::num(costs[i], 0),
+               TextTable::num(costs[i] / std::max(base, 1e-9), 2)});
   std::printf("%s\n", t.render().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_ablation_contention");
   std::printf("%s", pb::banner("ABLATION — contention charging across the "
                                "model spectrum (same program, four costs)")
                         .c_str());
   const std::uint64_t n = 1 << 14, g = 16;
 
-  {
-    pb::QsmMachine m({.g = g});
-    pb::Rng rng(kSeed);
-    const auto input = pb::boolean_array(n, 3, rng);
-    const pb::Addr in = m.alloc(n);
-    m.preload(in, input);
-    pb::or_fanin_qsm(m, in, n);
-    table_for("OR, contention fan-in g (queues are the whole point: "
-              "s-QSM pays g*kappa for every funnel level)",
-              m.trace(), g);
-  }
-  {
-    pb::QsmMachine m({.g = g});
-    pb::Rng rng(kSeed);
-    const auto input = pb::bernoulli_array(n, 0.5, rng);
-    const pb::Addr in = m.alloc(n);
-    m.preload(in, input);
-    pb::parity_circuit(m, in, n);
-    table_for("Parity, circuit emulation (read contention 2^(k-1): free "
-              "concurrent reads would let k grow to g)",
-              m.trace(), g);
-  }
-  {
-    pb::QsmMachine m(
-        {.g = g, .writes = pb::WriteResolution::Random, .seed = kSeed});
-    pb::Rng rng(kSeed);
-    const auto input = pb::lac_instance(n, n / 8, rng);
-    const pb::Addr in = m.alloc(n);
-    m.preload(in, input);
-    pb::Rng darts(kSeed + 1);
-    pb::lac_dart(m, in, n, n / 8, darts);
-    table_for("LAC, dart throwing (low-contention by design: all four "
-              "policies nearly coincide)",
-              m.trace(), g);
-  }
-  {
-    pb::QsmMachine m({.g = g});
-    const pb::Addr src = m.alloc(1);
-    m.preload(src, pb::Word{1});
-    const pb::Addr dst = m.alloc(n);
-    pb::qsm_broadcast(m, src, dst, n);
-    table_for("Broadcast, fan-out g (read queues of width g per level)",
-              m.trace(), g);
-  }
+  const std::function<PolicyCosts()> programs[] = {
+      [&] {
+        pb::QsmMachine m({.g = g});
+        pb::Rng rng(kSeed);
+        const auto input = pb::boolean_array(n, 3, rng);
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, input);
+        pb::or_fanin_qsm(m, in, n);
+        return replay_all(m.trace(), g);
+      },
+      [&] {
+        pb::QsmMachine m({.g = g});
+        pb::Rng rng(kSeed);
+        const auto input = pb::bernoulli_array(n, 0.5, rng);
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, input);
+        pb::parity_circuit(m, in, n);
+        return replay_all(m.trace(), g);
+      },
+      [&] {
+        pb::QsmMachine m(
+            {.g = g, .writes = pb::WriteResolution::Random, .seed = kSeed});
+        pb::Rng rng(kSeed);
+        const auto input = pb::lac_instance(n, n / 8, rng);
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, input);
+        pb::Rng darts(kSeed + 1);
+        pb::lac_dart(m, in, n, n / 8, darts);
+        return replay_all(m.trace(), g);
+      },
+      [&] {
+        pb::QsmMachine m({.g = g});
+        const pb::Addr src = m.alloc(1);
+        m.preload(src, pb::Word{1});
+        const pb::Addr dst = m.alloc(n);
+        pb::qsm_broadcast(m, src, dst, n);
+        return replay_all(m.trace(), g);
+      },
+  };
+  const char* titles[] = {
+      "OR, contention fan-in g (queues are the whole point: "
+      "s-QSM pays g*kappa for every funnel level)",
+      "Parity, circuit emulation (read contention 2^(k-1): free "
+      "concurrent reads would let k grow to g)",
+      "LAC, dart throwing (low-contention by design: all four "
+      "policies nearly coincide)",
+      "Broadcast, fan-out g (read queues of width g per level)"};
+
+  const auto rows = parallel_trials<PolicyCosts>(
+      std::size(programs),
+      [&](std::uint64_t i, std::uint64_t) { return programs[i](); });
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    print_table(titles[i], rows[i]);
 
   benchmark::RegisterBenchmark("sim/contention_replay_probe",
                                [](benchmark::State& st) {
@@ -113,5 +135,5 @@ int main(int argc, char** argv) {
                                });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

@@ -5,7 +5,8 @@
 // and broadcast trees want fan-in/out k = g; read-based trees pay g per
 // edge and want k = 2; round-structured algorithms want k = n/p. This
 // bench sweeps k and shows each optimum where the paper's cost model
-// predicts it.
+// predicts it. The k sweeps fan out through the ExperimentRunner (see
+// harness.hpp for --jobs / --json).
 
 #include <benchmark/benchmark.h>
 
@@ -16,116 +17,156 @@
 namespace pb = parbounds;
 using parbounds::TextTable;
 using namespace parbounds::bench;
+using parbounds::runtime::SweepCell;
 
 namespace {
 
 void sweep_or_fanin() {
+  const std::uint64_t n = 1 << 14, g = 32;
+  constexpr unsigned ks[] = {2u, 4u, 8u, 16u, 32u, 64u, 128u, 512u};
+  struct R {
+    double cost = 0, phases = 0;
+  };
+  const auto rows = parallel_trials<R>(
+      std::size(ks), [&](std::uint64_t i, std::uint64_t) {
+        pb::QsmMachine m({.g = g});
+        // Same input for every k — the sweep compares fan-ins, not seeds.
+        pb::Rng rng(kSeed);
+        // Dense input: every holder writes, so the funnel's queue is
+        // really k deep and the max(g, kappa) trade-off is visible.
+        const auto input = pb::boolean_array(n, n, rng);
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, input);
+        pb::or_contention(m, in, n, ks[i]);
+        return R{static_cast<double>(m.time()),
+                 static_cast<double>(m.phases())};
+      });
+
   std::printf("%s", pb::banner("OR on QSM: contention fan-in sweep "
                                "(optimum at k = g, here g = 32)")
                         .c_str());
-  const std::uint64_t n = 1 << 14, g = 32;
   TextTable t({"fanin k", "measured cost", "phases"});
-  for (const unsigned k : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 512u}) {
-    pb::QsmMachine m({.g = g});
-    pb::Rng rng(kSeed);
-    // Dense input: every holder writes, so the funnel's queue is really k
-    // deep and the max(g, kappa) trade-off is visible.
-    const auto input = pb::boolean_array(n, n, rng);
-    const pb::Addr in = m.alloc(n);
-    m.preload(in, input);
-    pb::or_contention(m, in, n, k);
-    t.add_row({std::to_string(k), TextTable::num(m.time(), 0),
-               TextTable::num(m.phases(), 0)});
-  }
+  for (std::size_t i = 0; i < std::size(ks); ++i)
+    t.add_row({std::to_string(ks[i]), TextTable::num(rows[i].cost, 0),
+               TextTable::num(rows[i].phases, 0)});
   std::printf("%s\n", t.render().c_str());
 }
 
 void sweep_read_tree_fanin() {
+  const std::uint64_t n = 1 << 14, g = 8;
+  std::vector<SweepCell> cells;
+  for (const unsigned k : {2u, 3u, 4u, 8u, 16u, 64u})
+    cells.push_back({.key = std::to_string(k),
+                     .run = [n, g, k](std::uint64_t s) {
+                       return parity_tree_cost(pb::CostModel::SQsm, n, g, k,
+                                               s);
+                     }});
   std::printf("%s", pb::banner("Parity read tree on s-QSM: fan-in sweep "
                                "(every edge pays g; optimum at k = 2)")
                         .c_str());
-  const std::uint64_t n = 1 << 14, g = 8;
-  TextTable t({"fanin k", "measured cost", "phases"});
-  for (const unsigned k : {2u, 3u, 4u, 8u, 16u, 64u}) {
-    const double c = parity_tree_cost(pb::CostModel::SQsm, n, g, k, kSeed);
-    pb::QsmMachine probe({.g = g, .model = pb::CostModel::SQsm});
-    t.add_row({std::to_string(k), TextTable::num(c, 0), "-"});
-  }
+  const auto& res = sweep("s-QSM parity read-tree fan-in", std::move(cells));
+  TextTable t({"fanin k", "measured cost"});
+  for (const auto& c : res.cells)
+    t.add_row({c.key, TextTable::num(c.mean, 0)});
   std::printf("%s\n", t.render().c_str());
 }
 
 void sweep_broadcast_fanout() {
+  const std::uint64_t n = 1 << 14, g = 32;
+  std::vector<SweepCell> cells;
+  for (const std::uint64_t k : {2ull, 4ull, 16ull, 32ull, 64ull, 256ull})
+    cells.push_back({.key = std::to_string(k),
+                     .run = [n, g, k](std::uint64_t) {
+                       return broadcast_cost(pb::CostModel::Qsm, n, g, k);
+                     }});
   std::printf("%s", pb::banner("Broadcast on QSM: fan-out sweep (optimum "
                                "at k = g = 32 — the [AGMR97] tight bound)")
                         .c_str());
-  const std::uint64_t n = 1 << 14, g = 32;
+  const auto& res = sweep("QSM broadcast fan-out", std::move(cells));
   TextTable t({"fanout k", "measured cost"});
-  for (const std::uint64_t k : {2ull, 4ull, 16ull, 32ull, 64ull, 256ull}) {
-    const double c = broadcast_cost(pb::CostModel::Qsm, n, g, k);
-    t.add_row({std::to_string(k), TextTable::num(c, 0)});
-  }
+  for (const auto& c : res.cells)
+    t.add_row({c.key, TextTable::num(c.mean, 0)});
   std::printf("%s\n", t.render().c_str());
 }
 
 void sweep_bsp_fanin() {
+  const std::uint64_t p = 1024, g = 2, L = 32;
+  constexpr std::uint64_t ks[] = {2ull, 4ull, 16ull, 64ull, 256ull};
+  struct R {
+    double cost = 0, supersteps = 0;
+  };
+  const auto rows = parallel_trials<R>(
+      std::size(ks), [&](std::uint64_t i, std::uint64_t) {
+        pb::Rng rng(kSeed);  // same input for every k
+        const auto input = pb::bernoulli_array(1 << 14, 0.5, rng);
+        pb::BspMachine m({.p = p, .g = g, .L = L});
+        pb::bsp_reduce(m, input, pb::Combine::Xor, ks[i]);
+        return R{static_cast<double>(m.time()),
+                 static_cast<double>(m.supersteps())};
+      });
+
   std::printf("%s", pb::banner("Parity tree on BSP: fan-in sweep (optimum "
                                "at k = L/g = 16)")
                         .c_str());
-  const std::uint64_t p = 1024, g = 2, L = 32;
   TextTable t({"fanin k", "measured cost", "supersteps"});
-  pb::Rng rng(kSeed);
-  const auto input = pb::bernoulli_array(1 << 14, 0.5, rng);
-  for (const std::uint64_t k : {2ull, 4ull, 16ull, 64ull, 256ull}) {
-    pb::BspMachine m({.p = p, .g = g, .L = L});
-    pb::bsp_reduce(m, input, pb::Combine::Xor, k);
-    t.add_row({std::to_string(k), TextTable::num(m.time(), 0),
-               TextTable::num(m.supersteps(), 0)});
-  }
+  for (std::size_t i = 0; i < std::size(ks); ++i)
+    t.add_row({std::to_string(ks[i]), TextTable::num(rows[i].cost, 0),
+               TextTable::num(rows[i].supersteps, 0)});
   std::printf("%s\n", t.render().c_str());
 }
 
 void sweep_rounds_fanin() {
+  const std::uint64_t n = 1 << 14, p = 1 << 8, g = 2;
+  const std::uint64_t fanins[] = {2, 8, n / p, 4 * (n / p)};
+  struct R {
+    double rounds = 0;
+    bool ok = true;
+  };
+  const auto rows = parallel_trials<R>(
+      std::size(fanins), [&](std::uint64_t fi, std::uint64_t) {
+        const std::uint64_t k = fanins[fi];
+        pb::Rng rng(kSeed);  // same input for every k
+        const auto input = pb::bernoulli_array(n, 0.5, rng);
+        pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, input);
+        // local scans, then a k-ary tree over the p partials.
+        const pb::Addr partial = m.alloc(p);
+        m.begin_phase();
+        for (std::uint64_t q = 0; q < p; ++q)
+          for (std::uint64_t i = q * (n / p); i < (q + 1) * (n / p); ++i)
+            m.read(q, in + i);
+        m.commit_phase();
+        m.begin_phase();
+        for (std::uint64_t q = 0; q < p; ++q) {
+          pb::Word acc = 0;
+          for (const pb::Word v : m.inbox(q)) acc ^= v;
+          m.local(q, n / p);
+          m.write(q, partial + q, acc);
+        }
+        m.commit_phase();
+        pb::reduce_tree(m, partial, p, static_cast<unsigned>(k),
+                        pb::Combine::Xor);
+        const auto audit = pb::audit_rounds_qsm(m.trace(), n, p, 4);
+        return R{static_cast<double>(audit.rounds), audit.all_rounds()};
+      });
+
   std::printf("%s",
               pb::banner("Round-structured parity on s-QSM: tree fan-in "
                          "sweep under a fixed p (only k = n/p both meets "
                          "the round budget and minimises rounds)")
                   .c_str());
-  const std::uint64_t n = 1 << 14, p = 1 << 8, g = 2;
   TextTable t({"tree fanin k", "rounds", "all-rounds?"});
-  pb::Rng rng(kSeed);
-  const auto input = pb::bernoulli_array(n, 0.5, rng);
-  const std::uint64_t fanins[] = {2, 8, n / p, 4 * (n / p)};
-  for (const std::uint64_t k : fanins) {
-    pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
-    const pb::Addr in = m.alloc(n);
-    m.preload(in, input);
-    // local scans, then a k-ary tree over the p partials.
-    const pb::Addr partial = m.alloc(p);
-    m.begin_phase();
-    for (std::uint64_t q = 0; q < p; ++q)
-      for (std::uint64_t i = q * (n / p); i < (q + 1) * (n / p); ++i)
-        m.read(q, in + i);
-    m.commit_phase();
-    m.begin_phase();
-    for (std::uint64_t q = 0; q < p; ++q) {
-      pb::Word acc = 0;
-      for (const pb::Word v : m.inbox(q)) acc ^= v;
-      m.local(q, n / p);
-      m.write(q, partial + q, acc);
-    }
-    m.commit_phase();
-    pb::reduce_tree(m, partial, p, static_cast<unsigned>(k),
-                    pb::Combine::Xor);
-    const auto audit = pb::audit_rounds_qsm(m.trace(), n, p, 4);
-    t.add_row({std::to_string(k), TextTable::num(audit.rounds, 0),
-               audit.all_rounds() ? "yes" : "NO (budget exceeded)"});
-  }
+  for (std::size_t i = 0; i < std::size(fanins); ++i)
+    t.add_row({std::to_string(fanins[i]), TextTable::num(rows[i].rounds, 0),
+               rows[i].ok ? "yes" : "NO (budget exceeded)"});
   std::printf("%s\n", t.render().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_ablation_fanin");
   std::printf("%s", pb::banner("ABLATION — fan-in selection across models "
                                "(DESIGN.md ABL-FANIN)")
                         .c_str());
@@ -144,5 +185,5 @@ int main(int argc, char** argv) {
                                });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

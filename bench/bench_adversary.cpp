@@ -7,6 +7,11 @@
 //     vs phase-budget trade-off of Theorem 7.1, and the log* horizon.
 // (c) Envelope growth: the paper's d_t/k_t sequences evaluated so their
 //     shapes (geometric vs tower) are visible.
+//
+// The exact adversary runs and the Theorem 7.1 success-probability
+// trials fan out through the ExperimentRunner (see harness.hpp for
+// --jobs / --json); the ladder and envelope prints are closed-form and
+// stay serial.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +25,7 @@
 namespace pb = parbounds;
 using parbounds::TextTable;
 using namespace parbounds::bench;
+using parbounds::runtime::SweepCell;
 
 namespace {
 
@@ -30,37 +36,54 @@ pb::GsmAlgorithm or_tree_algo(unsigned fanin) {
 }
 
 void adversary_vs_or_tree() {
+  struct Combo {
+    unsigned n, fanin;
+  };
+  constexpr Combo combos[] = {{6, 2}, {6, 3}, {8, 2},
+                              {8, 3}, {10, 2}, {10, 3}};
+  struct Row {
+    unsigned steps = 0;
+    double forced = 0, fixed = 0;
+    bool good = true;
+  };
+  // The adversary is deterministic given its seed (kSeed + n as before),
+  // so each (n, fanin) cell is an independent trial.
+  const auto rows = parallel_trials<Row>(
+      std::size(combos), [&](std::uint64_t ci, std::uint64_t) {
+        const auto [n, fanin] = combos[ci];
+        pb::RandomAdversary adv(or_tree_algo(fanin), pb::GsmConfig{}, n,
+                                pb::BitDistribution::uniform(n), kSeed + n);
+        pb::PartialInputMap f = pb::PartialInputMap::all_unset(n);
+        Row r;
+        std::uint64_t forced = 0, fixed = 0;
+        for (unsigned phase = 1; phase <= 6; ++phase) {
+          const auto step = adv.refine(phase, f);
+          if (step.forced_rw == 0 && step.forced_contention == 0) break;
+          f = step.f;
+          forced += step.x;
+          fixed += step.inputs_fixed;
+          ++r.steps;
+          const auto ta = adv.analyze(f);
+          const auto rep = pb::check_t_good_s5(
+              ta, std::min(phase, ta.phases()), 1.0, 1.0, n, fixed);
+          r.good = r.good && rep.ok;
+        }
+        r.forced = static_cast<double>(forced);
+        r.fixed = static_cast<double>(fixed);
+        return r;
+      });
+
   std::printf("%s", pb::banner("Section 5 adversary vs GSM OR trees: "
                                "forced work per phase, inputs fixed, "
                                "goodness verdict (exact, n <= 10)")
                         .c_str());
   TextTable t({"n", "fanin", "steps", "big-steps forced", "inputs fixed",
                "t-good all steps?"});
-  for (const unsigned n : {6u, 8u, 10u}) {
-    for (const unsigned fanin : {2u, 3u}) {
-      pb::RandomAdversary adv(or_tree_algo(fanin), pb::GsmConfig{}, n,
-                              pb::BitDistribution::uniform(n), kSeed + n);
-      pb::PartialInputMap f = pb::PartialInputMap::all_unset(n);
-      std::uint64_t forced = 0, fixed = 0;
-      bool good = true;
-      unsigned steps = 0;
-      for (unsigned phase = 1; phase <= 6; ++phase) {
-        const auto step = adv.refine(phase, f);
-        if (step.forced_rw == 0 && step.forced_contention == 0) break;
-        f = step.f;
-        forced += step.x;
-        fixed += step.inputs_fixed;
-        ++steps;
-        const auto ta = adv.analyze(f);
-        const auto rep = pb::check_t_good_s5(
-            ta, std::min(phase, ta.phases()), 1.0, 1.0, n, fixed);
-        good = good && rep.ok;
-      }
-      t.add_row({std::to_string(n), std::to_string(fanin),
-                 std::to_string(steps), TextTable::num(forced, 0),
-                 TextTable::num(fixed, 0), good ? "yes" : "NO"});
-    }
-  }
+  for (std::size_t i = 0; i < std::size(combos); ++i)
+    t.add_row({std::to_string(combos[i].n), std::to_string(combos[i].fanin),
+               std::to_string(rows[i].steps), TextTable::num(rows[i].forced, 0),
+               TextTable::num(rows[i].fixed, 0),
+               rows[i].good ? "yes" : "NO"});
   std::printf("%s\n", t.render().c_str());
 }
 
@@ -84,15 +107,26 @@ void or_tradeoff() {
               pb::banner("Theorem 7.1 empirically: success probability of "
                          "a truncated OR tree against D (n = 256)")
                   .c_str());
-  const pb::OrDistribution dist(256, 1, 1);
+  // One cell per budget, 1000 single-draw trials each: every trial draws
+  // one input from D under its own derived seed and returns 0/1, so the
+  // cell mean IS the success probability and the estimate is identical
+  // for any --jobs (each draw's seed depends only on the trial id).
+  const auto dist = std::make_shared<pb::OrDistribution>(256, 1, 1);
+  constexpr unsigned budgets[] = {1u, 2u, 4u, 8u, 12u, 16u, 0u};
+  std::vector<SweepCell> cells;
+  for (const unsigned budget : budgets)
+    cells.push_back({.key = budget == 0 ? "unbounded" : std::to_string(budget),
+                     .trials = 1000,
+                     .run = [dist, budget](std::uint64_t s) {
+                       pb::Rng rng(s);
+                       return pb::or_success_experiment(*dist, 2, budget, 1,
+                                                        rng, {});
+                     }});
+  const auto& res = sweep("Theorem 7.1 OR success vs phase budget",
+                          std::move(cells));
   TextTable t({"phase budget", "success probability (1000 trials)"});
-  pb::Rng rng(kSeed);
-  for (const unsigned budget : {1u, 2u, 4u, 8u, 12u, 16u, 0u}) {
-    const double s =
-        pb::or_success_experiment(dist, 2, budget, 1000, rng, {});
-    t.add_row({budget == 0 ? "unbounded" : std::to_string(budget),
-               TextTable::num(s, 3)});
-  }
+  for (const auto& c : res.cells)
+    t.add_row({c.key, TextTable::num(c.mean, 3)});
   std::printf("%s\n", t.render().c_str());
 }
 
@@ -112,6 +146,7 @@ void envelope_shapes() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_adversary");
   std::printf("%s", pb::banner("RANDOM ADVERSARY MACHINERY — Sections 4, "
                                "5 and 7 executed and measured")
                         .c_str());
@@ -140,5 +175,5 @@ int main(int argc, char** argv) {
                                });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

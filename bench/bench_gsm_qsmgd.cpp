@@ -10,6 +10,10 @@
 // (c) QSM(g, d): parity/OR on the generalized machine vs the Claim 2.2
 //     instantiations of the GSM bounds, across the g/d grid including
 //     both endpoints (d = 1: QSM column; d = g: s-QSM column).
+//
+// The GSM grid and QSM(g,d) grid fan out through the ExperimentRunner
+// (see harness.hpp for --jobs / --json); the degree ledger is a single
+// exact run and stays serial.
 
 #include <benchmark/benchmark.h>
 
@@ -44,22 +48,32 @@ void print_gsm() {
   std::printf("%s", pb::banner("GSM time bounds (the theorems everything "
                                "else is a corollary of)")
                         .c_str());
-  TextTable t({"n,alpha,beta,gamma", "measured (tree)", "parity det LB "
-               "(Thm 3.1)", "OR det LB (Thm 7.2)", "parity rand LB "
-               "(Thm 3.2)", "OR rand LB (Thm 7.1)"});
   struct P {
     std::uint64_t a, b, c;
   };
-  for (const std::uint64_t n : {1u << 10, 1u << 14})
-    for (const P prm : {P{1, 1, 1}, P{1, 4, 1}, P{4, 1, 1}, P{1, 1, 8}}) {
+  constexpr std::uint64_t ns[] = {1u << 10, 1u << 14};
+  constexpr P prms[] = {P{1, 1, 1}, P{1, 4, 1}, P{4, 1, 1}, P{1, 1, 8}};
+  const auto meas = parallel_trials<double>(
+      std::size(ns) * std::size(prms), [&](std::uint64_t trial, std::uint64_t) {
+        const std::uint64_t n = ns[trial / std::size(prms)];
+        const P prm = prms[trial % std::size(prms)];
+        return gsm_tree_cost(n, prm.a, prm.b, prm.c, 2, true);
+      });
+
+  TextTable t({"n,alpha,beta,gamma", "measured (tree)", "parity det LB "
+               "(Thm 3.1)", "OR det LB (Thm 7.2)", "parity rand LB "
+               "(Thm 3.2)", "OR rand LB (Thm 7.1)"});
+  for (std::size_t ni = 0; ni < std::size(ns); ++ni)
+    for (std::size_t pi = 0; pi < std::size(prms); ++pi) {
+      const std::uint64_t n = ns[ni];
+      const P prm = prms[pi];
       const bb::GsmParams gp{static_cast<double>(prm.a),
                              static_cast<double>(prm.b),
                              static_cast<double>(prm.c)};
-      const double meas = gsm_tree_cost(n, prm.a, prm.b, prm.c, 2, true);
       t.add_row(
           {"n=" + std::to_string(n) + ",a=" + std::to_string(prm.a) +
                ",b=" + std::to_string(prm.b) + ",c=" + std::to_string(prm.c),
-           TextTable::num(meas, 0),
+           TextTable::num(meas[ni * std::size(prms) + pi], 0),
            TextTable::num(bb::gsm_parity_det_time(n, gp), 1),
            TextTable::num(bb::gsm_or_det_time(n, gp), 1),
            TextTable::num(bb::gsm_parity_rand_time(n, gp), 1),
@@ -100,24 +114,32 @@ void print_qsm_gd() {
                                "the g/d grid (d=1 is the QSM column, d=g "
                                "the s-QSM column)")
                         .c_str());
-  TextTable t({"n,g,d", "measured", "parity LB (Clm 2.2)", "meas/LB",
-               "OR det LB", "LAC rand LB"});
   const std::uint64_t n = 1 << 12;
   struct GD {
     std::uint64_t g, d;
   };
-  for (const GD gd : {GD{8, 1}, GD{8, 2}, GD{8, 8}, GD{2, 8}, GD{1, 8}}) {
-    pb::QsmMachine m({.g = gd.g, .d = gd.d, .model = pb::CostModel::QsmGd});
-    pb::Rng rng(kSeed);
-    const auto input = pb::bernoulli_array(n, 0.5, rng);
-    const pb::Addr in = m.alloc(n);
-    m.preload(in, input);
-    pb::parity_tree(m, in, n, 2);
+  constexpr GD gds[] = {GD{8, 1}, GD{8, 2}, GD{8, 8}, GD{2, 8}, GD{1, 8}};
+  const auto meas = parallel_trials<double>(
+      std::size(gds), [&](std::uint64_t i, std::uint64_t) {
+        const GD gd = gds[i];
+        pb::QsmMachine m({.g = gd.g, .d = gd.d, .model = pb::CostModel::QsmGd});
+        pb::Rng rng(kSeed);
+        const auto input = pb::bernoulli_array(n, 0.5, rng);
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, input);
+        pb::parity_tree(m, in, n, 2);
+        return static_cast<double>(m.time());
+      });
+
+  TextTable t({"n,g,d", "measured", "parity LB (Clm 2.2)", "meas/LB",
+               "OR det LB", "LAC rand LB"});
+  for (std::size_t i = 0; i < std::size(gds); ++i) {
+    const GD gd = gds[i];
     const double lb = bb::qsm_gd_parity_det_time(n, gd.g, gd.d);
     t.add_row({"n=" + std::to_string(n) + ",g=" + std::to_string(gd.g) +
                    ",d=" + std::to_string(gd.d),
-               TextTable::num(m.time(), 0), TextTable::num(lb, 1),
-               TextTable::num(static_cast<double>(m.time()) / lb, 2),
+               TextTable::num(meas[i], 0), TextTable::num(lb, 1),
+               TextTable::num(meas[i] / lb, 2),
                TextTable::num(bb::qsm_gd_or_det_time(n, gd.g, gd.d), 1),
                TextTable::num(bb::qsm_gd_lac_rand_time(n, gd.g, gd.d), 1)});
   }
@@ -129,27 +151,37 @@ void print_gsm_rounds() {
                                "(lambda*p)) and the GSM(h) relaxation of "
                                "Section 6.3")
                         .c_str());
+  const std::uint64_t n = 1 << 12;
+  constexpr std::uint64_t ps[] = {8ull, 64ull, 512ull};
+  struct R {
+    double rounds = 0;
+    bool ok = true;
+  };
+  const auto rows = parallel_trials<R>(
+      std::size(ps), [&](std::uint64_t i, std::uint64_t) {
+        pb::GsmMachine m({.alpha = 2, .beta = 1, .gamma = 2});
+        pb::Rng rng(kSeed);
+        const auto input = pb::bernoulli_array(n, 0.5, rng);
+        pb::gsm_reduce_rounds(m, input, ps[i], /*parity=*/false);
+        const auto audit =
+            pb::audit_rounds_gsm(m.trace(), n, ps[i], m.alpha(), m.beta(), 6);
+        return R{static_cast<double>(audit.rounds), audit.all_rounds()};
+      });
+
   TextTable t({"p (n=2^12, a=2,b=1,c=2)", "rounds", "all-rounds?",
                "OR rounds LB (Thm 7.3)"});
-  const std::uint64_t n = 1 << 12;
-  for (const std::uint64_t p : {8ull, 64ull, 512ull}) {
-    pb::GsmMachine m({.alpha = 2, .beta = 1, .gamma = 2});
-    pb::Rng rng(kSeed);
-    const auto input = pb::bernoulli_array(n, 0.5, rng);
-    pb::gsm_reduce_rounds(m, input, p, /*parity=*/false);
-    const auto audit =
-        pb::audit_rounds_gsm(m.trace(), n, p, m.alpha(), m.beta(), 6);
-    const bb::GsmParams gp{2, 1, 2};
-    t.add_row({std::to_string(p), TextTable::num(audit.rounds, 0),
-               audit.all_rounds() ? "yes" : "NO",
-               TextTable::num(bb::gsm_or_rand_rounds(n, p, gp), 2)});
-  }
+  const bb::GsmParams gp{2, 1, 2};
+  for (std::size_t i = 0; i < std::size(ps); ++i)
+    t.add_row({std::to_string(ps[i]), TextTable::num(rows[i].rounds, 0),
+               rows[i].ok ? "yes" : "NO",
+               TextTable::num(bb::gsm_or_rand_rounds(n, ps[i], gp), 2)});
   std::printf("%s\n", t.render().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_gsm_qsmgd");
   std::printf("%s", pb::banner("GSM + QSM(g,d) REPRODUCTION — the "
                                "lower-bound model itself, and Claim 2.2")
                         .c_str());
@@ -166,5 +198,5 @@ int main(int argc, char** argv) {
                                });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

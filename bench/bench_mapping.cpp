@@ -6,6 +6,10 @@
 // s-QSM). The printed ratio is factor * T_GSM / T_original — always <= 2
 // across algorithms, sizes and gaps, which is the executable content of
 // "lower bounds proved on the GSM transfer to all three models".
+//
+// Each (algorithm, g) replay is an independent runner trial; rows come
+// back in declaration order so the table reads the same at any --jobs
+// (see harness.hpp for --jobs / --json).
 
 #include <benchmark/benchmark.h>
 
@@ -19,72 +23,102 @@ using namespace parbounds::bench;
 
 namespace {
 
-void report(TextTable& t, const std::string& name,
-            const pb::ExecutionTrace& trace) {
-  const auto rep = pb::check_claim21(trace);
-  t.add_row({name, TextTable::num(rep.original_cost, 0),
-             TextTable::num(rep.gsm_cost, 0),
-             TextTable::num(static_cast<double>(rep.factor), 0),
-             TextTable::num(rep.ratio, 3),
-             rep.holds(2.01) ? "holds" : "VIOLATED"});
+struct MapRow {
+  std::string name;
+  pb::MappingReport rep;
+};
+
+void report(TextTable& t, const MapRow& row) {
+  t.add_row({row.name, TextTable::num(row.rep.original_cost, 0),
+             TextTable::num(row.rep.gsm_cost, 0),
+             TextTable::num(static_cast<double>(row.rep.factor), 0),
+             TextTable::num(row.rep.ratio, 3),
+             row.rep.holds(2.01) ? "holds" : "VIOLATED"});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_mapping");
   std::printf("%s", pb::banner("CLAIM 2.1 — replaying real executions on "
                                "the GSM (factor * T_GSM / T_model <= 2)")
                         .c_str());
+
+  using Builder = std::function<MapRow(std::uint64_t g)>;
+  const std::uint64_t n = 1 << 12;
+  const Builder builders[] = {
+      [n](std::uint64_t g) {
+        pb::Rng rng(kSeed);
+        const auto bits = pb::bernoulli_array(n, 0.5, rng);
+        pb::QsmMachine m({.g = g});
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, bits);
+        pb::parity_circuit(m, in, n);
+        return MapRow{"QSM parity circuit g=" + std::to_string(g),
+                      pb::check_claim21(m.trace())};
+      },
+      [n](std::uint64_t g) {
+        pb::Rng rng(kSeed);
+        const auto bits = pb::bernoulli_array(n, 0.5, rng);
+        pb::QsmMachine m({.g = g});
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, bits);
+        pb::or_fanin_qsm(m, in, n);
+        return MapRow{"QSM OR fan-in g=" + std::to_string(g),
+                      pb::check_claim21(m.trace())};
+      },
+      [n](std::uint64_t g) {
+        pb::Rng rng(kSeed);
+        const auto bits = pb::bernoulli_array(n, 0.5, rng);
+        pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, bits);
+        pb::parity_tree(m, in, n);
+        return MapRow{"s-QSM parity tree g=" + std::to_string(g),
+                      pb::check_claim21(m.trace())};
+      },
+      [n](std::uint64_t g) {
+        pb::Rng rng(kSeed);
+        const auto bits = pb::bernoulli_array(n, 0.5, rng);
+        pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
+        const pb::Addr in = m.alloc(n);
+        m.preload(in, bits);
+        pb::lac_prefix(m, in, n, 2);
+        return MapRow{"s-QSM LAC prefix g=" + std::to_string(g),
+                      pb::check_claim21(m.trace())};
+      },
+      [n](std::uint64_t g) {
+        pb::Rng rng(kSeed);
+        const auto bits = pb::bernoulli_array(n, 0.5, rng);
+        pb::BspMachine m({.p = 256, .g = g, .L = 8 * g});
+        pb::parity_bsp(m, bits);
+        return MapRow{"BSP parity g=" + std::to_string(g) +
+                          ",L=" + std::to_string(8 * g),
+                      pb::check_claim21(m.trace())};
+      },
+      [n](std::uint64_t g) {
+        pb::Rng rng(kSeed);
+        const auto bits = pb::bernoulli_array(n, 0.5, rng);
+        pb::BspMachine m({.p = 256, .g = g, .L = 8 * g});
+        pb::lac_bsp(m, bits);
+        return MapRow{"BSP LAC g=" + std::to_string(g) +
+                          ",L=" + std::to_string(8 * g),
+                      pb::check_claim21(m.trace())};
+      },
+  };
+  constexpr std::uint64_t gs[] = {2ull, 8ull, 32ull};
+
+  // Trial order matches the old nested loop: g outer, builder inner.
+  const auto rows = parallel_trials<MapRow>(
+      std::size(gs) * std::size(builders),
+      [&](std::uint64_t trial, std::uint64_t) {
+        return builders[trial % std::size(builders)](
+            gs[trial / std::size(builders)]);
+      });
+
   TextTable t({"execution", "T_model", "T_GSM", "factor", "ratio",
                "verdict"});
-
-  for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
-    const std::uint64_t n = 1 << 12;
-    pb::Rng rng(kSeed);
-    const auto bits = pb::bernoulli_array(n, 0.5, rng);
-    {
-      pb::QsmMachine m({.g = g});
-      const pb::Addr in = m.alloc(n);
-      m.preload(in, bits);
-      pb::parity_circuit(m, in, n);
-      report(t, "QSM parity circuit g=" + std::to_string(g), m.trace());
-    }
-    {
-      pb::QsmMachine m({.g = g});
-      const pb::Addr in = m.alloc(n);
-      m.preload(in, bits);
-      pb::or_fanin_qsm(m, in, n);
-      report(t, "QSM OR fan-in g=" + std::to_string(g), m.trace());
-    }
-    {
-      pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
-      const pb::Addr in = m.alloc(n);
-      m.preload(in, bits);
-      pb::parity_tree(m, in, n);
-      report(t, "s-QSM parity tree g=" + std::to_string(g), m.trace());
-    }
-    {
-      pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
-      const pb::Addr in = m.alloc(n);
-      m.preload(in, bits);
-      pb::lac_prefix(m, in, n, 2);
-      report(t, "s-QSM LAC prefix g=" + std::to_string(g), m.trace());
-    }
-    {
-      pb::BspMachine m({.p = 256, .g = g, .L = 8 * g});
-      pb::parity_bsp(m, bits);
-      report(t, "BSP parity g=" + std::to_string(g) +
-                    ",L=" + std::to_string(8 * g),
-             m.trace());
-    }
-    {
-      pb::BspMachine m({.p = 256, .g = g, .L = 8 * g});
-      pb::lac_bsp(m, bits);
-      report(t, "BSP LAC g=" + std::to_string(g) +
-                    ",L=" + std::to_string(8 * g),
-             m.trace());
-    }
-  }
+  for (const auto& row : rows) report(t, row);
   std::printf("%s\n", t.render().c_str());
 
   std::printf("%s", pb::banner("Round mapping (Claim 2.1 items 5-7): "
@@ -94,19 +128,19 @@ int main(int argc, char** argv) {
   TextTable r({"execution", "rounds", "all-rounds on source",
                "all-rounds on GSM(1,1)"});
   {
-    const std::uint64_t n = 1 << 14, p = 256;
+    const std::uint64_t rn = 1 << 14, p = 256;
     pb::Rng rng(kSeed);
-    const auto bits = pb::bernoulli_array(n, 0.5, rng);
+    const auto bits = pb::bernoulli_array(rn, 0.5, rng);
     pb::QsmMachine m({.g = 4, .model = pb::CostModel::SQsm});
-    const pb::Addr in = m.alloc(n);
+    const pb::Addr in = m.alloc(rn);
     m.preload(in, bits);
-    pb::parity_rounds(m, in, n, p);
-    const auto src = pb::audit_rounds_qsm(m.trace(), n, p, 6);
+    pb::parity_rounds(m, in, rn, p);
+    const auto src = pb::audit_rounds_qsm(m.trace(), rn, p, 6);
     // On the GSM(1,1): every phase's big-step cost must fit the GSM round
     // budget mu*n/(lambda*p) = n/p.
     bool gsm_rounds_ok = true;
     for (const auto& ph : m.trace().phases)
-      if (pb::gsm_phase_cost(ph.stats, 1, 1) > 6 * (n / p))
+      if (pb::gsm_phase_cost(ph.stats, 1, 1) > 6 * (rn / p))
         gsm_rounds_ok = false;
     r.add_row({"s-QSM parity rounds p=256",
                TextTable::num(src.rounds, 0),
@@ -130,5 +164,5 @@ int main(int argc, char** argv) {
                                });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

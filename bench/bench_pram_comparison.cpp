@@ -13,6 +13,9 @@
 //
 // plus the EREW end of the spectrum, where the engine itself rejects
 // every queue-exploiting program.
+//
+// Each table's n rows fan out through the ExperimentRunner as
+// multi-column trials (see harness.hpp for --jobs / --json).
 
 #include <benchmark/benchmark.h>
 
@@ -28,100 +31,130 @@ using namespace parbounds::bench;
 namespace {
 
 void print_or_separation() {
+  constexpr std::uint64_t ns[] = {1u << 8, 1u << 12, 1u << 16};
+  struct Row {
+    double crcw = 0, qrqw = 0, qsm = 0, sqsm = 0;
+  };
+  const auto rows = parallel_trials<Row>(
+      std::size(ns), [&](std::uint64_t i, std::uint64_t) {
+        const std::uint64_t n = ns[i];
+        pb::Rng rng(kSeed);
+        const auto input = pb::boolean_array(n, n, rng);
+
+        pb::CrcwMachine pram;
+        pb::Addr in = pram.alloc(n);
+        pram.preload(in, input);
+        pb::crcw_or(pram, in, n);
+
+        auto queued = [&](std::uint64_t g) {
+          pb::QsmMachine m({.g = g});
+          const pb::Addr a = m.alloc(n);
+          m.preload(a, input);
+          pb::or_fanin_qsm(m, a, n);
+          return static_cast<double>(m.time());
+        };
+        auto squeued = [&](std::uint64_t g) {
+          pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
+          const pb::Addr a = m.alloc(n);
+          m.preload(a, input);
+          pb::or_tree(m, a, n, 2);
+          return static_cast<double>(m.time());
+        };
+        return Row{static_cast<double>(pram.time()), queued(1), queued(8),
+                   squeued(8)};
+      });
+
   std::printf("%s", pb::banner("OR: CRCW Theta(1) vs queued models "
                                "(dense input, the adversarial case)")
                         .c_str());
   TextTable t({"n", "CRCW steps", "QRQW (g=1)", "QSM g=8", "s-QSM g=8"});
-  for (const std::uint64_t n : {1u << 8, 1u << 12, 1u << 16}) {
-    pb::Rng rng(kSeed);
-    const auto input = pb::boolean_array(n, n, rng);
-
-    pb::CrcwMachine pram;
-    pb::Addr in = pram.alloc(n);
-    pram.preload(in, input);
-    pb::crcw_or(pram, in, n);
-
-    auto queued = [&](std::uint64_t g) {
-      pb::QsmMachine m({.g = g});
-      const pb::Addr a = m.alloc(n);
-      m.preload(a, input);
-      pb::or_fanin_qsm(m, a, n);
-      return m.time();
-    };
-    auto squeued = [&](std::uint64_t g) {
-      pb::QsmMachine m({.g = g, .model = pb::CostModel::SQsm});
-      const pb::Addr a = m.alloc(n);
-      m.preload(a, input);
-      pb::or_tree(m, a, n, 2);
-      return m.time();
-    };
-    t.add_row({std::to_string(n), TextTable::num(pram.time(), 0),
-               TextTable::num(queued(1), 0), TextTable::num(queued(8), 0),
-               TextTable::num(squeued(8), 0)});
-  }
+  for (std::size_t i = 0; i < std::size(ns); ++i)
+    t.add_row({std::to_string(ns[i]), TextTable::num(rows[i].crcw, 0),
+               TextTable::num(rows[i].qrqw, 0), TextTable::num(rows[i].qsm, 0),
+               TextTable::num(rows[i].sqsm, 0)});
   std::printf("%s\n", t.render().c_str());
 }
 
 void print_parity_separation() {
+  constexpr std::uint64_t ns[] = {1u << 8, 1u << 10, 1u << 12};
+  struct Row {
+    double crcw = 0, qsm = 0, sqsm = 0;
+  };
+  const auto rows = parallel_trials<Row>(
+      std::size(ns), [&](std::uint64_t i, std::uint64_t) {
+        const std::uint64_t n = ns[i];
+        pb::Rng rng(kSeed);
+        const auto input = pb::bernoulli_array(n, 0.5, rng);
+
+        pb::CrcwMachine pram;
+        pb::Addr in = pram.alloc(n);
+        pram.preload(in, input);
+        pb::crcw_parity(pram, in, n, 8);
+
+        return Row{static_cast<double>(pram.steps()),
+                   parity_circuit_cost(pb::CostModel::Qsm, n, 8, kSeed),
+                   parity_tree_cost(pb::CostModel::SQsm, n, 8, 2, kSeed)};
+      });
+
   std::printf("%s", pb::banner("Parity: CRCW O(log n/loglog n) steps "
                                "[Beame-Hastad-tight] vs the queued models")
                         .c_str());
   TextTable t({"n", "CRCW steps", "log n/loglog n", "QSM g=8 time",
                "s-QSM g=8 time"});
-  for (const std::uint64_t n : {1u << 8, 1u << 10, 1u << 12}) {
-    pb::Rng rng(kSeed);
-    const auto input = pb::bernoulli_array(n, 0.5, rng);
-
-    pb::CrcwMachine pram;
-    pb::Addr in = pram.alloc(n);
-    pram.preload(in, input);
-    pb::crcw_parity(pram, in, n, 8);
-
-    const double dn = static_cast<double>(n);
-    t.add_row({std::to_string(n), TextTable::num(pram.steps(), 0),
+  for (std::size_t i = 0; i < std::size(ns); ++i) {
+    const double dn = static_cast<double>(ns[i]);
+    t.add_row({std::to_string(ns[i]), TextTable::num(rows[i].crcw, 0),
                TextTable::num(pb::safe_log2(dn) / pb::safe_loglog2(dn), 1),
-               TextTable::num(
-                   parity_circuit_cost(pb::CostModel::Qsm, n, 8, kSeed), 0),
-               TextTable::num(
-                   parity_tree_cost(pb::CostModel::SQsm, n, 8, 2, kSeed),
-                   0)});
+               TextTable::num(rows[i].qsm, 0),
+               TextTable::num(rows[i].sqsm, 0)});
   }
   std::printf("%s\n", t.render().c_str());
 }
 
 void print_max_and_erew() {
+  constexpr std::uint64_t ns[] = {32ull, 64ull, 128ull};
+  struct Row {
+    double steps = 0;
+    std::string verdict;
+  };
+  const auto rows = parallel_trials<Row>(
+      std::size(ns), [&](std::uint64_t i, std::uint64_t) {
+        const std::uint64_t n = ns[i];
+        pb::Rng rng(kSeed + n);
+        std::vector<pb::Word> keys(n);
+        for (auto& v : keys) v = static_cast<pb::Word>(rng.next_below(1000));
+        pb::CrcwMachine pram;
+        const pb::Addr in = pram.alloc(n);
+        pram.preload(in, keys);
+        pb::crcw_max(pram, in, n);
+
+        std::string verdict = "accepted (?)";
+        try {
+          pb::QsmMachine erew({.g = 1, .model = pb::CostModel::Erew});
+          const pb::Addr a = erew.alloc(n);
+          const auto bits = pb::boolean_array(n, n, rng);
+          erew.preload(a, bits);
+          pb::or_contention(erew, a, n, 8);
+        } catch (const pb::ModelViolation& e) {
+          verdict = std::string("rejected: ") + e.what();
+        }
+        return Row{static_cast<double>(pram.steps()), std::move(verdict)};
+      });
+
   std::printf("%s", pb::banner("Max: CRCW Theta(1) with n^2 processors; "
                                "EREW rejects every funnel outright")
                         .c_str());
   TextTable t({"n", "CRCW max steps", "EREW verdict on fan-in-8 funnel"});
-  for (const std::uint64_t n : {32ull, 64ull, 128ull}) {
-    pb::Rng rng(kSeed + n);
-    std::vector<pb::Word> keys(n);
-    for (auto& v : keys) v = static_cast<pb::Word>(rng.next_below(1000));
-    pb::CrcwMachine pram;
-    const pb::Addr in = pram.alloc(n);
-    pram.preload(in, keys);
-    pb::crcw_max(pram, in, n);
-
-    std::string verdict = "accepted (?)";
-    try {
-      pb::QsmMachine erew({.g = 1, .model = pb::CostModel::Erew});
-      const pb::Addr a = erew.alloc(n);
-      const auto bits = pb::boolean_array(n, n, rng);
-      erew.preload(a, bits);
-      pb::or_contention(erew, a, n, 8);
-    } catch (const pb::ModelViolation& e) {
-      verdict = std::string("rejected: ") + e.what();
-    }
-    t.add_row({std::to_string(n), TextTable::num(pram.steps(), 0),
-               verdict});
-  }
+  for (std::size_t i = 0; i < std::size(ns); ++i)
+    t.add_row({std::to_string(ns[i]), TextTable::num(rows[i].steps, 0),
+               rows[i].verdict});
   std::printf("%s\n", t.render().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_pram_comparison");
   std::printf("%s", pb::banner("PRAM COMPARISON — the EREW / QRQW / CRCW "
                                "spectrum around the paper's models")
                         .c_str());
@@ -144,5 +177,5 @@ int main(int argc, char** argv) {
                                });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

@@ -9,6 +9,9 @@
 //     measured/LB ratio is flat;
 //   * the documented gaps (loglog n for OR, sqrt vs loglog for LAC) show
 //     up as slowly growing measured/LB ratios.
+//
+// All cells fan out through the ExperimentRunner; see harness.hpp for
+// the --jobs / --json flags.
 
 #include <benchmark/benchmark.h>
 
@@ -18,110 +21,112 @@
 
 namespace pb = parbounds;
 namespace bb = parbounds::bounds;
-using parbounds::TextTable;
 using namespace parbounds::bench;
+using parbounds::runtime::SweepCell;
 
 namespace {
 
+std::string key_ng(std::uint64_t n, std::uint64_t g) {
+  return "n=" + std::to_string(n) + ",g=" + std::to_string(g);
+}
+
 void print_parity_det() {
-  std::printf("%s", pb::banner("QSM / Parity, deterministic "
-                               "(circuit emulation; LB = Cor 3.1)")
-                        .c_str());
-  TextTable t(std_header("n,g"));
+  std::vector<SweepCell> cells;
   for (const std::uint64_t n : {1u << 10, 1u << 12, 1u << 14})
-    for (const std::uint64_t g : {4ull, 16ull, 64ull}) {
-      const double meas = parity_circuit_cost(pb::CostModel::Qsm, n, g, kSeed);
-      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::qsm_parity_det_time(n, g),
-                    bb::ub_parity_qsm(n, g)));
-    }
-  std::printf("%s\n", t.render().c_str());
+    for (const std::uint64_t g : {4ull, 16ull, 64ull})
+      cells.push_back({.key = key_ng(n, g),
+                       .lb = bb::qsm_parity_det_time(n, g),
+                       .ub = bb::ub_parity_qsm(n, g),
+                       .run = [n, g](std::uint64_t s) {
+                         return parity_circuit_cost(pb::CostModel::Qsm, n, g,
+                                                    s);
+                       }});
+  sweep_table("QSM / Parity, deterministic (circuit emulation; LB = Cor 3.1)",
+              "n,g", std::move(cells));
 }
 
 void print_parity_cr() {
-  std::printf("%s",
-              pb::banner("QSM / Parity with unit-time concurrent reads "
-                         "(THETA entry: LB = Thm 3.1 = UB)")
-                  .c_str());
-  TextTable t(std_header("n,g"));
+  std::vector<SweepCell> cells;
   for (const std::uint64_t n : {1u << 10, 1u << 12, 1u << 14})
-    for (const std::uint64_t g : {4ull, 16ull, 64ull}) {
-      const double meas =
-          parity_circuit_cost(pb::CostModel::QsmCrFree, n, g, kSeed);
-      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::qsm_parity_det_time(n, g),
-                    bb::ub_parity_qsm_cr(n, g)));
-    }
-  std::printf("%s\n", t.render().c_str());
+    for (const std::uint64_t g : {4ull, 16ull, 64ull})
+      cells.push_back({.key = key_ng(n, g),
+                       .lb = bb::qsm_parity_det_time(n, g),
+                       .ub = bb::ub_parity_qsm_cr(n, g),
+                       .run = [n, g](std::uint64_t s) {
+                         return parity_circuit_cost(pb::CostModel::QsmCrFree,
+                                                    n, g, s);
+                       }});
+  sweep_table("QSM / Parity with unit-time concurrent reads "
+              "(THETA entry: LB = Thm 3.1 = UB)",
+              "n,g", std::move(cells));
 }
 
 void print_or() {
-  std::printf("%s", pb::banner("QSM / OR, deterministic "
-                               "(contention fan-in g; LB = Cor 7.2)")
-                        .c_str());
-  TextTable t(std_header("n,g"));
+  std::vector<SweepCell> det;
   for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 18})
-    for (const std::uint64_t g : {4ull, 16ull, 64ull}) {
-      const double meas =
-          or_fanin_cost(pb::CostModel::Qsm, n, g, /*ones=*/1, kSeed);
-      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::qsm_or_det_time(n, g), bb::ub_or_qsm(n, g)));
-    }
-  std::printf("%s\n", t.render().c_str());
+    for (const std::uint64_t g : {4ull, 16ull, 64ull})
+      det.push_back({.key = key_ng(n, g),
+                     .lb = bb::qsm_or_det_time(n, g),
+                     .ub = bb::ub_or_qsm(n, g),
+                     .run = [n, g](std::uint64_t s) {
+                       return or_fanin_cost(pb::CostModel::Qsm, n, g,
+                                            /*ones=*/1, s);
+                     }});
+  sweep_table("QSM / OR, deterministic (contention fan-in g; LB = Cor 7.2)",
+              "n,g", std::move(det));
 
-  std::printf("%s",
-              pb::banner("QSM / OR, randomized (sampling + flag under free "
-                         "concurrent reads; LB = Cor 7.1, g(log* n - log* g))")
-                  .c_str());
-  TextTable r(std_header("n,g,density"));
+  std::vector<SweepCell> rand;
   for (const std::uint64_t n : {1u << 12, 1u << 16})
     for (const std::uint64_t g : {4ull, 16ull})
-      for (const std::uint64_t ones : {std::uint64_t{0}, n / 2}) {
-        const double meas = avg_cost(
-            [&](std::uint64_t s) { return or_rand_cr_cost(n, g, ones, s); });
-        r.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g) +
-                          "," + (ones == 0 ? "zeros" : "dense"),
-                      meas, bb::qsm_or_rand_time(n, g),
-                      bb::ub_or_cr_rand(n, g)));
-      }
-  std::printf("%s\n", r.render().c_str());
+      for (const std::uint64_t ones : {std::uint64_t{0}, n / 2})
+        rand.push_back({.key = key_ng(n, g) +
+                               "," + (ones == 0 ? "zeros" : "dense"),
+                        .trials = kReps,
+                        .lb = bb::qsm_or_rand_time(n, g),
+                        .ub = bb::ub_or_cr_rand(n, g),
+                        .run = [n, g, ones](std::uint64_t s) {
+                          return or_rand_cr_cost(n, g, ones, s);
+                        }});
+  sweep_table("QSM / OR, randomized (sampling + flag under free concurrent "
+              "reads; LB = Cor 7.1, g(log* n - log* g))",
+              "n,g,density", std::move(rand));
 }
 
 void print_lac() {
-  std::printf("%s", pb::banner("QSM / LAC, deterministic "
-                               "(prefix sums; LB = Cor 6.4)")
-                        .c_str());
-  TextTable t(std_header("n,g"));
+  std::vector<SweepCell> det;
   for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 16})
-    for (const std::uint64_t g : {4ull, 16ull, 64ull}) {
-      const double meas =
-          lac_prefix_cost(pb::CostModel::Qsm, n, g, n / 8, kSeed);
-      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::qsm_lac_det_time(n, g),
-                    /*UB: the prefix algorithm is O(g log n)*/
-                    g * pb::safe_log2(static_cast<double>(n))));
-    }
-  std::printf("%s\n", t.render().c_str());
+    for (const std::uint64_t g : {4ull, 16ull, 64ull})
+      det.push_back({.key = key_ng(n, g),
+                     .lb = bb::qsm_lac_det_time(n, g),
+                     /*UB: the prefix algorithm is O(g log n)*/
+                     .ub = g * pb::safe_log2(static_cast<double>(n)),
+                     .run = [n, g](std::uint64_t s) {
+                       return lac_prefix_cost(pb::CostModel::Qsm, n, g, n / 8,
+                                              s);
+                     }});
+  sweep_table("QSM / LAC, deterministic (prefix sums; LB = Cor 6.4)", "n,g",
+              std::move(det));
 
-  std::printf("%s",
-              pb::banner("QSM / LAC, randomized (dart throwing; LB = Cor "
-                         "6.1, g loglog n / log g; UB claim = Sec 8)")
-                  .c_str());
-  TextTable r(std_header("n,g"));
+  std::vector<SweepCell> rand;
   for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 16})
-    for (const std::uint64_t g : {4ull, 16ull, 64ull}) {
-      const double meas = avg_cost([&](std::uint64_t s) {
-        return lac_dart_cost(pb::CostModel::Qsm, n, g, n / 8, s);
-      });
-      r.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::qsm_lac_rand_time(n, g), bb::ub_lac_qsm(n, g)));
-    }
-  std::printf("%s\n", r.render().c_str());
+    for (const std::uint64_t g : {4ull, 16ull, 64ull})
+      rand.push_back({.key = key_ng(n, g),
+                      .trials = kReps,
+                      .lb = bb::qsm_lac_rand_time(n, g),
+                      .ub = bb::ub_lac_qsm(n, g),
+                      .run = [n, g](std::uint64_t s) {
+                        return lac_dart_cost(pb::CostModel::Qsm, n, g, n / 8,
+                                             s);
+                      }});
+  sweep_table("QSM / LAC, randomized (dart throwing; LB = Cor 6.1, "
+              "g loglog n / log g; UB claim = Sec 8)",
+              "n,g", std::move(rand));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_table1_qsm_time");
   std::printf("%s",
               pb::banner("TABLE 1 (subtable 1) REPRODUCTION — Time lower "
                          "bounds for QSM [MacKenzie-Ramachandran SPAA'98]")
@@ -158,5 +163,5 @@ int main(int argc, char** argv) {
       });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

@@ -6,6 +6,9 @@
 //   * OR: binary tree O(g log n) vs LB g log n / loglog n (gap loglog n,
 //     exactly as the paper notes in Section 8);
 //   * LAC: prefix sums (det) and dart throwing (rand) vs Cor 6.4 / 6.1.
+//
+// All cells fan out through the ExperimentRunner (see harness.hpp for
+// --jobs / --json).
 
 #include <benchmark/benchmark.h>
 
@@ -17,85 +20,89 @@ namespace pb = parbounds;
 namespace bb = parbounds::bounds;
 using parbounds::TextTable;
 using namespace parbounds::bench;
+using parbounds::runtime::SweepCell;
 
 namespace {
 
+std::string key_ng(std::uint64_t n, std::uint64_t g) {
+  return "n=" + std::to_string(n) + ",g=" + std::to_string(g);
+}
+
 void print_parity() {
-  std::printf("%s", pb::banner("s-QSM / Parity, deterministic binary tree "
-                               "(THETA entry: LB = Cor 3.1 = UB = g log n)")
-                        .c_str());
-  TextTable t(std_header("n,g"));
+  std::vector<SweepCell> cells;
   for (const std::uint64_t n : {1u << 10, 1u << 13, 1u << 16})
-    for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
-      const double meas =
-          parity_tree_cost(pb::CostModel::SQsm, n, g, 2, kSeed);
-      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::sqsm_parity_det_time(n, g),
-                    bb::ub_parity_sqsm(n, g)));
-    }
-  std::printf("%s\n", t.render().c_str());
+    for (const std::uint64_t g : {2ull, 8ull, 32ull})
+      cells.push_back({.key = key_ng(n, g),
+                       .lb = bb::sqsm_parity_det_time(n, g),
+                       .ub = bb::ub_parity_sqsm(n, g),
+                       .run = [n, g](std::uint64_t s) {
+                         return parity_tree_cost(pb::CostModel::SQsm, n, g, 2,
+                                                 s);
+                       }});
+  sweep_table("s-QSM / Parity, deterministic binary tree "
+              "(THETA entry: LB = Cor 3.1 = UB = g log n)",
+              "n,g", std::move(cells));
 }
 
 void print_or() {
-  std::printf("%s",
-              pb::banner("s-QSM / OR, deterministic tree (LB = Cor 7.2 = "
-                         "g log n / loglog n; gap = loglog n, Sec 8)")
-                  .c_str());
-  TextTable t(std_header("n,g"));
+  std::vector<SweepCell> det;
   for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 18})
-    for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
-      const double meas =
-          or_fanin_cost(pb::CostModel::SQsm, n, g, /*ones=*/1, kSeed);
-      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::sqsm_or_det_time(n, g), bb::ub_or_sqsm(n, g)));
-    }
-  std::printf("%s\n", t.render().c_str());
+    for (const std::uint64_t g : {2ull, 8ull, 32ull})
+      det.push_back({.key = key_ng(n, g),
+                     .lb = bb::sqsm_or_det_time(n, g),
+                     .ub = bb::ub_or_sqsm(n, g),
+                     .run = [n, g](std::uint64_t s) {
+                       return or_fanin_cost(pb::CostModel::SQsm, n, g,
+                                            /*ones=*/1, s);
+                     }});
+  sweep_table("s-QSM / OR, deterministic tree (LB = Cor 7.2 = "
+              "g log n / loglog n; gap = loglog n, Sec 8)",
+              "n,g", std::move(det));
 
-  std::printf("%s", pb::banner("s-QSM / OR randomized LB = Cor 7.1 "
-                               "(g log* n) against the same algorithm")
-                        .c_str());
-  TextTable r(std_header("n,g"));
+  std::vector<SweepCell> rand;
   for (const std::uint64_t n : {1u << 12, 1u << 16})
-    for (const std::uint64_t g : {2ull, 8ull}) {
-      const double meas =
-          or_fanin_cost(pb::CostModel::SQsm, n, g, /*ones=*/1, kSeed);
-      r.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::sqsm_or_rand_time(n, g),
-                    bb::ub_or_sqsm(n, g)));
-    }
-  std::printf("%s\n", r.render().c_str());
+    for (const std::uint64_t g : {2ull, 8ull})
+      rand.push_back({.key = key_ng(n, g),
+                      .lb = bb::sqsm_or_rand_time(n, g),
+                      .ub = bb::ub_or_sqsm(n, g),
+                      .run = [n, g](std::uint64_t s) {
+                        return or_fanin_cost(pb::CostModel::SQsm, n, g,
+                                             /*ones=*/1, s);
+                      }});
+  sweep_table("s-QSM / OR randomized LB = Cor 7.1 (g log* n) against the "
+              "same algorithm",
+              "n,g", std::move(rand));
 }
 
 void print_lac() {
-  std::printf("%s", pb::banner("s-QSM / LAC, deterministic prefix sums "
-                               "(LB = Cor 6.4 = g sqrt(log n / loglog n))")
-                        .c_str());
-  TextTable t(std_header("n,g"));
+  std::vector<SweepCell> det;
   for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 16})
-    for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
-      const double meas =
-          lac_prefix_cost(pb::CostModel::SQsm, n, g, n / 8, kSeed, 2);
-      t.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::sqsm_lac_det_time(n, g),
-                    g * pb::safe_log2(static_cast<double>(n))));
-    }
-  std::printf("%s\n", t.render().c_str());
+    for (const std::uint64_t g : {2ull, 8ull, 32ull})
+      det.push_back({.key = key_ng(n, g),
+                     .lb = bb::sqsm_lac_det_time(n, g),
+                     .ub = g * pb::safe_log2(static_cast<double>(n)),
+                     .run = [n, g](std::uint64_t s) {
+                       return lac_prefix_cost(pb::CostModel::SQsm, n, g,
+                                              n / 8, s, 2);
+                     }});
+  sweep_table("s-QSM / LAC, deterministic prefix sums "
+              "(LB = Cor 6.4 = g sqrt(log n / loglog n))",
+              "n,g", std::move(det));
 
-  std::printf("%s",
-              pb::banner("s-QSM / LAC, randomized dart throwing (LB = Cor "
-                         "6.1 = g loglog n; UB claim = g sqrt(log n))")
-                  .c_str());
-  TextTable r(std_header("n,g"));
+  std::vector<SweepCell> rand;
   for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 16})
-    for (const std::uint64_t g : {2ull, 8ull, 32ull}) {
-      const double meas = avg_cost([&](std::uint64_t s) {
-        return lac_dart_cost(pb::CostModel::SQsm, n, g, n / 8, s);
-      });
-      r.add_row(row("n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                    meas, bb::sqsm_lac_rand_time(n, g),
-                    bb::ub_lac_sqsm(n, g)));
-    }
-  std::printf("%s\n", r.render().c_str());
+    for (const std::uint64_t g : {2ull, 8ull, 32ull})
+      rand.push_back({.key = key_ng(n, g),
+                      .trials = kReps,
+                      .lb = bb::sqsm_lac_rand_time(n, g),
+                      .ub = bb::ub_lac_sqsm(n, g),
+                      .run = [n, g](std::uint64_t s) {
+                        return lac_dart_cost(pb::CostModel::SQsm, n, g, n / 8,
+                                             s);
+                      }});
+  sweep_table("s-QSM / LAC, randomized dart throwing (LB = Cor 6.1 = "
+              "g loglog n; UB claim = g sqrt(log n))",
+              "n,g", std::move(rand));
 }
 
 void print_broadcast() {
@@ -103,21 +110,27 @@ void print_broadcast() {
               pb::banner("context: Broadcasting [AGMR97], the tight bound "
                          "the paper cites — s-QSM fan-out-2 tree = g log n")
                   .c_str());
-  TextTable t({"n,g", "measured", "g*log n", "ratio"});
+  std::vector<SweepCell> cells;
   for (const std::uint64_t n : {1u << 10, 1u << 14})
-    for (const std::uint64_t g : {2ull, 8ull}) {
-      const double meas = broadcast_cost(pb::CostModel::SQsm, n, g, 2);
-      const double bound = g * pb::safe_log2(static_cast<double>(n));
-      t.add_row({"n=" + std::to_string(n) + ",g=" + std::to_string(g),
-                 TextTable::num(meas, 0), TextTable::num(bound, 1),
-                 TextTable::num(meas / bound, 2)});
-    }
+    for (const std::uint64_t g : {2ull, 8ull})
+      cells.push_back({.key = key_ng(n, g),
+                       .lb = g * pb::safe_log2(static_cast<double>(n)),
+                       .run = [n, g](std::uint64_t) {
+                         return broadcast_cost(pb::CostModel::SQsm, n, g, 2);
+                       }});
+  const auto& res = sweep("s-QSM broadcast fan-out-2 tree vs g log n",
+                          std::move(cells));
+  TextTable t({"n,g", "measured", "g*log n", "ratio"});
+  for (const auto& c : res.cells)
+    t.add_row({c.key, TextTable::num(c.mean, 0), TextTable::num(c.lb, 1),
+               TextTable::num(c.mean / c.lb, 2)});
   std::printf("%s\n", t.render().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_table2_sqsm_time");
   std::printf("%s",
               pb::banner("TABLE 1 (subtable 2) REPRODUCTION — Time lower "
                          "bounds for s-QSM [MacKenzie-Ramachandran SPAA'98]")
@@ -146,5 +159,5 @@ int main(int argc, char** argv) {
       });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

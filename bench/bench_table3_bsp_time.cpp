@@ -8,7 +8,8 @@
 //     randomized curve is printed for reference (our BSP compactor is
 //     deterministic; see EXPERIMENTS.md).
 // Sweeps cover n, p and the (g, L) grid so the log(L/g) denominator and
-// the q = min(n, p) saturation are both visible.
+// the q = min(n, p) saturation are both visible. All cells fan out
+// through the ExperimentRunner (see harness.hpp for --jobs / --json).
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +21,7 @@ namespace pb = parbounds;
 namespace bb = parbounds::bounds;
 using parbounds::TextTable;
 using namespace parbounds::bench;
+using parbounds::runtime::SweepCell;
 
 namespace {
 
@@ -28,91 +30,107 @@ struct GL {
 };
 constexpr GL kGrid[] = {{1, 8}, {2, 32}, {4, 128}};
 
+std::string key_npgl(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                     std::uint64_t L) {
+  return "n=" + std::to_string(n) + ",p=" + std::to_string(p) +
+         ",g=" + std::to_string(g) + ",L=" + std::to_string(L);
+}
+
 void print_parity() {
-  std::printf("%s", pb::banner("BSP / Parity, deterministic fan-in L/g "
-                               "tree (THETA entry: LB = Cor 3.1 = UB)")
-                        .c_str());
-  TextTable t(std_header("n,p,(g,L)"));
+  std::vector<SweepCell> cells;
   for (const std::uint64_t n : {1u << 12, 1u << 16})
     for (const std::uint64_t p : {64ull, 1024ull})
-      for (const auto [g, L] : kGrid) {
-        const double meas = parity_bsp_cost(n, p, g, L, kSeed);
-        t.add_row(row("n=" + std::to_string(n) + ",p=" + std::to_string(p) +
-                          ",g=" + std::to_string(g) +
-                          ",L=" + std::to_string(L),
-                      meas, bb::bsp_parity_det_time(n, g, L, p),
-                      static_cast<double>(n) / p +
-                          bb::ub_parity_bsp(p, g, L)));
-      }
-  std::printf("%s\n", t.render().c_str());
+      for (const auto [g, L] : kGrid)
+        cells.push_back({.key = key_npgl(n, p, g, L),
+                         .lb = bb::bsp_parity_det_time(n, g, L, p),
+                         .ub = static_cast<double>(n) / p +
+                               bb::ub_parity_bsp(p, g, L),
+                         .run = [n, p, g, L](std::uint64_t s) {
+                           return parity_bsp_cost(n, p, g, L, s);
+                         }});
+  sweep_table("BSP / Parity, deterministic fan-in L/g tree "
+              "(THETA entry: LB = Cor 3.1 = UB)",
+              "n,p,(g,L)", std::move(cells));
 }
 
 void print_or() {
+  // Two lower bounds per cell: lb = deterministic, ub slot = randomized.
+  std::vector<SweepCell> cells;
+  for (const std::uint64_t n : {1u << 12, 1u << 16})
+    for (const std::uint64_t p : {64ull, 1024ull})
+      for (const auto [g, L] : kGrid)
+        cells.push_back({.key = key_npgl(n, p, g, L),
+                         .lb = bb::bsp_or_det_time(n, g, L, p),
+                         .ub = bb::bsp_or_rand_time(n, g, L, p),
+                         .run = [n, p, g, L](std::uint64_t s) {
+                           return or_bsp_cost(n, p, g, L, /*ones=*/1, s);
+                         }});
   std::printf("%s", pb::banner("BSP / OR (LB det = Cor 7.2; LB rand = Cor "
                                "7.1 = L(log* q - log*(L/g)))")
                         .c_str());
+  const auto& res = sweep("BSP / OR det+rand lower bounds", std::move(cells));
   TextTable t({"n,p,(g,L)", "measured", "LB-det", "meas/LBd", "LB-rand",
                "meas/LBr"});
-  for (const std::uint64_t n : {1u << 12, 1u << 16})
-    for (const std::uint64_t p : {64ull, 1024ull})
-      for (const auto [g, L] : kGrid) {
-        const double meas = or_bsp_cost(n, p, g, L, /*ones=*/1, kSeed);
-        const double lbd = bb::bsp_or_det_time(n, g, L, p);
-        const double lbr = bb::bsp_or_rand_time(n, g, L, p);
-        // log* q - log*(L/g) can legitimately vanish (a vacuous bound).
-        const std::string rand_ratio =
-            lbr < 1.0 ? "- (LB vacuous)"
-                      : TextTable::num(meas / lbr, 2);
-        t.add_row({"n=" + std::to_string(n) + ",p=" + std::to_string(p) +
-                       ",g=" + std::to_string(g) + ",L=" + std::to_string(L),
-                   TextTable::num(meas, 0), TextTable::num(lbd, 1),
-                   TextTable::num(meas / std::max(lbd, 1e-9), 2),
-                   TextTable::num(lbr, 1), rand_ratio});
-      }
+  for (const auto& c : res.cells) {
+    // log* q - log*(L/g) can legitimately vanish (a vacuous bound).
+    const std::string rand_ratio =
+        c.ub < 1.0 ? "- (LB vacuous)" : TextTable::num(c.mean / c.ub, 2);
+    t.add_row({c.key, TextTable::num(c.mean, 0), TextTable::num(c.lb, 1),
+               TextTable::num(c.mean / std::max(c.lb, 1e-9), 2),
+               TextTable::num(c.ub, 1), rand_ratio});
+  }
   std::printf("%s\n", t.render().c_str());
 }
 
 void print_lac() {
+  std::vector<SweepCell> cells;
+  for (const std::uint64_t n : {1u << 12, 1u << 16})
+    for (const std::uint64_t p : {64ull, 1024ull})
+      for (const auto [g, L] : kGrid)
+        cells.push_back({.key = key_npgl(n, p, g, L),
+                         .lb = bb::bsp_lac_det_time(n, g, L, p),
+                         .ub = bb::bsp_lac_rand_time(n, g, L, p),
+                         .run = [n, p, g, L](std::uint64_t s) {
+                           return lac_bsp_cost(n, p, g, L, /*h=*/n / 8, s);
+                         }});
   std::printf("%s",
               pb::banner("BSP / LAC via prefix compaction (LB det = Cor "
                          "6.4; LB rand = Cor 6.1 printed for reference)")
                   .c_str());
+  const auto& res = sweep("BSP / LAC det+rand lower bounds", std::move(cells));
   TextTable t({"n,p,(g,L)", "measured", "LB-det", "meas/LBd", "LB-rand",
                "meas/LBr"});
-  for (const std::uint64_t n : {1u << 12, 1u << 16})
-    for (const std::uint64_t p : {64ull, 1024ull})
-      for (const auto [g, L] : kGrid) {
-        const double meas =
-            lac_bsp_cost(n, p, g, L, /*h=*/n / 8, kSeed);
-        const double lbd = bb::bsp_lac_det_time(n, g, L, p);
-        const double lbr = bb::bsp_lac_rand_time(n, g, L, p);
-        t.add_row({"n=" + std::to_string(n) + ",p=" + std::to_string(p) +
-                       ",g=" + std::to_string(g) + ",L=" + std::to_string(L),
-                   TextTable::num(meas, 0), TextTable::num(lbd, 1),
-                   TextTable::num(meas / std::max(lbd, 1e-9), 2),
-                   TextTable::num(lbr, 1),
-                   TextTable::num(meas / std::max(lbr, 1e-9), 2)});
-      }
+  for (const auto& c : res.cells)
+    t.add_row({c.key, TextTable::num(c.mean, 0), TextTable::num(c.lb, 1),
+               TextTable::num(c.mean / std::max(c.lb, 1e-9), 2),
+               TextTable::num(c.ub, 1),
+               TextTable::num(c.mean / std::max(c.ub, 1e-9), 2)});
   std::printf("%s\n", t.render().c_str());
 }
 
 void print_q_saturation() {
+  std::vector<SweepCell> cells;
+  for (const std::uint64_t p : {64ull, 256ull, 1024ull, 4096ull})
+    cells.push_back({.key = std::to_string(p),
+                     .lb = bb::bsp_parity_det_time(1024, 2, 32, p),
+                     .run = [p](std::uint64_t s) {
+                       return parity_bsp_cost(1024, p, 2, 32, s);
+                     }});
   std::printf("%s",
               pb::banner("q = min(n, p) saturation: once p > n the parity "
                          "cost stops growing with p (LB is in log q)")
                   .c_str());
+  const auto& res = sweep("BSP parity q saturation", std::move(cells));
   TextTable t({"p", "measured (n=1024, g=2, L=32)", "LB"});
-  for (const std::uint64_t p : {64ull, 256ull, 1024ull, 4096ull}) {
-    const double meas = parity_bsp_cost(1024, p, 2, 32, kSeed);
-    t.add_row({std::to_string(p), TextTable::num(meas, 0),
-               TextTable::num(bb::bsp_parity_det_time(1024, 2, 32, p), 1)});
-  }
+  for (const auto& c : res.cells)
+    t.add_row({c.key, TextTable::num(c.mean, 0), TextTable::num(c.lb, 1)});
   std::printf("%s\n", t.render().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_table3_bsp_time");
   std::printf("%s",
               pb::banner("TABLE 1 (subtable 3) REPRODUCTION — Time lower "
                          "bounds for BSP [MacKenzie-Ramachandran SPAA'98]")
@@ -140,5 +158,5 @@ int main(int argc, char** argv) {
                                });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

@@ -10,6 +10,10 @@
 //   * LAC rounds: the paper's best round-structured algorithm is prefix
 //     sums (Section 8), so measured tracks the parity curve while the LB
 //     is the weaker sqrt form — the open gap is visible in the ratio.
+//
+// Rows fan out through the ExperimentRunner via parallel_trials (the
+// audit produces rounds + a budget verdict, not a single cost), so the
+// sweep parallelizes while warnings still print in row order.
 
 #include <benchmark/benchmark.h>
 
@@ -26,9 +30,15 @@ namespace {
 
 constexpr std::uint64_t kN = 1 << 16;
 
-double qsm_rounds(pb::CostModel model, std::uint64_t g, std::uint64_t p,
-                  const std::function<void(pb::QsmMachine&, pb::Addr)>& run,
-                  const char* what) {
+struct RoundsResult {
+  double rounds = 0;
+  bool ok = true;
+  double worst_ratio = 0;
+};
+
+RoundsResult qsm_rounds(
+    pb::CostModel model, std::uint64_t g, std::uint64_t p,
+    const std::function<void(pb::QsmMachine&, pb::Addr)>& run) {
   pb::QsmMachine m({.g = g, .model = model});
   pb::Rng rng(kSeed);
   const auto input = pb::boolean_array(kN, 5, rng);
@@ -36,63 +46,101 @@ double qsm_rounds(pb::CostModel model, std::uint64_t g, std::uint64_t p,
   m.preload(in, input);
   run(m, in);
   const auto audit = pb::audit_rounds_qsm(m.trace(), kN, p, 6);
-  if (!audit.all_rounds())
+  return {static_cast<double>(audit.rounds), audit.all_rounds(),
+          audit.worst_ratio};
+}
+
+void warn_if_violated(const RoundsResult& r, const char* what) {
+  if (!r.ok)
     std::printf("  !! %s violated the round budget (ratio %.2f)\n", what,
-                audit.worst_ratio);
-  return static_cast<double>(audit.rounds);
+                r.worst_ratio);
 }
 
 void print_or_rounds() {
+  constexpr std::uint64_t ps[] = {1ull << 4, 1ull << 7, 1ull << 10,
+                                  1ull << 13};
+  struct Row {
+    RoundsResult qsm, sqsm;
+  };
+  const auto rows = parallel_trials<Row>(
+      std::size(ps), [&](std::uint64_t i, std::uint64_t) {
+        const std::uint64_t p = ps[i];
+        Row r;
+        r.qsm = qsm_rounds(pb::CostModel::Qsm, 8, p,
+                           [&](pb::QsmMachine& m, pb::Addr in) {
+                             pb::or_rounds(m, in, kN, p);
+                           });
+        r.sqsm = qsm_rounds(pb::CostModel::SQsm, 8, p,
+                            [&](pb::QsmMachine& m, pb::Addr in) {
+                              pb::reduce_rounds(m, in, kN, p,
+                                                pb::Combine::Or);
+                            });
+        return r;
+      });
+
   std::printf("%s", pb::banner("Rounds / OR — QSM Theta(log n/log(gn/p)), "
                                "s-QSM Theta(log n/log(n/p))  [Cor 7.3]")
                         .c_str());
   TextTable t({"p (n=2^16)", "QSM g=8 meas", "LB", "ratio", "s-QSM meas",
                "LB", "ratio"});
-  for (const std::uint64_t p : {1ull << 4, 1ull << 7, 1ull << 10,
-                                1ull << 13}) {
-    const double qsm = qsm_rounds(
-        pb::CostModel::Qsm, 8, p,
-        [&](pb::QsmMachine& m, pb::Addr in) { pb::or_rounds(m, in, kN, p); },
-        "or_rounds");
-    const double sq = qsm_rounds(
-        pb::CostModel::SQsm, 8, p,
-        [&](pb::QsmMachine& m, pb::Addr in) {
-          pb::reduce_rounds(m, in, kN, p, pb::Combine::Or);
-        },
-        "reduce_rounds");
+  for (std::size_t i = 0; i < std::size(ps); ++i) {
+    const std::uint64_t p = ps[i];
+    warn_if_violated(rows[i].qsm, "or_rounds");
+    warn_if_violated(rows[i].sqsm, "reduce_rounds");
     const double lb_q = bb::rounds_or_qsm(kN, 8, p);
     const double lb_s = bb::rounds_or_sqsm(kN, p);
-    t.add_row({std::to_string(p), TextTable::num(qsm, 0),
-               TextTable::num(lb_q, 2), TextTable::num(qsm / lb_q, 2),
-               TextTable::num(sq, 0), TextTable::num(lb_s, 2),
-               TextTable::num(sq / lb_s, 2)});
+    t.add_row({std::to_string(p), TextTable::num(rows[i].qsm.rounds, 0),
+               TextTable::num(lb_q, 2),
+               TextTable::num(rows[i].qsm.rounds / lb_q, 2),
+               TextTable::num(rows[i].sqsm.rounds, 0),
+               TextTable::num(lb_s, 2),
+               TextTable::num(rows[i].sqsm.rounds / lb_s, 2)});
   }
   std::printf("%s\n", t.render().c_str());
 }
 
 void print_parity_rounds() {
+  constexpr std::uint64_t ps[] = {1ull << 4, 1ull << 7, 1ull << 10,
+                                  1ull << 13};
+  const auto rows = parallel_trials<RoundsResult>(
+      std::size(ps), [&](std::uint64_t i, std::uint64_t) {
+        return qsm_rounds(pb::CostModel::SQsm, 4, ps[i],
+                          [&](pb::QsmMachine& m, pb::Addr in) {
+                            pb::parity_rounds(m, in, kN, ps[i]);
+                          });
+      });
+
   std::printf("%s",
               pb::banner("Rounds / Parity — s-QSM Theta(log n/log(n/p)) "
                          "[Thm 3.4 / Cor 3.4 for the QSM form]")
                   .c_str());
   TextTable t({"p (n=2^16)", "s-QSM meas", "LB", "ratio", "QSM LB (Thm 3.4)"});
-  for (const std::uint64_t p : {1ull << 4, 1ull << 7, 1ull << 10,
-                                1ull << 13}) {
-    const double sq = qsm_rounds(
-        pb::CostModel::SQsm, 4, p,
-        [&](pb::QsmMachine& m, pb::Addr in) {
-          pb::parity_rounds(m, in, kN, p);
-        },
-        "parity_rounds");
+  for (std::size_t i = 0; i < std::size(ps); ++i) {
+    const std::uint64_t p = ps[i];
+    warn_if_violated(rows[i], "parity_rounds");
     const double lb = bb::rounds_parity_sqsm(kN, p);
-    t.add_row({std::to_string(p), TextTable::num(sq, 0),
-               TextTable::num(lb, 2), TextTable::num(sq / lb, 2),
+    t.add_row({std::to_string(p), TextTable::num(rows[i].rounds, 0),
+               TextTable::num(lb, 2), TextTable::num(rows[i].rounds / lb, 2),
                TextTable::num(bb::rounds_parity_qsm(kN, 4, p), 2)});
   }
   std::printf("%s\n", t.render().c_str());
 }
 
 void print_lac_rounds() {
+  constexpr std::uint64_t ps[] = {1ull << 4, 1ull << 7, 1ull << 10};
+  struct Row {
+    RoundsResult qsm, sqsm;
+  };
+  const auto rows = parallel_trials<Row>(
+      std::size(ps), [&](std::uint64_t i, std::uint64_t) {
+        const std::uint64_t p = ps[i];
+        auto run = [&](pb::QsmMachine& m, pb::Addr in) {
+          pb::lac_rounds(m, in, kN, p);
+        };
+        return Row{qsm_rounds(pb::CostModel::Qsm, 8, p, run),
+                   qsm_rounds(pb::CostModel::SQsm, 8, p, run)};
+      });
+
   std::printf("%s",
               pb::banner("Rounds / LAC — LB sqrt(log n/log(n/p)) [Cor 6.3 "
                          "/ 6.6]; best known round algorithm is prefix "
@@ -100,56 +148,68 @@ void print_lac_rounds() {
                   .c_str());
   TextTable t({"p (n=2^16)", "QSM meas", "LB (Thm 6.2)", "ratio",
                "s-QSM meas", "LB", "ratio"});
-  for (const std::uint64_t p : {1ull << 4, 1ull << 7, 1ull << 10}) {
-    auto run = [&](pb::QsmMachine& m, pb::Addr in) {
-      pb::lac_rounds(m, in, kN, p);
-    };
-    const double q = qsm_rounds(pb::CostModel::Qsm, 8, p, run, "lac_rounds");
-    const double s =
-        qsm_rounds(pb::CostModel::SQsm, 8, p, run, "lac_rounds");
+  for (std::size_t i = 0; i < std::size(ps); ++i) {
+    const std::uint64_t p = ps[i];
+    warn_if_violated(rows[i].qsm, "lac_rounds");
+    warn_if_violated(rows[i].sqsm, "lac_rounds");
     const double lb_q = bb::rounds_lac_qsm(kN, 8, p);
     const double lb_s = bb::rounds_lac_sqsm(kN, p);
-    t.add_row({std::to_string(p), TextTable::num(q, 0),
-               TextTable::num(lb_q, 2), TextTable::num(q / lb_q, 2),
-               TextTable::num(s, 0), TextTable::num(lb_s, 2),
-               TextTable::num(s / lb_s, 2)});
+    t.add_row({std::to_string(p), TextTable::num(rows[i].qsm.rounds, 0),
+               TextTable::num(lb_q, 2),
+               TextTable::num(rows[i].qsm.rounds / lb_q, 2),
+               TextTable::num(rows[i].sqsm.rounds, 0),
+               TextTable::num(lb_s, 2),
+               TextTable::num(rows[i].sqsm.rounds / lb_s, 2)});
   }
   std::printf("%s\n", t.render().c_str());
 }
 
 void print_bsp_rounds() {
+  constexpr std::uint64_t ps[] = {1ull << 4, 1ull << 7, 1ull << 10};
+  struct Row {
+    double parity_rounds = 0, lac_rounds = 0;
+    bool ok = true;
+  };
+  const auto rows = parallel_trials<Row>(
+      std::size(ps), [&](std::uint64_t i, std::uint64_t) {
+        const std::uint64_t p = ps[i];
+        const std::uint64_t np = kN / p;
+        pb::Rng rng(kSeed);
+        const auto bits = pb::bernoulli_array(kN, 0.5, rng);
+
+        pb::BspMachine pm({.p = p, .g = 1, .L = 4});
+        pb::bsp_reduce(pm, bits, pb::Combine::Xor, np);
+        const auto pa = pb::audit_rounds_bsp(pm.trace(), kN, p, 6);
+
+        const auto items = pb::lac_instance(kN, kN / 8, rng);
+        pb::BspMachine lm({.p = p, .g = 1, .L = 4});
+        pb::lac_bsp(lm, items, np);
+        const auto la = pb::audit_rounds_bsp(lm.trace(), kN, p, 6);
+
+        return Row{static_cast<double>(pa.rounds),
+                   static_cast<double>(la.rounds),
+                   pa.all_rounds() && la.all_rounds()};
+      });
+
   std::printf("%s", pb::banner("Rounds / BSP — fan-in n/p supersteps: OR & "
                                "Parity Theta(log n/log(n/p)); LAC via "
                                "prefix exchange  [Cor 7.3, Cor 6.6]")
                         .c_str());
   TextTable t({"p (n=2^16)", "parity meas", "LB", "ratio", "LAC meas",
                "LAC LB", "ratio"});
-  for (const std::uint64_t p : {1ull << 4, 1ull << 7, 1ull << 10}) {
-    const std::uint64_t np = kN / p;
-    pb::Rng rng(kSeed);
-    const auto bits = pb::bernoulli_array(kN, 0.5, rng);
-
-    pb::BspMachine pm({.p = p, .g = 1, .L = 4});
-    pb::bsp_reduce(pm, bits, pb::Combine::Xor, np);
-    const auto pa = pb::audit_rounds_bsp(pm.trace(), kN, p, 6);
-
-    const auto items = pb::lac_instance(kN, kN / 8, rng);
-    pb::BspMachine lm({.p = p, .g = 1, .L = 4});
-    pb::lac_bsp(lm, items, np);
-    const auto la = pb::audit_rounds_bsp(lm.trace(), kN, p, 6);
-
-    if (!pa.all_rounds() || !la.all_rounds())
+  for (std::size_t i = 0; i < std::size(ps); ++i) {
+    const std::uint64_t p = ps[i];
+    if (!rows[i].ok)
       std::printf("  !! BSP round budget violated (p=%llu)\n",
                   static_cast<unsigned long long>(p));
     const double lb_p = bb::rounds_parity_bsp(kN, p);
     const double lb_l = bb::rounds_lac_bsp(kN, p);
-    t.add_row({std::to_string(p),
-               TextTable::num(static_cast<double>(pa.rounds), 0),
+    t.add_row({std::to_string(p), TextTable::num(rows[i].parity_rounds, 0),
                TextTable::num(lb_p, 2),
-               TextTable::num(static_cast<double>(pa.rounds) / lb_p, 2),
-               TextTable::num(static_cast<double>(la.rounds), 0),
+               TextTable::num(rows[i].parity_rounds / lb_p, 2),
+               TextTable::num(rows[i].lac_rounds, 0),
                TextTable::num(lb_l, 2),
-               TextTable::num(static_cast<double>(la.rounds) / lb_l, 2)});
+               TextTable::num(rows[i].lac_rounds / lb_l, 2)});
   }
   std::printf("%s\n", t.render().c_str());
 }
@@ -157,6 +217,7 @@ void print_bsp_rounds() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_table4_rounds");
   std::printf("%s",
               pb::banner("TABLE 1 (subtable 4) REPRODUCTION — Rounds for "
                          "p-processor algorithms "
@@ -181,5 +242,5 @@ int main(int argc, char** argv) {
       });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

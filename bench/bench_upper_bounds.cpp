@@ -28,13 +28,23 @@ struct Check {
 
 void run_checks(const std::vector<Check>& checks,
                 const std::vector<std::uint64_t>& ns) {
+  // One runner trial per (check, n) pair; the measured/claimed ratios
+  // come back in trial order so the per-check fits below are unchanged.
+  const auto ratios = parallel_trials<double>(
+      checks.size() * ns.size(), [&](std::uint64_t trial, std::uint64_t) {
+        const auto& c = checks[trial / ns.size()];
+        const std::uint64_t n = ns[trial % ns.size()];
+        return c.measured(n) / std::max(c.claimed(n), 1e-9);
+      });
+
   TextTable t({"algorithm", "ratio@min-n", "ratio@max-n", "slope vs log n",
                "verdict"});
-  for (const auto& c : checks) {
+  for (std::size_t ci = 0; ci < checks.size(); ++ci) {
+    const auto& c = checks[ci];
     std::vector<double> logn, ratio;
-    for (const std::uint64_t n : ns) {
-      logn.push_back(pb::safe_log2(static_cast<double>(n)));
-      ratio.push_back(c.measured(n) / std::max(c.claimed(n), 1e-9));
+    for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+      logn.push_back(pb::safe_log2(static_cast<double>(ns[ni])));
+      ratio.push_back(ratios[ci * ns.size() + ni]);
     }
     const auto fit = pb::linear_fit(logn, ratio);
     const double rel_slope =
@@ -52,6 +62,7 @@ void run_checks(const std::vector<Check>& checks,
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto& session = session_init(argc, argv, "bench_upper_bounds");
   std::printf("%s",
               pb::banner("SECTION 8 UPPER-BOUND SCALING — measured cost / "
                          "claimed growth term across the n sweep")
@@ -157,5 +168,5 @@ int main(int argc, char** argv) {
                                });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return session.finish();
 }

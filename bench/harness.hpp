@@ -3,13 +3,29 @@
 //
 // Every helper builds a fresh machine, stages a workload, runs one
 // algorithm, and returns the MODEL cost (the paper's notion of time), not
-// wall-clock. Randomized algorithms are averaged over `reps` seeds.
-// Each bench binary prints a paper-style table next to the corresponding
-// lower-bound curve and also registers a few google-benchmark timers so
-// the simulator's own throughput is tracked.
+// wall-clock. Each bench binary prints a paper-style table next to the
+// corresponding lower-bound curve and also registers a few
+// google-benchmark timers so the simulator's own throughput is tracked.
+//
+// Since the runtime PR, all repeated trials fan out through the
+// work-stealing ExperimentRunner (src/runtime) with deterministic
+// per-trial seeds, so every printed number is bit-identical for any
+// --jobs value. Every bench accepts:
+//
+//   --jobs N       worker threads (default: hardware concurrency)
+//   --json [PATH]  machine-readable report (default BENCH_<name>.json):
+//                  per-trial costs, aggregates, wall time and the
+//                  speedup over a serial re-run of the same sweeps —
+//                  the re-run doubles as a bit-identity cross-check.
+//
+// Both flags are stripped before benchmark::Initialize sees argv. See
+// docs/RUNTIME.md for the seeding discipline.
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +42,9 @@
 #include "bounds/upper_bounds.hpp"
 #include "core/mapping.hpp"
 #include "core/rounds.hpp"
+#include "runtime/bench_json.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/sweep.hpp"
 #include "util/mathx.hpp"
 #include "util/table.hpp"
 #include "workloads/generators.hpp"
@@ -34,12 +53,131 @@ namespace parbounds::bench {
 
 inline constexpr std::uint64_t kSeed = 0xb0a710adULL;
 
-/// Average a cost function over `reps` seeds.
+/// Default repetitions for randomized cells. The parallel runner makes
+/// wider averaging affordable; the serial harness used 3.
+inline constexpr unsigned kReps = 5;
+
+/// Average a cost function over `reps` derived seeds, serially. Meant
+/// for use *inside* a runner trial (nested fan-out runs inline anyway);
+/// top-level sweeps should declare SweepCells with trials = kReps.
 inline double avg_cost(const std::function<double(std::uint64_t)>& run,
-                       unsigned reps = 3) {
+                       unsigned reps = kReps) {
   double total = 0.0;
-  for (unsigned r = 0; r < reps; ++r) total += run(kSeed + r);
+  for (unsigned r = 0; r < reps; ++r)
+    total += run(runtime::derive_seed(kSeed, r));
   return total / reps;
+}
+
+// ----- per-binary session (flag parsing, runner, JSON report) ---------------
+
+class BenchSession {
+ public:
+  static BenchSession& get() {
+    static BenchSession s;
+    return s;
+  }
+
+  /// Parse and strip --jobs/--json from argv (call before
+  /// benchmark::Initialize). --json without a path defaults to
+  /// BENCH_<name>.json.
+  void init(int& argc, char** argv, std::string name) {
+    report_.bench = std::move(name);
+    report_.seed = kSeed;
+    unsigned jobs = 0;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--jobs" && i + 1 < argc) {
+        jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
+      } else if (arg == "--json") {
+        json_path_ = "BENCH_" + report_.bench + ".json";
+        if (i + 1 < argc && argv[i + 1][0] != '-') json_path_ = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path_ = arg.substr(7);
+      } else {
+        argv[w++] = argv[i];
+      }
+    }
+    argc = w;
+    runner_ = std::make_unique<runtime::ExperimentRunner>(
+        runtime::RunnerConfig{.jobs = jobs});
+    report_.jobs = runner_->jobs();
+  }
+
+  const runtime::ExperimentRunner& runner() const { return *runner_; }
+  unsigned jobs() const { return runner_->jobs(); }
+  bool json_enabled() const { return !json_path_.empty(); }
+
+  /// Fresh base seed for the next sweep/fan-out, derived from the root
+  /// seed and a per-binary ordinal (decouples sweeps from each other).
+  std::uint64_t next_base_seed() {
+    return runtime::derive_seed(kSeed, 0x5eedULL + sweep_ordinal_++);
+  }
+
+  const runtime::SweepResult& record(runtime::SweepResult s) {
+    report_.sweeps.push_back(std::move(s));
+    return report_.sweeps.back();
+  }
+
+  /// Write the JSON report if requested. Returns the process exit code.
+  int finish() {
+    if (json_path_.empty()) return 0;
+    std::ofstream f(json_path_);
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
+      return 1;
+    }
+    f << runtime::to_json(report_);
+    std::fprintf(stderr,
+                 "bench: %s: jobs=%u sweeps=%zu speedup_vs_serial=%.2f "
+                 "deterministic=%s -> %s\n",
+                 report_.bench.c_str(), report_.jobs, report_.sweeps.size(),
+                 runtime::report_speedup(report_),
+                 runtime::report_deterministic(report_) ? "yes" : "NO",
+                 json_path_.c_str());
+    return runtime::report_deterministic(report_) ? 0 : 1;
+  }
+
+ private:
+  BenchSession() = default;
+  std::string json_path_;
+  std::unique_ptr<runtime::ExperimentRunner> runner_ =
+      std::make_unique<runtime::ExperimentRunner>();
+  runtime::BenchReport report_;
+  std::uint64_t sweep_ordinal_ = 0;
+};
+
+/// Bench-main bootstrap: parse/strip harness flags.
+inline BenchSession& session_init(int& argc, char** argv, std::string name) {
+  auto& s = BenchSession::get();
+  s.init(argc, argv, std::move(name));
+  return s;
+}
+
+/// Run a sweep through the session runner; the serial baseline (wall
+/// time + bit-identity cross-check) is measured when --json is active.
+inline const runtime::SweepResult& sweep(
+    std::string title, std::vector<runtime::SweepCell> cells) {
+  auto& s = BenchSession::get();
+  return s.record(runtime::run_sweep(s.runner(), std::move(title),
+                                     s.next_base_seed(), std::move(cells),
+                                     s.json_enabled()));
+}
+
+/// Generic ordered fan-out for benches whose rows aren't plain cost
+/// cells (audits, multi-metric replays). Trial t gets
+/// derive_seed(base, t) for a per-call base seed.
+template <class T>
+std::vector<T> parallel_trials(
+    std::uint64_t count,
+    const std::function<T(std::uint64_t trial, std::uint64_t seed)>& fn) {
+  auto& s = BenchSession::get();
+  const std::uint64_t base = s.next_base_seed();
+  return s.runner().map<T>(count, [&](std::uint64_t t) {
+    return fn(t, runtime::derive_seed(base, t));
+  });
 }
 
 // ----- shared-memory measurements (cost model selectable) --------------------
@@ -196,6 +334,17 @@ inline std::vector<std::string> row(const std::string& key, double measured,
 inline std::vector<std::string> std_header(const std::string& key) {
   return {key,       "measured", "lower-bd", "meas/LB",
           "UB-claim", "meas/UB"};
+}
+
+/// Run the cells through the session runner and print the standard
+/// 6-column table (banner, key, measured mean, LB, ratio, UB, ratio).
+inline void sweep_table(const std::string& title, const std::string& key_col,
+                        std::vector<runtime::SweepCell> cells) {
+  std::printf("%s", banner(title).c_str());
+  const auto& res = sweep(title, std::move(cells));
+  TextTable t(std_header(key_col));
+  for (const auto& c : res.cells) t.add_row(row(c.key, c.mean, c.lb, c.ub));
+  std::printf("%s\n", t.render().c_str());
 }
 
 }  // namespace parbounds::bench

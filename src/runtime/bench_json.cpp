@@ -1,0 +1,119 @@
+#include "runtime/bench_json.hpp"
+
+#include <cstdio>
+
+namespace parbounds::runtime {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_cell(std::string& out, const CellResult& c) {
+  out += "{\"key\":\"" + json_escape(c.key) + "\"";
+  out += ",\"trials\":" + std::to_string(c.costs.size());
+  out += ",\"lb\":" + num(c.lb);
+  out += ",\"ub\":" + num(c.ub);
+  out += ",\"mean\":" + num(c.mean);
+  out += ",\"p50\":" + num(c.p50);
+  out += ",\"p99\":" + num(c.p99);
+  out += ",\"costs\":[";
+  for (std::size_t i = 0; i < c.costs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += num(c.costs[i]);
+  }
+  out += "]}";
+}
+
+void append_sweep(std::string& out, const SweepResult& s,
+                  bool include_timing) {
+  out += "{\"title\":\"" + json_escape(s.title) + "\"";
+  out += ",\"base_seed\":" + std::to_string(s.base_seed);
+  out += ",\"deterministic\":";
+  out += s.deterministic ? "true" : "false";
+  if (include_timing) {
+    out += ",\"wall_ms\":" + num(s.wall_ms);
+    out += ",\"serial_wall_ms\":" + num(s.serial_wall_ms);
+    out += ",\"speedup_vs_serial\":" + num(speedup_vs_serial(s));
+  }
+  out += ",\"cells\":[";
+  for (std::size_t i = 0; i < s.cells.size(); ++i) {
+    if (i > 0) out += ',';
+    append_cell(out, s.cells[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+double report_speedup(const BenchReport& report) {
+  double wall = 0.0, serial = 0.0;
+  for (const auto& s : report.sweeps) {
+    wall += s.wall_ms;
+    serial += s.serial_wall_ms;
+  }
+  if (wall <= 0.0 || serial <= 0.0) return 1.0;
+  return serial / wall;
+}
+
+bool report_deterministic(const BenchReport& report) {
+  for (const auto& s : report.sweeps)
+    if (!s.deterministic) return false;
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const BenchReport& report, bool include_timing) {
+  std::string out;
+  out += "{\"schema\":\"parbounds-bench-v1\"";
+  out += ",\"bench\":\"" + json_escape(report.bench) + "\"";
+  out += ",\"jobs\":" + std::to_string(report.jobs);
+  out += ",\"seed\":" + std::to_string(report.seed);
+  out += ",\"deterministic\":";
+  out += report_deterministic(report) ? "true" : "false";
+  if (include_timing) {
+    double wall = 0.0, serial = 0.0;
+    for (const auto& s : report.sweeps) {
+      wall += s.wall_ms;
+      serial += s.serial_wall_ms;
+    }
+    out += ",\"wall_ms\":" + num(wall);
+    out += ",\"serial_wall_ms\":" + num(serial);
+    out += ",\"speedup_vs_serial\":" + num(report_speedup(report));
+  }
+  out += ",\"sweeps\":[";
+  for (std::size_t i = 0; i < report.sweeps.size(); ++i) {
+    if (i > 0) out += ',';
+    append_sweep(out, report.sweeps[i], include_timing);
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace parbounds::runtime

@@ -35,6 +35,17 @@ double median(std::vector<double> xs) {
   return 0.5 * (xs[mid - 1] + hi);
 }
 
+double percentile(std::vector<double> xs, double pct) {
+  if (xs.empty()) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
 double min_of(std::span<const double> xs) {
   return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
 }

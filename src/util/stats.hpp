@@ -13,6 +13,11 @@ double mean(std::span<const double> xs);
 double variance(std::span<const double> xs);  // population variance
 double stddev(std::span<const double> xs);
 double median(std::vector<double> xs);  // by copy; xs is partially sorted
+
+/// Linearly interpolated percentile, pct in [0, 100] (numpy "linear"
+/// convention: percentile(xs, 50) == median(xs)). Used by the runtime
+/// sweep aggregation for p50/p99 cost summaries. Returns 0 when empty.
+double percentile(std::vector<double> xs, double pct);
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 

@@ -1,0 +1,314 @@
+// Golden-schema test for the --json bench output (docs/RUNTIME.md).
+//
+// Consumers of BENCH_*.json (trend dashboards, diff scripts) key on the
+// "parbounds-bench-v1" layout, so this test pins it: required keys at
+// every level, %.17g cost round-tripping, and the contract that a serial
+// and a parallel run of the same experiment serialize to identical bytes
+// once wall-clock fields are excluded. A tiny recursive-descent JSON
+// parser lives here on purpose — the repo has no JSON dependency, and
+// the test must not share serialization code with what it checks.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/bench_json.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace parbounds::runtime {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser (objects, arrays, strings, numbers, bools).
+struct JsonValue {
+  enum Kind { Object, Array, String, Number, Bool, Null } kind = Null;
+  std::map<std::string, std::shared_ptr<JsonValue>> object;
+  std::vector<std::shared_ptr<JsonValue>> array;
+  std::string string;
+  double number = 0;
+  bool boolean = false;
+
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const {
+    return *object.at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON input");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      const JsonValue key = string_value();
+      expect(':');
+      v.object[key.string] = std::make_shared<JsonValue>(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(std::make_shared<JsonValue>(value()));
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::String;
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        switch (s_[pos_]) {
+          case 'n': v.string += '\n'; break;
+          case 't': v.string += '\t'; break;
+          case 'u':
+            // Only \u00XX control escapes are emitted by json_escape.
+            v.string += static_cast<char>(
+                std::stoi(s_.substr(pos_ + 1, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          default: v.string += s_[pos_];
+        }
+      } else {
+        v.string += s_[pos_];
+      }
+      ++pos_;
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (s_.compare(pos_, 4, "null") != 0)
+      throw std::runtime_error("bad literal");
+    pos_ += 4;
+    JsonValue v;
+    v.kind = JsonValue::Null;
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Number;
+    std::size_t used = 0;
+    v.number = std::stod(s_.substr(pos_), &used);
+    if (used == 0) throw std::runtime_error("bad number");
+    pos_ += used;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+
+constexpr std::uint64_t kBase = 0x5eedULL;
+
+std::vector<SweepCell> tiny_cells() {
+  std::vector<SweepCell> cells;
+  for (const std::uint64_t n : {32ull, 128ull})
+    cells.push_back({.key = "n=" + std::to_string(n),
+                     .trials = 3,
+                     .lb = 1.0,
+                     .ub = static_cast<double>(2 * n),
+                     .run = [n](std::uint64_t seed) {
+                       Rng rng(seed);
+                       // A fractional cost so %.17g round-tripping is
+                       // actually exercised.
+                       return static_cast<double>(rng.next_below(n)) +
+                              1.0 / 3.0;
+                     }});
+  return cells;
+}
+
+BenchReport tiny_report(unsigned jobs, bool baseline) {
+  ExperimentRunner runner({.jobs = jobs});
+  BenchReport report;
+  report.bench = "bench_schema_probe";
+  report.jobs = jobs;
+  report.seed = kBase;
+  report.sweeps.push_back(
+      run_sweep(runner, "tiny sweep", kBase, tiny_cells(), baseline));
+  return report;
+}
+
+TEST(BenchJson, RequiredKeysAndTypes) {
+  const auto doc =
+      JsonParser(to_json(tiny_report(2, /*baseline=*/true))).parse();
+  ASSERT_EQ(doc.kind, JsonValue::Object);
+  for (const char* key : {"schema", "bench", "jobs", "seed", "deterministic",
+                          "wall_ms", "serial_wall_ms", "speedup_vs_serial",
+                          "sweeps"})
+    EXPECT_TRUE(doc.has(key)) << "missing top-level key " << key;
+  EXPECT_EQ(doc.at("schema").string, "parbounds-bench-v1");
+  EXPECT_EQ(doc.at("bench").string, "bench_schema_probe");
+  EXPECT_EQ(doc.at("jobs").number, 2.0);
+  EXPECT_EQ(doc.at("deterministic").kind, JsonValue::Bool);
+
+  ASSERT_EQ(doc.at("sweeps").array.size(), 1u);
+  const JsonValue& sweep = *doc.at("sweeps").array[0];
+  for (const char* key : {"title", "base_seed", "deterministic", "wall_ms",
+                          "serial_wall_ms", "speedup_vs_serial", "cells"})
+    EXPECT_TRUE(sweep.has(key)) << "missing sweep key " << key;
+  EXPECT_EQ(sweep.at("title").string, "tiny sweep");
+
+  ASSERT_EQ(sweep.at("cells").array.size(), 2u);
+  for (const auto& cellp : sweep.at("cells").array) {
+    const JsonValue& cell = *cellp;
+    for (const char* key :
+         {"key", "trials", "lb", "ub", "mean", "p50", "p99", "costs"})
+      EXPECT_TRUE(cell.has(key)) << "missing cell key " << key;
+    EXPECT_EQ(cell.at("trials").number, 3.0);
+    EXPECT_EQ(cell.at("costs").array.size(), 3u);
+  }
+}
+
+TEST(BenchJson, CostsRoundTripExactly) {
+  const auto report = tiny_report(4, /*baseline=*/false);
+  const auto doc = JsonParser(to_json(report)).parse();
+  const JsonValue& sweep = *doc.at("sweeps").array[0];
+  for (std::size_t ci = 0; ci < report.sweeps[0].cells.size(); ++ci) {
+    const auto& want = report.sweeps[0].cells[ci];
+    const JsonValue& got = *sweep.at("cells").array[ci];
+    EXPECT_EQ(got.at("key").string, want.key);
+    EXPECT_EQ(got.at("mean").number, want.mean);  // %.17g: exact
+    EXPECT_EQ(got.at("p99").number, want.p99);
+    for (std::size_t t = 0; t < want.costs.size(); ++t)
+      EXPECT_EQ(got.at("costs").array[t]->number, want.costs[t])
+          << "cost " << t << " did not round-trip";
+  }
+}
+
+TEST(BenchJson, SerialAndParallelSerializeIdenticallyModuloTiming) {
+  // The determinism contract, at the serialization level: everything
+  // except wall-clock timing must be byte-identical between a 1-thread
+  // and a 4-thread run of the same experiment.
+  auto serial = tiny_report(1, /*baseline=*/false);
+  auto parallel = tiny_report(4, /*baseline=*/false);
+  // jobs is configuration, not measurement; align it so the comparison
+  // targets the measured payload.
+  serial.jobs = parallel.jobs = 0;
+  EXPECT_EQ(to_json(serial, /*include_timing=*/false),
+            to_json(parallel, /*include_timing=*/false));
+
+  // And with timing included the documents genuinely differ in the wall
+  // fields only; spot-check that the parser sees identical costs.
+  const auto ds = JsonParser(to_json(tiny_report(1, false))).parse();
+  const auto dp = JsonParser(to_json(tiny_report(4, false))).parse();
+  const JsonValue& cs = *ds.at("sweeps").array[0]->at("cells").array[0];
+  const JsonValue& cp = *dp.at("sweeps").array[0]->at("cells").array[0];
+  for (std::size_t t = 0; t < 3; ++t)
+    EXPECT_EQ(cs.at("costs").array[t]->number,
+              cp.at("costs").array[t]->number);
+}
+
+TEST(BenchJson, EscapesStringsSafely) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  // A title with quotes must survive a full round trip.
+  BenchReport report = tiny_report(1, false);
+  report.sweeps[0].title = "weird \"title\" with \\ and \n";
+  const auto doc = JsonParser(to_json(report)).parse();
+  EXPECT_EQ(doc.at("sweeps").array[0]->at("title").string,
+            report.sweeps[0].title);
+}
+
+TEST(BenchJson, ReportAggregatesFollowSweeps) {
+  auto report = tiny_report(2, /*baseline=*/true);
+  EXPECT_TRUE(report_deterministic(report));
+  EXPECT_GT(report_speedup(report), 0.0);
+  report.sweeps[0].deterministic = false;
+  EXPECT_FALSE(report_deterministic(report));
+  const auto doc = JsonParser(to_json(report)).parse();
+  EXPECT_FALSE(doc.at("deterministic").boolean);
+}
+
+}  // namespace
+}  // namespace parbounds::runtime

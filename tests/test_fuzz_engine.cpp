@@ -3,19 +3,34 @@
 // recomputation from first principles. This guards the single most
 // load-bearing component — every measured number in the repository flows
 // through commit_phase.
+//
+// The trials fan out through the ExperimentRunner with a fixed worker
+// count, so a TSan build of this file doubles as a thread-safety proof
+// for concurrent engine instances (the machines share no state; see
+// docs/RUNTIME.md). Each trial's seed is derived from a fixed base and
+// its trial id, so the trial set is identical at any worker count.
+// Workers return error strings instead of asserting — gtest macros are
+// not thread-safe off the main thread.
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "core/bsp.hpp"
 #include "core/gsm.hpp"
 #include "core/qsm.hpp"
+#include "runtime/runner.hpp"
 #include "util/rng.hpp"
 
 namespace parbounds {
 namespace {
+
+// Fixed fuzz budget: trial ids 0..31 under each base seed, regardless
+// of how many workers execute them.
+constexpr std::uint64_t kFuzzTrials = 32;
+constexpr unsigned kFuzzJobs = 4;
 
 struct Op {
   bool is_write;
@@ -65,10 +80,22 @@ PhaseStats expected_stats(const std::vector<Op>& ops) {
   return st;
 }
 
-class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+// Run `check` once per derived seed on a fixed-size worker pool and
+// report every failing trial. The check returns "" when the trial is
+// clean and a description otherwise.
+void run_fuzz(std::uint64_t base,
+              const std::function<std::string(std::uint64_t seed)>& check) {
+  runtime::ExperimentRunner pool({.jobs = kFuzzJobs});
+  const auto faults = pool.map<std::string>(
+      kFuzzTrials, [&](std::uint64_t trial) {
+        return check(runtime::derive_seed(base, trial));
+      });
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_TRUE(faults[i].empty()) << "trial " << i << ": " << faults[i];
+}
 
-TEST_P(EngineFuzz, QsmAccountingMatchesRecomputation) {
-  Rng rng(GetParam());
+std::string check_qsm_accounting(std::uint64_t seed) {
+  Rng rng(seed);
   for (const auto model :
        {CostModel::Qsm, CostModel::SQsm, CostModel::QsmCrFree}) {
     QsmMachine m({.g = 1 + rng.next_below(16), .model = model});
@@ -85,20 +112,22 @@ TEST_P(EngineFuzz, QsmAccountingMatchesRecomputation) {
       }
       const auto& ph = m.commit_phase();
       const auto want = expected_stats(ops);
-      ASSERT_EQ(ph.stats.m_rw, want.m_rw);
-      ASSERT_EQ(ph.stats.kappa_r, want.kappa_r);
-      ASSERT_EQ(ph.stats.kappa_w, want.kappa_w);
-      ASSERT_EQ(ph.cost, phase_cost(model, m.config().g, want));
+      if (ph.stats.m_rw != want.m_rw) return "m_rw mismatch";
+      if (ph.stats.kappa_r != want.kappa_r) return "kappa_r mismatch";
+      if (ph.stats.kappa_w != want.kappa_w) return "kappa_w mismatch";
+      if (ph.cost != phase_cost(model, m.config().g, want))
+        return "phase cost mismatch";
       total += ph.cost;
     }
-    ASSERT_EQ(m.time(), total);
+    if (m.time() != total) return "total time mismatch";
   }
+  return "";
 }
 
-TEST_P(EngineFuzz, QsmMemoryMatchesSequentialModel) {
+std::string check_qsm_memory(std::uint64_t seed) {
   // LastQueued resolution makes the machine's memory deterministic:
   // replay the same ops into a plain map and compare.
-  Rng rng(1000 + GetParam());
+  Rng rng(seed);
   QsmMachine m({.g = 1});
   (void)m.alloc(64);
   std::map<Addr, Word> shadow;
@@ -115,11 +144,17 @@ TEST_P(EngineFuzz, QsmMemoryMatchesSequentialModel) {
     for (const auto& op : ops)
       if (op.is_write) shadow[op.addr] = op.value;
   }
-  for (const auto& [a, v] : shadow) ASSERT_EQ(m.peek(a), v);
+  for (const auto& [a, v] : shadow)
+    if (m.peek(a) != v) {
+      std::ostringstream msg;
+      msg << "memory mismatch at cell " << a;
+      return msg.str();
+    }
+  return "";
 }
 
-TEST_P(EngineFuzz, GsmMergesExactlyTheMultiset) {
-  Rng rng(2000 + GetParam());
+std::string check_gsm_multiset(std::uint64_t seed) {
+  Rng rng(seed);
   GsmMachine m({.alpha = 1 + rng.next_below(4), .beta = 1 + rng.next_below(4),
                 .gamma = 1});
   (void)m.alloc(32);
@@ -140,12 +175,17 @@ TEST_P(EngineFuzz, GsmMergesExactlyTheMultiset) {
   for (const auto& [a, want] : shadow) {
     const auto cell = m.peek(a);
     const std::multiset<Word> got(cell.begin(), cell.end());
-    ASSERT_EQ(got, want) << "cell " << a;
+    if (got != want) {
+      std::ostringstream msg;
+      msg << "multiset mismatch at cell " << a;
+      return msg.str();
+    }
   }
+  return "";
 }
 
-TEST_P(EngineFuzz, BspInboxesMatchSends) {
-  Rng rng(3000 + GetParam());
+std::string check_bsp_inboxes(std::uint64_t seed) {
+  Rng rng(seed);
   BspMachine m({.p = 8, .g = 2, .L = 4});
   for (int step = 0; step < 6; ++step) {
     std::map<ProcId, std::multiset<Word>> want;
@@ -165,16 +205,35 @@ TEST_P(EngineFuzz, BspInboxesMatchSends) {
     const auto& ph = m.commit_superstep();
     for (const auto& [p, c] : s_cnt) max_s = std::max(max_s, c);
     for (const auto& [p, c] : r_cnt) max_r = std::max(max_r, c);
-    ASSERT_EQ(ph.h, std::max(max_s, max_r));
+    if (ph.h != std::max(max_s, max_r)) return "h-relation mismatch";
     for (ProcId p = 0; p < 8; ++p) {
       std::multiset<Word> got;
       for (const Message& msg : m.inbox(p)) got.insert(msg.value);
-      ASSERT_EQ(got, want[p]) << "proc " << p;
+      if (got != want[p]) {
+        std::ostringstream msg;
+        msg << "inbox mismatch at proc " << p;
+        return msg.str();
+      }
     }
   }
+  return "";
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range<std::uint64_t>(1, 9));
+TEST(EngineFuzz, QsmAccountingMatchesRecomputation) {
+  run_fuzz(1, check_qsm_accounting);
+}
+
+TEST(EngineFuzz, QsmMemoryMatchesSequentialModel) {
+  run_fuzz(1000, check_qsm_memory);
+}
+
+TEST(EngineFuzz, GsmMergesExactlyTheMultiset) {
+  run_fuzz(2000, check_gsm_multiset);
+}
+
+TEST(EngineFuzz, BspInboxesMatchSends) {
+  run_fuzz(3000, check_bsp_inboxes);
+}
 
 }  // namespace
 }  // namespace parbounds

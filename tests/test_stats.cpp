@@ -28,6 +28,21 @@ TEST(Stats, Median) {
   EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
 }
 
+TEST(Stats, PercentileInterpolatesLikeNumpy) {
+  const std::vector<double> xs{4, 1, 3, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);  // == median
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), median(xs));
+  // rank = 0.25 * 3 = 0.75 -> between 1 and 2.
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  // Out-of-range percentiles clamp instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200.0), 4.0);
+}
+
 TEST(Stats, MinMax) {
   const std::vector<double> xs{3.0, -1.0, 7.0};
   EXPECT_DOUBLE_EQ(min_of(xs), -1.0);

@@ -1,33 +1,41 @@
-// parlint_cli — certify an execution trace against the Section 2 model
+// parlint_cli — certify execution traces against the Section 2 model
 // contracts and emit findings as JSON lines.
 //
-//   parlint_cli <trace.csv | ->  [--model M] [--erew]
+//   parlint_cli <trace.csv... | ->  [--jobs N] [--model M] [--erew]
 //               [--n N --p P] [--slack S] [--alpha A --beta B]
 //   parlint_cli --demo spmd-parity [n] [fanin] [g]
+//   parlint_cli --export-demo <out.csv> [n] [fanin] [g]
 //
-// The first form loads a CSV written by trace_to_csv (detail-mode
-// event rows included when present) and lints it post-mortem. The demo
-// form runs the SPMD parity tree of core/spmd.hpp in detail mode,
-// round-trips its trace through the serializer, lints the result, and
-// additionally runs the SPMD locality lint — the end-to-end smoke path
-// CI exercises.
+// The first form loads CSVs written by trace_to_csv (detail-mode
+// event rows included when present) and lints them post-mortem. With
+// several paths the traces are linted as a batch — fanned out across
+// --jobs worker threads via the ExperimentRunner — and findings are
+// printed in input order regardless of scheduling (each trace's stderr
+// summary names its path). The demo form runs the SPMD parity tree
+// of core/spmd.hpp in detail mode, round-trips its trace through the
+// serializer, lints the result, and additionally runs the SPMD
+// locality lint — the end-to-end smoke path CI exercises. The export
+// form writes the same demo trace as a CSV file, giving scripts a
+// self-contained way to produce lintable inputs for batch runs.
 //
 // stdout: one JSON object per finding (rule, severity, phase, cells,
 //         message). A clean trace prints nothing.
-// stderr: one human summary line.
+// stderr: one human summary line per trace.
 // exit:   0 = no error-severity findings, 2 = errors found,
-//         1 = usage / IO / parse failure.
+//         1 = usage / IO / parse failure (checked before errors).
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/parlint.hpp"
 #include "analysis/spmd_lint.hpp"
 #include "core/spmd.hpp"
 #include "core/trace_io.hpp"
+#include "runtime/runner.hpp"
 #include "util/mathx.hpp"
 #include "util/rng.hpp"
 
@@ -38,9 +46,12 @@ using namespace parbounds::analysis;
 
 int usage() {
   std::cerr
-      << "usage: parlint_cli <trace.csv | -> [options]\n"
+      << "usage: parlint_cli <trace.csv... | -> [options]\n"
          "       parlint_cli --demo spmd-parity [n] [fanin] [g]\n"
+         "       parlint_cli --export-demo <out.csv> [n] [fanin] [g]\n"
          "options:\n"
+         "  --jobs N  lint a multi-path batch on N worker threads\n"
+         "           (findings always print in input order; default 1)\n"
          "  --model qsm|sqsm|qsm-gd|qsm-crfree|crcw-like|erew\n"
          "           cost policy to audit against (default: trace kind)\n"
          "  --erew   enforce exclusive access (EREW discipline)\n"
@@ -118,6 +129,36 @@ int run_demo(int argc, char** argv) {
       r, "spmd-parity demo (" + trace_summary(reloaded) + ")");
 }
 
+// Write the demo trace as CSV so scripts can mint batch-lint inputs
+// without a separate generator binary.
+int run_export(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string out_path = argv[0];
+  std::uint64_t n = 1024, fanin = 8, g = 4;
+  if (argc > 1) n = std::stoull(argv[1]);
+  if (argc > 2) fanin = std::stoull(argv[2]);
+  if (argc > 3) g = std::stoull(argv[3]);
+  if (n < 2 || fanin < 2 || g < 1) return usage();
+
+  Rng rng(7);
+  std::vector<Word> input(n);
+  for (auto& v : input) v = static_cast<Word>(rng.next_below(2));
+
+  QsmMachine m({.g = g, .record_detail = true});
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  spmd_parity_tree(m, in, n, static_cast<unsigned>(fanin));
+
+  std::ofstream f(out_path);
+  if (!f) {
+    std::cerr << "parlint: cannot write " << out_path << '\n';
+    return 1;
+  }
+  f << trace_to_csv(m.trace());
+  f.flush();
+  return f.good() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,10 +174,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string path = argv[1];
+  if (std::strcmp(argv[1], "--export-demo") == 0) {
+    try {
+      return run_export(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+      std::cerr << "parlint: export failed: " << e.what() << '\n';
+      return 1;
+    }
+  }
+
+  std::vector<std::string> paths;
   LintConfig cfg;
-  for (int i = 2; i < argc; ++i) {
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "-" || arg[0] != '-') {
+      paths.push_back(arg);
+      continue;
+    }
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
@@ -144,6 +199,11 @@ int main(int argc, char** argv) {
     try {
       if (arg == "--erew") {
         cfg.erew = true;
+      } else if (arg == "--jobs") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        jobs = static_cast<unsigned>(std::stoul(v));
+        if (jobs == 0) jobs = 1;
       } else if (arg == "--model") {
         const char* v = next();
         if (v == nullptr || !parse_model(v, cfg)) return usage();
@@ -175,27 +235,71 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string csv;
-  if (path == "-") {
-    std::ostringstream buf;
-    buf << std::cin.rdbuf();
-    csv = buf.str();
-  } else {
-    std::ifstream f(path);
-    if (!f) {
-      std::cerr << "parlint: cannot open " << path << '\n';
-      return 1;
-    }
-    std::ostringstream buf;
-    buf << f.rdbuf();
-    csv = buf.str();
-  }
+  if (paths.empty()) return usage();
 
-  try {
-    const ExecutionTrace t = trace_from_csv(csv);
-    return report_and_exit_code(Linter(cfg).run(t), trace_summary(t));
-  } catch (const std::exception& e) {
-    std::cerr << "parlint: " << e.what() << '\n';
-    return 1;
+  // Reading stdin from a worker thread would be order-dependent; keep
+  // "-" a single-trace affair.
+  if (paths.size() > 1)
+    for (const auto& p : paths)
+      if (p == "-") {
+        std::cerr << "parlint: '-' cannot be part of a multi-path batch\n";
+        return 1;
+      }
+
+  // One lint per path, fanned out across workers; stdout/stderr are
+  // buffered per trace and flushed in input order after the join, so a
+  // batch prints identically at any --jobs.
+  struct Outcome {
+    std::string jsonl, summary;
+    std::size_t errors = 0;
+    bool failed = false;
+  };
+  runtime::ExperimentRunner pool({.jobs = jobs});
+  const auto outcomes = pool.map<Outcome>(
+      paths.size(), [&](std::uint64_t i) {
+        const std::string& path = paths[i];
+        Outcome out;
+        std::string csv;
+        if (path == "-") {
+          std::ostringstream buf;
+          buf << std::cin.rdbuf();
+          csv = buf.str();
+        } else {
+          std::ifstream f(path);
+          if (!f) {
+            out.summary = "parlint: cannot open " + path + "\n";
+            out.failed = true;
+            return out;
+          }
+          std::ostringstream buf;
+          buf << f.rdbuf();
+          csv = buf.str();
+        }
+        try {
+          const ExecutionTrace t = trace_from_csv(csv);
+          const Report r = Linter(cfg).run(t);
+          std::ostringstream body;
+          r.write_jsonl(body);
+          out.jsonl = body.str();
+          out.errors = r.errors();
+          out.summary = "parlint: " + path + ": " + trace_summary(t) + ": " +
+                        std::to_string(r.findings.size()) + " finding(s), " +
+                        std::to_string(r.errors()) + " error(s)\n";
+        } catch (const std::exception& e) {
+          out.summary = "parlint: " + path + ": " + e.what() + "\n";
+          out.failed = true;
+        }
+        return out;
+      });
+
+  std::size_t errors = 0;
+  bool failed = false;
+  for (const auto& out : outcomes) {
+    std::cout << out.jsonl;
+    std::cerr << out.summary;
+    errors += out.errors;
+    failed = failed || out.failed;
   }
+  if (failed) return 1;
+  return errors > 0 ? 2 : 0;
 }

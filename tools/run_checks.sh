@@ -7,15 +7,49 @@
 #   3. the full ctest suite under the sanitizers;
 #   4. the `analysis`-labelled subset (parlint rules + parlint_cli
 #      smoke) repeated on its own so a parlint regression is named in
-#      the output even when something else also broke.
+#      the output even when something else also broke;
+#   5. a TSan build flavor (PARBOUNDS_TSAN, exclusive with ASan) running
+#      the `runtime`-labelled subset — the ExperimentRunner determinism
+#      suite is the data-race proof for the trial-parallel path, so it
+#      is the one set of tests that must pass under ThreadSanitizer.
 #
-# Usage: tools/run_checks.sh [build-dir]     (default: build-checks)
+# Usage: tools/run_checks.sh [--quick] [build-dir]
+#
+#   --quick   plain (sanitizer-free) build + full ctest + the analysis
+#             and runtime subsets; skips clang-tidy and both sanitizer
+#             rebuilds. The inner-loop command while iterating.
+#
+# Default build dir: build-checks (quick mode: build-quick), so neither
+# mode clobbers the other's cache.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-checks}"
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+  shift
+fi
+
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${QUICK}" == 1 ]]; then
+  BUILD_DIR="${1:-build-quick}"
+  echo "==> [quick] configure into ${BUILD_DIR}"
+  cmake -B "${BUILD_DIR}" -S .
+  echo "==> [quick] build"
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  echo "==> [quick] full test suite"
+  ctest --test-dir "${BUILD_DIR}" -j "${JOBS}" --output-on-failure
+  echo "==> [quick] analysis-labelled subset"
+  ctest --test-dir "${BUILD_DIR}" -L analysis --output-on-failure
+  echo "==> [quick] runtime-labelled subset"
+  ctest --test-dir "${BUILD_DIR}" -L runtime --output-on-failure
+  echo "==> quick checks passed (sanitizer stages skipped)"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-checks}"
 
 echo "==> configure (ASan + UBSan + Werror) into ${BUILD_DIR}"
 cmake -B "${BUILD_DIR}" -S . \
@@ -40,5 +74,16 @@ ctest --test-dir "${BUILD_DIR}" -j "${JOBS}" --output-on-failure
 
 echo "==> analysis-labelled subset"
 ctest --test-dir "${BUILD_DIR}" -L analysis --output-on-failure
+
+echo "==> configure (TSan + Werror) into ${BUILD_DIR}-tsan"
+cmake -B "${BUILD_DIR}-tsan" -S . \
+  -DPARBOUNDS_TSAN=ON \
+  -DPARBOUNDS_WERROR=ON
+
+echo "==> build (TSan)"
+cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}"
+
+echo "==> runtime-labelled subset under TSan"
+ctest --test-dir "${BUILD_DIR}-tsan" -L runtime --output-on-failure
 
 echo "==> all checks passed"
