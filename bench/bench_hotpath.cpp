@@ -1,0 +1,596 @@
+// Hot-path microbench: sort-based phase commit vs the hash-map pipeline
+// it replaced, and the bit-packed BoolFn vs the byte-table layout.
+//
+// Every cost number in this repository flows through commit_phase, and
+// every degree argument through BoolFn::degree — this bench pins both
+// hot paths against a wall-clock baseline so perf regressions fail
+// loudly instead of silently stretching every other bench.
+//
+// Measurement design: the pre-overhaul implementations live on inside
+// this binary as faithful replicas (`legacy::Qsm` is the unordered_map
+// commit pipeline with map-backed memory and per-phase inbox clears;
+// `legacy::ByteFn` the one-byte-per-entry truth table with the branchy
+// int64 Moebius transform). Paired sweeps run the SAME deterministic
+// workload through the engine and through the replica — same base seed,
+// same cell grid, hence identical per-trial seeds — and the model
+// costs / degree values are asserted equal, so the replicas double as
+// behavioral oracles. The recorded speedup is the wall-clock ratio
+// between the paired sweeps. Cells return model costs/degrees, never
+// wall time, so the runtime's serial-baseline bit-identity check keeps
+// holding at any --jobs value.
+//
+// Extra flags (stripped before google-benchmark sees argv):
+//   --min-phase-speedup=X   fail (exit 1) if the commit speedup < X
+//   --min-degree-speedup=X  fail (exit 1) if the degree speedup < X
+// tools/run_checks.sh passes conservative floors; BENCH_hotpath.json
+// records the actually measured ratios in the "speedup" sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "boolfn/boolfn.hpp"
+#include "core/bsp.hpp"
+#include "core/crcw.hpp"
+#include "core/gsm.hpp"
+#include "harness.hpp"
+
+namespace pb = parbounds;
+using namespace parbounds::bench;
+
+namespace {
+
+// ----- deterministic phase-commit workload ----------------------------------
+
+constexpr std::uint64_t kProcs = 1024;
+constexpr unsigned kPhases = 64;
+constexpr std::uint64_t kCells = 4096;  // reads in [0, 2048), writes above
+
+struct Op {
+  bool is_write;
+  pb::ProcId proc;
+  pb::Addr addr;
+  pb::Word value;
+};
+
+// One phase's request stream: every processor issues 2 reads and 2
+// writes at random addresses. Read and write halves are disjoint, so the
+// stream is legal on every engine. Generated ONCE per trial and replayed
+// for all kPhases phases, so generation cost stays negligible next to
+// the commit work being measured.
+std::vector<Op> make_ops(pb::Rng& rng) {
+  std::vector<Op> ops;
+  ops.reserve(kProcs * 4);
+  const std::uint64_t half = kCells / 2;
+  for (pb::ProcId p = 0; p < kProcs; ++p) {
+    for (int r = 0; r < 2; ++r)
+      ops.push_back({false, p, rng.next_below(half), 0});
+    for (int w = 0; w < 2; ++w)
+      ops.push_back({true, p, half + rng.next_below(half),
+                     static_cast<pb::Word>(1 + rng.next_below(1000))});
+  }
+  return ops;
+}
+
+// ----- legacy replica: the pre-overhaul QSM commit pipeline ------------------
+
+namespace legacy {
+
+// Behavior-for-behavior replica of the old QsmMachine commit path
+// (LastQueued): four unordered_maps per phase, map-backed shared memory,
+// inboxes cleared — and therefore rehashed and re-grown — every phase.
+class Qsm {
+ public:
+  explicit Qsm(std::uint64_t g) : g_(g) {}
+
+  void begin_phase() {
+    reads_.clear();
+    writes_.clear();
+  }
+  void read(pb::ProcId p, pb::Addr a) { reads_.push_back({p, a}); }
+  void write(pb::ProcId p, pb::Addr a, pb::Word v) {
+    writes_.push_back({p, a, v});
+  }
+
+  void commit_phase() {
+    pb::PhaseStats st;
+    st.reads = reads_.size();
+    st.writes = writes_.size();
+
+    std::unordered_map<pb::ProcId, std::uint64_t> r_count, w_count;
+    r_count.reserve(reads_.size());
+    w_count.reserve(writes_.size());
+    for (const auto& r : reads_) ++r_count[r.proc];
+    for (const auto& w : writes_) ++w_count[w.proc];
+    for (const auto& kv : r_count) st.m_rw = std::max(st.m_rw, kv.second);
+    for (const auto& kv : w_count) st.m_rw = std::max(st.m_rw, kv.second);
+
+    std::unordered_map<pb::Addr, std::uint64_t> cell_r, cell_w;
+    cell_r.reserve(reads_.size());
+    cell_w.reserve(writes_.size());
+    for (const auto& r : reads_) ++cell_r[r.addr];
+    for (const auto& w : writes_) ++cell_w[w.addr];
+    for (const auto& kv : cell_r) {
+      if (cell_w.count(kv.first) != 0) std::abort();  // streams are legal
+      st.kappa_r = std::max(st.kappa_r, kv.second);
+    }
+    for (const auto& kv : cell_w) st.kappa_w = std::max(st.kappa_w, kv.second);
+
+    time_ += pb::phase_cost(pb::CostModel::Qsm, g_, st);
+
+    inboxes_.clear();
+    for (const auto& r : reads_) {
+      auto it = mem_.find(r.addr);
+      inboxes_[r.proc].push_back(it == mem_.end() ? 0 : it->second);
+    }
+    for (const auto& w : writes_) mem_[w.addr] = w.value;
+  }
+
+  std::uint64_t time() const { return time_; }
+
+ private:
+  struct ReadReq {
+    pb::ProcId proc;
+    pb::Addr addr;
+  };
+  struct WriteReq {
+    pb::ProcId proc;
+    pb::Addr addr;
+    pb::Word value;
+  };
+
+  std::uint64_t g_;
+  std::uint64_t time_ = 0;
+  std::unordered_map<pb::Addr, pb::Word> mem_;
+  std::vector<ReadReq> reads_;
+  std::vector<WriteReq> writes_;
+  std::unordered_map<pb::ProcId, std::vector<pb::Word>> inboxes_;
+};
+
+// The old BoolFn layout: one byte per truth-table entry, degree via the
+// full int64 Moebius transform with the branchy per-bit update.
+struct ByteFn {
+  unsigned n;
+  std::vector<std::uint8_t> tt;
+
+  explicit ByteFn(unsigned arity) : n(arity), tt(std::size_t{1} << arity, 0) {}
+
+  static ByteFn parity(unsigned arity) {
+    ByteFn f(arity);
+    for (std::uint32_t x = 0; x < f.tt.size(); ++x)
+      f.tt[x] = (std::popcount(x) & 1u) ? 1 : 0;
+    return f;
+  }
+  // AND of the first k of `arity` inputs.
+  static ByteFn and_prefix(unsigned arity, unsigned k) {
+    ByteFn f(arity);
+    const std::uint32_t mask = (std::uint32_t{1} << k) - 1;
+    for (std::uint32_t x = 0; x < f.tt.size(); ++x)
+      f.tt[x] = ((x & mask) == mask) ? 1 : 0;
+    return f;
+  }
+  static ByteFn ith_var(unsigned arity, unsigned i) {
+    ByteFn f(arity);
+    for (std::uint32_t x = 0; x < f.tt.size(); ++x)
+      f.tt[x] = (x >> i) & 1u;
+    return f;
+  }
+  // Same next_bool() draw order as BoolFn::random, so the sampled
+  // function is identical for equal generator state.
+  static ByteFn random(unsigned arity, pb::Rng& rng) {
+    ByteFn f(arity);
+    for (auto& b : f.tt) b = rng.next_bool() ? 1 : 0;
+    return f;
+  }
+
+  ByteFn operator&(const ByteFn& o) const {
+    ByteFn g(n);
+    for (std::size_t x = 0; x < tt.size(); ++x) g.tt[x] = tt[x] & o.tt[x];
+    return g;
+  }
+  ByteFn operator|(const ByteFn& o) const {
+    ByteFn g(n);
+    for (std::size_t x = 0; x < tt.size(); ++x) g.tt[x] = tt[x] | o.tt[x];
+    return g;
+  }
+  ByteFn operator^(const ByteFn& o) const {
+    ByteFn g(n);
+    for (std::size_t x = 0; x < tt.size(); ++x) g.tt[x] = tt[x] ^ o.tt[x];
+    return g;
+  }
+  ByteFn operator~() const {
+    ByteFn g(n);
+    for (std::size_t x = 0; x < tt.size(); ++x) g.tt[x] = tt[x] ^ 1u;
+    return g;
+  }
+
+  std::uint64_t count_ones() const {
+    std::uint64_t c = 0;
+    for (const auto b : tt) c += b;
+    return c;
+  }
+};
+
+unsigned degree(const ByteFn& f) {
+  const auto size = static_cast<std::uint32_t>(f.tt.size());
+  std::vector<std::int64_t> c(size);
+  for (std::uint32_t x = 0; x < size; ++x) c[x] = f.tt[x];
+  for (unsigned i = 0; i < f.n; ++i) {
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    for (std::uint32_t mask = 0; mask < size; ++mask)
+      if (mask & bit) c[mask] -= c[mask ^ bit];
+  }
+  unsigned deg = 0;
+  for (std::uint32_t mask = 0; mask < size; ++mask)
+    if (c[mask] != 0)
+      deg = std::max(deg, static_cast<unsigned>(std::popcount(mask)));
+  return deg;
+}
+
+}  // namespace legacy
+
+// ----- phase-commit cells ----------------------------------------------------
+
+double qsm_commit_cost(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const auto ops = make_ops(rng);
+  pb::QsmMachine m({.g = 2});
+  (void)m.alloc(kCells);
+  for (unsigned ph = 0; ph < kPhases; ++ph) {
+    m.begin_phase();
+    for (const auto& op : ops) {
+      if (op.is_write)
+        m.write(op.proc, op.addr, op.value);
+      else
+        m.read(op.proc, op.addr);
+    }
+    m.commit_phase();
+  }
+  return static_cast<double>(m.time());
+}
+
+double qsm_legacy_commit_cost(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const auto ops = make_ops(rng);
+  legacy::Qsm m(2);
+  for (unsigned ph = 0; ph < kPhases; ++ph) {
+    m.begin_phase();
+    for (const auto& op : ops) {
+      if (op.is_write)
+        m.write(op.proc, op.addr, op.value);
+      else
+        m.read(op.proc, op.addr);
+    }
+    m.commit_phase();
+  }
+  return static_cast<double>(m.time());
+}
+
+double gsm_commit_cost(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const auto ops = make_ops(rng);
+  pb::GsmMachine m({.alpha = 2, .beta = 2});
+  (void)m.alloc(kCells);
+  for (unsigned ph = 0; ph < kPhases; ++ph) {
+    m.begin_phase();
+    for (const auto& op : ops) {
+      if (op.is_write)
+        m.write(op.proc, op.addr, op.value);
+      else
+        m.read(op.proc, op.addr);
+    }
+    m.commit_phase();
+  }
+  return static_cast<double>(m.time());
+}
+
+double bsp_commit_cost(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  pb::BspMachine m({.p = kProcs, .g = 2, .L = 8});
+  for (unsigned ph = 0; ph < kPhases; ++ph) {
+    m.begin_superstep();
+    for (pb::ProcId p = 0; p < kProcs; ++p)
+      for (int s = 0; s < 4; ++s)
+        m.send(p, rng.next_below(kProcs),
+               static_cast<pb::Word>(rng.next_below(1000)));
+    m.commit_superstep();
+  }
+  return static_cast<double>(m.time());
+}
+
+double crcw_commit_cost(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const auto ops = make_ops(rng);
+  pb::CrcwMachine m({.rule = pb::CrcwWriteRule::Arbitrary});
+  (void)m.alloc(kCells);
+  std::uint64_t kappa_sum = 0;
+  for (unsigned ph = 0; ph < kPhases; ++ph) {
+    m.begin_step();
+    for (const auto& op : ops) {
+      if (op.is_write)
+        m.write(op.proc, op.addr, op.value);
+      else
+        m.read(op.proc, op.addr);
+    }
+    // Contention is recorded but not charged on a CRCW; fold it into the
+    // returned value so the bit-identity check covers the kappa scan too.
+    kappa_sum += m.commit_step().stats.kappa();
+  }
+  return static_cast<double>(m.time() + kappa_sum);
+}
+
+// ----- BoolFn cells ----------------------------------------------------------
+
+// Each degree cell constructs its function once and takes the degree
+// kDegreeReps times, so the measured pair compares the degree transforms
+// themselves rather than table construction (which differs only by
+// layout and is comparatively cheap). The returned sum keeps the
+// bit-identity and oracle checks meaningful.
+constexpr int kDegreeReps = 3;
+
+double degree_parity20(std::uint64_t) {
+  const pb::BoolFn f = pb::BoolFn::parity(20);
+  double s = 0;
+  for (int r = 0; r < kDegreeReps; ++r) s += pb::degree(f);
+  return s;
+}
+double degree_and18in20(std::uint64_t) {
+  const pb::BoolFn f = pb::BoolFn::from(20, [](std::uint32_t x) {
+    return (x & 0x3FFFFu) == 0x3FFFFu;  // AND of the first 18 inputs
+  });
+  double s = 0;
+  for (int r = 0; r < kDegreeReps; ++r) s += pb::degree(f);
+  return s;
+}
+double degree_random20(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const pb::BoolFn f = pb::BoolFn::random(20, rng);
+  double s = 0;
+  for (int r = 0; r < kDegreeReps; ++r) s += pb::degree(f);
+  return s;
+}
+double connectives20(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const pb::BoolFn f = pb::BoolFn::random(20, rng);
+  const pb::BoolFn g = pb::BoolFn::random(20, rng);
+  const pb::BoolFn h = (f & g) ^ (~f | pb::BoolFn::variable(20, 3));
+  return static_cast<double>(h.count_ones());
+}
+
+double legacy_degree_parity20(std::uint64_t) {
+  const legacy::ByteFn f = legacy::ByteFn::parity(20);
+  double s = 0;
+  for (int r = 0; r < kDegreeReps; ++r) s += legacy::degree(f);
+  return s;
+}
+double legacy_degree_and18in20(std::uint64_t) {
+  const legacy::ByteFn f = legacy::ByteFn::and_prefix(20, 18);
+  double s = 0;
+  for (int r = 0; r < kDegreeReps; ++r) s += legacy::degree(f);
+  return s;
+}
+double legacy_degree_random20(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const legacy::ByteFn f = legacy::ByteFn::random(20, rng);
+  double s = 0;
+  for (int r = 0; r < kDegreeReps; ++r) s += legacy::degree(f);
+  return s;
+}
+double legacy_connectives20(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const legacy::ByteFn f = legacy::ByteFn::random(20, rng);
+  const legacy::ByteFn g = legacy::ByteFn::random(20, rng);
+  const legacy::ByteFn h = (f & g) ^ (~f | legacy::ByteFn::ith_var(20, 3));
+  return static_cast<double>(h.count_ones());
+}
+
+// Packed-only headroom: arities the byte table never reached (a 2^28
+// int64 scratch array would need 2 GiB).
+double degree_parity28(std::uint64_t) {
+  return static_cast<double>(pb::degree(pb::BoolFn::parity(28)));
+}
+double degree_and22in24(std::uint64_t) {
+  // Forces the chunked transform: degree 22 at arity 24 defeats every
+  // early exit (top coefficient zero, level n-1 zero, dense tier capped
+  // at n = 22).
+  const pb::BoolFn f = pb::BoolFn::from(24, [](std::uint32_t x) {
+    return (x & 0x3FFFFFu) == 0x3FFFFFu;
+  });
+  return static_cast<double>(pb::degree(f));
+}
+
+// ----- pairing / verification ------------------------------------------------
+
+bool same_costs(const pb::runtime::SweepResult& a,
+                const pb::runtime::SweepResult& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i)
+    if (a.cells[i].costs != b.cells[i].costs) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the speedup-floor flags before the harness and google-benchmark
+  // parse argv.
+  double min_phase = 0.0;
+  double min_degree = 0.0;
+  {
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--min-phase-speedup=", 0) == 0)
+        min_phase = std::stod(arg.substr(20));
+      else if (arg.rfind("--min-degree-speedup=", 0) == 0)
+        min_degree = std::stod(arg.substr(21));
+      else
+        argv[w++] = argv[i];
+    }
+    argc = w;
+  }
+
+  auto& session = session_init(argc, argv, "hotpath");
+  std::printf("%s", pb::banner("HOT PATHS — sort-based phase commit and "
+                               "packed BoolFn vs the legacy pipelines")
+                        .c_str());
+
+  constexpr unsigned kTrials = 3;
+  const bool baseline = session.json_enabled();
+
+  // Paired sweeps share one base seed and one cell grid, so trial t sees
+  // the same op stream / sampled function on both sides and the model
+  // results must agree exactly. Keep local copies: references returned
+  // by record() don't survive later record() calls.
+  const std::uint64_t commit_base = session.next_base_seed();
+  const auto qsm_new = pb::runtime::run_sweep(
+      session.runner(), "phase_commit", commit_base,
+      {{.key = "qsm/p1024x64", .trials = kTrials, .run = qsm_commit_cost}},
+      baseline);
+  const auto qsm_old = pb::runtime::run_sweep(
+      session.runner(), "phase_commit_legacy", commit_base,
+      {{.key = "qsm/p1024x64",
+        .trials = kTrials,
+        .run = qsm_legacy_commit_cost}},
+      baseline);
+  const auto engines = pb::runtime::run_sweep(
+      session.runner(), "phase_commit_other_engines",
+      session.next_base_seed(),
+      {{.key = "gsm/p1024x64", .trials = kTrials, .run = gsm_commit_cost},
+       {.key = "bsp/p1024x64", .trials = kTrials, .run = bsp_commit_cost},
+       {.key = "crcw/p1024x64", .trials = kTrials, .run = crcw_commit_cost}},
+      baseline);
+
+  constexpr unsigned kDegTrials = 2;
+  const std::uint64_t degree_base = session.next_base_seed();
+  const auto fn_new = pb::runtime::run_sweep(
+      session.runner(), "boolfn_degree", degree_base,
+      {{.key = "degree/parity20", .trials = kDegTrials, .run = degree_parity20},
+       {.key = "degree/and18in20",
+        .trials = kDegTrials,
+        .run = degree_and18in20},
+       {.key = "degree/random20",
+        .trials = kDegTrials,
+        .run = degree_random20}},
+      baseline);
+  const auto fn_old = pb::runtime::run_sweep(
+      session.runner(), "boolfn_degree_legacy", degree_base,
+      {{.key = "degree/parity20",
+        .trials = kDegTrials,
+        .run = legacy_degree_parity20},
+       {.key = "degree/and18in20",
+        .trials = kDegTrials,
+        .run = legacy_degree_and18in20},
+       {.key = "degree/random20",
+        .trials = kDegTrials,
+        .run = legacy_degree_random20}},
+      baseline);
+  const std::uint64_t conn_base = session.next_base_seed();
+  const auto conn_new = pb::runtime::run_sweep(
+      session.runner(), "boolfn_connectives", conn_base,
+      {{.key = "connectives/n20", .trials = kTrials, .run = connectives20}},
+      baseline);
+  const auto conn_old = pb::runtime::run_sweep(
+      session.runner(), "boolfn_connectives_legacy", conn_base,
+      {{.key = "connectives/n20",
+        .trials = kTrials,
+        .run = legacy_connectives20}},
+      baseline);
+
+  // Packed-only arities: correctness plus a timing record.
+  const auto extended = pb::runtime::run_sweep(
+      session.runner(), "boolfn_extended", session.next_base_seed(),
+      {{.key = "degree/parity28", .trials = 1, .run = degree_parity28},
+       {.key = "degree/and22in24", .trials = 1, .run = degree_and22in24}},
+      baseline);
+
+  session.record(qsm_new);
+  session.record(qsm_old);
+  session.record(engines);
+  session.record(fn_new);
+  session.record(fn_old);
+  session.record(conn_new);
+  session.record(conn_old);
+  session.record(extended);
+
+  // ----- behavioral cross-checks (the replicas are oracles) ---------------
+  if (!same_costs(qsm_new, qsm_old) || !same_costs(fn_new, fn_old) ||
+      !same_costs(conn_new, conn_old)) {
+    std::fprintf(stderr,
+                 "bench_hotpath: MISMATCH between engine and legacy replica "
+                 "results\n");
+    return 1;
+  }
+  if (extended.cells[0].mean != 28.0 || extended.cells[1].mean != 22.0) {
+    std::fprintf(stderr, "bench_hotpath: packed degree self-check failed\n");
+    return 1;
+  }
+
+  // ----- speedups ---------------------------------------------------------
+  const double phase_speedup =
+      qsm_old.wall_ms / std::max(1e-9, qsm_new.wall_ms);
+  const double degree_speedup =
+      fn_old.wall_ms / std::max(1e-9, fn_new.wall_ms);
+
+  pb::TextTable t({"pair", "legacy ms", "new ms", "speedup"});
+  t.add_row({"phase_commit qsm/p1024x64",
+             pb::TextTable::num(qsm_old.wall_ms, 1),
+             pb::TextTable::num(qsm_new.wall_ms, 1),
+             pb::TextTable::num(phase_speedup, 2)});
+  t.add_row({"boolfn degree n=20", pb::TextTable::num(fn_old.wall_ms, 1),
+             pb::TextTable::num(fn_new.wall_ms, 1),
+             pb::TextTable::num(degree_speedup, 2)});
+  t.add_row({"boolfn connectives n=20",
+             pb::TextTable::num(conn_old.wall_ms, 1),
+             pb::TextTable::num(conn_new.wall_ms, 1),
+             pb::TextTable::num(conn_old.wall_ms /
+                                   std::max(1e-9, conn_new.wall_ms),
+                               2)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("degree(parity(28)) = %.0f, degree(and22 at n=24) = %.0f\n\n",
+              extended.cells[0].mean, extended.cells[1].mean);
+
+  // Record the measured ratios in the JSON report as a synthetic sweep
+  // (captured constants, so the serial re-run reproduces them bit for
+  // bit).
+  session.record(pb::runtime::run_sweep(
+      session.runner(), "speedup", session.next_base_seed(),
+      {{.key = "phase_commit/qsm_p1024x64",
+        .trials = 1,
+        .run = [phase_speedup](std::uint64_t) { return phase_speedup; }},
+       {.key = "boolfn/degree_n20",
+        .trials = 1,
+        .run = [degree_speedup](std::uint64_t) { return degree_speedup; }}},
+      baseline));
+
+  if (min_phase > 0.0 && phase_speedup < min_phase) {
+    std::fprintf(stderr,
+                 "bench_hotpath: phase-commit speedup %.2f below floor "
+                 "%.2f\n",
+                 phase_speedup, min_phase);
+    return 1;
+  }
+  if (min_degree > 0.0 && degree_speedup < min_degree) {
+    std::fprintf(stderr,
+                 "bench_hotpath: degree speedup %.2f below floor %.2f\n",
+                 degree_speedup, min_degree);
+    return 1;
+  }
+
+  benchmark::RegisterBenchmark(
+      "sim/qsm_commit/p1024x64", [](benchmark::State& st) {
+        for (auto _ : st) benchmark::DoNotOptimize(qsm_commit_cost(kSeed));
+      });
+  benchmark::RegisterBenchmark(
+      "sim/boolfn_degree/n20", [](benchmark::State& st) {
+        for (auto _ : st) benchmark::DoNotOptimize(degree_random20(kSeed));
+      });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return session.finish();
+}

@@ -171,7 +171,9 @@ void TraceAnalysis::run_refinement(std::uint32_t r, const GsmAlgorithm& algo,
   RunCapture cap;
   cap.phases = m.trace().phases;
   for (const auto& [a, words] : m.initial_memory()) cap.initial[a] = words;
-  for (const auto& [a, words] : m.memory()) cap.final_mem[a] = words;
+  m.for_each_cell([&cap](Addr a, const std::vector<Word>& words) {
+    cap.final_mem[a] = words;
+  });
   captures_[r] = std::move(cap);
 }
 
@@ -211,16 +213,16 @@ std::vector<unsigned> TraceAnalysis::know(std::size_t v, unsigned t) const {
 }
 
 unsigned TraceAnalysis::deg_states(std::size_t v, unsigned t) const {
+  // Build every characteristic function chi_id in ONE pass over the
+  // refinement row (the old per-id BoolFn::from rescans made this
+  // quadratic in the number of distinct trace ids).
   const auto& row = trace_[v][t];
-  std::vector<std::uint32_t> ids(row);
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  const unsigned u = free_count();
+  std::map<std::uint32_t, BoolFn> chi;
+  for (std::uint32_t r = 0; r < refinements(); ++r)
+    chi.try_emplace(row[r], BoolFn(u)).first->second.set(r, true);
   unsigned best = 0;
-  for (const std::uint32_t id : ids) {
-    const BoolFn chi = BoolFn::from(
-        free_count(), [&](std::uint32_t x) { return row[x] == id; });
-    best = std::max(best, degree(chi));
-  }
+  for (const auto& [id, fn] : chi) best = std::max(best, degree(fn));
   return best;
 }
 

@@ -1,36 +1,228 @@
 #include "boolfn/boolfn.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 namespace parbounds {
 
+namespace {
+
+// Bit j of kVarMask[i] is set iff bit i of j is set: the truth table of
+// variable x_i restricted to one 64-entry word. These six masks drive
+// every in-word step of the transforms below.
+constexpr std::uint64_t var_mask(unsigned i) {
+  std::uint64_t m = 0;
+  for (unsigned j = 0; j < 64; ++j)
+    if ((j >> i) & 1u) m |= std::uint64_t{1} << j;
+  return m;
+}
+constexpr std::array<std::uint64_t, 6> kVarMask = {
+    var_mask(0), var_mask(1), var_mask(2),
+    var_mask(3), var_mask(4), var_mask(5)};
+
+// Bit j set iff popcount(j) is odd: parity of the low six input bits.
+constexpr std::uint64_t odd_parity_mask() {
+  std::uint64_t m = 0;
+  for (unsigned j = 0; j < 64; ++j)
+    if (std::popcount(j) & 1u) m |= std::uint64_t{1} << j;
+  return m;
+}
+constexpr std::uint64_t kOddParity = odd_parity_mask();
+
+std::size_t word_count(unsigned n) {
+  return n >= 6 ? std::size_t{1} << (n - 6) : 1;
+}
+
+// Valid-bit mask of the last (only) word when the table is shorter than
+// one word; all-ones otherwise.
+std::uint64_t tail_mask(unsigned n) {
+  return n >= 6 ? ~std::uint64_t{0}
+                : (std::uint64_t{1} << (std::uint32_t{1} << n)) - 1;
+}
+
+// Largest arity for which degree() materialises the full 2^n int32
+// coefficient array (16 MiB at 22). Above it, the transform is chunked
+// over the high variables so memory stays at one 2^22 slice.
+constexpr unsigned kDenseDegreeArity = 22;
+
+// sum over x of (-1)^popcount(x) * f(x), the (sign-normalised) top
+// multilinear coefficient. Word-parallel: within a word the sign is the
+// parity of the low six bits (kOddParity), across words the parity of
+// the word index.
+std::int64_t signed_sum(std::span<const std::uint64_t> w) {
+  std::int64_t s = 0;
+  for (std::size_t wi = 0; wi < w.size(); ++wi) {
+    const std::uint64_t bits = w[wi];
+    if (bits == 0) continue;
+    const std::int64_t d = std::popcount(bits & ~kOddParity) -
+                           std::popcount(bits & kOddParity);
+    s += (std::popcount(wi) & 1u) ? -d : d;
+  }
+  return s;
+}
+
+// sum over x with x_i == 0 of (-1)^popcount(x) * f(x): the level-(n-1)
+// coefficient for S = {0..n-1} \ {i}, up to sign.
+std::int64_t signed_sum_without(std::span<const std::uint64_t> w, unsigned i) {
+  std::int64_t s = 0;
+  if (i < 6) {
+    const std::uint64_t keep = ~kVarMask[i];
+    for (std::size_t wi = 0; wi < w.size(); ++wi) {
+      const std::uint64_t bits = w[wi] & keep;
+      if (bits == 0) continue;
+      const std::int64_t d = std::popcount(bits & ~kOddParity) -
+                             std::popcount(bits & kOddParity);
+      s += (std::popcount(wi) & 1u) ? -d : d;
+    }
+  } else {
+    const std::size_t blk = std::size_t{1} << (i - 6);
+    for (std::size_t wi = 0; wi < w.size(); ++wi) {
+      if ((wi & blk) != 0) continue;
+      const std::uint64_t bits = w[wi];
+      if (bits == 0) continue;
+      const std::int64_t d = std::popcount(bits & ~kOddParity) -
+                             std::popcount(bits & kOddParity);
+      s += (std::popcount(wi) & 1u) ? -d : d;
+    }
+  }
+  return s;
+}
+
+// In-place integer Moebius transform over t variables with unit-stride
+// inner loops: after the pass, c[S] = alpha_S.
+void moebius_i32(std::vector<std::int32_t>& c, unsigned t) {
+  const std::uint32_t size = std::uint32_t{1} << t;
+  for (std::uint32_t h = 1; h < size; h <<= 1)
+    for (std::uint32_t base = 0; base < size; base += 2 * h)
+      for (std::uint32_t j = 0; j < h; ++j)
+        c[base + h + j] -= c[base + j];
+}
+
+// Exact degree via the full dense transform (n <= kDenseDegreeArity).
+unsigned dense_degree(const BoolFn& f) {
+  const std::uint32_t size = f.table_size();
+  std::vector<std::int32_t> c(size, 0);
+  const auto w = f.words();
+  for (std::size_t wi = 0; wi < w.size(); ++wi) {
+    std::uint64_t bits = w[wi];
+    while (bits != 0) {
+      const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      c[(static_cast<std::uint32_t>(wi) << 6) | j] = 1;
+    }
+  }
+  moebius_i32(c, f.arity());
+  unsigned best = 0;
+  for (std::uint32_t m = 0; m < size; ++m)
+    if (c[m] != 0)
+      best = std::max(best, static_cast<unsigned>(std::popcount(m)));
+  return best;
+}
+
+// Exact degree for n in (kDenseDegreeArity, kMaxArity]: split the inputs
+// into t low and n-t high variables. The Moebius transform separates, so
+// for each high subset Sh the slice combination
+//   g_Sh(xl) = sum_{Th subseteq Sh} (-1)^{|Sh \ Th|} f(xl, Th)
+// followed by a t-variable transform of g_Sh yields exactly the
+// coefficients alpha_{(Sl, Sh)}. Bounds: |g_Sh| <= 2^(n-t) <= 64 and
+// |alpha| <= 2^n <= 2^28, so int32 never overflows.
+unsigned chunked_degree(const BoolFn& f) {
+  const unsigned n = f.arity();
+  const unsigned t = kDenseDegreeArity;
+  const std::uint32_t hi_count = std::uint32_t{1} << (n - t);
+  const std::size_t slice_words = std::size_t{1} << (t - 6);
+  const auto w = f.words();
+  std::vector<std::int32_t> g(std::uint32_t{1} << t);
+  unsigned best = 0;
+  for (std::uint32_t sh = 0; sh < hi_count; ++sh) {
+    const unsigned hi_pc = static_cast<unsigned>(std::popcount(sh));
+    if (hi_pc + t <= best) continue;  // cannot beat the current maximum
+    std::fill(g.begin(), g.end(), 0);
+    std::uint32_t th = sh;
+    while (true) {
+      const std::int32_t sgn = (std::popcount(sh ^ th) & 1u) ? -1 : 1;
+      const std::uint64_t* slice = w.data() + std::size_t{th} * slice_words;
+      for (std::size_t wi = 0; wi < slice_words; ++wi) {
+        std::uint64_t bits = slice[wi];
+        while (bits != 0) {
+          const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+          bits &= bits - 1;
+          g[(static_cast<std::uint32_t>(wi) << 6) | j] += sgn;
+        }
+      }
+      if (th == 0) break;
+      th = (th - 1) & sh;
+    }
+    moebius_i32(g, t);
+    for (std::uint32_t m = 0; m < g.size(); ++m)
+      if (g[m] != 0)
+        best = std::max(best,
+                        hi_pc + static_cast<unsigned>(std::popcount(m)));
+  }
+  return best;
+}
+
+}  // namespace
+
 BoolFn::BoolFn(unsigned n) : n_(n) {
-  if (n > 24) throw std::invalid_argument("BoolFn arity limited to 24");
-  tt_.assign(std::size_t{1} << n, 0);
+  if (n > kMaxArity)
+    throw std::invalid_argument("BoolFn arity limited to " +
+                                std::to_string(kMaxArity));
+  words_.assign(word_count(n), 0);
+}
+
+std::uint64_t BoolFn::count_ones() const {
+  std::uint64_t c = 0;
+  for (const std::uint64_t w : words_)
+    c += static_cast<std::uint64_t>(std::popcount(w));
+  return c;
 }
 
 BoolFn BoolFn::constant(unsigned n, bool v) {
   BoolFn f(n);
-  if (v) std::fill(f.tt_.begin(), f.tt_.end(), std::uint8_t{1});
+  if (v) {
+    std::fill(f.words_.begin(), f.words_.end(), ~std::uint64_t{0});
+    f.words_.back() &= tail_mask(n);
+  }
   return f;
 }
 
 BoolFn BoolFn::variable(unsigned n, unsigned i) {
-  return from(n, [i](std::uint32_t x) { return ((x >> i) & 1u) != 0; });
+  BoolFn f(n);
+  if (i < 6) {
+    std::fill(f.words_.begin(), f.words_.end(), kVarMask[i]);
+    f.words_.back() &= tail_mask(n);
+  } else {
+    const std::size_t blk = std::size_t{1} << (i - 6);
+    for (std::size_t wi = 0; wi < f.words_.size(); ++wi)
+      if ((wi & blk) != 0) f.words_[wi] = ~std::uint64_t{0};
+  }
+  return f;
 }
 
 BoolFn BoolFn::parity(unsigned n) {
-  return from(n, [](std::uint32_t x) { return (std::popcount(x) & 1) != 0; });
+  BoolFn f(n);
+  for (std::size_t wi = 0; wi < f.words_.size(); ++wi)
+    f.words_[wi] =
+        (std::popcount(wi) & 1u) ? ~kOddParity : kOddParity;
+  f.words_.back() &= tail_mask(n);
+  return f;
 }
 
 BoolFn BoolFn::or_fn(unsigned n) {
-  return from(n, [](std::uint32_t x) { return x != 0; });
+  BoolFn f = constant(n, true);
+  f.words_.front() &= ~std::uint64_t{1};  // f(0...0) = 0
+  return f;
 }
 
 BoolFn BoolFn::and_fn(unsigned n) {
-  const std::uint32_t all = (n == 32) ? ~0u : ((std::uint32_t{1} << n) - 1);
-  return from(n, [all](std::uint32_t x) { return x == all; });
+  // Exactly one satisfying assignment: the all-ones input.
+  BoolFn f(n);
+  f.set((std::uint32_t{1} << n) - 1, true);
+  return f;
 }
 
 BoolFn BoolFn::threshold(unsigned n, unsigned k) {
@@ -51,19 +243,40 @@ BoolFn BoolFn::address(unsigned k) {
 BoolFn BoolFn::from(unsigned n,
                     const std::function<bool(std::uint32_t)>& f) {
   BoolFn g(n);
-  for (std::uint32_t x = 0; x < g.table_size(); ++x) g.tt_[x] = f(x) ? 1 : 0;
+  const std::uint32_t size = g.table_size();
+  for (std::size_t wi = 0; wi < g.words_.size(); ++wi) {
+    const std::uint32_t base = static_cast<std::uint32_t>(wi) << 6;
+    const std::uint32_t lim = std::min<std::uint32_t>(size - base, 64);
+    std::uint64_t acc = 0;
+    for (std::uint32_t j = 0; j < lim; ++j)
+      if (f(base | j)) acc |= std::uint64_t{1} << j;
+    g.words_[wi] = acc;
+  }
   return g;
 }
 
 BoolFn BoolFn::random(unsigned n, Rng& rng) {
+  // One next_bool() per table entry in ascending order — the sampled
+  // function for a given generator state is part of the observable
+  // behavior (tests and benches pin it).
   BoolFn g(n);
-  for (auto& b : g.tt_) b = rng.next_bool() ? 1 : 0;
+  const std::uint32_t size = g.table_size();
+  for (std::size_t wi = 0; wi < g.words_.size(); ++wi) {
+    const std::uint32_t base = static_cast<std::uint32_t>(wi) << 6;
+    const std::uint32_t lim = std::min<std::uint32_t>(size - base, 64);
+    std::uint64_t acc = 0;
+    for (std::uint32_t j = 0; j < lim; ++j)
+      if (rng.next_bool()) acc |= std::uint64_t{1} << j;
+    g.words_[wi] = acc;
+  }
   return g;
 }
 
 BoolFn BoolFn::operator~() const {
   BoolFn g(n_);
-  for (std::uint32_t x = 0; x < table_size(); ++x) g.tt_[x] = tt_[x] ^ 1u;
+  for (std::size_t wi = 0; wi < words_.size(); ++wi)
+    g.words_[wi] = ~words_[wi];
+  g.words_.back() &= tail_mask(n_);
   return g;
 }
 
@@ -77,65 +290,137 @@ void check_same_arity(const BoolFn& a, const BoolFn& b) {
 BoolFn BoolFn::operator&(const BoolFn& o) const {
   check_same_arity(*this, o);
   BoolFn g(n_);
-  for (std::uint32_t x = 0; x < table_size(); ++x)
-    g.tt_[x] = tt_[x] & o.tt_[x];
+  for (std::size_t wi = 0; wi < words_.size(); ++wi)
+    g.words_[wi] = words_[wi] & o.words_[wi];
   return g;
 }
 
 BoolFn BoolFn::operator|(const BoolFn& o) const {
   check_same_arity(*this, o);
   BoolFn g(n_);
-  for (std::uint32_t x = 0; x < table_size(); ++x)
-    g.tt_[x] = tt_[x] | o.tt_[x];
+  for (std::size_t wi = 0; wi < words_.size(); ++wi)
+    g.words_[wi] = words_[wi] | o.words_[wi];
   return g;
 }
 
 BoolFn BoolFn::operator^(const BoolFn& o) const {
   check_same_arity(*this, o);
   BoolFn g(n_);
-  for (std::uint32_t x = 0; x < table_size(); ++x)
-    g.tt_[x] = tt_[x] ^ o.tt_[x];
+  for (std::size_t wi = 0; wi < words_.size(); ++wi)
+    g.words_[wi] = words_[wi] ^ o.words_[wi];
   return g;
 }
 
 BoolFn BoolFn::fix(unsigned i, bool v) const {
   BoolFn g(n_);
-  const std::uint32_t bit = std::uint32_t{1} << i;
-  for (std::uint32_t x = 0; x < table_size(); ++x) {
-    const std::uint32_t y = v ? (x | bit) : (x & ~bit);
-    g.tt_[x] = tt_[y];
+  if (i < 6) {
+    // Gather the kept half of each word and mirror it into both halves
+    // of the i-th bit so the variable becomes irrelevant.
+    const unsigned s = 1u << i;
+    const std::uint64_t hi = kVarMask[i];
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (v) {
+        const std::uint64_t t = words_[wi] & hi;
+        g.words_[wi] = t | (t >> s);
+      } else {
+        const std::uint64_t t = words_[wi] & ~hi;
+        g.words_[wi] = t | (t << s);
+      }
+    }
+    g.words_.back() &= tail_mask(n_);
+  } else {
+    const std::size_t blk = std::size_t{1} << (i - 6);
+    for (std::size_t wi = 0; wi < words_.size(); ++wi)
+      g.words_[wi] = words_[v ? (wi | blk) : (wi & ~blk)];
   }
   return g;
 }
 
 bool BoolFn::depends_on(unsigned i) const {
-  const std::uint32_t bit = std::uint32_t{1} << i;
-  for (std::uint32_t x = 0; x < table_size(); ++x)
-    if ((x & bit) == 0 && tt_[x] != tt_[x | bit]) return true;
+  if (i >= n_) return false;
+  if (i < 6) {
+    const unsigned s = 1u << i;
+    for (const std::uint64_t w : words_)
+      if ((((w >> s) ^ w) & ~kVarMask[i]) != 0) return true;
+    return false;
+  }
+  const std::size_t blk = std::size_t{1} << (i - 6);
+  for (std::size_t wi = 0; wi < words_.size(); ++wi)
+    if ((wi & blk) == 0 && words_[wi] != words_[wi | blk]) return true;
   return false;
 }
 
 std::vector<std::int64_t> multilinear_coeffs(const BoolFn& f) {
+  if (f.arity() > 24)
+    throw std::invalid_argument(
+        "multilinear_coeffs materialises 2^n int64 values; use degree() "
+        "beyond n = 24");
   const std::uint32_t size = f.table_size();
-  std::vector<std::int64_t> c(size);
-  for (std::uint32_t x = 0; x < size; ++x) c[x] = f(x) ? 1 : 0;
+  std::vector<std::int64_t> c(size, 0);
+  const auto w = f.words();
+  for (std::size_t wi = 0; wi < w.size(); ++wi) {
+    std::uint64_t bits = w[wi];
+    while (bits != 0) {
+      const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      c[(static_cast<std::uint32_t>(wi) << 6) | j] = 1;
+    }
+  }
   // In-place subset Moebius transform: alpha_S = sum_{T subseteq S}
   // (-1)^{|S\T|} f(1_T). Uniqueness of the representation is Fact 2.1.
-  for (unsigned i = 0; i < f.arity(); ++i) {
-    const std::uint32_t bit = std::uint32_t{1} << i;
-    for (std::uint32_t mask = 0; mask < size; ++mask)
-      if (mask & bit) c[mask] -= c[mask ^ bit];
-  }
+  // Blocked so every inner loop is unit-stride.
+  for (std::uint32_t h = 1; h < size; h <<= 1)
+    for (std::uint32_t base = 0; base < size; base += 2 * h)
+      for (std::uint32_t j = 0; j < h; ++j)
+        c[base + h + j] -= c[base + j];
   return c;
 }
 
+unsigned gf2_degree(const BoolFn& f) {
+  const unsigned n = f.arity();
+  std::vector<std::uint64_t> w(f.words().begin(), f.words().end());
+  // XOR zeta transform: the GF(2) Moebius transform is its own inverse
+  // and needs no subtraction, so it runs fully word-parallel.
+  for (unsigned i = 0; i < n && i < 6; ++i) {
+    const unsigned s = 1u << i;
+    for (auto& x : w) x ^= (x << s) & kVarMask[i];
+  }
+  for (unsigned i = 6; i < n; ++i) {
+    const std::size_t blk = std::size_t{1} << (i - 6);
+    for (std::size_t wi = 0; wi < w.size(); ++wi)
+      if ((wi & blk) != 0) w[wi] ^= w[wi ^ blk];
+  }
+  unsigned best = 0;
+  for (std::size_t wi = 0; wi < w.size(); ++wi) {
+    std::uint64_t bits = w[wi];
+    if (bits == 0) continue;
+    const unsigned hi = static_cast<unsigned>(std::popcount(wi));
+    if (hi + 6 <= best) continue;  // even six low bits cannot improve
+    while (bits != 0) {
+      const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      best = std::max(best, hi + static_cast<unsigned>(std::popcount(j)));
+    }
+  }
+  return best;
+}
+
 unsigned degree(const BoolFn& f) {
-  const auto c = multilinear_coeffs(f);
-  unsigned deg = 0;
-  for (std::uint32_t mask = 0; mask < c.size(); ++mask)
-    if (c[mask] != 0)
-      deg = std::max(deg, static_cast<unsigned>(std::popcount(mask)));
-  return deg;
+  const unsigned n = f.arity();
+  const std::uint64_t ones = f.count_ones();
+  if (ones == 0 || ones == f.table_size()) return 0;  // constants
+  // Level n: alpha_{full} != 0 iff the signed truth-table sum is nonzero.
+  if (signed_sum(f.words()) != 0) return n;
+  // GF(2) lower bound: an odd integer coefficient is nonzero, so
+  // deg(f) >= gf2_degree(f); and alpha_full = 0 caps deg(f) at n-1.
+  if (gf2_degree(f) == n - 1) return n - 1;
+  // Exact level n-1: one masked signed sum per dropped variable.
+  for (unsigned i = 0; i < n; ++i)
+    if (signed_sum_without(f.words(), i) != 0) return n - 1;
+  // Degree is now <= n-2: take the dense transform when the coefficient
+  // array fits comfortably, else chunk over the high variables.
+  if (n <= kDenseDegreeArity) return dense_degree(f);
+  return chunked_degree(f);
 }
 
 std::int64_t eval_multilinear(const std::vector<std::int64_t>& coeffs,

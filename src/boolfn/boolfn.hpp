@@ -6,32 +6,59 @@
 // representation f = sum_S alpha_S(f) * m_S (Fact 2.1 [Smolensky]):
 // composition bounds on deg (Fact 2.2 [Dietzfelbinger et al.]), and the
 // certificate-complexity bound C(f) <= deg(f)^4 (Fact 2.3, via Nisan).
-// This module makes all of that executable for n up to ~20 variables so
-// the facts — and the degree-growth invariants the lower-bound proofs
-// rely on — can be checked exactly on real functions.
+// This module makes all of that executable — exactly, in integers — for
+// n up to kMaxArity variables.
+//
+// Layout: the truth table is bit-packed, 64 assignments per uint64_t
+// word; bit (x & 63) of word (x >> 6) is f(x). All connectives, fixing,
+// dependence tests and the degree transforms operate word-parallel on
+// this layout. The class maintains the invariant that bits at positions
+// >= 2^n (possible only for n < 6, where the table occupies part of one
+// word) are zero, which makes operator== a plain word compare.
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
 
 namespace parbounds {
 
-/// A Boolean function on n variables stored as a 2^n truth table.
-/// Input assignments are bitmasks: bit i of x is the value of variable x_i.
+/// A Boolean function on n variables stored as a bit-packed 2^n truth
+/// table. Input assignments are bitmasks: bit i of x is the value of
+/// variable x_i.
 class BoolFn {
  public:
+  /// Largest supported arity: 2^28 table bits = 32 MiB packed. The exact
+  /// integer degree is still computable here without materialising a
+  /// 2^28 int64 array (see degree() in boolfn.cpp).
+  static constexpr unsigned kMaxArity = 28;
+
   /// Constant-false function on n variables.
   explicit BoolFn(unsigned n);
 
   unsigned arity() const { return n_; }
   std::uint32_t table_size() const { return std::uint32_t{1} << n_; }
 
-  bool operator()(std::uint32_t x) const { return tt_[x] != 0; }
-  void set(std::uint32_t x, bool v) { tt_[x] = v ? 1 : 0; }
+  bool operator()(std::uint32_t x) const {
+    return ((words_[x >> 6] >> (x & 63u)) & 1u) != 0;
+  }
+  void set(std::uint32_t x, bool v) {
+    const std::uint64_t bit = std::uint64_t{1} << (x & 63u);
+    if (v)
+      words_[x >> 6] |= bit;
+    else
+      words_[x >> 6] &= ~bit;
+  }
 
   bool operator==(const BoolFn& o) const = default;
+
+  /// Number of satisfying assignments (one popcount per word).
+  std::uint64_t count_ones() const;
+
+  /// Packed truth-table words, least-significant assignment first.
+  std::span<const std::uint64_t> words() const { return words_; }
 
   // ----- families ---------------------------------------------------------
   static BoolFn constant(unsigned n, bool v);
@@ -64,15 +91,23 @@ class BoolFn {
 
  private:
   unsigned n_;
-  std::vector<std::uint8_t> tt_;
+  std::vector<std::uint64_t> words_;
 };
 
 /// Integer multilinear coefficients alpha_S(f), indexed by subset bitmask
-/// (Fact 2.1). Computed by the subset Moebius transform of the truth table.
+/// (Fact 2.1). Computed by the subset Moebius transform of the truth
+/// table. Materialises 2^n int64 values, so it keeps the historical n <= 24
+/// domain; degree() below goes higher without this array.
 std::vector<std::int64_t> multilinear_coeffs(const BoolFn& f);
 
-/// deg(f) = max{|S| : alpha_S(f) != 0}; deg(constant) == 0.
+/// deg(f) = max{|S| : alpha_S(f) != 0}; deg(constant) == 0. Exact for
+/// every arity up to BoolFn::kMaxArity.
 unsigned degree(const BoolFn& f);
+
+/// Degree of the GF(2) (Moebius/Zeta over xor) polynomial of f — a lower
+/// bound on deg(f), since an odd integer coefficient is in particular
+/// nonzero. Computed fully word-parallel; used as a fast path by degree().
+unsigned gf2_degree(const BoolFn& f);
 
 /// Evaluate the multilinear polynomial sum_S alpha_S * m_S(x); must agree
 /// with the truth table on every 0/1 input (uniqueness, Fact 2.1).

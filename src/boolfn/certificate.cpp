@@ -1,6 +1,8 @@
 #include "boolfn/certificate.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <numeric>
 #include <stdexcept>
 
 namespace parbounds {
@@ -63,25 +65,36 @@ CertificateAnalysis::CertificateAnalysis(const BoolFn& f) : n_(f.arity()) {
   std::vector<std::uint64_t> place(n_);
   for (unsigned i = 0; i < n_; ++i) place[i] = pow3(i);
 
-  cert_at_.assign(f.table_size(), n_);
-  for (std::uint32_t a = 0; a < f.table_size(); ++a) {
-    // Enumerate subsets S of fixed positions; the remaining positions are
-    // stars. The smallest |S| whose subcube (a restricted to S) is
-    // monochromatic is the certificate at a.
+  // For each subset S of fixed positions, the ternary pattern of point a
+  // restricted to S is
+  //   all_star - 2 * psum[S] + psum[S & a]
+  // where psum[S] = sum of place values over S. Precomputing psum turns
+  // the per-(point, subset) pattern rebuild into one add and one lookup.
+  const std::uint32_t size = f.table_size();
+  std::vector<std::uint64_t> psum(size, 0);
+  for (std::uint32_t s = 1; s < size; ++s)
+    psum[s] = psum[s & (s - 1)] +
+              place[static_cast<unsigned>(std::countr_zero(s))];
+  const std::uint64_t all_star = 2 * psum[size - 1];
+
+  // Probe subsets in ascending popcount: the first monochromatic hit is
+  // the certificate, so each point stops as early as possible.
+  std::vector<std::uint32_t> order(size);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [](std::uint32_t x, std::uint32_t y) {
+                     return std::popcount(x) < std::popcount(y);
+                   });
+
+  cert_at_.assign(size, n_);
+  for (std::uint32_t a = 0; a < size; ++a) {
     unsigned best = n_;
-    const std::uint32_t full = f.table_size() - 1;
-    for (std::uint32_t s = 0; s <= full; ++s) {
-      const auto k = static_cast<unsigned>(std::popcount(s));
-      if (k >= best) continue;
-      std::uint64_t pat = 0;
-      for (unsigned i = 0; i < n_; ++i) {
-        const std::uint32_t bit = std::uint32_t{1} << i;
-        if (s & bit)
-          pat += place[i] * ((a & bit) ? 1 : 0);
-        else
-          pat += place[i] * 2;
+    for (const std::uint32_t s : order) {
+      const std::uint64_t pat = all_star - 2 * psum[s] + psum[s & a];
+      if (colour[pat] != 2) {
+        best = static_cast<unsigned>(std::popcount(s));
+        break;
       }
-      if (colour[pat] != 2) best = k;
     }
     cert_at_[a] = best;
     cmax_ = std::max(cmax_, best);

@@ -1,7 +1,6 @@
 #include "core/bsp.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace parbounds {
 
@@ -14,6 +13,9 @@ BspMachine::BspMachine(BspConfig cfg) : cfg_(cfg) {
   trace_.g = cfg_.g;
   trace_.L = cfg_.L;
   inboxes_.resize(cfg_.p);
+  send_cnt_.assign(cfg_.p, 0);
+  recv_cnt_.assign(cfg_.p, 0);
+  work_cnt_.assign(cfg_.p, 0);
 }
 
 void BspMachine::begin_superstep() {
@@ -43,22 +45,27 @@ const PhaseTrace& BspMachine::commit_superstep() {
   PhaseTrace ph;
   PhaseStats& st = ph.stats;
 
-  std::unordered_map<ProcId, std::uint64_t> s_count, r_count, w_count;
-  s_count.reserve(sends_.size());
-  r_count.reserve(sends_.size());
-  for (const auto& s : sends_) {
-    ++s_count[s.src];
-    ++r_count[s.dst];
-  }
-  for (const auto& [proc, ops] : locals_) w_count[proc] += ops;
-
+  // Dense per-processor tallies (endpoints are range-checked at issue
+  // time). Maxima are tracked as the counters rise, and the counters are
+  // re-zeroed by a second pass over the same requests, so a superstep's
+  // accounting costs O(#requests) with no hashing and no O(p) sweep.
   std::uint64_t h = 0;
-  for (const auto& [p, c] : s_count) h = std::max(h, c);
-  for (const auto& [p, c] : r_count) h = std::max(h, c);
-  for (const auto& [p, c] : w_count) {
-    st.m_op = std::max(st.m_op, c);
-    st.ops += c;
+  std::uint64_t fan_in = 0;
+  for (const auto& s : sends_) {
+    h = std::max(h, ++send_cnt_[s.src]);
+    fan_in = std::max(fan_in, ++recv_cnt_[s.dst]);
   }
+  h = std::max(h, fan_in);
+  for (const auto& [proc, ops] : locals_) {
+    work_cnt_[proc] += ops;
+    st.m_op = std::max(st.m_op, work_cnt_[proc]);
+    st.ops += ops;
+  }
+  for (const auto& s : sends_) {
+    send_cnt_[s.src] = 0;
+    recv_cnt_[s.dst] = 0;
+  }
+  for (const auto& [proc, ops] : locals_) work_cnt_[proc] = 0;
   ph.h = h;
 
   // Record the h-relation in the shared PhaseStats fields so the Claim 2.1
@@ -67,8 +74,6 @@ const PhaseTrace& BspMachine::commit_superstep() {
   st.m_rw = std::max<std::uint64_t>(1, h);
   st.reads = sends_.size();
   st.writes = sends_.size();
-  std::uint64_t fan_in = 0;
-  for (const auto& [p, c] : r_count) fan_in = std::max(fan_in, c);
   st.kappa_r = std::max<std::uint64_t>(1, fan_in);
   st.kappa_w = st.kappa_r;
 

@@ -94,6 +94,13 @@ class BspMachine {
   std::vector<SendReq> sends_;
   std::vector<std::pair<ProcId, std::uint64_t>> locals_;
   std::vector<std::vector<Message>> inboxes_;
+
+  // Dense per-processor counters (p is fixed at construction). They are
+  // zero between supersteps: commit_superstep re-zeroes exactly the
+  // entries it touched, so accounting is O(#requests), not O(p).
+  std::vector<std::uint64_t> send_cnt_;
+  std::vector<std::uint64_t> recv_cnt_;
+  std::vector<std::uint64_t> work_cnt_;
 };
 
 }  // namespace parbounds

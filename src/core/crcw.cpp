@@ -1,12 +1,16 @@
 #include "core/crcw.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "core/phase_scan.hpp"
 
 namespace parbounds {
 
 const std::vector<Word> CrcwMachine::kEmptyInbox = {};
 
-CrcwMachine::CrcwMachine(CrcwConfig cfg) : cfg_(cfg) {
+CrcwMachine::CrcwMachine(CrcwConfig cfg)
+    : cfg_(cfg), mem_(cfg.mem_dense_limit) {
   trace_.kind = ExecutionTrace::Kind::Qsm;  // unit-gap shared memory
   trace_.g = 1;
 }
@@ -19,10 +23,10 @@ Addr CrcwMachine::alloc(std::uint64_t n) {
 
 void CrcwMachine::preload(Addr base, std::span<const Word> values) {
   for (std::size_t i = 0; i < values.size(); ++i)
-    if (values[i] != 0) mem_[base + i] = values[i];
+    if (values[i] != 0) mem_.slot(base + i) = values[i];
 }
 
-void CrcwMachine::preload(Addr addr, Word value) { mem_[addr] = value; }
+void CrcwMachine::preload(Addr addr, Word value) { mem_.slot(addr) = value; }
 
 void CrcwMachine::begin_step() {
   if (in_step_) throw ModelViolation("begin_step inside an open step");
@@ -56,22 +60,26 @@ const PhaseTrace& CrcwMachine::commit_step() {
   st.reads = reads_.size();
   st.writes = writes_.size();
 
-  std::unordered_map<ProcId, std::uint64_t> rw_count, c_count;
-  for (const auto& r : reads_) ++rw_count[r.proc];
-  for (const auto& w : writes_) ++rw_count[w.proc];
-  for (const auto& [p, c] : rw_count) st.m_rw = std::max(st.m_rw, c);
-  for (const auto& [p, ops] : locals_) {
-    c_count[p] += ops;
-    st.ops += ops;
-  }
-  for (const auto& [p, c] : c_count) st.m_op = std::max(st.m_op, c);
+  // The PRAM charges reads and writes jointly per processor: one
+  // proc-keyed histogram over both request kinds.
+  proc_hist_.reset();
+  for (const auto& r : reads_) proc_hist_.add(r.proc);
+  for (const auto& w : writes_) proc_hist_.add(w.proc);
+  st.m_rw = std::max(st.m_rw, proc_hist_.max_run());
 
-  // Contention is recorded (for comparisons) but NOT charged.
-  std::unordered_map<Addr, std::uint64_t> cell_r, cell_w;
-  for (const auto& r : reads_) ++cell_r[r.addr];
-  for (const auto& w : writes_) ++cell_w[w.addr];
-  for (const auto& [a, c] : cell_r) st.kappa_r = std::max(st.kappa_r, c);
-  for (const auto& [a, c] : cell_w) st.kappa_w = std::max(st.kappa_w, c);
+  local_scratch_.assign(locals_.begin(), locals_.end());
+  const auto local_agg = detail::sort_max_run_sum(local_scratch_);
+  st.m_op = std::max(st.m_op, local_agg.max_run);
+  st.ops += local_agg.total;
+
+  // Contention is recorded (for comparisons) but NOT charged. One
+  // histogram serves both directions, reset in between.
+  addr_hist_.reset();
+  for (const auto& r : reads_) addr_hist_.add(r.addr);
+  st.kappa_r = std::max(st.kappa_r, addr_hist_.max_run());
+  addr_hist_.reset();
+  for (const auto& w : writes_) addr_hist_.add(w.addr);
+  st.kappa_w = std::max(st.kappa_w, addr_hist_.max_run());
 
   // A PRAM step: every processor does O(1) work; charging max(1, m_op)
   // keeps heavy local computation visible.
@@ -79,32 +87,44 @@ const PhaseTrace& CrcwMachine::commit_step() {
   time_ += ph.cost;
 
   // Reads see the pre-step memory.
-  inboxes_.clear();
+  inboxes_.begin_phase();
   for (const auto& r : reads_) {
-    auto it = mem_.find(r.addr);
-    inboxes_[r.proc].push_back(it == mem_.end() ? 0 : it->second);
+    const Word* cell = mem_.find(r.addr);
+    inboxes_.box(r.proc).push_back(cell == nullptr ? 0 : *cell);
   }
 
-  // Resolve writes per rule.
-  std::unordered_map<Addr, const WriteReq*> winner;
-  for (const auto& w : writes_) {
-    auto [it, fresh] = winner.emplace(w.addr, &w);
-    if (fresh) continue;
-    switch (cfg_.rule) {
-      case CrcwWriteRule::Common:
-        if (it->second->value != w.value)
-          throw ModelViolation("CRCW-Common: conflicting writes to cell " +
-                               std::to_string(w.addr));
-        break;
-      case CrcwWriteRule::Arbitrary:
-        it->second = &w;  // last queued
-        break;
-      case CrcwWriteRule::Priority:
-        if (w.proc < it->second->proc) it->second = &w;
-        break;
+  // Resolve writes per rule over addr-sorted groups; within a group the
+  // index component keeps issue order, so "last queued" and
+  // "first-queued tie-break" mean exactly what they did before.
+  wgroup_scratch_.clear();
+  for (std::uint32_t i = 0; i < writes_.size(); ++i)
+    wgroup_scratch_.push_back({writes_[i].addr, i});
+  std::sort(wgroup_scratch_.begin(), wgroup_scratch_.end());
+  for (std::size_t lo = 0; lo < wgroup_scratch_.size();) {
+    std::size_t hi = lo;
+    while (hi < wgroup_scratch_.size() &&
+           wgroup_scratch_[hi].first == wgroup_scratch_[lo].first)
+      ++hi;
+    const WriteReq* win = &writes_[wgroup_scratch_[lo].second];
+    for (std::size_t j = lo + 1; j < hi; ++j) {
+      const WriteReq& w = writes_[wgroup_scratch_[j].second];
+      switch (cfg_.rule) {
+        case CrcwWriteRule::Common:
+          if (win->value != w.value)
+            throw ModelViolation("CRCW-Common: conflicting writes to cell " +
+                                 std::to_string(w.addr));
+          break;
+        case CrcwWriteRule::Arbitrary:
+          win = &w;  // last queued
+          break;
+        case CrcwWriteRule::Priority:
+          if (w.proc < win->proc) win = &w;
+          break;
+      }
     }
+    mem_.slot(win->addr) = win->value;
+    lo = hi;
   }
-  for (const auto& [a, w] : winner) mem_[a] = w->value;
 
   trace_.phases.push_back(std::move(ph));
   if (observer_ != nullptr)
@@ -113,14 +133,14 @@ const PhaseTrace& CrcwMachine::commit_step() {
 }
 
 std::span<const Word> CrcwMachine::inbox(ProcId p) const {
-  auto it = inboxes_.find(p);
-  return it == inboxes_.end() ? std::span<const Word>(kEmptyInbox)
-                              : std::span<const Word>(it->second);
+  const std::vector<Word>* box = inboxes_.find(p);
+  return box == nullptr ? std::span<const Word>(kEmptyInbox)
+                        : std::span<const Word>(*box);
 }
 
 Word CrcwMachine::peek(Addr a) const {
-  auto it = mem_.find(a);
-  return it == mem_.end() ? 0 : it->second;
+  const Word* cell = mem_.find(a);
+  return cell == nullptr ? 0 : *cell;
 }
 
 }  // namespace parbounds

@@ -22,11 +22,12 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/observer.hpp"
 #include "core/qsm.hpp"  // ModelViolation
+#include "core/storage.hpp"
 #include "core/trace.hpp"
 
 namespace parbounds {
@@ -35,6 +36,8 @@ enum class CrcwWriteRule : std::uint8_t { Common, Arbitrary, Priority };
 
 struct CrcwConfig {
   CrcwWriteRule rule = CrcwWriteRule::Arbitrary;
+  /// Flat-arena span of shared memory; 0 = map-only reference path.
+  std::uint64_t mem_dense_limit = CellStore<Word>::kDefaultDenseLimit;
 };
 
 class CrcwMachine {
@@ -73,7 +76,7 @@ class CrcwMachine {
   };
 
   CrcwConfig cfg_;
-  std::unordered_map<Addr, Word> mem_;
+  CellStore<Word> mem_;
   Addr next_base_ = 0;
   bool in_step_ = false;
   std::uint64_t time_ = 0;
@@ -83,7 +86,14 @@ class CrcwMachine {
   std::vector<ReadReq> reads_;
   std::vector<WriteReq> writes_;
   std::vector<std::pair<ProcId, std::uint64_t>> locals_;
-  std::unordered_map<ProcId, std::vector<Word>> inboxes_;
+  InboxTable<std::vector<Word>> inboxes_;
+
+  // Reusable accounting scratch for commit_step.
+  detail::KeyHistogram proc_hist_{detail::kProcHistogramLimit};
+  detail::KeyHistogram addr_hist_{detail::kAddrHistogramLimit};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> local_scratch_;
+  std::vector<std::pair<Addr, std::uint32_t>> wgroup_scratch_;
+
   static const std::vector<Word> kEmptyInbox;
 };
 

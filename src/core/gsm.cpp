@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/phase_scan.hpp"
 #include "util/mathx.hpp"
 
 namespace parbounds {
@@ -9,7 +10,8 @@ namespace parbounds {
 const std::vector<std::vector<Word>> GsmMachine::kEmpty = {};
 const std::vector<Word> GsmMachine::kEmptyCell = {};
 
-GsmMachine::GsmMachine(GsmConfig cfg) : cfg_(cfg) {
+GsmMachine::GsmMachine(GsmConfig cfg)
+    : cfg_(cfg), mem_(cfg.mem_dense_limit) {
   if (cfg_.alpha == 0 || cfg_.beta == 0 || cfg_.gamma == 0)
     throw std::invalid_argument("GSM parameters must be >= 1");
   trace_.kind = ExecutionTrace::Kind::Gsm;
@@ -24,7 +26,7 @@ Addr GsmMachine::alloc(std::uint64_t n) {
 std::uint64_t GsmMachine::load_inputs(Addr base, std::span<const Word> inputs) {
   std::uint64_t cells = 0;
   for (std::size_t i = 0; i < inputs.size(); i += cfg_.gamma) {
-    auto& cell = mem_[base + cells];
+    auto& cell = mem_.slot(base + cells);
     const std::size_t hi = std::min(inputs.size(), i + cfg_.gamma);
     cell.assign(inputs.begin() + static_cast<std::ptrdiff_t>(i),
                 inputs.begin() + static_cast<std::ptrdiff_t>(hi));
@@ -34,13 +36,16 @@ std::uint64_t GsmMachine::load_inputs(Addr base, std::span<const Word> inputs) {
 }
 
 void GsmMachine::preload(Addr a, std::span<const Word> contents) {
-  mem_[a].assign(contents.begin(), contents.end());
+  mem_.slot(a).assign(contents.begin(), contents.end());
 }
 
 void GsmMachine::begin_phase() {
   if (in_phase_) throw ModelViolation("begin_phase inside an open phase");
   if (!started_) {
-    initial_mem_ = mem_;
+    initial_mem_.clear();
+    mem_.for_each([this](Addr a, const std::vector<Word>& cell) {
+      initial_mem_.emplace(a, cell);
+    });
     started_ = true;
   }
   in_phase_ = true;
@@ -72,21 +77,29 @@ const PhaseTrace& GsmMachine::commit_phase() {
   st.reads = reads_.size();
   st.writes = writes_.size();
 
-  std::unordered_map<ProcId, std::uint64_t> rw_count;
-  rw_count.reserve(reads_.size() + writes_.size());
-  for (const auto& r : reads_) ++rw_count[r.proc];
-  for (const auto& w : writes_) ++rw_count[w.proc];
-  for (const auto& [p, c] : rw_count) st.m_rw = std::max(st.m_rw, c);
+  // The GSM charges reads and writes jointly per processor: one
+  // proc-keyed histogram over both request kinds.
+  proc_hist_.reset();
+  for (const auto& r : reads_) proc_hist_.add(r.proc);
+  for (const auto& w : writes_) proc_hist_.add(w.proc);
+  st.m_rw = std::max(st.m_rw, proc_hist_.max_run());
 
-  std::unordered_map<Addr, std::uint64_t> cell_r, cell_w;
-  for (const auto& r : reads_) ++cell_r[r.addr];
-  for (const auto& w : writes_) ++cell_w[w.addr];
-  for (const auto& [a, c] : cell_r) {
-    if (cell_w.count(a) != 0)
-      throw ModelViolation("GSM cell both read and written in one phase");
-    st.kappa_r = std::max(st.kappa_r, c);
+  // Per-cell contention and the read-xor-write queue rule: dense
+  // addresses through flat histograms (a write probes the read counter
+  // directly), spilled addresses through a sorted two-pointer pass.
+  raddr_hist_.reset();
+  for (const auto& r : reads_) raddr_hist_.add(r.addr);
+  st.kappa_r = std::max(st.kappa_r, raddr_hist_.max_run());
+  waddr_hist_.reset();
+  bool clash = false;
+  for (const auto& w : writes_) {
+    clash = clash || raddr_hist_.count(w.addr) > 0;
+    waddr_hist_.add(w.addr);
   }
-  for (const auto& [a, c] : cell_w) st.kappa_w = std::max(st.kappa_w, c);
+  st.kappa_w = std::max(st.kappa_w, waddr_hist_.max_run());
+  if (clash ||
+      detail::first_common(raddr_hist_.spill(), waddr_hist_.spill()))
+    throw ModelViolation("GSM cell both read and written in one phase");
 
   // Big-step accounting (Section 2.2): a phase with b big-steps costs
   // mu * b; b = max(ceil(m_rw/alpha), ceil(kappa/beta)), at least 1.
@@ -97,16 +110,16 @@ const PhaseTrace& GsmMachine::commit_phase() {
   big_steps_ += b;
   time_ += ph.cost;
 
-  inboxes_.clear();
+  inboxes_.begin_phase();
   for (const auto& r : reads_) {
-    auto it = mem_.find(r.addr);
-    inboxes_[r.proc].push_back(it == mem_.end() ? kEmptyCell : it->second);
+    const std::vector<Word>* cell = mem_.find(r.addr);
+    inboxes_.box(r.proc).push_back(cell == nullptr ? kEmptyCell : *cell);
     if (cfg_.record_detail) ph.events.push_back({r.proc, r.addr, 0, false});
   }
 
   // Strong queuing: every write appends its information to the cell.
   for (const auto& w : writes_) {
-    auto& cell = mem_[w.addr];
+    auto& cell = mem_.slot(w.addr);
     cell.insert(cell.end(), w.values.begin(), w.values.end());
     if (cfg_.record_detail)
       ph.events.push_back(
@@ -120,14 +133,14 @@ const PhaseTrace& GsmMachine::commit_phase() {
 }
 
 std::span<const std::vector<Word>> GsmMachine::inbox(ProcId p) const {
-  auto it = inboxes_.find(p);
-  if (it == inboxes_.end()) return kEmpty;
-  return it->second;
+  const auto* box = inboxes_.find(p);
+  if (box == nullptr) return kEmpty;
+  return *box;
 }
 
 std::span<const Word> GsmMachine::peek(Addr a) const {
-  auto it = mem_.find(a);
-  return (it == mem_.end()) ? kEmptyCell : std::span<const Word>(it->second);
+  const std::vector<Word>* cell = mem_.find(a);
+  return (cell == nullptr) ? kEmptyCell : std::span<const Word>(*cell);
 }
 
 }  // namespace parbounds

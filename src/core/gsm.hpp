@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/observer.hpp"
 #include "core/qsm.hpp"  // ModelViolation
+#include "core/storage.hpp"
 #include "core/trace.hpp"
 
 namespace parbounds {
@@ -33,6 +35,9 @@ struct GsmConfig {
   std::uint64_t beta = 1;
   std::uint64_t gamma = 1;
   bool record_detail = false;
+  /// Flat-arena span of shared memory; 0 = map-only reference path.
+  std::uint64_t mem_dense_limit =
+      CellStore<std::vector<Word>>::kDefaultDenseLimit;
 };
 
 class GsmMachine {
@@ -88,9 +93,13 @@ class GsmMachine {
     return initial_mem_;
   }
 
-  /// Full current memory (trace analysis / test inspection only).
-  const std::unordered_map<Addr, std::vector<Word>>& memory() const {
-    return mem_;
+  /// Visit every materialised cell as f(addr, contents) — trace analysis
+  /// and test inspection only. Dense-arena cells come first in ascending
+  /// address order, then sparse cells in unspecified order; callers that
+  /// need a canonical order sort (as they had to with the old map).
+  template <class F>
+  void for_each_cell(F&& f) const {
+    mem_.for_each(std::forward<F>(f));
   }
 
  private:
@@ -105,7 +114,7 @@ class GsmMachine {
   };
 
   GsmConfig cfg_;
-  std::unordered_map<Addr, std::vector<Word>> mem_;
+  CellStore<std::vector<Word>> mem_;
   std::unordered_map<Addr, std::vector<Word>> initial_mem_;
   bool started_ = false;
   Addr next_base_ = 0;
@@ -117,7 +126,12 @@ class GsmMachine {
 
   std::vector<ReadReq> reads_;
   std::vector<WriteReq> writes_;
-  std::unordered_map<ProcId, std::vector<std::vector<Word>>> inboxes_;
+  InboxTable<std::vector<std::vector<Word>>> inboxes_;
+
+  // Reusable accounting scratch for commit_phase.
+  detail::KeyHistogram proc_hist_{detail::kProcHistogramLimit};
+  detail::KeyHistogram raddr_hist_{detail::kAddrHistogramLimit};
+  detail::KeyHistogram waddr_hist_{detail::kAddrHistogramLimit};
 
   static const std::vector<std::vector<Word>> kEmpty;
   static const std::vector<Word> kEmptyCell;

@@ -1,0 +1,157 @@
+#pragma once
+// Phase accounting over flat scratch buffers, shared by the four engines.
+//
+// A committing phase needs four aggregates over its request buffers:
+// per-processor maxima (m_op, m_rw), per-cell maxima (kappa_r, kappa_w),
+// and the queue-rule check that no cell is both read and written. The
+// engines used to build four `unordered_map`s per phase for this. Two
+// replacements live here:
+//
+//  * KeyHistogram — a dense counter array for small keys (processor ids,
+//    arena addresses) with an O(touched) reset and a sorted-spill
+//    fallback for keys above the dense limit. Multiplicity maxima and
+//    membership probes are O(1) per request, and the counters persist
+//    across phases, so a steady-state commit allocates nothing and
+//    never pays O(key-space).
+//  * sort_max_run / sort_max_run_sum / first_common — sorted-run
+//    scanning over reusable key buffers, used for the spill path, for
+//    weighted local-op accounting, and for the ascending-address write
+//    groups of the QSM Random and CRCW resolution rules.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace parbounds::detail {
+
+/// Sort `keys` ascending in place and return the length of the longest
+/// run of equal keys (0 when empty). One sorted pass replaces a
+/// count-map: the multiplicity of a key is the length of its run.
+inline std::uint64_t sort_max_run(std::vector<std::uint64_t>& keys) {
+  if (keys.empty()) return 0;
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t best = 0, run = 0;
+  std::uint64_t prev = keys.front();
+  for (const std::uint64_t k : keys) {
+    if (k == prev) {
+      ++run;
+    } else {
+      best = std::max(best, run);
+      prev = k;
+      run = 1;
+    }
+  }
+  return std::max(best, run);
+}
+
+struct RunSum {
+  std::uint64_t max_run = 0;  ///< largest per-key weight sum
+  std::uint64_t total = 0;    ///< sum of all weights
+};
+
+/// Sort (key, weight) pairs by key and return the largest per-key weight
+/// sum together with the grand total. Used for local-op accounting where
+/// one request carries a weight > 1.
+inline RunSum sort_max_run_sum(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& kv) {
+  RunSum out;
+  if (kv.empty()) return out;
+  std::sort(kv.begin(), kv.end());
+  std::uint64_t prev = kv.front().first;
+  std::uint64_t run = 0;
+  for (const auto& [k, w] : kv) {
+    if (k != prev) {
+      out.max_run = std::max(out.max_run, run);
+      prev = k;
+      run = 0;
+    }
+    run += w;
+    out.total += w;
+  }
+  out.max_run = std::max(out.max_run, run);
+  return out;
+}
+
+/// First value present in both ascending-sorted vectors, or nullopt.
+/// Replaces the map-membership probe in the read-xor-write queue rule;
+/// "first" means smallest, which makes the violation deterministic.
+inline std::optional<std::uint64_t> first_common(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else
+      return a[i];
+  }
+  return std::nullopt;
+}
+
+/// Reusable multiplicity counter over integer keys. Keys below the dense
+/// limit are counted in a flat array that grows geometrically to the
+/// largest key seen (never beyond the limit); keys at or above it spill
+/// into a vector that is sorted on demand. reset() zeroes only the slots
+/// the previous round touched.
+///
+/// Counts are 32-bit: a phase holding 2^32 requests for one key would
+/// exceed memory in the request buffers long before the counter wraps.
+class KeyHistogram {
+ public:
+  explicit KeyHistogram(std::uint64_t dense_limit)
+      : dense_limit_(dense_limit) {}
+
+  /// Count one occurrence of `key`.
+  void add(std::uint64_t key) {
+    if (key >= dense_limit_) {
+      spill_.push_back(key);
+      return;
+    }
+    if (key >= cnt_.size())
+      cnt_.resize(std::min(std::max(key + 1, cnt_.size() * 2), dense_limit_));
+    const std::uint32_t c = ++cnt_[key];
+    if (c == 1) touched_.push_back(key);
+    dense_max_ = std::max<std::uint64_t>(dense_max_, c);
+  }
+
+  /// Multiplicity of a dense key so far this round (always 0 for spilled
+  /// keys — probe the sorted spill() for those).
+  std::uint64_t count(std::uint64_t key) const {
+    return (key < cnt_.size()) ? cnt_[key] : 0;
+  }
+
+  /// Max multiplicity over all keys. Sorts the spill, so call it after
+  /// the round's add() calls.
+  std::uint64_t max_run() {
+    return std::max(dense_max_, sort_max_run(spill_));
+  }
+
+  /// Spilled (>= dense_limit) keys; ascending once max_run() has run.
+  const std::vector<std::uint64_t>& spill() const { return spill_; }
+
+  /// Forget this round: zero the touched dense slots, drop the spill.
+  /// Cost is O(distinct keys added), independent of the key space.
+  void reset() {
+    for (const std::uint64_t k : touched_) cnt_[k] = 0;
+    touched_.clear();
+    spill_.clear();
+    dense_max_ = 0;
+  }
+
+ private:
+  std::uint64_t dense_limit_;
+  std::vector<std::uint32_t> cnt_;
+  std::vector<std::uint64_t> touched_;
+  std::vector<std::uint64_t> spill_;
+  std::uint64_t dense_max_ = 0;
+};
+
+/// Dense-key bound for processor ids (matches InboxTable::kDenseLimit).
+inline constexpr std::uint64_t kProcHistogramLimit = std::uint64_t{1} << 20;
+/// Dense-key bound for cell addresses (matches the CellStore default).
+inline constexpr std::uint64_t kAddrHistogramLimit = std::uint64_t{1} << 22;
+
+}  // namespace parbounds::detail

@@ -1,12 +1,16 @@
 #include "core/qsm.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "core/phase_scan.hpp"
 
 namespace parbounds {
 
 const std::vector<Word> QsmMachine::kEmptyInbox = {};
 
-QsmMachine::QsmMachine(QsmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+QsmMachine::QsmMachine(QsmConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), mem_(cfg.mem_dense_limit) {
   if (cfg_.g == 0) throw std::invalid_argument("QSM gap g must be >= 1");
   if (cfg_.d == 0) throw std::invalid_argument("QSM memory gap d must be >= 1");
   switch (cfg_.model) {
@@ -31,10 +35,10 @@ Addr QsmMachine::alloc(std::uint64_t n) {
 
 void QsmMachine::preload(Addr base, std::span<const Word> values) {
   for (std::size_t i = 0; i < values.size(); ++i)
-    if (values[i] != 0) mem_[base + i] = values[i];
+    if (values[i] != 0) mem_.slot(base + i) = values[i];
 }
 
-void QsmMachine::preload(Addr addr, Word value) { mem_[addr] = value; }
+void QsmMachine::preload(Addr addr, Word value) { mem_.slot(addr) = value; }
 
 void QsmMachine::begin_phase() {
   if (in_phase_) throw ModelViolation("begin_phase inside an open phase");
@@ -68,33 +72,48 @@ const PhaseTrace& QsmMachine::commit_phase() {
   st.reads = reads_.size();
   st.writes = writes_.size();
 
-  // Per-processor r_i, w_i, c_i.
-  std::unordered_map<ProcId, std::uint64_t> r_count, w_count, c_count;
-  r_count.reserve(reads_.size());
-  w_count.reserve(writes_.size());
-  for (const auto& r : reads_) ++r_count[r.proc];
-  for (const auto& w : writes_) ++w_count[w.proc];
-  for (const auto& l : locals_) c_count[l.proc] += l.ops;
-  for (const auto& [p, c] : r_count) st.m_rw = std::max(st.m_rw, c);
-  for (const auto& [p, c] : w_count) st.m_rw = std::max(st.m_rw, c);
-  for (const auto& [p, c] : c_count) {
-    st.m_op = std::max(st.m_op, c);
-    st.ops += c;
-  }
+  // Per-processor r_i / w_i via one proc-keyed histogram used twice: the
+  // QSM charges the max over read counts and write counts separately (a
+  // processor's reads and writes overlap in the pipeline, they do not
+  // add). reset() leads each use so a phase aborted by a violation
+  // cannot leak counts into the next one.
+  proc_hist_.reset();
+  for (const auto& r : reads_) proc_hist_.add(r.proc);
+  st.m_rw = std::max(st.m_rw, proc_hist_.max_run());
+  proc_hist_.reset();
+  for (const auto& w : writes_) proc_hist_.add(w.proc);
+  st.m_rw = std::max(st.m_rw, proc_hist_.max_run());
+
+  // Per-processor c_i (weighted by ops per request).
+  local_scratch_.clear();
+  for (const auto& l : locals_) local_scratch_.push_back({l.proc, l.ops});
+  const auto locals = detail::sort_max_run_sum(local_scratch_);
+  st.m_op = std::max(st.m_op, locals.max_run);
+  st.ops += locals.total;
 
   // Per-cell contention and the queue rule (reads XOR writes per cell).
-  std::unordered_map<Addr, std::uint64_t> cell_r, cell_w;
-  cell_r.reserve(reads_.size());
-  cell_w.reserve(writes_.size());
-  for (const auto& r : reads_) ++cell_r[r.addr];
-  for (const auto& w : writes_) ++cell_w[w.addr];
-  for (const auto& [a, c] : cell_r) {
-    if (cell_w.count(a) != 0)
-      throw ModelViolation("cell " + std::to_string(a) +
-                           " both read and written in one phase");
-    st.kappa_r = std::max(st.kappa_r, c);
+  // Dense addresses are counted in flat histograms; a write at a dense
+  // address probes the read counter directly, and the (rare) spilled
+  // addresses are cross-checked by a sorted two-pointer pass. The
+  // reported clash is the smallest conflicting address either way, so
+  // the violation stays deterministic.
+  raddr_hist_.reset();
+  for (const auto& r : reads_) raddr_hist_.add(r.addr);
+  st.kappa_r = std::max(st.kappa_r, raddr_hist_.max_run());
+  waddr_hist_.reset();
+  std::optional<Addr> clash;
+  for (const auto& w : writes_) {
+    if (raddr_hist_.count(w.addr) > 0 && (!clash || w.addr < *clash))
+      clash = w.addr;
+    waddr_hist_.add(w.addr);
   }
-  for (const auto& [a, c] : cell_w) st.kappa_w = std::max(st.kappa_w, c);
+  st.kappa_w = std::max(st.kappa_w, waddr_hist_.max_run());
+  if (const auto spill_clash =
+          detail::first_common(raddr_hist_.spill(), waddr_hist_.spill()))
+    if (!clash || *spill_clash < *clash) clash = *spill_clash;
+  if (clash)
+    throw ModelViolation("cell " + std::to_string(*clash) +
+                         " both read and written in one phase");
 
   if (cfg_.model == CostModel::Erew && st.kappa() > 1)
     throw ModelViolation("EREW: concurrent access (contention " +
@@ -105,33 +124,45 @@ const PhaseTrace& QsmMachine::commit_phase() {
 
   // Deliver reads: values are the cell contents at the start of the phase
   // (writes below have not been applied yet), in issue order per processor.
-  inboxes_.clear();
+  inboxes_.begin_phase();
   for (const auto& r : reads_) {
-    auto it = mem_.find(r.addr);
-    const Word v = (it == mem_.end()) ? 0 : it->second;
-    inboxes_[r.proc].push_back(v);
+    const Word* cell = mem_.find(r.addr);
+    const Word v = (cell == nullptr) ? 0 : *cell;
+    inboxes_.box(r.proc).push_back(v);
     if (cfg_.record_detail) ph.events.push_back({r.proc, r.addr, v, false});
   }
 
   // Apply writes. With multiple writers to one cell, an arbitrary write
-  // succeeds: LastQueued keeps the final requests order; Random shuffles
-  // winners with the machine's seeded generator.
+  // succeeds: LastQueued keeps the final request's value; Random picks a
+  // uniform winner per cell, drawing in ascending cell order so the
+  // winner sequence is a pure function of the seed (an unordered_map
+  // walk here would feed rng_ in library-specific order).
   if (cfg_.writes == WriteResolution::LastQueued) {
     for (const auto& w : writes_) {
-      mem_[w.addr] = w.value;
+      mem_.slot(w.addr) = w.value;
       if (cfg_.record_detail)
         ph.events.push_back({w.proc, w.addr, w.value, true});
     }
   } else {
-    // Group writers per cell, pick a uniform winner.
-    std::unordered_map<Addr, std::vector<const WriteReq*>> by_cell;
-    for (const auto& w : writes_) by_cell[w.addr].push_back(&w);
-    for (auto& [a, ws] : by_cell) {
-      const auto k = static_cast<std::size_t>(rng_.next_below(ws.size()));
-      mem_[a] = ws[k]->value;
+    wgroup_scratch_.clear();
+    for (std::uint32_t i = 0; i < writes_.size(); ++i)
+      wgroup_scratch_.push_back({writes_[i].addr, i});
+    std::sort(wgroup_scratch_.begin(), wgroup_scratch_.end());
+    for (std::size_t lo = 0; lo < wgroup_scratch_.size();) {
+      std::size_t hi = lo;
+      while (hi < wgroup_scratch_.size() &&
+             wgroup_scratch_[hi].first == wgroup_scratch_[lo].first)
+        ++hi;
+      const auto k =
+          lo + static_cast<std::size_t>(rng_.next_below(hi - lo));
+      const WriteReq& winner = writes_[wgroup_scratch_[k].second];
+      mem_.slot(winner.addr) = winner.value;
       if (cfg_.record_detail)
-        for (const auto* w : ws)
-          ph.events.push_back({w->proc, w->addr, w->value, true});
+        for (std::size_t j = lo; j < hi; ++j) {
+          const WriteReq& w = writes_[wgroup_scratch_[j].second];
+          ph.events.push_back({w.proc, w.addr, w.value, true});
+        }
+      lo = hi;
     }
   }
 
@@ -142,14 +173,13 @@ const PhaseTrace& QsmMachine::commit_phase() {
 }
 
 std::span<const Word> QsmMachine::inbox(ProcId p) const {
-  auto it = inboxes_.find(p);
-  if (it == inboxes_.end()) return kEmptyInbox;
-  return it->second;
+  const std::vector<Word>* box = inboxes_.find(p);
+  return (box == nullptr) ? kEmptyInbox : *box;
 }
 
 Word QsmMachine::peek(Addr a) const {
-  auto it = mem_.find(a);
-  return (it == mem_.end()) ? 0 : it->second;
+  const Word* cell = mem_.find(a);
+  return (cell == nullptr) ? 0 : *cell;
 }
 
 }  // namespace parbounds

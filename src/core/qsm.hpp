@@ -29,11 +29,13 @@
 #include <span>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/cost.hpp"
 #include "core/observer.hpp"
+#include "core/phase_scan.hpp"
+#include "core/storage.hpp"
 #include "core/trace.hpp"
 #include "util/rng.hpp"
 
@@ -54,6 +56,10 @@ struct QsmConfig {
   WriteResolution writes = WriteResolution::LastQueued;
   std::uint64_t seed = 1;                    ///< for Random write resolution
   bool record_detail = false;                ///< store MemEvents per phase
+  /// Addresses below this live in the flat memory arena; higher ones in
+  /// the sparse fallback map. 0 disables the arena (map-only reference
+  /// path, used by the equivalence tests).
+  std::uint64_t mem_dense_limit = CellStore<Word>::kDefaultDenseLimit;
 };
 
 class QsmMachine {
@@ -111,7 +117,7 @@ class QsmMachine {
 
   QsmConfig cfg_;
   Rng rng_;
-  std::unordered_map<Addr, Word> mem_;
+  CellStore<Word> mem_;
   Addr next_base_ = 0;
   bool in_phase_ = false;
   std::uint64_t time_ = 0;
@@ -121,7 +127,16 @@ class QsmMachine {
   std::vector<ReadReq> reads_;
   std::vector<WriteReq> writes_;
   std::vector<LocalReq> locals_;
-  std::unordered_map<ProcId, std::vector<Word>> inboxes_;
+  InboxTable<std::vector<Word>> inboxes_;
+
+  // Reusable accounting scratch for commit_phase (counters and buffer
+  // capacity persist across phases; a steady-state commit performs no
+  // allocation).
+  detail::KeyHistogram proc_hist_{detail::kProcHistogramLimit};
+  detail::KeyHistogram raddr_hist_{detail::kAddrHistogramLimit};
+  detail::KeyHistogram waddr_hist_{detail::kAddrHistogramLimit};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> local_scratch_;
+  std::vector<std::pair<Addr, std::uint32_t>> wgroup_scratch_;
 
   static const std::vector<Word> kEmptyInbox;
 };

@@ -1,0 +1,155 @@
+#pragma once
+// Hot-path storage for the phase-commit engines (QSM / GSM / CRCW).
+//
+// Two containers replace the per-phase `unordered_map` churn that used to
+// dominate commit_phase profiles:
+//
+//  * CellStore<Cell> — shared memory with a flat-arena fast path. The
+//    engines allocate addresses from 0 upward (`alloc`), so in practice
+//    every hot cell lives in a dense low range: those cells are a direct
+//    vector index (one load, no hashing). Addresses at or above
+//    `dense_limit` fall back to a hash map, so the sparse unbounded
+//    address space of the model is still honoured. A `dense_limit` of 0
+//    turns the arena off entirely — the map-only reference configuration
+//    the equivalence tests compare against.
+//
+//  * InboxTable<Box> — per-processor delivery boxes indexed by dense
+//    ProcId with an epoch counter instead of a per-phase `clear()`. A
+//    box is lazily reset the first time it is touched in a phase, so
+//    its heap capacity survives across phases and nothing is rehashed.
+//    Processor ids beyond the dense range spill into a map whose boxes
+//    are epoch-reset the same way (erased never, cleared lazily).
+//
+// Both containers preserve the observable "present vs absent" semantics
+// of the maps they replace: a cell that was never stored reports absent
+// (reads deliver the model's default contents), and `for_each` visits
+// exactly the cells that were ever materialised — the GSM time-0
+// snapshot and the trace analysis depend on that.
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace parbounds {
+
+template <class Cell>
+class CellStore {
+ public:
+  /// Default span of the dense arena: 4M cells. Growth below the limit
+  /// is lazy and geometric, so a machine only pays for the address range
+  /// it actually touches.
+  static constexpr std::uint64_t kDefaultDenseLimit = std::uint64_t{1} << 22;
+
+  explicit CellStore(std::uint64_t dense_limit = kDefaultDenseLimit)
+      : dense_limit_(dense_limit) {}
+
+  /// Read-only lookup; nullptr when the cell was never stored.
+  const Cell* find(Addr a) const {
+    if (a < dense_limit_) {
+      const auto i = static_cast<std::size_t>(a);
+      return (i < dense_.size() && present_[i] != 0) ? &dense_[i] : nullptr;
+    }
+    const auto it = sparse_.find(a);
+    return it == sparse_.end() ? nullptr : &it->second;
+  }
+
+  bool contains(Addr a) const { return find(a) != nullptr; }
+
+  /// Mutable slot, creating (and marking present) the cell.
+  Cell& slot(Addr a) {
+    if (a < dense_limit_) {
+      const auto i = static_cast<std::size_t>(a);
+      if (i >= dense_.size()) grow(i + 1);
+      present_[i] = 1;
+      return dense_[i];
+    }
+    return sparse_[a];
+  }
+
+  /// Visit every stored cell as f(addr, cell). Dense cells first in
+  /// ascending address order, then sparse cells in unspecified order —
+  /// callers that need a canonical order sort, exactly as they did with
+  /// the map this store replaced.
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < dense_.size(); ++i)
+      if (present_[i] != 0) f(static_cast<Addr>(i), dense_[i]);
+    for (const auto& [a, c] : sparse_) f(a, c);
+  }
+
+  std::uint64_t dense_limit() const { return dense_limit_; }
+
+ private:
+  void grow(std::size_t need) {
+    std::size_t next = std::max<std::size_t>(need, dense_.size() * 2);
+    next = std::min<std::size_t>(next,
+                                 static_cast<std::size_t>(dense_limit_));
+    dense_.resize(next);
+    present_.resize(next, 0);
+  }
+
+  std::uint64_t dense_limit_;
+  std::vector<Cell> dense_;
+  std::vector<std::uint8_t> present_;
+  std::unordered_map<Addr, Cell> sparse_;
+};
+
+template <class Box>
+class InboxTable {
+ public:
+  /// Dense range for processor ids; ids beyond it use the spill map.
+  static constexpr ProcId kDenseLimit = ProcId{1} << 20;
+
+  /// Invalidate every box (lazily): boxes keep their heap capacity and
+  /// are cleared on first touch in the new phase.
+  void begin_phase() { ++epoch_; }
+
+  /// Mutable box for processor p in the current phase.
+  Box& box(ProcId p) {
+    if (p < kDenseLimit) {
+      const auto i = static_cast<std::size_t>(p);
+      if (i >= dense_.size()) grow(i + 1);
+      if (epochs_[i] != epoch_) {
+        dense_[i].clear();
+        epochs_[i] = epoch_;
+      }
+      return dense_[i];
+    }
+    auto& e = sparse_[p];
+    if (e.first != epoch_) {
+      e.second.clear();
+      e.first = epoch_;
+    }
+    return e.second;
+  }
+
+  /// Box delivered to p in the current phase; nullptr when nothing was.
+  const Box* find(ProcId p) const {
+    if (p < kDenseLimit) {
+      const auto i = static_cast<std::size_t>(p);
+      return (i < dense_.size() && epochs_[i] == epoch_) ? &dense_[i]
+                                                         : nullptr;
+    }
+    const auto it = sparse_.find(p);
+    return (it != sparse_.end() && it->second.first == epoch_)
+               ? &it->second.second
+               : nullptr;
+  }
+
+ private:
+  void grow(std::size_t need) {
+    const std::size_t next = std::max<std::size_t>(need, dense_.size() * 2);
+    dense_.resize(next);
+    epochs_.resize(next, 0);
+  }
+
+  std::uint64_t epoch_ = 1;  // 0 marks "never touched" in epochs_
+  std::vector<Box> dense_;
+  std::vector<std::uint64_t> epochs_;
+  std::unordered_map<ProcId, std::pair<std::uint64_t, Box>> sparse_;
+};
+
+}  // namespace parbounds

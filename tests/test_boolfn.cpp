@@ -125,5 +125,76 @@ TEST(BoolFn, ArityMismatchThrows) {
   EXPECT_THROW(BoolFn(30), std::invalid_argument);
 }
 
+// ----- packed high-arity support ----------------------------------------------
+
+TEST(BoolFn, Gf2DegreeKnownValues) {
+  // Over GF(2), PARITY is linear while AND stays full-degree — the
+  // sharpest way to tell the two polynomial rings apart.
+  for (unsigned n = 1; n <= 12; ++n) {
+    EXPECT_EQ(gf2_degree(BoolFn::parity(n)), 1u);
+    EXPECT_EQ(gf2_degree(BoolFn::and_fn(n)), n);
+  }
+  EXPECT_EQ(gf2_degree(BoolFn::constant(6, true)), 0u);
+  EXPECT_EQ(gf2_degree(BoolFn::constant(6, false)), 0u);
+  // GF(2) degree lower-bounds the integer degree (odd => nonzero).
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto f = BoolFn::random(9, rng);
+    EXPECT_LE(gf2_degree(f), degree(f));
+  }
+}
+
+TEST(BoolFn, MaxAritySupportsDegreeAndConnectives) {
+  // Full-degree witnesses at the 28-variable ceiling. PARITY exercises
+  // the top-coefficient fast path; OR complements it (alpha_{[n]} of OR
+  // is +-1, never cancelling).
+  ASSERT_EQ(BoolFn::kMaxArity, 28u);
+  const auto par = BoolFn::parity(28);
+  EXPECT_EQ(par.count_ones(), std::uint64_t{1} << 27);
+  EXPECT_EQ(degree(par), 28u);
+  EXPECT_EQ(gf2_degree(par), 1u);
+  EXPECT_EQ(degree(BoolFn::or_fn(28)), 28u);
+
+  // Word-parallel connectives at full width.
+  const auto a = BoolFn::variable(28, 0);
+  const auto b = BoolFn::variable(28, 27);
+  const auto f = a | b;
+  EXPECT_EQ(f.count_ones(), std::uint64_t{3} << 26);
+  EXPECT_EQ((par ^ par), BoolFn::constant(28, false));
+  EXPECT_EQ(~(~par), par);
+  EXPECT_TRUE(f.depends_on(27));
+  EXPECT_FALSE((a & b).depends_on(13));
+}
+
+TEST(BoolFn, ChunkedDegreeTierIsExact) {
+  // AND of the low 21 variables embedded at n = 23: the true degree
+  // (21 = n - 2) defeats every fast tier — the top coefficient is 0,
+  // the GF(2) bound answers 21 (not n - 1), and every level-(n-1)
+  // coefficient cancels — so degree() must run the chunked slice scan
+  // that covers 23 <= n <= 28, and find the witness level exactly.
+  const auto f = BoolFn::from(
+      23, [](std::uint32_t x) { return (x & 0x1FFFFFu) == 0x1FFFFFu; });
+  EXPECT_EQ(degree(f), 21u);
+  EXPECT_TRUE(f.depends_on(20));
+  EXPECT_FALSE(f.depends_on(21));
+  EXPECT_FALSE(f.depends_on(22));
+
+  // Fixing a relevant variable of AND to true drops the degree by one;
+  // fixing it to false kills the function.
+  EXPECT_EQ(degree(f.fix(0, true)), 20u);
+  EXPECT_EQ(degree(f.fix(0, false)), 0u);
+}
+
+TEST(BoolFn, HighArityDegreeMatchesLowArityEmbedding) {
+  // Padding irrelevant variables must never change the degree: the same
+  // function computed in the dense-Moebius tier (n = 10) and re-embedded
+  // where the chunked tier operates must agree.
+  Rng rng(17);
+  const auto small = BoolFn::random(10, rng);
+  const auto embedded = BoolFn::from(
+      23, [&](std::uint32_t x) { return small(x & 0x3FFu); });
+  EXPECT_EQ(degree(embedded), degree(small));
+}
+
 }  // namespace
 }  // namespace parbounds

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -233,6 +234,51 @@ TEST(EngineFuzz, GsmMergesExactlyTheMultiset) {
 
 TEST(EngineFuzz, BspInboxesMatchSends) {
   run_fuzz(3000, check_bsp_inboxes);
+}
+
+std::string check_arena_map_equivalence(std::uint64_t seed) {
+  // The flat-arena fast path (mem_dense_limit) must be unobservable:
+  // run the same random program on a machine whose 64-cell address
+  // range straddles a tiny arena (limit 32: reads dense, writes
+  // sparse) and on the map-only reference, and compare everything.
+  Rng rng(seed);
+  QsmMachine arena({.g = 2, .mem_dense_limit = 32});
+  QsmMachine reference({.g = 2, .mem_dense_limit = 0});
+  for (int phase = 0; phase < 10; ++phase) {
+    const auto ops = random_phase(rng, 8, 64);
+    arena.begin_phase();
+    reference.begin_phase();
+    for (const auto& op : ops) {
+      if (op.is_write) {
+        arena.write(op.proc, op.addr, op.value);
+        reference.write(op.proc, op.addr, op.value);
+      } else {
+        arena.read(op.proc, op.addr);
+        reference.read(op.proc, op.addr);
+      }
+    }
+    const auto& pa = arena.commit_phase();
+    const auto& pr = reference.commit_phase();
+    if (pa.cost != pr.cost) return "cost diverged from map reference";
+    for (ProcId p = 0; p < 8; ++p) {
+      const auto ba = arena.inbox(p);
+      const auto br = reference.inbox(p);
+      if (!std::equal(ba.begin(), ba.end(), br.begin(), br.end()))
+        return "inbox diverged from map reference";
+    }
+    for (Addr a = 0; a < 64; ++a)
+      if (arena.peek(a) != reference.peek(a)) {
+        std::ostringstream msg;
+        msg << "memory diverged from map reference at cell " << a;
+        return msg.str();
+      }
+  }
+  if (arena.time() != reference.time()) return "total time diverged";
+  return "";
+}
+
+TEST(EngineFuzz, ArenaAndMapStorageAgree) {
+  run_fuzz(4000, check_arena_map_equivalence);
 }
 
 }  // namespace

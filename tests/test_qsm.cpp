@@ -143,6 +143,61 @@ TEST(Qsm, ArbitraryWriteRandomPicksSomeWriter) {
   EXPECT_TRUE(v == 10 || v == 20);
 }
 
+// Random write resolution is a deterministic function of the seed and
+// the issued program alone: winners are drawn in ascending cell order,
+// one draw per contended cell. Pinning an exact winner sequence guards
+// the draw order against accidental reordering (e.g. by a change to the
+// commit pipeline's grouping strategy).
+TEST(Qsm, RandomWriteWinnerSequenceIsPinnedBySeed) {
+  const auto run = [](std::uint64_t dense_limit) {
+    QsmMachine m({.g = 1,
+                  .writes = WriteResolution::Random,
+                  .seed = 77,
+                  .mem_dense_limit = dense_limit});
+    const Addr a = m.alloc(3);
+    std::vector<Word> winners;
+    for (int phase = 0; phase < 6; ++phase) {
+      m.begin_phase();
+      for (ProcId p = 0; p < 4; ++p) {
+        // Per cell, writer p offers value 10*(p+1)+cell.
+        m.write(p, a + 0, static_cast<Word>(10 * (p + 1)));
+        m.write(p, a + 2, static_cast<Word>(10 * (p + 1) + 2));
+      }
+      m.commit_phase();
+      winners.push_back(m.peek(a + 0));
+      winners.push_back(m.peek(a + 2));
+    }
+    return winners;
+  };
+
+  const auto winners = run(CellStore<Word>::kDefaultDenseLimit);
+  // Golden sequence for xoshiro seed 77: two draws per phase, ascending
+  // cell order. Any change to the winner-selection path shows up here.
+  const std::vector<Word> golden = {20, 12, 30, 42, 20, 12,
+                                    10, 32, 30, 22, 40, 12};
+  EXPECT_EQ(winners, golden);
+  // The storage configuration must not perturb the draws.
+  EXPECT_EQ(run(0), golden);
+}
+
+// Uncontended cells consume no randomness, so a single-writer cell
+// interleaved between contended ones must not shift later draws.
+TEST(Qsm, RandomDrawsSkipUncontendedCells) {
+  const auto run = [](bool with_solo_write) {
+    QsmMachine m({.g = 1, .writes = WriteResolution::Random, .seed = 9});
+    const Addr a = m.alloc(3);
+    m.begin_phase();
+    m.write(0, a + 0, 1);
+    m.write(1, a + 0, 2);
+    if (with_solo_write) m.write(2, a + 1, 99);  // uncontended
+    m.write(0, a + 2, 3);
+    m.write(1, a + 2, 4);
+    m.commit_phase();
+    return std::pair(m.peek(a + 0), m.peek(a + 2));
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(Qsm, InboxOrderFollowsIssueOrder) {
   QsmMachine m({.g = 1});
   const Addr a = m.alloc(3);

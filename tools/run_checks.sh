@@ -11,13 +11,19 @@
 #   5. a TSan build flavor (PARBOUNDS_TSAN, exclusive with ASan) running
 #      the `runtime`-labelled subset — the ExperimentRunner determinism
 #      suite is the data-race proof for the trial-parallel path, so it
-#      is the one set of tests that must pass under ThreadSanitizer.
+#      is the one set of tests that must pass under ThreadSanitizer;
+#   6. a bench_hotpath smoke run (--jobs 2 --json) from an optimized,
+#      sanitizer-free build — it self-verifies the hot paths against
+#      replicas of the pre-optimization implementations and enforces
+#      conservative speedup floors (see docs/PERF.md). Perf under a
+#      sanitizer is meaningless, hence the separate Release build dir.
 #
 # Usage: tools/run_checks.sh [--quick] [build-dir]
 #
 #   --quick   plain (sanitizer-free) build + full ctest + the analysis
-#             and runtime subsets; skips clang-tidy and both sanitizer
-#             rebuilds. The inner-loop command while iterating.
+#             and runtime subsets + the bench_hotpath smoke; skips
+#             clang-tidy and both sanitizer rebuilds. The inner-loop
+#             command while iterating.
 #
 # Default build dir: build-checks (quick mode: build-quick), so neither
 # mode clobbers the other's cache.
@@ -36,7 +42,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 if [[ "${QUICK}" == 1 ]]; then
   BUILD_DIR="${1:-build-quick}"
   echo "==> [quick] configure into ${BUILD_DIR}"
-  cmake -B "${BUILD_DIR}" -S .
+  # Pin the build type: the bench smoke below gates on wall-clock
+  # ratios, which an accidental -O0 cache would fail.
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
   echo "==> [quick] build"
   cmake --build "${BUILD_DIR}" -j "${JOBS}"
   echo "==> [quick] full test suite"
@@ -45,6 +53,10 @@ if [[ "${QUICK}" == 1 ]]; then
   ctest --test-dir "${BUILD_DIR}" -L analysis --output-on-failure
   echo "==> [quick] runtime-labelled subset"
   ctest --test-dir "${BUILD_DIR}" -L runtime --output-on-failure
+  echo "==> [quick] bench_hotpath smoke (self-verified, speedup floors)"
+  "${BUILD_DIR}/bench/bench_hotpath" --jobs 2 \
+    --json "${BUILD_DIR}/BENCH_hotpath.json" \
+    --min-phase-speedup=1.5 --min-degree-speedup=2.5
   echo "==> quick checks passed (sanitizer stages skipped)"
   exit 0
 fi
@@ -85,5 +97,16 @@ cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}"
 
 echo "==> runtime-labelled subset under TSan"
 ctest --test-dir "${BUILD_DIR}-tsan" -L runtime --output-on-failure
+
+echo "==> configure (Release, sanitizer-free) into ${BUILD_DIR}-bench"
+cmake -B "${BUILD_DIR}-bench" -S . -DCMAKE_BUILD_TYPE=Release
+
+echo "==> build bench_hotpath"
+cmake --build "${BUILD_DIR}-bench" -j "${JOBS}" --target bench_hotpath
+
+echo "==> bench_hotpath smoke (self-verified, speedup floors)"
+"${BUILD_DIR}-bench/bench/bench_hotpath" --jobs 2 \
+  --json "${BUILD_DIR}-bench/BENCH_hotpath.json" \
+  --min-phase-speedup=1.5 --min-degree-speedup=2.5
 
 echo "==> all checks passed"
