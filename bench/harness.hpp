@@ -17,9 +17,16 @@
 //                  per-trial costs, aggregates, wall time and the
 //                  speedup over a serial re-run of the same sweeps —
 //                  the re-run doubles as a bit-identity cross-check.
+//   --trace [PATH] Chrome trace-event export (default TRACE_<name>.json,
+//                  chrome://tracing / Perfetto-loadable) of the runner's
+//                  spans, plus a top-N span summary on stderr. --trace
+//                  implies --json, and any json/trace run installs the
+//                  process TelemetryObserver so the report carries a
+//                  per-model "metrics" block (docs/OBSERVABILITY.md).
 //
-// Both flags are stripped before benchmark::Initialize sees argv. See
-// docs/RUNTIME.md for the seeding discipline.
+// All three flags are stripped before benchmark::Initialize sees argv
+// (src/runtime/harness_flags.*). See docs/RUNTIME.md for the seeding
+// discipline.
 
 #include <cstdint>
 #include <cstdio>
@@ -42,7 +49,12 @@
 #include "bounds/upper_bounds.hpp"
 #include "core/mapping.hpp"
 #include "core/rounds.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/bench_json.hpp"
+#include "runtime/harness_flags.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sweep.hpp"
 #include "util/mathx.hpp"
@@ -77,33 +89,36 @@ class BenchSession {
     return s;
   }
 
-  /// Parse and strip --jobs/--json from argv (call before
+  /// Parse and strip --jobs/--json/--trace from argv (call before
   /// benchmark::Initialize). --json without a path defaults to
-  /// BENCH_<name>.json.
+  /// BENCH_<name>.json, --trace to TRACE_<name>.json; --trace alone
+  /// also turns the JSON report on so the trace always ships with its
+  /// metrics block.
   void init(int& argc, char** argv, std::string name) {
     report_.bench = std::move(name);
     report_.seed = kSeed;
-    unsigned jobs = 0;
-    int w = 1;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--jobs" && i + 1 < argc) {
-        jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-      } else if (arg.rfind("--jobs=", 0) == 0) {
-        jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
-      } else if (arg == "--json") {
-        json_path_ = "BENCH_" + report_.bench + ".json";
-        if (i + 1 < argc && argv[i + 1][0] != '-') json_path_ = argv[++i];
-      } else if (arg.rfind("--json=", 0) == 0) {
-        json_path_ = arg.substr(7);
-      } else {
-        argv[w++] = argv[i];
-      }
+    const auto flags = runtime::parse_harness_flags(
+        argc, argv, "BENCH_" + report_.bench + ".json",
+        "TRACE_" + report_.bench + ".json");
+    if (flags.error) {
+      std::fprintf(stderr, "bench: %s\n", flags.error_message.c_str());
+      std::exit(2);
     }
-    argc = w;
+    json_path_ = flags.json_path;
+    trace_path_ = flags.trace_path;
+    if (!trace_path_.empty() && json_path_.empty())
+      json_path_ = "BENCH_" + report_.bench + ".json";
     runner_ = std::make_unique<runtime::ExperimentRunner>(
-        runtime::RunnerConfig{.jobs = jobs});
+        runtime::RunnerConfig{.jobs = flags.jobs});
     report_.jobs = runner_->jobs();
+    if (!json_path_.empty()) {
+      telemetry_ = std::make_unique<obs::TelemetryObserver>(registry_);
+      obs::install_process_telemetry(telemetry_.get());
+    }
+    if (!trace_path_.empty()) {
+      tracer_ = std::make_unique<obs::Tracer>();
+      obs::install_process_tracer(tracer_.get());
+    }
   }
 
   const runtime::ExperimentRunner& runner() const { return *runner_; }
@@ -118,11 +133,32 @@ class BenchSession {
 
   const runtime::SweepResult& record(runtime::SweepResult s) {
     report_.sweeps.push_back(std::move(s));
+    capture_metrics();
     return report_.sweeps.back();
   }
 
-  /// Write the JSON report if requested. Returns the process exit code.
+  /// Re-snapshot the registry into the report. Called after every
+  /// sweep/fan-out rather than in finish(): google-benchmark's adaptive
+  /// iteration counts also fire the phase hook, and folding those in
+  /// would make the metrics block wall-clock-dependent.
+  void capture_metrics() {
+    if (telemetry_ != nullptr) report_.metrics_json = registry_.snapshot().to_json();
+  }
+
+  /// Write the JSON report and span trace if requested. Returns the
+  /// process exit code.
   int finish() {
+    obs::install_process_telemetry(nullptr);
+    obs::install_process_tracer(nullptr);
+    if (tracer_ != nullptr) {
+      if (!obs::write_text_file(trace_path_, obs::chrome_trace_json(*tracer_))) {
+        std::fprintf(stderr, "bench: cannot write %s\n", trace_path_.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "bench: %s: span trace -> %s (load in Perfetto)\n%s",
+                   report_.bench.c_str(), trace_path_.c_str(),
+                   obs::top_n_summary(*tracer_, 10).c_str());
+    }
     if (json_path_.empty()) return 0;
     std::ofstream f(json_path_);
     if (!f) {
@@ -143,10 +179,14 @@ class BenchSession {
  private:
   BenchSession() = default;
   std::string json_path_;
+  std::string trace_path_;
   std::unique_ptr<runtime::ExperimentRunner> runner_ =
       std::make_unique<runtime::ExperimentRunner>();
   runtime::BenchReport report_;
   std::uint64_t sweep_ordinal_ = 0;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::TelemetryObserver> telemetry_;
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 /// Bench-main bootstrap: parse/strip harness flags.
@@ -175,9 +215,11 @@ std::vector<T> parallel_trials(
     const std::function<T(std::uint64_t trial, std::uint64_t seed)>& fn) {
   auto& s = BenchSession::get();
   const std::uint64_t base = s.next_base_seed();
-  return s.runner().map<T>(count, [&](std::uint64_t t) {
+  auto out = s.runner().map<T>(count, [&](std::uint64_t t) {
     return fn(t, runtime::derive_seed(base, t));
   });
+  s.capture_metrics();
+  return out;
 }
 
 // ----- shared-memory measurements (cost model selectable) --------------------

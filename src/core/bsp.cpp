@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace parbounds {
 
 BspMachine::BspMachine(BspConfig cfg) : cfg_(cfg) {
@@ -90,6 +92,7 @@ const PhaseTrace& BspMachine::commit_superstep() {
   trace_.phases.push_back(std::move(ph));
   if (observer_ != nullptr)
     observer_->on_phase_committed(trace_, trace_.phases.size() - 1);
+  obs::phase_hook(trace_, trace_.phases.size() - 1);
   return trace_.phases.back();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/phase_scan.hpp"
+#include "obs/telemetry.hpp"
 #include "util/mathx.hpp"
 
 namespace parbounds {
@@ -129,6 +130,7 @@ const PhaseTrace& GsmMachine::commit_phase() {
   trace_.phases.push_back(std::move(ph));
   if (observer_ != nullptr)
     observer_->on_phase_committed(trace_, trace_.phases.size() - 1);
+  obs::phase_hook(trace_, trace_.phases.size() - 1);
   return trace_.phases.back();
 }
 

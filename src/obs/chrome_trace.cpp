@@ -1,0 +1,141 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace parbounds::obs {
+
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+/// Microseconds with fixed 3-decimal precision (ns resolution).
+std::string us_from_ns(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& t) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& buf : t.buffers()) {
+    for (std::size_t i = 0; i < buf.count; ++i) {
+      const SpanEvent& e = buf.events[i];
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":\"";
+      out += e.name;
+      out += "\",\"cat\":\"parbounds\",\"ph\":\"";
+      out += e.phase;
+      out += "\",\"ts\":" + us_from_ns(e.ts_ns);
+      out += ",\"pid\":1,\"tid\":" + u64(buf.tid);
+      if (e.has_arg) out += ",\"args\":{\"arg\":" + u64(e.arg) + "}";
+      out += "}";
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string model_time_trace_json(const ExecutionTrace& t) {
+  const char* cat = trace_kind_token(t.kind);
+  std::string out = "[";
+  std::uint64_t clock = 0;
+  for (std::size_t i = 0; i < t.phases.size(); ++i) {
+    const PhaseTrace& ph = t.phases[i];
+    if (i > 0) out += ",\n";
+    out += "{\"name\":\"phase " + u64(i) + "\",\"cat\":\"";
+    out += cat;
+    out += "\",\"ph\":\"X\",\"ts\":" + u64(clock);
+    out += ",\"dur\":" + u64(ph.cost);
+    out += ",\"pid\":1,\"tid\":1,\"args\":{";
+    out += "\"cost\":" + u64(ph.cost);
+    out += ",\"m_op\":" + u64(ph.stats.m_op);
+    out += ",\"m_rw\":" + u64(ph.stats.m_rw);
+    out += ",\"kappa_r\":" + u64(ph.stats.kappa_r);
+    out += ",\"kappa_w\":" + u64(ph.stats.kappa_w);
+    out += ",\"reads\":" + u64(ph.stats.reads);
+    out += ",\"writes\":" + u64(ph.stats.writes);
+    out += ",\"ops\":" + u64(ph.stats.ops);
+    if (t.kind == ExecutionTrace::Kind::Bsp) out += ",\"h\":" + u64(ph.h);
+    out += "}}";
+    clock += ph.cost;
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string top_n_summary(const Tracer& t, std::size_t n) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  std::uint64_t dropped = 0;
+  for (const auto& buf : t.buffers()) {
+    dropped += buf.dropped;
+    std::vector<const SpanEvent*> stack;
+    for (std::size_t i = 0; i < buf.count; ++i) {
+      const SpanEvent& e = buf.events[i];
+      if (e.phase == 'B') {
+        stack.push_back(&e);
+      } else if (!stack.empty()) {
+        const SpanEvent* b = stack.back();
+        stack.pop_back();
+        Agg& a = by_name[b->name];
+        const std::uint64_t d = e.ts_ns - b->ts_ns;
+        ++a.count;
+        a.total_ns += d;
+        a.max_ns = std::max(a.max_ns, d);
+      }
+    }
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.total_ns > b.second.total_ns;
+                   });
+  if (rows.size() > n) rows.resize(n);
+
+  std::size_t width = 4;
+  for (const auto& [name, agg] : rows) width = std::max(width, name.size());
+  std::string out = "span";
+  out.append(width - 4 + 2, ' ');
+  out += "count     total_ms      mean_us       max_us\n";
+  for (const auto& [name, agg] : rows) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%8llu %12.3f %12.3f %12.3f\n",
+                  static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.total_ns) / 1e6,
+                  static_cast<double>(agg.total_ns) / 1e3 /
+                      static_cast<double>(agg.count),
+                  static_cast<double>(agg.max_ns) / 1e3);
+    out += name;
+    out.append(width - name.size(), ' ');
+    out += buf;
+  }
+  if (dropped > 0)
+    out += "(dropped " + u64(dropped) + " spans: buffers full)\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace parbounds::obs

@@ -1,0 +1,42 @@
+#pragma once
+// Chrome trace-event export and plain-text span summaries.
+//
+// Two exporters, one file format (the Trace Event JSON array that
+// chrome://tracing and https://ui.perfetto.dev load directly):
+//
+//   chrome_trace_json(tracer)  — wall-clock 'B'/'E' pairs from the span
+//       tracer, one trace tid per tracing thread. Timestamps are real
+//       microseconds and therefore vary run to run.
+//   model_time_trace_json(trace) — the deterministic view: one 'X'
+//       (complete) event per committed phase of an ExecutionTrace, with
+//       ts = cumulative model cost before the phase and dur = the
+//       phase's charged cost. Two runs of the same experiment produce
+//       byte-identical output, which is what makes it goldenable and
+//       what parprof_cli exports.
+//
+// top_n_summary() renders the tracer's matched spans as a text table
+// (count, total, mean, max per span name) for quick stderr triage
+// without leaving the terminal.
+
+#include <cstddef>
+#include <string>
+
+#include "core/trace.hpp"
+#include "obs/span.hpp"
+
+namespace parbounds::obs {
+
+/// Wall-clock B/E events as a Trace Event JSON array.
+std::string chrome_trace_json(const Tracer& t);
+
+/// Deterministic per-phase 'X' events over model time (cost units as ts).
+std::string model_time_trace_json(const ExecutionTrace& t);
+
+/// Top-`n` span names by total inclusive wall time, as aligned text.
+std::string top_n_summary(const Tracer& t, std::size_t n);
+
+/// Write `text` to `path`. Returns false (and writes nothing else) on
+/// any I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace parbounds::obs

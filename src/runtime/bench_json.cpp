@@ -95,6 +95,7 @@ std::string to_json(const BenchReport& report, bool include_timing) {
   out += ",\"bench\":\"" + json_escape(report.bench) + "\"";
   out += ",\"jobs\":" + std::to_string(report.jobs);
   out += ",\"seed\":" + std::to_string(report.seed);
+  if (!report.metrics_json.empty()) out += ",\"metrics\":" + report.metrics_json;
   out += ",\"deterministic\":";
   out += report_deterministic(report) ? "true" : "false";
   if (include_timing) {

@@ -25,6 +25,10 @@ struct BenchReport {
   std::string bench;        ///< binary name, e.g. "bench_table1_qsm_time"
   unsigned jobs = 1;        ///< worker threads used for the sweeps
   std::uint64_t seed = 0;   ///< root seed the sweep base seeds derive from
+  /// Pre-serialized MetricsSnapshot::to_json() captured after the last
+  /// sweep (empty = no "metrics" key). Metric values derive from model
+  /// costs only, so the block is bit-identical across --jobs.
+  std::string metrics_json;
   std::vector<SweepResult> sweeps;
 };
 

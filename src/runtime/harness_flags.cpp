@@ -1,0 +1,66 @@
+#include "runtime/harness_flags.hpp"
+
+#include <cstdlib>
+
+namespace parbounds::runtime {
+
+namespace {
+
+/// Resolve the optional path after a bare --json/--trace at argv[i].
+/// Consumes argv[i + 1] when it is a plain path; keeps the default when
+/// the next token is another `--flag`; flags an error on a single-dash
+/// token, which the old parser silently swallowed as "no path".
+bool optional_path(const char* flag, int& i, int argc, char** argv,
+                   std::string& path, HarnessFlags& out) {
+  if (i + 1 >= argc) return true;
+  const std::string next = argv[i + 1];
+  if (next.empty() || next[0] != '-') {
+    path = argv[++i];
+    return true;
+  }
+  if (next.size() >= 2 && next[1] == '-') return true;  // another flag
+  out.error = true;
+  out.error_message = std::string(flag) + " " + next +
+                      ": ambiguous path beginning with '-'; use " + flag +
+                      "=" + next + " to force it";
+  return false;
+}
+
+}  // namespace
+
+HarnessFlags parse_harness_flags(int& argc, char** argv,
+                                 const std::string& default_json_path,
+                                 const std::string& default_trace_path) {
+  HarnessFlags out;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        out.error = true;
+        out.error_message = "--jobs requires a value";
+        break;
+      }
+      out.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      out.jobs =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--json") {
+      out.json_path = default_json_path;
+      if (!optional_path("--json", i, argc, argv, out.json_path, out)) break;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out.json_path = arg.substr(7);
+    } else if (arg == "--trace") {
+      out.trace_path = default_trace_path;
+      if (!optional_path("--trace", i, argc, argv, out.trace_path, out)) break;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      out.trace_path = arg.substr(8);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return out;
+}
+
+}  // namespace parbounds::runtime

@@ -1,0 +1,39 @@
+#pragma once
+// Harness flag parsing, extracted from bench/harness.hpp so it is unit
+// testable (test_bench_json covers it).
+//
+// Every bench binary accepts:
+//
+//   --jobs N        worker threads (0 = hardware concurrency)
+//   --json [PATH]   parbounds-bench-v1 report; bare --json uses the
+//                   caller's default path
+//   --trace [PATH]  Chrome trace-event span export; bare --trace uses
+//                   the caller's default path
+//
+// Recognized flags are stripped from argv (google-benchmark parses the
+// rest). A bare --json/--trace followed by another `--flag` takes the
+// default path; a following token that begins with a single '-'
+// (e.g. `--json -out.json`) is rejected with a pointer at the
+// unambiguous `--json=-out.json` spelling — the old parser silently
+// dropped the path in that case.
+
+#include <string>
+
+namespace parbounds::runtime {
+
+struct HarnessFlags {
+  unsigned jobs = 0;        ///< 0 = hardware concurrency
+  std::string json_path;    ///< empty = no JSON report
+  std::string trace_path;   ///< empty = no span trace
+  bool error = false;
+  std::string error_message;
+};
+
+/// Parse and strip --jobs/--json/--trace from argv. On error, `error`
+/// is set, `error_message` names the offending token, and argv is left
+/// partially compacted (callers should exit).
+HarnessFlags parse_harness_flags(int& argc, char** argv,
+                                 const std::string& default_json_path,
+                                 const std::string& default_trace_path);
+
+}  // namespace parbounds::runtime

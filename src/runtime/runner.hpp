@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace parbounds::runtime {
 
 /// Stateless per-trial seed derivation (splitmix64 finalizer over the
@@ -84,8 +86,12 @@ class ExperimentRunner {
                      const std::function<T(std::uint64_t)>& fn) const {
     std::vector<T> results(trials);
     if (trials == 0) return results;
+    obs::Tracer* tracer = obs::process_tracer();
     if (jobs_ == 1 || trials == 1 || detail::in_worker()) {
-      for (std::uint64_t t = 0; t < trials; ++t) results[t] = fn(t);
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        obs::Span span(tracer, "runner.trial", t);
+        results[t] = fn(t);
+      }
       return results;
     }
 
@@ -102,6 +108,8 @@ class ExperimentRunner {
 
     auto body = [&](unsigned self) {
       detail::WorkerScope scope;
+      obs::Span worker_span(tracer, "runner.worker", self);
+      std::uint64_t steals = 0;
       for (;;) {
         std::uint64_t trial = 0;
         bool have = false;
@@ -112,9 +120,13 @@ class ExperimentRunner {
             have = true;
           }
         }
-        if (!have && !steal_into(shards, self)) return;
-        if (!have) continue;
+        if (!have) {
+          obs::Span steal_span(tracer, "runner.steal", ++steals);
+          if (!steal_into(shards, self)) return;
+          continue;
+        }
         try {
+          obs::Span span(tracer, "runner.trial", trial);
           results[trial] = fn(trial);
         } catch (...) {
           std::lock_guard<std::mutex> lock(err_mu);

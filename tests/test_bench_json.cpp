@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "runtime/bench_json.hpp"
+#include "runtime/harness_flags.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sweep.hpp"
 #include "util/rng.hpp"
@@ -308,6 +309,115 @@ TEST(BenchJson, ReportAggregatesFollowSweeps) {
   EXPECT_FALSE(report_deterministic(report));
   const auto doc = JsonParser(to_json(report)).parse();
   EXPECT_FALSE(doc.at("deterministic").boolean);
+}
+
+TEST(BenchJson, MetricsBlockSerializedOnlyWhenPopulated) {
+  auto report = tiny_report(1, /*baseline=*/false);
+  EXPECT_FALSE(JsonParser(to_json(report)).parse().has("metrics"));
+
+  report.metrics_json =
+      "{\"counters\":{\"qsm.phases\":3},\"gauges\":{},\"histograms\":{}}";
+  const auto doc = JsonParser(to_json(report)).parse();
+  ASSERT_TRUE(doc.has("metrics"));
+  EXPECT_EQ(doc.at("metrics").at("counters").at("qsm.phases").number, 3.0);
+  // The block must ride along regardless of timing mode.
+  EXPECT_TRUE(JsonParser(to_json(report, /*include_timing=*/false))
+                  .parse()
+                  .has("metrics"));
+}
+
+// ---------------------------------------------------------------------
+// parse_harness_flags (runtime/harness_flags.hpp): the --jobs/--json/
+// --trace stripping every bench binary shares. The `--json -out.json`
+// case is the regression this suite pins — the old in-harness parser
+// silently treated a path beginning with '-' as "no path given".
+
+struct Argv {
+  explicit Argv(std::initializer_list<const char*> args) {
+    for (const char* a : args) store.emplace_back(a);
+    for (auto& s : store) ptrs.push_back(s.data());
+    argc = static_cast<int>(ptrs.size());
+  }
+  HarnessFlags parse() {
+    return parse_harness_flags(argc, ptrs.data(), "default.json",
+                               "default_trace.json");
+  }
+  std::vector<std::string> remaining() const {
+    return {ptrs.begin(), ptrs.begin() + argc};
+  }
+  std::vector<std::string> store;
+  std::vector<char*> ptrs;
+  int argc = 0;
+};
+
+TEST(HarnessFlags, JobsBothSpellings) {
+  Argv split({"bench", "--jobs", "4"});
+  const auto a = split.parse();
+  EXPECT_FALSE(a.error);
+  EXPECT_EQ(a.jobs, 4u);
+  EXPECT_EQ(split.argc, 1);
+
+  Argv equals({"bench", "--jobs=8"});
+  EXPECT_EQ(equals.parse().jobs, 8u);
+}
+
+TEST(HarnessFlags, JobsWithoutValueIsAnError) {
+  Argv bad({"bench", "--jobs"});
+  const auto f = bad.parse();
+  EXPECT_TRUE(f.error);
+  EXPECT_NE(f.error_message.find("--jobs"), std::string::npos);
+}
+
+TEST(HarnessFlags, BareJsonTakesTheDefaultPath) {
+  Argv bare({"bench", "--json"});
+  const auto f = bare.parse();
+  EXPECT_FALSE(f.error);
+  EXPECT_EQ(f.json_path, "default.json");
+}
+
+TEST(HarnessFlags, JsonConsumesAPlainPath) {
+  Argv argv({"bench", "--json", "out.json", "--trace", "spans.json"});
+  const auto f = argv.parse();
+  EXPECT_FALSE(f.error);
+  EXPECT_EQ(f.json_path, "out.json");
+  EXPECT_EQ(f.trace_path, "spans.json");
+  EXPECT_EQ(argv.argc, 1);
+}
+
+TEST(HarnessFlags, BareJsonBeforeAnotherFlagKeepsTheDefault) {
+  Argv argv({"bench", "--json", "--jobs", "2"});
+  const auto f = argv.parse();
+  EXPECT_FALSE(f.error);
+  EXPECT_EQ(f.json_path, "default.json");
+  EXPECT_EQ(f.jobs, 2u);
+  EXPECT_EQ(argv.argc, 1);
+}
+
+TEST(HarnessFlags, SingleDashPathIsRejectedWithTheEqualsHint) {
+  // Regression: this used to silently mean "no path".
+  Argv argv({"bench", "--json", "-out.json"});
+  const auto f = argv.parse();
+  EXPECT_TRUE(f.error);
+  EXPECT_NE(f.error_message.find("--json=-out.json"), std::string::npos)
+      << f.error_message;
+}
+
+TEST(HarnessFlags, EqualsFormForcesADashPath) {
+  Argv argv({"bench", "--json=-out.json", "--trace=-t.json"});
+  const auto f = argv.parse();
+  EXPECT_FALSE(f.error);
+  EXPECT_EQ(f.json_path, "-out.json");
+  EXPECT_EQ(f.trace_path, "-t.json");
+}
+
+TEST(HarnessFlags, UnrecognizedTokensSurviveInOrder) {
+  Argv argv({"bench", "--benchmark_filter=OR", "--jobs", "2", "positional"});
+  const auto f = argv.parse();
+  EXPECT_FALSE(f.error);
+  EXPECT_EQ(f.jobs, 2u);
+  const std::vector<std::string> want = {"bench", "--benchmark_filter=OR",
+                                         "positional"};
+  EXPECT_EQ(argv.remaining(), want);
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// parprof_cli — replay a recorded ExecutionTrace into the telemetry
+// layer and print/export its per-phase cost profile.
+//
+//   parprof_cli <trace.csv | -> [--chrome out.json] [--top N]
+//
+// The input is a CSV written by trace_to_csv (parlint_cli
+// --export-demo produces one; any bench/driver can dump its machine's
+// trace the same way). Each recorded phase is fed through the same
+// TelemetryObserver the bench harness installs, so the printed metrics
+// block matches what a live run with --json would report for that
+// trace. The profile itself is deterministic model time, not
+// wall-clock: phase costs, their cumulative clock, and each phase's
+// share of the total.
+//
+//   --chrome PATH  also write the deterministic model-time trace (one
+//                  'X' event per phase, ts in cost units) as a Chrome
+//                  trace-event JSON, loadable in chrome://tracing or
+//                  Perfetto. Byte-identical for identical traces.
+//   --top N        cap the per-phase table at the N most expensive
+//                  phases (default: all phases up to 48, then top 32).
+//
+// stdout: the profile (byte-deterministic for a given trace). stderr:
+// status and errors. exit: 0 = ok, 1 = usage / IO / parse failure.
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trace_io.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace parbounds;
+
+int usage() {
+  std::cerr << "usage: parprof_cli <trace.csv | -> [--chrome out.json] "
+               "[--top N]\n";
+  return 1;
+}
+
+bool read_all(const std::string& path, std::string& out) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    out = ss.str();
+    return true;
+  }
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  std::string input_path;
+  std::string chrome_path;
+  std::size_t top = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chrome") == 0) {
+      if (i + 1 >= argc) return usage();
+      chrome_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      if (i + 1 >= argc) return usage();
+      top = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (input_path.empty()) {
+      input_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (input_path.empty()) return usage();
+
+  std::string csv;
+  if (!read_all(input_path, csv)) {
+    std::cerr << "parprof_cli: cannot read " << input_path << "\n";
+    return 1;
+  }
+
+  ExecutionTrace trace;
+  try {
+    trace = trace_from_csv(csv);
+  } catch (const std::exception& e) {
+    std::cerr << "parprof_cli: " << input_path << ": " << e.what() << "\n";
+    return 1;
+  }
+
+  // Replay through the same observer the bench harness installs; the
+  // snapshot below is exactly the "metrics" block a live run would emit.
+  obs::MetricsRegistry registry;
+  obs::TelemetryObserver telemetry(registry);
+  for (std::size_t i = 0; i < trace.phases.size(); ++i)
+    telemetry.on_phase_committed(trace, i);
+
+  const std::uint64_t total = trace.total_cost();
+  std::cout << banner("parprof: " + trace_summary(trace));
+
+  // Rank phases by cost; show everything for small traces, the head of
+  // the ranking otherwise (always saying how much was elided).
+  std::vector<std::size_t> order(trace.phases.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return trace.phases[a].cost > trace.phases[b].cost;
+                   });
+  const std::size_t cap =
+      top > 0 ? top : (trace.phases.size() <= 48 ? trace.phases.size() : 32);
+  const bool ranked = cap < trace.phases.size();
+  if (!ranked) std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::vector<std::uint64_t> cum(trace.phases.size() + 1, 0);
+  for (std::size_t i = 0; i < trace.phases.size(); ++i)
+    cum[i + 1] = cum[i] + trace.phases[i].cost;
+
+  TextTable t({"phase", "cost", "cum", "share", "m_op", "m_rw", "kappa_r",
+               "kappa_w", "reads", "writes", "ops"});
+  for (std::size_t r = 0; r < std::min(cap, order.size()); ++r) {
+    const std::size_t i = order[r];
+    const PhaseTrace& ph = trace.phases[i];
+    t.add_row({TextTable::integer(i), TextTable::integer(ph.cost),
+               TextTable::integer(cum[i + 1]),
+               TextTable::num(total == 0 ? 0.0
+                                         : 100.0 *
+                                               static_cast<double>(ph.cost) /
+                                               static_cast<double>(total),
+                              1) +
+                   "%",
+               TextTable::integer(ph.stats.m_op),
+               TextTable::integer(ph.stats.m_rw),
+               TextTable::integer(ph.stats.kappa_r),
+               TextTable::integer(ph.stats.kappa_w),
+               TextTable::integer(ph.stats.reads),
+               TextTable::integer(ph.stats.writes),
+               TextTable::integer(ph.stats.ops)});
+  }
+  std::cout << t.render();
+  if (ranked)
+    std::cout << "(top " << cap << " of " << trace.phases.size()
+              << " phases by cost; --top N to widen)\n";
+
+  std::cout << "\nmetrics (as a live --json run would report):\n"
+            << registry.snapshot().to_text() << "\n";
+
+  if (!chrome_path.empty()) {
+    if (!obs::write_text_file(chrome_path,
+                              obs::model_time_trace_json(trace))) {
+      std::cerr << "parprof_cli: cannot write " << chrome_path << "\n";
+      return 1;
+    }
+    std::cerr << "model-time trace -> " << chrome_path
+              << " (load in Perfetto)\n";
+  }
+  return 0;
+}

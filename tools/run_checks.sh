@@ -8,22 +8,29 @@
 #   4. the `analysis`-labelled subset (parlint rules + parlint_cli
 #      smoke) repeated on its own so a parlint regression is named in
 #      the output even when something else also broke;
-#   5. a TSan build flavor (PARBOUNDS_TSAN, exclusive with ASan) running
-#      the `runtime`-labelled subset — the ExperimentRunner determinism
-#      suite is the data-race proof for the trial-parallel path, so it
-#      is the one set of tests that must pass under ThreadSanitizer;
-#   6. a bench_hotpath smoke run (--jobs 2 --json) from an optimized,
-#      sanitizer-free build — it self-verifies the hot paths against
-#      replicas of the pre-optimization implementations and enforces
-#      conservative speedup floors (see docs/PERF.md). Perf under a
-#      sanitizer is meaningless, hence the separate Release build dir.
+#   5. the `obs`-labelled subset (observability layer + parprof_cli
+#      smoke) on its own, plus a parprof_cli run over a freshly
+#      exported demo trace;
+#   6. a TSan build flavor (PARBOUNDS_TSAN, exclusive with ASan) running
+#      the `runtime` and `obs` labelled subsets — the ExperimentRunner
+#      determinism suite is the data-race proof for the trial-parallel
+#      path, and the obs suite exercises the concurrent metric shards
+#      and span buffers, so both must pass under ThreadSanitizer;
+#   7. bench_hotpath and bench_obs_overhead smoke runs (--jobs 2
+#      --json) from an optimized, sanitizer-free build — they
+#      self-verify the hot paths against replicas of the uninstrumented
+#      implementations and enforce conservative floors (speedups for
+#      bench_hotpath, a <=1.05x detached-hook ceiling for
+#      bench_obs_overhead; see docs/PERF.md and docs/OBSERVABILITY.md).
+#      Perf under a sanitizer is meaningless, hence the separate
+#      Release build dir.
 #
 # Usage: tools/run_checks.sh [--quick] [build-dir]
 #
-#   --quick   plain (sanitizer-free) build + full ctest + the analysis
-#             and runtime subsets + the bench_hotpath smoke; skips
-#             clang-tidy and both sanitizer rebuilds. The inner-loop
-#             command while iterating.
+#   --quick   plain (sanitizer-free) build + full ctest + the analysis,
+#             runtime and obs subsets + the parprof_cli and bench
+#             smokes; skips clang-tidy and both sanitizer rebuilds. The
+#             inner-loop command while iterating.
 #
 # Default build dir: build-checks (quick mode: build-quick), so neither
 # mode clobbers the other's cache.
@@ -53,10 +60,21 @@ if [[ "${QUICK}" == 1 ]]; then
   ctest --test-dir "${BUILD_DIR}" -L analysis --output-on-failure
   echo "==> [quick] runtime-labelled subset"
   ctest --test-dir "${BUILD_DIR}" -L runtime --output-on-failure
+  echo "==> [quick] obs-labelled subset"
+  ctest --test-dir "${BUILD_DIR}" -L obs --output-on-failure
+  echo "==> [quick] parprof_cli smoke over an exported demo trace"
+  "${BUILD_DIR}/tools/parlint_cli" --export-demo \
+    "${BUILD_DIR}/CHECK_prof_demo.csv" 512 8 2
+  "${BUILD_DIR}/tools/parprof_cli" "${BUILD_DIR}/CHECK_prof_demo.csv" \
+    --chrome "${BUILD_DIR}/CHECK_prof_demo_trace.json" >/dev/null
   echo "==> [quick] bench_hotpath smoke (self-verified, speedup floors)"
   "${BUILD_DIR}/bench/bench_hotpath" --jobs 2 \
     --json "${BUILD_DIR}/BENCH_hotpath.json" \
     --min-phase-speedup=1.5 --min-degree-speedup=2.5
+  echo "==> [quick] bench_obs_overhead smoke (detached-hook ceiling)"
+  "${BUILD_DIR}/bench/bench_obs_overhead" --jobs 2 \
+    --json "${BUILD_DIR}/BENCH_obs_overhead.json" \
+    --max-overhead=1.05
   echo "==> quick checks passed (sanitizer stages skipped)"
   exit 0
 fi
@@ -87,6 +105,15 @@ ctest --test-dir "${BUILD_DIR}" -j "${JOBS}" --output-on-failure
 echo "==> analysis-labelled subset"
 ctest --test-dir "${BUILD_DIR}" -L analysis --output-on-failure
 
+echo "==> obs-labelled subset"
+ctest --test-dir "${BUILD_DIR}" -L obs --output-on-failure
+
+echo "==> parprof_cli smoke over an exported demo trace"
+"${BUILD_DIR}/tools/parlint_cli" --export-demo \
+  "${BUILD_DIR}/CHECK_prof_demo.csv" 512 8 2
+"${BUILD_DIR}/tools/parprof_cli" "${BUILD_DIR}/CHECK_prof_demo.csv" \
+  --chrome "${BUILD_DIR}/CHECK_prof_demo_trace.json" >/dev/null
+
 echo "==> configure (TSan + Werror) into ${BUILD_DIR}-tsan"
 cmake -B "${BUILD_DIR}-tsan" -S . \
   -DPARBOUNDS_TSAN=ON \
@@ -95,18 +122,24 @@ cmake -B "${BUILD_DIR}-tsan" -S . \
 echo "==> build (TSan)"
 cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}"
 
-echo "==> runtime-labelled subset under TSan"
-ctest --test-dir "${BUILD_DIR}-tsan" -L runtime --output-on-failure
+echo "==> runtime- and obs-labelled subsets under TSan"
+ctest --test-dir "${BUILD_DIR}-tsan" -L 'runtime|obs' --output-on-failure
 
 echo "==> configure (Release, sanitizer-free) into ${BUILD_DIR}-bench"
 cmake -B "${BUILD_DIR}-bench" -S . -DCMAKE_BUILD_TYPE=Release
 
-echo "==> build bench_hotpath"
-cmake --build "${BUILD_DIR}-bench" -j "${JOBS}" --target bench_hotpath
+echo "==> build bench_hotpath + bench_obs_overhead"
+cmake --build "${BUILD_DIR}-bench" -j "${JOBS}" \
+  --target bench_hotpath bench_obs_overhead
 
 echo "==> bench_hotpath smoke (self-verified, speedup floors)"
 "${BUILD_DIR}-bench/bench/bench_hotpath" --jobs 2 \
   --json "${BUILD_DIR}-bench/BENCH_hotpath.json" \
   --min-phase-speedup=1.5 --min-degree-speedup=2.5
+
+echo "==> bench_obs_overhead smoke (detached-hook ceiling)"
+"${BUILD_DIR}-bench/bench/bench_obs_overhead" --jobs 2 \
+  --json "${BUILD_DIR}-bench/BENCH_obs_overhead.json" \
+  --max-overhead=1.05
 
 echo "==> all checks passed"
