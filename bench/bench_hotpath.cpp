@@ -19,15 +19,30 @@
 // wall time, so the runtime's serial-baseline bit-identity check keeps
 // holding at any --jobs value.
 //
+// Since the intra-trial parallelism PR the binary also carries the
+// shard-equivalence oracle: a phase-commit instance large enough to
+// cross commit_shard_min_requests() runs once with sharding forced off
+// and once per pool size in {1, 2, 8}, and every model cost, Random-
+// write winner (via a memory checksum) and delivered read must match
+// bit for bit. The same sweep times the sharded path at each pool size
+// and records the single-instance speedups ("shard_speedup" sweep), as
+// does a degree(n=26) instance that lands in the chunked Moebius tier.
+//
 // Extra flags (stripped before google-benchmark sees argv):
 //   --min-phase-speedup=X   fail (exit 1) if the commit speedup < X
 //   --min-degree-speedup=X  fail (exit 1) if the degree speedup < X
+//   --min-shard-speedup=X   fail (exit 1) if the 8-thread sharded
+//                           commit or degree(26) speedup over the same
+//                           instance at 1 thread < X
 // tools/run_checks.sh passes conservative floors; BENCH_hotpath.json
-// records the actually measured ratios in the "speedup" sweep.
+// records the actually measured ratios in the "speedup" and
+// "shard_speedup" sweeps.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -39,6 +54,7 @@
 #include "core/crcw.hpp"
 #include "core/gsm.hpp"
 #include "harness.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace pb = parbounds;
 using namespace parbounds::bench;
@@ -404,6 +420,90 @@ double degree_and22in24(std::uint64_t) {
   return static_cast<double>(pb::degree(f));
 }
 
+// ----- sharded phase commit: equivalence oracle + thread sweep ---------------
+
+// A single instance big enough to cross commit_shard_min_requests():
+// every processor issues 2 reads (lower address half) and 2 writes
+// (upper half) per phase, under Random write resolution so the sharded
+// winner sort is on the line, not just the counters.
+constexpr std::uint64_t kShardProcs = std::uint64_t{1} << 16;
+constexpr std::uint64_t kShardCells = std::uint64_t{1} << 18;
+constexpr unsigned kShardPhases = 4;
+
+struct ShardRun {
+  std::uint64_t cost = 0;      ///< model time after all phases
+  std::uint64_t checksum = 0;  ///< folded memory + delivered reads
+  double wall_ms = 0.0;
+
+  bool operator==(const ShardRun& o) const {
+    return cost == o.cost && checksum == o.checksum;
+  }
+};
+
+// Runs the instance once at the current pool size and folds everything
+// a divergent shard merge could corrupt into the checksum: the final
+// contents of every written cell (Random winners) and the values
+// delivered to a stride of inboxes (delivery order).
+ShardRun qsm_shard_run(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  const auto ops = [&] {
+    std::vector<Op> v;
+    v.reserve(kShardProcs * 4);
+    const std::uint64_t half = kShardCells / 2;
+    for (pb::ProcId p = 0; p < kShardProcs; ++p) {
+      for (int r = 0; r < 2; ++r)
+        v.push_back({false, p, rng.next_below(half), 0});
+      for (int w = 0; w < 2; ++w)
+        v.push_back({true, p, half + rng.next_below(half),
+                     static_cast<pb::Word>(1 + rng.next_below(1000))});
+    }
+    return v;
+  }();
+
+  ShardRun out;
+  const auto t0 = std::chrono::steady_clock::now();
+  pb::QsmMachine m(
+      {.g = 2, .writes = pb::WriteResolution::Random, .seed = seed});
+  (void)m.alloc(kShardCells);
+  for (unsigned ph = 0; ph < kShardPhases; ++ph) {
+    m.begin_phase();
+    for (const auto& op : ops) {
+      if (op.is_write)
+        m.write(op.proc, op.addr, op.value);
+      else
+        m.read(op.proc, op.addr);
+    }
+    m.commit_phase();
+    for (pb::ProcId p = 0; p < kShardProcs; p += 257)
+      for (const pb::Word w : m.inbox(p))
+        out.checksum = out.checksum * 31 + static_cast<std::uint64_t>(w);
+  }
+  for (pb::Addr a = kShardCells / 2; a < kShardCells; ++a)
+    out.checksum =
+        out.checksum * 31 + static_cast<std::uint64_t>(m.peek(a));
+  out.cost = m.time();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+// degree(n = 26) instance that defeats every early tier (AND of the
+// first 24 of 26 inputs) and lands in the chunked Moebius transform —
+// the tier the pool parallelizes. Table construction is excluded from
+// the timing; only the transform is being swept.
+double degree26_wall_ms(const pb::BoolFn& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const unsigned d = pb::degree(f);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (d != 24) {
+    std::fprintf(stderr, "bench_hotpath: degree(26) oracle got %u, want 24\n",
+                 d);
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
 // ----- pairing / verification ------------------------------------------------
 
 bool same_costs(const pb::runtime::SweepResult& a,
@@ -421,6 +521,7 @@ int main(int argc, char** argv) {
   // parse argv.
   double min_phase = 0.0;
   double min_degree = 0.0;
+  double min_shard = 0.0;
   {
     int w = 1;
     for (int i = 1; i < argc; ++i) {
@@ -429,6 +530,8 @@ int main(int argc, char** argv) {
         min_phase = std::stod(arg.substr(20));
       else if (arg.rfind("--min-degree-speedup=", 0) == 0)
         min_degree = std::stod(arg.substr(21));
+      else if (arg.rfind("--min-shard-speedup=", 0) == 0)
+        min_shard = std::stod(arg.substr(20));
       else
         argv[w++] = argv[i];
     }
@@ -439,6 +542,16 @@ int main(int argc, char** argv) {
   std::printf("%s", pb::banner("HOT PATHS — sort-based phase commit and "
                                "packed BoolFn vs the legacy pipelines")
                         .c_str());
+
+  // The paired sweeps time the rewritten hot paths against their serial
+  // legacy replicas; pin the intra-trial pool to one thread so the
+  // ratio isolates the algorithmic rewrite (on an oversubscribed box a
+  // --threads-sized pool would slow only the new side). Pool scaling is
+  // measured separately by the shard sweep below, which restores the
+  // session's --threads value when it finishes.
+  auto& pool = pb::runtime::ParallelFor::pool();
+  const unsigned session_threads = pool.threads();
+  pool.set_threads(1);
 
   constexpr unsigned kTrials = 3;
   const bool baseline = session.json_enabled();
@@ -579,6 +692,100 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bench_hotpath: degree speedup %.2f below floor %.2f\n",
                  degree_speedup, min_degree);
+    return 1;
+  }
+
+  // ----- shard-equivalence oracle + intra-trial thread sweep --------------
+  // One large instance, four ways: sharding forced off (the serial
+  // reference), then the sharded path at pool sizes 1, 2 and 8. Model
+  // cost and checksum must agree bit for bit every time — the path and
+  // the pool size may only change the wall clock.
+  const std::uint64_t shard_seed = session.next_base_seed();
+
+  auto& shard_knob = pb::detail::commit_shard_min_requests();
+  const std::uint64_t knob_saved = shard_knob;
+  shard_knob = ~std::uint64_t{0};  // no phase qualifies: serial path
+  pool.set_threads(1);
+  const ShardRun serial_ref = qsm_shard_run(shard_seed);
+  shard_knob = knob_saved;
+
+  const pb::BoolFn deg26 = pb::BoolFn::from(26, [](std::uint32_t x) {
+    return (x & 0xFFFFFFu) == 0xFFFFFFu;  // AND of the first 24 of 26
+  });
+
+  constexpr unsigned kPools[3] = {1, 2, 8};
+  double commit_wall[3] = {};
+  double deg_wall[3] = {};
+  bool shard_ok = true;
+  for (int i = 0; i < 3; ++i) {
+    pool.set_threads(kPools[i]);
+    for (int rep = 0; rep < 2; ++rep) {  // best-of-2 per pool size
+      const ShardRun r = qsm_shard_run(shard_seed);
+      if (!(r == serial_ref)) shard_ok = false;
+      commit_wall[i] =
+          (rep == 0) ? r.wall_ms : std::min(commit_wall[i], r.wall_ms);
+      const double d = degree26_wall_ms(deg26);
+      deg_wall[i] = (rep == 0) ? d : std::min(deg_wall[i], d);
+    }
+  }
+  pool.set_threads(session_threads);
+  if (!shard_ok) {
+    std::fprintf(stderr,
+                 "bench_hotpath: sharded commit DIVERGED from the serial "
+                 "path (cost or checksum)\n");
+    return 1;
+  }
+
+  const auto ratio = [](double base, double x) {
+    return base / std::max(1e-9, x);
+  };
+  const double shard_commit2 = ratio(commit_wall[0], commit_wall[1]);
+  const double shard_commit8 = ratio(commit_wall[0], commit_wall[2]);
+  const double shard_deg2 = ratio(deg_wall[0], deg_wall[1]);
+  const double shard_deg8 = ratio(deg_wall[0], deg_wall[2]);
+
+  pb::TextTable st({"sharded instance", "1 thr ms", "2 thr ms", "8 thr ms",
+                    "x2", "x8"});
+  st.add_row({"qsm commit p65536x4 (random writes)",
+              pb::TextTable::num(commit_wall[0], 1),
+              pb::TextTable::num(commit_wall[1], 1),
+              pb::TextTable::num(commit_wall[2], 1),
+              pb::TextTable::num(shard_commit2, 2),
+              pb::TextTable::num(shard_commit8, 2)});
+  st.add_row({"boolfn degree n=26 (chunked tier)",
+              pb::TextTable::num(deg_wall[0], 1),
+              pb::TextTable::num(deg_wall[1], 1),
+              pb::TextTable::num(deg_wall[2], 1),
+              pb::TextTable::num(shard_deg2, 2),
+              pb::TextTable::num(shard_deg8, 2)});
+  std::printf("%s(shard oracle: cost=%llu checksum=%llu identical on the "
+              "serial path and at every pool size)\n\n",
+              st.render().c_str(),
+              static_cast<unsigned long long>(serial_ref.cost),
+              static_cast<unsigned long long>(serial_ref.checksum));
+
+  session.record(pb::runtime::run_sweep(
+      session.runner(), "shard_speedup", session.next_base_seed(),
+      {{.key = "phase_commit/threads2",
+        .trials = 1,
+        .run = [shard_commit2](std::uint64_t) { return shard_commit2; }},
+       {.key = "phase_commit/threads8",
+        .trials = 1,
+        .run = [shard_commit8](std::uint64_t) { return shard_commit8; }},
+       {.key = "degree26/threads2",
+        .trials = 1,
+        .run = [shard_deg2](std::uint64_t) { return shard_deg2; }},
+       {.key = "degree26/threads8",
+        .trials = 1,
+        .run = [shard_deg8](std::uint64_t) { return shard_deg8; }}},
+      baseline));
+
+  if (min_shard > 0.0 &&
+      std::min(shard_commit8, shard_deg8) < min_shard) {
+    std::fprintf(stderr,
+                 "bench_hotpath: 8-thread shard speedup (commit %.2f, "
+                 "degree26 %.2f) below floor %.2f\n",
+                 shard_commit8, shard_deg8, min_shard);
     return 1;
   }
 

@@ -13,6 +13,10 @@
 // --jobs value. Every bench accepts:
 //
 //   --jobs N       worker threads (default: hardware concurrency)
+//   --threads N    intra-trial ParallelFor pool size (default: the
+//                  resolved --jobs value). Governs sharded phase commit
+//                  and the parallel BoolFn transforms; model costs are
+//                  bit-identical at any value (docs/PERF.md).
 //   --json [PATH]  machine-readable report (default BENCH_<name>.json):
 //                  per-trial costs, aggregates, wall time and the
 //                  speedup over a serial re-run of the same sweeps —
@@ -55,6 +59,7 @@
 #include "obs/telemetry.hpp"
 #include "runtime/bench_json.hpp"
 #include "runtime/harness_flags.hpp"
+#include "runtime/parallel_for.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sweep.hpp"
 #include "util/mathx.hpp"
@@ -111,6 +116,11 @@ class BenchSession {
     runner_ = std::make_unique<runtime::ExperimentRunner>(
         runtime::RunnerConfig{.jobs = flags.jobs});
     report_.jobs = runner_->jobs();
+    // One pool governs all intra-trial parallelism (sharded commit,
+    // BoolFn transforms); it follows --jobs unless --threads overrides.
+    runtime::ParallelFor::pool().set_threads(
+        flags.resolved_threads(runner_->jobs()));
+    report_.threads = runtime::ParallelFor::pool().threads();
     if (!json_path_.empty()) {
       telemetry_ = std::make_unique<obs::TelemetryObserver>(registry_);
       obs::install_process_telemetry(telemetry_.get());
@@ -166,11 +176,15 @@ class BenchSession {
       return 1;
     }
     f << runtime::to_json(report_);
+    char speedup[32] = "n/a";  // jobs==1 runs ARE the serial baseline
+    if (report_.jobs > 1)
+      std::snprintf(speedup, sizeof speedup, "%.2f",
+                    runtime::report_speedup(report_));
     std::fprintf(stderr,
-                 "bench: %s: jobs=%u sweeps=%zu speedup_vs_serial=%.2f "
-                 "deterministic=%s -> %s\n",
-                 report_.bench.c_str(), report_.jobs, report_.sweeps.size(),
-                 runtime::report_speedup(report_),
+                 "bench: %s: jobs=%u threads=%u sweeps=%zu "
+                 "speedup_vs_serial=%s deterministic=%s -> %s\n",
+                 report_.bench.c_str(), report_.jobs, report_.threads,
+                 report_.sweeps.size(), speedup,
                  runtime::report_deterministic(report_) ? "yes" : "NO",
                  json_path_.c_str());
     return runtime::report_deterministic(report_) ? 0 : 1;

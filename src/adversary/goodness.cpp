@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "runtime/parallel_for.hpp"
 #include "util/mathx.hpp"
 
 namespace parbounds {
@@ -69,6 +71,23 @@ void note(GoodnessReport& rep, bool cond, const std::string& what) {
   }
 }
 
+// Evaluate an independent per-entity quantity into a dense array over
+// the pool. The fold over the array stays serial in the callers, so the
+// violations vector keeps its exact historical order while the
+// expensive per-entity work (deg_states degree computations, Know
+// scans) fans out.
+template <class F>
+std::vector<double> per_entity(std::size_t n, F&& eval) {
+  std::vector<double> out(n);
+  const unsigned shards = parbounds::runtime::ParallelFor::shard_count(
+      n, /*grain=*/8, /*max_shards=*/8);
+  parbounds::runtime::ParallelFor::pool().for_shards(
+      n, shards, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) out[v] = eval(v);
+      });
+  return out;
+}
+
 }  // namespace
 
 GoodnessReport check_t_good_s5(const TraceAnalysis& ta, unsigned t,
@@ -77,16 +96,23 @@ GoodnessReport check_t_good_s5(const TraceAnalysis& ta, unsigned t,
   GoodnessReport rep;
   const double dt = s5_d(t, nu, mu);
   const double kt = s5_k(t, nu, mu);
-  for (std::size_t v = 0; v < ta.entities().size(); ++v) {
-    const double dg = ta.deg_states(v, t);
-    const double st = ta.states_count(v, t);
-    const double kn = static_cast<double>(ta.know(v, t).size());
-    rep.max_deg_states = std::max(rep.max_deg_states, dg);
-    rep.max_states = std::max(rep.max_states, st);
-    rep.max_know = std::max(rep.max_know, kn);
-    note(rep, dg <= dt, "deg(States) exceeds d_t");
-    note(rep, st <= kt, "|States| exceeds k_t");
-    note(rep, kn <= kt, "|Know| exceeds k_t");
+  const std::size_t ne = ta.entities().size();
+  const auto dgs = per_entity(ne, [&](std::size_t v) {
+    return static_cast<double>(ta.deg_states(v, t));
+  });
+  const auto sts = per_entity(ne, [&](std::size_t v) {
+    return static_cast<double>(ta.states_count(v, t));
+  });
+  const auto kns = per_entity(ne, [&](std::size_t v) {
+    return static_cast<double>(ta.know(v, t).size());
+  });
+  for (std::size_t v = 0; v < ne; ++v) {
+    rep.max_deg_states = std::max(rep.max_deg_states, dgs[v]);
+    rep.max_states = std::max(rep.max_states, sts[v]);
+    rep.max_know = std::max(rep.max_know, kns[v]);
+    note(rep, dgs[v] <= dt, "deg(States) exceeds d_t");
+    note(rep, sts[v] <= kt, "|States| exceeds k_t");
+    note(rep, kns[v] <= kt, "|Know| exceeds k_t");
   }
   for (unsigned j = 0; j < ta.free_count(); ++j) {
     const double ap = ta.aff_proc_count(j, t);
@@ -106,10 +132,13 @@ GoodnessReport check_t_good_s5(const TraceAnalysis& ta, unsigned t,
 GoodnessReport check_t_good_s7(const TraceAnalysis& ta, unsigned t,
                                double d_t) {
   GoodnessReport rep;
-  for (std::size_t v = 0; v < ta.entities().size(); ++v) {
-    const double kn = static_cast<double>(ta.know(v, t).size());
-    rep.max_know = std::max(rep.max_know, kn);
-    note(rep, kn <= d_t, "|Know| exceeds d_t");
+  const std::size_t ne = ta.entities().size();
+  const auto kns = per_entity(ne, [&](std::size_t v) {
+    return static_cast<double>(ta.know(v, t).size());
+  });
+  for (std::size_t v = 0; v < ne; ++v) {
+    rep.max_know = std::max(rep.max_know, kns[v]);
+    note(rep, kns[v] <= d_t, "|Know| exceeds d_t");
   }
   for (unsigned j = 0; j < ta.free_count(); ++j) {
     const double ap = ta.aff_proc_count(j, t);

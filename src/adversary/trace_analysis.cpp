@@ -1,10 +1,12 @@
 #include "adversary/trace_analysis.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <stdexcept>
 
 #include "boolfn/boolfn.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace parbounds {
 
@@ -240,24 +242,37 @@ unsigned TraceAnalysis::cert_max(std::size_t v, unsigned t) const {
   return best;
 }
 
-unsigned TraceAnalysis::aff_proc_count(unsigned j, unsigned t) const {
+// The per-entity membership tests are independent, so both Aff counts
+// fan the entity range out over the pool; per-shard tallies are summed
+// (commutative), so the counts are identical at any thread count.
+unsigned TraceAnalysis::aff_count(unsigned j, unsigned t,
+                                  bool cells) const {
+  constexpr unsigned kMaxShards = 8;
+  std::array<unsigned, kMaxShards> part{};
+  const unsigned shards =
+      runtime::ParallelFor::shard_count(entities_.size(), 16, kMaxShards);
+  runtime::ParallelFor::pool().for_shards(
+      entities_.size(), shards,
+      [&](unsigned s, std::uint64_t lo, std::uint64_t hi) {
+        unsigned c = 0;
+        for (std::size_t v = lo; v < hi; ++v) {
+          if (entities_[v].is_cell != cells) continue;
+          const auto k = know(v, t);
+          if (std::find(k.begin(), k.end(), j) != k.end()) ++c;
+        }
+        part[s] = c;
+      });
   unsigned c = 0;
-  for (std::size_t v = 0; v < entities_.size(); ++v) {
-    if (entities_[v].is_cell) continue;
-    const auto k = know(v, t);
-    if (std::find(k.begin(), k.end(), j) != k.end()) ++c;
-  }
+  for (const unsigned p : part) c += p;
   return c;
 }
 
+unsigned TraceAnalysis::aff_proc_count(unsigned j, unsigned t) const {
+  return aff_count(j, t, /*cells=*/false);
+}
+
 unsigned TraceAnalysis::aff_cell_count(unsigned j, unsigned t) const {
-  unsigned c = 0;
-  for (std::size_t v = 0; v < entities_.size(); ++v) {
-    if (!entities_[v].is_cell) continue;
-    const auto k = know(v, t);
-    if (std::find(k.begin(), k.end(), j) != k.end()) ++c;
-  }
-  return c;
+  return aff_count(j, t, /*cells=*/true);
 }
 
 std::uint64_t TraceAnalysis::rw_count(std::size_t v, unsigned t,

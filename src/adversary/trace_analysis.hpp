@@ -99,6 +99,7 @@ class TraceAnalysis {
  private:
   void run_refinement(std::uint32_t r, const GsmAlgorithm& algo,
                       const GsmConfig& cfg);
+  unsigned aff_count(unsigned j, unsigned t, bool cells) const;
 
   unsigned n_inputs_;
   PartialInputMap base_;

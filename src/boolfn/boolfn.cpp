@@ -2,13 +2,42 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 #include <string>
 
+#include "runtime/parallel_for.hpp"
+
 namespace parbounds {
 
 namespace {
+
+// Table size (in words or coefficients) below which a transform stays
+// serial: 2^14 words = n >= 20. Small tables are not worth a pool trip.
+constexpr std::size_t kParWords = std::size_t{1} << 14;
+constexpr unsigned kParShards = 8;
+
+// Fan a word/coefficient-range loop out over the process pool when the
+// table is large. Every call site either writes disjoint ranges or
+// combines per-shard results with exact commutative operations (integer
+// sums, maxima), so results are bit-identical at any thread count; the
+// partition itself is the pool's static one (pure function of n).
+template <class F>
+void for_ranges(std::size_t n, F&& body) {
+  auto& pool = runtime::ParallelFor::pool();
+  const unsigned shards =
+      runtime::ParallelFor::shard_count(n, kParWords, kParShards);
+  if (shards <= 1 || pool.threads() <= 1) {
+    body(0u, std::size_t{0}, n);
+    return;
+  }
+  pool.for_shards(n, shards,
+                  [&](unsigned s, std::uint64_t lo, std::uint64_t hi) {
+                    body(s, static_cast<std::size_t>(lo),
+                         static_cast<std::size_t>(hi));
+                  });
+}
 
 // Bit j of kVarMask[i] is set iff bit i of j is set: the truth table of
 // variable x_i restricted to one 64-entry word. These six masks drive
@@ -53,72 +82,117 @@ constexpr unsigned kDenseDegreeArity = 22;
 // parity of the low six bits (kOddParity), across words the parity of
 // the word index.
 std::int64_t signed_sum(std::span<const std::uint64_t> w) {
-  std::int64_t s = 0;
-  for (std::size_t wi = 0; wi < w.size(); ++wi) {
-    const std::uint64_t bits = w[wi];
-    if (bits == 0) continue;
-    const std::int64_t d = std::popcount(bits & ~kOddParity) -
-                           std::popcount(bits & kOddParity);
-    s += (std::popcount(wi) & 1u) ? -d : d;
-  }
-  return s;
-}
-
-// sum over x with x_i == 0 of (-1)^popcount(x) * f(x): the level-(n-1)
-// coefficient for S = {0..n-1} \ {i}, up to sign.
-std::int64_t signed_sum_without(std::span<const std::uint64_t> w, unsigned i) {
-  std::int64_t s = 0;
-  if (i < 6) {
-    const std::uint64_t keep = ~kVarMask[i];
-    for (std::size_t wi = 0; wi < w.size(); ++wi) {
-      const std::uint64_t bits = w[wi] & keep;
-      if (bits == 0) continue;
-      const std::int64_t d = std::popcount(bits & ~kOddParity) -
-                             std::popcount(bits & kOddParity);
-      s += (std::popcount(wi) & 1u) ? -d : d;
-    }
-  } else {
-    const std::size_t blk = std::size_t{1} << (i - 6);
-    for (std::size_t wi = 0; wi < w.size(); ++wi) {
-      if ((wi & blk) != 0) continue;
+  std::array<std::int64_t, kParShards> part{};
+  for_ranges(w.size(), [&](unsigned sh, std::size_t lo, std::size_t hi) {
+    std::int64_t s = 0;
+    for (std::size_t wi = lo; wi < hi; ++wi) {
       const std::uint64_t bits = w[wi];
       if (bits == 0) continue;
       const std::int64_t d = std::popcount(bits & ~kOddParity) -
                              std::popcount(bits & kOddParity);
       s += (std::popcount(wi) & 1u) ? -d : d;
     }
-  }
+    part[sh] = s;
+  });
+  std::int64_t s = 0;
+  for (const std::int64_t p : part) s += p;
+  return s;
+}
+
+// sum over x with x_i == 0 of (-1)^popcount(x) * f(x): the level-(n-1)
+// coefficient for S = {0..n-1} \ {i}, up to sign.
+std::int64_t signed_sum_without(std::span<const std::uint64_t> w, unsigned i) {
+  std::array<std::int64_t, kParShards> part{};
+  for_ranges(w.size(), [&](unsigned sh, std::size_t lo, std::size_t hi) {
+    std::int64_t s = 0;
+    if (i < 6) {
+      const std::uint64_t keep = ~kVarMask[i];
+      for (std::size_t wi = lo; wi < hi; ++wi) {
+        const std::uint64_t bits = w[wi] & keep;
+        if (bits == 0) continue;
+        const std::int64_t d = std::popcount(bits & ~kOddParity) -
+                               std::popcount(bits & kOddParity);
+        s += (std::popcount(wi) & 1u) ? -d : d;
+      }
+    } else {
+      const std::size_t blk = std::size_t{1} << (i - 6);
+      for (std::size_t wi = lo; wi < hi; ++wi) {
+        if ((wi & blk) != 0) continue;
+        const std::uint64_t bits = w[wi];
+        if (bits == 0) continue;
+        const std::int64_t d = std::popcount(bits & ~kOddParity) -
+                               std::popcount(bits & kOddParity);
+        s += (std::popcount(wi) & 1u) ? -d : d;
+      }
+    }
+    part[sh] = s;
+  });
+  std::int64_t s = 0;
+  for (const std::int64_t p : part) s += p;
   return s;
 }
 
 // In-place integer Moebius transform over t variables with unit-stride
-// inner loops: after the pass, c[S] = alpha_S.
+// inner loops: after the pass, c[S] = alpha_S. Each level performs
+// size/2 independent updates (the written index base+h+j has the h bit
+// set, the read index base+j has it clear and is never written this
+// level), so levels fan out over the pool as flattened index ranges —
+// every update happens exactly once, results bit-identical at any
+// thread count.
 void moebius_i32(std::vector<std::int32_t>& c, unsigned t) {
   const std::uint32_t size = std::uint32_t{1} << t;
-  for (std::uint32_t h = 1; h < size; h <<= 1)
-    for (std::uint32_t base = 0; base < size; base += 2 * h)
-      for (std::uint32_t j = 0; j < h; ++j)
-        c[base + h + j] -= c[base + j];
+  const std::uint64_t half = size / 2;
+  auto& pool = runtime::ParallelFor::pool();
+  if (half < kParWords || pool.threads() <= 1 ||
+      runtime::ParallelFor::in_pool_worker()) {
+    for (std::uint32_t h = 1; h < size; h <<= 1)
+      for (std::uint32_t base = 0; base < size; base += 2 * h)
+        for (std::uint32_t j = 0; j < h; ++j)
+          c[base + h + j] -= c[base + j];
+    return;
+  }
+  for (std::uint32_t h = 1; h < size; h <<= 1) {
+    pool.for_shards(half, kParShards,
+                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                      for (std::uint64_t k = lo; k < hi; ++k) {
+                        const auto j = static_cast<std::uint32_t>(k % h);
+                        const auto base =
+                            static_cast<std::uint32_t>(k / h) * 2 * h;
+                        c[base + h + j] -= c[base + j];
+                      }
+                    });
+  }
 }
 
 // Exact degree via the full dense transform (n <= kDenseDegreeArity).
+// Scatter (one word fills its own 64 coefficients), transform, and the
+// max-scan all shard over disjoint / commutatively-combined ranges.
 unsigned dense_degree(const BoolFn& f) {
   const std::uint32_t size = f.table_size();
   std::vector<std::int32_t> c(size, 0);
   const auto w = f.words();
-  for (std::size_t wi = 0; wi < w.size(); ++wi) {
-    std::uint64_t bits = w[wi];
-    while (bits != 0) {
-      const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
-      bits &= bits - 1;
-      c[(static_cast<std::uint32_t>(wi) << 6) | j] = 1;
+  for_ranges(w.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
+    for (std::size_t wi = lo; wi < hi; ++wi) {
+      std::uint64_t bits = w[wi];
+      while (bits != 0) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        c[(static_cast<std::uint32_t>(wi) << 6) | j] = 1;
+      }
     }
-  }
+  });
   moebius_i32(c, f.arity());
+  std::array<unsigned, kParShards> part{};
+  for_ranges(size, [&](unsigned sh, std::size_t lo, std::size_t hi) {
+    unsigned b = 0;
+    for (std::size_t m = lo; m < hi; ++m)
+      if (c[m] != 0)
+        b = std::max(b, static_cast<unsigned>(
+                            std::popcount(static_cast<std::uint32_t>(m))));
+    part[sh] = b;
+  });
   unsigned best = 0;
-  for (std::uint32_t m = 0; m < size; ++m)
-    if (c[m] != 0)
-      best = std::max(best, static_cast<unsigned>(std::popcount(m)));
+  for (const unsigned b : part) best = std::max(best, b);
   return best;
 }
 
@@ -129,40 +203,65 @@ unsigned dense_degree(const BoolFn& f) {
 // followed by a t-variable transform of g_Sh yields exactly the
 // coefficients alpha_{(Sl, Sh)}. Bounds: |g_Sh| <= 2^(n-t) <= 64 and
 // |alpha| <= 2^n <= 2^28, so int32 never overflows.
+// The high subsets are independent of one another, so they fan out over
+// the pool, each worker with its own slice buffer. `best` is a shared
+// monotone maximum: pruning against it is sound under any interleaving
+// (a skipped Sh could contribute at most hi_pc + t <= best <= final),
+// so the returned degree is exact — and identical — at any thread count.
 unsigned chunked_degree(const BoolFn& f) {
   const unsigned n = f.arity();
   const unsigned t = kDenseDegreeArity;
   const std::uint32_t hi_count = std::uint32_t{1} << (n - t);
   const std::size_t slice_words = std::size_t{1} << (t - 6);
   const auto w = f.words();
-  std::vector<std::int32_t> g(std::uint32_t{1} << t);
-  unsigned best = 0;
-  for (std::uint32_t sh = 0; sh < hi_count; ++sh) {
-    const unsigned hi_pc = static_cast<unsigned>(std::popcount(sh));
-    if (hi_pc + t <= best) continue;  // cannot beat the current maximum
-    std::fill(g.begin(), g.end(), 0);
-    std::uint32_t th = sh;
-    while (true) {
-      const std::int32_t sgn = (std::popcount(sh ^ th) & 1u) ? -1 : 1;
-      const std::uint64_t* slice = w.data() + std::size_t{th} * slice_words;
-      for (std::size_t wi = 0; wi < slice_words; ++wi) {
-        std::uint64_t bits = slice[wi];
-        while (bits != 0) {
-          const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
-          bits &= bits - 1;
-          g[(static_cast<std::uint32_t>(wi) << 6) | j] += sgn;
+  std::atomic<unsigned> best{0};
+  const auto run = [&](std::uint32_t sh_lo, std::uint32_t sh_hi) {
+    std::vector<std::int32_t> g(std::uint32_t{1} << t);
+    for (std::uint32_t sh = sh_lo; sh < sh_hi; ++sh) {
+      const unsigned hi_pc = static_cast<unsigned>(std::popcount(sh));
+      if (hi_pc + t <= best.load(std::memory_order_relaxed))
+        continue;  // cannot beat the current maximum
+      std::fill(g.begin(), g.end(), 0);
+      std::uint32_t th = sh;
+      while (true) {
+        const std::int32_t sgn = (std::popcount(sh ^ th) & 1u) ? -1 : 1;
+        const std::uint64_t* slice = w.data() + std::size_t{th} * slice_words;
+        for (std::size_t wi = 0; wi < slice_words; ++wi) {
+          std::uint64_t bits = slice[wi];
+          while (bits != 0) {
+            const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            g[(static_cast<std::uint32_t>(wi) << 6) | j] += sgn;
+          }
         }
+        if (th == 0) break;
+        th = (th - 1) & sh;
       }
-      if (th == 0) break;
-      th = (th - 1) & sh;
+      moebius_i32(g, t);  // runs inline inside a pool worker
+      unsigned local = 0;
+      for (std::uint32_t m = 0; m < g.size(); ++m)
+        if (g[m] != 0)
+          local = std::max(local,
+                           hi_pc + static_cast<unsigned>(std::popcount(m)));
+      unsigned cur = best.load(std::memory_order_relaxed);
+      while (local > cur &&
+             !best.compare_exchange_weak(cur, local,
+                                         std::memory_order_relaxed)) {
+      }
     }
-    moebius_i32(g, t);
-    for (std::uint32_t m = 0; m < g.size(); ++m)
-      if (g[m] != 0)
-        best = std::max(best,
-                        hi_pc + static_cast<unsigned>(std::popcount(m)));
+  };
+  auto& pool = runtime::ParallelFor::pool();
+  const unsigned shards = std::min<std::uint32_t>(hi_count, kParShards);
+  if (pool.threads() > 1 && shards > 1) {
+    pool.for_shards(hi_count, shards,
+                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                      run(static_cast<std::uint32_t>(lo),
+                          static_cast<std::uint32_t>(hi));
+                    });
+  } else {
+    run(0, hi_count);
   }
-  return best;
+  return best.load(std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -175,9 +274,15 @@ BoolFn::BoolFn(unsigned n) : n_(n) {
 }
 
 std::uint64_t BoolFn::count_ones() const {
+  std::array<std::uint64_t, kParShards> part{};
+  for_ranges(words_.size(), [&](unsigned s, std::size_t lo, std::size_t hi) {
+    std::uint64_t c = 0;
+    for (std::size_t wi = lo; wi < hi; ++wi)
+      c += static_cast<std::uint64_t>(std::popcount(words_[wi]));
+    part[s] = c;
+  });
   std::uint64_t c = 0;
-  for (const std::uint64_t w : words_)
-    c += static_cast<std::uint64_t>(std::popcount(w));
+  for (const std::uint64_t p : part) c += p;
   return c;
 }
 
@@ -274,8 +379,9 @@ BoolFn BoolFn::random(unsigned n, Rng& rng) {
 
 BoolFn BoolFn::operator~() const {
   BoolFn g(n_);
-  for (std::size_t wi = 0; wi < words_.size(); ++wi)
-    g.words_[wi] = ~words_[wi];
+  for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
+    for (std::size_t wi = lo; wi < hi; ++wi) g.words_[wi] = ~words_[wi];
+  });
   g.words_.back() &= tail_mask(n_);
   return g;
 }
@@ -290,24 +396,30 @@ void check_same_arity(const BoolFn& a, const BoolFn& b) {
 BoolFn BoolFn::operator&(const BoolFn& o) const {
   check_same_arity(*this, o);
   BoolFn g(n_);
-  for (std::size_t wi = 0; wi < words_.size(); ++wi)
-    g.words_[wi] = words_[wi] & o.words_[wi];
+  for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
+    for (std::size_t wi = lo; wi < hi; ++wi)
+      g.words_[wi] = words_[wi] & o.words_[wi];
+  });
   return g;
 }
 
 BoolFn BoolFn::operator|(const BoolFn& o) const {
   check_same_arity(*this, o);
   BoolFn g(n_);
-  for (std::size_t wi = 0; wi < words_.size(); ++wi)
-    g.words_[wi] = words_[wi] | o.words_[wi];
+  for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
+    for (std::size_t wi = lo; wi < hi; ++wi)
+      g.words_[wi] = words_[wi] | o.words_[wi];
+  });
   return g;
 }
 
 BoolFn BoolFn::operator^(const BoolFn& o) const {
   check_same_arity(*this, o);
   BoolFn g(n_);
-  for (std::size_t wi = 0; wi < words_.size(); ++wi)
-    g.words_[wi] = words_[wi] ^ o.words_[wi];
+  for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
+    for (std::size_t wi = lo; wi < hi; ++wi)
+      g.words_[wi] = words_[wi] ^ o.words_[wi];
+  });
   return g;
 }
 
@@ -318,20 +430,24 @@ BoolFn BoolFn::fix(unsigned i, bool v) const {
     // of the i-th bit so the variable becomes irrelevant.
     const unsigned s = 1u << i;
     const std::uint64_t hi = kVarMask[i];
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      if (v) {
-        const std::uint64_t t = words_[wi] & hi;
-        g.words_[wi] = t | (t >> s);
-      } else {
-        const std::uint64_t t = words_[wi] & ~hi;
-        g.words_[wi] = t | (t << s);
+    for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi2) {
+      for (std::size_t wi = lo; wi < hi2; ++wi) {
+        if (v) {
+          const std::uint64_t t = words_[wi] & hi;
+          g.words_[wi] = t | (t >> s);
+        } else {
+          const std::uint64_t t = words_[wi] & ~hi;
+          g.words_[wi] = t | (t << s);
+        }
       }
-    }
+    });
     g.words_.back() &= tail_mask(n_);
   } else {
     const std::size_t blk = std::size_t{1} << (i - 6);
-    for (std::size_t wi = 0; wi < words_.size(); ++wi)
-      g.words_[wi] = words_[v ? (wi | blk) : (wi & ~blk)];
+    for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi2) {
+      for (std::size_t wi = lo; wi < hi2; ++wi)
+        g.words_[wi] = words_[v ? (wi | blk) : (wi & ~blk)];
+    });
   }
   return g;
 }
@@ -380,28 +496,42 @@ unsigned gf2_degree(const BoolFn& f) {
   const unsigned n = f.arity();
   std::vector<std::uint64_t> w(f.words().begin(), f.words().end());
   // XOR zeta transform: the GF(2) Moebius transform is its own inverse
-  // and needs no subtraction, so it runs fully word-parallel.
+  // and needs no subtraction, so it runs fully word-parallel. The
+  // in-word levels are independent per word; a cross-word level writes
+  // only words with the blk bit set and reads only words with it clear,
+  // so word-range shards never race and every level is exact.
   for (unsigned i = 0; i < n && i < 6; ++i) {
     const unsigned s = 1u << i;
-    for (auto& x : w) x ^= (x << s) & kVarMask[i];
+    for_ranges(w.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
+      for (std::size_t wi = lo; wi < hi; ++wi)
+        w[wi] ^= (w[wi] << s) & kVarMask[i];
+    });
   }
   for (unsigned i = 6; i < n; ++i) {
     const std::size_t blk = std::size_t{1} << (i - 6);
-    for (std::size_t wi = 0; wi < w.size(); ++wi)
-      if ((wi & blk) != 0) w[wi] ^= w[wi ^ blk];
+    for_ranges(w.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
+      for (std::size_t wi = lo; wi < hi; ++wi)
+        if ((wi & blk) != 0) w[wi] ^= w[wi ^ blk];
+    });
   }
-  unsigned best = 0;
-  for (std::size_t wi = 0; wi < w.size(); ++wi) {
-    std::uint64_t bits = w[wi];
-    if (bits == 0) continue;
-    const unsigned hi = static_cast<unsigned>(std::popcount(wi));
-    if (hi + 6 <= best) continue;  // even six low bits cannot improve
-    while (bits != 0) {
-      const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
-      bits &= bits - 1;
-      best = std::max(best, hi + static_cast<unsigned>(std::popcount(j)));
+  std::array<unsigned, kParShards> part{};
+  for_ranges(w.size(), [&](unsigned sh, std::size_t lo, std::size_t hi2) {
+    unsigned b = 0;
+    for (std::size_t wi = lo; wi < hi2; ++wi) {
+      std::uint64_t bits = w[wi];
+      if (bits == 0) continue;
+      const unsigned hi = static_cast<unsigned>(std::popcount(wi));
+      if (hi + 6 <= b) continue;  // even six low bits cannot improve
+      while (bits != 0) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        b = std::max(b, hi + static_cast<unsigned>(std::popcount(j)));
+      }
     }
-  }
+    part[sh] = b;
+  });
+  unsigned best = 0;
+  for (const unsigned b : part) best = std::max(best, b);
   return best;
 }
 

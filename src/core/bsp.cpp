@@ -1,8 +1,10 @@
 #include "core/bsp.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/telemetry.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace parbounds {
 
@@ -51,21 +53,40 @@ const PhaseTrace& BspMachine::commit_superstep() {
   // time). Maxima are tracked as the counters rise, and the counters are
   // re-zeroed by a second pass over the same requests, so a superstep's
   // accounting costs O(#requests) with no hashing and no O(p) sweep.
+  // Large supersteps take the sharded scans over the same send stream
+  // (path picked by size alone; see phase_scan.hpp).
   std::uint64_t h = 0;
   std::uint64_t fan_in = 0;
-  for (const auto& s : sends_) {
-    h = std::max(h, ++send_cnt_[s.src]);
-    fan_in = std::max(fan_in, ++recv_cnt_[s.dst]);
+  const bool sharded =
+      sends_.size() >= detail::commit_shard_min_requests();
+  if (sharded) {
+    ph.commit_shards = detail::kCommitShards;
+    ssrc_.scan(sends_.size(),
+               [this](std::uint64_t i) { return sends_[i].src; });
+    sdst_.scan(sends_.size(),
+               [this](std::uint64_t i) { return sends_[i].dst; });
+    const auto merge_t0 = std::chrono::steady_clock::now();
+    fan_in = sdst_.max_run();
+    h = std::max(ssrc_.max_run(), fan_in);
+    ph.commit_merge_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_t0)
+            .count());
+  } else {
+    for (const auto& s : sends_) {
+      h = std::max(h, ++send_cnt_[s.src]);
+      fan_in = std::max(fan_in, ++recv_cnt_[s.dst]);
+    }
+    h = std::max(h, fan_in);
+    for (const auto& s : sends_) {
+      send_cnt_[s.src] = 0;
+      recv_cnt_[s.dst] = 0;
+    }
   }
-  h = std::max(h, fan_in);
   for (const auto& [proc, ops] : locals_) {
     work_cnt_[proc] += ops;
     st.m_op = std::max(st.m_op, work_cnt_[proc]);
     st.ops += ops;
-  }
-  for (const auto& s : sends_) {
-    send_cnt_[s.src] = 0;
-    recv_cnt_[s.dst] = 0;
   }
   for (const auto& [proc, ops] : locals_) work_cnt_[proc] = 0;
   ph.h = h;
@@ -82,11 +103,28 @@ const PhaseTrace& BspMachine::commit_superstep() {
   ph.cost = std::max({st.m_op, cfg_.g * h, cfg_.L});
   time_ += ph.cost;
 
-  for (auto& box : inboxes_) box.clear();
-  for (const auto& s : sends_) {
-    inboxes_[s.dst].push_back(s.msg);
-    if (cfg_.record_detail)
-      ph.events.push_back({s.src, s.dst, s.msg.value, true});
+  // Deliver: each destination's box receives its messages in issue
+  // order. The parallel path partitions destinations into ranges, so a
+  // box is cleared and appended to by exactly one shard — the delivered
+  // state is identical to the serial loop.
+  auto& pool = runtime::ParallelFor::pool();
+  if (sharded && !cfg_.record_detail && pool.threads() > 1) {
+    pool.for_shards(cfg_.p, detail::kCommitShards,
+                    [&](unsigned s, std::uint64_t plo, std::uint64_t phi) {
+                      obs::Span span(obs::process_tracer(), "commit.shard", s);
+                      for (std::uint64_t d = plo; d < phi; ++d)
+                        inboxes_[d].clear();
+                      for (const auto& sr : sends_)
+                        if (sr.dst >= plo && sr.dst < phi)
+                          inboxes_[sr.dst].push_back(sr.msg);
+                    });
+  } else {
+    for (auto& box : inboxes_) box.clear();
+    for (const auto& s : sends_) {
+      inboxes_[s.dst].push_back(s.msg);
+      if (cfg_.record_detail)
+        ph.events.push_back({s.src, s.dst, s.msg.value, true});
+    }
   }
 
   trace_.phases.push_back(std::move(ph));

@@ -28,6 +28,7 @@
 
 #include "core/cost.hpp"
 #include "core/observer.hpp"
+#include "core/phase_scan.hpp"
 #include "core/qsm.hpp"  // for ModelViolation
 #include "core/trace.hpp"
 
@@ -101,6 +102,10 @@ class BspMachine {
   std::vector<std::uint64_t> send_cnt_;
   std::vector<std::uint64_t> recv_cnt_;
   std::vector<std::uint64_t> work_cnt_;
+
+  // Sharded counterparts for large supersteps (see phase_scan.hpp).
+  detail::ShardedScan ssrc_{detail::kProcHistogramLimit};
+  detail::ShardedScan sdst_{detail::kProcHistogramLimit};
 };
 
 }  // namespace parbounds

@@ -1,10 +1,14 @@
 #include "core/crcw.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
+#include <optional>
 #include <string>
 
 #include "core/phase_scan.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace parbounds {
 
@@ -61,70 +65,163 @@ const PhaseTrace& CrcwMachine::commit_step() {
   st.reads = reads_.size();
   st.writes = writes_.size();
 
-  // The PRAM charges reads and writes jointly per processor: one
-  // proc-keyed histogram over both request kinds.
-  proc_hist_.reset();
-  for (const auto& r : reads_) proc_hist_.add(r.proc);
-  for (const auto& w : writes_) proc_hist_.add(w.proc);
-  st.m_rw = std::max(st.m_rw, proc_hist_.max_run());
+  // The PRAM charges reads and writes jointly per processor. Large
+  // steps take the sharded scans (path picked by size alone; see
+  // phase_scan.hpp for the bit-identical merge argument).
+  const std::uint64_t nr = reads_.size();
+  const bool sharded =
+      nr + writes_.size() >= detail::commit_shard_min_requests();
+  if (sharded) {
+    ph.commit_shards = detail::kCommitShards;
+    sproc_.scan(nr + writes_.size(), [&](std::uint64_t i) {
+      return i < nr ? reads_[i].proc : writes_[i - nr].proc;
+    });
+    sraddr_.scan(nr, [this](std::uint64_t i) { return reads_[i].addr; });
+    swaddr_.scan(writes_.size(),
+                 [this](std::uint64_t i) { return writes_[i].addr; });
+    const auto merge_t0 = std::chrono::steady_clock::now();
+    st.m_rw = std::max(st.m_rw, sproc_.max_run());
+    st.kappa_r = std::max(st.kappa_r, sraddr_.max_run());
+    st.kappa_w = std::max(st.kappa_w, swaddr_.max_run());
+    ph.commit_merge_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_t0)
+            .count());
+  } else {
+    proc_hist_.reset();
+    for (const auto& r : reads_) proc_hist_.add(r.proc);
+    for (const auto& w : writes_) proc_hist_.add(w.proc);
+    st.m_rw = std::max(st.m_rw, proc_hist_.max_run());
+
+    // Contention is recorded (for comparisons) but NOT charged. One
+    // histogram serves both directions, reset in between.
+    addr_hist_.reset();
+    for (const auto& r : reads_) addr_hist_.add(r.addr);
+    st.kappa_r = std::max(st.kappa_r, addr_hist_.max_run());
+    addr_hist_.reset();
+    for (const auto& w : writes_) addr_hist_.add(w.addr);
+    st.kappa_w = std::max(st.kappa_w, addr_hist_.max_run());
+  }
 
   local_scratch_.assign(locals_.begin(), locals_.end());
   const auto local_agg = detail::sort_max_run_sum(local_scratch_);
   st.m_op = std::max(st.m_op, local_agg.max_run);
   st.ops += local_agg.total;
 
-  // Contention is recorded (for comparisons) but NOT charged. One
-  // histogram serves both directions, reset in between.
-  addr_hist_.reset();
-  for (const auto& r : reads_) addr_hist_.add(r.addr);
-  st.kappa_r = std::max(st.kappa_r, addr_hist_.max_run());
-  addr_hist_.reset();
-  for (const auto& w : writes_) addr_hist_.add(w.addr);
-  st.kappa_w = std::max(st.kappa_w, addr_hist_.max_run());
-
   // A PRAM step: every processor does O(1) work; charging max(1, m_op)
   // keeps heavy local computation visible.
   ph.cost = std::max<std::uint64_t>(1, st.m_op);
   time_ += ph.cost;
 
-  // Reads see the pre-step memory.
+  // Reads see the pre-step memory. The parallel path partitions
+  // processors into ranges (each box is appended to by exactly one
+  // shard, in issue order — identical delivered state); strategy, not
+  // results, depends on the pool size.
+  auto& pool = runtime::ParallelFor::pool();
+  const bool par_apply = sharded && pool.threads() > 1;
   inboxes_.begin_phase();
-  for (const auto& r : reads_) {
-    const Word* cell = mem_.find(r.addr);
-    inboxes_.box(r.proc).push_back(cell == nullptr ? 0 : *cell);
+  bool delivered = false;
+  if (par_apply && sproc_.all_dense() &&
+      inboxes_.reserve_dense(sproc_.dense_extent())) {
+    pool.for_shards(sproc_.dense_extent(), detail::kCommitShards,
+                    [&](unsigned s, std::uint64_t plo, std::uint64_t phi) {
+                      obs::Span span(obs::process_tracer(), "commit.shard", s);
+                      for (const auto& r : reads_) {
+                        if (r.proc < plo || r.proc >= phi) continue;
+                        const Word* cell = mem_.find(r.addr);
+                        inboxes_.box(r.proc).push_back(cell ? *cell : 0);
+                      }
+                    });
+    delivered = true;
+  }
+  if (!delivered) {
+    for (const auto& r : reads_) {
+      const Word* cell = mem_.find(r.addr);
+      inboxes_.box(r.proc).push_back(cell == nullptr ? 0 : *cell);
+    }
   }
 
   // Resolve writes per rule over addr-sorted groups; within a group the
   // index component keeps issue order, so "last queued" and
-  // "first-queued tie-break" mean exactly what they did before.
+  // "first-queued tie-break" mean exactly what they did before. The
+  // (addr, issue index) pairs are distinct, so parallel_sort yields
+  // byte-identical order to std::sort.
   wgroup_scratch_.clear();
   for (std::uint32_t i = 0; i < writes_.size(); ++i)
     wgroup_scratch_.push_back({writes_[i].addr, i});
-  std::sort(wgroup_scratch_.begin(), wgroup_scratch_.end());
-  for (std::size_t lo = 0; lo < wgroup_scratch_.size();) {
-    std::size_t hi = lo;
-    while (hi < wgroup_scratch_.size() &&
-           wgroup_scratch_[hi].first == wgroup_scratch_[lo].first)
-      ++hi;
-    const WriteReq* win = &writes_[wgroup_scratch_[lo].second];
-    for (std::size_t j = lo + 1; j < hi; ++j) {
-      const WriteReq& w = writes_[wgroup_scratch_[j].second];
-      switch (cfg_.rule) {
-        case CrcwWriteRule::Common:
-          if (win->value != w.value)
-            throw ModelViolation("CRCW-Common: conflicting writes to cell " +
-                                 std::to_string(w.addr));
-          break;
-        case CrcwWriteRule::Arbitrary:
-          win = &w;  // last queued
-          break;
-        case CrcwWriteRule::Priority:
-          if (w.proc < win->proc) win = &w;
-          break;
+  runtime::parallel_sort(wgroup_scratch_, pool);
+
+  // A group's winner (and any Common conflict) is a pure function of the
+  // group, and a group lies wholly inside one address range — so the
+  // ranges resolve independently. To reproduce the serial loop exactly
+  // when Common conflicts, the parallel path detects first, then applies
+  // only the groups strictly below the smallest conflicting address
+  // (= the groups the serial loop applied before throwing).
+  const auto resolve_range = [&](std::uint64_t alo, std::uint64_t ahi,
+                                 bool apply) -> std::optional<Addr> {
+    auto it = std::lower_bound(
+        wgroup_scratch_.begin(), wgroup_scratch_.end(),
+        std::pair<Addr, std::uint32_t>{alo, 0});
+    std::size_t lo = static_cast<std::size_t>(it - wgroup_scratch_.begin());
+    while (lo < wgroup_scratch_.size() && wgroup_scratch_[lo].first < ahi) {
+      std::size_t hi = lo;
+      while (hi < wgroup_scratch_.size() &&
+             wgroup_scratch_[hi].first == wgroup_scratch_[lo].first)
+        ++hi;
+      const WriteReq* win = &writes_[wgroup_scratch_[lo].second];
+      for (std::size_t j = lo + 1; j < hi; ++j) {
+        const WriteReq& w = writes_[wgroup_scratch_[j].second];
+        switch (cfg_.rule) {
+          case CrcwWriteRule::Common:
+            if (win->value != w.value) return w.addr;  // smallest in range
+            break;
+          case CrcwWriteRule::Arbitrary:
+            win = &w;  // last queued
+            break;
+          case CrcwWriteRule::Priority:
+            if (w.proc < win->proc) win = &w;
+            break;
+        }
       }
+      if (apply) mem_.slot(win->addr) = win->value;
+      lo = hi;
     }
-    mem_.slot(win->addr) = win->value;
-    lo = hi;
+    return std::nullopt;
+  };
+
+  bool resolved = false;
+  if (par_apply && swaddr_.all_dense() &&
+      mem_.reserve_dense(swaddr_.dense_extent())) {
+    const std::uint64_t extent = swaddr_.dense_extent();
+    std::array<std::optional<Addr>, detail::kCommitShards> conflict{};
+    pool.for_shards(extent, detail::kCommitShards,
+                    [&](unsigned s, std::uint64_t alo, std::uint64_t ahi) {
+                      obs::Span span(obs::process_tracer(), "commit.shard", s);
+                      conflict[s] = resolve_range(
+                          alo, ahi, cfg_.rule != CrcwWriteRule::Common);
+                    });
+    std::optional<Addr> worst;
+    for (const auto& c : conflict)
+      if (c && (!worst || *c < *worst)) worst = c;
+    if (cfg_.rule == CrcwWriteRule::Common) {
+      // Apply the conflict-free prefix, exactly like the serial walk.
+      pool.for_shards(worst ? *worst : extent, detail::kCommitShards,
+                      [&](unsigned, std::uint64_t alo, std::uint64_t ahi) {
+                        resolve_range(alo, ahi, true);
+                      });
+      if (worst)
+        throw ModelViolation("CRCW-Common: conflicting writes to cell " +
+                             std::to_string(*worst));
+    }
+    resolved = true;
+  }
+  if (!resolved) {
+    // Serial walk: apply as we go; on a Common conflict the groups
+    // before the clashing address are already applied, matching the
+    // historical loop exactly.
+    if (const auto c = resolve_range(0, std::uint64_t(-1), true))
+      throw ModelViolation("CRCW-Common: conflicting writes to cell " +
+                           std::to_string(*c));
   }
 
   trace_.phases.push_back(std::move(ph));

@@ -94,6 +94,11 @@ class CrcwMachine {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> local_scratch_;
   std::vector<std::pair<Addr, std::uint32_t>> wgroup_scratch_;
 
+  // Sharded counterparts for large steps (see phase_scan.hpp).
+  detail::ShardedScan sproc_{detail::kProcHistogramLimit};
+  detail::ShardedScan sraddr_{detail::kAddrHistogramLimit};
+  detail::ShardedScan swaddr_{detail::kAddrHistogramLimit};
+
   static const std::vector<Word> kEmptyInbox;
 };
 

@@ -19,10 +19,14 @@
 //    groups of the QSM Random and CRCW resolution rules.
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "obs/span.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace parbounds::detail {
 
@@ -123,6 +127,10 @@ class KeyHistogram {
     return (key < cnt_.size()) ? cnt_[key] : 0;
   }
 
+  /// Extent of the dense counter array (largest key counted is below
+  /// this). Lets ShardedScan bound its key-range aggregation passes.
+  std::uint64_t dense_size() const { return cnt_.size(); }
+
   /// Max multiplicity over all keys. Sorts the spill, so call it after
   /// the round's add() calls.
   std::uint64_t max_run() {
@@ -153,5 +161,156 @@ class KeyHistogram {
 inline constexpr std::uint64_t kProcHistogramLimit = std::uint64_t{1} << 20;
 /// Dense-key bound for cell addresses (matches the CellStore default).
 inline constexpr std::uint64_t kAddrHistogramLimit = std::uint64_t{1} << 22;
+
+/// Shard count of every sharded commit scan. A fixed constant (not a
+/// thread-count function) so the request-slice boundaries — and with
+/// them every per-shard histogram — are identical in every pool
+/// configuration.
+inline constexpr unsigned kCommitShards = 8;
+
+/// Request-count floor below which a commit takes the serial scan path;
+/// at or above it the sharded path runs (at any thread count — with one
+/// thread the shards execute inline over the same boundaries, so the
+/// two paths are exercised by size, not by pool size). Mutable so tests
+/// and the bench_hotpath oracle can force either path; written only
+/// between runs, never during a commit.
+inline std::uint64_t& commit_shard_min_requests() {
+  static std::uint64_t v = std::uint64_t{1} << 16;
+  return v;
+}
+
+/// Sharded multiplicity counting: the parallel counterpart of one
+/// KeyHistogram pass. scan() slices the request index range [0, n) at
+/// the fixed kCommitShards boundaries and counts each slice into a
+/// private KeyHistogram; the aggregates then *merge* the shards with
+/// commutative operations only —
+///
+///   * per-key totals are the SUM of the per-shard counts (addition is
+///     commutative, so the total never depends on which worker counted
+///     which slice);
+///   * max_run() is the MAX over keys of those sums (dense keys via a
+///     key-range partitioned parallel pass, spilled keys via the sorted
+///     concatenation of the per-shard spill vectors);
+///   * min_common() is the MIN key counted by both of two scans (the
+///     queue-rule clash), again over summed counts.
+///
+/// Every aggregate is therefore bit-identical to the serial
+/// KeyHistogram result at any thread count. The per-shard histograms
+/// persist across phases exactly like the serial ones (reset is
+/// O(touched)).
+class ShardedScan {
+ public:
+  explicit ShardedScan(std::uint64_t dense_limit)
+      : dense_limit_(dense_limit) {}
+
+  /// Count key(i) for every i in [0, n) across kCommitShards private
+  /// histograms. KeyFn must be safe to call concurrently (a pure read
+  /// of the request buffers).
+  template <class KeyFn>
+  void scan(std::uint64_t n, KeyFn&& key) {
+    if (shards_.empty())
+      shards_.assign(kCommitShards, KeyHistogram(dense_limit_));
+    for (auto& h : shards_) h.reset();
+    spill_all_.clear();
+    spill_sorted_ = false;
+    auto& pool = runtime::ParallelFor::pool();
+    pool.for_shards(n, kCommitShards,
+                    [&](unsigned s, std::uint64_t lo, std::uint64_t hi) {
+                      obs::Span span(obs::process_tracer(), "commit.shard", s);
+                      KeyHistogram& h = shards_[s];
+                      for (std::uint64_t i = lo; i < hi; ++i) h.add(key(i));
+                    });
+  }
+
+  /// Max over all keys of the summed multiplicity. Runs one key-range
+  /// partitioned parallel pass over the dense arrays (partition bounds
+  /// derive from the data extent, not the thread count) plus a sorted
+  /// pass over the concatenated spills.
+  std::uint64_t max_run() {
+    const std::uint64_t extent = dense_extent();
+    std::uint64_t best = 0;
+    if (extent > 0) {
+      const unsigned parts = runtime::ParallelFor::shard_count(
+          extent, std::uint64_t{1} << 15, kCommitShards);
+      std::array<std::uint64_t, kCommitShards> part_max{};
+      runtime::ParallelFor::pool().for_shards(
+          extent, parts, [&](unsigned s, std::uint64_t lo, std::uint64_t hi) {
+            std::uint64_t m = 0;
+            for (std::uint64_t k = lo; k < hi; ++k) {
+              std::uint64_t tot = 0;
+              for (const auto& h : shards_) tot += h.count(k);
+              m = std::max(m, tot);
+            }
+            part_max[s] = m;
+          });
+      for (unsigned s = 0; s < parts; ++s) best = std::max(best, part_max[s]);
+    }
+    sort_spill();
+    return std::max(best, sort_max_run(spill_all_));
+  }
+
+  /// Smallest key counted by both scans, or nullopt — the read-xor-write
+  /// queue-rule clash, identical to the serial probe-plus-spill result.
+  static std::optional<std::uint64_t> min_common(ShardedScan& reads,
+                                                 ShardedScan& writes) {
+    std::optional<std::uint64_t> clash;
+    const std::uint64_t extent =
+        std::min(reads.dense_extent(), writes.dense_extent());
+    if (extent > 0) {
+      const unsigned parts = runtime::ParallelFor::shard_count(
+          extent, std::uint64_t{1} << 15, kCommitShards);
+      std::array<std::optional<std::uint64_t>, kCommitShards> part_min{};
+      runtime::ParallelFor::pool().for_shards(
+          extent, parts, [&](unsigned s, std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t k = lo; k < hi; ++k) {
+              std::uint64_t r = 0, w = 0;
+              for (const auto& h : reads.shards_) r += h.count(k);
+              if (r == 0) continue;
+              for (const auto& h : writes.shards_) w += h.count(k);
+              if (w == 0) continue;
+              part_min[s] = k;  // first hit in an ascending range = min
+              return;
+            }
+          });
+      for (unsigned s = 0; s < parts; ++s)
+        if (part_min[s] && (!clash || *part_min[s] < *clash))
+          clash = part_min[s];
+    }
+    reads.sort_spill();
+    writes.sort_spill();
+    if (const auto sp = first_common(reads.spill_all_, writes.spill_all_))
+      if (!clash || *sp < *clash) clash = *sp;
+    return clash;
+  }
+
+  /// Upper bound (exclusive) on the dense keys counted this round.
+  std::uint64_t dense_extent() const {
+    std::uint64_t e = 0;
+    for (const auto& h : shards_) e = std::max(e, h.dense_size());
+    return e;
+  }
+
+  /// True when every key this round was dense — the precondition the
+  /// engines need before key-range-partitioning a parallel apply pass.
+  bool all_dense() const {
+    for (const auto& h : shards_)
+      if (!h.spill().empty()) return false;
+    return true;
+  }
+
+ private:
+  void sort_spill() {
+    if (spill_sorted_) return;
+    for (const auto& h : shards_)
+      spill_all_.insert(spill_all_.end(), h.spill().begin(), h.spill().end());
+    std::sort(spill_all_.begin(), spill_all_.end());
+    spill_sorted_ = true;
+  }
+
+  std::uint64_t dense_limit_;
+  std::vector<KeyHistogram> shards_;
+  std::vector<std::uint64_t> spill_all_;
+  bool spill_sorted_ = false;
+};
 
 }  // namespace parbounds::detail

@@ -138,6 +138,14 @@ class QsmMachine {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> local_scratch_;
   std::vector<std::pair<Addr, std::uint32_t>> wgroup_scratch_;
 
+  // Sharded counterparts, used when the phase holds at least
+  // commit_shard_min_requests() requests; aggregates are bit-identical
+  // to the serial histograms (see phase_scan.hpp).
+  detail::ShardedScan sproc_r_{detail::kProcHistogramLimit};
+  detail::ShardedScan sproc_w_{detail::kProcHistogramLimit};
+  detail::ShardedScan sraddr_{detail::kAddrHistogramLimit};
+  detail::ShardedScan swaddr_{detail::kAddrHistogramLimit};
+
   static const std::vector<Word> kEmptyInbox;
 };
 

@@ -82,6 +82,19 @@ class CellStore {
 
   std::uint64_t dense_limit() const { return dense_limit_; }
 
+  /// Pre-grow the arena so every dense address below `hi` has a slot.
+  /// After this, concurrent slot() calls on *disjoint dense* addresses
+  /// below `hi` are race-free (vector storage is fixed; present_ flags
+  /// are distinct bytes). Returns true when the whole range is dense —
+  /// the precondition for a range-partitioned parallel write pass;
+  /// callers fall back to serial application when it is false.
+  bool reserve_dense(Addr hi) {
+    if (hi > dense_limit_) return false;
+    const auto need = static_cast<std::size_t>(hi);
+    if (need > dense_.size()) grow(need);
+    return true;
+  }
+
  private:
   void grow(std::size_t need) {
     std::size_t next = std::max<std::size_t>(need, dense_.size() * 2);
@@ -124,6 +137,26 @@ class InboxTable {
       e.first = epoch_;
     }
     return e.second;
+  }
+
+  /// Pre-grow the dense table so every processor id below `hi` has a
+  /// box, and stamp those boxes into the current phase's epoch (clearing
+  /// stale contents). After this, concurrent box() calls on *disjoint
+  /// dense* ids below `hi` neither grow nor epoch-clear — each touches
+  /// only its own Box — so a proc-range-partitioned parallel delivery
+  /// pass is race-free. Returns true when the whole range is dense;
+  /// callers deliver serially when it is false.
+  bool reserve_dense(ProcId hi) {
+    if (hi > kDenseLimit) return false;
+    const auto need = static_cast<std::size_t>(hi);
+    if (need > dense_.size()) grow(need);
+    for (std::size_t i = 0; i < need; ++i) {
+      if (epochs_[i] != epoch_) {
+        dense_[i].clear();
+        epochs_[i] = epoch_;
+      }
+    }
+    return true;
   }
 
   /// Box delivered to p in the current phase; nullptr when nothing was.

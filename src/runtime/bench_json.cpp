@@ -1,6 +1,11 @@
 #include "runtime/bench_json.hpp"
 
 #include <cstdio>
+#include <thread>
+
+#ifndef PARBOUNDS_BUILD_TYPE
+#define PARBOUNDS_BUILD_TYPE "unknown"
+#endif
 
 namespace parbounds::runtime {
 
@@ -59,6 +64,22 @@ double report_speedup(const BenchReport& report) {
   return serial / wall;
 }
 
+std::string host_json() {
+#if defined(__clang__)
+  const std::string compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  const std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+  const std::string compiler = "unknown";
+#endif
+  std::string out;
+  out += "{\"hardware_concurrency\":" +
+         std::to_string(std::thread::hardware_concurrency());
+  out += ",\"build_type\":\"" + json_escape(PARBOUNDS_BUILD_TYPE) + "\"";
+  out += ",\"compiler\":\"" + json_escape(compiler) + "\"}";
+  return out;
+}
+
 bool report_deterministic(const BenchReport& report) {
   for (const auto& s : report.sweeps)
     if (!s.deterministic) return false;
@@ -94,11 +115,15 @@ std::string to_json(const BenchReport& report, bool include_timing) {
   out += "{\"schema\":\"parbounds-bench-v1\"";
   out += ",\"bench\":\"" + json_escape(report.bench) + "\"";
   out += ",\"jobs\":" + std::to_string(report.jobs);
+  out += ",\"threads\":" + std::to_string(report.threads);
   out += ",\"seed\":" + std::to_string(report.seed);
   if (!report.metrics_json.empty()) out += ",\"metrics\":" + report.metrics_json;
   out += ",\"deterministic\":";
   out += report_deterministic(report) ? "true" : "false";
   if (include_timing) {
+    // Wall numbers only mean something relative to the machine and build
+    // that produced them, so the timed document carries the host block.
+    out += ",\"host\":" + host_json();
     double wall = 0.0, serial = 0.0;
     for (const auto& s : report.sweeps) {
       wall += s.wall_ms;
@@ -106,7 +131,10 @@ std::string to_json(const BenchReport& report, bool include_timing) {
     }
     out += ",\"wall_ms\":" + num(wall);
     out += ",\"serial_wall_ms\":" + num(serial);
-    out += ",\"speedup_vs_serial\":" + num(report_speedup(report));
+    // At jobs == 1 the run *is* the serial baseline; a ratio of the two
+    // would only report noise, so the key is omitted instead of lying.
+    if (report.jobs > 1)
+      out += ",\"speedup_vs_serial\":" + num(report_speedup(report));
   }
   out += ",\"sweeps\":[";
   for (std::size_t i = 0; i < report.sweeps.size(); ++i) {

@@ -24,6 +24,7 @@ namespace parbounds::runtime {
 struct BenchReport {
   std::string bench;        ///< binary name, e.g. "bench_table1_qsm_time"
   unsigned jobs = 1;        ///< worker threads used for the sweeps
+  unsigned threads = 1;     ///< intra-trial ParallelFor pool size
   std::uint64_t seed = 0;   ///< root seed the sweep base seeds derive from
   /// Pre-serialized MetricsSnapshot::to_json() captured after the last
   /// sweep (empty = no "metrics" key). Metric values derive from model
@@ -34,6 +35,12 @@ struct BenchReport {
 
 /// Total wall / serial-wall across sweeps; 1.0 when nothing was timed.
 double report_speedup(const BenchReport& report);
+
+/// The "host" provenance block: hardware_concurrency of the machine the
+/// bench ran on, the CMake build type baked into the library, and the
+/// compiler. Wall numbers are only comparable within a matching host
+/// block, so every timed report carries one.
+std::string host_json();
 
 /// True only if every sweep's serial baseline matched bit for bit.
 bool report_deterministic(const BenchReport& report);

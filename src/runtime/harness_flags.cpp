@@ -26,6 +26,23 @@ bool optional_path(const char* flag, int& i, int argc, char** argv,
   return false;
 }
 
+/// Parse the value of --threads (from `text`), enforcing N >= 1. There
+/// is deliberately no --threads 0: "auto" is spelled by omitting the
+/// flag (which follows --jobs), so a literal 0 is always a mistake.
+void set_threads(const char* text, HarnessFlags& out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || v == 0) {
+    out.error = true;
+    out.error_message = std::string("--threads ") + text +
+                        ": pool size must be a positive integer "
+                        "(omit --threads to follow --jobs)";
+    return;
+  }
+  out.threads = static_cast<unsigned>(v);
+  out.threads_set = true;
+}
+
 }  // namespace
 
 HarnessFlags parse_harness_flags(int& argc, char** argv,
@@ -45,6 +62,17 @@ HarnessFlags parse_harness_flags(int& argc, char** argv,
     } else if (arg.rfind("--jobs=", 0) == 0) {
       out.jobs =
           static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        out.error = true;
+        out.error_message = "--threads requires a value";
+        break;
+      }
+      set_threads(argv[++i], out);
+      if (out.error) break;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      set_threads(arg.c_str() + 10, out);
+      if (out.error) break;
     } else if (arg == "--json") {
       out.json_path = default_json_path;
       if (!optional_path("--json", i, argc, argv, out.json_path, out)) break;

@@ -5,6 +5,10 @@
 // Every bench binary accepts:
 //
 //   --jobs N        worker threads (0 = hardware concurrency)
+//   --threads N     intra-trial pool size (ParallelFor); defaults to
+//                   the resolved --jobs value. N must be >= 1: unlike
+//                   --jobs there is no "auto" spelling, so --threads 0
+//                   is rejected rather than silently remapped.
 //   --json [PATH]   parbounds-bench-v1 report; bare --json uses the
 //                   caller's default path
 //   --trace [PATH]  Chrome trace-event span export; bare --trace uses
@@ -23,15 +27,23 @@ namespace parbounds::runtime {
 
 struct HarnessFlags {
   unsigned jobs = 0;        ///< 0 = hardware concurrency
+  unsigned threads = 0;     ///< intra-trial pool size; 0 = follow jobs
+  bool threads_set = false; ///< --threads given explicitly
   std::string json_path;    ///< empty = no JSON report
   std::string trace_path;   ///< empty = no span trace
   bool error = false;
   std::string error_message;
+
+  /// The intra-trial pool size after applying the default: an explicit
+  /// --threads wins, otherwise the resolved --jobs value.
+  unsigned resolved_threads(unsigned resolved_jobs) const {
+    return threads_set ? threads : resolved_jobs;
+  }
 };
 
-/// Parse and strip --jobs/--json/--trace from argv. On error, `error`
-/// is set, `error_message` names the offending token, and argv is left
-/// partially compacted (callers should exit).
+/// Parse and strip --jobs/--threads/--json/--trace from argv. On error,
+/// `error` is set, `error_message` names the offending token, and argv
+/// is left partially compacted (callers should exit).
 HarnessFlags parse_harness_flags(int& argc, char** argv,
                                  const std::string& default_json_path,
                                  const std::string& default_trace_path);

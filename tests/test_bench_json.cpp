@@ -222,9 +222,9 @@ TEST(BenchJson, RequiredKeysAndTypes) {
   const auto doc =
       JsonParser(to_json(tiny_report(2, /*baseline=*/true))).parse();
   ASSERT_EQ(doc.kind, JsonValue::Object);
-  for (const char* key : {"schema", "bench", "jobs", "seed", "deterministic",
-                          "wall_ms", "serial_wall_ms", "speedup_vs_serial",
-                          "sweeps"})
+  for (const char* key : {"schema", "bench", "jobs", "threads", "seed",
+                          "deterministic", "host", "wall_ms",
+                          "serial_wall_ms", "speedup_vs_serial", "sweeps"})
     EXPECT_TRUE(doc.has(key)) << "missing top-level key " << key;
   EXPECT_EQ(doc.at("schema").string, "parbounds-bench-v1");
   EXPECT_EQ(doc.at("bench").string, "bench_schema_probe");
@@ -309,6 +309,31 @@ TEST(BenchJson, ReportAggregatesFollowSweeps) {
   EXPECT_FALSE(report_deterministic(report));
   const auto doc = JsonParser(to_json(report)).parse();
   EXPECT_FALSE(doc.at("deterministic").boolean);
+}
+
+TEST(BenchJson, HostBlockCarriesProvenanceOnlyWhenTimed) {
+  const auto doc = JsonParser(to_json(tiny_report(2, false))).parse();
+  ASSERT_TRUE(doc.has("host"));
+  const JsonValue& host = doc.at("host");
+  for (const char* key : {"hardware_concurrency", "build_type", "compiler"})
+    EXPECT_TRUE(host.has(key)) << "missing host key " << key;
+  EXPECT_GE(host.at("hardware_concurrency").number, 1.0);
+  EXPECT_FALSE(host.at("compiler").string.empty());
+  // The host describes the machine that produced the WALL numbers; the
+  // timing-free document (the cross-jobs byte-identity contract) must
+  // not carry it.
+  EXPECT_FALSE(JsonParser(to_json(tiny_report(2, false), false))
+                   .parse()
+                   .has("host"));
+}
+
+TEST(BenchJson, SpeedupOmittedWhenJobsIsOne) {
+  // A 1-job run IS the serial baseline; the ratio would be noise.
+  const auto serial = JsonParser(to_json(tiny_report(1, true))).parse();
+  EXPECT_FALSE(serial.has("speedup_vs_serial"));
+  EXPECT_TRUE(serial.has("wall_ms"));
+  const auto parallel = JsonParser(to_json(tiny_report(2, true))).parse();
+  EXPECT_TRUE(parallel.has("speedup_vs_serial"));
 }
 
 TEST(BenchJson, MetricsBlockSerializedOnlyWhenPopulated) {
@@ -408,6 +433,49 @@ TEST(HarnessFlags, EqualsFormForcesADashPath) {
   EXPECT_FALSE(f.error);
   EXPECT_EQ(f.json_path, "-out.json");
   EXPECT_EQ(f.trace_path, "-t.json");
+}
+
+TEST(HarnessFlags, ThreadsBothSpellingsAndDefault) {
+  Argv split({"bench", "--threads", "4"});
+  const auto a = split.parse();
+  EXPECT_FALSE(a.error);
+  EXPECT_TRUE(a.threads_set);
+  EXPECT_EQ(a.threads, 4u);
+  EXPECT_EQ(a.resolved_threads(/*resolved_jobs=*/2), 4u);  // explicit wins
+  EXPECT_EQ(split.argc, 1);
+
+  Argv equals({"bench", "--threads=8"});
+  EXPECT_EQ(equals.parse().resolved_threads(2), 8u);
+
+  Argv absent({"bench", "--jobs", "3"});
+  const auto d = absent.parse();
+  EXPECT_FALSE(d.threads_set);
+  EXPECT_EQ(d.resolved_threads(/*resolved_jobs=*/3), 3u);  // follows jobs
+}
+
+TEST(HarnessFlags, ThreadsZeroIsRejectedWithAClearError) {
+  // Unlike --jobs there is no "auto" spelling for the pool; a literal 0
+  // must fail loudly, not silently remap.
+  Argv split({"bench", "--threads", "0"});
+  Argv equals({"bench", "--threads=0"});
+  for (Argv* argv : {&split, &equals}) {
+    const auto f = argv->parse();
+    EXPECT_TRUE(f.error);
+    EXPECT_NE(f.error_message.find("--threads"), std::string::npos);
+    EXPECT_NE(f.error_message.find("positive"), std::string::npos)
+        << f.error_message;
+  }
+}
+
+TEST(HarnessFlags, ThreadsGarbageIsRejected) {
+  Argv argv({"bench", "--threads", "two"});
+  EXPECT_TRUE(argv.parse().error);
+  Argv trailing({"bench", "--threads=4x"});
+  EXPECT_TRUE(trailing.parse().error);
+  Argv missing({"bench", "--threads"});
+  const auto f = missing.parse();
+  EXPECT_TRUE(f.error);
+  EXPECT_NE(f.error_message.find("--threads"), std::string::npos);
 }
 
 TEST(HarnessFlags, UnrecognizedTokensSurviveInOrder) {
