@@ -123,7 +123,9 @@ class Qsm {
     w_count.reserve(writes_.size());
     for (const auto& r : reads_) ++r_count[r.proc];
     for (const auto& w : writes_) ++w_count[w.proc];
+    // DETLINT(det.unordered-iter): legacy replica; commutative max-reduction
     for (const auto& kv : r_count) st.m_rw = std::max(st.m_rw, kv.second);
+    // DETLINT(det.unordered-iter): legacy replica; commutative max-reduction
     for (const auto& kv : w_count) st.m_rw = std::max(st.m_rw, kv.second);
 
     std::unordered_map<pb::Addr, std::uint64_t> cell_r, cell_w;
@@ -131,10 +133,12 @@ class Qsm {
     cell_w.reserve(writes_.size());
     for (const auto& r : reads_) ++cell_r[r.addr];
     for (const auto& w : writes_) ++cell_w[w.addr];
+    // DETLINT(det.unordered-iter): legacy replica; commutative max-reduction
     for (const auto& kv : cell_r) {
       if (cell_w.count(kv.first) != 0) std::abort();  // streams are legal
       st.kappa_r = std::max(st.kappa_r, kv.second);
     }
+    // DETLINT(det.unordered-iter): legacy replica; commutative max-reduction
     for (const auto& kv : cell_w) st.kappa_w = std::max(st.kappa_w, kv.second);
 
     time_ += pb::phase_cost(pb::CostModel::Qsm, g_, st);

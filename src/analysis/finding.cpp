@@ -17,8 +17,6 @@ const char* severity_name(Severity s) {
   return "?";
 }
 
-namespace {
-
 // Rule ids and messages are ASCII identifiers / prose from this
 // repository; escape the JSON-significant characters anyway so the
 // output is always well-formed.
@@ -45,13 +43,17 @@ void append_json_string(std::string& out, const std::string& s) {
   out += '"';
 }
 
-}  // namespace
-
 std::string Finding::to_json() const {
   std::string out = "{\"rule\":";
   append_json_string(out, rule);
   out += ",\"severity\":";
   append_json_string(out, severity_name(severity));
+  if (!file.empty()) {
+    out += ",\"file\":";
+    append_json_string(out, file);
+    out += ",\"line\":";
+    out += std::to_string(line);
+  }
   out += ",\"phase\":";
   out += (phase == kNoPhase) ? "null" : std::to_string(phase);
   out += ",\"cells\":[";

@@ -20,6 +20,10 @@ enum class Severity : std::uint8_t { Note, Warning, Error };
 
 const char* severity_name(Severity s);
 
+/// Append `s` to `out` as a quoted JSON string literal, escaping the
+/// JSON-significant characters. Shared by the JSONL and SARIF writers.
+void append_json_string(std::string& out, const std::string& s);
+
 struct Finding {
   std::string rule;          ///< stable rule id, e.g. "race.rw-mix"
   Severity severity = Severity::Error;
@@ -27,10 +31,29 @@ struct Finding {
   std::vector<Addr> cells;   ///< cells (or BSP components) involved
   std::string message;
 
+  // Source-level findings (detlint) carry a location instead of a
+  // phase: repo-relative path plus a 1-based line. Trace-level rules
+  // leave both unset, and to_json() then omits them — parlint output
+  // is byte-identical to what it was before these fields existed.
+  std::string file;
+  std::uint32_t line = 0;
+
   static constexpr std::uint64_t kNoPhase = ~std::uint64_t{0};
 
-  /// One JSON object: {"rule":...,"severity":...,"phase":...,
-  /// "cells":[...],"message":...}. Trace-level findings emit phase:null.
+  Finding() = default;
+  // The trace-level shape every parlint rule constructs; source-level
+  // findings fill file/line afterwards (or via detlint's factory).
+  Finding(std::string rule_, Severity severity_, std::uint64_t phase_,
+          std::vector<Addr> cells_, std::string message_)
+      : rule(std::move(rule_)),
+        severity(severity_),
+        phase(phase_),
+        cells(std::move(cells_)),
+        message(std::move(message_)) {}
+
+  /// One JSON object: {"rule":...,"severity":...,["file":...,"line":...,]
+  /// "phase":...,"cells":[...],"message":...}. Trace-level findings emit
+  /// phase:null; findings without a source file omit file/line.
   std::string to_json() const;
 };
 

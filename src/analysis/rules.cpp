@@ -81,6 +81,7 @@ void RaceRule::check_phase(const ExecutionTrace& t, std::size_t index,
 
   // Queue rule (Section 2.1 / 2.2): reads XOR writes per cell per phase.
   std::vector<Addr> mixed;
+  // DETLINT(det.unordered-iter): membership collect; report sorts via sorted_keys
   for (const auto& [a, cnt] : c.readers) {
     (void)cnt;
     if (c.writers.count(a) != 0) mixed.push_back(a);
@@ -94,8 +95,10 @@ void RaceRule::check_phase(const ExecutionTrace& t, std::size_t index,
   // EREW discipline: no concurrent access at all.
   if (cfg.erew) {
     std::vector<Addr> contended;
+    // DETLINT(det.unordered-iter): membership collect; report sorts via sorted_keys
     for (const auto& [a, cnt] : c.readers)
       if (cnt > 1) contended.push_back(a);
+    // DETLINT(det.unordered-iter): membership collect; report sorts via sorted_keys
     for (const auto& [a, cnt] : c.writers)
       if (cnt > 1) contended.push_back(a);
     if (!contended.empty()) {
@@ -137,10 +140,12 @@ void KappaAuditRule::check_phase(const ExecutionTrace& t, std::size_t index,
       ++recv[e.addr];
     }
     std::uint64_t h = 0, fan_in = 0;
+    // DETLINT(det.unordered-iter): commutative max-reduction; order-independent
     for (const auto& [p, c] : sent) {
       (void)p;
       h = std::max(h, c);
     }
+    // DETLINT(det.unordered-iter): commutative max-reduction; order-independent
     for (const auto& [p, c] : recv) {
       (void)p;
       fan_in = std::max(fan_in, c);
@@ -161,26 +166,32 @@ void KappaAuditRule::check_phase(const ExecutionTrace& t, std::size_t index,
     if (t.kind == ExecutionTrace::Kind::Gsm) {
       // GSM counts reads and writes together per processor.
       std::unordered_map<ProcId, std::uint64_t> combined = proc_r;
+      // DETLINT(det.unordered-iter): commutative additive merge; order-independent
       for (const auto& [p, n] : proc_w) combined[p] += n;
+      // DETLINT(det.unordered-iter): commutative max-reduction; order-independent
       for (const auto& [p, n] : combined) {
         (void)p;
         m_rw = std::max(m_rw, n);
       }
     } else {
+      // DETLINT(det.unordered-iter): commutative max-reduction; order-independent
       for (const auto& [p, n] : proc_r) {
         (void)p;
         m_rw = std::max(m_rw, n);
       }
+      // DETLINT(det.unordered-iter): commutative max-reduction; order-independent
       for (const auto& [p, n] : proc_w) {
         (void)p;
         m_rw = std::max(m_rw, n);
       }
     }
     std::uint64_t kr = 1, kw = 1;
+    // DETLINT(det.unordered-iter): commutative max-reduction; order-independent
     for (const auto& [a, n] : c.readers) {
       (void)a;
       kr = std::max(kr, n);
     }
+    // DETLINT(det.unordered-iter): commutative max-reduction; order-independent
     for (const auto& [a, n] : c.writers) {
       (void)a;
       kw = std::max(kw, n);

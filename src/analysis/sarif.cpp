@@ -1,0 +1,105 @@
+#include "analysis/sarif.hpp"
+
+namespace parbounds::analysis {
+
+namespace {
+
+constexpr const char* kSchema =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json";
+
+// SARIF levels happen to share parlint's severity names.
+const char* level_name(Severity s) { return severity_name(s); }
+
+}  // namespace
+
+std::string to_sarif(const SarifTool& tool,
+                     const std::vector<Finding>& findings,
+                     const std::string& default_uri) {
+  // The driver's rule table: the caller's registry first, then any
+  // rule id seen in the findings but missing from it, in finding
+  // order — so ruleIndex below is always valid.
+  std::vector<SarifRuleDesc> rules = tool.rules;
+  auto rule_index = [&rules](const std::string& id) {
+    for (std::size_t i = 0; i < rules.size(); ++i)
+      if (rules[i].id == id) return i;
+    rules.push_back({id, ""});
+    return rules.size() - 1;
+  };
+  std::vector<std::size_t> indices;
+  indices.reserve(findings.size());
+  for (const Finding& f : findings) indices.push_back(rule_index(f.rule));
+
+  std::string out = "{\"$schema\":";
+  append_json_string(out, kSchema);
+  out += ",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":";
+  append_json_string(out, tool.name);
+  out += ",\"version\":";
+  append_json_string(out, tool.version);
+  if (!tool.information_uri.empty()) {
+    out += ",\"informationUri\":";
+    append_json_string(out, tool.information_uri);
+  }
+  out += ",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"id\":";
+    append_json_string(out, rules[i].id);
+    if (!rules[i].summary.empty()) {
+      out += ",\"shortDescription\":{\"text\":";
+      append_json_string(out, rules[i].summary);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}},\"results\":[";
+
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out += ',';
+    out += "{\"ruleId\":";
+    append_json_string(out, f.rule);
+    out += ",\"ruleIndex\":" + std::to_string(indices[i]);
+    out += ",\"level\":";
+    append_json_string(out, level_name(f.severity));
+    out += ",\"message\":{\"text\":";
+    append_json_string(out, f.message);
+    out += '}';
+
+    const std::string& uri = f.file.empty() ? default_uri : f.file;
+    if (!uri.empty()) {
+      out += ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+             "{\"uri\":";
+      append_json_string(out, uri);
+      out += '}';
+      if (f.line > 0)
+        out += ",\"region\":{\"startLine\":" + std::to_string(f.line) + '}';
+      out += "}}]";
+    }
+
+    // Trace-level context rides in the property bag.
+    if (f.phase != Finding::kNoPhase || !f.cells.empty()) {
+      out += ",\"properties\":{";
+      bool first = true;
+      if (f.phase != Finding::kNoPhase) {
+        out += "\"phase\":" + std::to_string(f.phase);
+        first = false;
+      }
+      if (!f.cells.empty()) {
+        if (!first) out += ',';
+        out += "\"cells\":[";
+        for (std::size_t c = 0; c < f.cells.size(); ++c) {
+          if (c != 0) out += ',';
+          out += std::to_string(f.cells[c]);
+        }
+        out += ']';
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}]}";
+  return out;
+}
+
+}  // namespace parbounds::analysis

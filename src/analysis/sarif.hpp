@@ -1,0 +1,41 @@
+#pragma once
+// SARIF 2.1.0 export for analysis findings, shared by parlint_cli and
+// detlint_cli. One run, one driver, one result per Finding — enough of
+// the standard for GitHub code scanning and other SARIF consumers,
+// with the repo's deterministic-output discipline: the same findings
+// always serialize to the same bytes.
+//
+// Location mapping: source-level findings (detlint) carry file/line
+// and become physicalLocations directly; trace-level findings
+// (parlint) have no source file, so the caller supplies a default
+// artifact URI (the trace path) and phase/cells travel in the result's
+// property bag.
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+
+namespace parbounds::analysis {
+
+struct SarifRuleDesc {
+  std::string id;
+  std::string summary;  ///< becomes shortDescription.text (may be empty)
+};
+
+struct SarifTool {
+  std::string name;
+  std::string version = "1.0.0";
+  std::string information_uri;
+  std::vector<SarifRuleDesc> rules;  ///< registry; extended on demand
+};
+
+/// Render `findings` as a complete SARIF 2.1.0 log (single run).
+/// Findings whose `file` is empty use `default_uri` as their artifact
+/// location; rule ids absent from `tool.rules` are appended to the
+/// driver's rule table automatically so every result has a ruleIndex.
+std::string to_sarif(const SarifTool& tool,
+                     const std::vector<Finding>& findings,
+                     const std::string& default_uri);
+
+}  // namespace parbounds::analysis

@@ -1,0 +1,413 @@
+#include "analysis/static/detlint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+
+namespace parbounds::analysis::det {
+
+namespace {
+
+// ----- registry ---------------------------------------------------------------
+
+const std::vector<DetRule>& registry() {
+  static const std::vector<DetRule> rules = {
+      {"det.wall-clock", Severity::Error,
+       "wall-clock read outside an annotated telemetry site"},
+      {"det.rng", Severity::Error,
+       "nondeterministic RNG outside the src/util seed plumbing"},
+      {"det.hw-concurrency", Severity::Error,
+       "machine-shape read that could leak into shard boundaries"},
+      {"det.unordered-iter", Severity::Error,
+       "iteration over an unordered container (unspecified order)"},
+      {"det.float-accum", Severity::Error,
+       "floating-point arithmetic in a commit/merge/shard path"},
+      {"det.atomic-order", Severity::Error,
+       "atomic operation without an explicit memory_order"},
+      {"det.bad-suppression", Severity::Error,
+       "malformed DETLINT suppression note"},
+      {"det.unused-suppression", Severity::Warning,
+       "DETLINT suppression note that absorbed no finding"},
+  };
+  return rules;
+}
+
+bool has_prefix(std::string_view s, std::string_view p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+
+bool any_of(std::string_view s, const char* const* names, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (s == names[i]) return true;
+  return false;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Finding make(const ScannedFile& f, const char* rule, Severity sev,
+             std::uint32_t line, std::string message) {
+  Finding fd;
+  fd.rule = rule;
+  fd.severity = sev;
+  fd.phase = Finding::kNoPhase;
+  fd.file = f.path;
+  fd.line = line;
+  fd.message = std::move(message);
+  return fd;
+}
+
+// ----- simple identifier rules ------------------------------------------------
+
+// det.wall-clock: the telemetry layer (src/obs/) reads clocks by
+// definition, and the bench harnesses measure wall time by design —
+// everywhere else a clock read needs a DETLINT annotation naming why
+// it cannot reach committed state.
+void rule_wall_clock(const ScannedFile& f, std::vector<Finding>& out) {
+  if (has_prefix(f.path, "src/obs/") || has_prefix(f.path, "bench/")) return;
+  static const char* const names[] = {"steady_clock", "system_clock",
+                                      "high_resolution_clock",
+                                      "clock_gettime", "gettimeofday"};
+  for (const Token& t : f.tokens)
+    if (t.ident && any_of(t.text, names, std::size(names)))
+      out.push_back(make(f, "det.wall-clock", Severity::Error, t.line,
+                         "wall-clock read ('" + t.text +
+                             "') outside an annotated telemetry site"));
+}
+
+// det.rng: all randomness must flow through the seeded Rng in
+// src/util/rng.* so trials are reproducible from (seed, config). The
+// libc names only fire as calls — `rand(` — so a local variable that
+// merely shadows the name stays quiet; the type-like names fire on
+// any mention.
+void rule_rng(const ScannedFile& f, std::vector<Finding>& out) {
+  if (has_prefix(f.path, "src/util/")) return;
+  static const char* const calls[] = {"rand", "srand", "drand48", "lrand48",
+                                      "mrand48"};
+  static const char* const types[] = {"random_device", "random_shuffle"};
+  const auto& tk = f.tokens;
+  for (std::size_t i = 0; i < tk.size(); ++i) {
+    if (!tk[i].ident) continue;
+    const bool call = any_of(tk[i].text, calls, std::size(calls)) &&
+                      i + 1 < tk.size() && tk[i + 1].text == "(";
+    if (call || any_of(tk[i].text, types, std::size(types)))
+      out.push_back(make(f, "det.rng", Severity::Error, tk[i].line,
+                         "nondeterministic RNG ('" + tk[i].text +
+                             "') outside the src/util seed plumbing"));
+  }
+}
+
+// det.hw-concurrency: shard boundaries and committed results must be
+// pure functions of the input; a machine-shape read feeding them would
+// make reports differ across hosts. Legitimate pool-size defaults get
+// an annotation stating they never reach shard arithmetic.
+void rule_hw_concurrency(const ScannedFile& f, std::vector<Finding>& out) {
+  static const char* const names[] = {"hardware_concurrency", "get_nprocs",
+                                      "sched_getaffinity", "sysconf"};
+  for (const Token& t : f.tokens)
+    if (t.ident && any_of(t.text, names, std::size(names)))
+      out.push_back(make(f, "det.hw-concurrency", Severity::Error, t.line,
+                         "machine-shape read ('" + t.text +
+                             "') — shard boundaries and committed state "
+                             "must not depend on host shape"));
+}
+
+// ----- det.unordered-iter -----------------------------------------------------
+
+bool unordered_container(std::string_view s) {
+  static const char* const names[] = {"unordered_map", "unordered_set",
+                                      "unordered_multimap",
+                                      "unordered_multiset"};
+  return any_of(s, names, std::size(names));
+}
+
+// Names declared (in this file) with an unordered container type.
+std::vector<std::string> collect_unordered_names(const ScannedFile& f) {
+  std::vector<std::string> vars;
+  const auto& tk = f.tokens;
+  for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
+    if (!tk[i].ident || !unordered_container(tk[i].text)) continue;
+    if (tk[i + 1].text != "<") continue;
+    // Match the template argument list ('>>' arrives as two '>').
+    std::size_t j = i + 2;
+    int depth = 1;
+    while (j < tk.size() && depth > 0) {
+      if (tk[j].text == "<") ++depth;
+      if (tk[j].text == ">") --depth;
+      if (tk[j].text == ";" || tk[j].text == "{") break;  // not a decl
+      ++j;
+    }
+    if (depth != 0) continue;
+    // Declarators: skip cv/ref tokens, then one identifier per comma.
+    while (j < tk.size()) {
+      while (j < tk.size() &&
+             (tk[j].text == "&" || tk[j].text == "*" || tk[j].text == "const"))
+        ++j;
+      if (j >= tk.size() || !tk[j].ident) break;
+      // `type name(` declares a function returning the container, not
+      // a variable — iteration through calls is cross-file dataflow
+      // and out of scope for the lexical tier.
+      if (j + 1 < tk.size() && tk[j + 1].text == "(") break;
+      vars.push_back(tk[j].text);
+      if (j + 1 < tk.size() && tk[j + 1].text == ",") {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+  }
+  return vars;
+}
+
+void rule_unordered_iter(const ScannedFile& f, std::vector<Finding>& out) {
+  const std::vector<std::string> vars = collect_unordered_names(f);
+  if (vars.empty()) return;
+  auto tracked = [&](const std::string& name) {
+    return std::find(vars.begin(), vars.end(), name) != vars.end();
+  };
+  const auto& tk = f.tokens;
+  for (std::size_t i = 0; i < tk.size(); ++i) {
+    // Range-for whose range expression names a tracked container.
+    if (tk[i].ident && tk[i].text == "for" && i + 1 < tk.size() &&
+        tk[i + 1].text == "(") {
+      std::size_t j = i + 2;
+      int depth = 1;
+      bool past_colon = false;
+      std::string hit;
+      while (j < tk.size() && depth > 0) {
+        if (tk[j].text == "(") ++depth;
+        if (tk[j].text == ")") --depth;
+        if (depth == 1 && tk[j].text == ":") past_colon = true;
+        if (past_colon && tk[j].ident && hit.empty() && tracked(tk[j].text))
+          hit = tk[j].text;
+        ++j;
+      }
+      if (!hit.empty())
+        out.push_back(make(f, "det.unordered-iter", Severity::Error,
+                           tk[i].line,
+                           "iteration over unordered container '" + hit +
+                               "' has unspecified order"));
+      continue;
+    }
+    // Explicit iterator walks: tracked.begin() / tracked->cbegin().
+    // `end()` alone is NOT a marker — `it == m.end()` is the find
+    // idiom and never walks the container.
+    if (tk[i].ident && tracked(tk[i].text) && i + 2 < tk.size() &&
+        (tk[i + 1].text == "." || tk[i + 1].text == "->")) {
+      static const char* const iters[] = {"begin", "cbegin"};
+      if (tk[i + 2].ident && any_of(tk[i + 2].text, iters, std::size(iters)))
+        out.push_back(make(f, "det.unordered-iter", Severity::Error,
+                           tk[i].line,
+                           "iteration over unordered container '" +
+                               tk[i].text + "' has unspecified order"));
+    }
+  }
+}
+
+// ----- det.float-accum --------------------------------------------------------
+
+// Merged/committed quantities must be exact integers combined with
+// commutative ops (docs/PERF.md); float math inside a function whose
+// name mentions commit/merge/shard is where a violation would live.
+bool commit_path_fn(const std::string& fn) {
+  const std::string l = lower(fn);
+  return l.find("commit") != std::string::npos ||
+         l.find("merge") != std::string::npos ||
+         l.find("shard") != std::string::npos;
+}
+
+void rule_float_accum(const ScannedFile& f, std::vector<Finding>& out) {
+  for (const Token& t : f.tokens) {
+    if (!t.ident || (t.text != "float" && t.text != "double")) continue;
+    if (t.fn == Token::kNoFn) continue;
+    const std::string& fn = f.functions[t.fn];
+    if (!commit_path_fn(fn)) continue;
+    out.push_back(make(f, "det.float-accum", Severity::Error, t.line,
+                       "floating-point type '" + t.text +
+                           "' in commit/merge path '" + fn + "'"));
+  }
+}
+
+// ----- det.atomic-order -------------------------------------------------------
+
+void rule_atomic_order(const ScannedFile& f, std::vector<Finding>& out) {
+  static const char* const ops[] = {
+      "load",      "store",     "exchange",
+      "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or",  "fetch_xor", "compare_exchange_weak",
+      "compare_exchange_strong"};
+  const auto& tk = f.tokens;
+  for (std::size_t i = 1; i + 1 < tk.size(); ++i) {
+    if (!tk[i].ident || !any_of(tk[i].text, ops, std::size(ops))) continue;
+    if (tk[i - 1].text != "." && tk[i - 1].text != "->") continue;
+    if (tk[i + 1].text != "(") continue;
+    std::size_t j = i + 2;
+    int depth = 1;
+    bool ordered = false;
+    while (j < tk.size() && depth > 0) {
+      if (tk[j].text == "(") ++depth;
+      if (tk[j].text == ")") --depth;
+      if (tk[j].ident && has_prefix(tk[j].text, "memory_order"))
+        ordered = true;
+      ++j;
+    }
+    if (!ordered)
+      out.push_back(make(f, "det.atomic-order", Severity::Error, tk[i].line,
+                         "atomic '" + tk[i].text +
+                             "' without an explicit memory_order"));
+  }
+}
+
+// ----- suppressions -----------------------------------------------------------
+
+bool valid_note(const Suppression& s) {
+  return known_rule(s.rule) && !s.reason.empty();
+}
+
+void apply_suppressions(ScannedFile& f, std::vector<Finding>& findings) {
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& fd : findings) {
+    bool absorbed = false;
+    for (Suppression& s : f.suppressions) {
+      if (!valid_note(s) || s.rule != fd.rule) continue;
+      if (s.line == fd.line || s.line + 1 == fd.line) {
+        s.used = true;
+        absorbed = true;
+      }
+    }
+    if (!absorbed) kept.push_back(std::move(fd));
+  }
+  findings = std::move(kept);
+}
+
+void note_findings(const ScannedFile& f, std::vector<Finding>& out) {
+  for (const Suppression& s : f.suppressions) {
+    if (s.rule.empty()) {
+      out.push_back(make(f, "det.bad-suppression", Severity::Error, s.line,
+                         "malformed DETLINT note: unterminated rule list"));
+      continue;
+    }
+    if (!known_rule(s.rule)) {
+      out.push_back(make(f, "det.bad-suppression", Severity::Error, s.line,
+                         "malformed DETLINT note: unknown rule '" + s.rule +
+                             "'"));
+      continue;
+    }
+    if (s.reason.empty()) {
+      out.push_back(make(f, "det.bad-suppression", Severity::Error, s.line,
+                         "malformed DETLINT note: missing reason for '" +
+                             s.rule + "'"));
+      continue;
+    }
+    if (!s.used)
+      out.push_back(make(f, "det.unused-suppression", Severity::Warning,
+                         s.line,
+                         "DETLINT note for '" + s.rule +
+                             "' absorbed no finding"));
+  }
+}
+
+}  // namespace
+
+// ----- public surface ---------------------------------------------------------
+
+const std::vector<DetRule>& rule_registry() { return registry(); }
+
+bool known_rule(std::string_view id) {
+  for (const DetRule& r : registry())
+    if (r.id == id) return true;
+  return false;
+}
+
+Report lint_file(ScannedFile& f) {
+  std::vector<Finding> findings;
+  rule_wall_clock(f, findings);
+  rule_rng(f, findings);
+  rule_hw_concurrency(f, findings);
+  rule_unordered_iter(f, findings);
+  rule_float_accum(f, findings);
+  rule_atomic_order(f, findings);
+
+  apply_suppressions(f, findings);
+  note_findings(f, findings);
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.message < b.message;
+                   });
+  Report r;
+  r.findings = std::move(findings);
+  return r;
+}
+
+Baseline Baseline::parse(std::string_view text) {
+  Baseline b;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string rule, path, count;
+    if (!(fields >> rule)) continue;  // blank / comment-only line
+    std::string extra;
+    if (!(fields >> path >> count) || (fields >> extra)) {
+      b.errors.push_back("line " + std::to_string(lineno) +
+                         ": expected 'rule path count'");
+      continue;
+    }
+    if (!known_rule(rule)) {
+      b.errors.push_back("line " + std::to_string(lineno) +
+                         ": unknown rule '" + rule + "'");
+      continue;
+    }
+    std::uint64_t n = 0;
+    try {
+      n = std::stoull(count);
+    } catch (const std::exception&) {
+      b.errors.push_back("line " + std::to_string(lineno) +
+                         ": bad count '" + count + "'");
+      continue;
+    }
+    if (n == 0) {
+      b.errors.push_back("line " + std::to_string(lineno) +
+                         ": count must be positive");
+      continue;
+    }
+    b.allow[{rule, path}] += n;
+  }
+  return b;
+}
+
+BaselineOutcome apply_baseline(Report& r, const Baseline& b) {
+  BaselineOutcome out;
+  auto remaining = b.allow;
+  std::vector<Finding> kept;
+  kept.reserve(r.findings.size());
+  for (Finding& f : r.findings) {
+    const auto it = remaining.find({f.rule, f.file});
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      ++out.absorbed;
+      continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  r.findings = std::move(kept);
+  for (const auto& [key, left] : remaining)
+    if (left > 0)
+      out.stale.push_back(key.first + " " + key.second + " (" +
+                          std::to_string(left) + " unused allowance(s))");
+  return out;
+}
+
+}  // namespace parbounds::analysis::det

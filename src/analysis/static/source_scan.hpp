@@ -1,0 +1,62 @@
+#pragma once
+// detlint source scanner: a lightweight, preprocessor-aware lexical
+// pass over the repository's own C++ sources (no libclang).
+//
+// The scanner turns a translation unit into a flat token stream that
+// the detlint rules (analysis/static/detlint.hpp) pattern-match:
+//
+//   * comments, string/char literals (incl. raw strings) and
+//     preprocessor directives are stripped — a clock name inside a
+//     log message or an #include can never fire a rule;
+//   * every token carries its 1-based source line;
+//   * each token is attributed to its enclosing function via a
+//     ctags-style heuristic (identifier before the parameter list of
+//     the nearest named `{...}` block) so rules can scope to
+//     commit/merge/shard paths;
+//   * `// DETLINT(rule.id): reason` suppression comments are parsed
+//     into Suppression records — the linter matches them against
+//     findings on the same or the following line and reports both
+//     malformed and unused notes.
+//
+// The pass is deliberately lexical: it cannot follow aliases
+// (`using Clock = std::chrono::steady_clock;` is one finding at the
+// alias, not one per use) or cross-file dataflow. docs/ANALYSIS.md
+// documents the contract and its limits.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parbounds::analysis::det {
+
+struct Token {
+  static constexpr std::uint32_t kNoFn = ~std::uint32_t{0};
+
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based source line
+  bool ident = false;      ///< identifier/keyword vs. punctuation
+  std::uint32_t fn = kNoFn;  ///< index into ScannedFile::functions
+};
+
+/// One `DETLINT(rule): reason` note, parsed out of a comment.
+struct Suppression {
+  std::uint32_t line = 0;  ///< line the comment starts on
+  std::string rule;        ///< rule id inside the parentheses
+  std::string reason;      ///< text after the colon, trimmed
+  bool used = false;       ///< set by the linter when it absorbs a finding
+};
+
+struct ScannedFile {
+  std::string path;  ///< as reported in findings (repo-relative)
+  std::vector<Token> tokens;
+  std::vector<std::string> functions;  ///< names referenced by Token::fn
+  std::vector<Suppression> suppressions;
+};
+
+/// Lex `text` into a ScannedFile. Never throws on malformed input —
+/// an unterminated comment or literal simply ends the token stream,
+/// mirroring how a compiler would already have rejected the file.
+ScannedFile scan_source(std::string path, std::string_view text);
+
+}  // namespace parbounds::analysis::det

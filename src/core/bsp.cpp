@@ -65,11 +65,13 @@ const PhaseTrace& BspMachine::commit_superstep() {
                [this](std::uint64_t i) { return sends_[i].src; });
     sdst_.scan(sends_.size(),
                [this](std::uint64_t i) { return sends_[i].dst; });
+    // DETLINT(det.wall-clock): merge_ns telemetry exception (docs/PERF.md)
     const auto merge_t0 = std::chrono::steady_clock::now();
     fan_in = sdst_.max_run();
     h = std::max(ssrc_.max_run(), fan_in);
     ph.commit_merge_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
+            // DETLINT(det.wall-clock): merge_ns telemetry exception (docs/PERF.md)
             std::chrono::steady_clock::now() - merge_t0)
             .count());
   } else {

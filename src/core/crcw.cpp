@@ -79,12 +79,14 @@ const PhaseTrace& CrcwMachine::commit_step() {
     sraddr_.scan(nr, [this](std::uint64_t i) { return reads_[i].addr; });
     swaddr_.scan(writes_.size(),
                  [this](std::uint64_t i) { return writes_[i].addr; });
+    // DETLINT(det.wall-clock): merge_ns telemetry exception (docs/PERF.md)
     const auto merge_t0 = std::chrono::steady_clock::now();
     st.m_rw = std::max(st.m_rw, sproc_.max_run());
     st.kappa_r = std::max(st.kappa_r, sraddr_.max_run());
     st.kappa_w = std::max(st.kappa_w, swaddr_.max_run());
     ph.commit_merge_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
+            // DETLINT(det.wall-clock): merge_ns telemetry exception (docs/PERF.md)
             std::chrono::steady_clock::now() - merge_t0)
             .count());
   } else {

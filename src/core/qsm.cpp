@@ -94,6 +94,7 @@ const PhaseTrace& QsmMachine::commit_phase() {
                  [this](std::uint64_t i) { return reads_[i].addr; });
     swaddr_.scan(writes_.size(),
                  [this](std::uint64_t i) { return writes_[i].addr; });
+    // DETLINT(det.wall-clock): merge_ns telemetry exception (docs/PERF.md)
     const auto merge_t0 = std::chrono::steady_clock::now();
     st.m_rw = std::max({st.m_rw, sproc_r_.max_run(), sproc_w_.max_run()});
     st.kappa_r = std::max(st.kappa_r, sraddr_.max_run());
@@ -101,6 +102,7 @@ const PhaseTrace& QsmMachine::commit_phase() {
     clash = detail::ShardedScan::min_common(sraddr_, swaddr_);
     ph.commit_merge_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
+            // DETLINT(det.wall-clock): merge_ns telemetry exception (docs/PERF.md)
             std::chrono::steady_clock::now() - merge_t0)
             .count());
   } else {

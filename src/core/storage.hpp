@@ -77,6 +77,7 @@ class CellStore {
   void for_each(F&& f) const {
     for (std::size_t i = 0; i < dense_.size(); ++i)
       if (present_[i] != 0) f(static_cast<Addr>(i), dense_[i]);
+    // DETLINT(det.unordered-iter): order documented unspecified; callers sort
     for (const auto& [a, c] : sparse_) f(a, c);
   }
 

@@ -74,6 +74,7 @@ std::string host_json() {
 #endif
   std::string out;
   out += "{\"hardware_concurrency\":" +
+         // DETLINT(det.hw-concurrency): provenance record in bench JSON only
          std::to_string(std::thread::hardware_concurrency());
   out += ",\"build_type\":\"" + json_escape(PARBOUNDS_BUILD_TYPE) + "\"";
   out += ",\"compiler\":\"" + json_escape(compiler) + "\"}";

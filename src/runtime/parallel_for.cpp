@@ -106,6 +106,7 @@ ParallelFor& ParallelFor::pool() {
 
 void ParallelFor::set_threads(unsigned t) {
   if (t == 0) {
+    // DETLINT(det.hw-concurrency): default pool size; shards stay n-derived
     t = std::thread::hardware_concurrency();
     if (t == 0) t = 1;
   }

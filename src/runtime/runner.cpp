@@ -27,6 +27,7 @@ WorkerScope::~WorkerScope() { t_in_worker = false; }
 }  // namespace detail
 
 ExperimentRunner::ExperimentRunner(RunnerConfig cfg) : jobs_(cfg.jobs) {
+  // DETLINT(det.hw-concurrency): default worker count; results are pool-invariant
   if (jobs_ == 0) jobs_ = std::max(1u, std::thread::hardware_concurrency());
 }
 

@@ -10,6 +10,7 @@ namespace parbounds::runtime {
 
 namespace {
 
+// DETLINT(det.wall-clock): wall_ms telemetry only; never enters results
 using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {

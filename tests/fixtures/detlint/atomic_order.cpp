@@ -1,0 +1,13 @@
+// Fixture: det.atomic-order — atomic operations relying on the
+// implicit seq_cst default. The explicitly ordered pair stays quiet.
+#include <atomic>
+
+int drain(std::atomic<int>& n) {
+  n.store(0);
+  return n.load();
+}
+
+int drain_ordered(std::atomic<int>& n) {
+  n.store(0, std::memory_order_release);
+  return n.load(std::memory_order_acquire);
+}

@@ -1,0 +1,12 @@
+// Fixture: det.bad-suppression — malformed notes are findings, and an
+// invalid note absorbs nothing, so the underlying finding survives.
+#include <thread>
+
+// DETLINT(det.no-such-rule): suppressing with an unknown rule id
+unsigned a() { return std::thread::hardware_concurrency(); }
+
+// DETLINT(det.hw-concurrency)
+unsigned b() { return std::thread::hardware_concurrency(); }
+
+// DETLINT(det.rng — an unterminated rule list
+int c() { return 0; }

@@ -1,0 +1,16 @@
+// Fixture: a clean file. Ordered containers, no clocks outside the
+// annotated site, and a suppression that is actually used — detlint
+// must report nothing at all.
+#include <chrono>
+#include <map>
+
+unsigned long total(const std::map<int, unsigned long>& m) {
+  unsigned long sum = 0;
+  for (const auto& kv : m) sum += kv.second;
+  return sum;
+}
+
+long long stamp() {
+  // DETLINT(det.wall-clock): fixture telemetry site; never committed
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,16 @@
+// Fixture: det.float-accum — floating-point types inside functions
+// whose names mark them as commit/merge/shard paths. The same math in
+// elsewhere() is out of scope for the rule and stays quiet.
+
+double merge_cost(long a, long b) {
+  double total = 0.0;
+  total += static_cast<double>(a + b);
+  return total;
+}
+
+int commit_round(int x) {
+  float scale = 0.5F;
+  return static_cast<int>(scale) * x;
+}
+
+double elsewhere(double a) { return a * 2.0; }

@@ -1,0 +1,5 @@
+// Fixture: det.hw-concurrency — a machine-shape read with no
+// annotation saying why it cannot reach shard arithmetic.
+#include <thread>
+
+unsigned pool_default() { return std::thread::hardware_concurrency(); }

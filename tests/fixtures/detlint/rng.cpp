@@ -1,0 +1,12 @@
+// Fixture: det.rng — nondeterministic randomness outside the src/util
+// seed plumbing. random_device fires on mention, rand only as a call;
+// a parameter that merely shadows the libc name stays quiet.
+#include <cstdlib>
+#include <random>
+
+int noise() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+int quiet(int rand) { return rand; }

@@ -1,0 +1,20 @@
+// Fixture: det.unordered-iter — walking an unordered container. The
+// range-for and the explicit begin() walk are flagged; the find idiom
+// (comparing against end()) never iterates and stays quiet.
+#include <unordered_map>
+
+using Counts = int;  // keep the fixture self-contained
+
+unsigned long total(const std::unordered_map<int, unsigned long>& m) {
+  unsigned long sum = 0;
+  for (const auto& kv : m) sum += kv.second;
+  return sum;
+}
+
+int first_key(const std::unordered_map<int, unsigned long>& m) {
+  return m.begin()->first;
+}
+
+bool has(const std::unordered_map<int, unsigned long>& m, int k) {
+  return m.find(k) != m.end();
+}

@@ -1,0 +1,7 @@
+// Fixture: det.unused-suppression — a well-formed note whose finding
+// no longer exists must itself be reported, so annotations cannot rot.
+
+int identity(int x) {
+  // DETLINT(det.wall-clock): there is no clock read here any more
+  return x;
+}

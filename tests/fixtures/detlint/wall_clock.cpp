@@ -1,0 +1,9 @@
+// Fixture: det.wall-clock — clock reads outside an annotated
+// telemetry site. Both chrono clocks below must be flagged.
+#include <chrono>
+
+long long stamp() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::system_clock::now();
+  return (t1.time_since_epoch() - t0.time_since_epoch()).count();
+}

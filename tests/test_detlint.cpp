@@ -1,0 +1,262 @@
+// detlint: golden-fixture tests for every rule, suppression and
+// baseline semantics, and the SARIF 2.1.0 exporter shared with
+// parlint_cli.
+//
+// The golden tests scan each fixture under tests/fixtures/detlint/
+// with its bare filename as the path and require the JSONL report to
+// match the checked-in .expected file byte for byte — the same bytes
+// detlint_cli prints for that file, so the CLI and the library cannot
+// drift apart silently.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/sarif.hpp"
+#include "analysis/static/detlint.hpp"
+#include "analysis/static/source_scan.hpp"
+
+namespace det = parbounds::analysis::det;
+using parbounds::analysis::Finding;
+using parbounds::analysis::Report;
+using parbounds::analysis::SarifTool;
+using parbounds::analysis::Severity;
+using parbounds::analysis::to_sarif;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string lint_fixture(const std::string& name) {
+  const std::string dir = DETLINT_FIXTURE_DIR;
+  det::ScannedFile f = det::scan_source(name, slurp(dir + "/" + name));
+  return det::lint_file(f).to_jsonl();
+}
+
+std::string expected_for(const std::string& stem) {
+  const std::string dir = DETLINT_FIXTURE_DIR;
+  return slurp(dir + "/" + stem + ".expected");
+}
+
+class DetlintGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DetlintGolden, MatchesExpectedBytes) {
+  const std::string stem = GetParam();
+  EXPECT_EQ(lint_fixture(stem + ".cpp"), expected_for(stem));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, DetlintGolden,
+                         ::testing::Values("wall_clock", "rng",
+                                           "hw_concurrency", "unordered_iter",
+                                           "float_accum", "atomic_order",
+                                           "bad_suppression",
+                                           "unused_suppression", "clean_ok"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// Every rule id in the registry resolves; det.unused-suppression is
+// the only warning (a rotted note must not fail the gate by itself).
+TEST(DetlintRegistry, StableRuleSet) {
+  const auto& rules = det::rule_registry();
+  ASSERT_EQ(rules.size(), 8u);
+  for (const auto& r : rules) {
+    EXPECT_TRUE(det::known_rule(r.id)) << r.id;
+    EXPECT_FALSE(r.summary.empty()) << r.id;
+    if (r.id == "det.unused-suppression")
+      EXPECT_EQ(r.severity, Severity::Warning);
+    else
+      EXPECT_EQ(r.severity, Severity::Error) << r.id;
+  }
+  EXPECT_FALSE(det::known_rule("det.no-such-rule"));
+}
+
+// A note covers its own line and the line directly below — nothing
+// further, so one annotation cannot blanket a whole function.
+TEST(DetlintSuppression, CoversSameLineAndLineBelow) {
+  const char* same =
+      "unsigned f() { return hardware_concurrency(); } "
+      "// DETLINT(det.hw-concurrency): same-line note\n";
+  det::ScannedFile fa = det::scan_source("a.cpp", same);
+  EXPECT_TRUE(det::lint_file(fa).clean());
+
+  const char* below =
+      "// DETLINT(det.hw-concurrency): note above the read\n"
+      "unsigned f() { return hardware_concurrency(); }\n";
+  det::ScannedFile fb = det::scan_source("b.cpp", below);
+  EXPECT_TRUE(det::lint_file(fb).clean());
+
+  const char* too_far =
+      "// DETLINT(det.hw-concurrency): two lines above — out of range\n"
+      "\n"
+      "unsigned f() { return hardware_concurrency(); }\n";
+  det::ScannedFile fc = det::scan_source("c.cpp", too_far);
+  const Report r = det::lint_file(fc);
+  EXPECT_EQ(r.count("det.hw-concurrency"), 1u);
+  EXPECT_EQ(r.count("det.unused-suppression"), 1u);
+}
+
+// Prose that quotes the marker mid-sentence is inert: only a note that
+// starts the comment (NOLINT convention) can suppress anything.
+TEST(DetlintSuppression, MidCommentMarkerIsInert) {
+  const char* text =
+      "// the docs discuss DETLINT(det.rng): but this is prose\n"
+      "int f() { return 1; }\n";
+  det::ScannedFile f = det::scan_source("d.cpp", text);
+  EXPECT_TRUE(det::lint_file(f).clean());
+}
+
+// Path scoping: the telemetry layer and bench harnesses read clocks by
+// design; src/util owns the seed plumbing.
+TEST(DetlintScoping, AllowlistedTreesAreExempt) {
+  const char* clock_text = "long f() { return steady_clock::now(); }\n";
+  det::ScannedFile obs = det::scan_source("src/obs/x.cpp", clock_text);
+  EXPECT_TRUE(det::lint_file(obs).clean());
+  det::ScannedFile bench = det::scan_source("bench/x.cpp", clock_text);
+  EXPECT_TRUE(det::lint_file(bench).clean());
+  det::ScannedFile core = det::scan_source("src/core/x.cpp", clock_text);
+  EXPECT_EQ(det::lint_file(core).count("det.wall-clock"), 1u);
+
+  const char* rng_text = "int f() { return rand(); }\n";
+  det::ScannedFile util = det::scan_source("src/util/rng.cpp", rng_text);
+  EXPECT_TRUE(det::lint_file(util).clean());
+}
+
+TEST(DetlintBaseline, ParseRejectsMalformedLines) {
+  const det::Baseline b = det::Baseline::parse(
+      "# comment\n"
+      "\n"
+      "det.float-accum bench/x.cpp 2\n"
+      "det.no-such-rule bench/x.cpp 1\n"
+      "det.rng only-two-fields\n"
+      "det.rng a.cpp 0\n"
+      "det.rng a.cpp many\n");
+  ASSERT_EQ(b.errors.size(), 4u);
+  EXPECT_NE(b.errors[0].find("unknown rule"), std::string::npos);
+  EXPECT_NE(b.errors[1].find("expected 'rule path count'"),
+            std::string::npos);
+  EXPECT_NE(b.errors[2].find("positive"), std::string::npos);
+  EXPECT_NE(b.errors[3].find("bad count"), std::string::npos);
+  ASSERT_EQ(b.allow.size(), 1u);
+  EXPECT_EQ(b.allow.at({"det.float-accum", "bench/x.cpp"}), 2u);
+}
+
+TEST(DetlintBaseline, AbsorbsUpToCountAndReportsStale) {
+  const det::Baseline b = det::Baseline::parse(
+      "det.rng a.cpp 2\n"
+      "det.rng gone.cpp 1\n");
+  Report r;
+  for (int i = 0; i < 3; ++i) {
+    Finding f;
+    f.rule = "det.rng";
+    f.file = "a.cpp";
+    f.line = static_cast<std::uint32_t>(10 + i);
+    r.add(std::move(f));
+  }
+  const det::BaselineOutcome out = det::apply_baseline(r, b);
+  EXPECT_EQ(out.absorbed, 2u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 12u);  // order preserved, earliest absorbed
+  ASSERT_EQ(out.stale.size(), 1u);
+  EXPECT_NE(out.stale[0].find("gone.cpp"), std::string::npos);
+}
+
+// ----- SARIF ------------------------------------------------------------------
+
+SarifTool detlint_tool() {
+  SarifTool tool;
+  tool.name = "detlint";
+  tool.information_uri = "docs/ANALYSIS.md";
+  for (const auto& r : det::rule_registry()) tool.rules.push_back({r.id, r.summary});
+  return tool;
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(Sarif, SchemaShapeForSourceFindings) {
+  det::ScannedFile f = det::scan_source(
+      "hw.cpp", "unsigned f() { return hardware_concurrency(); }\n");
+  const Report r = det::lint_file(f);
+  ASSERT_EQ(r.findings.size(), 1u);
+  const std::string s = to_sarif(detlint_tool(), r.findings, "");
+
+  EXPECT_NE(s.find("\"$schema\":\"https://raw.githubusercontent.com/"
+                   "oasis-tcs/sarif-spec/master/Schemata/"
+                   "sarif-schema-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(s.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"detlint\""), std::string::npos);
+  EXPECT_NE(s.find("\"ruleId\":\"det.hw-concurrency\""), std::string::npos);
+  EXPECT_NE(s.find("\"uri\":\"hw.cpp\""), std::string::npos);
+  EXPECT_NE(s.find("\"startLine\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"level\":\"error\""), std::string::npos);
+  // The registry travels as the driver's rule table.
+  EXPECT_EQ(count_of(s, "\"shortDescription\""),
+            det::rule_registry().size());
+}
+
+TEST(Sarif, TraceFindingsUseDefaultUriAndPropertyBag) {
+  Finding f{"audit.cost", Severity::Error, 3, {7, 9},
+            "charged cost 15 but stats recompute to 16"};
+  SarifTool tool;
+  tool.name = "parlint";
+  const std::string s = to_sarif(tool, {f}, "trace.csv");
+  EXPECT_NE(s.find("\"uri\":\"trace.csv\""), std::string::npos);
+  EXPECT_EQ(s.find("\"startLine\""), std::string::npos);  // no source line
+  EXPECT_NE(s.find("\"phase\":3"), std::string::npos);
+  EXPECT_NE(s.find("\"cells\":[7,9]"), std::string::npos);
+  // Unknown rule ids are appended to the driver table on demand.
+  EXPECT_NE(s.find("\"id\":\"audit.cost\""), std::string::npos);
+  EXPECT_NE(s.find("\"ruleIndex\":0"), std::string::npos);
+}
+
+// Round trip: the JSONL and SARIF renderings of one report describe
+// the same finding set — same size, same per-rule counts.
+TEST(Sarif, RoundTripAgreesWithJsonl) {
+  const std::string dir = DETLINT_FIXTURE_DIR;
+  det::ScannedFile f = det::scan_source(
+      "bad_suppression.cpp", slurp(dir + "/bad_suppression.cpp"));
+  const Report r = det::lint_file(f);
+  ASSERT_FALSE(r.clean());
+  const std::string jsonl = r.to_jsonl();
+  const std::string sarif = to_sarif(detlint_tool(), r.findings, "");
+
+  EXPECT_EQ(count_of(sarif, "\"ruleId\""), r.findings.size());
+  EXPECT_EQ(count_of(jsonl, "\n"), r.findings.size());
+  for (const auto& rule : det::rule_registry()) {
+    EXPECT_EQ(count_of(sarif, "\"ruleId\":\"" + rule.id + "\""),
+              r.count(rule.id))
+        << rule.id;
+    EXPECT_EQ(count_of(jsonl, "\"rule\":\"" + rule.id + "\""),
+              r.count(rule.id))
+        << rule.id;
+  }
+}
+
+// Determinism of the exporter itself: same findings, same bytes.
+TEST(Sarif, ByteDeterministic) {
+  det::ScannedFile f1 = det::scan_source(
+      "hw.cpp", "unsigned f() { return hardware_concurrency(); }\n");
+  det::ScannedFile f2 = det::scan_source(
+      "hw.cpp", "unsigned f() { return hardware_concurrency(); }\n");
+  const Report r1 = det::lint_file(f1);
+  const Report r2 = det::lint_file(f2);
+  EXPECT_EQ(to_sarif(detlint_tool(), r1.findings, ""),
+            to_sarif(detlint_tool(), r2.findings, ""));
+}
+
+}  // namespace

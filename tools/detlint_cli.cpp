@@ -1,0 +1,200 @@
+// detlint_cli — source-level determinism lint over the repository's
+// own C++ tree, emitting the same JSONL findings format as parlint_cli
+// plus SARIF 2.1.0.
+//
+//   detlint_cli [paths...] [--root DIR] [--baseline FILE | --no-baseline]
+//               [--sarif OUT] [--list-rules]
+//
+// Paths may be files or directories (scanned recursively for C++
+// sources) and are resolved relative to --root; with no paths the
+// default sweep is src/ tools/ bench/ — the tree whose discipline the
+// determinism contract (docs/PERF.md) depends on. Findings report
+// root-relative paths and the file list is sorted, so a sweep prints
+// identical bytes no matter how the paths were discovered.
+//
+// The baseline (default: <root>/.detlint-baseline when present) holds
+// grandfathered findings as `rule path count` lines; matched findings
+// are absorbed silently, unused allowances are reported on stderr so
+// the baseline can only shrink.
+//
+// stdout: one JSON object per finding (rule, severity, file, line,
+//         phase:null, cells:[], message). A clean tree prints nothing.
+// stderr: one summary line; stale-baseline notes.
+// exit:   0 = no error-severity findings, 2 = errors found,
+//         1 = usage / IO failure (checked before errors).
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/sarif.hpp"
+#include "analysis/static/detlint.hpp"
+#include "analysis/static/source_scan.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace parbounds::analysis;
+
+int usage() {
+  std::cerr
+      << "usage: detlint_cli [paths...] [options]\n"
+         "  (default paths: src tools bench, resolved under --root)\n"
+         "options:\n"
+         "  --root DIR       tree root; findings use root-relative paths\n"
+         "                   (default: .)\n"
+         "  --baseline FILE  grandfathered findings, 'rule path count'\n"
+         "                   lines (default: <root>/.detlint-baseline\n"
+         "                   when it exists)\n"
+         "  --no-baseline    ignore any baseline file\n"
+         "  --sarif OUT      also write the findings as SARIF 2.1.0\n"
+         "  --list-rules     print the rule registry and exit\n";
+  return 1;
+}
+
+bool cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".inl";
+}
+
+// Repo-relative display path with forward slashes (stable across
+// invocation styles — this is what the baseline keys against).
+std::string display_path(const fs::path& p, const fs::path& root) {
+  const fs::path rel = p.lexically_relative(root);
+  if (rel.empty() || *rel.begin() == "..") return p.generic_string();
+  return rel.generic_string();
+}
+
+int list_rules() {
+  for (const auto& r : det::rule_registry())
+    std::cout << r.id << "  [" << severity_name(r.severity) << "]  "
+              << r.summary << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string baseline_path;
+  bool no_baseline = false;
+  std::string sarif_path;
+  std::vector<std::string> args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      root = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      baseline_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      sarif_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  if (args.empty()) args = {"src", "tools", "bench"};
+
+  // Collect the file list: explicit files verbatim, directories
+  // recursively; sorted by display path for byte-deterministic output.
+  std::vector<std::pair<std::string, fs::path>> files;
+  for (const auto& a : args) {
+    const fs::path p = fs::path(a).is_absolute() ? fs::path(a) : root / a;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && cpp_source(it->path()))
+          files.emplace_back(display_path(it->path(), root), it->path());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.emplace_back(display_path(p, root), p);
+    } else {
+      std::cerr << "detlint: cannot open " << p.generic_string() << '\n';
+      return 1;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  det::Baseline baseline;
+  if (!no_baseline) {
+    fs::path bp = baseline_path.empty() ? root / ".detlint-baseline"
+                                        : fs::path(baseline_path);
+    std::ifstream f(bp);
+    if (f) {
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      baseline = det::Baseline::parse(buf.str());
+      for (const auto& e : baseline.errors)
+        std::cerr << "detlint: " << bp.generic_string() << ": " << e << '\n';
+      if (!baseline.errors.empty()) return 1;
+    } else if (!baseline_path.empty()) {
+      std::cerr << "detlint: cannot open baseline " << bp.generic_string()
+                << '\n';
+      return 1;
+    }
+  }
+
+  Report all;
+  for (const auto& [name, path] : files) {
+    std::ifstream f(path);
+    if (!f) {
+      std::cerr << "detlint: cannot read " << path.generic_string() << '\n';
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    det::ScannedFile scanned = det::scan_source(name, buf.str());
+    all.merge(det::lint_file(scanned));
+  }
+
+  const det::BaselineOutcome bl = det::apply_baseline(all, baseline);
+  for (const auto& s : bl.stale)
+    std::cerr << "detlint: stale baseline entry: " << s << '\n';
+
+  all.write_jsonl(std::cout);
+
+  if (!sarif_path.empty()) {
+    SarifTool tool;
+    tool.name = "detlint";
+    tool.information_uri = "docs/ANALYSIS.md";
+    for (const auto& r : det::rule_registry())
+      tool.rules.push_back({r.id, r.summary});
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "detlint: cannot write " << sarif_path << '\n';
+      return 1;
+    }
+    out << to_sarif(tool, all.findings, /*default_uri=*/"");
+    out.flush();
+    if (!out.good()) return 1;
+  }
+
+  std::cerr << "detlint: " << files.size() << " file(s): "
+            << all.findings.size() << " finding(s), " << all.errors()
+            << " error(s), " << bl.absorbed << " baselined\n";
+  return all.errors() > 0 ? 2 : 0;
+}

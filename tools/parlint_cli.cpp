@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "analysis/parlint.hpp"
+#include "analysis/sarif.hpp"
 #include "analysis/spmd_lint.hpp"
 #include "core/spmd.hpp"
 #include "core/trace_io.hpp"
@@ -57,8 +58,39 @@ int usage() {
          "  --erew   enforce exclusive access (EREW discipline)\n"
          "  --n N --p P   enable the Section 2.3 round-budget audit\n"
          "  --slack S     hidden-constant slack for budgets (default 4)\n"
-         "  --alpha A --beta B   GSM big-step parameters (default 1)\n";
+         "  --alpha A --beta B   GSM big-step parameters (default 1)\n"
+         "  --sarif OUT   also write the findings as SARIF 2.1.0 (each\n"
+         "           result's artifact URI is its trace path)\n";
   return 1;
+}
+
+// Rule descriptors for the SARIF driver table (docs/ANALYSIS.md).
+std::vector<SarifRuleDesc> parlint_rules() {
+  return {
+      {"race.rw-mix", "queue rule: a cell both read and written in one phase"},
+      {"race.exclusive", "EREW discipline: concurrent access to a cell"},
+      {"audit.kappa", "recorded contention stats drift from the events"},
+      {"audit.cost", "charged phase cost drifts from a recomputation"},
+      {"rounds.budget", "phase exceeds the Section 2.3 round budget"},
+      {"mapping.precondition", "Claim 2.1/2.2 parameter preconditions"},
+      {"spmd.locality", "SPMD action depended on non-inbox information"},
+      {"spmd.phase-count", "SPMD runs diverged in phase count"},
+  };
+}
+
+// Shared by the batch path: findings tagged with their trace path so
+// the SARIF results carry per-trace artifact locations.
+void write_sarif_or_die(const std::string& path,
+                        const std::vector<Finding>& findings) {
+  SarifTool tool;
+  tool.name = "parlint";
+  tool.information_uri = "docs/ANALYSIS.md";
+  tool.rules = parlint_rules();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << to_sarif(tool, findings, /*default_uri=*/"trace");
+  out.flush();
+  if (!out.good()) throw std::runtime_error("short write to " + path);
 }
 
 bool parse_model(const std::string& s, LintConfig& cfg) {
@@ -186,6 +218,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   LintConfig cfg;
   unsigned jobs = 1;
+  std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-" || arg[0] != '-') {
@@ -227,6 +260,10 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage();
         cfg.beta = std::stoull(v);
+      } else if (arg == "--sarif") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        sarif_path = v;
       } else {
         return usage();
       }
@@ -251,6 +288,7 @@ int main(int argc, char** argv) {
   // batch prints identically at any --jobs.
   struct Outcome {
     std::string jsonl, summary;
+    std::vector<Finding> findings;  // tagged with the trace path (SARIF)
     std::size_t errors = 0;
     bool failed = false;
   };
@@ -281,6 +319,8 @@ int main(int argc, char** argv) {
           std::ostringstream body;
           r.write_jsonl(body);
           out.jsonl = body.str();
+          out.findings = r.findings;
+          for (auto& f : out.findings) f.file = (path == "-") ? "stdin" : path;
           out.errors = r.errors();
           out.summary = "parlint: " + path + ": " + trace_summary(t) + ": " +
                         std::to_string(r.findings.size()) + " finding(s), " +
@@ -294,11 +334,21 @@ int main(int argc, char** argv) {
 
   std::size_t errors = 0;
   bool failed = false;
+  std::vector<Finding> merged;
   for (const auto& out : outcomes) {
     std::cout << out.jsonl;
     std::cerr << out.summary;
+    merged.insert(merged.end(), out.findings.begin(), out.findings.end());
     errors += out.errors;
     failed = failed || out.failed;
+  }
+  if (!sarif_path.empty() && !failed) {
+    try {
+      write_sarif_or_die(sarif_path, merged);
+    } catch (const std::exception& e) {
+      std::cerr << "parlint: sarif: " << e.what() << '\n';
+      return 1;
+    }
   }
   if (failed) return 1;
   return errors > 0 ? 2 : 0;

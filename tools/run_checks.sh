@@ -1,24 +1,30 @@
 #!/usr/bin/env bash
 # The repository's static-analysis gate, runnable locally or in CI:
 #
-#   1. clang-tidy over src/ (skipped with a notice when clang-tidy is
-#      not installed — the config is .clang-tidy at the repo root);
-#   2. an ASan+UBSan+Werror build flavor (PARBOUNDS_ASAN/UBSAN/WERROR);
-#   3. the full ctest suite under the sanitizers;
-#   4. the `analysis`-labelled subset (parlint rules + parlint_cli
-#      smoke) repeated on its own so a parlint regression is named in
+#   1. clang-tidy over src/, tools/, bench/ and tests/ (skipped with a
+#      notice when clang-tidy is not installed unless --require-tidy is
+#      given — the config is .clang-tidy at the repo root);
+#   2. detlint, the source-level determinism linter (tools/detlint_cli):
+#      first a self-test — the bad-source fixture tree under
+#      tests/fixtures/detlint/ must FAIL the gate — then a sweep of
+#      src/ tools/ bench/ against the checked-in .detlint-baseline,
+#      which must come back clean (see docs/ANALYSIS.md, "Static tier");
+#   3. an ASan+UBSan+Werror build flavor (PARBOUNDS_ASAN/UBSAN/WERROR);
+#   4. the full ctest suite under the sanitizers;
+#   5. the `analysis`-labelled subset (parlint + detlint rules and the
+#      CLI smokes) repeated on its own so a lint regression is named in
 #      the output even when something else also broke;
-#   5. the `obs`-labelled subset (observability layer + parprof_cli
+#   6. the `obs`-labelled subset (observability layer + parprof_cli
 #      smoke) on its own, plus a parprof_cli run over a freshly
 #      exported demo trace;
-#   6. a TSan build flavor (PARBOUNDS_TSAN, exclusive with ASan) running
+#   7. a TSan build flavor (PARBOUNDS_TSAN, exclusive with ASan) running
 #      the `runtime`, `obs` and `intra` labelled subsets — the
 #      ExperimentRunner determinism suite is the data-race proof for the
 #      trial-parallel path, the obs suite exercises the concurrent
 #      metric shards and span buffers, and the intra suite drives the
 #      sharded phase commit and parallel BoolFn transforms at pool
 #      sizes 1/2/8, so all three must pass under ThreadSanitizer;
-#   7. bench_hotpath and bench_obs_overhead smoke runs (--jobs 2
+#   8. bench_hotpath and bench_obs_overhead smoke runs (--jobs 2
 #      --json) from an optimized, sanitizer-free build — they
 #      self-verify the hot paths against replicas of the uninstrumented
 #      implementations and enforce conservative floors (speedups for
@@ -27,12 +33,16 @@
 #      Perf under a sanitizer is meaningless, hence the separate
 #      Release build dir.
 #
-# Usage: tools/run_checks.sh [--quick] [build-dir]
+# Usage: tools/run_checks.sh [--quick] [--require-tidy] [build-dir]
 #
-#   --quick   plain (sanitizer-free) build + full ctest + the analysis,
-#             runtime and obs subsets + the parprof_cli and bench
-#             smokes; skips clang-tidy and both sanitizer rebuilds. The
-#             inner-loop command while iterating.
+#   --quick         plain (sanitizer-free) build + full ctest + the
+#                   analysis, runtime, obs and intra subsets + detlint +
+#                   the parprof_cli and bench smokes; skips both
+#                   sanitizer rebuilds and (unless --require-tidy) the
+#                   tidy pass. The inner-loop command while iterating.
+#   --require-tidy  make a missing clang-tidy a hard failure instead of
+#                   a skip, and run the tidy pass even in quick mode —
+#                   CI passes this so the gate cannot silently degrade.
 #
 # Default build dir: build-checks (quick mode: build-quick), so neither
 # mode clobbers the other's cache.
@@ -41,21 +51,70 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-if [[ "${1:-}" == "--quick" ]]; then
-  QUICK=1
-  shift
-fi
+REQUIRE_TIDY=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) QUICK=1 ;;
+    --require-tidy) REQUIRE_TIDY=1 ;;
+    -*)
+      echo "usage: tools/run_checks.sh [--quick] [--require-tidy] [build-dir]" >&2
+      exit 1
+      ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# clang-tidy over every first-party C++ tree (fixtures are deliberately
+# bad sources and stay out). $1 is the build dir holding
+# compile_commands.json. Headers are covered via HeaderFilterRegex in
+# .clang-tidy.
+run_clang_tidy() {
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy over src/ tools/ bench/ tests/"
+    clang-tidy --version | sed 's/^/    /'
+    find src tools bench tests -name '*.cpp' \
+      -not -path 'tests/fixtures/*' -print0 |
+      xargs -0 -P "${JOBS}" -n 8 clang-tidy -p "$1" --quiet
+  elif [[ "${REQUIRE_TIDY}" == 1 ]]; then
+    echo "==> clang-tidy not found but --require-tidy was given" >&2
+    exit 1
+  else
+    echo "==> clang-tidy not found; skipping the tidy pass"
+  fi
+}
+
+# detlint: self-test first (the fixture tree is bad by construction, so
+# a clean result means the linter itself broke), then the real sweep —
+# zero unsuppressed findings, with the checked-in baseline applied.
+run_detlint() {
+  local cli="$1/tools/detlint_cli"
+  echo "==> detlint self-test (fixture tree must fail the gate)"
+  local rc=0
+  "${cli}" --no-baseline --root tests/fixtures/detlint . >/dev/null || rc=$?
+  if [[ "${rc}" -ne 2 ]]; then
+    echo "detlint self-test failed: expected exit 2 on the fixture tree, got ${rc}" >&2
+    exit 1
+  fi
+  echo "==> detlint sweep over src/ tools/ bench/"
+  "${cli}" --root . src tools bench
+}
+
 if [[ "${QUICK}" == 1 ]]; then
-  BUILD_DIR="${1:-build-quick}"
+  BUILD_DIR="${BUILD_DIR:-build-quick}"
   echo "==> [quick] configure into ${BUILD_DIR}"
   # Pin the build type: the bench smoke below gates on wall-clock
   # ratios, which an accidental -O0 cache would fail.
-  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   echo "==> [quick] build"
   cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  if [[ "${REQUIRE_TIDY}" == 1 ]]; then
+    run_clang_tidy "${BUILD_DIR}"
+  fi
+  run_detlint "${BUILD_DIR}"
   echo "==> [quick] full test suite"
   ctest --test-dir "${BUILD_DIR}" -j "${JOBS}" --output-on-failure
   echo "==> [quick] analysis-labelled subset"
@@ -88,7 +147,7 @@ if [[ "${QUICK}" == 1 ]]; then
   exit 0
 fi
 
-BUILD_DIR="${1:-build-checks}"
+BUILD_DIR="${BUILD_DIR:-build-checks}"
 
 echo "==> configure (ASan + UBSan + Werror) into ${BUILD_DIR}"
 cmake -B "${BUILD_DIR}" -S . \
@@ -97,16 +156,12 @@ cmake -B "${BUILD_DIR}" -S . \
   -DPARBOUNDS_UBSAN=ON \
   -DPARBOUNDS_WERROR=ON
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  echo "==> clang-tidy over src/"
-  find src -name '*.cpp' -print0 |
-    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p "${BUILD_DIR}" --quiet
-else
-  echo "==> clang-tidy not found; skipping the tidy pass"
-fi
+run_clang_tidy "${BUILD_DIR}"
 
 echo "==> build"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+run_detlint "${BUILD_DIR}"
 
 echo "==> full test suite under ASan+UBSan"
 ctest --test-dir "${BUILD_DIR}" -j "${JOBS}" --output-on-failure
