@@ -40,7 +40,10 @@ void print_parity_det() {
                        .run = [n, g](std::uint64_t s) {
                          return parity_circuit_cost(pb::CostModel::Qsm, n, g,
                                                     s);
-                       }});
+                       },
+                       .spec = {.engine = "qsm",
+                                .workload = "parity_circuit",
+                                .params = {{"n", n}, {"g", g}}}});
   sweep_table("QSM / Parity, deterministic (circuit emulation; LB = Cor 3.1)",
               "n,g", std::move(cells));
 }
@@ -55,7 +58,10 @@ void print_parity_cr() {
                        .run = [n, g](std::uint64_t s) {
                          return parity_circuit_cost(pb::CostModel::QsmCrFree,
                                                     n, g, s);
-                       }});
+                       },
+                       .spec = {.engine = "qsm-crfree",
+                                .workload = "parity_circuit",
+                                .params = {{"n", n}, {"g", g}}}});
   sweep_table("QSM / Parity with unit-time concurrent reads "
               "(THETA entry: LB = Thm 3.1 = UB)",
               "n,g", std::move(cells));
@@ -71,7 +77,10 @@ void print_or() {
                      .run = [n, g](std::uint64_t s) {
                        return or_fanin_cost(pb::CostModel::Qsm, n, g,
                                             /*ones=*/1, s);
-                     }});
+                     },
+                     .spec = {.engine = "qsm",
+                              .workload = "or_fanin",
+                              .params = {{"n", n}, {"g", g}, {"ones", 1}}}});
   sweep_table("QSM / OR, deterministic (contention fan-in g; LB = Cor 7.2)",
               "n,g", std::move(det));
 
@@ -86,7 +95,12 @@ void print_or() {
                         .ub = bb::ub_or_cr_rand(n, g),
                         .run = [n, g, ones](std::uint64_t s) {
                           return or_rand_cr_cost(n, g, ones, s);
-                        }});
+                        },
+                        .spec = {.engine = "qsm-crfree",
+                                 .workload = "or_rand_cr",
+                                 .params = {{"n", n},
+                                            {"g", g},
+                                            {"ones", ones}}}});
   sweep_table("QSM / OR, randomized (sampling + flag under free concurrent "
               "reads; LB = Cor 7.1, g(log* n - log* g))",
               "n,g,density", std::move(rand));
@@ -103,7 +117,10 @@ void print_lac() {
                      .run = [n, g](std::uint64_t s) {
                        return lac_prefix_cost(pb::CostModel::Qsm, n, g, n / 8,
                                               s);
-                     }});
+                     },
+                     .spec = {.engine = "qsm",
+                              .workload = "lac_prefix",
+                              .params = {{"n", n}, {"g", g}, {"h", n / 8}}}});
   sweep_table("QSM / LAC, deterministic (prefix sums; LB = Cor 6.4)", "n,g",
               std::move(det));
 
@@ -117,7 +134,10 @@ void print_lac() {
                       .run = [n, g](std::uint64_t s) {
                         return lac_dart_cost(pb::CostModel::Qsm, n, g, n / 8,
                                              s);
-                      }});
+                      },
+                      .spec = {.engine = "qsm",
+                               .workload = "lac_dart",
+                               .params = {{"n", n}, {"g", g}, {"h", n / 8}}}});
   sweep_table("QSM / LAC, randomized (dart throwing; LB = Cor 6.1, "
               "g loglog n / log g; UB claim = Sec 8)",
               "n,g", std::move(rand));

@@ -27,13 +27,28 @@
 //                  implies --json, and any json/trace run installs the
 //                  process TelemetryObserver so the report carries a
 //                  per-model "metrics" block (docs/OBSERVABILITY.md).
+//   --via-service  route every sweep through an in-process SweepService
+//                  backed by a content-addressed result cache
+//                  (docs/SERVICE.md). Costs are identical to in-process
+//                  runs (same kernels, same derived seeds); reports are
+//                  written timing-free so a cold run, a warm-cache
+//                  replay and an in-process --jobs 1 run serialize to
+//                  identical bytes. --cache-dir / --cache-bytes tune
+//                  the cache (default CACHE_<name>/, 64 MiB).
 //
-// All three flags are stripped before benchmark::Initialize sees argv
+// All flags are stripped before benchmark::Initialize sees argv
 // (src/runtime/harness_flags.*). See docs/RUNTIME.md for the seeding
 // discipline.
+//
+// The cost kernels the benches call (parity_circuit_cost, ...) live in
+// src/algos/cost_kernels.hpp since the service PR and are pulled into
+// this namespace below — the service's workload registry dispatches to
+// literally the same functions, which is what makes a cached result
+// interchangeable with a local one.
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -42,6 +57,7 @@
 
 #include "algos/broadcast.hpp"
 #include "algos/bsp_prefix.hpp"
+#include "algos/cost_kernels.hpp"
 #include "algos/lac.hpp"
 #include "algos/or_func.hpp"
 #include "algos/padded_sort.hpp"
@@ -62,6 +78,8 @@
 #include "runtime/parallel_for.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sweep.hpp"
+#include "runtime/sweep_service/client.hpp"
+#include "runtime/sweep_service/service.hpp"
 #include "util/mathx.hpp"
 #include "util/table.hpp"
 #include "workloads/generators.hpp"
@@ -121,7 +139,11 @@ class BenchSession {
     runtime::ParallelFor::pool().set_threads(
         flags.resolved_threads(runner_->jobs()));
     report_.threads = runtime::ParallelFor::pool().threads();
-    if (!json_path_.empty()) {
+    // Phase telemetry counts machine executions, and a warm-cache
+    // via-service replay executes nothing — a metrics block would
+    // differ between a cold run and its replay. Via-service reports
+    // therefore omit it (cache counters go to stderr instead).
+    if (!json_path_.empty() && !flags.via_service) {
       telemetry_ = std::make_unique<obs::TelemetryObserver>(registry_);
       obs::install_process_telemetry(telemetry_.get());
     }
@@ -129,11 +151,24 @@ class BenchSession {
       tracer_ = std::make_unique<obs::Tracer>();
       obs::install_process_tracer(tracer_.get());
     }
+    if (flags.via_service) {
+      // The service keeps its OWN MetricsRegistry: via-service reports
+      // must carry exactly the metric families an in-process run does,
+      // or the byte-identity contract breaks.
+      service::ServiceConfig cfg;
+      cfg.cache.dir = flags.cache_dir.empty() ? "CACHE_" + report_.bench
+                                              : flags.cache_dir;
+      if (flags.cache_bytes != 0) cfg.cache.max_bytes = flags.cache_bytes;
+      cfg.jobs = runner_->jobs();
+      service_ = std::make_unique<service::SweepService>(cfg);
+    }
   }
 
   const runtime::ExperimentRunner& runner() const { return *runner_; }
   unsigned jobs() const { return runner_->jobs(); }
   bool json_enabled() const { return !json_path_.empty(); }
+  bool via_service() const { return service_ != nullptr; }
+  service::SweepService& service() { return *service_; }
 
   /// Fresh base seed for the next sweep/fan-out, derived from the root
   /// seed and a per-binary ordinal (decouples sweeps from each other).
@@ -169,13 +204,34 @@ class BenchSession {
                    report_.bench.c_str(), trace_path_.c_str(),
                    obs::top_n_summary(*tracer_, 10).c_str());
     }
+    if (service_ != nullptr) {
+      // Cache effectiveness on stderr (never in the report: the JSON
+      // must stay byte-identical to an in-process run).
+      const auto snap = service_->metrics().snapshot();
+      const auto count = [&](const char* name) {
+        const auto* m = snap.find(name);
+        return m == nullptr ? std::uint64_t{0} : m->value;
+      };
+      std::fprintf(stderr,
+                   "bench: %s: service cache hit=%llu miss=%llu evict=%llu "
+                   "exec=%llu shed=%llu\n",
+                   report_.bench.c_str(),
+                   static_cast<unsigned long long>(count("cache.hit")),
+                   static_cast<unsigned long long>(count("cache.miss")),
+                   static_cast<unsigned long long>(count("cache.evict")),
+                   static_cast<unsigned long long>(count("service.exec")),
+                   static_cast<unsigned long long>(count("queue.shed")));
+    }
     if (json_path_.empty()) return 0;
     std::ofstream f(json_path_);
     if (!f) {
       std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
       return 1;
     }
-    f << runtime::to_json(report_);
+    // Via-service runs serialize timing-free: with no wall fields, a
+    // cold run, a warm replay and an in-process --jobs 1 run of the
+    // same sweep produce identical bytes (test_bench_json pins this).
+    f << runtime::to_json(report_, /*include_timing=*/service_ == nullptr);
     char speedup[32] = "n/a";  // jobs==1 runs ARE the serial baseline
     if (report_.jobs > 1)
       std::snprintf(speedup, sizeof speedup, "%.2f",
@@ -201,6 +257,7 @@ class BenchSession {
   obs::MetricsRegistry registry_;
   std::unique_ptr<obs::TelemetryObserver> telemetry_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<service::SweepService> service_;
 };
 
 /// Bench-main bootstrap: parse/strip harness flags.
@@ -212,9 +269,22 @@ inline BenchSession& session_init(int& argc, char** argv, std::string name) {
 
 /// Run a sweep through the session runner; the serial baseline (wall
 /// time + bit-identity cross-check) is measured when --json is active.
+/// Under --via-service every cell is routed through the sweep service
+/// instead (same derived seeds, same kernels, same aggregation); a cell
+/// without a ServiceSpec is a hard error there, not a silent fallback.
 inline const runtime::SweepResult& sweep(
     std::string title, std::vector<runtime::SweepCell> cells) {
   auto& s = BenchSession::get();
+  if (s.via_service()) {
+    try {
+      return s.record(service::run_sweep_via_service(
+          s.service(), std::move(title), s.next_base_seed(),
+          std::move(cells)));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: --via-service: %s\n", e.what());
+      std::exit(2);
+    }
+  }
   return s.record(runtime::run_sweep(s.runner(), std::move(title),
                                      s.next_base_seed(), std::move(cells),
                                      s.json_enabled()));
@@ -236,142 +306,21 @@ std::vector<T> parallel_trials(
   return out;
 }
 
-// ----- shared-memory measurements (cost model selectable) --------------------
+// ----- cost kernels (src/algos/cost_kernels.hpp) ----------------------------
+// Unqualified call sites across the bench binaries keep compiling; the
+// definitions are the shared library ones the service registry also uses.
 
-inline double parity_tree_cost(CostModel model, std::uint64_t n,
-                               std::uint64_t g, unsigned fanin,
-                               std::uint64_t seed) {
-  QsmMachine m({.g = g, .model = model});
-  Rng rng(seed);
-  const auto input = bernoulli_array(n, 0.5, rng);
-  const Addr in = m.alloc(n);
-  m.preload(in, input);
-  parity_tree(m, in, n, fanin);
-  return static_cast<double>(m.time());
-}
-
-inline double parity_circuit_cost(CostModel model, std::uint64_t n,
-                                  std::uint64_t g, std::uint64_t seed) {
-  QsmMachine m({.g = g, .model = model});
-  Rng rng(seed);
-  const auto input = bernoulli_array(n, 0.5, rng);
-  const Addr in = m.alloc(n);
-  m.preload(in, input);
-  parity_circuit(m, in, n);
-  return static_cast<double>(m.time());
-}
-
-inline double or_fanin_cost(CostModel model, std::uint64_t n,
-                            std::uint64_t g, std::uint64_t ones,
-                            std::uint64_t seed) {
-  QsmMachine m({.g = g, .model = model});
-  Rng rng(seed);
-  const auto input = boolean_array(n, ones, rng);
-  const Addr in = m.alloc(n);
-  m.preload(in, input);
-  if (model == CostModel::SQsm)
-    or_tree(m, in, n, 2);  // contention funnels don't pay off on s-QSM
-  else
-    or_fanin_qsm(m, in, n);
-  return static_cast<double>(m.time());
-}
-
-inline double or_rand_cr_cost(std::uint64_t n, std::uint64_t g,
-                              std::uint64_t ones, std::uint64_t seed) {
-  QsmMachine m({.g = g, .model = CostModel::QsmCrFree});
-  Rng rng(seed);
-  const auto input = boolean_array(n, ones, rng);
-  const Addr in = m.alloc(n);
-  m.preload(in, input);
-  Rng coin(seed + 1);
-  or_rand_cr(m, in, n, coin);
-  return static_cast<double>(m.time());
-}
-
-inline double lac_prefix_cost(CostModel model, std::uint64_t n,
-                              std::uint64_t g, std::uint64_t h,
-                              std::uint64_t seed, unsigned fanin = 4) {
-  QsmMachine m({.g = g, .model = model});
-  Rng rng(seed);
-  const auto input = lac_instance(n, h, rng);
-  const Addr in = m.alloc(n);
-  m.preload(in, input);
-  lac_prefix(m, in, n, fanin);
-  return static_cast<double>(m.time());
-}
-
-inline double lac_dart_cost(CostModel model, std::uint64_t n,
-                            std::uint64_t g, std::uint64_t h,
-                            std::uint64_t seed) {
-  QsmMachine m({.g = g,
-                .model = model,
-                .writes = WriteResolution::Random,
-                .seed = seed});
-  Rng rng(seed + 1);
-  const auto input = lac_instance(n, h, rng);
-  const Addr in = m.alloc(n);
-  m.preload(in, input);
-  Rng darts(seed + 2);
-  lac_dart(m, in, n, h, darts);
-  return static_cast<double>(m.time());
-}
-
-inline double padded_sort_cost(CostModel model, std::uint64_t n,
-                               std::uint64_t g, std::uint64_t seed) {
-  QsmMachine m({.g = g,
-                .model = model,
-                .writes = WriteResolution::Random,
-                .seed = seed});
-  Rng rng(seed + 1);
-  const auto input = padded_sort_instance(n, rng);
-  const Addr in = m.alloc(n);
-  m.preload(in, input);
-  Rng darts(seed + 2);
-  padded_sort(m, in, n, darts);
-  return static_cast<double>(m.time());
-}
-
-inline double broadcast_cost(CostModel model, std::uint64_t n,
-                             std::uint64_t g, std::uint64_t fanin = 0) {
-  QsmMachine m({.g = g, .model = model});
-  const Addr src = m.alloc(1);
-  m.preload(src, Word{1});
-  const Addr dst = m.alloc(n);
-  qsm_broadcast(m, src, dst, n, fanin);
-  return static_cast<double>(m.time());
-}
-
-// ----- BSP measurements --------------------------------------------------------
-
-inline double parity_bsp_cost(std::uint64_t n, std::uint64_t p,
-                              std::uint64_t g, std::uint64_t L,
-                              std::uint64_t seed) {
-  BspMachine m({.p = p, .g = g, .L = L});
-  Rng rng(seed);
-  const auto input = bernoulli_array(n, 0.5, rng);
-  parity_bsp(m, input);
-  return static_cast<double>(m.time());
-}
-
-inline double or_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
-                          std::uint64_t L, std::uint64_t ones,
-                          std::uint64_t seed) {
-  BspMachine m({.p = p, .g = g, .L = L});
-  Rng rng(seed);
-  const auto input = boolean_array(n, ones, rng);
-  or_bsp(m, input);
-  return static_cast<double>(m.time());
-}
-
-inline double lac_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
-                           std::uint64_t L, std::uint64_t h,
-                           std::uint64_t seed, std::uint64_t fanin = 0) {
-  BspMachine m({.p = p, .g = g, .L = L});
-  Rng rng(seed);
-  const auto input = lac_instance(n, h, rng);
-  lac_bsp(m, input, fanin);
-  return static_cast<double>(m.time());
-}
+using kernels::broadcast_cost;
+using kernels::lac_bsp_cost;
+using kernels::lac_dart_cost;
+using kernels::lac_prefix_cost;
+using kernels::or_bsp_cost;
+using kernels::or_fanin_cost;
+using kernels::or_rand_cr_cost;
+using kernels::padded_sort_cost;
+using kernels::parity_bsp_cost;
+using kernels::parity_circuit_cost;
+using kernels::parity_tree_cost;
 
 // ----- formatting ----------------------------------------------------------------
 

@@ -1,0 +1,143 @@
+#include "algos/cost_kernels.hpp"
+
+#include "algos/broadcast.hpp"
+#include "algos/bsp_prefix.hpp"
+#include "algos/lac.hpp"
+#include "algos/or_func.hpp"
+#include "algos/padded_sort.hpp"
+#include "algos/parity.hpp"
+#include "core/bsp.hpp"
+#include "core/qsm.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace parbounds::kernels {
+
+double parity_tree_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                        unsigned fanin, std::uint64_t seed) {
+  QsmMachine m({.g = g, .model = model});
+  Rng rng(seed);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  parity_tree(m, in, n, fanin);
+  return static_cast<double>(m.time());
+}
+
+double parity_circuit_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                           std::uint64_t seed) {
+  QsmMachine m({.g = g, .model = model});
+  Rng rng(seed);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  parity_circuit(m, in, n);
+  return static_cast<double>(m.time());
+}
+
+double or_fanin_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                     std::uint64_t ones, std::uint64_t seed) {
+  QsmMachine m({.g = g, .model = model});
+  Rng rng(seed);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  if (model == CostModel::SQsm)
+    or_tree(m, in, n, 2);  // contention funnels don't pay off on s-QSM
+  else
+    or_fanin_qsm(m, in, n);
+  return static_cast<double>(m.time());
+}
+
+double or_rand_cr_cost(std::uint64_t n, std::uint64_t g, std::uint64_t ones,
+                       std::uint64_t seed) {
+  QsmMachine m({.g = g, .model = CostModel::QsmCrFree});
+  Rng rng(seed);
+  const auto input = boolean_array(n, ones, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  Rng coin(seed + 1);
+  or_rand_cr(m, in, n, coin);
+  return static_cast<double>(m.time());
+}
+
+double lac_prefix_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                       std::uint64_t h, std::uint64_t seed, unsigned fanin) {
+  QsmMachine m({.g = g, .model = model});
+  Rng rng(seed);
+  const auto input = lac_instance(n, h, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  lac_prefix(m, in, n, fanin);
+  return static_cast<double>(m.time());
+}
+
+double lac_dart_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                     std::uint64_t h, std::uint64_t seed) {
+  QsmMachine m({.g = g,
+                .model = model,
+                .writes = WriteResolution::Random,
+                .seed = seed});
+  Rng rng(seed + 1);
+  const auto input = lac_instance(n, h, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  Rng darts(seed + 2);
+  lac_dart(m, in, n, h, darts);
+  return static_cast<double>(m.time());
+}
+
+double padded_sort_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                        std::uint64_t seed) {
+  QsmMachine m({.g = g,
+                .model = model,
+                .writes = WriteResolution::Random,
+                .seed = seed});
+  Rng rng(seed + 1);
+  const auto input = padded_sort_instance(n, rng);
+  const Addr in = m.alloc(n);
+  m.preload(in, input);
+  Rng darts(seed + 2);
+  padded_sort(m, in, n, darts);
+  return static_cast<double>(m.time());
+}
+
+double broadcast_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                      std::uint64_t fanin) {
+  QsmMachine m({.g = g, .model = model});
+  const Addr src = m.alloc(1);
+  m.preload(src, Word{1});
+  const Addr dst = m.alloc(n);
+  qsm_broadcast(m, src, dst, n, fanin);
+  return static_cast<double>(m.time());
+}
+
+double parity_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                       std::uint64_t L, std::uint64_t seed) {
+  BspMachine m({.p = p, .g = g, .L = L});
+  Rng rng(seed);
+  const auto input = bernoulli_array(n, 0.5, rng);
+  parity_bsp(m, input);
+  return static_cast<double>(m.time());
+}
+
+double or_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                   std::uint64_t L, std::uint64_t ones, std::uint64_t seed) {
+  BspMachine m({.p = p, .g = g, .L = L});
+  Rng rng(seed);
+  const auto input = boolean_array(n, ones, rng);
+  or_bsp(m, input);
+  return static_cast<double>(m.time());
+}
+
+double lac_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                    std::uint64_t L, std::uint64_t h, std::uint64_t seed,
+                    std::uint64_t fanin) {
+  BspMachine m({.p = p, .g = g, .L = L});
+  Rng rng(seed);
+  const auto input = lac_instance(n, h, rng);
+  lac_bsp(m, input, fanin);
+  return static_cast<double>(m.time());
+}
+
+}  // namespace parbounds::kernels

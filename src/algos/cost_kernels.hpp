@@ -1,0 +1,60 @@
+#pragma once
+// Named cost kernels: build a fresh machine, stage a workload, run one
+// Section 8 algorithm, return the MODEL cost (the paper's notion of
+// time — never wall-clock). Historically these lived in bench/harness.hpp;
+// they moved into the library so the sweep service (docs/SERVICE.md) and
+// the bench binaries execute literally the same code — which is what
+// makes a cached service result interchangeable with an in-process run.
+//
+// Every kernel is a pure function of (model/config, params, seed): the
+// same arguments always produce the same cost, on any host, at any
+// thread count. That purity is the entire basis of the content-addressed
+// result cache, so keep new kernels free of clocks, ambient RNG and
+// machine-shape reads (detlint enforces this).
+
+#include <cstdint>
+
+#include "core/cost.hpp"
+
+namespace parbounds::kernels {
+
+// ----- shared-memory measurements (cost model selectable) -------------------
+
+double parity_tree_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                        unsigned fanin, std::uint64_t seed);
+
+double parity_circuit_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                           std::uint64_t seed);
+
+double or_fanin_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                     std::uint64_t ones, std::uint64_t seed);
+
+double or_rand_cr_cost(std::uint64_t n, std::uint64_t g, std::uint64_t ones,
+                       std::uint64_t seed);
+
+double lac_prefix_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                       std::uint64_t h, std::uint64_t seed,
+                       unsigned fanin = 4);
+
+double lac_dart_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                     std::uint64_t h, std::uint64_t seed);
+
+double padded_sort_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                        std::uint64_t seed);
+
+double broadcast_cost(CostModel model, std::uint64_t n, std::uint64_t g,
+                      std::uint64_t fanin = 0);
+
+// ----- BSP measurements -----------------------------------------------------
+
+double parity_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                       std::uint64_t L, std::uint64_t seed);
+
+double or_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                   std::uint64_t L, std::uint64_t ones, std::uint64_t seed);
+
+double lac_bsp_cost(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+                    std::uint64_t L, std::uint64_t h, std::uint64_t seed,
+                    std::uint64_t fanin = 0);
+
+}  // namespace parbounds::kernels

@@ -1,10 +1,63 @@
 #include "runtime/harness_flags.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 namespace parbounds::runtime {
 
 namespace {
+
+/// Plain Levenshtein distance — small strings, tiny table.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// The harness-owned flag namespaces. Tokens under --via-/--cache- that
+/// match none of these are typos, not google-benchmark flags.
+const char* const kServiceFlags[] = {"--via-service", "--cache-dir",
+                                     "--cache-bytes"};
+
+void reject_unknown_service_flag(const std::string& arg, HarnessFlags& out) {
+  const std::string name = arg.substr(0, arg.find('='));
+  const char* best = kServiceFlags[0];
+  std::size_t best_dist = edit_distance(name, best);
+  for (const char* candidate : kServiceFlags) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_dist) {
+      best = candidate;
+      best_dist = d;
+    }
+  }
+  out.error = true;
+  out.error_message =
+      "unknown flag '" + name + "'; did you mean '" + best + "'?";
+}
+
+/// Parse the value of --cache-bytes, a byte count >= 1 (0 is spelled by
+/// omitting the flag, which takes the library default).
+void set_cache_bytes(const char* text, HarnessFlags& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || v == 0) {
+    out.error = true;
+    out.error_message = std::string("--cache-bytes ") + text +
+                        ": size bound must be a positive byte count";
+    return;
+  }
+  out.cache_bytes = v;
+}
 
 /// Resolve the optional path after a bare --json/--trace at argv[i].
 /// Consumes argv[i + 1] when it is a plain path; keeps the default when
@@ -83,6 +136,31 @@ HarnessFlags parse_harness_flags(int& argc, char** argv,
       if (!optional_path("--trace", i, argc, argv, out.trace_path, out)) break;
     } else if (arg.rfind("--trace=", 0) == 0) {
       out.trace_path = arg.substr(8);
+    } else if (arg == "--via-service") {
+      out.via_service = true;
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        out.error = true;
+        out.error_message = "--cache-dir requires a value";
+        break;
+      }
+      out.cache_dir = argv[++i];
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      out.cache_dir = arg.substr(12);
+    } else if (arg == "--cache-bytes") {
+      if (i + 1 >= argc) {
+        out.error = true;
+        out.error_message = "--cache-bytes requires a value";
+        break;
+      }
+      set_cache_bytes(argv[++i], out);
+      if (out.error) break;
+    } else if (arg.rfind("--cache-bytes=", 0) == 0) {
+      set_cache_bytes(arg.c_str() + 14, out);
+      if (out.error) break;
+    } else if (arg.rfind("--via-", 0) == 0 || arg.rfind("--cache-", 0) == 0) {
+      reject_unknown_service_flag(arg, out);
+      break;
     } else {
       argv[w++] = argv[i];
     }

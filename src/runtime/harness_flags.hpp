@@ -13,14 +13,24 @@
 //                   caller's default path
 //   --trace [PATH]  Chrome trace-event span export; bare --trace uses
 //                   the caller's default path
+//   --via-service   route sweeps through an in-process SweepService
+//                   with a content-addressed result cache
+//                   (docs/SERVICE.md); report bytes stay identical to
+//                   an in-process run
+//   --cache-dir P   service result-cache directory
+//   --cache-bytes N service cache size bound (0 = library default)
 //
 // Recognized flags are stripped from argv (google-benchmark parses the
 // rest). A bare --json/--trace followed by another `--flag` takes the
 // default path; a following token that begins with a single '-'
 // (e.g. `--json -out.json`) is rejected with a pointer at the
 // unambiguous `--json=-out.json` spelling — the old parser silently
-// dropped the path in that case.
+// dropped the path in that case. Unknown flags normally pass through to
+// google-benchmark, EXCEPT tokens starting with --via- or --cache-:
+// those namespaces belong to the harness, so a typo there is rejected
+// with a did-you-mean hint instead of being silently ignored.
 
+#include <cstdint>
 #include <string>
 
 namespace parbounds::runtime {
@@ -31,6 +41,9 @@ struct HarnessFlags {
   bool threads_set = false; ///< --threads given explicitly
   std::string json_path;    ///< empty = no JSON report
   std::string trace_path;   ///< empty = no span trace
+  bool via_service = false; ///< route sweeps through the sweep service
+  std::string cache_dir;    ///< service cache dir; empty = harness default
+  std::uint64_t cache_bytes = 0;  ///< service cache bound; 0 = default
   bool error = false;
   std::string error_message;
 

@@ -63,7 +63,14 @@ SweepResult run_sweep(const ExperimentRunner& runner, std::string title,
                      costs.size() * sizeof(double)) == 0);
   }
 
-  out.cells.reserve(cells.size());
+  out.cells = aggregate_cells(cells, costs);
+  return out;
+}
+
+std::vector<CellResult> aggregate_cells(const std::vector<SweepCell>& cells,
+                                        const std::vector<double>& costs) {
+  std::vector<CellResult> out;
+  out.reserve(cells.size());
   std::size_t next = 0;
   for (const auto& cell : cells) {
     CellResult cr;
@@ -77,7 +84,7 @@ SweepResult run_sweep(const ExperimentRunner& runner, std::string title,
     cr.mean = mean(cr.costs);
     cr.p50 = percentile(cr.costs, 50.0);
     cr.p99 = percentile(cr.costs, 99.0);
-    out.cells.push_back(std::move(cr));
+    out.push_back(std::move(cr));
   }
   return out;
 }

@@ -15,11 +15,27 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/runner.hpp"
 
 namespace parbounds::runtime {
+
+/// Service-routable description of a cell's trial body: a named cost
+/// kernel (src/algos/cost_kernels.hpp via the service workload registry)
+/// on a named engine with integer parameters. A cell that carries one
+/// can be executed by the sweep service (docs/SERVICE.md) instead of its
+/// `run` closure; the two must compute the identical cost — the
+/// via-service byte-identity test in test_bench_json holds benches to
+/// that. An empty `workload` means "closure only, not routable".
+struct ServiceSpec {
+  std::string engine;    ///< "qsm" | "sqsm" | "qsm-crfree" | "bsp" | ...
+  std::string workload;  ///< registry name, e.g. "parity_circuit"
+  std::vector<std::pair<std::string, std::uint64_t>> params;
+
+  bool routable() const { return !workload.empty(); }
+};
 
 /// One grid point: `trials` repetitions of `run` over derived seeds.
 /// lb/ub are the paper's bound values for the cell, carried through to
@@ -30,6 +46,7 @@ struct SweepCell {
   double lb = 0.0;
   double ub = 0.0;
   std::function<double(std::uint64_t seed)> run;
+  ServiceSpec spec{};  ///< optional service routing (see ServiceSpec)
 };
 
 /// Aggregated results for one cell, in cell declaration order.
@@ -59,6 +76,13 @@ struct SweepResult {
 /// Wall-clock speedup of the parallel run over the serial baseline
 /// (1.0 when no baseline was measured).
 double speedup_vs_serial(const SweepResult& s);
+
+/// Slice per-trial costs (in cell-concatenation trial order, i.e. the
+/// order run_sweep executes) back into per-cell aggregates. Shared by
+/// run_sweep and the service-backed executor so both summarize the
+/// same way — a precondition for their reports being byte-identical.
+std::vector<CellResult> aggregate_cells(const std::vector<SweepCell>& cells,
+                                        const std::vector<double>& costs);
 
 /// Execute every (cell, repetition) trial through `runner`. When
 /// `serial_baseline` is set, the whole sweep is re-run on one thread to

@@ -1,0 +1,169 @@
+#include "runtime/sweep_service/cache.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "util/sha256.hpp"
+
+namespace parbounds::service {
+
+namespace {
+
+constexpr const char* kMagic = "parbounds-cache-v1";
+
+std::string header_line(const std::string& key, std::string_view payload) {
+  return std::string(kMagic) + " " + key + " " + sha256_hex(payload) + " " +
+         std::to_string(payload.size()) + "\n";
+}
+
+bool read_file(const std::filesystem::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+/// Split "<magic> <key> <hash> <size>\n<payload>" and validate every
+/// field against the actual bytes. Returns false on any mismatch.
+bool validate_entry(const std::string& key, const std::string& raw,
+                    std::string& payload) {
+  const std::size_t eol = raw.find('\n');
+  if (eol == std::string::npos) return false;
+  const std::string_view header(raw.data(), eol);
+
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= header.size()) {
+    const std::size_t sp = header.find(' ', start);
+    if (sp == std::string_view::npos) {
+      fields.push_back(header.substr(start));
+      break;
+    }
+    fields.push_back(header.substr(start, sp - start));
+    start = sp + 1;
+  }
+  if (fields.size() != 4) return false;
+  if (fields[0] != kMagic || fields[1] != key) return false;
+
+  const std::string_view body(raw.data() + eol + 1, raw.size() - eol - 1);
+  if (fields[3] != std::to_string(body.size())) return false;
+  if (fields[2] != sha256_hex(body)) return false;
+
+  payload.assign(body);
+  return true;
+}
+
+void unlink_quiet(const std::filesystem::path& p) {
+  std::error_code ec;
+  std::filesystem::remove(p, ec);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
+  std::filesystem::create_directories(cfg_.dir);
+
+  // Deterministic startup scan: sorted filenames, so two caches opened
+  // on the same directory agree on eviction order. Tmp droppings from a
+  // crashed writer are swept here.
+  std::vector<std::string> names;
+  for (const auto& de : std::filesystem::directory_iterator(cfg_.dir)) {
+    if (!de.is_regular_file()) continue;
+    names.push_back(de.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    if (name.rfind("tmp-", 0) == 0) {
+      unlink_quiet(cfg_.dir / name);
+      continue;
+    }
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(cfg_.dir / name, ec);
+    if (ec) continue;
+    index_[name] = Entry{size, ++tick_};
+    total_bytes_ += size;
+  }
+}
+
+std::filesystem::path ResultCache::path_of(const std::string& key) const {
+  return cfg_.dir / key;
+}
+
+FetchResult ResultCache::fetch(const std::string& key, std::string& payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return FetchResult::Miss;
+
+  std::string raw;
+  if (!read_file(path_of(key), raw) || !validate_entry(key, raw, payload)) {
+    drop_locked(key);
+    return FetchResult::Corrupt;
+  }
+  it->second.tick = ++tick_;
+  return FetchResult::Hit;
+}
+
+std::size_t ResultCache::insert(const std::string& key,
+                                std::string_view payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second.tick = ++tick_;  // same content address: just a touch
+    return 0;
+  }
+
+  const std::string blob = header_line(key, payload) + std::string(payload);
+  const std::filesystem::path tmp =
+      cfg_.dir / ("tmp-" + std::to_string(++tmp_seq_) + "-" + key);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out.good()) {
+      unlink_quiet(tmp);
+      return 0;  // disk trouble: behave as an uncached run
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_of(key), ec);  // atomic publish
+  if (ec) {
+    unlink_quiet(tmp);
+    return 0;
+  }
+  index_[key] = Entry{blob.size(), ++tick_};
+  total_bytes_ += blob.size();
+  return evict_to_budget_locked();
+}
+
+ResultCache::Totals ResultCache::totals() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return Totals{index_.size(), total_bytes_};
+}
+
+void ResultCache::drop_locked(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  total_bytes_ -= it->second.bytes;
+  index_.erase(it);
+  unlink_quiet(path_of(key));
+}
+
+std::size_t ResultCache::evict_to_budget_locked() {
+  std::size_t evicted = 0;
+  while (total_bytes_ > cfg_.max_bytes && !index_.empty()) {
+    auto victim = index_.begin();
+    for (auto it = std::next(index_.begin()); it != index_.end(); ++it)
+      if (it->second.tick < victim->second.tick) victim = it;
+    total_bytes_ -= victim->second.bytes;
+    unlink_quiet(path_of(victim->first));
+    index_.erase(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
+}  // namespace parbounds::service

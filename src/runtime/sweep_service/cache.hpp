@@ -1,0 +1,80 @@
+#pragma once
+// Content-addressed result cache (docs/SERVICE.md). One completed trial
+// = one file named by its cache key (sha256 of the canonical request),
+// holding a self-checking header plus the payload:
+//
+//   parbounds-cache-v1 <key> <sha256_hex(payload)> <payload size>\n
+//   <payload bytes>
+//
+// Writes go to a tmp file first and are renamed into place, so a
+// reader never observes a half-written entry and a crashed writer
+// leaves only tmp droppings (swept on startup). Any mismatch between
+// the header and the bytes on disk — truncation, bit rot, a file
+// renamed by hand — makes fetch() return Corrupt and unlink the entry:
+// a corrupt result is re-run, never served.
+//
+// Eviction is LRU over a logical tick counter (never wall clock —
+// det.wall-clock applies here too): every hit and insert bumps the
+// entry's tick, and when the on-disk total exceeds max_bytes the
+// smallest-tick entries are removed first. The startup scan assigns
+// ticks in sorted-filename order so a reopened cache evicts
+// deterministically.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace parbounds::service {
+
+struct CacheConfig {
+  std::filesystem::path dir;             ///< created if missing
+  std::uint64_t max_bytes = 64u << 20;   ///< on-disk budget (headers incl.)
+};
+
+enum class FetchResult : std::uint8_t { Hit, Miss, Corrupt };
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig cfg);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Look up `key`; on Hit fills `payload` and refreshes LRU recency.
+  /// Corrupt means an entry existed but failed validation (it has been
+  /// unlinked; the caller re-runs exactly as for Miss).
+  FetchResult fetch(const std::string& key, std::string& payload);
+
+  /// Write (key → payload) atomically; returns how many old entries
+  /// were evicted to stay under max_bytes. Inserting an existing key
+  /// only refreshes its recency.
+  std::size_t insert(const std::string& key, std::string_view payload);
+
+  struct Totals {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;  ///< on-disk bytes, headers included
+  };
+  Totals totals() const;
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;  ///< whole-file size
+    std::uint64_t tick = 0;   ///< logical recency (higher = fresher)
+  };
+
+  std::filesystem::path path_of(const std::string& key) const;
+  void drop_locked(const std::string& key);
+  std::size_t evict_to_budget_locked();
+
+  CacheConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> index_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t tmp_seq_ = 0;
+};
+
+}  // namespace parbounds::service

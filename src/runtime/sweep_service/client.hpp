@@ -1,0 +1,30 @@
+#pragma once
+// Service-backed sweep execution: the drop-in replacement for
+// runtime::run_sweep that the bench harness uses under --via-service.
+// Each (cell, repetition) trial becomes one run request with the SAME
+// derived seed run_sweep would have used — derive_seed(base_seed, t)
+// over the concatenated trial list — and the responses are aggregated
+// through the same aggregate_cells. Identical seeds in, identical
+// kernels (src/algos/cost_kernels.hpp) underneath, identical
+// aggregation out: the report is byte-identical to an in-process run,
+// whether the costs were computed or served from the cache.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep.hpp"
+#include "runtime/sweep_service/service.hpp"
+
+namespace parbounds::service {
+
+/// Execute `cells` through `svc`. Every cell must carry a routable
+/// ServiceSpec — a closure-only cell throws std::runtime_error naming
+/// it (a silent closure fallback would defeat the byte-identity
+/// contract). Retry responses are resubmitted; error responses throw.
+/// Timing fields are left 0: via-service reports are cost-only.
+runtime::SweepResult run_sweep_via_service(
+    SweepService& svc, std::string title, std::uint64_t base_seed,
+    std::vector<runtime::SweepCell> cells);
+
+}  // namespace parbounds::service

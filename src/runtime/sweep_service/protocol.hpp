@@ -1,0 +1,104 @@
+#pragma once
+// Wire protocol of the sweep service (docs/SERVICE.md).
+//
+// One message = one JSON object on a single line. Two transports carry
+// the same payloads: JSONL over stdio (one message per '\n'-terminated
+// line) and a length-prefixed framing for the Unix-socket daemon
+// (4-byte little-endian payload length, then the payload bytes). The
+// codec is deliberately strict — unknown keys, duplicate keys, missing
+// required fields, wrong types and trailing bytes are all typed decode
+// errors, never best-effort guesses — because a cache keyed by request
+// content cannot afford two spellings of the same request.
+//
+// Requests:
+//   {"id":N,"op":"run","engine":E,"workload":W,"params":{k:v,...},"seed":S}
+//   {"id":N,"op":"stats"}   {"id":N,"op":"ping"}   {"id":N,"op":"shutdown"}
+// Responses:
+//   {"id":N,"status":"ok","cached":B,"cost":C}       completed run
+//   {"id":N,"status":"ok","stats":{...}}             stats snapshot
+//   {"id":N,"status":"ok"}                           ping/shutdown ack
+//   {"id":N,"status":"retry"}                        admission queue full
+//   {"id":N,"status":"error","error":"..."}          typed failure
+//
+// The cache key of a run request is sha256_hex(canonical_request()):
+// a fixed code-version tag, engine, workload, the params sorted by
+// name, and the derived seed — exactly the tuple that determines a
+// trial's cost (docs/RUNTIME.md seeding discipline).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runtime/sweep.hpp"
+
+namespace parbounds::service {
+
+/// Bumped whenever a change makes previously cached costs stale (a cost
+/// model fix, a kernel change). Part of every cache key.
+inline constexpr const char* kCodeVersion = "parbounds-service-v1";
+
+enum class Op : std::uint8_t { Run, Stats, Ping, Shutdown };
+
+const char* op_name(Op op);
+
+struct Request {
+  std::uint64_t id = 0;
+  Op op = Op::Run;
+  runtime::ServiceSpec spec;  ///< engine/workload/params (op == Run)
+  std::uint64_t seed = 0;     ///< the DERIVED per-trial seed, not a base
+};
+
+enum class Status : std::uint8_t { Ok, Retry, Error };
+
+const char* status_name(Status s);
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::Ok;
+  bool cached = false;      ///< run: served from the result cache
+  bool has_cost = false;    ///< run responses carry a cost
+  double cost = 0.0;        ///< model cost (%.17g over the wire, exact)
+  std::string stats_json;   ///< stats responses: raw snapshot JSON
+  std::string error;        ///< status == Error: human-readable cause
+};
+
+// ----- JSON codec -----------------------------------------------------------
+
+std::string encode_request(const Request& req);
+std::string encode_response(const Response& resp);
+
+/// Strict decode; on failure returns false and sets `err` (the caller
+/// turns that into a typed "error" response, never a crash).
+bool decode_request(std::string_view payload, Request& out, std::string& err);
+bool decode_response(std::string_view payload, Response& out,
+                     std::string& err);
+
+// ----- cache keying ---------------------------------------------------------
+
+/// "parbounds-service-v1|engine=E|workload=W|k1=v1|...|seed=S" with the
+/// params sorted by name. Pure function of the request content.
+std::string canonical_request(const Request& req);
+
+/// sha256_hex(canonical_request(req)) — the content address.
+std::string cache_key(const Request& req);
+
+// ----- length-prefixed framing (socket transport) ---------------------------
+
+/// Frames above this are refused on both sides: a reader that trusted a
+/// corrupt 4-byte header would happily allocate gigabytes.
+inline constexpr std::size_t kMaxFramePayload = 1 << 20;
+
+/// Append [u32le length | payload] to `buf`. Payload must fit
+/// kMaxFramePayload (callers encode messages, which are tiny).
+void append_frame(std::string& buf, std::string_view payload);
+
+enum class FrameResult : std::uint8_t { NeedMore, Ok, TooLarge };
+
+/// Try to extract one frame from the front of `buf`. On Ok, `payload`
+/// holds the message and `consumed` the bytes to drop from the front.
+/// NeedMore means the buffer holds a prefix of a valid frame; TooLarge
+/// is a protocol error (close the connection).
+FrameResult extract_frame(std::string_view buf, std::string& payload,
+                          std::size_t& consumed);
+
+}  // namespace parbounds::service

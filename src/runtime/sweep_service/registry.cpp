@@ -1,0 +1,147 @@
+#include "runtime/sweep_service/registry.hpp"
+
+#include <map>
+
+#include "algos/cost_kernels.hpp"
+#include "core/cost.hpp"
+
+namespace parbounds::service {
+
+namespace {
+
+constexpr const char* kQsmEngines = "qsm|sqsm|qsm-crfree|crcw-like|erew";
+
+/// Engine string → shared-memory cost model. Returns false for "bsp"
+/// and anything unknown; BSP workloads match the engine by name.
+bool qsm_model_of(const std::string& engine, CostModel& model) {
+  if (engine == "qsm") model = CostModel::Qsm;
+  else if (engine == "sqsm") model = CostModel::SQsm;
+  else if (engine == "qsm-crfree") model = CostModel::QsmCrFree;
+  else if (engine == "crcw-like") model = CostModel::CrcwLike;
+  else if (engine == "erew") model = CostModel::Erew;
+  else return false;
+  return true;
+}
+
+/// Validated view of a request's params: every name checked against the
+/// registry entry, duplicates rejected, required ones present.
+class ParamSet {
+ public:
+  bool build(const WorkloadInfo& info, const runtime::ServiceSpec& spec,
+             std::string& err) {
+    for (const auto& [name, value] : spec.params) {
+      bool known = false;
+      for (const auto& r : info.required) known = known || r == name;
+      for (const auto& o : info.optional) known = known || o == name;
+      if (!known) {
+        err = "workload '" + info.name + "' has no param '" + name + "'";
+        return false;
+      }
+      if (!values_.emplace(name, value).second) {
+        err = "duplicate param '" + name + "'";
+        return false;
+      }
+    }
+    for (const auto& r : info.required) {
+      if (values_.find(r) == values_.end()) {
+        err = "workload '" + info.name + "' requires param '" + r + "'";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::uint64_t get(const std::string& name, std::uint64_t fallback = 0) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace
+
+const std::vector<WorkloadInfo>& workloads() {
+  static const std::vector<WorkloadInfo> kWorkloads = {
+      {"parity_tree", {"n", "g", "fanin"}, {}, kQsmEngines},
+      {"parity_circuit", {"n", "g"}, {}, kQsmEngines},
+      {"or_fanin", {"n", "g", "ones"}, {}, kQsmEngines},
+      {"or_rand_cr", {"n", "g", "ones"}, {}, "qsm-crfree"},
+      {"lac_prefix", {"n", "g", "h"}, {"fanin"}, kQsmEngines},
+      {"lac_dart", {"n", "g", "h"}, {}, kQsmEngines},
+      {"padded_sort", {"n", "g"}, {}, kQsmEngines},
+      {"broadcast", {"n", "g"}, {"fanin"}, kQsmEngines},
+      {"parity_bsp", {"n", "p", "g", "L"}, {}, "bsp"},
+      {"or_bsp", {"n", "p", "g", "L", "ones"}, {}, "bsp"},
+      {"lac_bsp", {"n", "p", "g", "L", "h"}, {"fanin"}, "bsp"},
+  };
+  return kWorkloads;
+}
+
+bool run_spec(const runtime::ServiceSpec& spec, std::uint64_t seed,
+              double& cost, std::string& err) {
+  const WorkloadInfo* info = nullptr;
+  for (const auto& w : workloads())
+    if (w.name == spec.workload) info = &w;
+  if (info == nullptr) {
+    err = "unknown workload '" + spec.workload + "'";
+    return false;
+  }
+
+  ParamSet params;
+  if (!params.build(*info, spec, err)) return false;
+
+  const bool wants_bsp = info->engines == std::string("bsp");
+  CostModel model = CostModel::Qsm;
+  if (wants_bsp) {
+    if (spec.engine != "bsp") {
+      err = "workload '" + info->name + "' requires engine 'bsp', got '" +
+            spec.engine + "'";
+      return false;
+    }
+  } else if (!qsm_model_of(spec.engine, model)) {
+    err = "unknown engine '" + spec.engine + "' (expected " + info->engines +
+          ")";
+    return false;
+  } else if (info->engines == std::string("qsm-crfree") &&
+             spec.engine != "qsm-crfree") {
+    err = "workload '" + info->name + "' requires engine 'qsm-crfree'";
+    return false;
+  }
+
+  const std::uint64_t n = params.get("n");
+  const std::uint64_t g = params.get("g");
+  if (spec.workload == "parity_tree") {
+    cost = kernels::parity_tree_cost(
+        model, n, g, static_cast<unsigned>(params.get("fanin")), seed);
+  } else if (spec.workload == "parity_circuit") {
+    cost = kernels::parity_circuit_cost(model, n, g, seed);
+  } else if (spec.workload == "or_fanin") {
+    cost = kernels::or_fanin_cost(model, n, g, params.get("ones"), seed);
+  } else if (spec.workload == "or_rand_cr") {
+    cost = kernels::or_rand_cr_cost(n, g, params.get("ones"), seed);
+  } else if (spec.workload == "lac_prefix") {
+    cost = kernels::lac_prefix_cost(
+        model, n, g, params.get("h"), seed,
+        static_cast<unsigned>(params.get("fanin", 4)));
+  } else if (spec.workload == "lac_dart") {
+    cost = kernels::lac_dart_cost(model, n, g, params.get("h"), seed);
+  } else if (spec.workload == "padded_sort") {
+    cost = kernels::padded_sort_cost(model, n, g, seed);
+  } else if (spec.workload == "broadcast") {
+    cost = kernels::broadcast_cost(model, n, g, params.get("fanin", 0));
+  } else if (spec.workload == "parity_bsp") {
+    cost = kernels::parity_bsp_cost(n, params.get("p"), g, params.get("L"),
+                                    seed);
+  } else if (spec.workload == "or_bsp") {
+    cost = kernels::or_bsp_cost(n, params.get("p"), g, params.get("L"),
+                                params.get("ones"), seed);
+  } else {  // lac_bsp (the registry above is exhaustive)
+    cost = kernels::lac_bsp_cost(n, params.get("p"), g, params.get("L"),
+                                 params.get("h"), seed, params.get("fanin", 0));
+  }
+  return true;
+}
+
+}  // namespace parbounds::service

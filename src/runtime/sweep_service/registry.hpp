@@ -1,0 +1,38 @@
+#pragma once
+// Workload registry: the service-facing name → cost-kernel dispatch.
+// A run request names an engine ("qsm", "sqsm", "qsm-crfree", ... or
+// "bsp") and a workload with integer params; the registry validates the
+// combination strictly — unknown workload, unknown or duplicate param,
+// missing required param, or a workload/engine mismatch are all typed
+// errors — and then calls the matching kernels::*_cost function.
+// Strictness is part of cache soundness: a request the registry would
+// quietly "fix up" would be cached under a key that doesn't describe
+// what actually ran.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep.hpp"
+
+namespace parbounds::service {
+
+/// One registered workload, for --list-workloads and error messages.
+struct WorkloadInfo {
+  std::string name;
+  std::vector<std::string> required;  ///< param names that must be present
+  std::vector<std::string> optional;  ///< params with kernel defaults
+  std::string engines;                ///< human-readable engine constraint
+};
+
+/// All registered workloads, in a fixed documentation order.
+const std::vector<WorkloadInfo>& workloads();
+
+/// Execute `spec` with the given derived seed. Returns true and fills
+/// `cost`, or returns false and fills `err` with the validation error.
+/// Never throws on bad input — bad input is the common case for a
+/// network-facing service.
+bool run_spec(const runtime::ServiceSpec& spec, std::uint64_t seed,
+              double& cost, std::string& err);
+
+}  // namespace parbounds::service

@@ -1,0 +1,76 @@
+#include "runtime/sweep_service/serve.hpp"
+
+#include <condition_variable>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace parbounds::service {
+
+bool StdioTransport::recv(std::string& payload) {
+  while (std::getline(in_, payload)) {
+    if (!payload.empty() && payload.back() == '\r') payload.pop_back();
+    if (!payload.empty()) return true;
+  }
+  return false;
+}
+
+void StdioTransport::send(const std::string& payload) {
+  out_ << payload << '\n';
+  out_.flush();
+}
+
+ServeResult serve(SweepService& svc, Transport& transport) {
+  ServeResult result;
+
+  // Reorder buffer: responses are emitted strictly in the sequence their
+  // requests arrived, whatever order the service completes them in.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::uint64_t, std::string> ready;
+  std::uint64_t next_emit = 0;
+
+  const auto emit = [&](std::uint64_t seq, std::string payload) {
+    const std::lock_guard<std::mutex> lock(mu);
+    ready.emplace(seq, std::move(payload));
+    for (auto it = ready.find(next_emit); it != ready.end();
+         it = ready.find(next_emit)) {
+      transport.send(it->second);
+      ready.erase(it);
+      ++next_emit;
+      ++result.served;
+    }
+    cv.notify_all();
+  };
+
+  std::uint64_t next_seq = 0;
+  std::string payload;
+  while (transport.recv(payload)) {
+    const std::uint64_t seq = next_seq++;
+    Request req;
+    std::string err;
+    if (!decode_request(payload, req, err)) {
+      Response resp;
+      resp.id = req.id;  // 0 unless decode got that far
+      resp.status = Status::Error;
+      resp.error = err;
+      emit(seq, encode_response(resp));
+      continue;
+    }
+    const bool is_shutdown = req.op == Op::Shutdown;
+    svc.submit(std::move(req), [&emit, seq](Response resp) {
+      emit(seq, encode_response(resp));
+    });
+    if (is_shutdown) {
+      result.shutdown = true;
+      break;  // ack still in flight; the drain below waits for it
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return next_emit == next_seq; });
+  return result;
+}
+
+}  // namespace parbounds::service

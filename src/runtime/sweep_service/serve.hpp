@@ -1,0 +1,55 @@
+#pragma once
+// Serve loop: pull messages off a Transport, decode, route through a
+// SweepService, and emit responses IN REQUEST ORDER (a reorder buffer
+// bridges the service's batch completion order back to arrival order,
+// so a lock-step client can pair request k with response k). Malformed
+// payloads become typed "error" responses in sequence — a broken client
+// can not crash or desynchronize the daemon.
+//
+// Transport is the seam between the protocol and the bytes: JSONL over
+// stdio for pipelines and tests, length-prefixed frames over a Unix
+// socket for the daemon (tools/parbounds_serve.cpp). Both carry
+// identical payloads (protocol.hpp).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "runtime/sweep_service/service.hpp"
+
+namespace parbounds::service {
+
+/// One byte-stream endpoint. recv() blocks for the next whole message
+/// payload and returns false on EOF / connection close; send() writes
+/// one whole message. serve() serializes send() calls itself.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual bool recv(std::string& payload) = 0;
+  virtual void send(const std::string& payload) = 0;
+};
+
+/// JSONL: one message per '\n'-terminated line. Blank lines are
+/// skipped; output is flushed per message (lock-step clients depend on
+/// it).
+class StdioTransport : public Transport {
+ public:
+  StdioTransport(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+  bool recv(std::string& payload) override;
+  void send(const std::string& payload) override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+struct ServeResult {
+  bool shutdown = false;     ///< a shutdown op ended the loop (vs. EOF)
+  std::uint64_t served = 0;  ///< responses emitted, errors included
+};
+
+/// Run until EOF or a shutdown op; every outstanding request is
+/// answered before this returns.
+ServeResult serve(SweepService& svc, Transport& transport);
+
+}  // namespace parbounds::service

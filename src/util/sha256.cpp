@@ -1,0 +1,106 @@
+#include "util/sha256.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace parbounds {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kK = {
+    0x428a2f98U, 0x71374491U, 0xb5c0fbcfU, 0xe9b5dba5U, 0x3956c25bU,
+    0x59f111f1U, 0x923f82a4U, 0xab1c5ed5U, 0xd807aa98U, 0x12835b01U,
+    0x243185beU, 0x550c7dc3U, 0x72be5d74U, 0x80deb1feU, 0x9bdc06a7U,
+    0xc19bf174U, 0xe49b69c1U, 0xefbe4786U, 0x0fc19dc6U, 0x240ca1ccU,
+    0x2de92c6fU, 0x4a7484aaU, 0x5cb0a9dcU, 0x76f988daU, 0x983e5152U,
+    0xa831c66dU, 0xb00327c8U, 0xbf597fc7U, 0xc6e00bf3U, 0xd5a79147U,
+    0x06ca6351U, 0x14292967U, 0x27b70a85U, 0x2e1b2138U, 0x4d2c6dfcU,
+    0x53380d13U, 0x650a7354U, 0x766a0abbU, 0x81c2c92eU, 0x92722c85U,
+    0xa2bfe8a1U, 0xa81a664bU, 0xc24b8b70U, 0xc76c51a3U, 0xd192e819U,
+    0xd6990624U, 0xf40e3585U, 0x106aa070U, 0x19a4c116U, 0x1e376c08U,
+    0x2748774cU, 0x34b0bcb5U, 0x391c0cb3U, 0x4ed8aa4aU, 0x5b9cca4fU,
+    0x682e6ff3U, 0x748f82eeU, 0x78a5636fU, 0x84c87814U, 0x8cc70208U,
+    0x90befffaU, 0xa4506cebU, 0xbef9a3f7U, 0xc67178f2U};
+
+std::uint32_t rotr(std::uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32U - n));
+}
+
+struct State {
+  std::array<std::uint32_t, 8> h = {0x6a09e667U, 0xbb67ae85U, 0x3c6ef372U,
+                                    0xa54ff53aU, 0x510e527fU, 0x9b05688cU,
+                                    0x1f83d9abU, 0x5be0cd19U};
+
+  void compress(const unsigned char* block) {
+    std::array<std::uint32_t, 64> w;
+    for (unsigned i = 0; i < 16; ++i)
+      w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24U) |
+             (static_cast<std::uint32_t>(block[4 * i + 1]) << 16U) |
+             (static_cast<std::uint32_t>(block[4 * i + 2]) << 8U) |
+             static_cast<std::uint32_t>(block[4 * i + 3]);
+    for (unsigned i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3U);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10U);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4], f = h[5],
+                  g = h[6], hh = h[7];
+    for (unsigned i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = hh + s1 + ch + kK[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+};
+
+}  // namespace
+
+std::string sha256_hex(std::string_view data) {
+  State st;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t off = 0;
+  for (; off + 64 <= data.size(); off += 64) st.compress(bytes + off);
+
+  // Final block(s): remainder, 0x80, zero pad, 64-bit big-endian bit length.
+  std::array<unsigned char, 128> tail = {};
+  const std::size_t rem = data.size() - off;
+  if (rem > 0) std::memcpy(tail.data(), bytes + off, rem);
+  tail[rem] = 0x80;
+  const std::size_t tail_len = rem + 1 + 8 <= 64 ? 64 : 128;
+  const std::uint64_t bits = static_cast<std::uint64_t>(data.size()) * 8;
+  for (unsigned i = 0; i < 8; ++i)
+    tail[tail_len - 1 - i] = static_cast<unsigned char>(bits >> (8U * i));
+  st.compress(tail.data());
+  if (tail_len == 128) st.compress(tail.data() + 64);
+
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (const std::uint32_t word : st.h)
+    for (int shift = 28; shift >= 0; shift -= 4)
+      out += hex[(word >> static_cast<unsigned>(shift)) & 0xFU];
+  return out;
+}
+
+}  // namespace parbounds

@@ -1,0 +1,19 @@
+#pragma once
+// SHA-256 (FIPS 180-4), self-contained — the repo links no crypto
+// library. The sweep service uses it for content-addressed cache keys
+// (docs/SERVICE.md): a key is the hex digest of the canonical request
+// string, so equal requests collide by construction and unequal ones
+// do not in any way an experiment could ever observe. Not intended for
+// adversarial settings; cache poisoning is out of scope for a local
+// result cache.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parbounds {
+
+/// 64-char lowercase hex digest of `data`.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace parbounds

@@ -1,0 +1,252 @@
+// parbounds_serve — the sweep-service daemon (docs/SERVICE.md).
+//
+// Modes (exactly one):
+//   --stdio            serve JSONL request/response over stdin/stdout
+//   --socket PATH      listen on a Unix socket; length-prefixed frames,
+//                      one connection at a time, until a shutdown op
+//   --connect PATH     lock-step client: JSONL on stdin -> frames to the
+//                      daemon -> JSONL on stdout (scripting/CI glue)
+//   --list-workloads   print the registry and exit
+//
+// Knobs: --cache-dir PATH  --cache-bytes N  --queue N  --jobs N
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "runtime/sweep_service/registry.hpp"
+#include "runtime/sweep_service/serve.hpp"
+#include "runtime/sweep_service/service.hpp"
+
+namespace {
+
+using namespace parbounds::service;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " (--stdio | --socket PATH | --connect PATH | --list-workloads)\n"
+      << "       [--cache-dir PATH] [--cache-bytes N] [--queue N] "
+         "[--jobs N]\n";
+  return 1;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Length-prefixed frames over a connected socket fd.
+class FrameTransport : public Transport {
+ public:
+  explicit FrameTransport(int fd) : fd_(fd) {}
+
+  bool recv(std::string& payload) override {
+    for (;;) {
+      std::size_t consumed = 0;
+      switch (extract_frame(inbuf_, payload, consumed)) {
+        case FrameResult::Ok:
+          inbuf_.erase(0, consumed);
+          return true;
+        case FrameResult::TooLarge:
+          std::cerr << "parbounds_serve: oversized frame, closing\n";
+          return false;
+        case FrameResult::NeedMore:
+          break;
+      }
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n <= 0) return false;
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void send(const std::string& payload) override {
+    std::string frame;
+    append_frame(frame, payload);
+    write_all(fd_, frame);
+  }
+
+ private:
+  int fd_;
+  std::string inbuf_;
+};
+
+int listen_on(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "parbounds_serve: socket: " << std::strerror(errno) << "\n";
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "parbounds_serve: socket path too long\n";
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 8) < 0) {
+    std::cerr << "parbounds_serve: bind/listen " << path << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_to(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int serve_socket(SweepService& svc, const std::string& path) {
+  const int listener = listen_on(path);
+  if (listener < 0) return 1;
+  std::cerr << "parbounds_serve: listening on " << path << "\n";
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      std::cerr << "parbounds_serve: accept: " << std::strerror(errno)
+                << "\n";
+      break;
+    }
+    FrameTransport transport(conn);
+    const ServeResult result = serve(svc, transport);
+    ::close(conn);
+    if (result.shutdown) {
+      ::close(listener);
+      ::unlink(path.c_str());
+      return 0;
+    }
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 1;
+}
+
+/// Lock-step client: one stdin line -> one framed request -> wait for
+/// the framed response -> one stdout line. The serve loop's in-order
+/// guarantee makes this pairing exact.
+int run_client(const std::string& path) {
+  const int fd = connect_to(path);
+  if (fd < 0) {
+    std::cerr << "parbounds_serve: cannot connect to " << path << "\n";
+    return 1;
+  }
+  FrameTransport transport(fd);
+  std::string line;
+  int rc = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    transport.send(line);
+    std::string payload;
+    if (!transport.recv(payload)) {
+      std::cerr << "parbounds_serve: connection closed mid-request\n";
+      rc = 1;
+      break;
+    }
+    std::cout << payload << "\n" << std::flush;
+  }
+  ::close(fd);
+  return rc;
+}
+
+int list_workloads() {
+  for (const auto& w : workloads()) {
+    std::cout << w.name << " engines=" << w.engines << " required=";
+    for (std::size_t i = 0; i < w.required.size(); ++i)
+      std::cout << (i ? "," : "") << w.required[i];
+    std::cout << " optional=";
+    for (std::size_t i = 0; i < w.optional.size(); ++i)
+      std::cout << (i ? "," : "") << w.optional[i];
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode;
+  std::string path;
+  ServiceConfig cfg;
+  cfg.cache.dir = ".parbounds-cache";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](std::uint64_t& out) {
+      return ++i < argc && parse_u64(argv[i], out);
+    };
+    if (arg == "--stdio" || arg == "--list-workloads") {
+      mode = arg;
+    } else if (arg == "--socket" || arg == "--connect") {
+      mode = arg;
+      if (++i >= argc) return usage(argv[0]);
+      path = argv[i];
+    } else if (arg == "--cache-dir") {
+      if (++i >= argc) return usage(argv[0]);
+      cfg.cache.dir = argv[i];
+    } else if (arg == "--cache-bytes") {
+      if (!need_value(cfg.cache.max_bytes)) return usage(argv[0]);
+    } else if (arg == "--queue") {
+      std::uint64_t v = 0;
+      if (!need_value(v)) return usage(argv[0]);
+      cfg.queue_capacity = static_cast<std::size_t>(v);
+    } else if (arg == "--jobs") {
+      std::uint64_t v = 0;
+      if (!need_value(v)) return usage(argv[0]);
+      cfg.jobs = static_cast<unsigned>(v);
+    } else {
+      std::cerr << "parbounds_serve: unknown flag '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+
+  if (mode == "--list-workloads") return list_workloads();
+  if (mode == "--connect") return run_client(path);
+  if (mode == "--stdio") {
+    SweepService svc(cfg);
+    StdioTransport transport(std::cin, std::cout);
+    serve(svc, transport);
+    return 0;
+  }
+  if (mode == "--socket") {
+    SweepService svc(cfg);
+    return serve_socket(svc, path);
+  }
+  return usage(argv[0]);
+}

@@ -31,15 +31,24 @@
 #      bench_hotpath, a <=1.05x detached-hook ceiling for
 #      bench_obs_overhead; see docs/PERF.md and docs/OBSERVABILITY.md).
 #      Perf under a sanitizer is meaningless, hence the separate
-#      Release build dir.
+#      Release build dir;
+#   9. the sweep-service stage (docs/SERVICE.md): the `service`-labelled
+#      subset (result cache + protocol fuzz + daemon core), then an
+#      end-to-end smoke — parbounds_serve on a temp Unix socket, a
+#      3-cell sweep sent twice, the second pass required to be 100%
+#      cache hits (checked via the metrics snapshot) with costs
+#      byte-identical to the first. The TSan flavor also runs the
+#      service subset: the dispatcher thread, admission queue and cache
+#      are concurrent.
 #
 # Usage: tools/run_checks.sh [--quick] [--require-tidy] [build-dir]
 #
 #   --quick         plain (sanitizer-free) build + full ctest + the
-#                   analysis, runtime, obs and intra subsets + detlint +
-#                   the parprof_cli and bench smokes; skips both
-#                   sanitizer rebuilds and (unless --require-tidy) the
-#                   tidy pass. The inner-loop command while iterating.
+#                   analysis, runtime, obs, intra and service subsets +
+#                   detlint + the service, parprof_cli and bench smokes;
+#                   skips both sanitizer rebuilds and (unless
+#                   --require-tidy) the tidy pass. The inner-loop
+#                   command while iterating.
 #   --require-tidy  make a missing clang-tidy a hard failure instead of
 #                   a skip, and run the tidy pass even in quick mode —
 #                   CI passes this so the gate cannot silently degrade.
@@ -102,6 +111,62 @@ run_detlint() {
   "${cli}" --root . src tools bench
 }
 
+# Sweep-service end-to-end smoke (docs/SERVICE.md). $1 is the build dir
+# holding tools/parbounds_serve. A daemon listens on a temp socket; the
+# same 3-cell sweep is sent twice through the lock-step client. Pass two
+# must answer entirely from the result cache — identical costs, every
+# response cached, and the daemon's metrics snapshot showing exactly 3
+# hits — before a shutdown op stops the daemon cleanly.
+run_service_smoke() {
+  local serve="$1/tools/parbounds_serve"
+  echo "==> sweep-service smoke (daemon on a temp socket, warm replay)"
+  local dir
+  dir="$(mktemp -d)"
+  local sock="${dir}/serve.sock"
+  "${serve}" --socket "${sock}" --cache-dir "${dir}/cache" &
+  local daemon=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${sock}" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -S "${sock}" ]]; then
+    echo "parbounds_serve never opened ${sock}" >&2
+    kill "${daemon}" 2>/dev/null || true
+    exit 1
+  fi
+
+  local sweep
+  sweep="$(cat <<'EOF'
+{"id":1,"op":"run","engine":"qsm","workload":"parity_circuit","params":{"n":64,"g":2},"seed":1}
+{"id":2,"op":"run","engine":"qsm","workload":"parity_circuit","params":{"n":128,"g":2},"seed":2}
+{"id":3,"op":"run","engine":"bsp","workload":"parity_bsp","params":{"n":64,"p":4,"g":2,"L":8},"seed":3}
+EOF
+)"
+  printf '%s\n' "${sweep}" | "${serve}" --connect "${sock}" >"${dir}/cold.out"
+  printf '%s\n' "${sweep}" | "${serve}" --connect "${sock}" >"${dir}/warm.out"
+
+  # Costs must be byte-identical; only the cached flag may differ.
+  if ! diff <(sed 's/"cached":[a-z]*/"cached":_/' "${dir}/cold.out") \
+            <(sed 's/"cached":[a-z]*/"cached":_/' "${dir}/warm.out"); then
+    echo "warm-replay costs diverged from the cold run" >&2
+    exit 1
+  fi
+  if [[ "$(grep -c '"cached":true' "${dir}/warm.out")" != 3 ]]; then
+    echo "warm replay was not 100% cache hits:" >&2
+    cat "${dir}/warm.out" >&2
+    exit 1
+  fi
+  if ! printf '{"id":9,"op":"stats"}\n' | "${serve}" --connect "${sock}" |
+      grep -q '"cache.hit":3'; then
+    echo "daemon metrics snapshot does not show cache.hit=3" >&2
+    exit 1
+  fi
+  printf '{"id":10,"op":"shutdown"}\n' | "${serve}" --connect "${sock}" \
+    >/dev/null
+  wait "${daemon}"
+  rm -rf "${dir}"
+}
+
 if [[ "${QUICK}" == 1 ]]; then
   BUILD_DIR="${BUILD_DIR:-build-quick}"
   echo "==> [quick] configure into ${BUILD_DIR}"
@@ -125,6 +190,9 @@ if [[ "${QUICK}" == 1 ]]; then
   ctest --test-dir "${BUILD_DIR}" -L obs --output-on-failure
   echo "==> [quick] intra-labelled subset (sharded-commit determinism)"
   ctest --test-dir "${BUILD_DIR}" -L intra --output-on-failure
+  echo "==> [quick] service-labelled subset (cache + protocol + daemon core)"
+  ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure
+  run_service_smoke "${BUILD_DIR}"
   echo "==> [quick] parprof_cli smoke over an exported demo trace"
   "${BUILD_DIR}/tools/parlint_cli" --export-demo \
     "${BUILD_DIR}/CHECK_prof_demo.csv" 512 8 2
@@ -172,6 +240,11 @@ ctest --test-dir "${BUILD_DIR}" -L analysis --output-on-failure
 echo "==> obs-labelled subset"
 ctest --test-dir "${BUILD_DIR}" -L obs --output-on-failure
 
+echo "==> service-labelled subset (cache + protocol + daemon core)"
+ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure
+
+run_service_smoke "${BUILD_DIR}"
+
 echo "==> parprof_cli smoke over an exported demo trace"
 "${BUILD_DIR}/tools/parlint_cli" --export-demo \
   "${BUILD_DIR}/CHECK_prof_demo.csv" 512 8 2
@@ -186,8 +259,9 @@ cmake -B "${BUILD_DIR}-tsan" -S . \
 echo "==> build (TSan)"
 cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}"
 
-echo "==> runtime-, obs- and intra-labelled subsets under TSan"
-ctest --test-dir "${BUILD_DIR}-tsan" -L 'runtime|obs|intra' --output-on-failure
+echo "==> runtime-, obs-, intra- and service-labelled subsets under TSan"
+ctest --test-dir "${BUILD_DIR}-tsan" -L 'runtime|obs|intra|service' \
+  --output-on-failure
 
 echo "==> configure (Release, sanitizer-free) into ${BUILD_DIR}-bench"
 cmake -B "${BUILD_DIR}-bench" -S . -DCMAKE_BUILD_TYPE=Release
