@@ -28,15 +28,28 @@
 // and records the single-instance speedups ("shard_speedup" sweep), as
 // does a degree(n=26) instance that lands in the chunked Moebius tier.
 //
+// Since the SIMD dispatch PR the oracle generalizes to the full kernel
+// matrix: kernel_digest folds every dispatch-kernel-touched quantity
+// (connective words, popcounts, integer/GF(2) degrees, both sides of
+// the dense/chunked tier boundary, multilinear coefficients, a commit
+// model cost) into one checksum, and that digest must be identical at
+// EVERY supported dispatch level x pool size in {1, 2, 8}. A paired
+// timing pass then pins the word loops at portable and at the highest
+// supported tier and records the ratios ("simd_speedup" sweep).
+//
 // Extra flags (stripped before google-benchmark sees argv):
 //   --min-phase-speedup=X   fail (exit 1) if the commit speedup < X
 //   --min-degree-speedup=X  fail (exit 1) if the degree speedup < X
 //   --min-shard-speedup=X   fail (exit 1) if the 8-thread sharded
 //                           commit or degree(26) speedup over the same
 //                           instance at 1 thread < X
+//   --min-simd-speedup=X    fail (exit 1) if the best-tier word-loop
+//                           speedup over pinned-portable < X for the
+//                           connectives or the chunked-degree workload
+//                           (skipped when the host has no SIMD tier)
 // tools/run_checks.sh passes conservative floors; BENCH_hotpath.json
-// records the actually measured ratios in the "speedup" and
-// "shard_speedup" sweeps.
+// records the actually measured ratios in the "speedup",
+// "shard_speedup" and "simd_speedup" sweeps.
 
 #include <benchmark/benchmark.h>
 
@@ -55,6 +68,7 @@
 #include "core/gsm.hpp"
 #include "harness.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/simd_level.hpp"
 
 namespace pb = parbounds;
 using namespace parbounds::bench;
@@ -255,8 +269,12 @@ unsigned degree(const ByteFn& f) {
 }  // namespace legacy
 
 // ----- phase-commit cells ----------------------------------------------------
+// The model kernels stay in exact integers end to end (detlint's
+// det.float-accum gate covers every commit-named function); the
+// double-valued SweepCell wrappers live in main, where the cast is one
+// conversion of a final integer, not an accumulation.
 
-double qsm_commit_cost(std::uint64_t seed) {
+std::uint64_t qsm_commit_model(std::uint64_t seed) {
   pb::Rng rng(seed);
   const auto ops = make_ops(rng);
   pb::QsmMachine m({.g = 2});
@@ -271,10 +289,10 @@ double qsm_commit_cost(std::uint64_t seed) {
     }
     m.commit_phase();
   }
-  return static_cast<double>(m.time());
+  return m.time();
 }
 
-double qsm_legacy_commit_cost(std::uint64_t seed) {
+std::uint64_t qsm_legacy_commit_model(std::uint64_t seed) {
   pb::Rng rng(seed);
   const auto ops = make_ops(rng);
   legacy::Qsm m(2);
@@ -288,10 +306,10 @@ double qsm_legacy_commit_cost(std::uint64_t seed) {
     }
     m.commit_phase();
   }
-  return static_cast<double>(m.time());
+  return m.time();
 }
 
-double gsm_commit_cost(std::uint64_t seed) {
+std::uint64_t gsm_commit_model(std::uint64_t seed) {
   pb::Rng rng(seed);
   const auto ops = make_ops(rng);
   pb::GsmMachine m({.alpha = 2, .beta = 2});
@@ -306,10 +324,10 @@ double gsm_commit_cost(std::uint64_t seed) {
     }
     m.commit_phase();
   }
-  return static_cast<double>(m.time());
+  return m.time();
 }
 
-double bsp_commit_cost(std::uint64_t seed) {
+std::uint64_t bsp_commit_model(std::uint64_t seed) {
   pb::Rng rng(seed);
   pb::BspMachine m({.p = kProcs, .g = 2, .L = 8});
   for (unsigned ph = 0; ph < kPhases; ++ph) {
@@ -320,10 +338,10 @@ double bsp_commit_cost(std::uint64_t seed) {
                static_cast<pb::Word>(rng.next_below(1000)));
     m.commit_superstep();
   }
-  return static_cast<double>(m.time());
+  return m.time();
 }
 
-double crcw_commit_cost(std::uint64_t seed) {
+std::uint64_t crcw_commit_model(std::uint64_t seed) {
   pb::Rng rng(seed);
   const auto ops = make_ops(rng);
   pb::CrcwMachine m({.rule = pb::CrcwWriteRule::Arbitrary});
@@ -341,7 +359,7 @@ double crcw_commit_cost(std::uint64_t seed) {
     // returned value so the bit-identity check covers the kappa scan too.
     kappa_sum += m.commit_step().stats.kappa();
   }
-  return static_cast<double>(m.time() + kappa_sum);
+  return m.time() + kappa_sum;
 }
 
 // ----- BoolFn cells ----------------------------------------------------------
@@ -437,35 +455,35 @@ constexpr unsigned kShardPhases = 4;
 struct ShardRun {
   std::uint64_t cost = 0;      ///< model time after all phases
   std::uint64_t checksum = 0;  ///< folded memory + delivered reads
-  double wall_ms = 0.0;
 
-  bool operator==(const ShardRun& o) const {
-    return cost == o.cost && checksum == o.checksum;
-  }
+  bool operator==(const ShardRun& o) const = default;
 };
+
+// The op stream for the sharded instance, generated once in main and
+// replayed by every timed run (generation is noise next to the commit
+// work, and holding it out keeps the timing a pure pipeline measure).
+std::vector<Op> make_shard_ops(std::uint64_t seed) {
+  pb::Rng rng(seed);
+  std::vector<Op> v;
+  v.reserve(kShardProcs * 4);
+  const std::uint64_t half = kShardCells / 2;
+  for (pb::ProcId p = 0; p < kShardProcs; ++p) {
+    for (int r = 0; r < 2; ++r)
+      v.push_back({false, p, rng.next_below(half), 0});
+    for (int w = 0; w < 2; ++w)
+      v.push_back({true, p, half + rng.next_below(half),
+                   static_cast<pb::Word>(1 + rng.next_below(1000))});
+  }
+  return v;
+}
 
 // Runs the instance once at the current pool size and folds everything
 // a divergent shard merge could corrupt into the checksum: the final
 // contents of every written cell (Random winners) and the values
-// delivered to a stride of inboxes (delivery order).
-ShardRun qsm_shard_run(std::uint64_t seed) {
-  pb::Rng rng(seed);
-  const auto ops = [&] {
-    std::vector<Op> v;
-    v.reserve(kShardProcs * 4);
-    const std::uint64_t half = kShardCells / 2;
-    for (pb::ProcId p = 0; p < kShardProcs; ++p) {
-      for (int r = 0; r < 2; ++r)
-        v.push_back({false, p, rng.next_below(half), 0});
-      for (int w = 0; w < 2; ++w)
-        v.push_back({true, p, half + rng.next_below(half),
-                     static_cast<pb::Word>(1 + rng.next_below(1000))});
-    }
-    return v;
-  }();
-
+// delivered to a stride of inboxes (delivery order). Pure integers;
+// main wraps the call in the wall clock.
+ShardRun qsm_shard_run(std::uint64_t seed, const std::vector<Op>& ops) {
   ShardRun out;
-  const auto t0 = std::chrono::steady_clock::now();
   pb::QsmMachine m(
       {.g = 2, .writes = pb::WriteResolution::Random, .seed = seed});
   (void)m.alloc(kShardCells);
@@ -486,10 +504,13 @@ ShardRun qsm_shard_run(std::uint64_t seed) {
     out.checksum =
         out.checksum * 31 + static_cast<std::uint64_t>(m.peek(a));
   out.cost = m.time();
-  const auto t1 = std::chrono::steady_clock::now();
-  out.wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
   return out;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 // degree(n = 26) instance that defeats every early tier (AND of the
@@ -506,6 +527,84 @@ double degree26_wall_ms(const pb::BoolFn& f) {
     std::exit(1);
   }
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// ----- dispatch-equivalence oracle -------------------------------------------
+
+// Folds every quantity a dispatch kernel touches into one checksum: the
+// word-parallel connectives and fix (op_* / fix_low), population
+// counts, the integer degree on BOTH sides of the dense/chunked tier
+// boundary (scatter01 / slice_accum / max_degree_scan / moebius_level /
+// signed_sum_words), the GF(2) transform (gf2_inword / gf2_cross), the
+// full Moebius coefficient vector, and a phase-commit model cost. A
+// pure function of the seed — so it must come out bit-identical at
+// every supported dispatch level and every pool size.
+std::uint64_t kernel_digest(std::uint64_t seed) {
+  std::uint64_t h = 0x243f6a8885a308d3ull;
+  const auto fold = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+
+  pb::Rng rng(seed);
+  const pb::BoolFn f = pb::BoolFn::random(20, rng);
+  const pb::BoolFn g = pb::BoolFn::random(20, rng);
+  const pb::BoolFn hfn = (f & g) ^ (~f | pb::BoolFn::variable(20, 3));
+  for (const std::uint64_t w : hfn.words()) fold(w);
+  fold(hfn.count_ones());
+  const pb::BoolFn fixed = hfn.fix(3, true);
+  for (const std::uint64_t w : fixed.words()) fold(w);
+
+  fold(pb::degree(f));
+  fold(pb::gf2_degree(f));
+  fold(pb::detail::degree_via_dense(f));
+  fold(pb::detail::degree_via_chunked(f));
+
+  const pb::BoolFn small = pb::BoolFn::random(12, rng);
+  for (const std::int64_t c : pb::multilinear_coeffs(small))
+    fold(static_cast<std::uint64_t>(c));
+
+  fold(qsm_commit_model(seed));
+  return h;
+}
+
+// ----- pinned-dispatch word-loop timings -------------------------------------
+
+// One timed pass of the connective/fix/counting word loops at the
+// ACTIVE dispatch level: repeated rounds of (f & g) ^ (~f | g) over
+// 2^24-entry tables, a low-variable fix, and popcounts of all the
+// intermediates, folded into a checksum so the work cannot be elided.
+// Counting passes outnumber connective passes on purpose: the adversary
+// hot loops (Know/Aff tallies, certificate scans) are count-heavy, and
+// counting is also where the scalar fallback is furthest from the
+// vector tiers (scalar std::popcount vs a full-width vector popcount),
+// so a connective-only mix would understate the dispatch win.
+double connectives24_wall_ms(const pb::BoolFn& f, const pb::BoolFn& g,
+                             std::uint64_t& sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < 16; ++r) {
+    const pb::BoolFn h = (f & g) ^ (~f | g);
+    const pb::BoolFn hf = h.fix(5, (r & 1) != 0);
+    sink = sink * 31 + h.count_ones();
+    sink = sink * 31 + hf.count_ones();
+    sink = sink * 31 + (h ^ f).count_ones();
+    sink = sink * 31 + (h | g).count_ones();
+  }
+  return ms_since(t0);
+}
+
+// One timed chunked-tier degree: n = 23, AND of the first 21 inputs —
+// the true degree 21 defeats every fast tier, so the whole slice scan
+// runs. Construction happens in main; only the transform is timed.
+double degree23_wall_ms(const pb::BoolFn& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const unsigned d = pb::degree(f);
+  const double ms = ms_since(t0);
+  if (d != 21) {
+    std::fprintf(stderr, "bench_hotpath: degree(23) oracle got %u, want 21\n",
+                 d);
+    std::exit(1);
+  }
+  return ms;
 }
 
 // ----- pairing / verification ------------------------------------------------
@@ -526,6 +625,7 @@ int main(int argc, char** argv) {
   double min_phase = 0.0;
   double min_degree = 0.0;
   double min_shard = 0.0;
+  double min_simd = 0.0;
   {
     int w = 1;
     for (int i = 1; i < argc; ++i) {
@@ -536,6 +636,8 @@ int main(int argc, char** argv) {
         min_degree = std::stod(arg.substr(21));
       else if (arg.rfind("--min-shard-speedup=", 0) == 0)
         min_shard = std::stod(arg.substr(20));
+      else if (arg.rfind("--min-simd-speedup=", 0) == 0)
+        min_simd = std::stod(arg.substr(19));
       else
         argv[w++] = argv[i];
     }
@@ -564,23 +666,37 @@ int main(int argc, char** argv) {
   // the same op stream / sampled function on both sides and the model
   // results must agree exactly. Keep local copies: references returned
   // by record() don't survive later record() calls.
+  // SweepCells return doubles; the model kernels are integer-exact, so
+  // each wrapper is a single final conversion.
+  const auto as_cell = [](std::uint64_t (*model)(std::uint64_t)) {
+    return [model](std::uint64_t s) { return static_cast<double>(model(s)); };
+  };
+
   const std::uint64_t commit_base = session.next_base_seed();
   const auto qsm_new = pb::runtime::run_sweep(
       session.runner(), "phase_commit", commit_base,
-      {{.key = "qsm/p1024x64", .trials = kTrials, .run = qsm_commit_cost}},
+      {{.key = "qsm/p1024x64",
+        .trials = kTrials,
+        .run = as_cell(qsm_commit_model)}},
       baseline);
   const auto qsm_old = pb::runtime::run_sweep(
       session.runner(), "phase_commit_legacy", commit_base,
       {{.key = "qsm/p1024x64",
         .trials = kTrials,
-        .run = qsm_legacy_commit_cost}},
+        .run = as_cell(qsm_legacy_commit_model)}},
       baseline);
   const auto engines = pb::runtime::run_sweep(
       session.runner(), "phase_commit_other_engines",
       session.next_base_seed(),
-      {{.key = "gsm/p1024x64", .trials = kTrials, .run = gsm_commit_cost},
-       {.key = "bsp/p1024x64", .trials = kTrials, .run = bsp_commit_cost},
-       {.key = "crcw/p1024x64", .trials = kTrials, .run = crcw_commit_cost}},
+      {{.key = "gsm/p1024x64",
+        .trials = kTrials,
+        .run = as_cell(gsm_commit_model)},
+       {.key = "bsp/p1024x64",
+        .trials = kTrials,
+        .run = as_cell(bsp_commit_model)},
+       {.key = "crcw/p1024x64",
+        .trials = kTrials,
+        .run = as_cell(crcw_commit_model)}},
       baseline);
 
   constexpr unsigned kDegTrials = 2;
@@ -705,12 +821,13 @@ int main(int argc, char** argv) {
   // cost and checksum must agree bit for bit every time — the path and
   // the pool size may only change the wall clock.
   const std::uint64_t shard_seed = session.next_base_seed();
+  const auto shard_ops = make_shard_ops(shard_seed);
 
   auto& shard_knob = pb::detail::commit_shard_min_requests();
   const std::uint64_t knob_saved = shard_knob;
   shard_knob = ~std::uint64_t{0};  // no phase qualifies: serial path
   pool.set_threads(1);
-  const ShardRun serial_ref = qsm_shard_run(shard_seed);
+  const ShardRun serial_ref = qsm_shard_run(shard_seed, shard_ops);
   shard_knob = knob_saved;
 
   const pb::BoolFn deg26 = pb::BoolFn::from(26, [](std::uint32_t x) {
@@ -724,10 +841,11 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 3; ++i) {
     pool.set_threads(kPools[i]);
     for (int rep = 0; rep < 2; ++rep) {  // best-of-2 per pool size
-      const ShardRun r = qsm_shard_run(shard_seed);
+      const auto t0 = std::chrono::steady_clock::now();
+      const ShardRun r = qsm_shard_run(shard_seed, shard_ops);
+      const double wall = ms_since(t0);
       if (!(r == serial_ref)) shard_ok = false;
-      commit_wall[i] =
-          (rep == 0) ? r.wall_ms : std::min(commit_wall[i], r.wall_ms);
+      commit_wall[i] = (rep == 0) ? wall : std::min(commit_wall[i], wall);
       const double d = degree26_wall_ms(deg26);
       deg_wall[i] = (rep == 0) ? d : std::min(deg_wall[i], d);
     }
@@ -793,9 +911,135 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // ----- dispatch-equivalence oracle: every level x pool sizes ------------
+  // One digest seed, evaluated at every dispatch level the host supports
+  // and at pool sizes 1/2/8 under each. Any divergence means a SIMD
+  // kernel is not bit-identical to portable — a correctness bug, never a
+  // tolerable perf artifact. The entry level is restored afterwards.
+  const pb::runtime::SimdLevel entry_level = pb::runtime::active_simd_level();
+  const auto levels = pb::runtime::supported_simd_levels();
+  const std::uint64_t oracle_seed = session.next_base_seed();
+  std::uint64_t oracle_ref = 0;
+  bool oracle_first = true;
+  bool dispatch_ok = true;
+  for (const auto level : levels) {
+    pb::runtime::set_simd_level(level);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      pool.set_threads(threads);
+      const std::uint64_t d = kernel_digest(oracle_seed);
+      if (oracle_first) {
+        oracle_ref = d;
+        oracle_first = false;
+      } else if (d != oracle_ref) {
+        dispatch_ok = false;
+        std::fprintf(stderr,
+                     "bench_hotpath: kernel digest DIVERGED at level %s, "
+                     "pool %u (%016llx vs %016llx)\n",
+                     pb::runtime::simd_level_name(level), threads,
+                     static_cast<unsigned long long>(d),
+                     static_cast<unsigned long long>(oracle_ref));
+      }
+    }
+  }
+  pb::runtime::set_simd_level(entry_level);
+  pool.set_threads(1);
+  if (!dispatch_ok) return 1;
+  std::printf("dispatch oracle: kernel digest %016llx identical across %zu "
+              "level(s) x pools {1,2,8}\n\n",
+              static_cast<unsigned long long>(oracle_ref), levels.size());
+
+  // The digest (truncated to double-exact range) and the lane count go
+  // into the JSON report so a run archives which matrix it proved equal.
+  const double digest53 =
+      static_cast<double>(oracle_ref & ((std::uint64_t{1} << 53) - 1));
+  const double oracle_lanes = static_cast<double>(levels.size() * 3);
+  session.record(pb::runtime::run_sweep(
+      session.runner(), "dispatch_oracle", session.next_base_seed(),
+      {{.key = "kernel_digest/low53",
+        .trials = 1,
+        .run = [digest53](std::uint64_t) { return digest53; }},
+       {.key = "kernel_digest/lanes",
+        .trials = 1,
+        .run = [oracle_lanes](std::uint64_t) { return oracle_lanes; }}},
+      baseline));
+
+  // ----- SIMD word-loop speedup: pinned portable vs best tier -------------
+  const auto max_level = pb::runtime::max_supported_simd_level();
+  if (max_level == pb::runtime::SimdLevel::kPortable) {
+    std::printf("simd speedup: host has no SIMD tier (portable only) — "
+                "sweep and floor skipped\n\n");
+  } else {
+    pb::Rng srng(session.next_base_seed());
+    const pb::BoolFn cf = pb::BoolFn::random(24, srng);
+    const pb::BoolFn cg = pb::BoolFn::random(24, srng);
+    const pb::BoolFn d23 = pb::BoolFn::from(23, [](std::uint32_t x) {
+      return (x & 0x1FFFFFu) == 0x1FFFFFu;  // AND of the first 21 inputs
+    });
+
+    const pb::runtime::SimdLevel lv[2] = {pb::runtime::SimdLevel::kPortable,
+                                          max_level};
+    double conn_wall23[2] = {};
+    double deg_wall23[2] = {};
+    std::uint64_t sinks[2] = {};
+    for (int i = 0; i < 2; ++i) {
+      pb::runtime::set_simd_level(lv[i]);
+      for (int rep = 0; rep < 2; ++rep) {  // best-of-2 per level
+        std::uint64_t s = 0;
+        const double c = connectives24_wall_ms(cf, cg, s);
+        conn_wall23[i] = (rep == 0) ? c : std::min(conn_wall23[i], c);
+        sinks[i] = s;
+        const double d = degree23_wall_ms(d23);
+        deg_wall23[i] = (rep == 0) ? d : std::min(deg_wall23[i], d);
+      }
+    }
+    pb::runtime::set_simd_level(entry_level);
+    if (sinks[0] != sinks[1]) {
+      std::fprintf(stderr,
+                   "bench_hotpath: connective checksum DIVERGED between "
+                   "portable and %s\n",
+                   pb::runtime::simd_level_name(max_level));
+      return 1;
+    }
+
+    const double simd_conn = ratio(conn_wall23[0], conn_wall23[1]);
+    const double simd_deg = ratio(deg_wall23[0], deg_wall23[1]);
+    pb::TextTable sm({"word loop", "portable ms",
+                      std::string(pb::runtime::simd_level_name(max_level)) +
+                          " ms",
+                      "speedup"});
+    sm.add_row({"connectives+fix+count n=24",
+                pb::TextTable::num(conn_wall23[0], 1),
+                pb::TextTable::num(conn_wall23[1], 1),
+                pb::TextTable::num(simd_conn, 2)});
+    sm.add_row({"degree n=23 (chunked tier)",
+                pb::TextTable::num(deg_wall23[0], 1),
+                pb::TextTable::num(deg_wall23[1], 1),
+                pb::TextTable::num(simd_deg, 2)});
+    std::printf("%s\n", sm.render().c_str());
+
+    session.record(pb::runtime::run_sweep(
+        session.runner(), "simd_speedup", session.next_base_seed(),
+        {{.key = "connectives/n24",
+          .trials = 1,
+          .run = [simd_conn](std::uint64_t) { return simd_conn; }},
+         {.key = "degree23/chunked",
+          .trials = 1,
+          .run = [simd_deg](std::uint64_t) { return simd_deg; }}},
+        baseline));
+
+    if (min_simd > 0.0 && std::min(simd_conn, simd_deg) < min_simd) {
+      std::fprintf(stderr,
+                   "bench_hotpath: simd speedup (connectives %.2f, degree23 "
+                   "%.2f) below floor %.2f\n",
+                   simd_conn, simd_deg, min_simd);
+      return 1;
+    }
+  }
+  pool.set_threads(session_threads);
+
   benchmark::RegisterBenchmark(
       "sim/qsm_commit/p1024x64", [](benchmark::State& st) {
-        for (auto _ : st) benchmark::DoNotOptimize(qsm_commit_cost(kSeed));
+        for (auto _ : st) benchmark::DoNotOptimize(qsm_commit_model(kSeed));
       });
   benchmark::RegisterBenchmark(
       "sim/boolfn_degree/n20", [](benchmark::State& st) {

@@ -40,6 +40,12 @@
 // (src/runtime/harness_flags.*). See docs/RUNTIME.md for the seeding
 // discipline.
 //
+// The PARBOUNDS_SIMD environment variable (portable|avx2|avx512) pins
+// the BoolFn kernel dispatch level for the whole run; unknown values or
+// tiers the cpu cannot run are typed errors (exit 2), and the timed
+// JSON report records the active level in its host block
+// (docs/PERF.md, "SIMD kernel dispatch").
+//
 // The cost kernels the benches call (parity_circuit_cost, ...) live in
 // src/algos/cost_kernels.hpp since the service PR and are pulled into
 // this namespace below — the service's workload registry dispatches to
@@ -52,6 +58,7 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -76,6 +83,7 @@
 #include "runtime/bench_json.hpp"
 #include "runtime/harness_flags.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/simd_level.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sweep.hpp"
 #include "runtime/sweep_service/client.hpp"
@@ -125,6 +133,15 @@ class BenchSession {
         "TRACE_" + report_.bench + ".json");
     if (flags.error) {
       std::fprintf(stderr, "bench: %s\n", flags.error_message.c_str());
+      std::exit(2);
+    }
+    // Resolve the SIMD dispatch level up front so a bad PARBOUNDS_SIMD
+    // pin fails like any other flag error (typed message, exit 2)
+    // instead of surfacing as an uncaught exception mid-sweep.
+    try {
+      (void)runtime::active_simd_level();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bench: %s\n", e.what());
       std::exit(2);
     }
     json_path_ = flags.json_path;

@@ -75,7 +75,9 @@ void note(GoodnessReport& rep, bool cond, const std::string& what) {
 // the pool. The fold over the array stays serial in the callers, so the
 // violations vector keeps its exact historical order while the
 // expensive per-entity work (deg_states degree computations, Know
-// scans) fans out.
+// scans) fans out. The degree computations themselves bottom out in
+// the SIMD-dispatched BoolFn word loops, so this fold scales with both
+// the pool and the host's vector width without changing any count.
 template <class F>
 std::vector<double> per_entity(std::size_t n, F&& eval) {
   std::vector<double> out(n);

@@ -217,7 +217,10 @@ std::vector<unsigned> TraceAnalysis::know(std::size_t v, unsigned t) const {
 unsigned TraceAnalysis::deg_states(std::size_t v, unsigned t) const {
   // Build every characteristic function chi_id in ONE pass over the
   // refinement row (the old per-id BoolFn::from rescans made this
-  // quadratic in the number of distinct trace ids).
+  // quadratic in the number of distinct trace ids). The degree() calls
+  // below are the hot part; they run on the runtime-dispatched SIMD
+  // word kernels (see src/boolfn/simd_kernels.hpp), bit-identical at
+  // every dispatch level.
   const auto& row = trace_[v][t];
   const unsigned u = free_count();
   std::map<std::uint32_t, BoolFn> chi;

@@ -2,16 +2,19 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <bit>
 #include <stdexcept>
 #include <string>
 
+#include "boolfn/simd_kernels.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace parbounds {
 
 namespace {
+
+using simd::kOddParity;
+using simd::kVarMask;
 
 // Table size (in words or coefficients) below which a transform stays
 // serial: 2^14 words = n >= 20. Small tables are not worth a pool trip.
@@ -39,28 +42,6 @@ void for_ranges(std::size_t n, F&& body) {
                   });
 }
 
-// Bit j of kVarMask[i] is set iff bit i of j is set: the truth table of
-// variable x_i restricted to one 64-entry word. These six masks drive
-// every in-word step of the transforms below.
-constexpr std::uint64_t var_mask(unsigned i) {
-  std::uint64_t m = 0;
-  for (unsigned j = 0; j < 64; ++j)
-    if ((j >> i) & 1u) m |= std::uint64_t{1} << j;
-  return m;
-}
-constexpr std::array<std::uint64_t, 6> kVarMask = {
-    var_mask(0), var_mask(1), var_mask(2),
-    var_mask(3), var_mask(4), var_mask(5)};
-
-// Bit j set iff popcount(j) is odd: parity of the low six input bits.
-constexpr std::uint64_t odd_parity_mask() {
-  std::uint64_t m = 0;
-  for (unsigned j = 0; j < 64; ++j)
-    if (std::popcount(j) & 1u) m |= std::uint64_t{1} << j;
-  return m;
-}
-constexpr std::uint64_t kOddParity = odd_parity_mask();
-
 std::size_t word_count(unsigned n) {
   return n >= 6 ? std::size_t{1} << (n - 6) : 1;
 }
@@ -80,19 +61,12 @@ constexpr unsigned kDenseDegreeArity = 22;
 // sum over x of (-1)^popcount(x) * f(x), the (sign-normalised) top
 // multilinear coefficient. Word-parallel: within a word the sign is the
 // parity of the low six bits (kOddParity), across words the parity of
-// the word index.
+// the word index. The kernel folds both parities in one pass.
 std::int64_t signed_sum(std::span<const std::uint64_t> w) {
+  const auto& k = simd::kernels();
   std::array<std::int64_t, kParShards> part{};
   for_ranges(w.size(), [&](unsigned sh, std::size_t lo, std::size_t hi) {
-    std::int64_t s = 0;
-    for (std::size_t wi = lo; wi < hi; ++wi) {
-      const std::uint64_t bits = w[wi];
-      if (bits == 0) continue;
-      const std::int64_t d = std::popcount(bits & ~kOddParity) -
-                             std::popcount(bits & kOddParity);
-      s += (std::popcount(wi) & 1u) ? -d : d;
-    }
-    part[sh] = s;
+    part[sh] = k.signed_sum_words(w.data(), lo, hi, ~std::uint64_t{0}, 0);
   });
   std::int64_t s = 0;
   for (const std::int64_t p : part) s += p;
@@ -100,32 +74,15 @@ std::int64_t signed_sum(std::span<const std::uint64_t> w) {
 }
 
 // sum over x with x_i == 0 of (-1)^popcount(x) * f(x): the level-(n-1)
-// coefficient for S = {0..n-1} \ {i}, up to sign.
+// coefficient for S = {0..n-1} \ {i}, up to sign. Low variables mask
+// bits inside each word, high variables skip whole word blocks.
 std::int64_t signed_sum_without(std::span<const std::uint64_t> w, unsigned i) {
+  const auto& k = simd::kernels();
+  const std::uint64_t keep = i < 6 ? ~kVarMask[i] : ~std::uint64_t{0};
+  const std::size_t skip_blk = i < 6 ? 0 : std::size_t{1} << (i - 6);
   std::array<std::int64_t, kParShards> part{};
   for_ranges(w.size(), [&](unsigned sh, std::size_t lo, std::size_t hi) {
-    std::int64_t s = 0;
-    if (i < 6) {
-      const std::uint64_t keep = ~kVarMask[i];
-      for (std::size_t wi = lo; wi < hi; ++wi) {
-        const std::uint64_t bits = w[wi] & keep;
-        if (bits == 0) continue;
-        const std::int64_t d = std::popcount(bits & ~kOddParity) -
-                               std::popcount(bits & kOddParity);
-        s += (std::popcount(wi) & 1u) ? -d : d;
-      }
-    } else {
-      const std::size_t blk = std::size_t{1} << (i - 6);
-      for (std::size_t wi = lo; wi < hi; ++wi) {
-        if ((wi & blk) != 0) continue;
-        const std::uint64_t bits = w[wi];
-        if (bits == 0) continue;
-        const std::int64_t d = std::popcount(bits & ~kOddParity) -
-                               std::popcount(bits & kOddParity);
-        s += (std::popcount(wi) & 1u) ? -d : d;
-      }
-    }
-    part[sh] = s;
+    part[sh] = k.signed_sum_words(w.data(), lo, hi, keep, skip_blk);
   });
   std::int64_t s = 0;
   for (const std::int64_t p : part) s += p;
@@ -142,129 +99,168 @@ std::int64_t signed_sum_without(std::span<const std::uint64_t> w, unsigned i) {
 void moebius_i32(std::vector<std::int32_t>& c, unsigned t) {
   const std::uint32_t size = std::uint32_t{1} << t;
   const std::uint64_t half = size / 2;
+  const auto& k = simd::kernels();
   auto& pool = runtime::ParallelFor::pool();
   if (half < kParWords || pool.threads() <= 1 ||
       runtime::ParallelFor::in_pool_worker()) {
     for (std::uint32_t h = 1; h < size; h <<= 1)
-      for (std::uint32_t base = 0; base < size; base += 2 * h)
-        for (std::uint32_t j = 0; j < h; ++j)
-          c[base + h + j] -= c[base + j];
+      k.moebius_level(c.data(), 0, half, h);
     return;
   }
   for (std::uint32_t h = 1; h < size; h <<= 1) {
     pool.for_shards(half, kParShards,
                     [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
-                      for (std::uint64_t k = lo; k < hi; ++k) {
-                        const auto j = static_cast<std::uint32_t>(k % h);
-                        const auto base =
-                            static_cast<std::uint32_t>(k / h) * 2 * h;
-                        c[base + h + j] -= c[base + j];
-                      }
+                      k.moebius_level(c.data(), lo, hi, h);
                     });
   }
 }
 
-// Exact degree via the full dense transform (n <= kDenseDegreeArity).
+// Exact degree via the full dense transform (arity <= the seam's cap).
 // Scatter (one word fills its own 64 coefficients), transform, and the
 // max-scan all shard over disjoint / commutatively-combined ranges.
-unsigned dense_degree(const BoolFn& f) {
+unsigned dense_degree_impl(const BoolFn& f) {
   const std::uint32_t size = f.table_size();
   std::vector<std::int32_t> c(size, 0);
   const auto w = f.words();
-  for_ranges(w.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
-    for (std::size_t wi = lo; wi < hi; ++wi) {
-      std::uint64_t bits = w[wi];
-      while (bits != 0) {
-        const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
-        bits &= bits - 1;
-        c[(static_cast<std::uint32_t>(wi) << 6) | j] = 1;
-      }
+  const auto& k = simd::kernels();
+  if (size < 64) {
+    // Sub-word table (n < 6): scatter the set bits directly; bits at
+    // positions >= 2^n are zero by the class invariant.
+    std::uint64_t bits = w[0];
+    while (bits != 0) {
+      const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      c[j] = 1;
     }
-  });
+  } else {
+    for_ranges(w.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
+      k.scatter01(c.data(), w.data(), lo, hi);
+    });
+  }
   moebius_i32(c, f.arity());
   std::array<unsigned, kParShards> part{};
   for_ranges(size, [&](unsigned sh, std::size_t lo, std::size_t hi) {
-    unsigned b = 0;
-    for (std::size_t m = lo; m < hi; ++m)
-      if (c[m] != 0)
-        b = std::max(b, static_cast<unsigned>(
-                            std::popcount(static_cast<std::uint32_t>(m))));
-    part[sh] = b;
+    part[sh] = k.max_degree_scan(c.data(), static_cast<std::uint32_t>(lo),
+                                 static_cast<std::uint32_t>(hi));
   });
   unsigned best = 0;
   for (const unsigned b : part) best = std::max(best, b);
   return best;
 }
 
-// Exact degree for n in (kDenseDegreeArity, kMaxArity]: split the inputs
-// into t low and n-t high variables. The Moebius transform separates, so
-// for each high subset Sh the slice combination
+// Exact degree for n > t: split the inputs into t low and n-t high
+// variables. The Moebius transform separates, so for each high subset
+// Sh the slice combination
 //   g_Sh(xl) = sum_{Th subseteq Sh} (-1)^{|Sh \ Th|} f(xl, Th)
 // followed by a t-variable transform of g_Sh yields exactly the
-// coefficients alpha_{(Sl, Sh)}. Bounds: |g_Sh| <= 2^(n-t) <= 64 and
-// |alpha| <= 2^n <= 2^28, so int32 never overflows.
-// The high subsets are independent of one another, so they fan out over
-// the pool, each worker with its own slice buffer. `best` is a shared
-// monotone maximum: pruning against it is sound under any interleaving
-// (a skipped Sh could contribute at most hi_pc + t <= best <= final),
-// so the returned degree is exact — and identical — at any thread count.
-unsigned chunked_degree(const BoolFn& f) {
+// coefficients alpha_{(Sl, Sh)}. Bounds: |g_Sh| <= 2^(n-t) and
+// |alpha| <= 2^n <= 2^30, so int32 never overflows.
+//
+// The high subsets fan out over the pool, each worker with its own
+// slice buffer and its own prune bound: `part[shard]` is a shard-local
+// maximum, merged serially after the join. Pruning a subset against the
+// shard-local bound is sound (a skipped Sh could contribute at most
+// hi_pc + t <= the shard's own maximum <= the final answer), and —
+// unlike the shared-atomic bound this replaces — the set of subsets a
+// shard actually expands is a pure function of its range, so the work
+// done and the result are bit-identical at any thread count.
+//
+// Slices that are identically zero are detected once up front and
+// skipped in every subset expansion; a subset whose contributing slices
+// are all zero has g_Sh == 0 before the (linear) transform and is
+// skipped entirely — the streaming pass never touches those words
+// again. This is what keeps the out-of-core arities (n up to
+// kMaxArity = 30, 2^8 slices) affordable for structured functions.
+unsigned chunked_degree_impl(const BoolFn& f, unsigned t) {
   const unsigned n = f.arity();
-  const unsigned t = kDenseDegreeArity;
   const std::uint32_t hi_count = std::uint32_t{1} << (n - t);
   const std::size_t slice_words = std::size_t{1} << (t - 6);
   const auto w = f.words();
-  std::atomic<unsigned> best{0};
-  const auto run = [&](std::uint32_t sh_lo, std::uint32_t sh_hi) {
+  const auto& k = simd::kernels();
+  std::vector<std::uint8_t> slice_nonzero(hi_count, 0);
+  for (std::uint32_t th = 0; th < hi_count; ++th) {
+    const std::uint64_t* slice = w.data() + std::size_t{th} * slice_words;
+    for (std::size_t wi = 0; wi < slice_words; ++wi) {
+      if (slice[wi] != 0) {
+        slice_nonzero[th] = 1;
+        break;
+      }
+    }
+  }
+  std::array<unsigned, kParShards> part{};
+  const auto run = [&](unsigned shard, std::uint32_t sh_lo,
+                       std::uint32_t sh_hi) {
     std::vector<std::int32_t> g(std::uint32_t{1} << t);
+    unsigned best = 0;  // shard-local prune bound
     for (std::uint32_t sh = sh_lo; sh < sh_hi; ++sh) {
       const unsigned hi_pc = static_cast<unsigned>(std::popcount(sh));
-      if (hi_pc + t <= best.load(std::memory_order_relaxed))
-        continue;  // cannot beat the current maximum
+      if (hi_pc + t <= best) continue;  // cannot beat the shard maximum
       std::fill(g.begin(), g.end(), 0);
+      bool any = false;
       std::uint32_t th = sh;
       while (true) {
-        const std::int32_t sgn = (std::popcount(sh ^ th) & 1u) ? -1 : 1;
-        const std::uint64_t* slice = w.data() + std::size_t{th} * slice_words;
-        for (std::size_t wi = 0; wi < slice_words; ++wi) {
-          std::uint64_t bits = slice[wi];
-          while (bits != 0) {
-            const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
-            bits &= bits - 1;
-            g[(static_cast<std::uint32_t>(wi) << 6) | j] += sgn;
-          }
+        if (slice_nonzero[th] != 0) {
+          const std::int32_t sgn = (std::popcount(sh ^ th) & 1u) ? -1 : 1;
+          k.slice_accum(g.data(),
+                        w.data() + std::size_t{th} * slice_words,
+                        slice_words, sgn);
+          any = true;
         }
         if (th == 0) break;
         th = (th - 1) & sh;
       }
+      if (!any) continue;  // g_Sh == 0: no coefficient with this high part
       moebius_i32(g, t);  // runs inline inside a pool worker
-      unsigned local = 0;
-      for (std::uint32_t m = 0; m < g.size(); ++m)
-        if (g[m] != 0)
-          local = std::max(local,
-                           hi_pc + static_cast<unsigned>(std::popcount(m)));
-      unsigned cur = best.load(std::memory_order_relaxed);
-      while (local > cur &&
-             !best.compare_exchange_weak(cur, local,
-                                         std::memory_order_relaxed)) {
-      }
+      const unsigned d = k.max_degree_scan(
+          g.data(), 0, static_cast<std::uint32_t>(g.size()));
+      // d == 0 means either all-zero or only the empty low set survives;
+      // g[0] distinguishes the two (any other nonzero entry forces d > 0).
+      if (d > 0)
+        best = std::max(best, hi_pc + d);
+      else if (g[0] != 0)
+        best = std::max(best, hi_pc);
     }
+    part[shard] = best;
   };
   auto& pool = runtime::ParallelFor::pool();
   const unsigned shards = std::min<std::uint32_t>(hi_count, kParShards);
   if (pool.threads() > 1 && shards > 1) {
     pool.for_shards(hi_count, shards,
-                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
-                      run(static_cast<std::uint32_t>(lo),
+                    [&](unsigned s, std::uint64_t lo, std::uint64_t hi) {
+                      run(s, static_cast<std::uint32_t>(lo),
                           static_cast<std::uint32_t>(hi));
                     });
   } else {
-    run(0, hi_count);
+    run(0, 0, hi_count);
   }
-  return best.load(std::memory_order_relaxed);
+  unsigned best = 0;
+  for (const unsigned b : part) best = std::max(best, b);
+  return best;
 }
 
 }  // namespace
+
+namespace detail {
+
+unsigned degree_via_dense(const BoolFn& f) {
+  if (f.arity() > 24)
+    throw std::invalid_argument(
+        "degree_via_dense materialises 2^n int32 coefficients; capped at "
+        "n = 24");
+  return dense_degree_impl(f);
+}
+
+unsigned degree_via_chunked(const BoolFn& f) {
+  const unsigned n = f.arity();
+  if (n < 7)
+    throw std::invalid_argument(
+        "degree_via_chunked needs at least one high variable over a "
+        ">= 6-variable low block (n >= 7)");
+  const unsigned t = std::min(kDenseDegreeArity, n - 1);
+  return chunked_degree_impl(f, t);
+}
+
+}  // namespace detail
 
 BoolFn::BoolFn(unsigned n) : n_(n) {
   if (n > kMaxArity)
@@ -274,12 +270,10 @@ BoolFn::BoolFn(unsigned n) : n_(n) {
 }
 
 std::uint64_t BoolFn::count_ones() const {
+  const auto& k = simd::kernels();
   std::array<std::uint64_t, kParShards> part{};
   for_ranges(words_.size(), [&](unsigned s, std::size_t lo, std::size_t hi) {
-    std::uint64_t c = 0;
-    for (std::size_t wi = lo; wi < hi; ++wi)
-      c += static_cast<std::uint64_t>(std::popcount(words_[wi]));
-    part[s] = c;
+    part[s] = k.popcount_words(words_.data(), lo, hi);
   });
   std::uint64_t c = 0;
   for (const std::uint64_t p : part) c += p;
@@ -378,9 +372,10 @@ BoolFn BoolFn::random(unsigned n, Rng& rng) {
 }
 
 BoolFn BoolFn::operator~() const {
+  const auto& k = simd::kernels();
   BoolFn g(n_);
   for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
-    for (std::size_t wi = lo; wi < hi; ++wi) g.words_[wi] = ~words_[wi];
+    k.op_not(g.words_.data(), words_.data(), lo, hi);
   });
   g.words_.back() &= tail_mask(n_);
   return g;
@@ -395,35 +390,36 @@ void check_same_arity(const BoolFn& a, const BoolFn& b) {
 
 BoolFn BoolFn::operator&(const BoolFn& o) const {
   check_same_arity(*this, o);
+  const auto& k = simd::kernels();
   BoolFn g(n_);
   for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
-    for (std::size_t wi = lo; wi < hi; ++wi)
-      g.words_[wi] = words_[wi] & o.words_[wi];
+    k.op_and(g.words_.data(), words_.data(), o.words_.data(), lo, hi);
   });
   return g;
 }
 
 BoolFn BoolFn::operator|(const BoolFn& o) const {
   check_same_arity(*this, o);
+  const auto& k = simd::kernels();
   BoolFn g(n_);
   for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
-    for (std::size_t wi = lo; wi < hi; ++wi)
-      g.words_[wi] = words_[wi] | o.words_[wi];
+    k.op_or(g.words_.data(), words_.data(), o.words_.data(), lo, hi);
   });
   return g;
 }
 
 BoolFn BoolFn::operator^(const BoolFn& o) const {
   check_same_arity(*this, o);
+  const auto& k = simd::kernels();
   BoolFn g(n_);
   for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
-    for (std::size_t wi = lo; wi < hi; ++wi)
-      g.words_[wi] = words_[wi] ^ o.words_[wi];
+    k.op_xor(g.words_.data(), words_.data(), o.words_.data(), lo, hi);
   });
   return g;
 }
 
 BoolFn BoolFn::fix(unsigned i, bool v) const {
+  const auto& k = simd::kernels();
   BoolFn g(n_);
   if (i < 6) {
     // Gather the kept half of each word and mirror it into both halves
@@ -431,15 +427,7 @@ BoolFn BoolFn::fix(unsigned i, bool v) const {
     const unsigned s = 1u << i;
     const std::uint64_t hi = kVarMask[i];
     for_ranges(words_.size(), [&](unsigned, std::size_t lo, std::size_t hi2) {
-      for (std::size_t wi = lo; wi < hi2; ++wi) {
-        if (v) {
-          const std::uint64_t t = words_[wi] & hi;
-          g.words_[wi] = t | (t >> s);
-        } else {
-          const std::uint64_t t = words_[wi] & ~hi;
-          g.words_[wi] = t | (t << s);
-        }
-      }
+      k.fix_low(g.words_.data(), words_.data(), lo, hi2, s, hi, v);
     });
     g.words_.back() &= tail_mask(n_);
   } else {
@@ -494,6 +482,7 @@ std::vector<std::int64_t> multilinear_coeffs(const BoolFn& f) {
 
 unsigned gf2_degree(const BoolFn& f) {
   const unsigned n = f.arity();
+  const auto& k = simd::kernels();
   std::vector<std::uint64_t> w(f.words().begin(), f.words().end());
   // XOR zeta transform: the GF(2) Moebius transform is its own inverse
   // and needs no subtraction, so it runs fully word-parallel. The
@@ -503,15 +492,13 @@ unsigned gf2_degree(const BoolFn& f) {
   for (unsigned i = 0; i < n && i < 6; ++i) {
     const unsigned s = 1u << i;
     for_ranges(w.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
-      for (std::size_t wi = lo; wi < hi; ++wi)
-        w[wi] ^= (w[wi] << s) & kVarMask[i];
+      k.gf2_inword(w.data(), lo, hi, s, kVarMask[i]);
     });
   }
   for (unsigned i = 6; i < n; ++i) {
     const std::size_t blk = std::size_t{1} << (i - 6);
     for_ranges(w.size(), [&](unsigned, std::size_t lo, std::size_t hi) {
-      for (std::size_t wi = lo; wi < hi; ++wi)
-        if ((wi & blk) != 0) w[wi] ^= w[wi ^ blk];
+      k.gf2_cross(w.data(), lo, hi, blk);
     });
   }
   std::array<unsigned, kParShards> part{};
@@ -549,8 +536,8 @@ unsigned degree(const BoolFn& f) {
     if (signed_sum_without(f.words(), i) != 0) return n - 1;
   // Degree is now <= n-2: take the dense transform when the coefficient
   // array fits comfortably, else chunk over the high variables.
-  if (n <= kDenseDegreeArity) return dense_degree(f);
-  return chunked_degree(f);
+  if (n <= kDenseDegreeArity) return dense_degree_impl(f);
+  return chunked_degree_impl(f, kDenseDegreeArity);
 }
 
 std::int64_t eval_multilinear(const std::vector<std::int64_t>& coeffs,

@@ -30,10 +30,12 @@ namespace parbounds {
 /// variable x_i.
 class BoolFn {
  public:
-  /// Largest supported arity: 2^28 table bits = 32 MiB packed. The exact
-  /// integer degree is still computable here without materialising a
-  /// 2^28 int64 array (see degree() in boolfn.cpp).
-  static constexpr unsigned kMaxArity = 28;
+  /// Largest supported arity: 2^30 table bits = 128 MiB packed. The
+  /// exact integer degree is still computable here without materialising
+  /// a 2^30 coefficient array — degree() streams 2^22-entry slices of it
+  /// and skips all-zero slices, so the coefficient working set stays at
+  /// 16 MiB no matter the arity (see chunked_degree_impl in boolfn.cpp).
+  static constexpr unsigned kMaxArity = 30;
 
   /// Constant-false function on n variables.
   explicit BoolFn(unsigned n);
@@ -113,5 +115,19 @@ unsigned gf2_degree(const BoolFn& f);
 /// with the truth table on every 0/1 input (uniqueness, Fact 2.1).
 std::int64_t eval_multilinear(const std::vector<std::int64_t>& coeffs,
                               std::uint32_t x);
+
+namespace detail {
+
+/// Test seams for the dense/chunked degree boundary. degree() switches
+/// tiers at n = 22/23; these run a chosen tier on any arity in its
+/// domain so the boundary can be cross-checked (both tiers on the same
+/// function must agree with each other and with degree()).
+/// degree_via_dense throws above n = 24 (it materialises 2^n int32
+/// coefficients); degree_via_chunked throws below n = 7 (it needs a
+/// >= 6-variable low block plus at least one high variable).
+unsigned degree_via_dense(const BoolFn& f);
+unsigned degree_via_chunked(const BoolFn& f);
+
+}  // namespace detail
 
 }  // namespace parbounds

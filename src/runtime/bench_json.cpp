@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "runtime/simd_level.hpp"
+
 #ifndef PARBOUNDS_BUILD_TYPE
 #define PARBOUNDS_BUILD_TYPE "unknown"
 #endif
@@ -77,7 +79,13 @@ std::string host_json() {
          // DETLINT(det.hw-concurrency): provenance record in bench JSON only
          std::to_string(std::thread::hardware_concurrency());
   out += ",\"build_type\":\"" + json_escape(PARBOUNDS_BUILD_TYPE) + "\"";
-  out += ",\"compiler\":\"" + json_escape(compiler) + "\"}";
+  out += ",\"compiler\":\"" + json_escape(compiler) + "\"";
+  // Which kernel tier produced the wall numbers, and what the cpu could
+  // have run — a BENCH_*.json speedup is meaningless without both
+  // (docs/PERF.md, "SIMD kernel dispatch").
+  out += ",\"dispatch\":\"";
+  out += simd_level_name(active_simd_level());
+  out += "\",\"cpu_features\":\"" + json_escape(cpu_feature_flags()) + "\"}";
   return out;
 }
 

@@ -37,9 +37,10 @@ struct BenchReport {
 double report_speedup(const BenchReport& report);
 
 /// The "host" provenance block: hardware_concurrency of the machine the
-/// bench ran on, the CMake build type baked into the library, and the
-/// compiler. Wall numbers are only comparable within a matching host
-/// block, so every timed report carries one.
+/// bench ran on, the CMake build type baked into the library, the
+/// compiler, the active SIMD dispatch level and the probed cpu feature
+/// flags (docs/PERF.md). Wall numbers are only comparable within a
+/// matching host block, so every timed report carries one.
 std::string host_json();
 
 /// True only if every sweep's serial baseline matched bit for bit.

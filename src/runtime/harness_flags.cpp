@@ -6,9 +6,6 @@
 
 namespace parbounds::runtime {
 
-namespace {
-
-/// Plain Levenshtein distance — small strings, tiny table.
 std::size_t edit_distance(const std::string& a, const std::string& b) {
   std::vector<std::size_t> prev(b.size() + 1);
   std::vector<std::size_t> cur(b.size() + 1);
@@ -23,6 +20,8 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   }
   return prev[b.size()];
 }
+
+namespace {
 
 /// The harness-owned flag namespaces. Tokens under --via-/--cache- that
 /// match none of these are typos, not google-benchmark flags.

@@ -61,4 +61,9 @@ HarnessFlags parse_harness_flags(int& argc, char** argv,
                                  const std::string& default_json_path,
                                  const std::string& default_trace_path);
 
+/// Plain Levenshtein distance — small strings, tiny table. Shared by
+/// every did-you-mean rejection (the --via-/--cache- namespaces here,
+/// PARBOUNDS_SIMD values in simd_level.cpp).
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
 }  // namespace parbounds::runtime

@@ -1,0 +1,160 @@
+#include "runtime/simd_level.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "runtime/harness_flags.hpp"
+
+namespace parbounds::runtime {
+
+namespace {
+
+constexpr const char* kLevelNames[] = {"portable", "avx2", "avx512"};
+
+// __builtin_cpu_supports only takes string literals, so each probed
+// feature gets its own call site behind a name lookup.
+#if defined(__x86_64__) || defined(__i386__)
+#define PARBOUNDS_CPU_FEATURES(X) \
+  X(popcnt)                       \
+  X(bmi2)                         \
+  X(avx)                          \
+  X(avx2)                         \
+  X(avx512f)                      \
+  X(avx512bw)                     \
+  X(avx512dq)                     \
+  X(avx512vl)                     \
+  X(avx512vpopcntdq)
+bool cpu_has(const std::string& feature) {
+#define PARBOUNDS_PROBE(name) \
+  if (feature == #name) return __builtin_cpu_supports(#name) != 0;
+  PARBOUNDS_CPU_FEATURES(PARBOUNDS_PROBE)
+#undef PARBOUNDS_PROBE
+  return false;
+}
+#else
+bool cpu_has(const std::string&) { return false; }
+#endif
+
+/// One-time cpuid probe. The avx512 tier needs F (foundation), BW
+/// (byte/word ops for the 64-lane masks) and VPOPCNTDQ (the per-lane
+/// popcounts the counting kernels lean on); avx2 implies the 256-bit
+/// integer ISA plus scalar popcnt.
+SimdLevel probe_max_level() {
+  if (cpu_has("avx512f") && cpu_has("avx512bw") &&
+      cpu_has("avx512vpopcntdq"))
+    return SimdLevel::kAvx512;
+  if (cpu_has("avx2") && cpu_has("popcnt")) return SimdLevel::kAvx2;
+  return SimdLevel::kPortable;
+}
+
+/// The resolved-once state: -1 = unresolved, otherwise a SimdLevel.
+std::atomic<int>& active_state() {
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+/// Resolve the startup level: the PARBOUNDS_SIMD pin when present
+/// (unknown values and tiers the cpu cannot run are hard errors — a
+/// silently ignored pin would fake equivalence-oracle coverage),
+/// otherwise the highest tier the probe reports.
+SimdLevel resolve_startup_level() {
+  const char* env = std::getenv("PARBOUNDS_SIMD");
+  if (env == nullptr || *env == '\0') return probe_max_level();
+  SimdLevel pinned;
+  std::string error;
+  if (!parse_simd_level(env, pinned, error))
+    throw std::invalid_argument(error);
+  if (pinned > probe_max_level())
+    throw std::invalid_argument(
+        std::string("PARBOUNDS_SIMD=") + simd_level_name(pinned) +
+        ": this cpu cannot run the " + simd_level_name(pinned) +
+        " tier (max supported: " + simd_level_name(probe_max_level()) +
+        ")");
+  return pinned;
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  return kLevelNames[static_cast<unsigned>(level)];
+}
+
+bool parse_simd_level(const std::string& text, SimdLevel& out,
+                      std::string& error) {
+  for (unsigned i = 0; i < 3; ++i) {
+    if (text == kLevelNames[i]) {
+      out = static_cast<SimdLevel>(i);
+      return true;
+    }
+  }
+  const char* best = kLevelNames[0];
+  std::size_t best_dist = edit_distance(text, best);
+  for (const char* candidate : kLevelNames) {
+    const std::size_t d = edit_distance(text, candidate);
+    if (d < best_dist) {
+      best = candidate;
+      best_dist = d;
+    }
+  }
+  error = "PARBOUNDS_SIMD=" + text + ": unknown dispatch level; did you mean '" +
+          best + "'? (valid: portable, avx2, avx512)";
+  return false;
+}
+
+SimdLevel max_supported_simd_level() {
+  static const SimdLevel level = probe_max_level();
+  return level;
+}
+
+std::vector<SimdLevel> supported_simd_levels() {
+  std::vector<SimdLevel> out;
+  const auto max = static_cast<unsigned>(max_supported_simd_level());
+  for (unsigned i = 0; i <= max; ++i)
+    out.push_back(static_cast<SimdLevel>(i));
+  return out;
+}
+
+SimdLevel active_simd_level() {
+  auto& state = active_state();
+  int cur = state.load(std::memory_order_acquire);
+  if (cur < 0) {
+    const SimdLevel startup = resolve_startup_level();
+    // First resolver wins; a concurrent set_simd_level() also wins —
+    // both store a fully resolved level, so any published value is
+    // valid and the kernels it selects are bit-identical anyway.
+    int expected = -1;
+    state.compare_exchange_strong(expected,
+                                  static_cast<int>(startup),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+    cur = state.load(std::memory_order_acquire);
+  }
+  return static_cast<SimdLevel>(cur);
+}
+
+void set_simd_level(SimdLevel level) {
+  if (level > max_supported_simd_level())
+    throw std::invalid_argument(
+        std::string("set_simd_level(") + simd_level_name(level) +
+        "): this cpu cannot run the tier (max supported: " +
+        simd_level_name(max_supported_simd_level()) + ")");
+  active_state().store(static_cast<int>(level), std::memory_order_release);
+}
+
+const std::string& cpu_feature_flags() {
+  static const std::string flags = [] {
+    std::string out;
+    for (const char* f :
+         {"popcnt", "bmi2", "avx", "avx2", "avx512f", "avx512bw",
+          "avx512dq", "avx512vl", "avx512vpopcntdq"}) {
+      if (!cpu_has(f)) continue;
+      if (!out.empty()) out += ' ';
+      out += f;
+    }
+    return out.empty() ? std::string("none") : out;
+  }();
+  return flags;
+}
+
+}  // namespace parbounds::runtime

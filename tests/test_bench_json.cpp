@@ -23,6 +23,7 @@
 #include "runtime/bench_json.hpp"
 #include "runtime/harness_flags.hpp"
 #include "runtime/runner.hpp"
+#include "runtime/simd_level.hpp"
 #include "runtime/sweep.hpp"
 #include "runtime/sweep_service/client.hpp"
 #include "runtime/sweep_service/service.hpp"
@@ -321,16 +322,71 @@ TEST(BenchJson, HostBlockCarriesProvenanceOnlyWhenTimed) {
   const auto doc = JsonParser(to_json(tiny_report(2, false))).parse();
   ASSERT_TRUE(doc.has("host"));
   const JsonValue& host = doc.at("host");
-  for (const char* key : {"hardware_concurrency", "build_type", "compiler"})
+  for (const char* key : {"hardware_concurrency", "build_type", "compiler",
+                          "dispatch", "cpu_features"})
     EXPECT_TRUE(host.has(key)) << "missing host key " << key;
   EXPECT_GE(host.at("hardware_concurrency").number, 1.0);
   EXPECT_FALSE(host.at("compiler").string.empty());
+  // The dispatch level is one of the three tier names, and the feature
+  // list is never empty ("none" when the probe finds nothing).
+  const std::string& dispatch = host.at("dispatch").string;
+  EXPECT_TRUE(dispatch == "portable" || dispatch == "avx2" ||
+              dispatch == "avx512")
+      << "unexpected dispatch level " << dispatch;
+  EXPECT_FALSE(host.at("cpu_features").string.empty());
   // The host describes the machine that produced the WALL numbers; the
   // timing-free document (the cross-jobs byte-identity contract) must
   // not carry it.
   EXPECT_FALSE(JsonParser(to_json(tiny_report(2, false), false))
                    .parse()
                    .has("host"));
+}
+
+TEST(BenchJson, PinnedPortableDispatchReportedInHostBlock) {
+  // What PARBOUNDS_SIMD=portable resolves to at startup: the host block
+  // must report the PINNED level, not the probe's maximum — that's what
+  // makes a recorded portable-baseline run distinguishable from a SIMD
+  // run on the same machine.
+  const SimdLevel entry = active_simd_level();
+  set_simd_level(SimdLevel::kPortable);
+  const auto doc = JsonParser(to_json(tiny_report(1, false))).parse();
+  set_simd_level(entry);
+  EXPECT_EQ(doc.at("host").at("dispatch").string, "portable");
+}
+
+TEST(SimdLevelPin, ValidNamesParse) {
+  SimdLevel out = SimdLevel::kAvx512;
+  std::string err;
+  ASSERT_TRUE(parse_simd_level("portable", out, err));
+  EXPECT_EQ(out, SimdLevel::kPortable);
+  ASSERT_TRUE(parse_simd_level("avx2", out, err));
+  EXPECT_EQ(out, SimdLevel::kAvx2);
+  ASSERT_TRUE(parse_simd_level("avx512", out, err));
+  EXPECT_EQ(out, SimdLevel::kAvx512);
+}
+
+TEST(SimdLevelPin, UnknownValueIsTypedErrorWithHint) {
+  SimdLevel out = SimdLevel::kPortable;
+  std::string err;
+  ASSERT_FALSE(parse_simd_level("avx51", out, err));
+  EXPECT_NE(err.find("PARBOUNDS_SIMD=avx51"), std::string::npos) << err;
+  EXPECT_NE(err.find("did you mean 'avx512'"), std::string::npos) << err;
+  EXPECT_NE(err.find("portable, avx2, avx512"), std::string::npos) << err;
+
+  ASSERT_FALSE(parse_simd_level("portble", out, err));
+  EXPECT_NE(err.find("did you mean 'portable'"), std::string::npos) << err;
+}
+
+TEST(SimdLevelPin, UnsupportedTierIsRejected) {
+  // set_simd_level must refuse tiers above the probe's maximum; levels
+  // up to the maximum (the oracle's sweep domain) must all take.
+  const SimdLevel entry = active_simd_level();
+  for (const SimdLevel level : supported_simd_levels())
+    EXPECT_NO_THROW(set_simd_level(level));
+  if (max_supported_simd_level() < SimdLevel::kAvx512) {
+    EXPECT_THROW(set_simd_level(SimdLevel::kAvx512), std::invalid_argument);
+  }
+  set_simd_level(entry);
 }
 
 TEST(BenchJson, SpeedupOmittedWhenJobsIsOne) {

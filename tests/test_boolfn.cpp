@@ -122,7 +122,7 @@ TEST(BoolFn, ArityMismatchThrows) {
   const auto a = BoolFn::parity(3);
   const auto b = BoolFn::parity(4);
   EXPECT_THROW((void)(a & b), std::invalid_argument);
-  EXPECT_THROW(BoolFn(30), std::invalid_argument);
+  EXPECT_THROW(BoolFn(31), std::invalid_argument);
 }
 
 // ----- packed high-arity support ----------------------------------------------
@@ -145,17 +145,22 @@ TEST(BoolFn, Gf2DegreeKnownValues) {
 }
 
 TEST(BoolFn, MaxAritySupportsDegreeAndConnectives) {
-  // Full-degree witnesses at the 28-variable ceiling. PARITY exercises
+  // Full-degree witnesses at the 30-variable ceiling. PARITY exercises
   // the top-coefficient fast path; OR complements it (alpha_{[n]} of OR
-  // is +-1, never cancelling).
-  ASSERT_EQ(BoolFn::kMaxArity, 28u);
-  const auto par = BoolFn::parity(28);
-  EXPECT_EQ(par.count_ones(), std::uint64_t{1} << 27);
-  EXPECT_EQ(degree(par), 28u);
-  EXPECT_EQ(gf2_degree(par), 1u);
-  EXPECT_EQ(degree(BoolFn::or_fn(28)), 28u);
+  // is +-1, never cancelling). Scoped so only one 128 MiB table plus
+  // its transform scratch is alive at a time.
+  ASSERT_EQ(BoolFn::kMaxArity, 30u);
+  {
+    const auto par = BoolFn::parity(30);
+    EXPECT_EQ(par.count_ones(), std::uint64_t{1} << 29);
+    EXPECT_EQ(degree(par), 30u);
+    EXPECT_EQ(gf2_degree(par), 1u);
+  }
+  EXPECT_EQ(degree(BoolFn::or_fn(30)), 30u);
 
-  // Word-parallel connectives at full width.
+  // Word-parallel connectives at 28-variable width (several tables live
+  // at once, so stay below the ceiling to bound peak memory).
+  const auto par = BoolFn::parity(28);
   const auto a = BoolFn::variable(28, 0);
   const auto b = BoolFn::variable(28, 27);
   const auto f = a | b;
@@ -166,12 +171,26 @@ TEST(BoolFn, MaxAritySupportsDegreeAndConnectives) {
   EXPECT_FALSE((a & b).depends_on(13));
 }
 
+TEST(BoolFn, ChunkedDegreeAboveOldCeiling) {
+  // AND of variables 0..24 embedded at n = 29, built from word-parallel
+  // connectives (a serial from() lambda over 2^29 entries would dwarf
+  // the degree computation itself). The degree 25 = n - 4 defeats every
+  // fast tier, so this lands in the chunked slice scan with 2^7 high
+  // slices — the out-of-core regime the kMaxArity = 30 raise opened up.
+  // Only 16 of the 128 slices are nonzero (those whose high part keeps
+  // variables 22..24 set), so the all-zero-slice skip carries the cost.
+  auto f = BoolFn::variable(29, 0);
+  for (unsigned i = 1; i < 25; ++i) f = f & BoolFn::variable(29, i);
+  EXPECT_EQ(f.count_ones(), std::uint64_t{1} << 4);
+  EXPECT_EQ(degree(f), 25u);
+}
+
 TEST(BoolFn, ChunkedDegreeTierIsExact) {
   // AND of the low 21 variables embedded at n = 23: the true degree
   // (21 = n - 2) defeats every fast tier — the top coefficient is 0,
   // the GF(2) bound answers 21 (not n - 1), and every level-(n-1)
   // coefficient cancels — so degree() must run the chunked slice scan
-  // that covers 23 <= n <= 28, and find the witness level exactly.
+  // that covers 23 <= n <= 30, and find the witness level exactly.
   const auto f = BoolFn::from(
       23, [](std::uint32_t x) { return (x & 0x1FFFFFu) == 0x1FFFFFu; });
   EXPECT_EQ(degree(f), 21u);
@@ -183,6 +202,34 @@ TEST(BoolFn, ChunkedDegreeTierIsExact) {
   // fixing it to false kills the function.
   EXPECT_EQ(degree(f.fix(0, true)), 20u);
   EXPECT_EQ(degree(f.fix(0, false)), 0u);
+}
+
+TEST(BoolFn, DenseChunkedBoundaryCrossCheck) {
+  // degree() switches from the dense transform to the chunked slice
+  // scan between n = 22 and n = 23. Run BOTH tiers explicitly on both
+  // sides of the boundary — parity (degree n), an embedded AND (degree
+  // below every fast path) and a seeded random function — and require
+  // tier agreement plus agreement with the production ladder.
+  for (const unsigned n : {22u, 23u}) {
+    const auto check = [n](const BoolFn& f, const char* what) {
+      const unsigned dense = detail::degree_via_dense(f);
+      const unsigned chunked = detail::degree_via_chunked(f);
+      EXPECT_EQ(dense, chunked) << what << " at n=" << n;
+      EXPECT_EQ(dense, degree(f)) << what << " at n=" << n;
+    };
+    check(BoolFn::parity(n), "parity");
+    const auto andf = BoolFn::from(n, [](std::uint32_t x) {
+      return (x & 0xFFFFFu) == 0xFFFFFu;  // AND of variables 0..19
+    });
+    check(andf, "embedded AND");
+    Rng rng(41 + n);
+    check(BoolFn::random(n, rng), "random");
+  }
+  // Domain guards of the seams themselves.
+  EXPECT_THROW((void)detail::degree_via_dense(BoolFn::parity(25)),
+               std::invalid_argument);
+  EXPECT_THROW((void)detail::degree_via_chunked(BoolFn::parity(6)),
+               std::invalid_argument);
 }
 
 TEST(BoolFn, HighArityDegreeMatchesLowArityEmbedding) {

@@ -29,6 +29,7 @@
 #include "core/gsm.hpp"
 #include "core/qsm.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/simd_level.hpp"
 #include "util/rng.hpp"
 
 namespace parbounds {
@@ -522,14 +523,76 @@ TEST(ParallelBoolFn, TransformsBitIdenticalAcrossPoolSizes) {
 TEST(ParallelBoolFn, ChunkedDegreeTierStableAcrossPoolSizes) {
   // AND of the first 21 of 23 inputs: top coefficient and level n-1 are
   // zero and the dense tier caps at n = 22, so this lands in the
-  // chunked Moebius tier — the tier the pool parallelizes with the
-  // atomic prune bound.
+  // chunked Moebius tier — the tier the pool parallelizes. Since the
+  // SIMD dispatch PR the prune bound is a per-shard maximum (a pure
+  // function of the shard range), so the scan does identical work at
+  // every pool size.
   const BoolFn f = BoolFn::from(23, [](std::uint32_t x) {
     return (x & 0x1FFFFFu) == 0x1FFFFFu;
   });
   for (const unsigned t : kPoolSizes) {
     PoolGuard pg(t);
     EXPECT_EQ(degree(f), 21u) << "threads=" << t;
+  }
+}
+
+// RAII: pin the kernel dispatch level for one scope.
+struct DispatchGuard {
+  explicit DispatchGuard(runtime::SimdLevel l)
+      : saved(runtime::active_simd_level()) {
+    runtime::set_simd_level(l);
+  }
+  ~DispatchGuard() { runtime::set_simd_level(saved); }
+  runtime::SimdLevel saved;
+};
+
+TEST(ParallelBoolFn, TransformsBitIdenticalAcrossDispatchAndPoolSizes) {
+  // The full kernel matrix: every dispatch level the host supports,
+  // crossed with every pool size, must reproduce the portable/1-thread
+  // result bit for bit — connectives, fix, counting, both degree tiers,
+  // the GF(2) transform and the Moebius coefficients.
+  Rng rng(23);
+  const BoolFn f = BoolFn::random(18, rng);
+  const BoolFn g = BoolFn::random(18, rng);
+
+  struct Probe {
+    BoolFn combined;
+    std::uint64_t ones;
+    BoolFn fixed;
+    unsigned deg, gf2, dense, chunked;
+    std::vector<std::int64_t> coeffs;
+    explicit Probe(const BoolFn& f, const BoolFn& g)
+        : combined((f & g) ^ (~f | g)),
+          ones(combined.count_ones()),
+          fixed(combined.fix(4, true)),
+          deg(degree(f)),
+          gf2(gf2_degree(f)),
+          dense(detail::degree_via_dense(f)),
+          chunked(detail::degree_via_chunked(f)),
+          coeffs(multilinear_coeffs(f)) {}
+  };
+
+  DispatchGuard base_level(runtime::SimdLevel::kPortable);
+  PoolGuard base_pool(1);
+  const Probe want(f, g);
+  EXPECT_EQ(want.dense, want.deg);
+  EXPECT_EQ(want.chunked, want.deg);
+
+  for (const runtime::SimdLevel level : runtime::supported_simd_levels()) {
+    DispatchGuard dg(level);
+    for (const unsigned t : kPoolSizes) {
+      PoolGuard pg(t);
+      const Probe got(f, g);
+      const char* name = runtime::simd_level_name(level);
+      EXPECT_EQ(got.combined, want.combined) << name << " threads=" << t;
+      EXPECT_EQ(got.ones, want.ones) << name << " threads=" << t;
+      EXPECT_EQ(got.fixed, want.fixed) << name << " threads=" << t;
+      EXPECT_EQ(got.deg, want.deg) << name << " threads=" << t;
+      EXPECT_EQ(got.gf2, want.gf2) << name << " threads=" << t;
+      EXPECT_EQ(got.dense, want.dense) << name << " threads=" << t;
+      EXPECT_EQ(got.chunked, want.chunked) << name << " threads=" << t;
+      EXPECT_EQ(got.coeffs, want.coeffs) << name << " threads=" << t;
+    }
   }
 }
 
