@@ -35,6 +35,16 @@
 //                  replay and an in-process --jobs 1 run serialize to
 //                  identical bytes. --cache-dir / --cache-bytes tune
 //                  the cache (default CACHE_<name>/, 64 MiB).
+//   --workers N    execute every sweep across N worker PROCESSES — the
+//                  bench binary re-exec'd by a FleetCoordinator
+//                  (docs/SERVICE.md#fleet). The parent's runner and
+//                  pool are pinned to 1 and the merged report —
+//                  including the metrics block, reassembled from
+//                  per-cell worker snapshots — is byte-identical to an
+//                  in-process --jobs 1 run at any N, crashes and
+//                  retries included. Mutually exclusive with
+//                  --via-service. --cache-dir opts into a shared
+//                  cell cache across the fleet.
 //
 // All flags are stripped before benchmark::Initialize sees argv
 // (src/runtime/harness_flags.*). See docs/RUNTIME.md for the seeding
@@ -81,6 +91,8 @@
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/bench_json.hpp"
+#include "runtime/fleet/sweep_fleet.hpp"
+#include "runtime/fleet/worker.hpp"
 #include "runtime/harness_flags.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/simd_level.hpp"
@@ -126,6 +138,10 @@ class BenchSession {
   /// also turns the JSON report on so the trace always ships with its
   /// metrics block.
   void init(int& argc, char** argv, std::string name) {
+    // Fleet front door: when this binary was re-exec'd as a fleet
+    // worker, serve requests and exit — before any flag parsing or
+    // google-benchmark setup touches argv.
+    fleet::maybe_run_worker(argc, argv);
     report_.bench = std::move(name);
     report_.seed = kSeed;
     const auto flags = runtime::parse_harness_flags(
@@ -133,6 +149,12 @@ class BenchSession {
         "TRACE_" + report_.bench + ".json");
     if (flags.error) {
       std::fprintf(stderr, "bench: %s\n", flags.error_message.c_str());
+      std::exit(2);
+    }
+    if (flags.workers > 0 && flags.via_service) {
+      std::fprintf(stderr,
+                   "bench: --workers and --via-service are mutually "
+                   "exclusive (the fleet already owns a result cache)\n");
       std::exit(2);
     }
     // Resolve the SIMD dispatch level up front so a bad PARBOUNDS_SIMD
@@ -148,19 +170,24 @@ class BenchSession {
     trace_path_ = flags.trace_path;
     if (!trace_path_.empty() && json_path_.empty())
       json_path_ = "BENCH_" + report_.bench + ".json";
+    // Fleet mode pins the parent to jobs=1/threads=1: the merged report
+    // must serialize exactly like the in-process --jobs 1 report it is
+    // reassembling, and the parallelism is the fleet's width anyway.
     runner_ = std::make_unique<runtime::ExperimentRunner>(
-        runtime::RunnerConfig{.jobs = flags.jobs});
+        runtime::RunnerConfig{.jobs = flags.workers > 0 ? 1u : flags.jobs});
     report_.jobs = runner_->jobs();
     // One pool governs all intra-trial parallelism (sharded commit,
     // BoolFn transforms); it follows --jobs unless --threads overrides.
     runtime::ParallelFor::pool().set_threads(
-        flags.resolved_threads(runner_->jobs()));
+        flags.workers > 0 ? 1u : flags.resolved_threads(runner_->jobs()));
     report_.threads = runtime::ParallelFor::pool().threads();
     // Phase telemetry counts machine executions, and a warm-cache
     // via-service replay executes nothing — a metrics block would
     // differ between a cold run and its replay. Via-service reports
-    // therefore omit it (cache counters go to stderr instead).
-    if (!json_path_.empty() && !flags.via_service) {
+    // therefore omit it (cache counters go to stderr instead). Fleet
+    // runs keep the block, but it is reassembled from per-cell worker
+    // snapshots (run_sweep_fleet), never observed in this process.
+    if (!json_path_.empty() && !flags.via_service && flags.workers == 0) {
       telemetry_ = std::make_unique<obs::TelemetryObserver>(registry_);
       obs::install_process_telemetry(telemetry_.get());
     }
@@ -179,6 +206,20 @@ class BenchSession {
       cfg.jobs = runner_->jobs();
       service_ = std::make_unique<service::SweepService>(cfg);
     }
+    if (flags.workers > 0) {
+      fleet::FleetConfig cfg;
+      cfg.workers = flags.workers;
+      // The shared cell cache is opt-in: only an explicit --cache-dir
+      // makes the fleet memoize (warm replays must be asked for).
+      cfg.cache_dir = flags.cache_dir;
+      cfg.cache_bytes = flags.cache_bytes;
+      try {
+        fleet_ = std::make_unique<fleet::FleetCoordinator>(cfg);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench: --workers: %s\n", e.what());
+        std::exit(2);
+      }
+    }
   }
 
   const runtime::ExperimentRunner& runner() const { return *runner_; }
@@ -186,6 +227,22 @@ class BenchSession {
   bool json_enabled() const { return !json_path_.empty(); }
   bool via_service() const { return service_ != nullptr; }
   service::SweepService& service() { return *service_; }
+  bool via_fleet() const { return fleet_ != nullptr; }
+  fleet::FleetCoordinator& fleet() { return *fleet_; }
+
+  /// Fold one sweep's reassembled worker telemetry into the report's
+  /// metrics block (fleet mode only; merge order cannot change the
+  /// bytes — every operator is commutative and associative).
+  void merge_fleet_metrics(const obs::MetricsSnapshot& snap) {
+    if (json_path_.empty()) return;
+    if (!fleet_metrics_valid_) {
+      fleet_metrics_ = snap;
+      fleet_metrics_valid_ = true;
+    } else {
+      fleet_metrics_.merge_from(snap);
+    }
+    report_.metrics_json = fleet_metrics_.to_json();
+  }
 
   /// Fresh base seed for the next sweep/fan-out, derived from the root
   /// seed and a per-binary ordinal (decouples sweeps from each other).
@@ -239,16 +296,30 @@ class BenchSession {
                    static_cast<unsigned long long>(count("service.exec")),
                    static_cast<unsigned long long>(count("queue.shed")));
     }
+    if (fleet_ != nullptr) {
+      // Fleet health on stderr (never in the report, same rule as the
+      // service cache line above).
+      std::fprintf(
+          stderr, "bench: %s: fleet spawn=%llu exit=%llu retry=%llu reassign=%llu\n",
+          report_.bench.c_str(),
+          static_cast<unsigned long long>(fleet_->counter("fleet.worker.spawn")),
+          static_cast<unsigned long long>(fleet_->counter("fleet.worker.exit")),
+          static_cast<unsigned long long>(fleet_->counter("fleet.worker.retry")),
+          static_cast<unsigned long long>(
+              fleet_->counter("fleet.worker.reassign")));
+    }
     if (json_path_.empty()) return 0;
     std::ofstream f(json_path_);
     if (!f) {
       std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
       return 1;
     }
-    // Via-service runs serialize timing-free: with no wall fields, a
-    // cold run, a warm replay and an in-process --jobs 1 run of the
-    // same sweep produce identical bytes (test_bench_json pins this).
-    f << runtime::to_json(report_, /*include_timing=*/service_ == nullptr);
+    // Via-service and fleet runs serialize timing-free: with no wall
+    // fields, a cold run, a warm replay, a crash-recovered fleet run
+    // and an in-process --jobs 1 run of the same sweep produce
+    // identical bytes (test_bench_json and test_fleet pin this).
+    f << runtime::to_json(
+        report_, /*include_timing=*/service_ == nullptr && fleet_ == nullptr);
     char speedup[32] = "n/a";  // jobs==1 runs ARE the serial baseline
     if (report_.jobs > 1)
       std::snprintf(speedup, sizeof speedup, "%.2f",
@@ -275,6 +346,9 @@ class BenchSession {
   std::unique_ptr<obs::TelemetryObserver> telemetry_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<service::SweepService> service_;
+  std::unique_ptr<fleet::FleetCoordinator> fleet_;
+  obs::MetricsSnapshot fleet_metrics_;  ///< merged across sweeps
+  bool fleet_metrics_valid_ = false;
 };
 
 /// Bench-main bootstrap: parse/strip harness flags.
@@ -286,12 +360,26 @@ inline BenchSession& session_init(int& argc, char** argv, std::string name) {
 
 /// Run a sweep through the session runner; the serial baseline (wall
 /// time + bit-identity cross-check) is measured when --json is active.
-/// Under --via-service every cell is routed through the sweep service
-/// instead (same derived seeds, same kernels, same aggregation); a cell
-/// without a ServiceSpec is a hard error there, not a silent fallback.
+/// Under --via-service every cell is routed through the sweep service,
+/// under --workers across the process fleet (same derived seeds, same
+/// kernels, same aggregation); a cell without a ServiceSpec is a hard
+/// error in both modes, not a silent fallback.
 inline const runtime::SweepResult& sweep(
     std::string title, std::vector<runtime::SweepCell> cells) {
   auto& s = BenchSession::get();
+  if (s.via_fleet()) {
+    try {
+      obs::MetricsSnapshot snap;
+      const auto& res = s.record(fleet::run_sweep_fleet(
+          s.fleet(), std::move(title), s.next_base_seed(), std::move(cells),
+          s.json_enabled() ? &snap : nullptr));
+      if (s.json_enabled()) s.merge_fleet_metrics(snap);
+      return res;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: --workers: %s\n", e.what());
+      std::exit(2);
+    }
+  }
   if (s.via_service()) {
     try {
       return s.record(service::run_sweep_via_service(

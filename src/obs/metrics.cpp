@@ -112,6 +112,38 @@ std::string MetricsSnapshot::to_text(bool include_zero) const {
   return out;
 }
 
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  if (metrics.size() != other.metrics.size())
+    throw std::logic_error(
+        "MetricsSnapshot::merge_from: metric count mismatch (" +
+        std::to_string(metrics.size()) + " vs " +
+        std::to_string(other.metrics.size()) + ")");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    MetricValue& m = metrics[i];
+    const MetricValue& o = other.metrics[i];
+    if (m.name != o.name || m.kind != o.kind || m.bounds != o.bounds)
+      throw std::logic_error(
+          "MetricsSnapshot::merge_from: schema mismatch at \"" + m.name +
+          "\" vs \"" + o.name + "\"");
+    switch (m.kind) {
+      case MetricKind::Counter:
+        m.value += o.value;
+        break;
+      case MetricKind::Gauge:
+        m.value = std::max(m.value, o.value);
+        break;
+      case MetricKind::Histogram:
+        if (m.counts.size() != o.counts.size())
+          throw std::logic_error(
+              "MetricsSnapshot::merge_from: bucket count mismatch at \"" +
+              m.name + "\"");
+        for (std::size_t b = 0; b < m.counts.size(); ++b)
+          m.counts[b] += o.counts[b];
+        break;
+    }
+  }
+}
+
 MetricsRegistry::MetricsRegistry()
     : uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed)) {}
 

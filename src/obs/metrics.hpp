@@ -68,6 +68,17 @@ struct MetricsSnapshot {
   /// Aligned human-readable listing; all-zero metrics are skipped unless
   /// include_zero is set.
   std::string to_text(bool include_zero = false) const;
+
+  /// Fold `other` into this snapshot with the registry's own merge
+  /// operators: counters and histogram buckets sum, gauges take the max.
+  /// Both snapshots must come from identically-registered registries —
+  /// same names, kinds and bounds in the same order — or this throws
+  /// std::logic_error. Because every operator is commutative and
+  /// associative, merging per-worker snapshots in any grouping yields
+  /// the bytes a single cumulative registry would have produced; this
+  /// is what lets the sweep fleet (docs/SERVICE.md) reassemble one
+  /// metrics block from partial reports.
+  void merge_from(const MetricsSnapshot& other);
 };
 
 class MetricsRegistry {

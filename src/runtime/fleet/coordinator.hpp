@@ -1,0 +1,105 @@
+#pragma once
+// FleetCoordinator — the parent half of the sweep fleet
+// (docs/SERVICE.md). It fork/execs N copies of the host binary as
+// workers (worker.hpp), streams requests and responses over per-worker
+// pipe pairs using the service frame codec, and returns responses in
+// request order.
+//
+// Placement follows the static partition (partition.hpp): request i is
+// initially assigned to owner_of(total, workers, i). Each worker runs
+// lock-step — one request in flight at a time — so the fleet's
+// parallelism is its width, pipes never fill, and the coordinator
+// stays a single poll() loop on the caller's thread (no coordinator
+// threads to sanitize).
+//
+// Failure handling. Three signals mean a dead or wedged worker: its
+// response pipe reaches EOF (clean or mid-frame — a crash leaves a
+// partial frame), a write to its request pipe fails, or its in-flight
+// request exceeds the per-request deadline (the worker is then
+// SIGKILLed). On death the worker is reaped (exit status collected),
+// its in-flight request is RETRIED on a surviving worker — bounded by
+// max_attempts per request — and its queued requests are REASSIGNED
+// round-robin over survivors. Requests are pure functions of their
+// content, so a retried request returns the same bytes any attempt
+// would have; a typed Error response from a live worker is final and
+// never retried (it is deterministic too). When every worker is dead
+// and work remains, run_requests throws.
+//
+// Observability: a private MetricsRegistry (the SweepService
+// discipline — never the bench session's, so fleet reports carry
+// exactly the in-process metric families) with counters
+// fleet.worker.spawn / fleet.worker.exit / fleet.worker.retry /
+// fleet.worker.reassign, plus fleet.run / fleet.spawn / fleet.retry
+// spans through the process tracer.
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/sweep_service/protocol.hpp"
+
+namespace parbounds::fleet {
+
+struct FleetConfig {
+  unsigned workers = 1;
+  /// Worker executable; empty = /proc/self/exe (re-exec the host
+  /// binary, whose main() must call maybe_run_worker first).
+  std::string worker_exe;
+  /// Shared content-addressed cell cache directory, exported to the
+  /// workers' environment; empty = no cache.
+  std::string cache_dir;
+  std::uint64_t cache_bytes = 0;  ///< cache bound; 0 = library default
+  /// Execution attempts per request before it becomes a typed error.
+  unsigned max_attempts = 3;
+  /// Per-request deadline in milliseconds; a worker that exceeds it is
+  /// SIGKILLed and its request retried. 0 disables the deadline.
+  int request_deadline_ms = 0;
+};
+
+class FleetCoordinator {
+ public:
+  explicit FleetCoordinator(FleetConfig cfg);
+  ~FleetCoordinator();  ///< shuts down (or kills) every live worker
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  /// Drive every request to a final response (Ok or Error), in request
+  /// order. Callable repeatedly; workers persist across calls. Throws
+  /// std::runtime_error only when the fleet itself is unusable (all
+  /// workers dead with work outstanding).
+  std::vector<service::Response> run_requests(
+      std::vector<service::Request> reqs);
+
+  unsigned workers() const { return cfg_.workers; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Convenience: current value of one fleet.* counter.
+  std::uint64_t counter(const std::string& name) const;
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int to_fd = -1;    ///< coordinator -> worker requests
+    int from_fd = -1;  ///< worker -> coordinator responses
+    service::FrameDecoder decoder;
+    bool alive = false;
+    std::deque<std::size_t> queue;  ///< assigned request indices
+    std::size_t inflight = kNone;
+    std::uint64_t deadline_ns = 0;  ///< steady-ns; valid while inflight
+  };
+  static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
+
+  bool spawn(unsigned slot);
+  unsigned alive_count() const;
+
+  FleetConfig cfg_;
+  obs::MetricsRegistry metrics_;
+  obs::MetricsRegistry::Id spawn_id_, exit_id_, retry_id_, reassign_id_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace parbounds::fleet

@@ -1,0 +1,17 @@
+#include "runtime/fleet/partition.hpp"
+
+namespace parbounds::fleet {
+
+std::pair<std::uint64_t, std::uint64_t> shard_range(std::uint64_t total,
+                                                    unsigned shards,
+                                                    unsigned s) {
+  return {total * s / shards, total * (s + 1) / shards};
+}
+
+unsigned owner_of(std::uint64_t total, unsigned shards, std::uint64_t i) {
+  // floor(((i+1)*shards - 1) / total): the unique s with
+  // floor(s*total/shards) <= i < floor((s+1)*total/shards).
+  return static_cast<unsigned>(((i + 1) * shards - 1) / total);
+}
+
+}  // namespace parbounds::fleet

@@ -1,0 +1,55 @@
+#include "runtime/fleet/transport.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace parbounds::fleet {
+
+bool write_all_fd(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FdTransport::recv(std::string& payload) {
+  for (;;) {
+    switch (decoder_.next(payload)) {
+      case service::FrameResult::Ok:
+        return true;
+      case service::FrameResult::TooLarge:
+        eof_mid_frame_ = true;  // protocol error: same death signal
+        return false;
+      case service::FrameResult::NeedMore:
+        break;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(rfd_, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_mid_frame_ = true;
+      return false;
+    }
+    if (n == 0) {
+      eof_mid_frame_ = decoder_.mid_frame();
+      return false;
+    }
+    decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+void FdTransport::send(const std::string& payload) {
+  std::string frame;
+  service::append_frame(frame, payload);
+  if (!write_all_fd(wfd_, frame)) send_failed_ = true;
+}
+
+}  // namespace parbounds::fleet

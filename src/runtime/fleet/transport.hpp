@@ -1,0 +1,51 @@
+#pragma once
+// FdTransport — length-prefixed frames (sweep_service/protocol.hpp)
+// over a pair of file descriptors, behind the service's Transport seam
+// so the worker's serve loop is byte-compatible with the socket
+// daemon's. Pipes and sockets both deliver arbitrary slices, so recv()
+// reassembles frames through a FrameDecoder: short reads, frames split
+// across pipe-buffer boundaries, and even a split 4-byte length prefix
+// are all just NeedMore states, never errors.
+//
+// EOF is classified, not collapsed: a clean close between frames ends
+// recv() with eof_mid_frame() == false, while EOF with partial-frame
+// bytes buffered (a peer that died mid-write) sets it — the signal the
+// fleet coordinator treats as a worker crash. Oversized frames are
+// protocol errors and close the stream the same way.
+
+#include <string>
+
+#include "runtime/sweep_service/protocol.hpp"
+#include "runtime/sweep_service/serve.hpp"
+
+namespace parbounds::fleet {
+
+class FdTransport : public service::Transport {
+ public:
+  /// Reads from `rfd`, writes to `wfd` (they may be the same fd, e.g. a
+  /// connected socket). Does not own either descriptor.
+  FdTransport(int rfd, int wfd) : rfd_(rfd), wfd_(wfd) {}
+
+  /// Blocks for the next whole frame; false on EOF or protocol error.
+  bool recv(std::string& payload) override;
+
+  /// Writes one whole frame, looping over short writes. A failed or
+  /// partial write (peer gone) sets send_failed().
+  void send(const std::string& payload) override;
+
+  bool eof_mid_frame() const { return eof_mid_frame_; }
+  bool send_failed() const { return send_failed_; }
+
+ private:
+  int rfd_;
+  int wfd_;
+  service::FrameDecoder decoder_;
+  bool eof_mid_frame_ = false;
+  bool send_failed_ = false;
+};
+
+/// write(2) until `bytes` is fully flushed, retrying EINTR; false on
+/// any other error (notably EPIPE when the reader died).
+bool write_all_fd(int fd, const std::string& bytes);
+
+}  // namespace parbounds::fleet

@@ -95,6 +95,22 @@ void set_threads(const char* text, HarnessFlags& out) {
   out.threads_set = true;
 }
 
+/// Parse the value of --workers, enforcing N >= 1. As with --threads
+/// there is no "auto" spelling: fleet-off is spelled by omitting the
+/// flag, so a literal 0 is always a mistake.
+void set_workers(const char* text, HarnessFlags& out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || v == 0) {
+    out.error = true;
+    out.error_message = std::string("--workers ") + text +
+                        ": fleet width must be a positive integer "
+                        "(omit --workers for in-process execution)";
+    return;
+  }
+  out.workers = static_cast<unsigned>(v);
+}
+
 }  // namespace
 
 HarnessFlags parse_harness_flags(int& argc, char** argv,
@@ -157,10 +173,32 @@ HarnessFlags parse_harness_flags(int& argc, char** argv,
     } else if (arg.rfind("--cache-bytes=", 0) == 0) {
       set_cache_bytes(arg.c_str() + 14, out);
       if (out.error) break;
+    } else if (arg == "--workers") {
+      if (i + 1 >= argc) {
+        out.error = true;
+        out.error_message = "--workers requires a value";
+        break;
+      }
+      set_workers(argv[++i], out);
+      if (out.error) break;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      set_workers(arg.c_str() + 10, out);
+      if (out.error) break;
     } else if (arg.rfind("--via-", 0) == 0 || arg.rfind("--cache-", 0) == 0) {
       reject_unknown_service_flag(arg, out);
       break;
     } else {
+      // A near-miss of --workers (--worker, --wokers, ...) must not
+      // fall through to google-benchmark: the sweep would silently run
+      // in-process and look like a fleet run.
+      const std::string name = arg.substr(0, arg.find('='));
+      if (name.rfind("--", 0) == 0 && name != "--workers" &&
+          edit_distance(name, "--workers") <= 2) {
+        out.error = true;
+        out.error_message =
+            "unknown flag '" + name + "'; did you mean '--workers'?";
+        break;
+      }
       argv[w++] = argv[i];
     }
   }

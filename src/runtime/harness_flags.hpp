@@ -17,8 +17,14 @@
 //                   with a content-addressed result cache
 //                   (docs/SERVICE.md); report bytes stay identical to
 //                   an in-process run
-//   --cache-dir P   service result-cache directory
+//   --cache-dir P   service result-cache directory (also the fleet's
+//                   shared cell cache under --workers)
 //   --cache-bytes N service cache size bound (0 = library default)
+//   --workers N     execute sweeps across N fleet worker PROCESSES
+//                   (docs/SERVICE.md#fleet); the merged report stays
+//                   byte-identical to in-process --jobs 1. N must be
+//                   >= 1: there is no "auto" fleet width, so
+//                   --workers 0 is rejected rather than remapped.
 //
 // Recognized flags are stripped from argv (google-benchmark parses the
 // rest). A bare --json/--trace followed by another `--flag` takes the
@@ -28,7 +34,11 @@
 // dropped the path in that case. Unknown flags normally pass through to
 // google-benchmark, EXCEPT tokens starting with --via- or --cache-:
 // those namespaces belong to the harness, so a typo there is rejected
-// with a did-you-mean hint instead of being silently ignored.
+// with a did-you-mean hint instead of being silently ignored. The same
+// courtesy covers near-misses of --workers (`--worker`, `--wokers`):
+// any unknown --flag within edit distance 2 of it is rejected rather
+// than passed through, because a silently dropped fleet flag would run
+// the whole sweep in-process and look like it worked.
 
 #include <cstdint>
 #include <string>
@@ -44,6 +54,7 @@ struct HarnessFlags {
   bool via_service = false; ///< route sweeps through the sweep service
   std::string cache_dir;    ///< service cache dir; empty = harness default
   std::uint64_t cache_bytes = 0;  ///< service cache bound; 0 = default
+  unsigned workers = 0;     ///< fleet worker processes; 0 = fleet off
   bool error = false;
   std::string error_message;
 

@@ -1,6 +1,11 @@
 #include "runtime/sweep_service/cache.hpp"
 
+#include <signal.h>  // NOLINT(modernize-deprecated-headers): kill(2) is POSIX-only
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <system_error>
@@ -63,6 +68,23 @@ void unlink_quiet(const std::filesystem::path& p) {
   std::filesystem::remove(p, ec);
 }
 
+/// Is the tmp file `name` ("tmp-<pid>-<seq>-<key>") a STALE dropping —
+/// i.e. its writer is provably dead? The directory may be shared with
+/// live processes (fleet workers, docs/SERVICE.md#fleet), so a startup
+/// sweep that unlinked every tmp file would race a concurrent writer
+/// out of its in-flight publish (rename(2) of a deleted source fails
+/// and the insert is lost). Only kill(pid, 0) == ESRCH is proof of
+/// death; an unparseable name is treated as stale (unknown format =
+/// dropping), and EPERM (alive, different user) leaves the file alone.
+bool tmp_writer_is_dead(const std::string& name) {
+  const char* p = name.c_str() + 4;  // past "tmp-"
+  char* end = nullptr;
+  const unsigned long pid = std::strtoul(p, &end, 10);
+  if (end == p || *end != '-' || pid == 0) return true;  // not our format
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return false;
+  return errno == ESRCH;
+}
+
 }  // namespace
 
 ResultCache::ResultCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
@@ -70,7 +92,8 @@ ResultCache::ResultCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
 
   // Deterministic startup scan: sorted filenames, so two caches opened
   // on the same directory agree on eviction order. Tmp droppings from a
-  // crashed writer are swept here.
+  // CRASHED writer are swept here; a live concurrent writer's in-flight
+  // tmp files are left for it to rename (tmp_writer_is_dead above).
   std::vector<std::string> names;
   for (const auto& de : std::filesystem::directory_iterator(cfg_.dir)) {
     if (!de.is_regular_file()) continue;
@@ -79,7 +102,7 @@ ResultCache::ResultCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
   std::sort(names.begin(), names.end());
   for (const auto& name : names) {
     if (name.rfind("tmp-", 0) == 0) {
-      unlink_quiet(cfg_.dir / name);
+      if (tmp_writer_is_dead(name)) unlink_quiet(cfg_.dir / name);
       continue;
     }
     std::error_code ec;
@@ -97,7 +120,24 @@ std::filesystem::path ResultCache::path_of(const std::string& key) const {
 FetchResult ResultCache::fetch(const std::string& key, std::string& payload) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
-  if (it == index_.end()) return FetchResult::Miss;
+  if (it == index_.end()) {
+    // Not in the in-memory index — but another process sharing this
+    // directory (a fleet worker, docs/SERVICE.md) may have published
+    // the entry after our startup scan. Probe the disk once: a valid
+    // entry is adopted into the index and served; invalid bytes are
+    // unlinked and reported Corrupt (re-run, never served); no file at
+    // all is a plain Miss.
+    std::string raw;
+    if (!read_file(path_of(key), raw)) return FetchResult::Miss;
+    if (!validate_entry(key, raw, payload)) {
+      unlink_quiet(path_of(key));
+      return FetchResult::Corrupt;
+    }
+    index_[key] = Entry{raw.size(), ++tick_};
+    total_bytes_ += raw.size();
+    evict_to_budget_locked();
+    return FetchResult::Hit;
+  }
 
   std::string raw;
   if (!read_file(path_of(key), raw) || !validate_entry(key, raw, payload)) {
@@ -118,8 +158,13 @@ std::size_t ResultCache::insert(const std::string& key,
   }
 
   const std::string blob = header_line(key, payload) + std::string(payload);
+  // The tmp name carries the pid: two processes publishing the same key
+  // concurrently must stage into DIFFERENT files, or their writes would
+  // interleave before the rename. Each then renames complete identical
+  // bytes into place — last rename wins, both outcomes valid.
   const std::filesystem::path tmp =
-      cfg_.dir / ("tmp-" + std::to_string(++tmp_seq_) + "-" + key);
+      cfg_.dir / ("tmp-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(++tmp_seq_) + "-" + key);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     out.write(blob.data(), static_cast<std::streamsize>(blob.size()));

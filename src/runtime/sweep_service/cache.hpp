@@ -8,7 +8,15 @@
 //
 // Writes go to a tmp file first and are renamed into place, so a
 // reader never observes a half-written entry and a crashed writer
-// leaves only tmp droppings (swept on startup). Any mismatch between
+// leaves only tmp droppings (swept on startup — but only when the pid
+// baked into the tmp name is provably dead, so a live process sharing
+// the directory is never raced out of an in-flight publish). That
+// atomic publish is
+// also what makes one directory safe to SHARE between processes (fleet
+// workers, docs/SERVICE.md): concurrent writers racing the same key
+// rename identical bytes over each other (the key is a content
+// address), and fetch() falls back to a validated disk probe for keys
+// another process published after this cache's startup scan. Any mismatch between
 // the header and the bytes on disk — truncation, bit rot, a file
 // renamed by hand — makes fetch() return Corrupt and unlink the entry:
 // a corrupt result is re-run, never served.
@@ -45,7 +53,10 @@ class ResultCache {
 
   /// Look up `key`; on Hit fills `payload` and refreshes LRU recency.
   /// Corrupt means an entry existed but failed validation (it has been
-  /// unlinked; the caller re-runs exactly as for Miss).
+  /// unlinked; the caller re-runs exactly as for Miss). A key missing
+  /// from the in-memory index is probed once on disk before reporting
+  /// Miss, so entries published by a concurrent process sharing the
+  /// directory (fleet workers) are adopted instead of re-executed.
   FetchResult fetch(const std::string& key, std::string& payload);
 
   /// Write (key → payload) atomically; returns how many old entries

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <stdexcept>
 
 #include "runtime/bench_json.hpp"
 #include "util/sha256.hpp"
@@ -226,6 +227,7 @@ bool finish(Cursor& c, std::string& err, bool ok) {
 const char* op_name(Op op) {
   switch (op) {
     case Op::Run: return "run";
+    case Op::Cell: return "cell";
     case Op::Stats: return "stats";
     case Op::Ping: return "ping";
     case Op::Shutdown: return "shutdown";
@@ -245,7 +247,7 @@ const char* status_name(Status s) {
 std::string encode_request(const Request& req) {
   std::string out = "{\"id\":" + std::to_string(req.id) + ",\"op\":\"" +
                     op_name(req.op) + "\"";
-  if (req.op == Op::Run) {
+  if (req.op == Op::Run || req.op == Op::Cell) {
     out += ",\"engine\":\"" + runtime::json_escape(req.spec.engine) + "\"";
     out +=
         ",\"workload\":\"" + runtime::json_escape(req.spec.workload) + "\"";
@@ -261,6 +263,10 @@ std::string encode_request(const Request& req) {
       out += "}";
     }
     out += ",\"seed\":" + std::to_string(req.seed);
+    if (req.op == Op::Cell) {
+      out += ",\"trial0\":" + std::to_string(req.trial0);
+      out += ",\"trials\":" + std::to_string(req.trials);
+    }
   }
   out += "}";
   return out;
@@ -274,6 +280,20 @@ std::string encode_response(const Response& resp) {
     out += resp.cached ? "true" : "false";
     out += ",\"cost\":" + num(resp.cost);
   }
+  if (!resp.costs.empty()) {
+    if (!resp.has_cost) {
+      out += ",\"cached\":";
+      out += resp.cached ? "true" : "false";
+    }
+    out += ",\"costs\":[";
+    for (std::size_t i = 0; i < resp.costs.size(); ++i) {
+      if (i > 0) out += ',';
+      out += num(resp.costs[i]);
+    }
+    out += "]";
+  }
+  if (!resp.telemetry.empty())
+    out += ",\"telemetry\":\"" + runtime::json_escape(resp.telemetry) + "\"";
   if (!resp.stats_json.empty()) out += ",\"stats\":" + resp.stats_json;
   if (resp.status == Status::Error)
     out += ",\"error\":\"" + runtime::json_escape(resp.error) + "\"";
@@ -286,7 +306,8 @@ bool decode_request(std::string_view payload, Request& out,
   Cursor c{payload, 0, {}};
   out = Request{};
   bool saw_id = false, saw_op = false, saw_engine = false,
-       saw_workload = false, saw_params = false, saw_seed = false;
+       saw_workload = false, saw_params = false, saw_seed = false,
+       saw_trial0 = false, saw_trials = false;
   std::string op_text;
 
   bool ok = c.expect('{');
@@ -310,6 +331,10 @@ bool decode_request(std::string_view payload, Request& out,
         ok = mark_seen(c, saw_params, key) && parse_params(c, out.spec);
       } else if (key == "seed") {
         ok = mark_seen(c, saw_seed, key) && c.u64_value(out.seed);
+      } else if (key == "trial0") {
+        ok = mark_seen(c, saw_trial0, key) && c.u64_value(out.trial0);
+      } else if (key == "trials") {
+        ok = mark_seen(c, saw_trials, key) && c.u64_value(out.trials);
       } else {
         ok = c.fail("unknown request key '" + key + "'");
       }
@@ -327,17 +352,27 @@ bool decode_request(std::string_view payload, Request& out,
   if (ok && !saw_op) ok = c.fail("missing required key 'op'");
   if (ok) {
     if (op_text == "run") out.op = Op::Run;
+    else if (op_text == "cell") out.op = Op::Cell;
     else if (op_text == "stats") out.op = Op::Stats;
     else if (op_text == "ping") out.op = Op::Ping;
     else if (op_text == "shutdown") out.op = Op::Shutdown;
     else ok = c.fail("unknown op '" + op_text + "'");
   }
-  if (ok && out.op == Op::Run) {
-    if (!saw_engine) ok = c.fail("run request missing 'engine'");
-    else if (!saw_workload) ok = c.fail("run request missing 'workload'");
-    else if (!saw_seed) ok = c.fail("run request missing 'seed'");
+  if (ok && (out.op == Op::Run || out.op == Op::Cell)) {
+    const std::string what = op_name(out.op);
+    if (!saw_engine) ok = c.fail(what + " request missing 'engine'");
+    else if (!saw_workload) ok = c.fail(what + " request missing 'workload'");
+    else if (!saw_seed) ok = c.fail(what + " request missing 'seed'");
   }
-  if (ok && out.op != Op::Run &&
+  if (ok && out.op == Op::Cell) {
+    if (!saw_trial0) ok = c.fail("cell request missing 'trial0'");
+    else if (!saw_trials) ok = c.fail("cell request missing 'trials'");
+    else if (out.trials == 0) ok = c.fail("cell request needs trials >= 1");
+  }
+  if (ok && out.op != Op::Cell && (saw_trial0 || saw_trials))
+    ok = c.fail(std::string("op '") + op_name(out.op) +
+                "' takes no cell fields");
+  if (ok && out.op != Op::Run && out.op != Op::Cell &&
       (saw_engine || saw_workload || saw_params || saw_seed))
     ok = c.fail(std::string("op '") + op_name(out.op) +
                 "' takes no run fields");
@@ -349,7 +384,8 @@ bool decode_response(std::string_view payload, Response& out,
   Cursor c{payload, 0, {}};
   out = Response{};
   bool saw_id = false, saw_status = false, saw_cached = false,
-       saw_cost = false, saw_stats = false, saw_error = false;
+       saw_cost = false, saw_costs = false, saw_telemetry = false,
+       saw_stats = false, saw_error = false;
   std::string status_text;
 
   bool ok = c.expect('{');
@@ -369,6 +405,23 @@ bool decode_response(std::string_view payload, Response& out,
       } else if (key == "cost") {
         ok = mark_seen(c, saw_cost, key) && c.double_value(out.cost);
         out.has_cost = ok;
+      } else if (key == "costs") {
+        ok = mark_seen(c, saw_costs, key) && c.expect('[');
+        while (ok) {
+          double v = 0.0;
+          ok = c.double_value(v);
+          if (!ok) break;
+          out.costs.push_back(v);
+          if (c.peek_is(',')) {
+            ++c.pos;
+            continue;
+          }
+          ok = c.expect(']');
+          break;
+        }
+      } else if (key == "telemetry") {
+        ok = mark_seen(c, saw_telemetry, key) &&
+             c.string_value(out.telemetry);
       } else if (key == "stats") {
         ok = mark_seen(c, saw_stats, key) && c.raw_value(out.stats_json);
         if (ok && (out.stats_json.empty() || out.stats_json[0] != '{'))
@@ -396,8 +449,12 @@ bool decode_response(std::string_view payload, Response& out,
     else if (status_text == "error") out.status = Status::Error;
     else ok = c.fail("unknown status '" + status_text + "'");
   }
-  if (ok && saw_cached && !saw_cost)
-    ok = c.fail("'cached' without 'cost'");
+  if (ok && saw_cached && !saw_cost && !saw_costs)
+    ok = c.fail("'cached' without 'cost' or 'costs'");
+  if (ok && saw_cost && saw_costs)
+    ok = c.fail("'cost' and 'costs' are mutually exclusive");
+  if (ok && saw_telemetry && !saw_costs)
+    ok = c.fail("'telemetry' without 'costs'");
   if (ok && out.status == Status::Error && !saw_error)
     ok = c.fail("error response missing 'error'");
   return finish(c, err, ok);
@@ -412,6 +469,14 @@ std::string canonical_request(const Request& req) {
   for (const auto& [key, value] : params)
     out += "|" + key + "=" + std::to_string(value);
   out += "|seed=" + std::to_string(req.seed);
+  // A cell's identity is the base seed plus its repetition block: the
+  // derived per-trial seeds are a pure function of (seed, trial0 + r).
+  // The "cell" marker keeps the key space disjoint from single-trial
+  // runs — no param is ever spelled "cell", so a run key can never
+  // collide with a cell key.
+  if (req.op == Op::Cell)
+    out += "|cell|trial0=" + std::to_string(req.trial0) +
+           "|trials=" + std::to_string(req.trials);
   return out;
 }
 
@@ -420,6 +485,11 @@ std::string cache_key(const Request& req) {
 }
 
 void append_frame(std::string& buf, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload)
+    throw std::length_error(
+        "append_frame: payload of " + std::to_string(payload.size()) +
+        " bytes exceeds kMaxFramePayload (" +
+        std::to_string(kMaxFramePayload) + ")");
   const auto n = static_cast<std::uint32_t>(payload.size());
   for (unsigned i = 0; i < 4; ++i)
     buf += static_cast<char>((n >> (8U * i)) & 0xFFU);
@@ -438,6 +508,23 @@ FrameResult extract_frame(std::string_view buf, std::string& payload,
   payload.assign(buf.substr(4, n));
   consumed = 4U + n;
   return FrameResult::Ok;
+}
+
+void FrameDecoder::feed(std::string_view bytes) { buf_.append(bytes); }
+
+FrameResult FrameDecoder::next(std::string& payload) {
+  std::size_t consumed = 0;
+  const FrameResult r = extract_frame(
+      std::string_view(buf_).substr(off_), payload, consumed);
+  if (r == FrameResult::Ok) {
+    off_ += consumed;
+    // Compact once the dead prefix dominates; amortized O(1) per byte.
+    if (off_ >= 4096 && off_ * 2 >= buf_.size()) {
+      buf_.erase(0, off_);
+      off_ = 0;
+    }
+  }
+  return r;
 }
 
 }  // namespace parbounds::service

@@ -12,22 +12,39 @@
 //
 // Requests:
 //   {"id":N,"op":"run","engine":E,"workload":W,"params":{k:v,...},"seed":S}
+//   {"id":N,"op":"cell","engine":E,"workload":W,"params":{...},"seed":B,
+//    "trial0":T,"trials":R}
 //   {"id":N,"op":"stats"}   {"id":N,"op":"ping"}   {"id":N,"op":"shutdown"}
 // Responses:
 //   {"id":N,"status":"ok","cached":B,"cost":C}       completed run
+//   {"id":N,"status":"ok","cached":B,"costs":[...],
+//    "telemetry":"..."}                              completed cell
 //   {"id":N,"status":"ok","stats":{...}}             stats snapshot
 //   {"id":N,"status":"ok"}                           ping/shutdown ack
 //   {"id":N,"status":"retry"}                        admission queue full
 //   {"id":N,"status":"error","error":"..."}          typed failure
 //
-// The cache key of a run request is sha256_hex(canonical_request()):
+// "run" executes ONE trial: `seed` is the derived per-trial seed. "cell"
+// is the fleet's unit of work (docs/SERVICE.md): R whole repetitions of
+// one sweep cell, where `seed` is the sweep's BASE seed and repetition r
+// runs with derive_seed(seed, trial0 + r) — the same derivation an
+// in-process sweep applies, so a cell answered by any worker carries
+// exactly the trial costs the local runner would have produced. A cell
+// response also carries the worker's per-cell MetricsSnapshot in
+// snapshot-wire form (src/runtime/fleet/snapshot_wire.hpp) so the
+// coordinator can reassemble the report's metrics block.
+//
+// The cache key of a run/cell request is sha256_hex(canonical_request()):
 // a fixed code-version tag, engine, workload, the params sorted by
-// name, and the derived seed — exactly the tuple that determines a
-// trial's cost (docs/RUNTIME.md seeding discipline).
+// name, and the seed — for a run, exactly the tuple that determines a
+// trial's cost (docs/RUNTIME.md seeding discipline); for a cell, the
+// base seed plus a cell marker with trial0/trials, which pins every
+// derived seed of the repetition block.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "runtime/sweep.hpp"
 
@@ -37,15 +54,18 @@ namespace parbounds::service {
 /// model fix, a kernel change). Part of every cache key.
 inline constexpr const char* kCodeVersion = "parbounds-service-v1";
 
-enum class Op : std::uint8_t { Run, Stats, Ping, Shutdown };
+enum class Op : std::uint8_t { Run, Cell, Stats, Ping, Shutdown };
 
 const char* op_name(Op op);
 
 struct Request {
   std::uint64_t id = 0;
   Op op = Op::Run;
-  runtime::ServiceSpec spec;  ///< engine/workload/params (op == Run)
-  std::uint64_t seed = 0;     ///< the DERIVED per-trial seed, not a base
+  runtime::ServiceSpec spec;   ///< engine/workload/params (Run/Cell)
+  std::uint64_t seed = 0;      ///< Run: the DERIVED per-trial seed;
+                               ///< Cell: the sweep's BASE seed
+  std::uint64_t trial0 = 0;    ///< Cell: global index of repetition 0
+  std::uint64_t trials = 0;    ///< Cell: repetition count (>= 1)
 };
 
 enum class Status : std::uint8_t { Ok, Retry, Error };
@@ -55,11 +75,13 @@ const char* status_name(Status s);
 struct Response {
   std::uint64_t id = 0;
   Status status = Status::Ok;
-  bool cached = false;      ///< run: served from the result cache
-  bool has_cost = false;    ///< run responses carry a cost
-  double cost = 0.0;        ///< model cost (%.17g over the wire, exact)
-  std::string stats_json;   ///< stats responses: raw snapshot JSON
-  std::string error;        ///< status == Error: human-readable cause
+  bool cached = false;       ///< run/cell: served from the result cache
+  bool has_cost = false;     ///< run responses carry a cost
+  double cost = 0.0;         ///< model cost (%.17g over the wire, exact)
+  std::vector<double> costs; ///< cell responses: per-repetition costs
+  std::string telemetry;     ///< cell responses: snapshot-wire metrics
+  std::string stats_json;    ///< stats responses: raw snapshot JSON
+  std::string error;         ///< status == Error: human-readable cause
 };
 
 // ----- JSON codec -----------------------------------------------------------
@@ -88,8 +110,11 @@ std::string cache_key(const Request& req);
 /// corrupt 4-byte header would happily allocate gigabytes.
 inline constexpr std::size_t kMaxFramePayload = 1 << 20;
 
-/// Append [u32le length | payload] to `buf`. Payload must fit
-/// kMaxFramePayload (callers encode messages, which are tiny).
+/// Append [u32le length | payload] to `buf`. Throws std::length_error
+/// when the payload exceeds kMaxFramePayload — the writer-side twin of
+/// the reader's TooLarge refusal (before this guard, an oversized
+/// payload had its length silently truncated by the u32 cast, which
+/// desynchronizes the stream instead of failing loudly).
 void append_frame(std::string& buf, std::string_view payload);
 
 enum class FrameResult : std::uint8_t { NeedMore, Ok, TooLarge };
@@ -100,5 +125,28 @@ enum class FrameResult : std::uint8_t { NeedMore, Ok, TooLarge };
 /// is a protocol error (close the connection).
 FrameResult extract_frame(std::string_view buf, std::string& payload,
                           std::size_t& consumed);
+
+/// Incremental frame reassembly for byte streams that arrive in
+/// arbitrary slices — pipes deliver whatever the kernel buffered, so a
+/// frame routinely lands split across read() calls, including inside
+/// its 4-byte length prefix. feed() appends raw bytes; next() yields
+/// complete frames in order (NeedMore when the tail is a partial
+/// frame). Consumed bytes are dropped lazily and compacted in amortized
+/// O(1), unlike the erase-from-front pattern the socket daemon used.
+/// mid_frame() reports whether undelivered partial-frame bytes are
+/// buffered — at EOF that distinguishes a clean close (between frames)
+/// from a peer that died mid-message, which the fleet coordinator
+/// treats as a worker crash (docs/SERVICE.md).
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+  FrameResult next(std::string& payload);
+  bool mid_frame() const { return off_ < buf_.size(); }
+  std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::string buf_;
+  std::size_t off_ = 0;  ///< consumed prefix, reclaimed by compaction
+};
 
 }  // namespace parbounds::service

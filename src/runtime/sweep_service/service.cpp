@@ -127,6 +127,12 @@ void SweepService::handle_batch(std::vector<Pending> batch) {
         // the runs admitted ahead of it.
         stats_waiting.push_back(i);
         continue;
+      case Op::Cell:
+        // Cells are the fleet workers' op (fleet/worker.hpp); the
+        // daemon's unit of exchange stays the single run.
+        resp.status = Status::Error;
+        resp.error = "cell op is served by fleet workers, not the daemon";
+        break;
       case Op::Run: {
         resp = run_request(req);
         if (resp.status == Status::Ok && !resp.cached) {
@@ -147,7 +153,26 @@ void SweepService::handle_batch(std::vector<Pending> batch) {
   // request that mapped to it.
   if (!miss_keys.empty()) {
     std::vector<Response> results;
-    {
+    if (cfg_.miss_executor) {
+      // Fleet-backed daemon: hand the deduplicated misses to the
+      // external executor in one batch. Same exec accounting, same
+      // cache publication below — only where the kernels run differs.
+      const obs::Span run_span(tracer, "service.run", miss_keys.size());
+      std::vector<Request> misses;
+      misses.reserve(miss_keys.size());
+      for (const std::string& key : miss_keys)
+        misses.push_back(batch[miss_of[key].front()].req);
+      metrics_.add(exec_id_, misses.size());
+      results = cfg_.miss_executor(misses);
+      if (results.size() != misses.size()) {
+        Response bad;
+        bad.status = Status::Error;
+        bad.error = "miss executor returned " +
+                    std::to_string(results.size()) + " responses for " +
+                    std::to_string(misses.size()) + " requests";
+        results.assign(misses.size(), bad);
+      }
+    } else {
       const obs::Span run_span(tracer, "service.run", miss_keys.size());
       results = runner_.map<Response>(
           miss_keys.size(), [&](std::uint64_t j) -> Response {

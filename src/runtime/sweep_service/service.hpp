@@ -40,6 +40,16 @@ struct ServiceConfig {
   CacheConfig cache;
   std::size_t queue_capacity = 1024;  ///< admission bound; 0 sheds everything
   unsigned jobs = 1;                  ///< runner fan-out for miss batches
+  /// Optional execution backend for the unique cache misses of a batch.
+  /// When set, the dispatcher hands the deduplicated miss requests to
+  /// this hook instead of the in-process runner and expects one
+  /// response per request, in order. This is how `parbounds_serve
+  /// --workers N` routes misses across a process fleet
+  /// (fleet/coordinator.hpp); cache publication and the service.exec
+  /// counter behave exactly as for in-process execution, so a fleet-
+  /// backed daemon stays byte-identical on the wire.
+  std::function<std::vector<Response>(const std::vector<Request>&)>
+      miss_executor;
 };
 
 class SweepService {

@@ -703,6 +703,59 @@ TEST(HarnessFlags, CacheBytesRejectsZeroAndGarbage) {
   EXPECT_TRUE(missing_dir.parse().error);
 }
 
+TEST(HarnessFlags, WorkersBothSpellingsAndDefault) {
+  Argv split({"bench", "--workers", "4"});
+  const auto a = split.parse();
+  EXPECT_FALSE(a.error) << a.error_message;
+  EXPECT_EQ(a.workers, 4u);
+  EXPECT_EQ(split.argc, 1);  // stripped before google-benchmark
+
+  Argv equals({"bench", "--workers=2"});
+  const auto b = equals.parse();
+  EXPECT_FALSE(b.error);
+  EXPECT_EQ(b.workers, 2u);
+
+  Argv absent({"bench"});
+  EXPECT_EQ(absent.parse().workers, 0u);  // 0 = in-process execution
+}
+
+TEST(HarnessFlags, WorkersRejectsZeroAndGarbage) {
+  // --workers 0 would mean "a fleet of no workers"; in-process execution
+  // is spelled by omitting the flag, so 0 is always a mistake — as is
+  // anything that is not a positive integer.
+  for (const char* v : {"0", "two", "4x"}) {
+    Argv argv({"bench", "--workers", v});
+    const auto f = argv.parse();
+    EXPECT_TRUE(f.error) << v;
+    EXPECT_NE(f.error_message.find("--workers"), std::string::npos)
+        << f.error_message;
+    EXPECT_NE(f.error_message.find("positive integer"), std::string::npos)
+        << f.error_message;
+  }
+  Argv missing({"bench", "--workers"});
+  EXPECT_TRUE(missing.parse().error);
+  Argv equals_zero({"bench", "--workers=0"});
+  EXPECT_TRUE(equals_zero.parse().error);
+}
+
+TEST(HarnessFlags, WorkersTyposGetADidYouMeanHint) {
+  // --worker and --wokers are within edit distance 2 of --workers; they
+  // must be named errors, not silently ignored google-benchmark args.
+  for (const char* typo : {"--worker", "--wokers", "--worker=4"}) {
+    Argv argv({"bench", typo});
+    const auto f = argv.parse();
+    EXPECT_TRUE(f.error) << typo;
+    EXPECT_NE(f.error_message.find("did you mean '--workers'"),
+              std::string::npos)
+        << f.error_message;
+  }
+  // ...but an unrelated unknown flag still falls through untouched.
+  Argv unrelated({"bench", "--benchmark_filter=NONE"});
+  const auto f = unrelated.parse();
+  EXPECT_FALSE(f.error) << f.error_message;
+  EXPECT_EQ(unrelated.argc, 2);
+}
+
 TEST(HarnessFlags, ServiceNamespaceTyposGetADidYouMeanHint) {
   // The --via-/--cache- namespaces belong to the harness: a typo there
   // must not fall through to google-benchmark and be silently ignored.

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cctype>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -249,6 +250,67 @@ TEST(Metrics, ToTextSkipsZerosUnlessAsked) {
   EXPECT_EQ(snap.to_text().find("cold"), std::string::npos);
   EXPECT_NE(snap.to_text(/*include_zero=*/true).find("cold"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot merging (docs/SERVICE.md#fleet): merge_from folds one
+// worker's snapshot into another with the registry's own operators —
+// counters and histogram buckets sum, gauges take the max — and is
+// commutative, so per-worker partials reassemble the cumulative block
+// a single process would have written.
+
+MetricsSnapshot merge_probe(std::uint64_t c, std::uint64_t g,
+                            std::uint64_t h) {
+  MetricsRegistry reg;
+  const auto cid = reg.counter("m.count");
+  const auto gid = reg.gauge("m.high");
+  const auto hid = reg.histogram("m.dist", {10, 100});
+  reg.add(cid, c);
+  reg.record_max(gid, g);
+  reg.observe(hid, h);
+  return reg.snapshot();
+}
+
+TEST(Metrics, MergeFromSumsCountersMaxesGaugesSumsBuckets) {
+  MetricsSnapshot a = merge_probe(3, 7, 5);     // h lands in bucket 0
+  const MetricsSnapshot b = merge_probe(4, 2, 50);  // bucket 1
+  a.merge_from(b);
+  EXPECT_EQ(a.find("m.count")->value, 7u);
+  EXPECT_EQ(a.find("m.high")->value, 7u);  // max, not sum
+  const auto* h = a.find("m.dist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->counts, (std::vector<std::uint64_t>{1, 1, 0}));
+  EXPECT_EQ(h->total(), 2u);
+}
+
+TEST(Metrics, MergeFromIsCommutative) {
+  MetricsSnapshot ab = merge_probe(3, 7, 5);
+  ab.merge_from(merge_probe(4, 2, 50));
+  MetricsSnapshot ba = merge_probe(4, 2, 50);
+  ba.merge_from(merge_probe(3, 7, 5));
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+}
+
+TEST(Metrics, MergeFromRejectsMismatchedRegistration) {
+  // Merging snapshots of DIFFERENT instrumentation would silently
+  // misattribute values; every shape mismatch is a logic error.
+  MetricsSnapshot base = merge_probe(1, 1, 1);
+
+  MetricsRegistry renamed;
+  (void)renamed.counter("other.count");
+  (void)renamed.gauge("m.high");
+  (void)renamed.histogram("m.dist", {10, 100});
+  EXPECT_THROW(base.merge_from(renamed.snapshot()), std::logic_error);
+
+  MetricsRegistry rebucketed;
+  (void)rebucketed.counter("m.count");
+  (void)rebucketed.gauge("m.high");
+  (void)rebucketed.histogram("m.dist", {10, 100, 1000});
+  EXPECT_THROW(base.merge_from(rebucketed.snapshot()), std::logic_error);
+
+  MetricsRegistry shorter;
+  (void)shorter.counter("m.count");
+  EXPECT_THROW(base.merge_from(shorter.snapshot()), std::logic_error);
 }
 
 // ---------------------------------------------------------------------

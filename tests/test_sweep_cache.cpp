@@ -14,9 +14,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "runtime/sweep_service/cache.hpp"
 #include "runtime/sweep_service/protocol.hpp"
@@ -225,16 +230,45 @@ TEST(ResultCache, StartupSweepsTmpDroppingsAndIndexesEntries) {
     cache.insert("k1", "1");
     cache.insert("k2", "2");
   }
-  // Simulate a writer that crashed mid-insert.
-  spit(dir / "tmp-99-k3", "half-written");
+  // Simulate a writer that crashed mid-insert: a tmp file whose pid is
+  // PROVABLY dead (a fork(2)ed child we already reaped — its pid cannot
+  // name a live process until recycled, which cannot happen while this
+  // test still holds it). A name without a parseable pid is treated as
+  // a dropping too.
+  pid_t dead = fork();
+  if (dead == 0) _exit(0);
+  int status = 0;
+  waitpid(dead, &status, 0);
+  const std::string crashed = "tmp-" + std::to_string(dead) + "-1-k3";
+  spit(dir / crashed, "half-written");
+  spit(dir / "tmp-junk", "no pid here");
 
   ResultCache reopened({.dir = dir});
-  EXPECT_FALSE(fs::exists(dir / "tmp-99-k3"));
+  EXPECT_FALSE(fs::exists(dir / crashed));
+  EXPECT_FALSE(fs::exists(dir / "tmp-junk"));
   EXPECT_EQ(reopened.totals().entries, 2u);
   std::string payload;
   EXPECT_EQ(reopened.fetch("k1", payload), FetchResult::Hit);
   EXPECT_EQ(payload, "1");
   EXPECT_EQ(reopened.fetch("k3", payload), FetchResult::Miss);
+}
+
+TEST(ResultCache, StartupSweepSparesALiveWritersTmpFiles) {
+  // The flip side: a tmp file stamped with a LIVE pid (our own) must
+  // survive the scan — it may be another process's in-flight publish,
+  // and sweeping it would race that writer out of its rename.
+  const fs::path dir = fresh_dir("startup_live");
+  const std::string inflight =
+      "tmp-" + std::to_string(getpid()) + "-1-k9";
+  {
+    ResultCache cache({.dir = dir});
+    cache.insert("k1", "1");
+  }
+  spit(dir / inflight, "in flight");
+
+  ResultCache reopened({.dir = dir});
+  EXPECT_TRUE(fs::exists(dir / inflight));
+  EXPECT_EQ(reopened.totals().entries, 1u);  // tmp files are not entries
 }
 
 TEST(ResultCache, ReopenedCacheEvictsInSortedFilenameOrder) {
@@ -266,6 +300,133 @@ TEST(ResultCache, ReopenedCacheEvictsInSortedFilenameOrder) {
   EXPECT_EQ(reopened.fetch("b", payload), FetchResult::Miss);
   EXPECT_EQ(reopened.fetch("c", payload), FetchResult::Hit);
   EXPECT_EQ(reopened.fetch("d", payload), FetchResult::Hit);
+}
+
+// ---------------------------------------------------------------------
+// Shared directory (docs/SERVICE.md#fleet): one cache directory used by
+// several PROCESSES at once. The atomic tmp+rename publish plus the
+// pid-qualified tmp names are what make this safe; these tests drive it
+// with real fork(2)ed writers, not threads.
+
+/// Run `body` in a fork(2)ed child; the child exits 0 on success and
+/// dies nonzero on a failed ASSERT/EXPECT or an exception.
+template <typename Fn>
+pid_t spawn_child(Fn&& body) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    int rc = 0;
+    try {
+      body();
+      rc = ::testing::Test::HasFailure() ? 3 : 0;
+    } catch (...) {
+      rc = 4;
+    }
+    _exit(rc);
+  }
+  return pid;
+}
+
+int wait_child(pid_t pid) {
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : 100 + WTERMSIG(status);
+}
+
+TEST(SharedCache, ConcurrentWritersRacingTheSameKeyBothWin) {
+  // Two child processes insert the SAME (key, payload) into the same
+  // directory at once. The content address makes the race benign — the
+  // loser renames identical bytes over the winner — and the parent must
+  // then read exactly those bytes, never a torn mix of two writers.
+  const fs::path dir = fresh_dir("race_same_key");
+  const std::string payload(4096, 'p');  // big enough to tear if unsafe
+
+  std::vector<pid_t> kids;
+  for (int c = 0; c < 2; ++c)
+    kids.push_back(spawn_child([&] {
+      ResultCache cache({.dir = dir});
+      for (int round = 0; round < 50; ++round)
+        cache.insert("hot-key", payload);
+    }));
+  for (const pid_t pid : kids) EXPECT_EQ(wait_child(pid), 0);
+
+  ResultCache parent({.dir = dir});
+  std::string got;
+  ASSERT_EQ(parent.fetch("hot-key", got), FetchResult::Hit);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(parent.totals().entries, 1u);
+  // No tmp droppings survive either writer.
+  for (const auto& e : fs::directory_iterator(dir))
+    EXPECT_EQ(e.path().filename().string().rfind("tmp-", 0),
+              std::string::npos)
+        << e.path();
+}
+
+TEST(SharedCache, ConcurrentWritersOnDistinctKeysAllLand) {
+  const fs::path dir = fresh_dir("race_distinct");
+  std::vector<pid_t> kids;
+  for (int c = 0; c < 4; ++c)
+    kids.push_back(spawn_child([&, c] {
+      ResultCache cache({.dir = dir});
+      for (int k = 0; k < 8; ++k)
+        cache.insert("w" + std::to_string(c) + "-k" + std::to_string(k),
+                     std::to_string(c * 100 + k));
+    }));
+  for (const pid_t pid : kids) EXPECT_EQ(wait_child(pid), 0);
+
+  ResultCache parent({.dir = dir});
+  EXPECT_EQ(parent.totals().entries, 32u);
+  std::string got;
+  for (int c = 0; c < 4; ++c)
+    for (int k = 0; k < 8; ++k) {
+      ASSERT_EQ(parent.fetch(
+                    "w" + std::to_string(c) + "-k" + std::to_string(k), got),
+                FetchResult::Hit);
+      EXPECT_EQ(got, std::to_string(c * 100 + k));
+    }
+}
+
+TEST(SharedCache, EntryPublishedAfterStartupScanIsAdoptedNotReRun) {
+  // The parent cache opens an EMPTY directory; only then does another
+  // process publish an entry. fetch() must disk-probe and adopt it —
+  // this is the warm-path contract that lets fleet workers share work.
+  const fs::path dir = fresh_dir("adoption");
+  ResultCache parent({.dir = dir});
+  std::string got;
+  EXPECT_EQ(parent.fetch("late-key", got), FetchResult::Miss);
+
+  const pid_t pid = spawn_child([&] {
+    ResultCache writer({.dir = dir});
+    writer.insert("late-key", "42.5");
+  });
+  ASSERT_EQ(wait_child(pid), 0);
+
+  ASSERT_EQ(parent.fetch("late-key", got), FetchResult::Hit);
+  EXPECT_EQ(got, "42.5");
+  // Adopted entries join the index: totals and recency see them.
+  EXPECT_EQ(parent.totals().entries, 1u);
+}
+
+TEST(SharedCache, CorruptEntryFromAnotherProcessIsStillNeverServed) {
+  // Sharing must not weaken the corruption contract: a garbled entry
+  // published by "someone else" (simulated by hand) is detected on the
+  // adoption probe, unlinked, and reported Corrupt — never served.
+  const fs::path dir = fresh_dir("shared_corrupt");
+  ResultCache parent({.dir = dir});
+
+  const pid_t pid = spawn_child([&] {
+    ResultCache writer({.dir = dir});
+    writer.insert("bad-key", "123456");
+  });
+  ASSERT_EQ(wait_child(pid), 0);
+  std::string raw = slurp(dir / "bad-key");
+  raw.back() = raw.back() == '9' ? '8' : '9';
+  spit(dir / "bad-key", raw);
+
+  std::string got = "sentinel";
+  EXPECT_EQ(parent.fetch("bad-key", got), FetchResult::Corrupt);
+  EXPECT_EQ(got, "sentinel");
+  EXPECT_FALSE(fs::exists(dir / "bad-key"));
+  EXPECT_EQ(parent.fetch("bad-key", got), FetchResult::Miss);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -359,6 +360,100 @@ TEST(ProtocolStrictness, ResponseInvariantsAreEnforced) {
   EXPECT_NE(err.find("missing 'error'"), std::string::npos) << err;
   EXPECT_FALSE(decode_response(R"({"id":1,"status":"maybe"})", p, err));
   EXPECT_NE(err.find("unknown status"), std::string::npos) << err;
+}
+
+TEST(ProtocolCell, CellRequestAndResponseRoundTrip) {
+  // The fleet's cell op (docs/SERVICE.md#fleet): base seed + trial0 +
+  // trials, answered with per-repetition costs and a telemetry wire.
+  Request req;
+  req.id = 11;
+  req.op = Op::Cell;
+  req.spec = {.engine = "qsm",
+              .workload = "parity_circuit",
+              .params = {{"n", 64}, {"g", 2}}};
+  req.seed = 42;
+  req.trial0 = 6;
+  req.trials = 3;
+  Request back;
+  std::string err;
+  ASSERT_TRUE(decode_request(encode_request(req), back, err)) << err;
+  EXPECT_EQ(back.op, Op::Cell);
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_EQ(back.trial0, 6u);
+  EXPECT_EQ(back.trials, 3u);
+  EXPECT_EQ(encode_request(back), encode_request(req));
+
+  Response resp;
+  resp.id = 11;
+  resp.costs = {12.0, 8.5, 0.0078125};
+  resp.telemetry = "c qsm.phases 7;";
+  Response rback;
+  ASSERT_TRUE(decode_response(encode_response(resp), rback, err)) << err;
+  EXPECT_EQ(rback.costs, resp.costs);
+  EXPECT_EQ(rback.telemetry, resp.telemetry);
+  EXPECT_EQ(encode_response(rback), encode_response(resp));
+}
+
+TEST(ProtocolCell, CellFieldRulesAreStrict) {
+  Request r;
+  std::string err;
+  // trial0/trials are required on cell...
+  EXPECT_FALSE(decode_request(
+      R"({"id":1,"op":"cell","engine":"qsm","workload":"w",)"
+      R"("params":{"n":1},"seed":0,"trials":2})",
+      r, err));
+  EXPECT_NE(err.find("'trial0'"), std::string::npos) << err;
+  EXPECT_FALSE(decode_request(
+      R"({"id":1,"op":"cell","engine":"qsm","workload":"w",)"
+      R"("params":{"n":1},"seed":0,"trial0":0})",
+      r, err));
+  EXPECT_NE(err.find("'trials'"), std::string::npos) << err;
+  // ...must not ride on other ops...
+  EXPECT_FALSE(decode_request(
+      R"({"id":1,"op":"run","engine":"qsm","workload":"w",)"
+      R"("params":{"n":1},"seed":0,"trial0":0,"trials":2})",
+      r, err));
+  // ...and an empty repetition block is meaningless.
+  EXPECT_FALSE(decode_request(
+      R"({"id":1,"op":"cell","engine":"qsm","workload":"w",)"
+      R"("params":{"n":1},"seed":0,"trial0":0,"trials":0})",
+      r, err));
+  EXPECT_NE(err.find("trials >= 1"), std::string::npos) << err;
+  // telemetry is a cell-response field: without costs it is invalid.
+  Response p;
+  EXPECT_FALSE(decode_response(
+      R"({"id":1,"status":"ok","telemetry":"c x 1;"})", p, err));
+  EXPECT_NE(err.find("'telemetry' without 'costs'"), std::string::npos)
+      << err;
+}
+
+TEST(ProtocolCell, CanonicalCellKeyIsDisjointFromRunKeys) {
+  // A cell key appends "|cell|trial0=..|trials=.." to the run recipe;
+  // the same spec+seed as a single run must hash differently, and the
+  // repetition block is part of the content address.
+  Request run;
+  run.op = Op::Run;
+  run.spec = {.engine = "qsm", .workload = "w", .params = {{"n", 1}}};
+  run.seed = 7;
+  Request cell = run;
+  cell.op = Op::Cell;
+  cell.trial0 = 0;
+  cell.trials = 3;
+  EXPECT_EQ(canonical_request(cell),
+            canonical_request(run) + "|cell|trial0=0|trials=3");
+  EXPECT_NE(cache_key(cell), cache_key(run));
+  Request shifted = cell;
+  shifted.trial0 = 3;
+  EXPECT_NE(cache_key(shifted), cache_key(cell));
+}
+
+TEST(ProtocolFraming, AppendFrameRefusesOversizedPayloads) {
+  // Writer-side twin of TooLarge: a payload over the cap throws instead
+  // of silently truncating its length header and desyncing the stream.
+  std::string buf;
+  EXPECT_THROW(append_frame(buf, std::string(kMaxFramePayload + 1, 'x')),
+               std::length_error);
+  EXPECT_TRUE(buf.empty());  // nothing half-written
 }
 
 TEST(ProtocolFraming, OversizedHeaderIsAProtocolError) {

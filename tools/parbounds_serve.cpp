@@ -9,6 +9,10 @@
 //   --list-workloads   print the registry and exit
 //
 // Knobs: --cache-dir PATH  --cache-bytes N  --queue N  --jobs N
+//        --workers N   execute cache-miss batches across N fleet worker
+//                      processes (this binary re-exec'd;
+//                      docs/SERVICE.md#fleet) instead of the in-process
+//                      runner. Response bytes are identical either way.
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -19,8 +23,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "runtime/fleet/coordinator.hpp"
+#include "runtime/fleet/transport.hpp"
+#include "runtime/fleet/worker.hpp"
 #include "runtime/sweep_service/registry.hpp"
 #include "runtime/sweep_service/serve.hpp"
 #include "runtime/sweep_service/service.hpp"
@@ -28,13 +37,14 @@
 namespace {
 
 using namespace parbounds::service;
+namespace fleet = parbounds::fleet;
 
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " (--stdio | --socket PATH | --connect PATH | --list-workloads)\n"
       << "       [--cache-dir PATH] [--cache-bytes N] [--queue N] "
-         "[--jobs N]\n";
+         "[--jobs N] [--workers N]\n";
   return 1;
 }
 
@@ -44,51 +54,10 @@ bool parse_u64(const char* text, std::uint64_t& out) {
   return end != text && *end == '\0';
 }
 
-bool write_all(int fd, const std::string& bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Length-prefixed frames over a connected socket fd.
-class FrameTransport : public Transport {
- public:
-  explicit FrameTransport(int fd) : fd_(fd) {}
-
-  bool recv(std::string& payload) override {
-    for (;;) {
-      std::size_t consumed = 0;
-      switch (extract_frame(inbuf_, payload, consumed)) {
-        case FrameResult::Ok:
-          inbuf_.erase(0, consumed);
-          return true;
-        case FrameResult::TooLarge:
-          std::cerr << "parbounds_serve: oversized frame, closing\n";
-          return false;
-        case FrameResult::NeedMore:
-          break;
-      }
-      char buf[4096];
-      const ssize_t n = ::read(fd_, buf, sizeof buf);
-      if (n <= 0) return false;
-      inbuf_.append(buf, static_cast<std::size_t>(n));
-    }
-  }
-
-  void send(const std::string& payload) override {
-    std::string frame;
-    append_frame(frame, payload);
-    write_all(fd_, frame);
-  }
-
- private:
-  int fd_;
-  std::string inbuf_;
-};
+// Socket connections reuse the fleet's FdTransport (read fd == write
+// fd): same frame reassembly across short reads, same classified EOF,
+// one codec implementation instead of two.
+using FrameTransport = fleet::FdTransport;
 
 int listen_on(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -144,7 +113,7 @@ int serve_socket(SweepService& svc, const std::string& path) {
                 << "\n";
       break;
     }
-    FrameTransport transport(conn);
+    FrameTransport transport(conn, conn);
     const ServeResult result = serve(svc, transport);
     ::close(conn);
     if (result.shutdown) {
@@ -167,7 +136,7 @@ int run_client(const std::string& path) {
     std::cerr << "parbounds_serve: cannot connect to " << path << "\n";
     return 1;
   }
-  FrameTransport transport(fd);
+  FrameTransport transport(fd, fd);
   std::string line;
   int rc = 0;
   while (std::getline(std::cin, line)) {
@@ -198,13 +167,29 @@ int list_workloads() {
   return 0;
 }
 
+/// Fleet health on stderr at daemon exit (never on the wire: response
+/// bytes must not depend on the execution backend).
+void print_fleet_stats(const fleet::FleetCoordinator* fc) {
+  if (fc == nullptr) return;
+  std::cerr << "parbounds_serve: fleet spawn="
+            << fc->counter("fleet.worker.spawn")
+            << " exit=" << fc->counter("fleet.worker.exit")
+            << " retry=" << fc->counter("fleet.worker.retry")
+            << " reassign=" << fc->counter("fleet.worker.reassign") << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fleet front door: a child re-exec'd with --fleet-worker=... serves
+  // its pipe pair and exits here, before any daemon flag parsing.
+  fleet::maybe_run_worker(argc, argv);
+
   std::string mode;
   std::string path;
   ServiceConfig cfg;
   cfg.cache.dir = ".parbounds-cache";
+  unsigned workers = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -230,6 +215,13 @@ int main(int argc, char** argv) {
       std::uint64_t v = 0;
       if (!need_value(v)) return usage(argv[0]);
       cfg.jobs = static_cast<unsigned>(v);
+    } else if (arg == "--workers") {
+      std::uint64_t v = 0;
+      if (!need_value(v) || v == 0) {
+        std::cerr << "parbounds_serve: --workers needs a fleet width >= 1\n";
+        return usage(argv[0]);
+      }
+      workers = static_cast<unsigned>(v);
     } else {
       std::cerr << "parbounds_serve: unknown flag '" << arg << "'\n";
       return usage(argv[0]);
@@ -238,15 +230,37 @@ int main(int argc, char** argv) {
 
   if (mode == "--list-workloads") return list_workloads();
   if (mode == "--connect") return run_client(path);
+
+  // Fleet-backed execution: cache-miss batches go to worker processes;
+  // admission, caching and response encoding stay the daemon's.
+  std::unique_ptr<fleet::FleetCoordinator> fleet_coord;
+  if (workers > 0 && (mode == "--stdio" || mode == "--socket")) {
+    fleet::FleetConfig fcfg;
+    fcfg.workers = workers;
+    try {
+      fleet_coord = std::make_unique<fleet::FleetCoordinator>(fcfg);
+    } catch (const std::exception& e) {
+      std::cerr << "parbounds_serve: --workers: " << e.what() << "\n";
+      return 1;
+    }
+    cfg.miss_executor =
+        [&fc = *fleet_coord](const std::vector<Request>& misses) {
+          return fc.run_requests(misses);
+        };
+  }
+
   if (mode == "--stdio") {
     SweepService svc(cfg);
     StdioTransport transport(std::cin, std::cout);
     serve(svc, transport);
+    print_fleet_stats(fleet_coord.get());
     return 0;
   }
   if (mode == "--socket") {
     SweepService svc(cfg);
-    return serve_socket(svc, path);
+    const int rc = serve_socket(svc, path);
+    print_fleet_stats(fleet_coord.get());
+    return rc;
   }
   return usage(argv[0]);
 }

@@ -18,12 +18,14 @@
 #      smoke) on its own, plus a parprof_cli run over a freshly
 #      exported demo trace;
 #   7. a TSan build flavor (PARBOUNDS_TSAN, exclusive with ASan) running
-#      the `runtime`, `obs` and `intra` labelled subsets — the
-#      ExperimentRunner determinism suite is the data-race proof for the
-#      trial-parallel path, the obs suite exercises the concurrent
-#      metric shards and span buffers, and the intra suite drives the
-#      sharded phase commit and parallel BoolFn transforms at pool
-#      sizes 1/2/8, so all three must pass under ThreadSanitizer;
+#      the `runtime`, `obs`, `intra`, `service` and `fleet` labelled
+#      subsets — the ExperimentRunner determinism suite is the
+#      data-race proof for the trial-parallel path, the obs suite
+#      exercises the concurrent metric shards and span buffers, the
+#      intra suite drives the sharded phase commit and parallel BoolFn
+#      transforms at pool sizes 1/2/8, and the fleet coordinator
+#      promises a single-threaded poll loop, so all must pass under
+#      ThreadSanitizer;
 #   8. bench_hotpath and bench_obs_overhead smoke runs (--jobs 2
 #      --json) from an optimized, sanitizer-free build — they
 #      self-verify the hot paths against replicas of the uninstrumented
@@ -47,12 +49,20 @@
 #      cache hits (checked via the metrics snapshot) with costs
 #      byte-identical to the first. The TSan flavor also runs the
 #      service subset: the dispatcher thread, admission queue and cache
-#      are concurrent.
+#      are concurrent;
+#  11. the sweep-fleet stage (docs/SERVICE.md#fleet): the
+#      `fleet`-labelled subset — the multi-process gtest suite (static
+#      partition, frame reassembly, snapshot wire, SIGKILL/hang
+#      recovery) plus the parbounds_serve daemon smokes that compare
+#      --workers {1,2,4} response bytes against the in-process backend
+#      and force a worker crash mid-sweep with the retry counters
+#      checked on stderr.
 #
 # Usage: tools/run_checks.sh [--quick] [--require-tidy] [build-dir]
 #
 #   --quick         plain (sanitizer-free) build + full ctest + the
-#                   analysis, runtime, obs, intra and service subsets +
+#                   analysis, runtime, obs, intra, service and fleet
+#                   subsets +
 #                   detlint + the service, parprof_cli and bench smokes;
 #                   skips both sanitizer rebuilds and (unless
 #                   --require-tidy) the tidy pass. The inner-loop
@@ -265,6 +275,8 @@ if [[ "${QUICK}" == 1 ]]; then
   echo "==> [quick] service-labelled subset (cache + protocol + daemon core)"
   ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure
   run_service_smoke "${BUILD_DIR}"
+  echo "==> [quick] fleet-labelled subset (multi-process byte identity)"
+  ctest --test-dir "${BUILD_DIR}" -L fleet --output-on-failure
   echo "==> [quick] parprof_cli smoke over an exported demo trace"
   "${BUILD_DIR}/tools/parlint_cli" --export-demo \
     "${BUILD_DIR}/CHECK_prof_demo.csv" 512 8 2
@@ -318,6 +330,9 @@ ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure
 
 run_service_smoke "${BUILD_DIR}"
 
+echo "==> fleet-labelled subset (multi-process byte identity)"
+ctest --test-dir "${BUILD_DIR}" -L fleet --output-on-failure
+
 echo "==> parprof_cli smoke over an exported demo trace"
 "${BUILD_DIR}/tools/parlint_cli" --export-demo \
   "${BUILD_DIR}/CHECK_prof_demo.csv" 512 8 2
@@ -332,8 +347,8 @@ cmake -B "${BUILD_DIR}-tsan" -S . \
 echo "==> build (TSan)"
 cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}"
 
-echo "==> runtime-, obs-, intra- and service-labelled subsets under TSan"
-ctest --test-dir "${BUILD_DIR}-tsan" -L 'runtime|obs|intra|service' \
+echo "==> runtime-, obs-, intra-, service- and fleet-labelled subsets under TSan"
+ctest --test-dir "${BUILD_DIR}-tsan" -L 'runtime|obs|intra|service|fleet' \
   --output-on-failure
 
 echo "==> configure (Release, sanitizer-free) into ${BUILD_DIR}-bench"
