@@ -45,6 +45,12 @@
 //                  retries included. Mutually exclusive with
 //                  --via-service. --cache-dir opts into a shared
 //                  cell cache across the fleet.
+//   --fleet-window K  per-worker credit window under --workers: each
+//                  worker holds up to K cells in flight (default 8;
+//                  1 = PR 9 lock-step). Window depth cannot change a
+//                  report byte — responses merge by placement index.
+//                  PARBOUNDS_FLEET_WIRE=text|binary picks the wire
+//                  codec (docs/SERVICE.md#wire-v2; default binary).
 //
 // All flags are stripped before benchmark::Initialize sees argv
 // (src/runtime/harness_flags.*). See docs/RUNTIME.md for the seeding
@@ -209,6 +215,7 @@ class BenchSession {
     if (flags.workers > 0) {
       fleet::FleetConfig cfg;
       cfg.workers = flags.workers;
+      if (flags.fleet_window > 0) cfg.window = flags.fleet_window;
       // The shared cell cache is opt-in: only an explicit --cache-dir
       // makes the fleet memoize (warm replays must be asked for).
       cfg.cache_dir = flags.cache_dir;

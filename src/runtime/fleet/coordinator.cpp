@@ -16,7 +16,6 @@
 
 #include "obs/span.hpp"
 #include "runtime/fleet/partition.hpp"
-#include "runtime/fleet/transport.hpp"
 #include "runtime/fleet/worker.hpp"
 
 namespace parbounds::fleet {
@@ -36,6 +35,30 @@ void close_quiet(int& fd) {
   fd = -1;
 }
 
+/// Blocking read of one whole frame (the handshake ack; data-plane
+/// reads go through the poll loop instead).
+bool read_frame_blocking(int fd, service::FrameDecoder& decoder,
+                         std::string& payload) {
+  for (;;) {
+    switch (decoder.next(payload)) {
+      case service::FrameResult::Ok:
+        return true;
+      case service::FrameResult::TooLarge:
+        return false;
+      case service::FrameResult::NeedMore:
+        break;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
 }  // namespace
 
 FleetCoordinator::FleetCoordinator(FleetConfig cfg) : cfg_(std::move(cfg)) {
@@ -43,12 +66,24 @@ FleetCoordinator::FleetCoordinator(FleetConfig cfg) : cfg_(std::move(cfg)) {
     throw std::invalid_argument("fleet: workers must be >= 1");
   if (cfg_.max_attempts == 0)
     throw std::invalid_argument("fleet: max_attempts must be >= 1");
+  if (cfg_.window == 0)
+    throw std::invalid_argument("fleet: window must be >= 1");
+  if (cfg_.wire == 0) cfg_.wire = wire_version_from_env();
+  if (cfg_.wire > service::kWireVersionMax)
+    throw std::invalid_argument("fleet: wire version " +
+                                std::to_string(cfg_.wire) +
+                                " is newer than this build speaks");
   if (cfg_.worker_exe.empty()) cfg_.worker_exe = "/proc/self/exe";
 
   spawn_id_ = metrics_.counter("fleet.worker.spawn");
   exit_id_ = metrics_.counter("fleet.worker.exit");
   retry_id_ = metrics_.counter("fleet.worker.retry");
   reassign_id_ = metrics_.counter("fleet.worker.reassign");
+  bytes_tx_id_ = metrics_.counter("fleet.bytes_tx");
+  bytes_rx_id_ = metrics_.counter("fleet.bytes_rx");
+  frames_tx_id_ = metrics_.counter("fleet.frames_tx");
+  frames_rx_id_ = metrics_.counter("fleet.frames_rx");
+  window_depth_id_ = metrics_.gauge("fleet.window.depth");
 
   // A worker that dies between our poll() and our write() would
   // otherwise SIGPIPE the whole coordinator; the EPIPE return is the
@@ -76,7 +111,7 @@ FleetCoordinator::~FleetCoordinator() {
     if (!w.alive) continue;
     // A worker mid-request (abnormal teardown, e.g. run_requests threw)
     // may never look at its inbox again; don't wait on it.
-    if (w.inflight != kNone) ::kill(w.pid, SIGKILL);
+    if (!w.inflight.empty()) ::kill(w.pid, SIGKILL);
     // Closing the request pipe is the shutdown signal: the worker's
     // next recv() sees clean EOF and exits 0.
     close_quiet(w.to_fd);
@@ -129,7 +164,40 @@ bool FleetCoordinator::spawn(unsigned slot) {
   w.from_fd = resp[0];
   w.decoder = service::FrameDecoder();
   w.alive = true;
-  w.inflight = kNone;
+  w.queue.clear();
+  w.inflight.clear();
+  w.outq.clear();
+
+  // Wire-version handshake before any work flows: offer our version,
+  // block for the ack (the worker answers it immediately after exec,
+  // long before any kernel runs). A malformed or out-of-range ack is a
+  // stillborn worker.
+  const auto abort_spawn = [&]() {
+    ::kill(pid, SIGKILL);
+    close_quiet(w.to_fd);
+    close_quiet(w.from_fd);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    w.alive = false;
+    return false;
+  };
+  std::string frame;
+  service::append_frame(frame, kOfferPrefix + std::to_string(cfg_.wire));
+  if (!write_all_fd(w.to_fd, frame)) return abort_spawn();
+  std::string ack;
+  unsigned acked = 0;
+  if (!read_frame_blocking(w.from_fd, w.decoder, ack) ||
+      !parse_handshake(ack, kAckPrefix, acked) || acked > cfg_.wire)
+    return abort_spawn();
+  w.wire = acked;
+
+  // The data plane writes through a non-blocking fd so a full pipe
+  // parks frames in the WriteQueue for the next POLLOUT instead of
+  // stalling the whole poll loop.
+  const int fl = ::fcntl(w.to_fd, F_GETFL);
+  if (fl < 0 || ::fcntl(w.to_fd, F_SETFL, fl | O_NONBLOCK) < 0)
+    return abort_spawn();
+
   metrics_.add(spawn_id_);
   obs::Span span(obs::process_tracer(), "fleet.spawn", slot);
   return true;
@@ -157,6 +225,8 @@ std::vector<service::Response> FleetCoordinator::run_requests(
 
   const std::size_t n = reqs.size();
   const unsigned W = cfg_.workers;
+  const std::uint64_t deadline_step =
+      static_cast<std::uint64_t>(cfg_.request_deadline_ms) * 1000000u;
   std::vector<unsigned> attempts(n, 0);
   std::size_t remaining = n;
 
@@ -178,29 +248,52 @@ std::vector<service::Response> FleetCoordinator::run_requests(
                              " request(s) unfinished");
   };
 
-  // Send the head of an idle live worker's queue; false = the write
-  // failed (worker died under us) and the caller must run on_death.
-  // The sent index is parked in `inflight` either way, so the death
-  // path sees it as an interrupted attempt.
-  auto pump = [&](unsigned slot) -> bool {
+  // Flush a worker's pending frames through writev; false = fatal
+  // write error (worker died under us), EAGAIN just parks the rest for
+  // the next POLLOUT.
+  auto flush = [&](unsigned slot) -> bool {
     Worker& w = workers_[slot];
-    if (!w.alive || w.inflight != kNone || w.queue.empty()) return true;
-    const std::size_t idx = w.queue.front();
-    w.queue.pop_front();
-    w.inflight = idx;
-    ++attempts[idx];
-    if (cfg_.request_deadline_ms > 0)
-      w.deadline_ns =
-          steady_now_ns() +
-          static_cast<std::uint64_t>(cfg_.request_deadline_ms) * 1000000u;
-    std::string frame;
-    service::append_frame(frame, service::encode_request(reqs[idx]));
-    return write_all_fd(w.to_fd, frame);
+    std::uint64_t bytes = 0, frames = 0;
+    const WriteQueue::Flush r = w.outq.flush(w.to_fd, bytes, frames);
+    if (bytes > 0) metrics_.add(bytes_tx_id_, bytes);
+    if (frames > 0) metrics_.add(frames_tx_id_, frames);
+    return r != WriteQueue::Flush::Error;
   };
 
-  // Reap a dead or wedged worker and redistribute its work: the
-  // interrupted in-flight request is RETRIED (bounded by max_attempts),
-  // its queued requests are REASSIGNED, both onto surviving workers.
+  // Fill a worker's credit window from its queue: every slot of credit
+  // becomes an encoded frame in the out-queue, then one flush pushes
+  // the whole burst. A sent index is parked in `inflight` before the
+  // write, so the death path always sees it as an interrupted attempt.
+  auto pump = [&](unsigned slot) -> bool {
+    Worker& w = workers_[slot];
+    if (!w.alive) return true;
+    bool queued_any = false;
+    while (w.inflight.size() < cfg_.window && !w.queue.empty()) {
+      const std::size_t idx = w.queue.front();
+      w.queue.pop_front();
+      if (w.inflight.empty() && cfg_.request_deadline_ms > 0)
+        w.head_deadline_ns = steady_now_ns() + deadline_step;
+      w.inflight.push_back(idx);
+      ++attempts[idx];
+      if (w.wire >= service::kWireVersionBinary) {
+        encode_scratch_.clear();
+        service::encode_request_binary(reqs[idx], encode_scratch_);
+      } else {
+        encode_scratch_ = service::encode_request(reqs[idx]);
+      }
+      w.outq.push(encode_scratch_);
+      queued_any = true;
+    }
+    if (queued_any)
+      metrics_.record_max(window_depth_id_, w.inflight.size());
+    return flush(slot);
+  };
+
+  // Reap a dead or wedged worker and redistribute its work: EVERY
+  // request in its in-flight window is RETRIED (bounded by
+  // max_attempts each — a credit window means a single crash can
+  // interrupt up to `window` attempts at once), and its queued
+  // requests are REASSIGNED, both round-robin onto surviving workers.
   std::function<void(unsigned)> on_death = [&](unsigned slot) {
     Worker& w = workers_[slot];
     if (!w.alive) return;
@@ -211,47 +304,49 @@ std::vector<service::Response> FleetCoordinator::run_requests(
     ::waitpid(w.pid, &status, 0);
     metrics_.add(exit_id_);
 
+    std::deque<std::size_t> interrupted = std::move(w.inflight);
     std::deque<std::size_t> queued = std::move(w.queue);
+    w.inflight.clear();
     w.queue.clear();
-    const std::size_t interrupted = w.inflight;
-    w.inflight = kNone;
+    w.outq.clear();
 
-    if (interrupted != kNone) {
-      if (attempts[interrupted] >= cfg_.max_attempts) {
-        service::Response& r = out[interrupted];
-        r.id = reqs[interrupted].id;
+    for (const std::size_t idx : interrupted) {
+      if (attempts[idx] >= cfg_.max_attempts) {
+        service::Response& r = out[idx];
+        r.id = reqs[idx].id;
         r.status = service::Status::Error;
         r.error = "fleet: retry budget exhausted after " +
-                  std::to_string(attempts[interrupted]) +
+                  std::to_string(attempts[idx]) +
                   " attempts (worker crash or deadline)";
         --remaining;
-      } else {
-        metrics_.add(retry_id_);
-        obs::Span span(obs::process_tracer(), "fleet.retry",
-                       static_cast<std::uint64_t>(interrupted));
-        const int s = next_alive();
-        if (s < 0) fleet_dead();
-        workers_[static_cast<unsigned>(s)].queue.push_front(interrupted);
-        if (!pump(static_cast<unsigned>(s)))
-          on_death(static_cast<unsigned>(s));
+        continue;
       }
+      metrics_.add(retry_id_);
+      obs::Span span(obs::process_tracer(), "fleet.retry",
+                     static_cast<std::uint64_t>(idx));
+      const int s = next_alive();
+      if (s < 0) fleet_dead();
+      workers_[static_cast<unsigned>(s)].queue.push_back(idx);
     }
     for (const std::size_t idx : queued) {
       metrics_.add(reassign_id_);
       const int s = next_alive();
       if (s < 0) fleet_dead();
       workers_[static_cast<unsigned>(s)].queue.push_back(idx);
-      if (!pump(static_cast<unsigned>(s))) on_death(static_cast<unsigned>(s));
     }
+    for (unsigned s = 0; s < W; ++s)
+      if (workers_[s].alive && !pump(s)) on_death(s);
   };
 
-  // Drain every whole frame buffered for a worker. Lock-step means at
-  // most one response is in flight; anything unexpected — an undecodable
-  // payload, a response with the wrong id, an unsolicited frame — is a
-  // protocol violation treated exactly like a crash.
+  // Drain every whole frame buffered for a worker. A worker is a
+  // serial loop, so responses arrive in dispatch order: the head of
+  // the in-flight window is the only id a well-behaved worker can
+  // answer. Anything unexpected — an undecodable payload, a response
+  // with any other id, an unsolicited frame — is a protocol violation
+  // treated exactly like a crash.
+  std::string payload;
   auto drain = [&](unsigned slot) {
     Worker& w = workers_[slot];
-    std::string payload;
     while (w.alive) {
       const service::FrameResult fr = w.decoder.next(payload);
       if (fr == service::FrameResult::NeedMore) return;
@@ -260,19 +355,32 @@ std::vector<service::Response> FleetCoordinator::run_requests(
         on_death(slot);
         return;
       }
+      metrics_.add(frames_rx_id_);
       service::Response resp;
       std::string err;
-      if (!service::decode_response(payload, resp, err) ||
-          w.inflight == kNone || resp.id != reqs[w.inflight].id) {
+      const bool decoded =
+          w.wire >= service::kWireVersionBinary
+              ? service::decode_response_binary(payload, resp, err)
+              : service::decode_response(payload, resp, err);
+      if (!decoded || w.inflight.empty() ||
+          resp.id != reqs[w.inflight.front()].id) {
         ::kill(w.pid, SIGKILL);
         on_death(slot);
         return;
       }
-      const std::size_t idx = w.inflight;
-      w.inflight = kNone;
+      const std::size_t idx = w.inflight.front();
+      w.inflight.pop_front();
+      // The next in-flight request is at the head now; its service
+      // clock starts here, not at send time — with a full window a
+      // request may legitimately sit behind `window - 1` others.
+      if (!w.inflight.empty() && cfg_.request_deadline_ms > 0)
+        w.head_deadline_ns = steady_now_ns() + deadline_step;
       out[idx] = std::move(resp);
       --remaining;
-      if (!pump(slot)) on_death(slot);
+      if (!pump(slot)) {
+        on_death(slot);
+        return;
+      }
     }
   };
 
@@ -300,8 +408,13 @@ std::vector<service::Response> FleetCoordinator::run_requests(
     std::vector<unsigned> slot_of;
     for (unsigned s = 0; s < W; ++s) {
       const Worker& w = workers_[s];
-      if (w.alive && w.inflight != kNone) {
+      if (!w.alive) continue;
+      if (!w.inflight.empty()) {
         fds.push_back(pollfd{w.from_fd, POLLIN, 0});
+        slot_of.push_back(s);
+      }
+      if (!w.outq.empty()) {
+        fds.push_back(pollfd{w.to_fd, POLLOUT, 0});
         slot_of.push_back(s);
       }
     }
@@ -315,8 +428,9 @@ std::vector<service::Response> FleetCoordinator::run_requests(
       const std::uint64_t now = steady_now_ns();
       std::uint64_t earliest = ~static_cast<std::uint64_t>(0);
       for (const unsigned s : slot_of)
-        if (workers_[s].deadline_ns < earliest)
-          earliest = workers_[s].deadline_ns;
+        if (!workers_[s].inflight.empty() &&
+            workers_[s].head_deadline_ns < earliest)
+          earliest = workers_[s].head_deadline_ns;
       timeout_ms = earliest <= now
                        ? 0
                        : static_cast<int>((earliest - now) / 1000000u + 1);
@@ -332,10 +446,16 @@ std::vector<service::Response> FleetCoordinator::run_requests(
     // Readable pipes first — a worker that answered in time must not
     // lose the race against its own deadline check below.
     for (std::size_t i = 0; i < fds.size(); ++i) {
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (fds[i].revents == 0) continue;
       const unsigned slot = slot_of[i];
       Worker& w = workers_[slot];
       if (!w.alive) continue;  // died in an earlier iteration's cascade
+      if (fds[i].fd == w.to_fd) {
+        // Room opened up in the request pipe: push the parked frames.
+        if (!flush(slot)) on_death(slot);
+        continue;
+      }
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       char buf[65536];
       const ssize_t nread = ::read(w.from_fd, buf, sizeof buf);
       if (nread < 0) {
@@ -347,6 +467,7 @@ std::vector<service::Response> FleetCoordinator::run_requests(
         on_death(slot);  // EOF: crashed (mid-frame or between frames)
         continue;
       }
+      metrics_.add(bytes_rx_id_, static_cast<std::uint64_t>(nread));
       w.decoder.feed(
           std::string_view(buf, static_cast<std::size_t>(nread)));
       drain(slot);
@@ -354,9 +475,9 @@ std::vector<service::Response> FleetCoordinator::run_requests(
 
     if (cfg_.request_deadline_ms > 0) {
       const std::uint64_t now = steady_now_ns();
-      for (const unsigned s : slot_of) {
+      for (unsigned s = 0; s < W; ++s) {
         Worker& w = workers_[s];
-        if (w.alive && w.inflight != kNone && now >= w.deadline_ns) {
+        if (w.alive && !w.inflight.empty() && now >= w.head_deadline_ns) {
           ::kill(w.pid, SIGKILL);  // wedged: hung kernel or stuck worker
           on_death(s);
         }

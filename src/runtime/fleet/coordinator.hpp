@@ -6,31 +6,47 @@
 // request order.
 //
 // Placement follows the static partition (partition.hpp): request i is
-// initially assigned to owner_of(total, workers, i). Each worker runs
-// lock-step — one request in flight at a time — so the fleet's
-// parallelism is its width, pipes never fill, and the coordinator
-// stays a single poll() loop on the caller's thread (no coordinator
-// threads to sanitize).
+// initially assigned to owner_of(total, workers, i). Each worker holds
+// a CREDIT WINDOW of up to `window` requests in flight (default 8), so
+// a small-cell sweep pays one pipe round-trip per WINDOW instead of
+// one per cell — the BSP lesson (PAPER.md) that latency `L` charges
+// per superstep, not per message. Workers answer strictly in dispatch
+// order (a worker is a serial loop), and responses land in `out` by
+// request index — the partition placement — never by arrival order, so
+// windowing cannot change a single report byte. The coordinator stays
+// a single poll() loop on the caller's thread (no coordinator threads
+// to sanitize); request pipes are non-blocking and pending frames are
+// batched through one writev(2) per poll iteration (transport.hpp
+// WriteQueue), with buffers recycled rather than reallocated.
+//
+// At spawn the pair negotiates a wire version (worker.hpp handshake):
+// v1 JSON text or the v2 binary codec, chosen by FleetConfig::wire or
+// PARBOUNDS_FLEET_WIRE. Both wires produce byte-identical reports;
+// test_fleet diffs them the way the SIMD dispatch-equivalence oracle
+// diffs kernels.
 //
 // Failure handling. Three signals mean a dead or wedged worker: its
 // response pipe reaches EOF (clean or mid-frame — a crash leaves a
-// partial frame), a write to its request pipe fails, or its in-flight
-// request exceeds the per-request deadline (the worker is then
-// SIGKILLed). On death the worker is reaped (exit status collected),
-// its in-flight request is RETRIED on a surviving worker — bounded by
-// max_attempts per request — and its queued requests are REASSIGNED
-// round-robin over survivors. Requests are pure functions of their
-// content, so a retried request returns the same bytes any attempt
-// would have; a typed Error response from a live worker is final and
-// never retried (it is deterministic too). When every worker is dead
-// and work remains, run_requests throws.
+// partial frame), a write to its request pipe fails, or the HEAD of
+// its in-flight window exceeds the per-request deadline (the worker is
+// then SIGKILLed). On death the worker is reaped (exit status
+// collected), EVERY in-flight request of its window is RETRIED on
+// surviving workers — bounded by max_attempts per request — and its
+// queued requests are REASSIGNED round-robin over survivors. Requests
+// are pure functions of their content, so a retried request returns
+// the same bytes any attempt would have; a typed Error response from a
+// live worker is final and never retried (it is deterministic too).
+// When every worker is dead and work remains, run_requests throws.
 //
 // Observability: a private MetricsRegistry (the SweepService
 // discipline — never the bench session's, so fleet reports carry
 // exactly the in-process metric families) with counters
 // fleet.worker.spawn / fleet.worker.exit / fleet.worker.retry /
-// fleet.worker.reassign, plus fleet.run / fleet.spawn / fleet.retry
-// spans through the process tracer.
+// fleet.worker.reassign, data-plane traffic counters fleet.bytes_tx /
+// fleet.bytes_rx / fleet.frames_tx / fleet.frames_rx, a
+// fleet.window.depth high-water gauge (deepest in-flight window
+// observed), plus fleet.run / fleet.spawn / fleet.retry spans through
+// the process tracer.
 
 #include <sys/types.h>
 
@@ -40,6 +56,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "runtime/fleet/transport.hpp"
 #include "runtime/sweep_service/protocol.hpp"
 
 namespace parbounds::fleet {
@@ -55,9 +72,17 @@ struct FleetConfig {
   std::uint64_t cache_bytes = 0;  ///< cache bound; 0 = library default
   /// Execution attempts per request before it becomes a typed error.
   unsigned max_attempts = 3;
-  /// Per-request deadline in milliseconds; a worker that exceeds it is
-  /// SIGKILLed and its request retried. 0 disables the deadline.
+  /// Per-request deadline in milliseconds, applied to the HEAD of each
+  /// worker's in-flight window; a worker that exceeds it is SIGKILLed
+  /// and its whole window retried. 0 disables the deadline.
   int request_deadline_ms = 0;
+  /// Credit window: in-flight requests per worker (>= 1). 1 restores
+  /// the PR 9 lock-step behavior; 8 keeps a small-cell pipe busy.
+  unsigned window = 8;
+  /// Wire version (protocol.hpp): kWireVersionText or
+  /// kWireVersionBinary. 0 = resolve from PARBOUNDS_FLEET_WIRE
+  /// (worker.hpp wire_version_from_env; default binary).
+  unsigned wire = 0;
 };
 
 class FleetCoordinator {
@@ -76,22 +101,28 @@ class FleetCoordinator {
       std::vector<service::Request> reqs);
 
   unsigned workers() const { return cfg_.workers; }
+  unsigned window() const { return cfg_.window; }
+  unsigned wire() const { return cfg_.wire; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
-  /// Convenience: current value of one fleet.* counter.
+  /// Convenience: current value of one fleet.* counter or gauge.
   std::uint64_t counter(const std::string& name) const;
 
  private:
   struct Worker {
     pid_t pid = -1;
-    int to_fd = -1;    ///< coordinator -> worker requests
+    int to_fd = -1;    ///< coordinator -> worker requests (O_NONBLOCK)
     int from_fd = -1;  ///< worker -> coordinator responses
     service::FrameDecoder decoder;
     bool alive = false;
-    std::deque<std::size_t> queue;  ///< assigned request indices
-    std::size_t inflight = kNone;
-    std::uint64_t deadline_ns = 0;  ///< steady-ns; valid while inflight
+    unsigned wire = service::kWireVersionText;  ///< negotiated at spawn
+    std::deque<std::size_t> queue;     ///< assigned, not yet sent
+    std::deque<std::size_t> inflight;  ///< sent, unanswered (FIFO)
+    /// Deadline for inflight.front(); armed when a request reaches the
+    /// head of the window (sent into an empty window, or promoted when
+    /// its predecessor's response arrives).
+    std::uint64_t head_deadline_ns = 0;
+    WriteQueue outq;  ///< pending request frames, flushed via writev
   };
-  static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
 
   bool spawn(unsigned slot);
   unsigned alive_count() const;
@@ -99,7 +130,11 @@ class FleetCoordinator {
   FleetConfig cfg_;
   obs::MetricsRegistry metrics_;
   obs::MetricsRegistry::Id spawn_id_, exit_id_, retry_id_, reassign_id_;
+  obs::MetricsRegistry::Id bytes_tx_id_, bytes_rx_id_;
+  obs::MetricsRegistry::Id frames_tx_id_, frames_rx_id_;
+  obs::MetricsRegistry::Id window_depth_id_;
   std::vector<Worker> workers_;
+  std::string encode_scratch_;  ///< reused request-payload buffer
 };
 
 }  // namespace parbounds::fleet

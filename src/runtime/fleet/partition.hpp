@@ -12,7 +12,11 @@
 // change at runtime (a crashed worker's block is reassigned to
 // survivors) without touching any result byte, which is exactly why the
 // merged report is byte-identical at any worker count and across
-// failures.
+// failures. The same argument covers COMPLETION ORDER: with credit
+// windows (coordinator.hpp) different workers finish interleaved and a
+// requeued window replays cells late, so the coordinator slots every
+// response by the request's placement index — never arrival order — and
+// the merge is insensitive to both where and when a request ran.
 
 #include <cstdint>
 #include <utility>

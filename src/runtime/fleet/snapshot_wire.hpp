@@ -12,6 +12,18 @@
 // trailing bytes are all typed decode errors. Two workers running the
 // same TelemetryObserver construction encode snapshots with identical
 // record sequences, which is the precondition merge_from() checks.
+//
+// Wire v2 adds a binary form (docs/SERVICE.md#wire-v2): a 0x01 magic
+// byte, a varint metric count, then per metric a kind byte, a
+// varint-length name and varint values — bit-exact over the full u64
+// range, no decimal detour, and one byte for the small counter values
+// snapshots mostly carry (fixed u64le would triple a typical
+// snapshot's size against the decimal text form). The two encodings are self-identifying (a text
+// snapshot always starts with 'c', 'g' or 'h'; 0x01 is none of them),
+// so decode_snapshot dispatches on the first byte and a merged report
+// can mix snapshots from text-wire and binary-wire workers — a warm
+// shared-cache hit stores the canonical text form regardless of the
+// wire a response travels on.
 
 #include <string>
 #include <string_view>
@@ -20,10 +32,16 @@
 
 namespace parbounds::fleet {
 
-std::string encode_snapshot(const obs::MetricsSnapshot& snap);
+/// First byte of a binary-encoded snapshot; never the first byte of a
+/// text one.
+inline constexpr char kSnapshotBinaryMagic = '\x01';
 
-/// Strict decode; on failure returns false and sets `err`. An empty
-/// string decodes to an empty snapshot.
+std::string encode_snapshot(const obs::MetricsSnapshot& snap);
+std::string encode_snapshot_binary(const obs::MetricsSnapshot& snap);
+
+/// Strict decode of either encoding (dispatched on the first byte); on
+/// failure returns false and sets `err`. An empty string decodes to an
+/// empty snapshot.
 bool decode_snapshot(std::string_view wire, obs::MetricsSnapshot& out,
                      std::string& err);
 

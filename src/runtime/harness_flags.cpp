@@ -111,6 +111,22 @@ void set_workers(const char* text, HarnessFlags& out) {
   out.workers = static_cast<unsigned>(v);
 }
 
+/// Parse the value of --fleet-window, enforcing K >= 1. There is no
+/// "auto" spelling: the default window is spelled by omitting the
+/// flag, and a window of 0 could never make progress anyway.
+void set_fleet_window(const char* text, HarnessFlags& out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || v == 0) {
+    out.error = true;
+    out.error_message = std::string("--fleet-window ") + text +
+                        ": credit window must be a positive integer "
+                        "(omit --fleet-window for the default of 8)";
+    return;
+  }
+  out.fleet_window = static_cast<unsigned>(v);
+}
+
 }  // namespace
 
 HarnessFlags parse_harness_flags(int& argc, char** argv,
@@ -184,13 +200,26 @@ HarnessFlags parse_harness_flags(int& argc, char** argv,
     } else if (arg.rfind("--workers=", 0) == 0) {
       set_workers(arg.c_str() + 10, out);
       if (out.error) break;
+    } else if (arg == "--fleet-window") {
+      if (i + 1 >= argc) {
+        out.error = true;
+        out.error_message = "--fleet-window requires a value";
+        break;
+      }
+      set_fleet_window(argv[++i], out);
+      if (out.error) break;
+    } else if (arg.rfind("--fleet-window=", 0) == 0) {
+      set_fleet_window(arg.c_str() + 15, out);
+      if (out.error) break;
     } else if (arg.rfind("--via-", 0) == 0 || arg.rfind("--cache-", 0) == 0) {
       reject_unknown_service_flag(arg, out);
       break;
     } else {
-      // A near-miss of --workers (--worker, --wokers, ...) must not
-      // fall through to google-benchmark: the sweep would silently run
-      // in-process and look like a fleet run.
+      // A near-miss of --workers (--worker, --wokers, ...) or of
+      // --fleet-window (--fleet-windw, or the tempting short spelling
+      // --window) must not fall through to google-benchmark: the sweep
+      // would silently run in-process (or lock-step) and look like the
+      // requested fleet run.
       const std::string name = arg.substr(0, arg.find('='));
       if (name.rfind("--", 0) == 0 && name != "--workers" &&
           edit_distance(name, "--workers") <= 2) {
@@ -199,8 +228,22 @@ HarnessFlags parse_harness_flags(int& argc, char** argv,
             "unknown flag '" + name + "'; did you mean '--workers'?";
         break;
       }
+      if (name.rfind("--", 0) == 0 && name != "--fleet-window" &&
+          (name == "--window" ||
+           edit_distance(name, "--fleet-window") <= 2)) {
+        out.error = true;
+        out.error_message =
+            "unknown flag '" + name + "'; did you mean '--fleet-window'?";
+        break;
+      }
       argv[w++] = argv[i];
     }
+  }
+  if (!out.error && out.fleet_window > 0 && out.workers == 0) {
+    out.error = true;
+    out.error_message =
+        "--fleet-window without --workers: the credit window applies to "
+        "fleet worker processes (add --workers N)";
   }
   argc = w;
   return out;

@@ -25,6 +25,10 @@
 //                   byte-identical to in-process --jobs 1. N must be
 //                   >= 1: there is no "auto" fleet width, so
 //                   --workers 0 is rejected rather than remapped.
+//   --fleet-window K  per-worker credit window: each fleet worker holds
+//                   up to K cells in flight (default 8; 1 = lock-step).
+//                   K must be >= 1, and the flag only means something
+//                   with --workers — either misuse is a typed error.
 //
 // Recognized flags are stripped from argv (google-benchmark parses the
 // rest). A bare --json/--trace followed by another `--flag` takes the
@@ -35,10 +39,12 @@
 // google-benchmark, EXCEPT tokens starting with --via- or --cache-:
 // those namespaces belong to the harness, so a typo there is rejected
 // with a did-you-mean hint instead of being silently ignored. The same
-// courtesy covers near-misses of --workers (`--worker`, `--wokers`):
-// any unknown --flag within edit distance 2 of it is rejected rather
-// than passed through, because a silently dropped fleet flag would run
-// the whole sweep in-process and look like it worked.
+// courtesy covers near-misses of --workers (`--worker`, `--wokers`)
+// and --fleet-window (`--fleet-windw`, plus the tempting short
+// spelling `--window`): any unknown --flag within edit distance 2 of
+// either — or exactly `--window` — is rejected rather than passed
+// through, because a silently dropped fleet flag would run the whole
+// sweep in-process (or lock-step) and look like it worked.
 
 #include <cstdint>
 #include <string>
@@ -55,6 +61,7 @@ struct HarnessFlags {
   std::string cache_dir;    ///< service cache dir; empty = harness default
   std::uint64_t cache_bytes = 0;  ///< service cache bound; 0 = default
   unsigned workers = 0;     ///< fleet worker processes; 0 = fleet off
+  unsigned fleet_window = 0; ///< per-worker credit window; 0 = default (8)
   bool error = false;
   std::string error_message;
 

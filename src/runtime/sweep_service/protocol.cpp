@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "runtime/bench_json.hpp"
@@ -460,6 +462,266 @@ bool decode_response(std::string_view payload, Response& out,
   return finish(c, err, ok);
 }
 
+// ----- binary codec (wire v2) -----------------------------------------------
+
+namespace {
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (unsigned i = 0; i < 8; ++i)
+    out += static_cast<char>((v >> (8U * i)) & 0xFFU);
+}
+
+void put_f64le(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64le(out, bits);
+}
+
+void put_bytes(std::string& out, std::string_view b) {
+  put_varint(out, b.size());
+  out.append(b);
+}
+
+/// Strict forward-only reader over a binary payload. Every getter
+/// records the first error with its byte offset and then fails fast;
+/// truncation and overlong varints are typed errors, never reads past
+/// the end.
+struct BinReader {
+  std::string_view s;
+  std::size_t pos = 0;
+  std::string err;
+
+  bool fail(const std::string& m) {
+    if (err.empty()) err = m + " at byte " + std::to_string(pos);
+    return false;
+  }
+  bool get_u8(std::uint8_t& out) {
+    if (pos >= s.size()) return fail("truncated message");
+    out = static_cast<std::uint8_t>(s[pos++]);
+    return true;
+  }
+  bool get_varint(std::uint64_t& out) {
+    out = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (pos >= s.size()) return fail("truncated varint");
+      const auto b = static_cast<std::uint8_t>(s[pos++]);
+      if (shift == 63 && (b & 0x7E) != 0)
+        return fail("varint overflows u64");
+      out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return true;
+    }
+    return fail("varint longer than 10 bytes");
+  }
+  bool get_u64le(std::uint64_t& out) {
+    if (s.size() - pos < 8) return fail("truncated u64");
+    out = 0;
+    for (unsigned i = 0; i < 8; ++i)
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(s[pos + i]))
+             << (8U * i);
+    pos += 8;
+    return true;
+  }
+  bool get_f64le(double& out) {
+    std::uint64_t bits = 0;
+    if (!get_u64le(bits)) return false;
+    std::memcpy(&out, &bits, sizeof out);
+    if (std::isnan(out)) return fail("NaN cost payload");
+    return true;
+  }
+  bool get_bytes(std::string& out) {
+    std::uint64_t n = 0;
+    if (!get_varint(n)) return false;
+    if (n > s.size() - pos) return fail("truncated bytes field");
+    out.assign(s.substr(pos, static_cast<std::size_t>(n)));
+    pos += static_cast<std::size_t>(n);
+    return true;
+  }
+  bool at_end() const { return pos == s.size(); }
+};
+
+bool bin_finish(BinReader& r, std::string& err, bool ok) {
+  if (ok && !r.at_end()) ok = r.fail("trailing bytes after message");
+  if (!ok) err = r.err.empty() ? "malformed binary message" : r.err;
+  return ok;
+}
+
+// Response flag bits: which optional fields follow, in this order.
+constexpr std::uint8_t kRespCached = 1U << 0;
+constexpr std::uint8_t kRespHasCost = 1U << 1;
+constexpr std::uint8_t kRespHasCosts = 1U << 2;
+constexpr std::uint8_t kRespHasTelemetry = 1U << 3;
+constexpr std::uint8_t kRespHasStats = 1U << 4;
+constexpr std::uint8_t kRespHasError = 1U << 5;
+
+}  // namespace
+
+void encode_request_binary(const Request& req, std::string& out) {
+  out += kBinaryRequestMagic;
+  out += static_cast<char>(req.op);
+  put_varint(out, req.id);
+  if (req.op == Op::Run || req.op == Op::Cell) {
+    put_bytes(out, req.spec.engine);
+    put_bytes(out, req.spec.workload);
+    put_varint(out, req.spec.params.size());
+    for (const auto& [key, value] : req.spec.params) {
+      put_bytes(out, key);
+      put_varint(out, value);
+    }
+    put_u64le(out, req.seed);  // seeds span the full u64 range; fixed width
+    if (req.op == Op::Cell) {
+      put_varint(out, req.trial0);
+      put_varint(out, req.trials);
+    }
+  }
+}
+
+std::string encode_request_binary(const Request& req) {
+  std::string out;
+  encode_request_binary(req, out);
+  return out;
+}
+
+void encode_response_binary(const Response& resp, std::string& out) {
+  // Mirror the JSON encoder's field discipline exactly: `cached` rides
+  // only with a cost payload, so a struct the text codec cannot
+  // round-trip is not representable here either.
+  if (resp.has_cost && std::isnan(resp.cost))
+    throw std::invalid_argument("encode_response_binary: NaN cost");
+  for (const double c : resp.costs)
+    if (std::isnan(c))
+      throw std::invalid_argument("encode_response_binary: NaN cost");
+  out += kBinaryResponseMagic;
+  put_varint(out, resp.id);
+  out += static_cast<char>(resp.status);
+  std::uint8_t flags = 0;
+  const bool carries_cost = resp.has_cost || !resp.costs.empty();
+  if (resp.cached && carries_cost) flags |= kRespCached;
+  if (resp.has_cost) flags |= kRespHasCost;
+  if (!resp.costs.empty()) flags |= kRespHasCosts;
+  if (!resp.telemetry.empty()) flags |= kRespHasTelemetry;
+  if (!resp.stats_json.empty()) flags |= kRespHasStats;
+  if (resp.status == Status::Error) flags |= kRespHasError;
+  out += static_cast<char>(flags);
+  if (resp.has_cost) put_f64le(out, resp.cost);
+  if (!resp.costs.empty()) {
+    put_varint(out, resp.costs.size());
+    for (const double c : resp.costs) put_f64le(out, c);
+  }
+  if (!resp.telemetry.empty()) put_bytes(out, resp.telemetry);
+  if (!resp.stats_json.empty()) put_bytes(out, resp.stats_json);
+  if (resp.status == Status::Error) put_bytes(out, resp.error);
+}
+
+std::string encode_response_binary(const Response& resp) {
+  std::string out;
+  encode_response_binary(resp, out);
+  return out;
+}
+
+bool decode_request_binary(std::string_view payload, Request& out,
+                           std::string& err) {
+  BinReader r{payload, 0, {}};
+  out = Request{};
+  std::uint8_t magic = 0, op = 0;
+  bool ok = r.get_u8(magic);
+  if (ok && magic != static_cast<std::uint8_t>(kBinaryRequestMagic))
+    ok = r.fail("bad request magic");
+  if (ok) ok = r.get_u8(op);
+  if (ok && op > static_cast<std::uint8_t>(Op::Shutdown))
+    ok = r.fail("unknown op " + std::to_string(op));
+  if (ok) {
+    out.op = static_cast<Op>(op);
+    ok = r.get_varint(out.id);
+  }
+  if (ok && (out.op == Op::Run || out.op == Op::Cell)) {
+    std::uint64_t nparams = 0;
+    ok = r.get_bytes(out.spec.engine) && r.get_bytes(out.spec.workload) &&
+         r.get_varint(nparams);
+    if (ok && nparams > payload.size())
+      ok = r.fail("param count exceeds message size");
+    for (std::uint64_t i = 0; ok && i < nparams; ++i) {
+      std::string key;
+      std::uint64_t value = 0;
+      ok = r.get_bytes(key) && r.get_varint(value);
+      for (const auto& [existing, unused] : out.spec.params)
+        if (ok && existing == key)
+          ok = r.fail("duplicate param '" + key + "'");
+      if (ok) out.spec.params.emplace_back(std::move(key), value);
+    }
+    if (ok) ok = r.get_u64le(out.seed);
+    if (ok && out.op == Op::Cell) {
+      ok = r.get_varint(out.trial0) && r.get_varint(out.trials);
+      if (ok && out.trials == 0)
+        ok = r.fail("cell request needs trials >= 1");
+    }
+  }
+  return bin_finish(r, err, ok);
+}
+
+bool decode_response_binary(std::string_view payload, Response& out,
+                            std::string& err) {
+  BinReader r{payload, 0, {}};
+  out = Response{};
+  std::uint8_t magic = 0, status = 0, flags = 0;
+  bool ok = r.get_u8(magic);
+  if (ok && magic != static_cast<std::uint8_t>(kBinaryResponseMagic))
+    ok = r.fail("bad response magic");
+  if (ok) ok = r.get_varint(out.id) && r.get_u8(status);
+  if (ok && status > static_cast<std::uint8_t>(Status::Error))
+    ok = r.fail("unknown status " + std::to_string(status));
+  if (ok) {
+    out.status = static_cast<Status>(status);
+    ok = r.get_u8(flags);
+  }
+  if (ok && (flags & ~(kRespCached | kRespHasCost | kRespHasCosts |
+                       kRespHasTelemetry | kRespHasStats | kRespHasError)))
+    ok = r.fail("unknown response flag bits");
+  // The same invalid field combinations the JSON decoder refuses.
+  if (ok && (flags & kRespCached) &&
+      !(flags & (kRespHasCost | kRespHasCosts)))
+    ok = r.fail("'cached' without 'cost' or 'costs'");
+  if (ok && (flags & kRespHasCost) && (flags & kRespHasCosts))
+    ok = r.fail("'cost' and 'costs' are mutually exclusive");
+  if (ok && (flags & kRespHasTelemetry) && !(flags & kRespHasCosts))
+    ok = r.fail("'telemetry' without 'costs'");
+  if (ok && out.status == Status::Error && !(flags & kRespHasError))
+    ok = r.fail("error response missing 'error'");
+  if (ok) out.cached = (flags & kRespCached) != 0;
+  if (ok && (flags & kRespHasCost)) {
+    out.has_cost = true;
+    ok = r.get_f64le(out.cost);
+  }
+  if (ok && (flags & kRespHasCosts)) {
+    std::uint64_t n = 0;
+    ok = r.get_varint(n);
+    if (ok && n == 0) ok = r.fail("empty costs list");
+    if (ok && n > (payload.size() - r.pos) / 8 + 1)
+      ok = r.fail("costs count exceeds message size");
+    for (std::uint64_t i = 0; ok && i < n; ++i) {
+      double v = 0.0;
+      ok = r.get_f64le(v);
+      if (ok) out.costs.push_back(v);
+    }
+  }
+  if (ok && (flags & kRespHasTelemetry)) ok = r.get_bytes(out.telemetry);
+  if (ok && (flags & kRespHasStats)) {
+    ok = r.get_bytes(out.stats_json);
+    if (ok && (out.stats_json.empty() || out.stats_json[0] != '{'))
+      ok = r.fail("'stats' must be an object");
+  }
+  if (ok && (flags & kRespHasError)) ok = r.get_bytes(out.error);
+  return bin_finish(r, err, ok);
+}
+
 std::string canonical_request(const Request& req) {
   auto params = req.spec.params;
   std::sort(params.begin(), params.end());
@@ -484,12 +746,13 @@ std::string cache_key(const Request& req) {
   return sha256_hex(canonical_request(req));
 }
 
-void append_frame(std::string& buf, std::string_view payload) {
-  if (payload.size() > kMaxFramePayload)
+void append_frame(std::string& buf, std::string_view payload,
+                  std::size_t max_payload) {
+  if (payload.size() > max_payload)
     throw std::length_error(
         "append_frame: payload of " + std::to_string(payload.size()) +
-        " bytes exceeds kMaxFramePayload (" +
-        std::to_string(kMaxFramePayload) + ")");
+        " bytes exceeds the frame limit of " + std::to_string(max_payload) +
+        " bytes");
   const auto n = static_cast<std::uint32_t>(payload.size());
   for (unsigned i = 0; i < 4; ++i)
     buf += static_cast<char>((n >> (8U * i)) & 0xFFU);
@@ -497,13 +760,13 @@ void append_frame(std::string& buf, std::string_view payload) {
 }
 
 FrameResult extract_frame(std::string_view buf, std::string& payload,
-                          std::size_t& consumed) {
+                          std::size_t& consumed, std::size_t max_payload) {
   if (buf.size() < 4) return FrameResult::NeedMore;
   std::uint32_t n = 0;
   for (unsigned i = 0; i < 4; ++i)
     n |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]))
          << (8U * i);
-  if (n > kMaxFramePayload) return FrameResult::TooLarge;
+  if (n > max_payload) return FrameResult::TooLarge;
   if (buf.size() < 4U + n) return FrameResult::NeedMore;
   payload.assign(buf.substr(4, n));
   consumed = 4U + n;
@@ -515,7 +778,7 @@ void FrameDecoder::feed(std::string_view bytes) { buf_.append(bytes); }
 FrameResult FrameDecoder::next(std::string& payload) {
   std::size_t consumed = 0;
   const FrameResult r = extract_frame(
-      std::string_view(buf_).substr(off_), payload, consumed);
+      std::string_view(buf_).substr(off_), payload, consumed, max_payload_);
   if (r == FrameResult::Ok) {
     off_ += consumed;
     // Compact once the dead prefix dominates; amortized O(1) per byte.
@@ -523,6 +786,15 @@ FrameResult FrameDecoder::next(std::string& payload) {
       buf_.erase(0, off_);
       off_ = 0;
     }
+  } else if (r == FrameResult::TooLarge) {
+    std::uint32_t n = 0;
+    for (unsigned i = 0; i < 4; ++i)
+      n |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(buf_[off_ + i]))
+           << (8U * i);
+    error_ = "frame payload of " + std::to_string(n) +
+             " bytes exceeds the frame limit of " +
+             std::to_string(max_payload_) + " bytes";
   }
   return r;
 }

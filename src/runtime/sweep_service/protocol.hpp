@@ -84,7 +84,7 @@ struct Response {
   std::string error;         ///< status == Error: human-readable cause
 };
 
-// ----- JSON codec -----------------------------------------------------------
+// ----- JSON codec (wire v1) -------------------------------------------------
 
 std::string encode_request(const Request& req);
 std::string encode_response(const Response& resp);
@@ -94,6 +94,44 @@ std::string encode_response(const Response& resp);
 bool decode_request(std::string_view payload, Request& out, std::string& err);
 bool decode_response(std::string_view payload, Response& out,
                      std::string& err);
+
+// ----- binary codec (wire v2) -----------------------------------------------
+//
+// The fleet's fast path (docs/SERVICE.md#wire-v2): length-delimited
+// binary messages negotiated per worker at handshake time. Strings and
+// small integers are varint-prefixed (LEB128); seeds, metric values and
+// costs are fixed-width little-endian so u64 and double payloads round
+// trip BIT-EXACT — no %.17g text detour. A leading magic byte (0xF2
+// requests, 0xF3 responses) can never collide with the '{' that opens
+// every v1 JSON message, so a codec mismatch is a typed decode error,
+// not a misparse. The decoders are as strict as the JSON ones:
+// truncation, trailing bytes, unknown ops/statuses, invalid field
+// combinations and NaN cost payloads (cost models never produce NaN;
+// on this wire a NaN is corruption) all fail typed, never crash —
+// test_sweep_service fuzzes them byte-at-a-time.
+
+inline constexpr unsigned kWireVersionText = 1;
+inline constexpr unsigned kWireVersionBinary = 2;
+/// Highest wire version this build speaks; offered at handshake.
+inline constexpr unsigned kWireVersionMax = kWireVersionBinary;
+
+inline constexpr char kBinaryRequestMagic = static_cast<char>(0xF2);
+inline constexpr char kBinaryResponseMagic = static_cast<char>(0xF3);
+
+std::string encode_request_binary(const Request& req);
+/// Throws std::invalid_argument on a NaN cost (nothing upstream can
+/// produce one; refusing at the encoder keeps both wire directions
+/// NaN-free by construction).
+std::string encode_response_binary(const Response& resp);
+/// Append-into-buffer variants for allocation-free steady-state encode
+/// (the caller owns a reused scratch string).
+void encode_request_binary(const Request& req, std::string& out);
+void encode_response_binary(const Response& resp, std::string& out);
+
+bool decode_request_binary(std::string_view payload, Request& out,
+                           std::string& err);
+bool decode_response_binary(std::string_view payload, Response& out,
+                            std::string& err);
 
 // ----- cache keying ---------------------------------------------------------
 
@@ -106,16 +144,22 @@ std::string cache_key(const Request& req);
 
 // ----- length-prefixed framing (socket transport) ---------------------------
 
-/// Frames above this are refused on both sides: a reader that trusted a
-/// corrupt 4-byte header would happily allocate gigabytes.
+/// Default frame-payload bound. Frames above the active limit are
+/// refused on both sides: a reader that trusted a corrupt 4-byte header
+/// would happily allocate gigabytes. The limit is a parameter of
+/// append_frame/extract_frame/FrameDecoder (a transport that knows its
+/// messages are tiny can bound harder); this constant is only the
+/// default.
 inline constexpr std::size_t kMaxFramePayload = 1 << 20;
 
 /// Append [u32le length | payload] to `buf`. Throws std::length_error
-/// when the payload exceeds kMaxFramePayload — the writer-side twin of
+/// when the payload exceeds `max_payload` — the writer-side twin of
 /// the reader's TooLarge refusal (before this guard, an oversized
 /// payload had its length silently truncated by the u32 cast, which
-/// desynchronizes the stream instead of failing loudly).
-void append_frame(std::string& buf, std::string_view payload);
+/// desynchronizes the stream instead of failing loudly). The message
+/// names both the observed size and the active limit.
+void append_frame(std::string& buf, std::string_view payload,
+                  std::size_t max_payload = kMaxFramePayload);
 
 enum class FrameResult : std::uint8_t { NeedMore, Ok, TooLarge };
 
@@ -124,7 +168,8 @@ enum class FrameResult : std::uint8_t { NeedMore, Ok, TooLarge };
 /// NeedMore means the buffer holds a prefix of a valid frame; TooLarge
 /// is a protocol error (close the connection).
 FrameResult extract_frame(std::string_view buf, std::string& payload,
-                          std::size_t& consumed);
+                          std::size_t& consumed,
+                          std::size_t max_payload = kMaxFramePayload);
 
 /// Incremental frame reassembly for byte streams that arrive in
 /// arbitrary slices — pipes deliver whatever the kernel buffered, so a
@@ -139,14 +184,25 @@ FrameResult extract_frame(std::string_view buf, std::string& payload,
 /// treats as a worker crash (docs/SERVICE.md).
 class FrameDecoder {
  public:
+  FrameDecoder() = default;
+  /// Bound frame payloads at `max_payload` instead of the default 1 MiB.
+  explicit FrameDecoder(std::size_t max_payload)
+      : max_payload_(max_payload) {}
+
   void feed(std::string_view bytes);
   FrameResult next(std::string& payload);
   bool mid_frame() const { return off_ < buf_.size(); }
   std::size_t buffered() const { return buf_.size() - off_; }
+  std::size_t max_payload() const { return max_payload_; }
+  /// After next() returned TooLarge: names the observed payload size
+  /// and the active limit. Empty otherwise.
+  const std::string& error() const { return error_; }
 
  private:
   std::string buf_;
   std::size_t off_ = 0;  ///< consumed prefix, reclaimed by compaction
+  std::size_t max_payload_ = kMaxFramePayload;
+  std::string error_;
 };
 
 }  // namespace parbounds::service

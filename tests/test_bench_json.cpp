@@ -756,6 +756,68 @@ TEST(HarnessFlags, WorkersTyposGetADidYouMeanHint) {
   EXPECT_EQ(unrelated.argc, 2);
 }
 
+TEST(HarnessFlags, FleetWindowBothSpellingsRequireWorkers) {
+  Argv split({"bench", "--workers", "2", "--fleet-window", "4"});
+  const auto a = split.parse();
+  EXPECT_FALSE(a.error) << a.error_message;
+  EXPECT_EQ(a.fleet_window, 4u);
+  EXPECT_EQ(split.argc, 1);  // stripped before google-benchmark
+
+  Argv equals({"bench", "--workers=2", "--fleet-window=1"});
+  const auto b = equals.parse();
+  EXPECT_FALSE(b.error);
+  EXPECT_EQ(b.fleet_window, 1u);
+
+  Argv absent({"bench", "--workers", "2"});
+  EXPECT_EQ(absent.parse().fleet_window, 0u);  // 0 = library default (8)
+
+  // The window only means something for fleet worker processes: without
+  // --workers it would silently do nothing, so it is a typed error.
+  Argv alone({"bench", "--fleet-window", "4"});
+  const auto f = alone.parse();
+  EXPECT_TRUE(f.error);
+  EXPECT_NE(f.error_message.find("--fleet-window without --workers"),
+            std::string::npos)
+      << f.error_message;
+  EXPECT_NE(f.error_message.find("add --workers"), std::string::npos)
+      << f.error_message;
+}
+
+TEST(HarnessFlags, FleetWindowRejectsZeroAndGarbage) {
+  // A window of 0 could never make progress; the default is spelled by
+  // omitting the flag, so 0 is always a mistake — as is anything that
+  // is not a positive integer.
+  for (const char* v : {"0", "eight", "8x"}) {
+    Argv argv({"bench", "--workers", "2", "--fleet-window", v});
+    const auto f = argv.parse();
+    EXPECT_TRUE(f.error) << v;
+    EXPECT_NE(f.error_message.find("--fleet-window"), std::string::npos)
+        << f.error_message;
+    EXPECT_NE(f.error_message.find("positive integer"), std::string::npos)
+        << f.error_message;
+  }
+  Argv missing({"bench", "--workers", "2", "--fleet-window"});
+  EXPECT_TRUE(missing.parse().error);
+  Argv equals_zero({"bench", "--workers=2", "--fleet-window=0"});
+  EXPECT_TRUE(equals_zero.parse().error);
+}
+
+TEST(HarnessFlags, FleetWindowTyposGetADidYouMeanHint) {
+  // --fleet-windw is a near-miss; --window is the tempting short
+  // spelling (edit distance 7, caught by name). Both must be named
+  // errors — silently dropped, the sweep would run lock-step and look
+  // like the requested pipelined run.
+  for (const char* typo :
+       {"--fleet-windw", "--fleet-wndow=4", "--window", "--window=8"}) {
+    Argv argv({"bench", typo});
+    const auto f = argv.parse();
+    EXPECT_TRUE(f.error) << typo;
+    EXPECT_NE(f.error_message.find("did you mean '--fleet-window'"),
+              std::string::npos)
+        << f.error_message;
+  }
+}
+
 TEST(HarnessFlags, ServiceNamespaceTyposGetADidYouMeanHint) {
   // The --via-/--cache- namespaces belong to the harness: a typo there
   // must not fall through to google-benchmark and be silently ignored.

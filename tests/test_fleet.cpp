@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -252,25 +254,54 @@ runtime::BenchReport wrap_sweep(runtime::SweepResult sweep,
 /// sweep executed in THIS process on a jobs=1 runner under a fresh
 /// TelemetryObserver (no serial baseline — its re-run would fire the
 /// phase hooks twice), serialized timing-free with the metrics block.
-std::string in_process_reference() {
+std::string in_process_reference(std::vector<SweepCell> cells) {
   obs::MetricsRegistry registry;
   obs::TelemetryObserver telemetry(registry);
   obs::install_process_telemetry(&telemetry);
   runtime::ExperimentRunner runner({.jobs = 1});
   runtime::SweepResult sweep =
-      run_sweep(runner, "fleet probe", kBase, fleet_cells(),
+      run_sweep(runner, "fleet probe", kBase, std::move(cells),
                 /*serial_baseline=*/false);
   obs::install_process_telemetry(nullptr);
   return to_json(wrap_sweep(std::move(sweep), registry.snapshot().to_json()),
                  /*include_timing=*/false);
 }
 
-std::string fleet_report(FleetCoordinator& fc) {
+std::string in_process_reference() { return in_process_reference(fleet_cells()); }
+
+std::string fleet_report(FleetCoordinator& fc, std::vector<SweepCell> cells) {
   obs::MetricsSnapshot snap;
-  runtime::SweepResult sweep =
-      fleet::run_sweep_fleet(fc, "fleet probe", kBase, fleet_cells(), &snap);
+  runtime::SweepResult sweep = fleet::run_sweep_fleet(
+      fc, "fleet probe", kBase, std::move(cells), &snap);
   return to_json(wrap_sweep(std::move(sweep), snap.to_json()),
                  /*include_timing=*/false);
+}
+
+std::string fleet_report(FleetCoordinator& fc) {
+  return fleet_report(fc, fleet_cells());
+}
+
+/// Enough one-trial cells that a window of 8 actually fills: with 2
+/// workers each owns 12, so a mid-window death strands several
+/// in-flight cells at once (the case PR 9's lock-step never had).
+std::vector<SweepCell> many_cells() {
+  std::vector<SweepCell> cells;
+  for (unsigned i = 0; i < 24; ++i) {
+    const std::uint64_t n = 16 + (i % 8);
+    cells.push_back(
+        {.key = "i=" + std::to_string(i),
+         .trials = 1,
+         .lb = 1.0,
+         .ub = static_cast<double>(n),
+         .run =
+             [n](std::uint64_t s) {
+               return kernels::parity_circuit_cost(CostModel::Qsm, n, 2, s);
+             },
+         .spec = {.engine = "qsm",
+                  .workload = "parity_circuit",
+                  .params = {{"n", n}, {"g", 2}}}});
+  }
+  return cells;
 }
 
 std::filesystem::path fresh_dir(const std::string& name) {
@@ -376,6 +407,231 @@ TEST(FleetEndToEnd, CoordinatorSurvivesMultipleSweeps) {
   EXPECT_EQ(fleet_report(fc), reference);
   EXPECT_EQ(fleet_report(fc), reference);
   EXPECT_EQ(fc.counter("fleet.worker.spawn"), 2u);  // spawned once
+}
+
+// ----- wire v2: binary snapshot form ------------------------------------
+
+TEST(SnapshotWire, BinaryRoundTripsExactlyIncludingU64Max) {
+  // Metric values span the full u64 range (seeds, byte counters); the
+  // binary form carries them fixed-width and must round-trip the
+  // extremes the decimal text form also handles.
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("fleet.test.max");
+  const auto g = reg.gauge("fleet.test.high");
+  const auto h = reg.histogram("fleet.test.dist", {1, 8, 64});
+  reg.add(c, ~std::uint64_t{0});
+  reg.record_max(g, ~std::uint64_t{0});
+  reg.observe(h, ~std::uint64_t{0});
+  const obs::MetricsSnapshot snap = reg.snapshot();
+
+  const std::string wire = fleet::encode_snapshot_binary(snap);
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire[0], fleet::kSnapshotBinaryMagic);
+  obs::MetricsSnapshot back;
+  std::string err;
+  ASSERT_TRUE(fleet::decode_snapshot(wire, back, err)) << err;  // sniffed
+  EXPECT_EQ(back.to_json(), snap.to_json());
+  EXPECT_EQ(fleet::encode_snapshot_binary(back), wire);  // byte-stable
+}
+
+TEST(SnapshotWire, TextAndBinaryDecodeToTheSameSnapshot) {
+  // decode_snapshot dispatches on the first byte ('\x01' binary, a
+  // kind letter for text), which is what lets cache-hit cells answer
+  // with text telemetry on a binary connection and still merge.
+  const obs::MetricsSnapshot snap = sample_snapshot();
+  obs::MetricsSnapshot via_text, via_binary;
+  std::string err;
+  ASSERT_TRUE(fleet::decode_snapshot(fleet::encode_snapshot(snap), via_text,
+                                     err))
+      << err;
+  ASSERT_TRUE(fleet::decode_snapshot(fleet::encode_snapshot_binary(snap),
+                                     via_binary, err))
+      << err;
+  EXPECT_EQ(via_text.to_json(), via_binary.to_json());
+}
+
+TEST(SnapshotWire, BinaryRejectsMalformedRecords) {
+  const std::string wire = fleet::encode_snapshot_binary(sample_snapshot());
+  obs::MetricsSnapshot out;
+  std::string err;
+  // Every strict prefix past the magic is a truncation error.
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    err.clear();
+    EXPECT_FALSE(fleet::decode_snapshot(wire.substr(0, cut), out, err))
+        << "accepted truncated binary snapshot at " << cut;
+    EXPECT_FALSE(err.empty());
+  }
+  // Trailing bytes, unknown kind bytes and empty names are typed too.
+  EXPECT_FALSE(fleet::decode_snapshot(wire + "x", out, err));
+  std::string bad_kind(wire);
+  bad_kind[2] = '\x07';  // count varint is 1 byte; first kind follows
+  EXPECT_FALSE(fleet::decode_snapshot(bad_kind, out, err));
+  // An empty snapshot is one byte of magic + a zero count, and valid.
+  obs::MetricsRegistry empty_reg;
+  EXPECT_TRUE(fleet::decode_snapshot(
+      fleet::encode_snapshot_binary(empty_reg.snapshot()), out, err))
+      << err;
+}
+
+// ----- wire v2: handshake + env knob ------------------------------------
+
+TEST(FleetWire, HandshakeLinesParseStrictly) {
+  unsigned v = 0;
+  EXPECT_TRUE(fleet::parse_handshake("parbounds-fleet-offer wire=2",
+                                     fleet::kOfferPrefix, v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(
+      fleet::parse_handshake("parbounds-fleet-ack wire=1", fleet::kAckPrefix, v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_FALSE(fleet::parse_handshake("parbounds-fleet-offer wire=0",
+                                      fleet::kOfferPrefix, v));
+  EXPECT_FALSE(fleet::parse_handshake("parbounds-fleet-offer wire=x",
+                                      fleet::kOfferPrefix, v));
+  EXPECT_FALSE(fleet::parse_handshake("parbounds-fleet-offer wire=2 extra",
+                                      fleet::kOfferPrefix, v));
+  EXPECT_FALSE(
+      fleet::parse_handshake("something else", fleet::kOfferPrefix, v));
+}
+
+TEST(FleetWire, EnvKnobParsesAndRejectsWithHint) {
+  ::unsetenv(fleet::kWireEnv);
+  EXPECT_EQ(fleet::wire_version_from_env(), service::kWireVersionBinary);
+  ::setenv(fleet::kWireEnv, "text", 1);
+  EXPECT_EQ(fleet::wire_version_from_env(), service::kWireVersionText);
+  ::setenv(fleet::kWireEnv, "binary", 1);
+  EXPECT_EQ(fleet::wire_version_from_env(), service::kWireVersionBinary);
+  ::setenv(fleet::kWireEnv, "binry", 1);
+  try {
+    (void)fleet::wire_version_from_env();
+    FAIL() << "unknown wire mode was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("binry"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'binary'"), std::string::npos) << msg;
+  }
+  ::unsetenv(fleet::kWireEnv);
+}
+
+// ----- wire v2 + credit windows: end-to-end byte identity ----------------
+
+TEST(FleetEndToEnd, EveryWireWorkersWindowComboReproducesTheBytes) {
+  const std::string reference = in_process_reference(many_cells());
+  for (const unsigned wire :
+       {service::kWireVersionText, service::kWireVersionBinary}) {
+    for (const unsigned workers : {1u, 2u, 4u}) {
+      for (const unsigned window : {1u, 8u}) {
+        FleetConfig cfg;
+        cfg.workers = workers;
+        cfg.window = window;
+        cfg.wire = wire;
+        FleetCoordinator fc(cfg);
+        EXPECT_EQ(fleet_report(fc, many_cells()), reference)
+            << "diverged at wire=" << wire << " workers=" << workers
+            << " window=" << window;
+        // The data plane actually moved frames, and the high-water
+        // in-flight depth respected (and under load reached) the window.
+        EXPECT_GT(fc.counter("fleet.bytes_tx"), 0u);
+        EXPECT_GT(fc.counter("fleet.bytes_rx"), 0u);
+        EXPECT_GT(fc.counter("fleet.frames_tx"), 0u);
+        EXPECT_GT(fc.counter("fleet.frames_rx"), 0u);
+        // 24 cells split evenly, so a worker can hold at most its
+        // share of the sweep in flight.
+        EXPECT_EQ(fc.counter("fleet.window.depth"),
+                  std::min<std::uint64_t>(window, 24 / workers));
+        EXPECT_EQ(fc.counter("fleet.worker.retry"), 0u);
+      }
+    }
+  }
+}
+
+TEST(FleetEndToEnd, BinaryWireMovesFewerBytesThanText) {
+  // The reason v2 exists: same cells, same report bytes, smaller wire.
+  std::uint64_t bytes[3] = {};
+  for (const unsigned wire :
+       {service::kWireVersionText, service::kWireVersionBinary}) {
+    FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.wire = wire;
+    FleetCoordinator fc(cfg);
+    (void)fleet_report(fc, many_cells());
+    bytes[wire] = fc.counter("fleet.bytes_tx") + fc.counter("fleet.bytes_rx");
+  }
+  EXPECT_LT(bytes[service::kWireVersionBinary],
+            bytes[service::kWireVersionText]);
+}
+
+TEST(FleetEndToEnd, CrashMidWindowRequeuesEveryInflightCell) {
+  const std::string reference = in_process_reference(many_cells());
+  // Worker 1 SIGKILLs itself on its SECOND cell: with a window of 8 its
+  // first response is already merged and up to 7 more cells are in
+  // flight — all of them must be requeued, not just the head.
+  ::setenv("PARBOUNDS_FLEET_CRASH", "1:2", 1);
+  FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.window = 8;
+  FleetCoordinator fc(cfg);
+  const std::string report = fleet_report(fc, many_cells());
+  ::unsetenv("PARBOUNDS_FLEET_CRASH");
+
+  EXPECT_EQ(report, reference);
+  EXPECT_EQ(fc.counter("fleet.worker.exit"), 1u);
+  // At least the dead worker's remaining window was retried elsewhere.
+  EXPECT_GE(fc.counter("fleet.worker.retry"), 2u);
+}
+
+TEST(FleetEndToEnd, HangMidWindowIsKilledByTheHeadDeadlineAndRequeued) {
+  const std::string reference = in_process_reference(many_cells());
+  // Worker 1 wedges on its second cell while more cells sit behind it
+  // in the window; the HEAD-of-window deadline is what unsticks it.
+  ::setenv("PARBOUNDS_FLEET_HANG", "1:2", 1);
+  FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.window = 8;
+  cfg.request_deadline_ms = 500;
+  FleetCoordinator fc(cfg);
+  const std::string report = fleet_report(fc, many_cells());
+  ::unsetenv("PARBOUNDS_FLEET_HANG");
+
+  EXPECT_EQ(report, reference);
+  EXPECT_EQ(fc.counter("fleet.worker.exit"), 1u);
+  EXPECT_GE(fc.counter("fleet.worker.retry"), 2u);
+}
+
+TEST(FleetEndToEnd, RetryBudgetStillBoundsCrashLoopsUnderWindowing) {
+  ::setenv("PARBOUNDS_FLEET_CRASH", "0:1", 1);
+  FleetConfig cfg;
+  cfg.workers = 1;
+  cfg.window = 8;
+  cfg.max_attempts = 3;
+  FleetCoordinator fc(cfg);
+  EXPECT_THROW((void)fleet_report(fc, many_cells()), std::runtime_error);
+  ::unsetenv("PARBOUNDS_FLEET_CRASH");
+}
+
+TEST(FleetEndToEnd, WindowMustBePositive) {
+  FleetConfig cfg;
+  cfg.workers = 1;
+  cfg.window = 0;
+  EXPECT_THROW(FleetCoordinator fc(cfg), std::invalid_argument);
+}
+
+TEST(FleetEndToEnd, CrashMidWindowOnTheBinaryWireToo) {
+  // The requeue path re-encodes on whatever wire the surviving workers
+  // negotiated; run the crash drill once per codec.
+  const std::string reference = in_process_reference(many_cells());
+  for (const unsigned wire :
+       {service::kWireVersionText, service::kWireVersionBinary}) {
+    ::setenv("PARBOUNDS_FLEET_CRASH", "1:2", 1);
+    FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.window = 8;
+    cfg.wire = wire;
+    FleetCoordinator fc(cfg);
+    const std::string report = fleet_report(fc, many_cells());
+    ::unsetenv("PARBOUNDS_FLEET_CRASH");
+    EXPECT_EQ(report, reference) << "diverged on wire=" << wire;
+    EXPECT_EQ(fc.counter("fleet.worker.exit"), 1u);
+  }
 }
 
 }  // namespace

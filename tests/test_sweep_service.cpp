@@ -16,10 +16,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -474,6 +477,318 @@ TEST(ProtocolFraming, HeaderIsLittleEndian) {
   ASSERT_EQ(buf.size(), 6u);
   EXPECT_EQ(buf.substr(0, 4), std::string("\x02\x00\x00\x00", 4));
   EXPECT_EQ(buf.substr(4), "ab");
+}
+
+TEST(ProtocolFraming, PayloadLimitIsAParameterOnBothSides) {
+  // Since wire v2 the 1 MiB default is only a default: writers and
+  // readers that know their messages are tiny can bound harder, and
+  // the TooLarge refusal must name both the observed size and the
+  // active limit so a mis-sized transport is diagnosable from the log.
+  std::string buf;
+  try {
+    append_frame(buf, "12345", /*max_payload=*/4);
+    FAIL() << "oversized payload was framed";
+  } catch (const std::length_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("5 bytes"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("limit of 4"), std::string::npos) << msg;
+  }
+  EXPECT_TRUE(buf.empty());
+  append_frame(buf, "1234", /*max_payload=*/4);  // at the limit is fine
+
+  std::string payload;
+  std::size_t consumed = 0;
+  std::string five;
+  append_frame(five, "12345");  // default limit allows it...
+  EXPECT_EQ(extract_frame(five, payload, consumed, /*max_payload=*/4),
+            FrameResult::TooLarge);  // ...a bounded reader refuses it
+
+  FrameDecoder dec(/*max_payload=*/4);
+  EXPECT_EQ(dec.max_payload(), 4u);
+  EXPECT_TRUE(dec.error().empty());
+  dec.feed(five);
+  EXPECT_EQ(dec.next(payload), FrameResult::TooLarge);
+  EXPECT_NE(dec.error().find("5 bytes"), std::string::npos) << dec.error();
+  EXPECT_NE(dec.error().find("limit of 4"), std::string::npos) << dec.error();
+}
+
+// ---------------------------------------------------------------------
+// Binary codec (wire v2): the same properties the JSON codec is held
+// to — lossless round-trips, typed rejection of every malformed input
+// — plus the bit-exactness the binary wire exists for.
+
+/// random_request, sometimes upgraded to the fleet's cell op (the only
+/// op the binary wire adds fields for).
+Request random_binary_request(Rng& rng) {
+  Request req = random_request(rng);
+  if (req.op == Op::Run && rng.next_bool()) {
+    req.op = Op::Cell;
+    req.trial0 = rng.next_below(1000);
+    req.trials = 1 + rng.next_below(8);
+  }
+  return req;
+}
+
+/// random_response, sometimes reshaped into a cell response (costs
+/// list + telemetry wire) — the shape the fleet data plane actually
+/// carries.
+Response random_binary_response(Rng& rng) {
+  Response resp = random_response(rng);
+  if (resp.status == Status::Ok && rng.next_bool()) {
+    resp.has_cost = false;
+    resp.costs.clear();
+    const std::uint64_t n = 1 + rng.next_below(6);
+    for (std::uint64_t i = 0; i < n; ++i) resp.costs.push_back(random_cost(rng));
+    resp.cached = rng.next_bool();
+    if (rng.next_bool()) resp.telemetry = "c qsm.phases 7;g x 1;";
+  }
+  return resp;
+}
+
+std::string check_binary_request_roundtrip(std::uint64_t seed) {
+  Rng rng(seed);
+  const Request req = random_binary_request(rng);
+  const std::string wire = encode_request_binary(req);
+  if (wire.empty() || wire[0] != kBinaryRequestMagic)
+    return "request magic missing";
+  Request out;
+  std::string err;
+  if (!decode_request_binary(wire, out, err))
+    return "decode of encoded binary request failed: " + err;
+  if (const std::string d = diff_requests(req, out); !d.empty()) return d;
+  if (out.trial0 != req.trial0 || out.trials != req.trials)
+    return "cell repetition block did not round-trip";
+  // The encoding is canonical: re-encoding what we decoded reproduces
+  // the wire bytes, so cached frames can be compared byte-wise.
+  if (encode_request_binary(out) != wire) return "re-encode drifted";
+
+  // Cross-codec equivalence: the JSON wire decodes to the same struct.
+  Request via_text;
+  if (!decode_request(encode_request(req), via_text, err))
+    return "text decode failed: " + err;
+  if (const std::string d = diff_requests(out, via_text); !d.empty())
+    return "binary and text decode disagree: " + d;
+  return "";
+}
+
+std::string check_binary_response_roundtrip(std::uint64_t seed) {
+  Rng rng(seed);
+  const Response resp = random_binary_response(rng);
+  const std::string wire = encode_response_binary(resp);
+  if (wire.empty() || wire[0] != kBinaryResponseMagic)
+    return "response magic missing";
+  Response out;
+  std::string err;
+  if (!decode_response_binary(wire, out, err))
+    return "decode of encoded binary response failed: " + err;
+  if (const std::string d = diff_responses(resp, out); !d.empty()) return d;
+  if (out.costs.size() != resp.costs.size())
+    return "costs length did not round-trip";
+  for (std::size_t i = 0; i < resp.costs.size(); ++i)
+    if (std::memcmp(&out.costs[i], &resp.costs[i], sizeof(double)) != 0)
+      return "cost bits drifted at index " + std::to_string(i);
+  if (out.telemetry != resp.telemetry) return "telemetry did not round-trip";
+  if (encode_response_binary(out) != wire) return "re-encode drifted";
+  return "";
+}
+
+TEST(BinaryCodec, RequestsRoundTrip) {
+  run_fuzz(500, check_binary_request_roundtrip);
+}
+
+TEST(BinaryCodec, ResponsesRoundTrip) {
+  run_fuzz(600, check_binary_response_roundtrip);
+}
+
+std::string check_binary_malformed_safety(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::string req_bytes =
+      encode_request_binary(random_binary_request(rng));
+  const std::string resp_bytes =
+      encode_response_binary(random_binary_response(rng));
+
+  // EVERY strict prefix, byte at a time: a binary message is only
+  // complete at its last byte (the decoders refuse trailing bytes, so
+  // a prefix can never alias a shorter valid message either).
+  for (const std::string& base : {req_bytes, resp_bytes}) {
+    for (std::size_t cut = 0; cut < base.size(); ++cut) {
+      const std::string_view prefix(base.data(), cut);
+      Request r;
+      Response p;
+      std::string err;
+      if (decode_request_binary(prefix, r, err))
+        return "accepted truncated binary request at " + std::to_string(cut);
+      if (err.empty()) return "truncation rejected without a message";
+      err.clear();
+      if (decode_response_binary(prefix, p, err))
+        return "accepted truncated binary response at " + std::to_string(cut);
+      if (err.empty()) return "truncation rejected without a message";
+    }
+
+    // Byte flips and insertions: no crash; anything accepted must
+    // round-trip losslessly through a re-encode.
+    for (int k = 0; k < 16; ++k) {
+      std::string m = base;
+      if (rng.next_bool())
+        m[rng.next_below(m.size())] = static_cast<char>(rng.next_below(256));
+      else
+        m.insert(m.begin() +
+                     static_cast<std::ptrdiff_t>(rng.next_below(m.size() + 1)),
+                 static_cast<char>(rng.next_below(256)));
+      Request r;
+      std::string err;
+      if (decode_request_binary(m, r, err)) {
+        Request again;
+        if (!decode_request_binary(encode_request_binary(r), again, err))
+          return "re-encode of an accepted binary mutant failed: " + err;
+        if (const std::string d = diff_requests(r, again); !d.empty())
+          return "binary mutant round-trip drift: " + d;
+      } else if (err.empty()) {
+        return "binary mutant rejected without a message";
+      }
+      Response p;
+      err.clear();
+      if (!decode_response_binary(m, p, err) && err.empty())
+        return "binary mutant response rejected without a message";
+    }
+  }
+
+  // Pure garbage, with and without a genuine magic byte up front.
+  for (int k = 0; k < 8; ++k) {
+    std::string g;
+    if (rng.next_bool())
+      g += rng.next_bool() ? kBinaryRequestMagic : kBinaryResponseMagic;
+    const std::uint64_t len = rng.next_below(64);
+    for (std::uint64_t i = 0; i < len; ++i)
+      g += static_cast<char>(rng.next_below(256));
+    Request r;
+    Response p;
+    std::string err;
+    (void)decode_request_binary(g, r, err);
+    err.clear();
+    (void)decode_response_binary(g, p, err);
+  }
+  return "";
+}
+
+TEST(BinaryCodec, MalformedPayloadsNeverCrashByteAtATime) {
+  run_fuzz(700, check_binary_malformed_safety);
+}
+
+TEST(BinaryCodec, MagicBytesAreDisjointFromTheTextCodec) {
+  // 0xF2/0xF3 can never open a JSON object, and '{' can never open a
+  // binary message — a codec mismatch is a typed error on both wires,
+  // not a misparse.
+  Request req;
+  req.id = 1;
+  req.op = Op::Ping;
+  Request r;
+  std::string err;
+  EXPECT_FALSE(decode_request(encode_request_binary(req), r, err));
+  EXPECT_FALSE(decode_request_binary(encode_request(req), r, err));
+  EXPECT_NE(err.find("bad request magic"), std::string::npos) << err;
+}
+
+TEST(BinaryCodec, AdversarialDoublesRoundTripBitExact) {
+  // The values the %.17g text detour is most likely to mangle: signed
+  // zero, denormals, and the extremes — plus full-range u64 ids,
+  // seeds and params. Bit-exactness is the reason wire v2 exists.
+  const double kAdversarial[] = {
+      -0.0,
+      5e-324,                                    // smallest denormal
+      2.2250738585072014e-308,                   // DBL_MIN
+      4.9406564584124654e-324 * 3,               // another denormal
+      1.7976931348623157e308,                    // DBL_MAX
+      -1.7976931348623157e308,
+      1.0 + 2.220446049250313e-16,               // 1 + epsilon
+      0.1,                                       // classic non-dyadic
+  };
+  Response resp;
+  resp.id = ~std::uint64_t{0};  // UINT64_MAX survives the varint
+  resp.status = Status::Ok;
+  resp.costs.assign(std::begin(kAdversarial), std::end(kAdversarial));
+  Response out;
+  std::string err;
+  ASSERT_TRUE(decode_response_binary(encode_response_binary(resp), out, err))
+      << err;
+  EXPECT_EQ(out.id, ~std::uint64_t{0});
+  ASSERT_EQ(out.costs.size(), resp.costs.size());
+  for (std::size_t i = 0; i < resp.costs.size(); ++i)
+    EXPECT_EQ(std::memcmp(&out.costs[i], &resp.costs[i], sizeof(double)), 0)
+        << "cost bits drifted at index " << i;
+  EXPECT_TRUE(std::signbit(out.costs[0]));  // -0.0 kept its sign
+
+  Request req;
+  req.id = ~std::uint64_t{0};
+  req.op = Op::Cell;
+  req.spec = {.engine = "qsm",
+              .workload = "parity_circuit",
+              .params = {{"n", ~std::uint64_t{0}}}};
+  req.seed = ~std::uint64_t{0};
+  req.trial0 = ~std::uint64_t{0};
+  req.trials = 1;
+  Request rback;
+  ASSERT_TRUE(decode_request_binary(encode_request_binary(req), rback, err))
+      << err;
+  EXPECT_EQ(rback.seed, ~std::uint64_t{0});
+  EXPECT_EQ(rback.trial0, ~std::uint64_t{0});
+  EXPECT_EQ(rback.spec.params[0].second, ~std::uint64_t{0});
+}
+
+TEST(BinaryCodec, NaNIsRejectedInBothDirections) {
+  // Cost models never produce NaN, so on this wire a NaN is corruption:
+  // the encoder refuses to put one on the wire and the decoder refuses
+  // to take one off it.
+  Response resp;
+  resp.id = 1;
+  resp.status = Status::Ok;
+  resp.has_cost = true;
+  resp.cost = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)encode_response_binary(resp), std::invalid_argument);
+  resp.has_cost = false;
+  resp.cost = 0.0;
+  resp.costs = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)encode_response_binary(resp), std::invalid_argument);
+
+  // Splice NaN bits into a valid encoding: the cost f64le is the final
+  // 8 bytes of a plain has_cost response.
+  resp.costs.clear();
+  resp.has_cost = true;
+  resp.cost = 1.5;
+  std::string wire = encode_response_binary(resp);
+  ASSERT_GE(wire.size(), 8u);
+  const std::uint64_t nan_bits = 0x7FF8000000000000ULL;
+  for (unsigned i = 0; i < 8; ++i)
+    wire[wire.size() - 8 + i] =
+        static_cast<char>((nan_bits >> (8U * i)) & 0xFFU);
+  Response out;
+  std::string err;
+  EXPECT_FALSE(decode_response_binary(wire, out, err));
+  EXPECT_NE(err.find("NaN cost payload"), std::string::npos) << err;
+}
+
+TEST(BinaryCodec, FieldDisciplineMatchesTheTextCodec) {
+  // The invariants ProtocolStrictness pins on JSON hold bit-for-bit
+  // here: unknown flag combinations and impossible field pairings are
+  // typed errors, not silent acceptance.
+  Response resp;
+  resp.id = 9;
+  resp.status = Status::Ok;
+  resp.has_cost = true;
+  resp.cost = 2.0;
+  std::string wire = encode_response_binary(resp);
+  // Byte layout: magic, varint id (one byte for 9), status, flags.
+  ASSERT_EQ(wire.size(), 4u + 8u);
+  std::string mutated = wire;
+  mutated[3] = static_cast<char>(0x40);  // undefined flag bit
+  Response out;
+  std::string err;
+  EXPECT_FALSE(decode_response_binary(mutated, out, err));
+  mutated = wire;
+  mutated[3] = static_cast<char>(0x01);  // cached without a cost payload
+  EXPECT_FALSE(decode_response_binary(
+      std::string_view(mutated).substr(0, 4), out, err));
+  EXPECT_NE(err.find("'cached' without"), std::string::npos) << err;
 }
 
 // ---------------------------------------------------------------------

@@ -56,7 +56,17 @@
 #      recovery) plus the parbounds_serve daemon smokes that compare
 #      --workers {1,2,4} response bytes against the in-process backend
 #      and force a worker crash mid-sweep with the retry counters
-#      checked on stderr.
+#      checked on stderr;
+#  12. the fleet data-plane stage (docs/SERVICE.md#wire-v2): a
+#      parbounds_serve --stdio --workers 2 sweep run under
+#      PARBOUNDS_FLEET_WIRE=text and =binary with the response bytes
+#      cmp'd (the wire codec must never leak into a result), an
+#      unknown wire value required to die with the did-you-mean hint,
+#      and the bench_fleet_throughput smoke — credit-window pipelining
+#      vs lock-step with an in-process identity oracle on every
+#      configuration and a pipeline_speedup floor that scales with the
+#      host (>=4 cores gates at 1.5x; 1-core CI boxes gate at 1.0 and
+#      lean on the oracle; see docs/PERF.md, "Fleet throughput").
 #
 # Usage: tools/run_checks.sh [--quick] [--require-tidy] [build-dir]
 #
@@ -103,6 +113,17 @@ if [[ "${JOBS}" -ge 4 ]]; then
   MIN_SHARD=1.5
 else
   MIN_SHARD=0.25
+fi
+
+# Pipeline-speedup floor (bench_fleet_throughput): opening the credit
+# window from 1 to 8 must pay for itself when there are real cores for
+# the worker processes. On 1-core CI boxes everything is oversubscribed
+# and the in-binary identity oracle stays the correctness gate, so the
+# floor only demands "no slower than lock-step".
+if [[ "${JOBS}" -ge 4 ]]; then
+  MIN_PIPELINE=1.5
+else
+  MIN_PIPELINE=1.0
 fi
 
 # SIMD-speedup floor: bench_hotpath skips it by itself on hosts whose
@@ -248,6 +269,54 @@ EOF
   rm -rf "${dir}"
 }
 
+# Fleet wire-mode smoke (docs/SERVICE.md#wire-v2). $1 is the build dir
+# holding tools/parbounds_serve. The same sweep runs through a 2-worker
+# fleet on the v1 text wire and the v2 binary wire; the response bytes
+# must be identical (cmp, not diff: every byte counts). An unknown
+# PARBOUNDS_FLEET_WIRE value must die with the did-you-mean hint the
+# same way a bad PARBOUNDS_SIMD pin does.
+run_fleet_wire_smoke() {
+  local serve="$1/tools/parbounds_serve"
+  echo "==> fleet wire smoke (text vs binary byte identity, --workers 2)"
+  local dir
+  dir="$(mktemp -d)"
+  local sweep
+  sweep="$(cat <<'EOF'
+{"id":1,"op":"run","engine":"qsm","workload":"parity_circuit","params":{"n":64,"g":2},"seed":1}
+{"id":2,"op":"run","engine":"qsm","workload":"parity_circuit","params":{"n":128,"g":2},"seed":2}
+{"id":3,"op":"run","engine":"bsp","workload":"parity_bsp","params":{"n":64,"p":4,"g":2,"L":8},"seed":3}
+EOF
+)"
+  # Separate cold caches: with a shared one the second run would answer
+  # cached:true and the cmp would flag the cache, not the codec.
+  printf '%s\n' "${sweep}" | PARBOUNDS_FLEET_WIRE=text \
+    "${serve}" --stdio --workers 2 --cache-dir "${dir}/cache-text" \
+    >"${dir}/text.out"
+  printf '%s\n' "${sweep}" | PARBOUNDS_FLEET_WIRE=binary \
+    "${serve}" --stdio --workers 2 --cache-dir "${dir}/cache-binary" \
+    >"${dir}/binary.out"
+  if ! cmp "${dir}/text.out" "${dir}/binary.out"; then
+    echo "wire codec leaked into the response bytes (text vs binary)" >&2
+    exit 1
+  fi
+  echo "==> fleet wire smoke: unknown wire mode must die with a hint"
+  local rc=0
+  printf '%s\n' "${sweep}" | PARBOUNDS_FLEET_WIRE=binry \
+    "${serve}" --stdio --workers 2 --cache-dir "${dir}/cache-bad" \
+    >"${dir}/bad.out" 2>"${dir}/bad.err" || rc=$?
+  if [[ "${rc}" -eq 0 ]]; then
+    echo "an unknown PARBOUNDS_FLEET_WIRE value was accepted" >&2
+    exit 1
+  fi
+  if ! grep -q "did you mean 'binary'" "${dir}/bad.err"; then
+    echo "an unknown PARBOUNDS_FLEET_WIRE value was not rejected with a hint" >&2
+    cat "${dir}/bad.err" >&2
+    exit 1
+  fi
+  echo "    PARBOUNDS_FLEET_WIRE=binry: rejected with a hint"
+  rm -rf "${dir}"
+}
+
 if [[ "${QUICK}" == 1 ]]; then
   BUILD_DIR="${BUILD_DIR:-build-quick}"
   echo "==> [quick] configure into ${BUILD_DIR}"
@@ -277,6 +346,7 @@ if [[ "${QUICK}" == 1 ]]; then
   run_service_smoke "${BUILD_DIR}"
   echo "==> [quick] fleet-labelled subset (multi-process byte identity)"
   ctest --test-dir "${BUILD_DIR}" -L fleet --output-on-failure
+  run_fleet_wire_smoke "${BUILD_DIR}"
   echo "==> [quick] parprof_cli smoke over an exported demo trace"
   "${BUILD_DIR}/tools/parlint_cli" --export-demo \
     "${BUILD_DIR}/CHECK_prof_demo.csv" 512 8 2
@@ -294,6 +364,10 @@ if [[ "${QUICK}" == 1 ]]; then
   "${BUILD_DIR}/bench/bench_obs_overhead" --jobs 2 \
     --json "${BUILD_DIR}/BENCH_obs_overhead.json" \
     --max-overhead=1.05
+  echo "==> [quick] bench_fleet_throughput smoke (pipeline floor + identity oracle)"
+  "${BUILD_DIR}/bench/bench_fleet_throughput" --jobs 2 \
+    --json "${BUILD_DIR}/BENCH_fleet.json" \
+    --min-pipeline-speedup="${MIN_PIPELINE}"
   echo "==> quick checks passed (sanitizer stages skipped)"
   exit 0
 fi
@@ -333,6 +407,8 @@ run_service_smoke "${BUILD_DIR}"
 echo "==> fleet-labelled subset (multi-process byte identity)"
 ctest --test-dir "${BUILD_DIR}" -L fleet --output-on-failure
 
+run_fleet_wire_smoke "${BUILD_DIR}"
+
 echo "==> parprof_cli smoke over an exported demo trace"
 "${BUILD_DIR}/tools/parlint_cli" --export-demo \
   "${BUILD_DIR}/CHECK_prof_demo.csv" 512 8 2
@@ -354,9 +430,9 @@ ctest --test-dir "${BUILD_DIR}-tsan" -L 'runtime|obs|intra|service|fleet' \
 echo "==> configure (Release, sanitizer-free) into ${BUILD_DIR}-bench"
 cmake -B "${BUILD_DIR}-bench" -S . -DCMAKE_BUILD_TYPE=Release
 
-echo "==> build bench_hotpath + bench_obs_overhead"
+echo "==> build bench_hotpath + bench_obs_overhead + bench_fleet_throughput"
 cmake --build "${BUILD_DIR}-bench" -j "${JOBS}" \
-  --target bench_hotpath bench_obs_overhead
+  --target bench_hotpath bench_obs_overhead bench_fleet_throughput
 
 echo "==> bench_hotpath smoke (self-verified, speedup floors)"
 # Shard floor per host size (see MIN_SHARD above); the dispatch and
@@ -371,5 +447,10 @@ echo "==> bench_obs_overhead smoke (detached-hook ceiling)"
 "${BUILD_DIR}-bench/bench/bench_obs_overhead" --jobs 2 \
   --json "${BUILD_DIR}-bench/BENCH_obs_overhead.json" \
   --max-overhead=1.05
+
+echo "==> bench_fleet_throughput smoke (pipeline floor + identity oracle)"
+"${BUILD_DIR}-bench/bench/bench_fleet_throughput" --jobs 2 \
+  --json "${BUILD_DIR}-bench/BENCH_fleet.json" \
+  --min-pipeline-speedup="${MIN_PIPELINE}"
 
 echo "==> all checks passed"
